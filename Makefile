@@ -1,0 +1,43 @@
+# Convenience targets for the T-Mark repository. Everything is plain `go`;
+# the Makefile only names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test short-test vet bench fuzz experiments figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short-test:
+	$(GO) test -short ./...
+
+# One benchmark per paper table/figure plus ablations and micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing passes over the untrusted-input parsers.
+fuzz:
+	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/hin/
+	$(GO) test -fuzz FuzzReadEdgeCSV -fuzztime 30s ./internal/hin/
+
+# Regenerate every table and figure at the quick scale.
+experiments:
+	$(GO) run ./cmd/experiments
+
+# The paper's full protocol, with SVG charts written to ./figures.
+figures:
+	$(GO) run ./cmd/experiments -full -svg figures
+
+examples:
+	for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d || exit 1; done
+
+clean:
+	rm -rf figures

@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestBuildDatasets(t *testing.T) {
+	cases := map[string]struct {
+		n, m, q int
+	}{
+		"dblp":    {400, 20, 4},
+		"movies":  {400, 90, 5},
+		"nus1":    {400, 41, 2},
+		"nus2":    {400, 41, 2},
+		"acm":     {360, 6, 6},
+		"example": {4, 3, 2},
+	}
+	for name, want := range cases {
+		g, err := build(name, 1, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N() != want.n || g.M() != want.m || g.Q() != want.q {
+			t.Errorf("%s: shape %d/%d/%d, want %d/%d/%d", name, g.N(), g.M(), g.Q(), want.n, want.m, want.q)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", name, err)
+		}
+	}
+}
+
+func TestBuildScale(t *testing.T) {
+	g, err := build("dblp", 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 200 {
+		t.Errorf("scaled N = %d, want 200", g.N())
+	}
+	tiny, err := build("dblp", 1, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.N() < 40 { // floor of 10 per area
+		t.Errorf("scale floor broken: N = %d", tiny.N())
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := build("nope", 1, 1); err == nil {
+		t.Errorf("unknown dataset should error")
+	}
+}

@@ -1,0 +1,134 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic datasets.
+//
+// Usage:
+//
+//	experiments [-run all|example|table2|table3|table4|table5|tables6-7|
+//	             table8|tables9-10|table11|fig5|fig6|fig7|fig8|fig9|fig10|ablation]
+//	            [-full] [-seed N] [-trials N] [-svg DIR]
+//
+// By default it runs everything at the quick (CI) scale; -full switches to
+// the paper's protocol (nine labelled fractions, ten trials, full dataset
+// sizes) and takes correspondingly longer. With -svg the figure-shaped
+// experiments additionally write SVG charts into DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tmark/internal/experiments"
+)
+
+// svger is any experiment result that can render itself as a chart.
+type svger interface {
+	SVG() (string, error)
+}
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment to run (comma separated), or 'all'")
+		full   = flag.Bool("full", false, "use the paper's full protocol (10 trials, 9 fractions)")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		trials = flag.Int("trials", 0, "override the number of trials per cell")
+		svgDir = flag.String("svg", "", "directory to write SVG charts into")
+	)
+	flag.Parse()
+
+	opt := experiments.Quick(*seed)
+	if *full {
+		opt = experiments.Full(*seed)
+	}
+	if *trials > 0 {
+		opt.Trials = *trials
+	}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: create %s: %v\n", *svgDir, err)
+			os.Exit(1)
+		}
+	}
+
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		selected[strings.TrimSpace(name)] = true
+	}
+	want := func(name string) bool { return selected["all"] || selected[name] }
+
+	writeSVG := func(name string, artifact interface{}) {
+		if *svgDir == "" {
+			return
+		}
+		s, ok := artifact.(svger)
+		if !ok {
+			return
+		}
+		svg, err := s.SVG()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: render %s: %v\n", name, err)
+			return
+		}
+		path := filepath.Join(*svgDir, name+".svg")
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", path, err)
+			return
+		}
+		fmt.Printf("[wrote %s]\n", path)
+	}
+
+	type job struct {
+		name string
+		fn   func() interface{}
+	}
+	jobs := []job{
+		{"example", func() interface{} { we := experiments.RunWorkedExample(); we.Format(os.Stdout); return we }},
+		{"table2", func() interface{} { t := experiments.RunTable2(opt); t.Format(os.Stdout); return t }},
+		{"table3", func() interface{} { t := experiments.RunTable3(opt); t.Format(os.Stdout); return t }},
+		{"table4", func() interface{} { t := experiments.RunTable4(opt); t.Format(os.Stdout); return t }},
+		{"table5", func() interface{} { t := experiments.RunTable5(opt); t.Format(os.Stdout); return t }},
+		{"tables6-7", func() interface{} {
+			t6, t7 := experiments.RunTables6and7()
+			t6.Format(os.Stdout)
+			t7.Format(os.Stdout)
+			return nil
+		}},
+		{"table8", func() interface{} { t := experiments.RunTable8(opt); t.Format(os.Stdout); return t }},
+		{"tables9-10", func() interface{} {
+			t9, t10 := experiments.RunTables9and10(opt)
+			t9.Format(os.Stdout)
+			t10.Format(os.Stdout)
+			return nil
+		}},
+		{"table11", func() interface{} { t := experiments.RunTable11(opt); t.Format(os.Stdout); return t }},
+		{"fig5", func() interface{} { f := experiments.RunFigure5(opt); f.Format(os.Stdout); return f }},
+		{"fig6", func() interface{} { f := experiments.RunFigure6(opt); f.Format(os.Stdout); return f }},
+		{"fig7", func() interface{} { f := experiments.RunFigure7(opt); f.Format(os.Stdout); return f }},
+		{"fig8", func() interface{} { f := experiments.RunFigure8(opt); f.Format(os.Stdout); return f }},
+		{"fig9", func() interface{} { f := experiments.RunFigure9(opt); f.Format(os.Stdout); return f }},
+		{"fig10", func() interface{} { f := experiments.RunFigure10(opt); f.Format(os.Stdout); return f }},
+		{"ablation", func() interface{} { t := experiments.RunAblation(opt); t.Format(os.Stdout); return t }},
+	}
+
+	ran := 0
+	for _, j := range jobs {
+		if !want(j.name) {
+			continue
+		}
+		start := time.Now()
+		artifact := j.fn()
+		if artifact != nil {
+			writeSVG(j.name, artifact)
+		}
+		fmt.Printf("[%s done in %v]\n\n", j.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: nothing matched -run=%q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

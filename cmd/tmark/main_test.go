@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tmark/internal/dataset"
+	"tmark/internal/tmark"
+)
+
+func exampleFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "example.json")
+	if err := dataset.Example().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadJSONAndCSV(t *testing.T) {
+	path := exampleFile(t)
+	g, err := load(path, false)
+	if err != nil {
+		t.Fatalf("load json: %v", err)
+	}
+	if g.N() != 4 {
+		t.Errorf("N = %d", g.N())
+	}
+
+	csvPath := filepath.Join(t.TempDir(), "edges.csv")
+	if err := os.WriteFile(csvPath, []byte("from,to,relation\na,b,r\nb,c,r"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gc, err := load(csvPath, true)
+	if err != nil {
+		t.Fatalf("load csv: %v", err)
+	}
+	if gc.N() != 3 || gc.M() != 1 {
+		t.Errorf("csv graph %d/%d", gc.N(), gc.M())
+	}
+
+	if _, err := load(filepath.Join(t.TempDir(), "missing"), false); err == nil {
+		t.Errorf("missing file should error")
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	g := dataset.Example()
+	cfg := tmark.DefaultConfig()
+	cfg.Gamma = 0.5
+	model, err := tmark.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := model.Run()
+	rep := buildReport(g, model, res, 2)
+	if !rep.Converged || !rep.Irreducible {
+		t.Errorf("report flags wrong: %+v", rep)
+	}
+	if len(rep.Predictions) != 2 {
+		t.Fatalf("predictions = %d, want 2 unlabelled nodes", len(rep.Predictions))
+	}
+	if rep.Predictions[0].Class != "CV" || rep.Predictions[1].Class != "DM" {
+		t.Errorf("predicted classes wrong: %+v", rep.Predictions)
+	}
+	for class, scores := range rep.LinkRanking {
+		if len(scores) != 2 {
+			t.Errorf("class %s: %d ranked links, want top-2", class, len(scores))
+		}
+	}
+	// The report must serialise cleanly.
+	if _, err := json.Marshal(rep); err != nil {
+		t.Errorf("marshal report: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+// Coranking: the unsupervised ancestors of T-Mark — MultiRank co-ranks
+// the nodes and link types of a network with no labels at all, and HAR
+// separates hub nodes from authority nodes. T-Mark is these algorithms
+// plus a labelled-seed restart and a feature channel.
+//
+//	go run ./examples/coranking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tmark/pkg/datasets"
+	"tmark/pkg/rank"
+)
+
+func main() {
+	g := datasets.DBLP(datasets.DefaultDBLPConfig(42))
+	fmt.Printf("network: %v (labels ignored below)\n\n", g.Stats())
+
+	mr, err := rank.MultiRank(g, rank.Options{Restart: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MultiRank %s\n", mr)
+	fmt.Println("most central link types (no labels involved):")
+	for _, k := range mr.TopRelations(5) {
+		fmt.Printf("  %-8s z=%.4f\n", g.Relations[k].Name, mr.Z[k])
+	}
+	fmt.Println("\nmost central authors:")
+	for _, i := range mr.TopNodes(5) {
+		fmt.Printf("  %-12s x=%.5f\n", g.Nodes[i].Name, mr.X[i])
+	}
+
+	har, err := rank.HAR(g, rank.Options{Restart: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nHAR converged=%v in %d iterations\n", har.Converged, har.Iterations)
+	fmt.Println("top authorities vs top hubs (undirected venues make them similar here):")
+	auth := har.TopAuthorities(3)
+	hubs := har.TopHubs(3)
+	for p := 0; p < 3; p++ {
+		fmt.Printf("  authority %-12s | hub %-12s\n", g.Nodes[auth[p]].Name, g.Nodes[hubs[p]].Name)
+	}
+	fmt.Println("\nCompare with examples/bibliography: T-Mark turns exactly this")
+	fmt.Println("machinery into a per-class ranking by adding the label restart.")
+}

@@ -1,0 +1,87 @@
+// Incremental: the streaming-labels workflow. Labels arrive in batches;
+// instead of solving from scratch each time, RunWarm continues from the
+// previous stationary solution and converges in a fraction of the
+// iterations.
+//
+//	go run ./examples/incremental
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tmark/pkg/datasets"
+	"tmark/pkg/eval"
+	"tmark/pkg/hin"
+	"tmark/pkg/tmark"
+)
+
+func main() {
+	full := datasets.DBLP(datasets.DefaultDBLPConfig(42))
+	truth := make([]int, full.N())
+	for i := 0; i < full.N(); i++ {
+		truth[i] = full.PrimaryLabel(i)
+	}
+
+	// Start with 5% labels, then reveal 5% more per batch.
+	rng := rand.New(rand.NewSource(7))
+	order := rng.Perm(full.N())
+	working := strip(full)
+	batch := full.N() / 20
+	revealed := 0
+	reveal := func(k int) {
+		for _, i := range order[revealed : revealed+k] {
+			working.SetLabels(i, truth[i])
+		}
+		revealed += k
+	}
+	reveal(batch)
+
+	cfg := tmark.DefaultConfig()
+	// Disable the ICA reseeding so the warm start continues the pure tensor
+	// iteration (with ICA on, the pseudo-seed schedule replays from scratch
+	// and the iteration counts stay flat).
+	cfg.ICAUpdate = false
+	// A lower restart weight slows the contraction, which is where warm
+	// starting visibly pays off.
+	cfg.Alpha = 0.3
+	cfg.Epsilon = 1e-10
+	var prev *tmark.Result
+	for step := 1; step <= 5; step++ {
+		model, err := tmark.New(working, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := model.RunWarm(prev) // nil prev = cold start
+		mask := make([]bool, full.N())
+		for i := range mask {
+			mask[i] = !working.Labeled(i)
+		}
+		acc := eval.Accuracy(res.Predict(), truth, mask)
+		fmt.Printf("step %d: %4d labels, %2d iterations (warm=%v), accuracy on unlabelled %.3f\n",
+			step, revealed, res.MaxIterations(), prev != nil, acc)
+		prev = res
+		if step < 5 {
+			reveal(batch)
+		}
+	}
+	fmt.Println("\nwarm restarts converge in fewer iterations than the cold start,")
+	fmt.Println("because each batch of labels only perturbs the previous fixed point.")
+}
+
+// strip returns a copy of g with every label removed.
+func strip(g *hin.Graph) *hin.Graph {
+	out := hin.New(g.Classes...)
+	for i := range g.Nodes {
+		out.AddNode(g.Nodes[i].Name, g.Nodes[i].Features)
+	}
+	for k := range g.Relations {
+		r := g.Relations[k]
+		nk := out.AddRelation(r.Name, r.Directed)
+		for _, e := range r.Edges {
+			out.AddWeightedEdge(nk, e.From, e.To, e.Weight)
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Linkselect: the paper's Section 6.3 study — the same images classified
+// through two different tag sets. Purity-selected tags (Tagset1) give a
+// far better network than frequency-selected tags (Tagset2), and T-Mark's
+// per-class tag rankings show why.
+//
+//	go run ./examples/linkselect
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tmark/pkg/baselines"
+	"tmark/pkg/datasets"
+	"tmark/pkg/eval"
+	"tmark/pkg/tmark"
+)
+
+func main() {
+	cfg := tmark.DefaultConfig()
+	cfg.Alpha = 0.9 // the paper's NUS settings
+	cfg.Gamma = 0.4
+
+	for _, tc := range []struct {
+		name string
+		tags []datasets.Tag
+	}{
+		{"Tagset1 (purity-selected)", datasets.Tagset1()},
+		{"Tagset2 (frequency-selected)", datasets.Tagset2()},
+	} {
+		full := datasets.NUS(datasets.DefaultNUSConfig(42), tc.tags)
+		rng := rand.New(rand.NewSource(7))
+		split := eval.StratifiedSplit(full, 0.1, rng)
+		masked, truth := eval.MaskLabels(full, split)
+
+		method := &baselines.TMark{Config: cfg, ICA: true}
+		scores, err := method.Scores(masked, rand.New(rand.NewSource(11)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := eval.Accuracy(baselines.Predict(scores), eval.PrimaryTruth(truth), split.Test)
+		fmt.Printf("%-30s accuracy with 10%% labels: %.3f\n", tc.name, acc)
+
+		model, err := tmark.New(full, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := model.Run()
+		for c, class := range datasets.NUSClasses {
+			fmt.Printf("  top tags for %-7s:", class)
+			for _, rs := range res.LinkRanking(c)[:6] {
+				fmt.Printf(" %s", full.Relations[rs.Relation].Name)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("Under Tagset1 the two classes' top tags split cleanly by semantics;")
+	fmt.Println("under Tagset2 the same generic tags top both lists — the paper's")
+	fmt.Println("evidence that link selection, not volume, drives HIN classification.")
+}

@@ -1,0 +1,3 @@
+module tmark
+
+go 1.22

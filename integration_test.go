@@ -1,0 +1,154 @@
+package main
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"tmark/internal/baselines"
+	"tmark/internal/dataset"
+	"tmark/internal/eval"
+	"tmark/internal/hin"
+	"tmark/internal/rank"
+	"tmark/internal/tmark"
+)
+
+// TestPipelineSynthToClassification runs the complete user journey:
+// generate a network, persist it, reload it, mask labels, classify with
+// T-Mark, and grade the result.
+func TestPipelineSynthToClassification(t *testing.T) {
+	g, err := dataset.Synth(dataset.SynthConfig{
+		Seed:          11,
+		Classes:       []string{"red", "green", "blue"},
+		NodesPerClass: 50,
+		Vocab:         45,
+		TokensPerNode: 12,
+		FeatureFocus:  0.55,
+		Relations: []dataset.RelationSpec{
+			{Name: "strong", Homophily: 0.85, Edges: 500},
+			{Name: "weak", Homophily: 0.5, Edges: 250},
+			{Name: "noise", Homophily: 0, Edges: 200, Directed: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "synth.json")
+	if err := g.SaveFile(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := hin.LoadFile(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if loaded.Stats().String() != g.Stats().String() {
+		t.Fatalf("persistence changed the graph: %v vs %v", loaded.Stats(), g.Stats())
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	split := eval.StratifiedSplit(loaded, 0.2, rng)
+	masked, truth := eval.MaskLabels(loaded, split)
+
+	model, err := tmark.New(masked, tmark.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := model.Run()
+	acc := eval.Accuracy(res.Predict(), eval.PrimaryTruth(truth), split.Test)
+	if acc < 0.7 {
+		t.Errorf("end-to-end accuracy %.3f, want >= 0.7 on the homophilous synth", acc)
+	}
+
+	// The link ranking must put the designed strong relation above the
+	// designed noise relation for every class.
+	for c := 0; c < loaded.Q(); c++ {
+		var strongScore, noiseScore float64
+		for _, rs := range res.LinkRanking(c) {
+			switch masked.Relations[rs.Relation].Name {
+			case "strong":
+				strongScore = rs.Score
+			case "noise":
+				noiseScore = rs.Score
+			}
+		}
+		if strongScore <= noiseScore {
+			t.Errorf("class %d: strong link (%.3f) not ranked above noise (%.3f)", c, strongScore, noiseScore)
+		}
+	}
+
+	// Warm restart after an incremental label: same predictions.
+	masked.SetLabels(1, loaded.PrimaryLabel(1))
+	model2, err := tmark.New(masked, tmark.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := model2.RunWarm(res)
+	if warmAcc := eval.Accuracy(warm.Predict(), eval.PrimaryTruth(truth), split.Test); warmAcc < acc-0.05 {
+		t.Errorf("warm incremental accuracy %.3f regressed from %.3f", warmAcc, acc)
+	}
+}
+
+// TestPipelineMethodComparison runs the statistical-comparison journey:
+// sweep two methods over trials and verify the t-test plumbing.
+func TestPipelineMethodComparison(t *testing.T) {
+	cfg := dataset.DefaultDBLPConfig(5)
+	cfg.AuthorsPerArea = 40
+	full := dataset.DBLP(cfg)
+	run := func(m baselines.Method) eval.TrialStats {
+		return eval.RunTrials(4, 9, func(trial int, rng *rand.Rand) float64 {
+			split := eval.StratifiedSplit(full, 0.3, rng)
+			masked, truth := eval.MaskLabels(full, split)
+			scores, err := m.Scores(masked, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return eval.Accuracy(baselines.Predict(scores), eval.PrimaryTruth(truth), split.Test)
+		})
+	}
+	tm := run(baselines.NewTMark())
+	em := run(baselines.NewEMR())
+	tt, _ := eval.PairedTTest(tm.Values, em.Values)
+	if tm.Mean > em.Mean && tt <= 0 {
+		t.Errorf("t statistic %v contradicts mean ordering %.3f vs %.3f", tt, tm.Mean, em.Mean)
+	}
+}
+
+// TestPipelineUnsupervisedThenSupervised contrasts MultiRank's volume-
+// driven link ranking with T-Mark's class-aware one on the same network.
+func TestPipelineUnsupervisedThenSupervised(t *testing.T) {
+	cfg := dataset.DefaultDBLPConfig(7)
+	cfg.AuthorsPerArea = 40
+	g := dataset.DBLP(cfg)
+	mr, err := rank.MultiRank(g, rank.Options{Restart: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mr.Converged {
+		t.Fatalf("MultiRank did not converge")
+	}
+	// The cross venues carry the most traffic, so MultiRank should rank at
+	// least one of them in its global top-5.
+	crossTop := false
+	for _, k := range mr.TopRelations(5) {
+		switch g.Relations[k].Name {
+		case "CIKM", "WWW", "CVPR":
+			crossTop = true
+		}
+	}
+	if !crossTop {
+		t.Errorf("expected a cross venue in MultiRank's top-5 (volume-driven)")
+	}
+	// T-Mark, with labels, must NOT rank a cross venue first for any area.
+	model, err := tmark.New(g, tmark.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := model.Run()
+	for c := 0; c < g.Q(); c++ {
+		top := g.Relations[res.LinkRanking(c)[0].Relation].Name
+		if top == "CIKM" || top == "WWW" || top == "CVPR" {
+			t.Errorf("class %d: T-Mark ranked cross venue %s first", c, top)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package baselines implements the seven comparison methods of the paper's
+// evaluation: ICA, Hcc, Hcc-ss, wvRN+RL, EMR, Highway Network and Graph
+// Inception, plus an adapter exposing T-Mark/TensorRrCc through the same
+// interface so experiments can sweep every method uniformly.
+//
+// A Method consumes a masked graph (labels present only on training nodes)
+// and returns an n×q score matrix; argmax of a row is the predicted class,
+// thresholding a row yields multi-label predictions.
+package baselines
+
+import (
+	"math/rand"
+
+	"tmark/internal/hin"
+	"tmark/internal/vec"
+)
+
+// Method is a node-classification algorithm under evaluation.
+type Method interface {
+	// Name identifies the method in tables.
+	Name() string
+	// Scores returns an n×q matrix of class scores; every row of a
+	// well-formed result is a probability distribution. Training labels are
+	// the labelled nodes of g; scores must cover all nodes.
+	Scores(g *hin.Graph, rng *rand.Rand) (*vec.Matrix, error)
+}
+
+// Predict reduces a score matrix to per-node argmax classes.
+func Predict(scores *vec.Matrix) []int {
+	pred := make([]int, scores.Rows)
+	for i := 0; i < scores.Rows; i++ {
+		pred[i] = vec.Argmax(scores.Row(i))
+	}
+	return pred
+}
+
+// PredictMulti assigns every class whose score is at least share times the
+// node's maximum score (share in (0,1]); every node keeps at least its
+// argmax class.
+func PredictMulti(scores *vec.Matrix, share float64) [][]int {
+	out := make([][]int, scores.Rows)
+	for i := 0; i < scores.Rows; i++ {
+		row := scores.Row(i)
+		best := vec.Argmax(row)
+		if best < 0 {
+			continue
+		}
+		threshold := share * row[best]
+		var labels []int
+		for c, v := range row {
+			if v >= threshold && v > 0 {
+				labels = append(labels, c)
+			}
+		}
+		if labels == nil {
+			labels = []int{best}
+		}
+		out[i] = labels
+	}
+	return out
+}
+
+// trainingSet extracts the labelled nodes' indices and primary labels.
+func trainingSet(g *hin.Graph) (idx []int, labels []int) {
+	for i := 0; i < g.N(); i++ {
+		if g.Labeled(i) {
+			idx = append(idx, i)
+			labels = append(labels, g.PrimaryLabel(i))
+		}
+	}
+	return idx, labels
+}
+
+// clampTraining overwrites the rows of labelled nodes with their one-hot
+// (or uniform multi-hot) truth; collective methods keep training nodes
+// fixed at their known labels.
+func clampTraining(g *hin.Graph, scores *vec.Matrix) {
+	for i := 0; i < g.N(); i++ {
+		if !g.Labeled(i) {
+			continue
+		}
+		row := scores.Row(i)
+		vec.Fill(row, 0)
+		labels := g.Nodes[i].Labels
+		w := 1 / float64(len(labels))
+		for _, c := range labels {
+			row[c] = w
+		}
+	}
+}
+
+// classPrior returns the empirical label distribution of the training
+// nodes, smoothed so no class has probability zero.
+func classPrior(g *hin.Graph) vec.Vector {
+	prior := vec.New(g.Q())
+	for i := 0; i < g.N(); i++ {
+		if g.Labeled(i) {
+			labels := g.Nodes[i].Labels
+			w := 1 / float64(len(labels))
+			for _, c := range labels {
+				prior[c] += w
+			}
+		}
+	}
+	for c := range prior {
+		prior[c]++ // add-one smoothing
+	}
+	vec.Normalize1(prior)
+	return prior
+}

@@ -1,0 +1,216 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmark/internal/eval"
+	"tmark/internal/hin"
+	"tmark/internal/vec"
+)
+
+// homophilousGraph builds a 2-relation, 3-class network where the first
+// relation strongly connects same-class nodes, the second is noise, and
+// content features carry a class signal. Every sensible method should beat
+// chance (1/3) comfortably.
+func homophilousGraph(rng *rand.Rand, n int) *hin.Graph {
+	g := hin.New("a", "b", "c")
+	q := 3
+	dim := 9
+	for i := 0; i < n; i++ {
+		c := i % q
+		f := make([]float64, dim)
+		for w := 0; w < 6; w++ {
+			if rng.Float64() < 0.75 {
+				f[c*3+rng.Intn(3)]++
+			} else {
+				f[rng.Intn(dim)]++
+			}
+		}
+		g.AddNode("", f)
+	}
+	good := g.AddRelation("good", false)
+	noise := g.AddRelation("noise", false)
+	for i := 0; i < n; i++ {
+		for e := 0; e < 3; e++ {
+			j := rng.Intn(n)
+			if j != i && j%q == i%q {
+				g.AddEdge(good, i, j)
+			}
+		}
+		if rng.Float64() < 0.5 {
+			j := rng.Intn(n)
+			if j != i {
+				g.AddEdge(noise, i, j)
+			}
+		}
+	}
+	return g
+}
+
+// maskedProblem returns a training-masked copy plus the ground truth and
+// test mask.
+func maskedProblem(rng *rand.Rand, n int, frac float64) (*hin.Graph, []int, []bool) {
+	full := homophilousGraph(rng, n)
+	for i := 0; i < n; i++ {
+		full.SetLabels(i, i%3)
+	}
+	split := eval.StratifiedSplit(full, frac, rng)
+	masked, truth := eval.MaskLabels(full, split)
+	return masked, eval.PrimaryTruth(truth), split.Test
+}
+
+func TestAllMethodsBeatChance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g, truth, testMask := maskedProblem(rng, 120, 0.4)
+	for _, m := range All() {
+		mrng := rand.New(rand.NewSource(99))
+		scores, err := m.Scores(g, mrng)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if scores.Rows != g.N() || scores.Cols != g.Q() {
+			t.Fatalf("%s: scores shape %dx%d", m.Name(), scores.Rows, scores.Cols)
+		}
+		acc := eval.Accuracy(Predict(scores), truth, testMask)
+		if acc < 0.5 {
+			t.Errorf("%s: test accuracy %.3f, want > 0.5 (chance is 0.33)", m.Name(), acc)
+		}
+	}
+}
+
+func TestScoresRowsAreDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g, _, _ := maskedProblem(rng, 60, 0.3)
+	for _, m := range All() {
+		mrng := rand.New(rand.NewSource(7))
+		scores, err := m.Scores(g, mrng)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for i := 0; i < scores.Rows; i++ {
+			if !vec.IsStochastic(scores.Row(i), 1e-6) {
+				t.Errorf("%s: row %d not a distribution: %v", m.Name(), i, scores.Row(i))
+			}
+		}
+	}
+}
+
+func TestTrainingNodesClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g, truth, _ := maskedProblem(rng, 60, 0.3)
+	for _, m := range All() {
+		mrng := rand.New(rand.NewSource(3))
+		scores, err := m.Scores(g, mrng)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		pred := Predict(scores)
+		for i := 0; i < g.N(); i++ {
+			if g.Labeled(i) && pred[i] != truth[i] {
+				t.Errorf("%s: training node %d predicted %d, truth %d", m.Name(), i, pred[i], truth[i])
+			}
+		}
+	}
+}
+
+func TestMethodsDeterministicGivenRNG(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g, _, _ := maskedProblem(rng, 50, 0.4)
+	for _, m := range []Method{NewICA(), NewHcc(), NewWVRN(), NewTMark()} {
+		s1, err := m.Scores(g, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		s2, err := m.Scores(g, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for i := range s1.Data {
+			if s1.Data[i] != s2.Data[i] {
+				t.Fatalf("%s: not deterministic at %d", m.Name(), i)
+			}
+		}
+	}
+}
+
+func TestPredictMulti(t *testing.T) {
+	scores := vec.FromRows([][]float64{
+		{0.5, 0.45, 0.05},
+		{1, 0, 0},
+	})
+	multi := PredictMulti(scores, 0.8)
+	if len(multi[0]) != 2 {
+		t.Errorf("node 0 multi-labels = %v, want two", multi[0])
+	}
+	if len(multi[1]) != 1 || multi[1][0] != 0 {
+		t.Errorf("node 1 multi-labels = %v, want [0]", multi[1])
+	}
+}
+
+func TestHccNames(t *testing.T) {
+	if NewHcc().Name() != "Hcc" || NewHccSS().Name() != "Hcc-ss" {
+		t.Errorf("Hcc names wrong")
+	}
+	if NewTMark().Name() != "T-Mark" || NewTensorRrCc().Name() != "TensorRrCc" {
+		t.Errorf("T-Mark names wrong")
+	}
+}
+
+func TestMethodsRequireLabels(t *testing.T) {
+	g := hin.New("a")
+	g.AddNode("", []float64{1})
+	g.AddNode("", []float64{1})
+	g.AddRelation("r", false)
+	g.AddEdge(0, 0, 1)
+	for _, m := range []Method{NewICA(), NewHighwayNet(), NewGraphInception(), NewTMark()} {
+		if _, err := m.Scores(g, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("%s: unlabelled graph should error", m.Name())
+		}
+	}
+}
+
+func TestHccTwoHopFeatureBlocks(t *testing.T) {
+	// With TwoHop enabled, Hcc doubles its feature groups (one meta-path
+	// block per link type); both variants must classify the homophilous
+	// problem well.
+	rng := rand.New(rand.NewSource(53))
+	g, truth, testMask := maskedProblem(rng, 90, 0.4)
+	for _, cfg := range []*Hcc{
+		{Rounds: 5, TwoHop: false},
+		{Rounds: 5, TwoHop: true},
+	} {
+		scores, err := cfg.Scores(g, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatalf("TwoHop=%v: %v", cfg.TwoHop, err)
+		}
+		if acc := eval.Accuracy(Predict(scores), truth, testMask); acc < 0.5 {
+			t.Errorf("TwoHop=%v: accuracy %.3f too low", cfg.TwoHop, acc)
+		}
+	}
+}
+
+func TestContentNeighbors(t *testing.T) {
+	feats := [][]float64{{1, 0}, {1, 0.1}, {0, 1}}
+	ns := contentNeighbors(feats, 1)
+	if len(ns[0]) != 1 || ns[0][0].to != 1 {
+		t.Errorf("node 0 content neighbour = %v, want node 1", ns[0])
+	}
+	// Empty feature matrix is tolerated.
+	if got := contentNeighbors(nil, 3); len(got) != 0 {
+		t.Errorf("nil features should give empty result")
+	}
+}
+
+func TestClassPriorSmoothing(t *testing.T) {
+	g := hin.New("a", "b")
+	g.AddNode("", nil)
+	g.SetLabels(0, 0)
+	prior := classPrior(g)
+	if prior[1] <= 0 {
+		t.Errorf("unseen class must keep nonzero prior, got %v", prior)
+	}
+	if !vec.IsStochastic(prior, 1e-12) {
+		t.Errorf("prior must be a distribution: %v", prior)
+	}
+}

@@ -1,0 +1,81 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmark/internal/classify"
+	"tmark/internal/eval"
+)
+
+// Zero-value methods must self-correct their configuration.
+func TestZeroValueConfigsRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g, truth, testMask := maskedProblem(rng, 60, 0.4)
+	for _, m := range []Method{
+		&ICA{},  // no base, no rounds
+		&Hcc{},  // no rounds
+		&WVRN{}, // no rounds, no damping
+		&EMR{},  // no rounds
+	} {
+		scores, err := m.Scores(g, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatalf("%s zero value: %v", m.Name(), err)
+		}
+		if acc := eval.Accuracy(Predict(scores), truth, testMask); acc < 0.45 {
+			t.Errorf("%s zero value accuracy %.3f too low", m.Name(), acc)
+		}
+	}
+}
+
+// The GBDT learner plugs into the collective engines as a base classifier.
+func TestGBDTAsCollectiveBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	g, truth, testMask := maskedProblem(rng, 90, 0.4)
+	ica := &ICA{Base: classify.NewGBDT(1), Rounds: 3}
+	scores, err := ica.Scores(g, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := eval.Accuracy(Predict(scores), truth, testMask); acc < 0.6 {
+		t.Errorf("ICA+GBDT accuracy %.3f, want >= 0.6", acc)
+	}
+}
+
+// wvRN without content links still works from structure alone.
+func TestWVRNStructureOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	g, truth, testMask := maskedProblem(rng, 90, 0.4)
+	w := &WVRN{Rounds: 20, ContentK: 0, Damping: 0.5}
+	scores, err := w.Scores(g, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := eval.Accuracy(Predict(scores), truth, testMask); acc < 0.5 {
+		t.Errorf("structure-only wvRN accuracy %.3f, want >= 0.5", acc)
+	}
+}
+
+// An isolated unlabelled node (no links, no similar content) falls back to
+// the class prior rather than NaN.
+func TestWVRNIsolatedNodeFallsBackToPrior(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	g, _, _ := maskedProblem(rng, 30, 0.5)
+	isolated := g.AddNode("", make([]float64, 9)) // zero features, no links
+	w := &WVRN{Rounds: 5, ContentK: 3, Damping: 0.5}
+	scores, err := w.Scores(g, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := scores.Row(isolated)
+	var sum float64
+	for _, v := range row {
+		if v < 0 {
+			t.Fatalf("negative probability for isolated node: %v", row)
+		}
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("isolated node row sums to %v", sum)
+	}
+}

@@ -1,0 +1,135 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tmark/internal/hin"
+)
+
+// propagateBlocks must compute the degree-normalised neighbour average,
+// per relation, per power.
+func TestPropagateBlocks(t *testing.T) {
+	g := hin.New("a", "b")
+	n0 := g.AddNode("", []float64{1, 0})
+	n1 := g.AddNode("", []float64{0, 1})
+	n2 := g.AddNode("", []float64{1, 1})
+	r := g.AddRelation("r", false)
+	g.AddEdge(r, n0, n1)
+	g.AddEdge(r, n1, n2)
+
+	rows := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	blocks := propagateBlocks(g, rows, 2)
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2 (one relation, two powers)", len(blocks))
+	}
+	hop1 := blocks[0]
+	// n0's only neighbour is n1 → hop1[n0] = rows[n1].
+	if hop1[0][0] != 0 || hop1[0][1] != 1 {
+		t.Errorf("hop1[n0] = %v, want [0 1]", hop1[0])
+	}
+	// n1 neighbours n0 and n2 → average [1, 0.5].
+	if math.Abs(hop1[1][0]-1) > 1e-12 || math.Abs(hop1[1][1]-0.5) > 1e-12 {
+		t.Errorf("hop1[n1] = %v, want [1 0.5]", hop1[1])
+	}
+	// hop2[n0] = hop1[n1].
+	hop2 := blocks[1]
+	if math.Abs(hop2[0][0]-hop1[1][0]) > 1e-12 {
+		t.Errorf("hop2[n0] = %v, want hop1[n1] = %v", hop2[0], hop1[1])
+	}
+}
+
+// A node with no neighbours propagates to the zero vector, not NaN.
+func TestPropagateBlocksIsolatedNode(t *testing.T) {
+	g := hin.New("a")
+	g.AddNode("", []float64{1})
+	g.AddNode("", []float64{2})
+	g.AddRelation("r", false)
+	blocks := propagateBlocks(g, [][]float64{{1}, {2}}, 1)
+	for i, row := range blocks[0] {
+		if row[0] != 0 {
+			t.Errorf("isolated node %d propagated %v, want 0", i, row)
+		}
+	}
+}
+
+// GI label blocks are built from the training labels only: relabelling a
+// test node must not change its input representation.
+func TestGraphInceptionUsesTrainingLabelsOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, _, _ := maskedProblem(rng, 60, 0.3)
+	gi := &GraphInception{Depth: 1, Hidden: 8, Epochs: 5}
+	s1, err := gi.Scores(g, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := gi.Scores(g, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1.Data {
+		if s1.Data[i] != s2.Data[i] {
+			t.Fatalf("GI not deterministic under fixed RNG")
+		}
+	}
+}
+
+func TestGraphInceptionDefaults(t *testing.T) {
+	gi := &GraphInception{} // zero value must self-correct
+	rng := rand.New(rand.NewSource(9))
+	g, _, _ := maskedProblem(rng, 40, 0.4)
+	if _, err := gi.Scores(g, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatalf("zero-value GI should run with defaults: %v", err)
+	}
+}
+
+func TestEMRCustomBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, truth, testMask := maskedProblem(rng, 80, 0.4)
+	emr := &EMR{Rounds: 3}
+	scores, err := emr.Scores(g, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := evalAccuracy(Predict(scores), truth, testMask); acc < 0.4 {
+		t.Errorf("EMR accuracy %.3f too low", acc)
+	}
+}
+
+func evalAccuracy(pred, truth []int, mask []bool) float64 {
+	hits, total := 0, 0
+	for i := range pred {
+		if !mask[i] || truth[i] < 0 {
+			continue
+		}
+		total++
+		if pred[i] == truth[i] {
+			hits++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+func TestHighwayNetEpochsOverride(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g, _, _ := maskedProblem(rng, 40, 0.4)
+	hn := &HighwayNet{Hidden: 8, Depth: 1, Epochs: 2}
+	if _, err := hn.Scores(g, rand.New(rand.NewSource(4))); err != nil {
+		t.Fatalf("HN with overridden epochs failed: %v", err)
+	}
+}
+
+func TestHighwayNetRequiresFeatures(t *testing.T) {
+	g := hin.New("a")
+	id := g.AddNode("", nil)
+	g.SetLabels(id, 0)
+	for _, m := range []Method{NewHighwayNet(), NewGraphInception()} {
+		if _, err := m.Scores(g, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("%s without features should error", m.Name())
+		}
+	}
+}

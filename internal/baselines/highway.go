@@ -1,0 +1,81 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tmark/internal/hin"
+	"tmark/internal/nn"
+	"tmark/internal/vec"
+)
+
+// HighwayNet is the Highway Network baseline (Srivastava et al. 2015): a
+// gated deep network over the node content features only. It sees no
+// relational structure at all, which places it between the feature-only
+// and relational methods in the paper's tables.
+type HighwayNet struct {
+	// Hidden is the width of the gated stack.
+	Hidden int
+	// Depth is the number of highway layers.
+	Depth int
+	// Epochs overrides the training epochs (0 = default).
+	Epochs int
+	// Dropout is the rate applied after the input projection; 0 disables.
+	Dropout float64
+}
+
+// NewHighwayNet returns the configuration used in the experiments.
+func NewHighwayNet() *HighwayNet { return &HighwayNet{Hidden: 32, Depth: 2, Dropout: 0.1} }
+
+// Name implements Method.
+func (h *HighwayNet) Name() string { return "HN" }
+
+// Scores implements Method.
+func (h *HighwayNet) Scores(g *hin.Graph, rng *rand.Rand) (*vec.Matrix, error) {
+	features := g.FeatureMatrix()
+	if len(features) == 0 || features[0] == nil {
+		return nil, fmt.Errorf("baselines: HN requires node features")
+	}
+	dim, q := len(features[0]), g.Q()
+	hidden := h.Hidden
+	if hidden <= 0 {
+		hidden = 32
+	}
+	depth := h.Depth
+	if depth <= 0 {
+		depth = 2
+	}
+	layers := []nn.Layer{nn.NewDense(dim, hidden, nn.ReLU, rng)}
+	if h.Dropout > 0 {
+		layers = append(layers, nn.NewDropout(hidden, h.Dropout, rng))
+	}
+	for d := 0; d < depth; d++ {
+		layers = append(layers, nn.NewHighway(hidden, rng))
+	}
+	layers = append(layers, nn.NewDense(hidden, q, nn.Linear, rng))
+	net, err := nn.NewNetwork(layers...)
+	if err != nil {
+		return nil, err
+	}
+	trainIdx, trainLabels := trainingSet(g)
+	if len(trainIdx) == 0 {
+		return nil, fmt.Errorf("baselines: HN needs labelled nodes")
+	}
+	X := make([][]float64, len(trainIdx))
+	for p, i := range trainIdx {
+		X[p] = features[i]
+	}
+	cfg := nn.DefaultTrainConfig(rng.Int63())
+	if h.Epochs > 0 {
+		cfg.Epochs = h.Epochs
+	}
+	if _, err := net.Fit(X, trainLabels, cfg); err != nil {
+		return nil, err
+	}
+	scores := vec.NewMatrix(g.N(), q)
+	for i := 0; i < g.N(); i++ {
+		copy(scores.Row(i), net.Probabilities(features[i]))
+	}
+	clampTraining(g, scores)
+	return scores, nil
+}

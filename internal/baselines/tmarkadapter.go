@@ -1,0 +1,81 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"tmark/internal/hin"
+	"tmark/internal/tmark"
+	"tmark/internal/vec"
+)
+
+// TMark adapts the core algorithm to the Method interface so the
+// experiment harness can sweep it alongside the baselines. With ICA=false
+// it is the TensorRrCc predecessor (Han et al., ICDM 2017).
+type TMark struct {
+	// Config holds the hyper-parameters; zero value uses the paper's
+	// defaults.
+	Config tmark.Config
+	// ICA toggles the iterative label update (T-Mark vs TensorRrCc).
+	ICA bool
+}
+
+// NewTMark returns the full algorithm with the paper's default parameters.
+func NewTMark() *TMark { return &TMark{Config: tmark.DefaultConfig(), ICA: true} }
+
+// NewTensorRrCc returns the ICDM'17 predecessor (no ICA label update).
+func NewTensorRrCc() *TMark {
+	cfg := tmark.DefaultConfig()
+	cfg.ICAUpdate = false
+	return &TMark{Config: cfg}
+}
+
+// Name implements Method.
+func (t *TMark) Name() string {
+	if t.ICA {
+		return "T-Mark"
+	}
+	return "TensorRrCc"
+}
+
+// Scores implements Method.
+func (t *TMark) Scores(g *hin.Graph, rng *rand.Rand) (*vec.Matrix, error) {
+	cfg := t.Config
+	if cfg.MaxIterations == 0 {
+		cfg = tmark.DefaultConfig()
+	}
+	cfg.ICAUpdate = t.ICA
+	model, err := tmark.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := model.Run()
+	scores := res.LiftedProbabilities()
+	clampTraining(g, scores)
+	return scores, nil
+}
+
+// Compile-time interface checks for every method in the package.
+var (
+	_ Method = (*ICA)(nil)
+	_ Method = (*Hcc)(nil)
+	_ Method = (*WVRN)(nil)
+	_ Method = (*EMR)(nil)
+	_ Method = (*HighwayNet)(nil)
+	_ Method = (*GraphInception)(nil)
+	_ Method = (*TMark)(nil)
+)
+
+// All returns the paper's nine-method comparison suite in table order.
+func All() []Method {
+	return []Method{
+		NewTMark(),
+		NewTensorRrCc(),
+		NewGraphInception(),
+		NewHighwayNet(),
+		NewHcc(),
+		NewHccSS(),
+		NewWVRN(),
+		NewEMR(),
+		NewICA(),
+	}
+}

@@ -1,0 +1,93 @@
+package classify
+
+import (
+	"errors"
+	"math"
+)
+
+// NaiveBayes trains a multinomial naive Bayes classifier, the classic
+// choice for bag-of-words features. Features must be nonnegative counts or
+// weights. Smoothing is the Laplace/Lidstone additive constant.
+type NaiveBayes struct {
+	Smoothing float64
+}
+
+// NewNaiveBayes returns a trainer with Laplace smoothing.
+func NewNaiveBayes() *NaiveBayes { return &NaiveBayes{Smoothing: 1} }
+
+// Train implements Trainer.
+func (t *NaiveBayes) Train(X [][]float64, y []int, q int) (Model, error) {
+	dim, err := validateTrainingSet(X, y, q)
+	if err != nil {
+		return nil, err
+	}
+	smooth := t.Smoothing
+	if smooth <= 0 {
+		smooth = 1
+	}
+	for i, row := range X {
+		for _, v := range row {
+			if v < 0 {
+				return nil, errors.New("classify: naive Bayes requires nonnegative features")
+			}
+		}
+		_ = i
+	}
+	m := &bayesModel{q: q, dim: dim,
+		logPrior: make([]float64, q),
+		logCond:  make([]float64, q*dim),
+	}
+	classCount := make([]float64, q)
+	featSum := make([]float64, q*dim)
+	for i, row := range X {
+		c := y[i]
+		classCount[c]++
+		for d, v := range row {
+			featSum[c*dim+d] += v
+		}
+	}
+	total := float64(len(X))
+	for c := 0; c < q; c++ {
+		m.logPrior[c] = math.Log((classCount[c] + smooth) / (total + smooth*float64(q)))
+		var classTotal float64
+		for d := 0; d < dim; d++ {
+			classTotal += featSum[c*dim+d]
+		}
+		denom := math.Log(classTotal + smooth*float64(dim))
+		for d := 0; d < dim; d++ {
+			m.logCond[c*dim+d] = math.Log(featSum[c*dim+d]+smooth) - denom
+		}
+	}
+	return m, nil
+}
+
+type bayesModel struct {
+	q, dim   int
+	logPrior []float64
+	logCond  []float64
+}
+
+func (m *bayesModel) Classes() int { return m.q }
+
+func (m *bayesModel) Probabilities(x []float64) []float64 {
+	p := make([]float64, m.q)
+	for c := 0; c < m.q; c++ {
+		s := m.logPrior[c]
+		row := m.logCond[c*m.dim : (c+1)*m.dim]
+		for d, v := range x {
+			if d >= m.dim {
+				break
+			}
+			if v != 0 {
+				s += v * row[d]
+			}
+		}
+		p[c] = s
+	}
+	softmaxInPlace(p) // log-probabilities → normalised posterior
+	return p
+}
+
+func (m *bayesModel) Predict(x []float64) int {
+	return argmax(m.Probabilities(x))
+}

@@ -1,0 +1,96 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CVResult reports a cross-validation run.
+type CVResult struct {
+	FoldAccuracies []float64
+	Mean, Std      float64
+}
+
+// CrossValidate estimates a trainer's accuracy with k-fold cross
+// validation over the labelled examples. Folds are a deterministic
+// shuffle of rng; k is clamped to the example count.
+func CrossValidate(tr Trainer, X [][]float64, y []int, q, k int, rng *rand.Rand) (CVResult, error) {
+	if _, err := validateTrainingSet(X, y, q); err != nil {
+		return CVResult{}, err
+	}
+	if k < 2 {
+		return CVResult{}, fmt.Errorf("classify: cross validation needs k >= 2, got %d", k)
+	}
+	if k > len(X) {
+		k = len(X)
+	}
+	order := rng.Perm(len(X))
+	var res CVResult
+	for fold := 0; fold < k; fold++ {
+		var trainX, testX [][]float64
+		var trainY, testY []int
+		for pos, idx := range order {
+			if pos%k == fold {
+				testX = append(testX, X[idx])
+				testY = append(testY, y[idx])
+			} else {
+				trainX = append(trainX, X[idx])
+				trainY = append(trainY, y[idx])
+			}
+		}
+		if len(trainX) == 0 || len(testX) == 0 {
+			continue
+		}
+		model, err := tr.Train(trainX, trainY, q)
+		if err != nil {
+			return CVResult{}, fmt.Errorf("classify: fold %d: %w", fold, err)
+		}
+		hits := 0
+		for i, x := range testX {
+			if model.Predict(x) == testY[i] {
+				hits++
+			}
+		}
+		res.FoldAccuracies = append(res.FoldAccuracies, float64(hits)/float64(len(testX)))
+	}
+	if len(res.FoldAccuracies) == 0 {
+		return CVResult{}, fmt.Errorf("classify: no usable folds")
+	}
+	var sum float64
+	for _, a := range res.FoldAccuracies {
+		sum += a
+	}
+	res.Mean = sum / float64(len(res.FoldAccuracies))
+	var variance float64
+	for _, a := range res.FoldAccuracies {
+		variance += (a - res.Mean) * (a - res.Mean)
+	}
+	res.Std = math.Sqrt(variance / float64(len(res.FoldAccuracies)))
+	return res, nil
+}
+
+// SelectTrainer cross-validates each candidate and returns the index of
+// the best by mean accuracy (ties to the earlier candidate).
+func SelectTrainer(candidates []Trainer, X [][]float64, y []int, q, k int, rng *rand.Rand) (best int, results []CVResult, err error) {
+	if len(candidates) == 0 {
+		return 0, nil, fmt.Errorf("classify: no candidates")
+	}
+	results = make([]CVResult, len(candidates))
+	bestMean := -1.0
+	// Every candidate sees identical folds: one shared fold seed drawn
+	// from the caller's RNG.
+	foldSeed := rng.Int63()
+	for i, tr := range candidates {
+		res, cvErr := CrossValidate(tr, X, y, q, k, rand.New(rand.NewSource(foldSeed)))
+		if cvErr != nil {
+			return 0, nil, cvErr
+		}
+		results[i] = res
+		if res.Mean > bestMean {
+			bestMean = res.Mean
+			best = i
+		}
+	}
+	return best, results, nil
+}

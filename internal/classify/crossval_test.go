@@ -1,0 +1,92 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCrossValidateSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := blobs(rng, 120)
+	res, err := CrossValidate(NewLogistic(1), X, y, 2, 5, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldAccuracies) != 5 {
+		t.Fatalf("folds = %d, want 5", len(res.FoldAccuracies))
+	}
+	if res.Mean < 0.95 {
+		t.Errorf("CV mean %.3f on separable blobs, want >= 0.95", res.Mean)
+	}
+	if res.Std < 0 || math.IsNaN(res.Std) {
+		t.Errorf("bad std %v", res.Std)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := blobs(rng, 20)
+	if _, err := CrossValidate(NewLogistic(1), X, y, 2, 1, rng); err == nil {
+		t.Errorf("k=1 should error")
+	}
+	if _, err := CrossValidate(NewLogistic(1), nil, nil, 2, 3, rng); err == nil {
+		t.Errorf("empty set should error")
+	}
+}
+
+func TestCrossValidateClampsK(t *testing.T) {
+	X := [][]float64{{0}, {1}, {0}, {1}}
+	y := []int{0, 1, 0, 1}
+	res, err := CrossValidate(NewKNN(), X, y, 2, 99, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldAccuracies) > 4 {
+		t.Errorf("folds = %d, want <= 4 (clamped)", len(res.FoldAccuracies))
+	}
+}
+
+func TestSelectTrainerPrefersBetterModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Bag-of-words: naive Bayes and logistic should both beat a
+	// deliberately crippled SVM (zero epochs of training signal).
+	X, y := bagOfWords(rng, 240, 30)
+	candidates := []Trainer{
+		&SVM{Epochs: 1, Lambda: 10, Seed: 1}, // under-trained, over-regularised
+		NewLogistic(1),
+	}
+	best, results, err := SelectTrainer(candidates, X, y, 3, 4, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	if best != 1 {
+		t.Errorf("SelectTrainer picked %d (means %.3f vs %.3f), want logistic",
+			best, results[0].Mean, results[1].Mean)
+	}
+}
+
+func TestSelectTrainerEmpty(t *testing.T) {
+	if _, _, err := SelectTrainer(nil, nil, nil, 1, 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Errorf("no candidates should error")
+	}
+}
+
+func TestSelectTrainerSharedFolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X, y := blobs(rng, 60)
+	// The same trainer twice must produce identical CV results (identical
+	// folds and identical training).
+	_, results, err := SelectTrainer([]Trainer{NewLogistic(3), NewLogistic(3)}, X, y, 2, 4, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range results[0].FoldAccuracies {
+		if results[0].FoldAccuracies[f] != results[1].FoldAccuracies[f] {
+			t.Fatalf("identical candidates saw different folds")
+		}
+	}
+}

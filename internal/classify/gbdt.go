@@ -1,0 +1,133 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GBDT trains gradient-boosted regression trees with the multiclass
+// softmax objective — the learner family the paper's related work cites
+// for heterogeneous-source fusion (Shi et al.'s stochastic gradient
+// boosting). Each boosting round fits one depth-limited tree per class to
+// the softmax residuals, with Newton leaf values and shrinkage.
+type GBDT struct {
+	Rounds    int
+	MaxDepth  int
+	MinLeaf   int
+	Shrinkage float64
+	// Subsample draws this fraction of examples per round (stochastic
+	// gradient boosting); 1 uses everything.
+	Subsample float64
+	Seed      int64
+}
+
+// NewGBDT returns a trainer with small-data-friendly defaults.
+func NewGBDT(seed int64) *GBDT {
+	return &GBDT{Rounds: 40, MaxDepth: 3, MinLeaf: 2, Shrinkage: 0.2, Subsample: 0.8, Seed: seed}
+}
+
+// String identifies the trainer in tables.
+func (t *GBDT) String() string { return "gbdt" }
+
+// Train implements Trainer.
+func (t *GBDT) Train(X [][]float64, y []int, q int) (Model, error) {
+	if _, err := validateTrainingSet(X, y, q); err != nil {
+		return nil, err
+	}
+	rounds := t.Rounds
+	if rounds <= 0 {
+		rounds = 40
+	}
+	depth := t.MaxDepth
+	if depth <= 0 {
+		depth = 3
+	}
+	minLeaf := t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	shrink := t.Shrinkage
+	if shrink <= 0 || shrink > 1 {
+		shrink = 0.2
+	}
+	subsample := t.Subsample
+	if subsample <= 0 || subsample > 1 {
+		subsample = 1
+	}
+
+	n := len(X)
+	rng := rand.New(rand.NewSource(t.Seed))
+	scores := make([][]float64, n) // F_k(x_i)
+	for i := range scores {
+		scores[i] = make([]float64, q)
+	}
+	probs := make([]float64, q)
+	gradients := make([]float64, n)
+	hessians := make([]float64, n)
+
+	m := &gbdtModel{q: q}
+	for round := 0; round < rounds; round++ {
+		// Round sample (stochastic boosting).
+		var samples []int
+		for i := 0; i < n; i++ {
+			if subsample == 1 || rng.Float64() < subsample {
+				samples = append(samples, i)
+			}
+		}
+		if len(samples) == 0 {
+			samples = append(samples, rng.Intn(n))
+		}
+		roundTrees := make([]*regTree, q)
+		for c := 0; c < q; c++ {
+			for i := 0; i < n; i++ {
+				copy(probs, scores[i])
+				softmaxInPlace(probs)
+				indicator := 0.0
+				if y[i] == c {
+					indicator = 1
+				}
+				gradients[i] = indicator - probs[c]
+				// Softmax hessian diagonal, with the usual multiclass
+				// correction factor (q-1)/q.
+				hessians[i] = math.Max(probs[c]*(1-probs[c])*float64(q-1)/float64(q), 1e-6)
+			}
+			tree := fitRegTree(X, gradients, samples, treeParams{
+				maxDepth:    depth,
+				minLeaf:     minLeaf,
+				minGain:     1e-9,
+				leafShrink:  shrink,
+				hessianFunc: func(i int) float64 { return hessians[i] },
+			})
+			roundTrees[c] = tree
+			for i := 0; i < n; i++ {
+				scores[i][c] += tree.predict(X[i])
+			}
+		}
+		m.trees = append(m.trees, roundTrees)
+	}
+	return m, nil
+}
+
+type gbdtModel struct {
+	q     int
+	trees [][]*regTree // [round][class]
+}
+
+func (m *gbdtModel) Classes() int { return m.q }
+
+func (m *gbdtModel) Probabilities(x []float64) []float64 {
+	scores := make([]float64, m.q)
+	for _, round := range m.trees {
+		for c, tree := range round {
+			scores[c] += tree.predict(x)
+		}
+	}
+	softmaxInPlace(scores)
+	return scores
+}
+
+func (m *gbdtModel) Predict(x []float64) int {
+	return argmax(m.Probabilities(x))
+}
+
+var _ Trainer = (*GBDT)(nil)

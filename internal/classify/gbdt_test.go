@@ -1,0 +1,153 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRegTreeFitsSteps(t *testing.T) {
+	// A step function in one dimension: the tree must find the boundary.
+	X := [][]float64{{0}, {1}, {2}, {3}, {10}, {11}, {12}, {13}}
+	targets := []float64{1, 1, 1, 1, -1, -1, -1, -1}
+	samples := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	tree := fitRegTree(X, targets, samples, treeParams{maxDepth: 2, minLeaf: 1, leafShrink: 1})
+	if got := tree.predict([]float64{1.5}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("left side = %v, want 1", got)
+	}
+	if got := tree.predict([]float64{12.5}); math.Abs(got+1) > 1e-9 {
+		t.Errorf("right side = %v, want -1", got)
+	}
+	if d := tree.depth(); d != 1 {
+		t.Errorf("depth = %d, want 1 (single split suffices)", d)
+	}
+}
+
+func TestRegTreeDepthLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	X := make([][]float64, n)
+	targets := make([]float64, n)
+	samples := make([]int, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64()}
+		targets[i] = rng.NormFloat64()
+		samples[i] = i
+	}
+	tree := fitRegTree(X, targets, samples, treeParams{maxDepth: 3, minLeaf: 1, leafShrink: 1})
+	if d := tree.depth(); d > 3 {
+		t.Errorf("depth = %d exceeds limit 3", d)
+	}
+}
+
+func TestRegTreeConstantTargetsSingleLeaf(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}}
+	targets := []float64{5, 5, 5}
+	tree := fitRegTree(X, targets, []int{0, 1, 2}, treeParams{maxDepth: 4, minLeaf: 1, minGain: 1e-9, leafShrink: 1})
+	if !tree.isLeaf[0] {
+		t.Errorf("constant targets should produce a single leaf")
+	}
+	if got := tree.predict([]float64{9}); math.Abs(got-5) > 1e-9 {
+		t.Errorf("leaf value = %v, want 5", got)
+	}
+}
+
+func TestGBDTBlobsAndXor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, y := blobs(rng, 160)
+	m, err := NewGBDT(1).Train(X, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X, y); acc < 0.95 {
+		t.Errorf("GBDT blob accuracy %.3f, want >= 0.95", acc)
+	}
+
+	// XOR is the classic linearly inseparable case trees handle natively.
+	var xorX [][]float64
+	var xorY []int
+	for i := 0; i < 120; i++ {
+		a, b := rng.Intn(2), rng.Intn(2)
+		xorX = append(xorX, []float64{float64(a) + rng.NormFloat64()*0.1, float64(b) + rng.NormFloat64()*0.1})
+		xorY = append(xorY, a^b)
+	}
+	mx, err := NewGBDT(1).Train(xorX, xorY, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(mx, xorX, xorY); acc < 0.95 {
+		t.Errorf("GBDT XOR accuracy %.3f, want >= 0.95 (linear models get ~0.5)", acc)
+	}
+}
+
+func TestGBDTMulticlassBagOfWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := bagOfWords(rng, 240, 30)
+	testX, testY := bagOfWords(rng, 120, 30)
+	m, err := NewGBDT(1).Train(X, y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, testX, testY); acc < 0.8 {
+		t.Errorf("GBDT bag-of-words accuracy %.3f, want >= 0.8", acc)
+	}
+}
+
+func TestGBDTProbabilitiesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X, y := blobs(rng, 60)
+	m, err := NewGBDT(2).Train(X, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p := m.Probabilities(X[i])
+		var sum float64
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("bad probability %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum %v", sum)
+		}
+		if m.Classes() != 2 {
+			t.Fatalf("Classes = %d", m.Classes())
+		}
+	}
+}
+
+func TestGBDTDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := blobs(rng, 80)
+	m1, err := NewGBDT(7).Train(X, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewGBDT(7).Train(X, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p1, p2 := m1.Probabilities(X[i]), m2.Probabilities(X[i])
+		for c := range p1 {
+			if p1[c] != p2[c] {
+				t.Fatalf("GBDT not deterministic")
+			}
+		}
+	}
+}
+
+func TestGBDTValidation(t *testing.T) {
+	if _, err := NewGBDT(0).Train(nil, nil, 2); err == nil {
+		t.Errorf("empty set should error")
+	}
+}
+
+// GBDT must plug straight into the collective-classification engine.
+func TestGBDTAsICABase(t *testing.T) {
+	if NewGBDT(0).String() == "" {
+		t.Errorf("GBDT must identify itself")
+	}
+}

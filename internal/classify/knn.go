@@ -1,0 +1,89 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+
+	"tmark/internal/vec"
+)
+
+// KNN is a cosine-similarity k-nearest-neighbours classifier. It keeps the
+// training set and votes among the K most similar examples, weighting each
+// vote by its similarity.
+type KNN struct {
+	K int
+}
+
+// NewKNN returns a trainer with K=5.
+func NewKNN() *KNN { return &KNN{K: 5} }
+
+// Train implements Trainer.
+func (t *KNN) Train(X [][]float64, y []int, q int) (Model, error) {
+	if _, err := validateTrainingSet(X, y, q); err != nil {
+		return nil, err
+	}
+	k := t.K
+	if k <= 0 {
+		k = 5
+	}
+	if k > len(X) {
+		k = len(X)
+	}
+	// Copy the training rows so later mutation by the caller cannot change
+	// the model.
+	rows := make([][]float64, len(X))
+	for i, r := range X {
+		rows[i] = append([]float64(nil), r...)
+	}
+	return &knnModel{q: q, k: k, x: rows, y: append([]int(nil), y...)}, nil
+}
+
+type knnModel struct {
+	q, k int
+	x    [][]float64
+	y    []int
+}
+
+func (m *knnModel) Classes() int { return m.q }
+
+func (m *knnModel) Probabilities(x []float64) []float64 {
+	type scored struct {
+		sim float64
+		y   int
+	}
+	sims := make([]scored, len(m.x))
+	for i, row := range m.x {
+		sims[i] = scored{sim: vec.Cosine(row, x), y: m.y[i]}
+	}
+	sort.SliceStable(sims, func(a, b int) bool { return sims[a].sim > sims[b].sim })
+	p := make([]float64, m.q)
+	for _, s := range sims[:m.k] {
+		w := s.sim
+		if w <= 0 {
+			w = 1e-9 // keep zero-similarity neighbours as weak votes
+		}
+		p[s.y] += w
+	}
+	if !vec.Normalize1(p) {
+		// Degenerate: fall back to uniform.
+		for c := range p {
+			p[c] = 1 / float64(m.q)
+		}
+	}
+	return p
+}
+
+func (m *knnModel) Predict(x []float64) int {
+	return argmax(m.Probabilities(x))
+}
+
+var _ Trainer = (*KNN)(nil)
+var _ Trainer = (*SVM)(nil)
+var _ Trainer = (*NaiveBayes)(nil)
+var _ Trainer = (*Logistic)(nil)
+
+// String implementations make experiment tables self-describing.
+func (t *KNN) String() string        { return fmt.Sprintf("knn(k=%d)", t.K) }
+func (t *SVM) String() string        { return fmt.Sprintf("svm(epochs=%d)", t.Epochs) }
+func (t *NaiveBayes) String() string { return "naive-bayes" }
+func (t *Logistic) String() string   { return fmt.Sprintf("logistic(epochs=%d)", t.Epochs) }

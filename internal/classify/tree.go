@@ -1,0 +1,170 @@
+package classify
+
+import (
+	"math"
+	"sort"
+)
+
+// regTree is a depth-limited regression tree fitted by variance-reduction
+// splits; it is the weak learner inside GBDT.
+type regTree struct {
+	// Internal nodes: feature + threshold, children indices.
+	// Leaves: value. Stored flat to keep the structure allocation-light.
+	feature   []int
+	threshold []float64
+	left      []int32
+	right     []int32
+	value     []float64
+	isLeaf    []bool
+}
+
+// treeParams controls the fit.
+type treeParams struct {
+	maxDepth    int
+	minLeaf     int
+	minGain     float64
+	leafShrink  float64 // Newton-step damping applied to leaf values
+	hessianFunc func(idx int) float64
+}
+
+// fitRegTree fits targets (gradients) over X restricted to the given
+// sample indices.
+func fitRegTree(X [][]float64, targets []float64, samples []int, p treeParams) *regTree {
+	t := &regTree{}
+	t.build(X, targets, samples, p, 0)
+	return t
+}
+
+// build appends a node for the sample set and returns its index.
+func (t *regTree) build(X [][]float64, targets []float64, samples []int, p treeParams, depth int) int {
+	node := len(t.isLeaf)
+	t.feature = append(t.feature, -1)
+	t.threshold = append(t.threshold, 0)
+	t.left = append(t.left, -1)
+	t.right = append(t.right, -1)
+	t.value = append(t.value, 0)
+	t.isLeaf = append(t.isLeaf, true)
+
+	leafValue := func() float64 {
+		// Newton-ish leaf: sum(gradient) / sum(hessian); uniform hessian
+		// degrades to the mean.
+		var g, h float64
+		for _, i := range samples {
+			g += targets[i]
+			if p.hessianFunc != nil {
+				h += p.hessianFunc(i)
+			} else {
+				h++
+			}
+		}
+		if h < 1e-12 {
+			return 0
+		}
+		return p.leafShrink * g / h
+	}
+
+	if depth >= p.maxDepth || len(samples) < 2*p.minLeaf {
+		t.value[node] = leafValue()
+		return node
+	}
+
+	feat, thresh, gain := bestSplit(X, targets, samples, p.minLeaf)
+	if feat < 0 || gain < p.minGain {
+		t.value[node] = leafValue()
+		return node
+	}
+
+	var leftSet, rightSet []int
+	for _, i := range samples {
+		if X[i][feat] <= thresh {
+			leftSet = append(leftSet, i)
+		} else {
+			rightSet = append(rightSet, i)
+		}
+	}
+	t.isLeaf[node] = false
+	t.feature[node] = feat
+	t.threshold[node] = thresh
+	t.left[node] = int32(t.build(X, targets, leftSet, p, depth+1))
+	t.right[node] = int32(t.build(X, targets, rightSet, p, depth+1))
+	return node
+}
+
+// bestSplit scans every feature for the variance-minimising threshold.
+func bestSplit(X [][]float64, targets []float64, samples []int, minLeaf int) (feat int, thresh, gain float64) {
+	feat = -1
+	if len(samples) == 0 {
+		return feat, 0, 0
+	}
+	dim := len(X[samples[0]])
+	var totalSum, totalSq float64
+	for _, i := range samples {
+		totalSum += targets[i]
+		totalSq += targets[i] * targets[i]
+	}
+	n := float64(len(samples))
+	baseImpurity := totalSq - totalSum*totalSum/n
+
+	order := make([]int, len(samples))
+	for d := 0; d < dim; d++ {
+		copy(order, samples)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][d] < X[order[b]][d] })
+		var leftSum, leftSq float64
+		for pos := 0; pos < len(order)-1; pos++ {
+			i := order[pos]
+			leftSum += targets[i]
+			leftSq += targets[i] * targets[i]
+			// Can't split between equal feature values.
+			if X[order[pos]][d] == X[order[pos+1]][d] {
+				continue
+			}
+			nl := float64(pos + 1)
+			nr := n - nl
+			if int(nl) < minLeaf || int(nr) < minLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			impurity := (leftSq - leftSum*leftSum/nl) + (rightSq - rightSum*rightSum/nr)
+			if g := baseImpurity - impurity; g > gain {
+				gain = g
+				feat = d
+				thresh = (X[order[pos]][d] + X[order[pos+1]][d]) / 2
+			}
+		}
+	}
+	return feat, thresh, gain
+}
+
+// predict evaluates the tree on one example.
+func (t *regTree) predict(x []float64) float64 {
+	node := 0
+	for !t.isLeaf[node] {
+		f := t.feature[node]
+		v := 0.0
+		if f < len(x) {
+			v = x[f]
+		}
+		if v <= t.threshold[node] {
+			node = int(t.left[node])
+		} else {
+			node = int(t.right[node])
+		}
+	}
+	return t.value[node]
+}
+
+// depth reports the tree's maximum depth (for tests).
+func (t *regTree) depth() int {
+	var walk func(node, d int) int
+	walk = func(node, d int) int {
+		if t.isLeaf[node] {
+			return d
+		}
+		return int(math.Max(float64(walk(int(t.left[node]), d+1)), float64(walk(int(t.right[node]), d+1))))
+	}
+	if len(t.isLeaf) == 0 {
+		return 0
+	}
+	return walk(0, 0)
+}

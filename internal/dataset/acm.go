@@ -1,0 +1,181 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tmark/internal/hin"
+)
+
+// ACMIndexTerms are the multi-label classes of the ACM experiment
+// (synthetic stand-ins for ACM Computing Classification index terms).
+var ACMIndexTerms = []string{
+	"H.2 Database Management",
+	"H.3 Information Storage and Retrieval",
+	"I.2 Artificial Intelligence",
+	"I.5 Pattern Recognition",
+	"G.3 Probability and Statistics",
+	"H.4 Information Systems Applications",
+}
+
+// ACMLinkTypes are the six link types of the ACM network in the paper's
+// order; "citation" is the only directed one.
+var ACMLinkTypes = []string{"author", "concept", "conference", "keyword", "year", "citation"}
+
+// acmCoherence is the probability that a link of each type connects
+// publications sharing an index term. The ordering matches Fig. 5:
+// "concept" and "conference" are the most class-coherent types.
+var acmCoherence = map[string]float64{
+	"author":     0.70,
+	"concept":    0.92,
+	"conference": 0.88,
+	"keyword":    0.65,
+	"year":       0.40,
+	"citation":   0.72,
+}
+
+// acmGroupsPerType controls how many shared-attribute groups each link
+// type has (more groups → sparser per-group cliques).
+var acmGroupsPerType = map[string]int{
+	"author":     60,
+	"concept":    18,
+	"conference": 10,
+	"keyword":    50,
+	"year":       12,
+	"citation":   0, // citations are pairwise, not grouped
+}
+
+// ACMConfig parameterises the synthetic ACM publication network.
+type ACMConfig struct {
+	Seed         int64
+	Publications int
+	// ExtraLabelProb is the chance a publication carries a second (and
+	// then a third) index term, making the task genuinely multi-label.
+	ExtraLabelProb float64
+	// Vocab / TokensPerTitle / TitleFocus shape the title bag-of-words.
+	Vocab          int
+	TokensPerTitle int
+	TitleFocus     float64
+	// GroupDegree is the per-group linking degree.
+	GroupDegree int
+	// Citations is the number of directed citation edges.
+	Citations int
+}
+
+// DefaultACMConfig returns the size used by the experiments.
+func DefaultACMConfig(seed int64) ACMConfig {
+	return ACMConfig{
+		Seed:           seed,
+		Publications:   360,
+		ExtraLabelProb: 0.35,
+		Vocab:          130,
+		TokensPerTitle: 14,
+		TitleFocus:     0.45,
+		GroupDegree:    3,
+		Citations:      500,
+	}
+}
+
+// ACM generates the multi-label publication network with six link types of
+// differing class coherence.
+func ACM(cfg ACMConfig) *hin.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := hin.New(ACMIndexTerms...)
+	q := len(ACMIndexTerms)
+	classBlock := cfg.Vocab / (q + 1)
+
+	byTerm := make([][]int, q)
+	for i := 0; i < cfg.Publications; i++ {
+		primary := i % q
+		f := bagOfWords(rng, primary, q, cfg.Vocab, classBlock, cfg.TokensPerTitle, cfg.TitleFocus)
+		id := g.AddNode(fmt.Sprintf("pub-%d", i), f)
+		labels := []int{primary}
+		if rng.Float64() < cfg.ExtraLabelProb {
+			labels = append(labels, acmRelatedTerm(rng, primary, q))
+			if rng.Float64() < cfg.ExtraLabelProb/2 {
+				labels = append(labels, acmRelatedTerm(rng, primary, q))
+			}
+		}
+		labels = dedupInts(labels)
+		g.SetLabels(id, labels...)
+		for _, c := range labels {
+			byTerm[c] = append(byTerm[c], id)
+		}
+	}
+
+	n := g.N()
+	for _, typeName := range ACMLinkTypes {
+		directed := typeName == "citation"
+		rel := g.AddRelation(typeName, directed)
+		coherence := acmCoherence[typeName]
+		if typeName == "citation" {
+			for e := 0; e < cfg.Citations; e++ {
+				from := rng.Intn(n)
+				var to int
+				if rng.Float64() < coherence {
+					term := g.PrimaryLabel(from)
+					to = byTerm[term][rng.Intn(len(byTerm[term]))]
+				} else {
+					to = rng.Intn(n)
+				}
+				if to != from {
+					g.AddEdge(rel, from, to)
+				}
+			}
+			continue
+		}
+		groups := acmGroupsPerType[typeName]
+		for grp := 0; grp < groups; grp++ {
+			term := grp % q
+			// Keep the total membership (and so edge volume) comparable
+			// across link types: the relative importance of Fig. 5 must be
+			// driven by each type's class coherence, not by raw edge count.
+			size := 13*n/(10*groups) + 1 + rng.Intn(3)
+			members := make([]int, 0, size)
+			for s := 0; s < size; s++ {
+				if rng.Float64() < coherence {
+					members = append(members, byTerm[term][rng.Intn(len(byTerm[term]))])
+				} else {
+					members = append(members, rng.Intn(n))
+				}
+			}
+			linkGroup(g, rng, rel, dedupInts(members), cfg.GroupDegree)
+		}
+	}
+	return g
+}
+
+// acmRelatedTerms pairs each index term with the terms it co-occurs with
+// (databases with retrieval, AI with pattern recognition, …); secondary
+// labels come from here so multi-label structure is learnable rather than
+// random noise.
+var acmRelatedTerms = [][]int{
+	0: {1, 5}, // database → retrieval, applications
+	1: {0, 5}, // retrieval → database, applications
+	2: {3, 4}, // AI → pattern recognition, statistics
+	3: {2, 4}, // pattern recognition → AI, statistics
+	4: {2, 3}, // statistics → AI, pattern recognition
+	5: {0, 1}, // applications → database, retrieval
+}
+
+// acmRelatedTerm samples a secondary term: usually a related one, sometimes
+// anything.
+func acmRelatedTerm(rng *rand.Rand, primary, q int) int {
+	if primary < len(acmRelatedTerms) && rng.Float64() < 0.8 {
+		rel := acmRelatedTerms[primary]
+		return rel[rng.Intn(len(rel))]
+	}
+	return rng.Intn(q)
+}
+
+func dedupInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

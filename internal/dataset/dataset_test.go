@@ -1,0 +1,353 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmark/internal/hin"
+)
+
+func TestDBLPShape(t *testing.T) {
+	g := DBLP(DefaultDBLPConfig(1))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.N() != 400 {
+		t.Errorf("N = %d, want 400", g.N())
+	}
+	if g.M() != 20 {
+		t.Errorf("M = %d, want 20 conferences", g.M())
+	}
+	if g.Q() != 4 {
+		t.Errorf("Q = %d, want 4 areas", g.Q())
+	}
+	perArea := make([]int, 4)
+	for i := 0; i < g.N(); i++ {
+		perArea[g.PrimaryLabel(i)]++
+	}
+	for a, cnt := range perArea {
+		if cnt != 100 {
+			t.Errorf("area %d has %d authors, want 100", a, cnt)
+		}
+	}
+}
+
+func TestDBLPDeterministic(t *testing.T) {
+	a := DBLP(DefaultDBLPConfig(7))
+	b := DBLP(DefaultDBLPConfig(7))
+	if a.Stats().String() != b.Stats().String() {
+		t.Errorf("same seed different graphs: %v vs %v", a.Stats(), b.Stats())
+	}
+	c := DBLP(DefaultDBLPConfig(8))
+	if a.Stats().Edges == c.Stats().Edges {
+		t.Errorf("different seeds gave identical edge counts (suspicious)")
+	}
+}
+
+// The defining property: a conference's links mostly connect same-area
+// authors.
+func TestDBLPConferenceHomophily(t *testing.T) {
+	cfg := DefaultDBLPConfig(2)
+	g := DBLP(cfg)
+	cross := map[string]bool{}
+	for _, name := range cfg.CrossConferences {
+		cross[name] = true
+	}
+	var cleanSum, crossSum float64
+	cleanCount, crossCount := 0, 0
+	for k := range g.Relations {
+		var same, total float64
+		for _, e := range g.Relations[k].Edges {
+			total++
+			if g.PrimaryLabel(e.From) == g.PrimaryLabel(e.To) {
+				same++
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		hom := same / total
+		if cross[g.Relations[k].Name] {
+			crossSum += hom
+			crossCount++
+			continue
+		}
+		cleanSum += hom
+		cleanCount++
+		// Chance level is 0.25; clean conferences must stay clearly
+		// informative.
+		if hom < 0.45 {
+			t.Errorf("conference %s homophily %.2f too low", g.Relations[k].Name, hom)
+		}
+	}
+	cleanMean := cleanSum / float64(cleanCount)
+	crossMean := crossSum / float64(crossCount)
+	if cleanMean < 0.55 {
+		t.Errorf("mean clean-conference homophily %.2f, want >= 0.55", cleanMean)
+	}
+	// The designed noise venues must be clearly less informative: that gap
+	// is what T-Mark's link ranking exploits.
+	if crossMean >= cleanMean-0.1 {
+		t.Errorf("cross conferences homophily %.2f not clearly below clean %.2f", crossMean, cleanMean)
+	}
+}
+
+func TestDBLPConferenceHelpers(t *testing.T) {
+	if DBLPConferenceArea(0) != 0 || DBLPConferenceArea(7) != 1 || DBLPConferenceArea(19) != 3 {
+		t.Errorf("DBLPConferenceArea wrong")
+	}
+	if DBLPConferenceName(0) != "VLDB" || DBLPConferenceName(19) != "WSDM" {
+		t.Errorf("DBLPConferenceName wrong")
+	}
+}
+
+func TestMoviesShapeAndSparsity(t *testing.T) {
+	g := Movies(DefaultMoviesConfig(1))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.N() != 400 || g.M() != 90 || g.Q() != 5 {
+		t.Fatalf("shape %d/%d/%d, want 400/90/5", g.N(), g.M(), g.Q())
+	}
+	// Sparsity is the point of Movies: every director connects at most a
+	// handful of movies.
+	for k := range g.Relations {
+		if got := len(g.Relations[k].Edges); got > 10 {
+			t.Errorf("director %q has %d edges; link types must stay sparse", g.Relations[k].Name, got)
+		}
+	}
+	// Named directors from the paper appear as relations.
+	if g.Relations[0].Name != "Akira Kurosawa" {
+		t.Errorf("first director = %q, want a Table 5 name", g.Relations[0].Name)
+	}
+}
+
+func TestNUSTagsets(t *testing.T) {
+	t1, t2 := Tagset1(), Tagset2()
+	if len(t1) != 41 || len(t2) != 41 {
+		t.Fatalf("tag sets sized %d/%d, want 41/41", len(t1), len(t2))
+	}
+	shared := map[string]bool{}
+	for _, tag := range t1 {
+		shared[tag.Name] = true
+	}
+	overlap := 0
+	for _, tag := range t2 {
+		if shared[tag.Name] {
+			overlap++
+		}
+	}
+	if overlap != len(nusSharedTags) {
+		t.Errorf("overlap = %d, want %d", overlap, len(nusSharedTags))
+	}
+	// Tagset1 must be purer on average; Tagset2 more frequent.
+	avg := func(tags []Tag, f func(Tag) float64) float64 {
+		var s float64
+		for _, tg := range tags {
+			s += f(tg)
+		}
+		return s / float64(len(tags))
+	}
+	if avg(t1, func(tg Tag) float64 { return tg.Purity }) <= avg(t2, func(tg Tag) float64 { return tg.Purity }) {
+		t.Errorf("Tagset1 should be purer on average")
+	}
+	if avg(t2, func(tg Tag) float64 { return tg.Freq }) <= avg(t1, func(tg Tag) float64 { return tg.Freq }) {
+		t.Errorf("Tagset2 should be more frequent on average")
+	}
+}
+
+func TestNUSGraphs(t *testing.T) {
+	cfg := DefaultNUSConfig(3)
+	g1 := NUS(cfg, Tagset1())
+	g2 := NUS(cfg, Tagset2())
+	for name, g := range map[string]*hin.Graph{"tagset1": g1, "tagset2": g2} {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N() != cfg.Images || g.M() != 41 || g.Q() != 2 {
+			t.Errorf("%s: shape %d/%d/%d", name, g.N(), g.M(), g.Q())
+		}
+	}
+	// Shared tags use name-derived seeds, so their membership is identical
+	// across tag sets: edge counts for "sky" must agree.
+	if len(g1.Relations[0].Edges) != len(g2.Relations[0].Edges) {
+		t.Errorf("shared tag edges differ: %d vs %d", len(g1.Relations[0].Edges), len(g2.Relations[0].Edges))
+	}
+}
+
+// Tag purity must translate into link homophily: pure tags connect
+// same-class images far more often than frequent noisy tags.
+func TestNUSHomophilyGap(t *testing.T) {
+	cfg := DefaultNUSConfig(4)
+	homophily := func(g *hin.Graph, k int) float64 {
+		var same, total float64
+		for _, e := range g.Relations[k].Edges {
+			total++
+			if g.PrimaryLabel(e.From) == g.PrimaryLabel(e.To) {
+				same++
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return same / total
+	}
+	g1 := NUS(cfg, Tagset1())
+	g2 := NUS(cfg, Tagset2())
+	avg1, avg2 := 0.0, 0.0
+	for k := 0; k < 41; k++ {
+		avg1 += homophily(g1, k) / 41
+		avg2 += homophily(g2, k) / 41
+	}
+	if avg1 < avg2+0.1 {
+		t.Errorf("Tagset1 homophily %.2f should clearly exceed Tagset2's %.2f", avg1, avg2)
+	}
+}
+
+func TestACMShape(t *testing.T) {
+	g := ACM(DefaultACMConfig(1))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.M() != 6 || g.Q() != 6 {
+		t.Fatalf("shape M=%d Q=%d, want 6/6", g.M(), g.Q())
+	}
+	// Multi-label: a meaningful fraction of publications carries 2+ terms.
+	multi := 0
+	for i := 0; i < g.N(); i++ {
+		if len(g.Nodes[i].Labels) > 1 {
+			multi++
+		}
+	}
+	if frac := float64(multi) / float64(g.N()); frac < 0.15 {
+		t.Errorf("multi-label fraction %.2f too small", frac)
+	}
+	// Citation is the only directed relation.
+	for k := range g.Relations {
+		wantDirected := g.Relations[k].Name == "citation"
+		if g.Relations[k].Directed != wantDirected {
+			t.Errorf("relation %q directed=%v", g.Relations[k].Name, g.Relations[k].Directed)
+		}
+	}
+}
+
+// Fig. 5's premise: concept and conference links are the most coherent.
+func TestACMCoherenceOrdering(t *testing.T) {
+	g := ACM(DefaultACMConfig(2))
+	coherence := make(map[string]float64)
+	for k := range g.Relations {
+		var same, total float64
+		for _, e := range g.Relations[k].Edges {
+			total++
+			if shareLabel(g, e.From, e.To) {
+				same++
+			}
+		}
+		coherence[g.Relations[k].Name] = same / total
+	}
+	for _, weaker := range []string{"author", "keyword", "year"} {
+		if coherence["concept"] <= coherence[weaker] {
+			t.Errorf("concept coherence %.2f not above %s %.2f", coherence["concept"], weaker, coherence[weaker])
+		}
+		if coherence["conference"] <= coherence[weaker] {
+			t.Errorf("conference coherence %.2f not above %s %.2f", coherence["conference"], weaker, coherence[weaker])
+		}
+	}
+}
+
+func shareLabel(g *hin.Graph, a, b int) bool {
+	for _, c := range g.Nodes[a].Labels {
+		if g.HasLabel(b, c) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestExample(t *testing.T) {
+	g := Example()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.N() != 4 || g.M() != 3 || g.Q() != 2 {
+		t.Fatalf("shape %d/%d/%d, want 4/3/2", g.N(), g.M(), g.Q())
+	}
+	a := g.AdjacencyTensor()
+	if a.NNZ() != 7 {
+		t.Errorf("NNZ = %d, want 7", a.NNZ())
+	}
+	if !a.Irreducible() {
+		t.Errorf("example must be irreducible")
+	}
+	truth := ExampleTruth()
+	if truth[2] != 1 || truth[3] != 0 {
+		t.Errorf("ExampleTruth wrong: %v", truth)
+	}
+}
+
+func TestBagOfWordsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	doc := bagOfWords(rng, 1, 3, 40, 10, 25, 0.8)
+	if len(doc) != 40 {
+		t.Fatalf("doc length %d", len(doc))
+	}
+	var total, inClass float64
+	for w, cnt := range doc {
+		total += cnt
+		if w >= 10 && w < 20 {
+			inClass += cnt
+		}
+	}
+	if total != 25 {
+		t.Errorf("token count %v, want 25", total)
+	}
+	if inClass/total < 0.5 {
+		t.Errorf("class focus %.2f too low for focus=0.8", inClass/total)
+	}
+}
+
+func TestLinkGroupTinyGroups(t *testing.T) {
+	g := hin.New("c")
+	g.AddNode("", nil)
+	g.AddNode("", nil)
+	r := g.AddRelation("r", false)
+	rng := rand.New(rand.NewSource(1))
+	linkGroup(g, rng, r, []int{0}, 3) // singleton: no edges
+	if len(g.Relations[r].Edges) != 0 {
+		t.Errorf("singleton group must add no edges")
+	}
+	linkGroup(g, rng, r, []int{0, 1}, 3)
+	if len(g.Relations[r].Edges) == 0 {
+		t.Errorf("pair group should add edges")
+	}
+}
+
+func TestPickDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	got := pickDistinct(rng, 10, 5)
+	seen := map[int]bool{}
+	for _, x := range got {
+		if x < 0 || x >= 10 || seen[x] {
+			t.Fatalf("pickDistinct invalid: %v", got)
+		}
+		seen[x] = true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("k > n should panic")
+		}
+	}()
+	pickDistinct(rng, 3, 4)
+}
+
+func TestNameSeedStable(t *testing.T) {
+	if nameSeed("sky") != nameSeed("sky") {
+		t.Errorf("nameSeed not stable")
+	}
+	if nameSeed("sky") == nameSeed("water") {
+		t.Errorf("nameSeed collisions for distinct short names")
+	}
+	if nameSeed("sky") < 0 {
+		t.Errorf("nameSeed must be nonnegative for rand.NewSource")
+	}
+}

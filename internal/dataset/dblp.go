@@ -1,0 +1,161 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"tmark/internal/hin"
+)
+
+// DBLPAreas lists the four research areas of the DBLP benchmark.
+var DBLPAreas = []string{"DB", "DM", "AI", "IR"}
+
+// DBLPConferences maps each area to its five conferences (Table 1 of the
+// paper). The flattened order defines the 20 link types of the network.
+var DBLPConferences = [][]string{
+	{"VLDB", "SIGMOD", "ICDE", "EDBT", "PODS"},
+	{"KDD", "ICDM", "PAKDD", "SDM", "PKDD"},
+	{"IJCAI", "AAAI", "ICML", "ECML", "CVPR"},
+	{"SIGIR", "CIKM", "ECIR", "WWW", "WSDM"},
+}
+
+// DBLPConfig parameterises the synthetic DBLP author network.
+type DBLPConfig struct {
+	Seed           int64
+	AuthorsPerArea int
+	// Vocab is the bag-of-words dimensionality (split into 4 area blocks
+	// plus shared noise).
+	Vocab int
+	// TokensPerAuthor is the document length of each author's title bag.
+	TokensPerAuthor int
+	// AreaFocus is the probability a token comes from the author's own
+	// area vocabulary.
+	AreaFocus float64
+	// HomeConferenceBias is the probability a publication lands in one of
+	// the author's own-area conferences.
+	HomeConferenceBias float64
+	// CrossAreaFraction is the share of authors who genuinely work across
+	// two areas: their titles and venues mix a secondary area, which is
+	// what keeps real-DBLP accuracy below ~0.94 no matter the method.
+	CrossAreaFraction float64
+	// CrossAreaShare is how often a cross-area author's tokens/venues come
+	// from the secondary area.
+	CrossAreaShare float64
+	// PublicationsPerAuthor controls how many conference memberships each
+	// author has.
+	PublicationsPerAuthor int
+	// CoAuthorDegree is the per-conference linking degree.
+	CoAuthorDegree int
+	// CrossConferences lists venues that attract authors from every area
+	// (the paper's "noise links"): each also receives CrossAttendance
+	// random memberships. Methods that weight all link types equally pay
+	// for these; T-Mark's link ranking is designed to discount them.
+	CrossConferences []string
+	// CrossAttendance is the number of extra random memberships per cross
+	// conference.
+	CrossAttendance int
+}
+
+// DefaultDBLPConfig returns the size used by the experiments (fast yet
+// structurally faithful).
+func DefaultDBLPConfig(seed int64) DBLPConfig {
+	return DBLPConfig{
+		Seed:                  seed,
+		AuthorsPerArea:        100,
+		Vocab:                 140,
+		TokensPerAuthor:       18,
+		AreaFocus:             0.30,
+		HomeConferenceBias:    0.85,
+		PublicationsPerAuthor: 4,
+		CoAuthorDegree:        3,
+		CrossAreaFraction:     0.18,
+		CrossAreaShare:        0.45,
+		CrossConferences:      []string{"CIKM", "WWW", "CVPR"},
+		CrossAttendance:       60,
+	}
+}
+
+// DBLP generates the author classification network: 4 areas × AuthorsPerArea
+// authors, 20 conference link types, bag-of-words title features, every
+// author labelled with its research area.
+func DBLP(cfg DBLPConfig) *hin.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := hin.New(DBLPAreas...)
+	q := len(DBLPAreas)
+	classBlock := cfg.Vocab / (q + 1) // q area blocks + shared noise
+
+	// Authors. Cross-area authors mix a secondary area into both their
+	// vocabulary and (below) their venue choices.
+	secondary := make([]int, 0, q*cfg.AuthorsPerArea)
+	for area := 0; area < q; area++ {
+		for a := 0; a < cfg.AuthorsPerArea; a++ {
+			sec := area
+			if rng.Float64() < cfg.CrossAreaFraction {
+				sec = rng.Intn(q)
+			}
+			pick := func() int {
+				if sec != area && rng.Float64() < cfg.CrossAreaShare {
+					return sec
+				}
+				return area
+			}
+			f := bagOfWordsPick(rng, pick, q, cfg.Vocab, classBlock, cfg.TokensPerAuthor, cfg.AreaFocus)
+			id := g.AddNode(DBLPAreas[area]+"-author", f)
+			g.SetLabels(id, area)
+			secondary = append(secondary, sec)
+		}
+	}
+
+	// Conference link types, flattened area-major so relation k belongs to
+	// area k/5.
+	confRel := make([]int, 0, 20)
+	for area := range DBLPConferences {
+		for _, conf := range DBLPConferences[area] {
+			confRel = append(confRel, g.AddRelation(conf, false))
+			_ = area
+		}
+	}
+
+	// Conference memberships: each author publishes in a few conferences,
+	// mostly in the home area.
+	membership := make([][]int, len(confRel)) // relation → member authors
+	n := g.N()
+	for author := 0; author < n; author++ {
+		area := g.PrimaryLabel(author)
+		for p := 0; p < cfg.PublicationsPerAuthor; p++ {
+			home := area
+			if sec := secondary[author]; sec != area && rng.Float64() < cfg.CrossAreaShare {
+				home = sec
+			}
+			var conf int
+			if rng.Float64() < cfg.HomeConferenceBias {
+				conf = home*5 + rng.Intn(5)
+			} else {
+				conf = rng.Intn(len(confRel))
+			}
+			membership[conf] = append(membership[conf], author)
+		}
+	}
+	// Cross-area venues additionally attract authors from everywhere.
+	cross := make(map[string]bool, len(cfg.CrossConferences))
+	for _, name := range cfg.CrossConferences {
+		cross[name] = true
+	}
+	for k := range confRel {
+		if cross[DBLPConferenceName(k)] {
+			for a := 0; a < cfg.CrossAttendance; a++ {
+				membership[k] = append(membership[k], rng.Intn(n))
+			}
+		}
+	}
+	for k, members := range membership {
+		linkGroup(g, rng, confRel[k], members, cfg.CoAuthorDegree)
+	}
+	return g
+}
+
+// DBLPConferenceArea returns the home area index of conference link type k
+// under the flattened ordering used by DBLP.
+func DBLPConferenceArea(k int) int { return k / 5 }
+
+// DBLPConferenceName returns the conference name of link type k.
+func DBLPConferenceName(k int) string { return DBLPConferences[k/5][k%5] }

@@ -1,0 +1,33 @@
+package dataset
+
+import "tmark/internal/hin"
+
+// Example builds the worked bibliography network of Section 3.2/4.3: four
+// publications (p1..p4), relations co-author / citation / same-conference,
+// classes DM and CV, with p1 labelled DM and p2 labelled CV. The feature
+// vectors realise the cosine matrix C of Section 4.3 (p1~p4, p2~p3).
+func Example() *hin.Graph {
+	g := hin.New("DM", "CV")
+	p1 := g.AddNode("p1 (TKDE 2008)", []float64{1, 0})
+	p2 := g.AddNode("p2 (WWW 2016)", []float64{0, 1})
+	p3 := g.AddNode("p3 (WWW 2019)", []float64{0, 1})
+	p4 := g.AddNode("p4 (SIGMOD 2014)", []float64{1, 0})
+
+	co := g.AddRelation("co-author", false)
+	cite := g.AddRelation("citation", true)
+	conf := g.AddRelation("same-conference", false)
+
+	g.AddEdge(co, p1, p2)   // p1 and p2 share Jiawei Han
+	g.AddEdge(cite, p3, p2) // p3 cites p2
+	g.AddEdge(cite, p3, p4) // p3 cites p4
+	g.AddEdge(cite, p4, p1) // p4 cites p1
+	g.AddEdge(conf, p2, p3) // both at WWW
+
+	g.SetLabels(p1, 0) // DM
+	g.SetLabels(p2, 1) // CV
+	return g
+}
+
+// ExampleTruth returns the ground-truth classes of the worked example
+// (p3 is CV, p4 is DM).
+func ExampleTruth() []int { return []int{0, 1, 1, 0} }

@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func synthSpec() SynthConfig {
+	return SynthConfig{
+		Seed:          1,
+		Classes:       []string{"a", "b", "c"},
+		NodesPerClass: 40,
+		Vocab:         30,
+		TokensPerNode: 10,
+		FeatureFocus:  0.6,
+		Relations: []RelationSpec{
+			{Name: "strong", Homophily: 0.9, Edges: 300},
+			{Name: "noise", Homophily: 0.0, Edges: 150, Directed: true},
+		},
+		LabelFraction: 0.5,
+	}
+}
+
+func TestSynthShape(t *testing.T) {
+	g, err := Synth(synthSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.N() != 120 || g.M() != 2 || g.Q() != 3 {
+		t.Fatalf("shape %d/%d/%d, want 120/2/3", g.N(), g.M(), g.Q())
+	}
+	labelled := 0
+	for i := 0; i < g.N(); i++ {
+		if g.Labeled(i) {
+			labelled++
+		}
+	}
+	if labelled != 60 {
+		t.Errorf("labelled = %d, want 60 (half per class)", labelled)
+	}
+	if !g.Relations[1].Directed || g.Relations[0].Directed {
+		t.Errorf("directedness not honoured")
+	}
+}
+
+func TestSynthHomophilyHonoured(t *testing.T) {
+	g, err := Synth(synthSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hom := func(k int) float64 {
+		var same, total float64
+		for _, e := range g.Relations[k].Edges {
+			total++
+			if classOf(g, e.From) == classOf(g, e.To) {
+				same++
+			}
+		}
+		return same / total
+	}
+	if h := hom(0); h < 0.8 {
+		t.Errorf("strong relation homophily %.2f, want >= 0.8", h)
+	}
+	// Chance for 3 balanced classes is 1/3.
+	if h := hom(1); h > 0.5 {
+		t.Errorf("noise relation homophily %.2f, want near chance", h)
+	}
+}
+
+// classOf recovers the construction class from the class-major layout,
+// independent of whether the node kept its label.
+func classOf(g interface{ N() int }, node int) int {
+	return node / 40
+}
+
+func TestSynthDeterministic(t *testing.T) {
+	a, err := Synth(synthSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synth(synthSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().String() != b.Stats().String() {
+		t.Errorf("same seed, different graphs")
+	}
+}
+
+func TestSynthValidation(t *testing.T) {
+	cases := []func(*SynthConfig){
+		func(c *SynthConfig) { c.Classes = nil },
+		func(c *SynthConfig) { c.NodesPerClass = 0 },
+		func(c *SynthConfig) { c.Relations = nil },
+		func(c *SynthConfig) { c.Relations[0].Homophily = 2 },
+		func(c *SynthConfig) { c.Relations[0].Edges = -1 },
+		func(c *SynthConfig) { c.LabelFraction = 1.5 },
+	}
+	for i, mutate := range cases {
+		cfg := synthSpec()
+		mutate(&cfg)
+		if _, err := Synth(cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSynthNoFeatures(t *testing.T) {
+	cfg := synthSpec()
+	cfg.FeatureFocus = 0
+	g, err := Synth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes[0].Features != nil {
+		t.Errorf("FeatureFocus=0 should generate no features")
+	}
+}

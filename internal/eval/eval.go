@@ -1,0 +1,250 @@
+// Package eval provides the evaluation machinery shared by every
+// experiment: accuracy and F1 metrics, stratified train/test splits over a
+// HIN, and a deterministic multi-trial runner reporting mean ± std, the
+// protocol the paper uses (10 random splits per labelled fraction).
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tmark/internal/hin"
+)
+
+// Accuracy returns the fraction of positions where pred equals truth,
+// restricted to indices where mask is true. A nil mask evaluates all
+// positions. Truth entries of −1 (unlabelled) are skipped.
+func Accuracy(pred, truth []int, mask []bool) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("eval: Accuracy length mismatch %d vs %d", len(pred), len(truth)))
+	}
+	hits, total := 0, 0
+	for i := range pred {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		if truth[i] < 0 {
+			continue
+		}
+		total++
+		if pred[i] == truth[i] {
+			hits++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// LabelSetF1 holds per-class counts for multi-label F1.
+type labelCounts struct{ tp, fp, fn float64 }
+
+// MacroF1 computes the macro-averaged F1 over classes for multi-label
+// predictions, restricted to masked positions (nil mask = all). Classes
+// that never occur in either truth or prediction are skipped.
+func MacroF1(pred, truth [][]int, q int, mask []bool) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("eval: MacroF1 length mismatch %d vs %d", len(pred), len(truth)))
+	}
+	counts := make([]labelCounts, q)
+	for i := range pred {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		p := toSet(pred[i])
+		t := toSet(truth[i])
+		for c := range p {
+			if t[c] {
+				counts[c].tp++
+			} else {
+				counts[c].fp++
+			}
+		}
+		for c := range t {
+			if !p[c] {
+				counts[c].fn++
+			}
+		}
+	}
+	var f1Sum float64
+	active := 0
+	for c := 0; c < q; c++ {
+		lc := counts[c]
+		if lc.tp+lc.fp+lc.fn == 0 {
+			continue
+		}
+		active++
+		if lc.tp == 0 {
+			continue // F1 = 0
+		}
+		precision := lc.tp / (lc.tp + lc.fp)
+		recall := lc.tp / (lc.tp + lc.fn)
+		f1Sum += 2 * precision * recall / (precision + recall)
+	}
+	if active == 0 {
+		return 0
+	}
+	return f1Sum / float64(active)
+}
+
+// MicroF1 computes the micro-averaged F1 over all classes jointly.
+func MicroF1(pred, truth [][]int, mask []bool) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("eval: MicroF1 length mismatch %d vs %d", len(pred), len(truth)))
+	}
+	var tp, fp, fn float64
+	for i := range pred {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		p := toSet(pred[i])
+		t := toSet(truth[i])
+		for c := range p {
+			if t[c] {
+				tp++
+			} else {
+				fp++
+			}
+		}
+		for c := range t {
+			if !p[c] {
+				fn++
+			}
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	precision := tp / (tp + fp)
+	recall := tp / (tp + fn)
+	return 2 * precision * recall / (precision + recall)
+}
+
+func toSet(labels []int) map[int]bool {
+	s := make(map[int]bool, len(labels))
+	for _, c := range labels {
+		s[c] = true
+	}
+	return s
+}
+
+// Split describes one train/test partition of a graph's nodes.
+type Split struct {
+	Train []bool // node index → in training set
+	Test  []bool
+}
+
+// StratifiedSplit samples a fraction of nodes per class into the training
+// set, matching the paper's "randomly pick up p% of the examples as the
+// training data" protocol while keeping every class represented (at least
+// one training node per nonempty class). Nodes without labels always land
+// in neither set.
+func StratifiedSplit(g *hin.Graph, trainFraction float64, rng *rand.Rand) Split {
+	if trainFraction <= 0 || trainFraction >= 1 {
+		panic(fmt.Sprintf("eval: train fraction %v out of (0,1)", trainFraction))
+	}
+	n := g.N()
+	split := Split{Train: make([]bool, n), Test: make([]bool, n)}
+	byClass := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		c := g.PrimaryLabel(i)
+		if c >= 0 {
+			byClass[c] = append(byClass[c], i)
+		}
+	}
+	for _, nodes := range byClass {
+		rng.Shuffle(len(nodes), func(a, b int) { nodes[a], nodes[b] = nodes[b], nodes[a] })
+		take := int(math.Round(trainFraction * float64(len(nodes))))
+		if take < 1 {
+			take = 1
+		}
+		if take >= len(nodes) {
+			take = len(nodes) - 1
+			if take < 1 {
+				take = 1 // single-node class: train on it, nothing to test
+			}
+		}
+		for p, node := range nodes {
+			if p < take {
+				split.Train[node] = true
+			} else {
+				split.Test[node] = true
+			}
+		}
+	}
+	return split
+}
+
+// MaskLabels returns a copy of g in which only training nodes keep their
+// labels; the full ground truth is returned separately. This is how every
+// experiment feeds a split into the semi-supervised methods.
+func MaskLabels(g *hin.Graph, split Split) (masked *hin.Graph, truth [][]int) {
+	truth = make([][]int, g.N())
+	masked = hin.New(g.Classes...)
+	for i := range g.Nodes {
+		node := g.Nodes[i]
+		masked.AddNode(node.Name, node.Features)
+		truth[i] = append([]int(nil), node.Labels...)
+		if split.Train[i] && len(node.Labels) > 0 {
+			masked.SetLabels(i, node.Labels...)
+		}
+	}
+	for k := range g.Relations {
+		r := g.Relations[k]
+		nk := masked.AddRelation(r.Name, r.Directed)
+		for _, e := range r.Edges {
+			masked.AddWeightedEdge(nk, e.From, e.To, e.Weight)
+		}
+	}
+	return masked, truth
+}
+
+// PrimaryTruth flattens multi-label ground truth to primary labels (−1 for
+// unlabelled), the form Accuracy consumes.
+func PrimaryTruth(truth [][]int) []int {
+	out := make([]int, len(truth))
+	for i, labels := range truth {
+		if len(labels) == 0 {
+			out[i] = -1
+		} else {
+			out[i] = labels[0]
+		}
+	}
+	return out
+}
+
+// TrialStats aggregates a metric over repeated trials.
+type TrialStats struct {
+	Mean, Std float64
+	Values    []float64
+}
+
+// String renders mean±std with three decimals, the paper's table format.
+func (s TrialStats) String() string { return fmt.Sprintf("%.3f±%.3f", s.Mean, s.Std) }
+
+// RunTrials runs fn for each trial with an independent deterministic RNG
+// derived from seed, and aggregates the returned metric.
+func RunTrials(trials int, seed int64, fn func(trial int, rng *rand.Rand) float64) TrialStats {
+	if trials <= 0 {
+		panic(fmt.Sprintf("eval: trials %d must be positive", trials))
+	}
+	stats := TrialStats{Values: make([]float64, trials)}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(seed + int64(trial)*7919))
+		stats.Values[trial] = fn(trial, rng)
+	}
+	var sum float64
+	for _, v := range stats.Values {
+		sum += v
+	}
+	stats.Mean = sum / float64(trials)
+	var variance float64
+	for _, v := range stats.Values {
+		d := v - stats.Mean
+		variance += d * d
+	}
+	stats.Std = math.Sqrt(variance / float64(trials))
+	return stats
+}

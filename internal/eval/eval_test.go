@@ -1,0 +1,228 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tmark/internal/hin"
+)
+
+func TestAccuracy(t *testing.T) {
+	pred := []int{0, 1, 1, 0}
+	truth := []int{0, 1, 0, -1}
+	if got := Accuracy(pred, truth, nil); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 2/3 (unlabelled skipped)", got)
+	}
+	mask := []bool{true, false, true, true}
+	if got := Accuracy(pred, truth, mask); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("masked Accuracy = %v, want 0.5", got)
+	}
+	if got := Accuracy(nil, nil, nil); got != 0 {
+		t.Errorf("empty Accuracy = %v, want 0", got)
+	}
+}
+
+func TestAccuracyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("length mismatch should panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2}, nil)
+}
+
+func TestMacroF1Perfect(t *testing.T) {
+	pred := [][]int{{0}, {1}, {0, 1}}
+	if got := MacroF1(pred, pred, 2, nil); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect MacroF1 = %v, want 1", got)
+	}
+}
+
+func TestMacroF1Partial(t *testing.T) {
+	truth := [][]int{{0}, {1}}
+	pred := [][]int{{0}, {0}}
+	// Class 0: tp=1 fp=1 fn=0 → P=0.5 R=1 F1=2/3. Class 1: tp=0 → F1=0.
+	got := MacroF1(pred, truth, 2, nil)
+	want := (2.0/3 + 0) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MacroF1 = %v, want %v", got, want)
+	}
+}
+
+func TestMacroF1SkipsInactiveClasses(t *testing.T) {
+	truth := [][]int{{0}}
+	pred := [][]int{{0}}
+	// q=5 but only class 0 active: average over active classes only.
+	if got := MacroF1(pred, truth, 5, nil); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MacroF1 with inactive classes = %v, want 1", got)
+	}
+}
+
+func TestMicroF1(t *testing.T) {
+	truth := [][]int{{0, 1}, {1}}
+	pred := [][]int{{0}, {1, 0}}
+	// tp=2 (0@0, 1@1), fp=1 (0@1), fn=1 (1@0). P=2/3 R=2/3 F1=2/3.
+	got := MicroF1(pred, truth, nil)
+	if math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("MicroF1 = %v, want 2/3", got)
+	}
+	if got := MicroF1([][]int{{1}}, [][]int{{0}}, nil); got != 0 {
+		t.Errorf("all-wrong MicroF1 = %v, want 0", got)
+	}
+}
+
+func labeledGraph(n, q int) *hin.Graph {
+	g := hin.New()
+	for c := 0; c < q; c++ {
+		g.AddClass(string(rune('A' + c)))
+	}
+	for i := 0; i < n; i++ {
+		id := g.AddNode("", []float64{float64(i)})
+		g.SetLabels(id, i%q)
+	}
+	g.AddRelation("r", false)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i-1, i)
+	}
+	return g
+}
+
+func TestStratifiedSplitFractions(t *testing.T) {
+	g := labeledGraph(100, 4)
+	rng := rand.New(rand.NewSource(1))
+	split := StratifiedSplit(g, 0.3, rng)
+	train, test := 0, 0
+	perClassTrain := make([]int, 4)
+	for i := 0; i < g.N(); i++ {
+		switch {
+		case split.Train[i] && split.Test[i]:
+			t.Fatalf("node %d in both sets", i)
+		case split.Train[i]:
+			train++
+			perClassTrain[g.PrimaryLabel(i)]++
+		case split.Test[i]:
+			test++
+		}
+	}
+	if train+test != 100 {
+		t.Errorf("train+test = %d, want 100", train+test)
+	}
+	if train < 25 || train > 35 {
+		t.Errorf("train size %d not near 30", train)
+	}
+	for c, cnt := range perClassTrain {
+		if cnt == 0 {
+			t.Errorf("class %d has no training nodes", c)
+		}
+	}
+}
+
+func TestStratifiedSplitSmallFractionKeepsOnePerClass(t *testing.T) {
+	g := labeledGraph(40, 4)
+	rng := rand.New(rand.NewSource(2))
+	split := StratifiedSplit(g, 0.01, rng)
+	perClass := make([]int, 4)
+	for i := 0; i < g.N(); i++ {
+		if split.Train[i] {
+			perClass[g.PrimaryLabel(i)]++
+		}
+	}
+	for c, cnt := range perClass {
+		if cnt != 1 {
+			t.Errorf("class %d train count = %d, want 1", c, cnt)
+		}
+	}
+}
+
+func TestStratifiedSplitPanics(t *testing.T) {
+	g := labeledGraph(10, 2)
+	for _, frac := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("fraction %v should panic", frac)
+				}
+			}()
+			StratifiedSplit(g, frac, rand.New(rand.NewSource(0)))
+		}()
+	}
+}
+
+func TestMaskLabels(t *testing.T) {
+	g := labeledGraph(10, 2)
+	rng := rand.New(rand.NewSource(3))
+	split := StratifiedSplit(g, 0.5, rng)
+	masked, truth := MaskLabels(g, split)
+	if masked.N() != g.N() || masked.M() != g.M() || masked.Q() != g.Q() {
+		t.Fatalf("masked shape changed")
+	}
+	for i := 0; i < g.N(); i++ {
+		if split.Train[i] {
+			if !masked.Labeled(i) {
+				t.Errorf("training node %d lost its label", i)
+			}
+		} else if masked.Labeled(i) {
+			t.Errorf("test node %d kept its label", i)
+		}
+		if len(truth[i]) != len(g.Nodes[i].Labels) {
+			t.Errorf("truth for node %d wrong", i)
+		}
+	}
+	// Mutating the masked graph must not touch the original labels.
+	masked.SetLabels(0, 1)
+	if g.PrimaryLabel(0) != 0 {
+		t.Errorf("MaskLabels aliased label storage")
+	}
+}
+
+func TestPrimaryTruth(t *testing.T) {
+	got := PrimaryTruth([][]int{{2, 3}, nil, {0}})
+	want := []int{2, -1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("PrimaryTruth[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunTrials(t *testing.T) {
+	stats := RunTrials(4, 1, func(trial int, rng *rand.Rand) float64 {
+		return float64(trial)
+	})
+	if math.Abs(stats.Mean-1.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 1.5", stats.Mean)
+	}
+	wantStd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 4)
+	if math.Abs(stats.Std-wantStd) > 1e-12 {
+		t.Errorf("Std = %v, want %v", stats.Std, wantStd)
+	}
+	if stats.String() == "" {
+		t.Errorf("empty String()")
+	}
+}
+
+func TestRunTrialsDeterministicRNG(t *testing.T) {
+	collect := func() []float64 {
+		s := RunTrials(3, 99, func(trial int, rng *rand.Rand) float64 { return rng.Float64() })
+		return s.Values
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial RNGs not deterministic")
+		}
+	}
+	if a[0] == a[1] {
+		t.Errorf("different trials should get different RNG streams")
+	}
+}
+
+func TestRunTrialsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("trials=0 should panic")
+		}
+	}()
+	RunTrials(0, 0, func(int, *rand.Rand) float64 { return 0 })
+}

@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// ConfusionMatrix counts (truth, predicted) pairs for single-label
+// classification; entry [t][p] is the number of masked nodes with truth t
+// predicted as p.
+type ConfusionMatrix struct {
+	Classes []string
+	Counts  [][]int
+}
+
+// Confusion builds the matrix over masked positions (nil mask = all),
+// skipping truth entries of −1.
+func Confusion(pred, truth []int, mask []bool, classes []string) *ConfusionMatrix {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("eval: Confusion length mismatch %d vs %d", len(pred), len(truth)))
+	}
+	q := len(classes)
+	cm := &ConfusionMatrix{Classes: classes, Counts: make([][]int, q)}
+	for t := range cm.Counts {
+		cm.Counts[t] = make([]int, q)
+	}
+	for i := range pred {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		t, p := truth[i], pred[i]
+		if t < 0 || t >= q || p < 0 || p >= q {
+			continue
+		}
+		cm.Counts[t][p]++
+	}
+	return cm
+}
+
+// Accuracy returns the trace fraction.
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	var hit, total float64
+	for t, row := range cm.Counts {
+		for p, c := range row {
+			total += float64(c)
+			if t == p {
+				hit += float64(c)
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return hit / total
+}
+
+// PerClassRecall returns recall per class; classes without truth examples
+// report 0.
+func (cm *ConfusionMatrix) PerClassRecall() []float64 {
+	out := make([]float64, len(cm.Classes))
+	for t, row := range cm.Counts {
+		var total float64
+		for _, c := range row {
+			total += float64(c)
+		}
+		if total > 0 {
+			out[t] = float64(cm.Counts[t][t]) / total
+		}
+	}
+	return out
+}
+
+// Format renders the matrix with class names.
+func (cm *ConfusionMatrix) Format(w io.Writer) {
+	fmt.Fprintf(w, "%-14s", "truth\\pred")
+	for _, c := range cm.Classes {
+		fmt.Fprintf(w, " %10.10s", c)
+	}
+	fmt.Fprintln(w)
+	for t, row := range cm.Counts {
+		fmt.Fprintf(w, "%-14.14s", cm.Classes[t])
+		for _, c := range row {
+			fmt.Fprintf(w, " %10d", c)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PairedTTest compares two methods' per-trial metrics (paired by trial)
+// and returns the t statistic and a conservative significance verdict at
+// the 5% level (two-sided, using the t-distribution critical values for
+// the given degrees of freedom). Positive t means a's mean exceeds b's.
+func PairedTTest(a, b []float64) (t float64, significant bool) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("eval: PairedTTest length mismatch %d vs %d", len(a), len(b)))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, false
+	}
+	diffs := make([]float64, n)
+	var mean float64
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+		mean += diffs[i]
+	}
+	mean /= float64(n)
+	var variance float64
+	for _, d := range diffs {
+		variance += (d - mean) * (d - mean)
+	}
+	variance /= float64(n - 1)
+	if variance == 0 {
+		if mean == 0 {
+			return 0, false
+		}
+		// All differences identical and nonzero: infinitely significant.
+		return math.Inf(sign(mean)), true
+	}
+	t = mean / math.Sqrt(variance/float64(n))
+	return t, math.Abs(t) > tCritical95(n-1)
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// tCritical95 returns the two-sided 5% critical value of Student's t for
+// the given degrees of freedom (tabulated; large df falls back to the
+// normal 1.96).
+func tCritical95(df int) float64 {
+	table := []float64{ // df 1..30
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	return 1.96
+}

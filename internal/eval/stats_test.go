@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionMatrix(t *testing.T) {
+	truth := []int{0, 0, 1, 1, -1}
+	pred := []int{0, 1, 1, 1, 0}
+	cm := Confusion(pred, truth, nil, []string{"a", "b"})
+	if cm.Counts[0][0] != 1 || cm.Counts[0][1] != 1 {
+		t.Errorf("row a = %v, want [1 1]", cm.Counts[0])
+	}
+	if cm.Counts[1][1] != 2 {
+		t.Errorf("b→b = %d, want 2", cm.Counts[1][1])
+	}
+	if got := cm.Accuracy(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 0.75", got)
+	}
+	recall := cm.PerClassRecall()
+	if recall[0] != 0.5 || recall[1] != 1 {
+		t.Errorf("recall = %v, want [0.5 1]", recall)
+	}
+	var buf bytes.Buffer
+	cm.Format(&buf)
+	if !strings.Contains(buf.String(), "truth\\pred") {
+		t.Errorf("Format output: %q", buf.String())
+	}
+}
+
+func TestConfusionMask(t *testing.T) {
+	truth := []int{0, 1}
+	pred := []int{0, 1}
+	cm := Confusion(pred, truth, []bool{true, false}, []string{"a", "b"})
+	if cm.Counts[1][1] != 0 {
+		t.Errorf("masked position counted")
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	cm := Confusion(nil, nil, nil, []string{"a"})
+	if cm.Accuracy() != 0 {
+		t.Errorf("empty accuracy should be 0")
+	}
+	if cm.PerClassRecall()[0] != 0 {
+		t.Errorf("empty recall should be 0")
+	}
+}
+
+func TestPairedTTestSignificance(t *testing.T) {
+	// Consistent +0.1 advantage with tiny noise: clearly significant.
+	a := []float64{0.91, 0.92, 0.90, 0.93, 0.91}
+	b := []float64{0.81, 0.82, 0.80, 0.83, 0.81}
+	tt, sig := PairedTTest(a, b)
+	if !sig || tt <= 0 {
+		t.Errorf("consistent advantage should be significant: t=%v sig=%v", tt, sig)
+	}
+	// Reversed inputs flip the sign.
+	tt2, _ := PairedTTest(b, a)
+	if tt2 >= 0 {
+		t.Errorf("reversed comparison should be negative, got %v", tt2)
+	}
+}
+
+func TestPairedTTestNoise(t *testing.T) {
+	a := []float64{0.5, 0.9, 0.2, 0.8}
+	b := []float64{0.6, 0.7, 0.4, 0.7}
+	if _, sig := PairedTTest(a, b); sig {
+		t.Errorf("noisy overlapping samples should not be significant")
+	}
+}
+
+func TestPairedTTestDegenerate(t *testing.T) {
+	if _, sig := PairedTTest([]float64{1}, []float64{0}); sig {
+		t.Errorf("single sample can never be significant")
+	}
+	if tt, sig := PairedTTest([]float64{1, 1}, []float64{1, 1}); tt != 0 || sig {
+		t.Errorf("identical samples: t=%v sig=%v", tt, sig)
+	}
+	// Constant nonzero difference: infinite t, significant.
+	tt, sig := PairedTTest([]float64{1, 1}, []float64{0, 0})
+	if !math.IsInf(tt, 1) || !sig {
+		t.Errorf("constant difference: t=%v sig=%v", tt, sig)
+	}
+}
+
+func TestPairedTTestPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("length mismatch should panic")
+		}
+	}()
+	PairedTTest([]float64{1}, []float64{1, 2})
+}
+
+func TestTCritical(t *testing.T) {
+	if got := tCritical95(1); got != 12.706 {
+		t.Errorf("df=1 critical = %v", got)
+	}
+	if got := tCritical95(100); got != 1.96 {
+		t.Errorf("large df critical = %v, want 1.96", got)
+	}
+	if !math.IsInf(tCritical95(0), 1) {
+		t.Errorf("df=0 must be infinite")
+	}
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The ablation must show every removed component costing accuracy at low
+// label rates: the full configuration beats (or ties within noise) each
+// ablated variant, and removing the relational tensor hurts the most.
+func TestAblationFullConfigurationWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep")
+	}
+	opt := Quick(1)
+	opt.Fractions = []float64{0.1, 0.5}
+	table := RunAblation(opt)
+	full := table.Mean(0.1, "full")
+	if full <= 0 {
+		t.Fatalf("ablation table missing the full variant")
+	}
+	for _, variant := range []string{"no-ICA", "no-features", "no-relations", "topK-W"} {
+		if m := table.Mean(0.1, variant); m > full+0.03 {
+			t.Errorf("ablated %s (%.3f) beats full (%.3f) at 10%%", variant, m, full)
+		}
+	}
+	if noRel := table.Mean(0.5, "no-relations"); noRel >= table.Mean(0.5, "full") {
+		t.Errorf("dropping the relational tensor should cost accuracy at 50%%: %.3f vs %.3f",
+			noRel, table.Mean(0.5, "full"))
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tmark/internal/dataset"
+	"tmark/internal/hin"
+	"tmark/internal/tmark"
+)
+
+// buildACM applies the option scale to the ACM configuration.
+func buildACM(opt Options) func(seed int64) *hin.Graph {
+	return func(seed int64) *hin.Graph {
+		cfg := dataset.DefaultACMConfig(seed)
+		cfg.Publications = opt.scaled(cfg.Publications)
+		cfg.Citations = opt.scaled(cfg.Citations)
+		return dataset.ACM(cfg)
+	}
+}
+
+// RunTable11 reproduces Table 11: multi-label classification on ACM under
+// Macro-F1 for all nine methods.
+func RunTable11(opt Options) *AccuracyTable {
+	return runSweep(opt, sweepConfig{
+		title:      "Table 11: node classification performance under Macro F1 on ACM",
+		metric:     "macro-F1",
+		build:      buildACM(opt),
+		methods:    methodSuite(acmTMarkConfig()),
+		multiShare: 0.6,
+		metricFn:   macroF1Metric,
+	})
+}
+
+// LinkImportance is the shape of Fig. 5: the stationary link-type
+// probability per class.
+type LinkImportance struct {
+	Title     string
+	LinkTypes []string
+	Classes   []string
+	Z         [][]float64 // [class][link type]
+}
+
+// Format renders one row per link type, one column per class.
+func (li *LinkImportance) Format(w io.Writer) {
+	fmt.Fprintln(w, li.Title)
+	fmt.Fprintf(w, "%-12s", "link type")
+	for _, c := range li.Classes {
+		fmt.Fprintf(w, " %10.10s", c)
+	}
+	fmt.Fprintln(w)
+	for k, name := range li.LinkTypes {
+		fmt.Fprintf(w, "%-12s", name)
+		for c := range li.Classes {
+			fmt.Fprintf(w, " %10.3f", li.Z[c][k])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// MeanImportance returns the link type's importance averaged over classes.
+func (li *LinkImportance) MeanImportance(name string) float64 {
+	for k, n := range li.LinkTypes {
+		if n != name {
+			continue
+		}
+		var sum float64
+		for c := range li.Classes {
+			sum += li.Z[c][k]
+		}
+		return sum / float64(len(li.Classes))
+	}
+	return -1
+}
+
+// RunFigure5 reproduces Fig. 5: the relative importance of the six ACM
+// link types for every index term.
+func RunFigure5(opt Options) *LinkImportance {
+	g := buildACM(opt)(opt.Seed)
+	model, err := tmark.New(g, acmTMarkConfig())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: figure 5: %v", err))
+	}
+	res := model.Run()
+	li := &LinkImportance{
+		Title:   "Figure 5: relative importance of link types on ACM (T-Mark)",
+		Classes: dataset.ACMIndexTerms,
+	}
+	for k := range g.Relations {
+		li.LinkTypes = append(li.LinkTypes, g.Relations[k].Name)
+	}
+	for c := range li.Classes {
+		li.Z = append(li.Z, res.Classes[c].Z)
+	}
+	return li
+}

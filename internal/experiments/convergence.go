@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tmark/internal/dataset"
+	"tmark/internal/hin"
+	"tmark/internal/tmark"
+)
+
+// ConvergenceCurves is the shape of Fig. 10: the per-iteration residual
+// ρ_t = ‖x_t−x_{t−1}‖ + ‖z_t−z_{t−1}‖ on the four datasets (class 0's
+// trace, which the paper plots).
+type ConvergenceCurves struct {
+	Datasets []string
+	Traces   [][]float64
+}
+
+// Format renders each dataset's residuals.
+func (cc *ConvergenceCurves) Format(w io.Writer) {
+	fmt.Fprintln(w, "Figure 10: convergence of T-Mark (rho per iteration)")
+	for d, name := range cc.Datasets {
+		fmt.Fprintf(w, "  %-8s", name)
+		for i, rho := range cc.Traces[d] {
+			if i >= 15 {
+				fmt.Fprintf(w, " …(%d iters)", len(cc.Traces[d]))
+				break
+			}
+			fmt.Fprintf(w, " %.2e", rho)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ConvergedWithin reports whether every dataset's residual fell below tol
+// within maxIter iterations — the paper's observation that convergence
+// needs roughly 10 iterations.
+func (cc *ConvergenceCurves) ConvergedWithin(tol float64, maxIter int) bool {
+	for _, trace := range cc.Traces {
+		ok := false
+		for i, rho := range trace {
+			if rho < tol && i < maxIter {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// RunFigure10 reproduces Fig. 10 on DBLP, Movies, NUS and ACM.
+func RunFigure10(opt Options) *ConvergenceCurves {
+	type entry struct {
+		name  string
+		build func(seed int64) *hin.Graph
+		cfg   tmark.Config
+	}
+	entries := []entry{
+		{"DBLP", buildDBLP(opt), dblpTMarkConfig()},
+		{"Movies", buildMovies(opt), moviesTMarkConfig()},
+		{"NUS", buildNUS(opt, dataset.Tagset1()), nusTMarkConfig()},
+		{"ACM", buildACM(opt), acmTMarkConfig()},
+	}
+	cc := &ConvergenceCurves{}
+	for _, e := range entries {
+		g := e.build(opt.Seed)
+		model, err := tmark.New(g, e.cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: figure 10 (%s): %v", e.name, err))
+		}
+		cr := model.RunClass(0)
+		cc.Datasets = append(cc.Datasets, e.name)
+		cc.Traces = append(cc.Traces, cr.Trace)
+	}
+	return cc
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"tmark/internal/baselines"
+	"tmark/internal/dataset"
+	"tmark/internal/eval"
+	"tmark/internal/hin"
+	"tmark/internal/tmark"
+)
+
+// buildDBLP applies the option scale to the default DBLP configuration.
+func buildDBLP(opt Options) func(seed int64) *hin.Graph {
+	return func(seed int64) *hin.Graph {
+		cfg := dataset.DefaultDBLPConfig(seed)
+		cfg.AuthorsPerArea = opt.scaled(cfg.AuthorsPerArea)
+		return dataset.DBLP(cfg)
+	}
+}
+
+// RunTable2 reproduces Table 2: the top-5 conferences per research area by
+// the relative link importance z̄. T-Mark is trained on a split with most
+// labels visible (the paper ranks links on the full network).
+func RunTable2(opt Options) *RankingTable {
+	g := buildDBLP(opt)(opt.Seed)
+	model, err := tmark.New(g, dblpTMarkConfig())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: table 2: %v", err))
+	}
+	res := model.Run()
+	table := &RankingTable{Title: "Table 2: top-5 conferences per research area (T-Mark link ranking)", Classes: dataset.DBLPAreas}
+	for c := range dataset.DBLPAreas {
+		var names []string
+		for _, rs := range res.LinkRanking(c)[:5] {
+			names = append(names, g.Relations[rs.Relation].Name)
+		}
+		table.Ranked = append(table.Ranked, names)
+	}
+	return table
+}
+
+// RunTable3 reproduces Table 3: node classification accuracy on DBLP for
+// all nine methods across labelled fractions.
+func RunTable3(opt Options) *AccuracyTable {
+	return runSweep(opt, sweepConfig{
+		title:    "Table 3: node classification accuracy on DBLP",
+		metric:   "accuracy",
+		build:    buildDBLP(opt),
+		methods:  methodSuite(dblpTMarkConfig()),
+		metricFn: accuracyMetric,
+	})
+}
+
+// ParamSweep is the shape of Figures 6-9: metric versus one hyper-parameter.
+type ParamSweep struct {
+	Title     string
+	Parameter string
+	Values    []float64
+	Accuracy  []eval.TrialStats
+}
+
+// Format renders one (value, accuracy) row per sweep point.
+func (p *ParamSweep) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s\n%-8s accuracy\n", p.Title, p.Parameter)
+	for i, v := range p.Values {
+		fmt.Fprintf(w, "%-8.2f %s\n", v, p.Accuracy[i].String())
+	}
+}
+
+// Best returns the parameter value with the highest mean accuracy.
+func (p *ParamSweep) Best() float64 {
+	best, arg := -1.0, 0.0
+	for i, s := range p.Accuracy {
+		if s.Mean > best {
+			best, arg = s.Mean, p.Values[i]
+		}
+	}
+	return arg
+}
+
+// runParamSweep evaluates T-Mark accuracy while varying one parameter.
+func runParamSweep(opt Options, title, param string, values []float64,
+	build func(seed int64) *hin.Graph, base tmark.Config, apply func(*tmark.Config, float64)) *ParamSweep {
+	sweep := &ParamSweep{Title: title, Parameter: param, Values: values}
+	full := build(opt.Seed)
+	const fraction = 0.1
+	for _, v := range values {
+		cfg := base
+		apply(&cfg, v)
+		method := &baselines.TMark{Config: cfg, ICA: true}
+		stats := eval.RunTrials(opt.Trials, opt.Seed*17+int64(v*1000), func(trial int, rng *rand.Rand) float64 {
+			split := eval.StratifiedSplit(full, fraction, rng)
+			masked, truth := eval.MaskLabels(full, split)
+			scores, err := method.Scores(masked, rng)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: %s: %v", title, err))
+			}
+			return eval.Accuracy(baselines.Predict(scores), eval.PrimaryTruth(truth), split.Test)
+		})
+		sweep.Accuracy = append(sweep.Accuracy, stats)
+	}
+	return sweep
+}
+
+// AlphaValues is the α grid of Figures 6 and 7.
+var AlphaValues = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99}
+
+// GammaValues is the γ grid of Figures 8 and 9.
+var GammaValues = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+
+// RunFigure6 reproduces Fig. 6: accuracy vs α on DBLP.
+func RunFigure6(opt Options) *ParamSweep {
+	return runParamSweep(opt, "Figure 6: T-Mark accuracy vs alpha on DBLP", "alpha", AlphaValues,
+		buildDBLP(opt), dblpTMarkConfig(), func(c *tmark.Config, v float64) { c.Alpha = v })
+}
+
+// RunFigure8 reproduces Fig. 8: accuracy vs γ on DBLP.
+func RunFigure8(opt Options) *ParamSweep {
+	return runParamSweep(opt, "Figure 8: T-Mark accuracy vs gamma on DBLP", "gamma", GammaValues,
+		buildDBLP(opt), dblpTMarkConfig(), func(c *tmark.Config, v float64) { c.Gamma = v })
+}

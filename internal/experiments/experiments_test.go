@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tmark/internal/dataset"
+	"tmark/internal/eval"
+)
+
+// Experiment tests check the qualitative shape the paper reports, not the
+// absolute numbers: who wins, what's flat, where the crossovers fall.
+
+func TestWorkedExample(t *testing.T) {
+	we := RunWorkedExample()
+	if !we.Correct {
+		t.Fatalf("worked example misclassified: pred=%v truth=%v", we.Predictions, we.Truth)
+	}
+	if we.Unfold1.Rows != 4 || we.Unfold1.Cols != 12 {
+		t.Errorf("A(1) shape %dx%d, want 4x12", we.Unfold1.Rows, we.Unfold1.Cols)
+	}
+	if we.Unfold3.Rows != 3 || we.Unfold3.Cols != 16 {
+		t.Errorf("A(3) shape %dx%d, want 3x16", we.Unfold3.Rows, we.Unfold3.Cols)
+	}
+	// Section 4.3: among unlabelled nodes, p3 leans CV and p4 leans DM.
+	if we.X[1][2] <= we.X[0][2] {
+		t.Errorf("p3 should lean CV: DM=%v CV=%v", we.X[0][2], we.X[1][2])
+	}
+	if we.X[0][3] <= we.X[1][3] {
+		t.Errorf("p4 should lean DM: DM=%v CV=%v", we.X[0][3], we.X[1][3])
+	}
+	var buf bytes.Buffer
+	we.Format(&buf)
+	if !strings.Contains(buf.String(), "correct=true") {
+		t.Errorf("Format output missing verdict:\n%s", buf.String())
+	}
+}
+
+// Table 2's shape: the top-5 link types per research area are dominated by
+// that area's own conferences.
+func TestTable2RanksOwnConferences(t *testing.T) {
+	table := RunTable2(Quick(1))
+	for c, area := range dataset.DBLPAreas {
+		own := map[string]bool{}
+		for _, conf := range dataset.DBLPConferences[c] {
+			own[conf] = true
+		}
+		if hits := table.TopOverlap(c, 5, own); hits < 3 {
+			t.Errorf("area %s: only %d of top-5 are own conferences: %v", area, hits, table.Ranked[c])
+		}
+	}
+	var buf bytes.Buffer
+	table.Format(&buf)
+	if !strings.Contains(buf.String(), "DB:") {
+		t.Errorf("Format missing class rows")
+	}
+}
+
+// Table 8's shape: purity-selected links beat frequency-selected links at
+// every labelled fraction, clearly so at 10%.
+func TestTable8TagsetGap(t *testing.T) {
+	opt := Quick(1)
+	opt.Fractions = []float64{0.1, 0.5, 0.9}
+	cmp := RunTable8(opt)
+	for i, f := range cmp.Fractions {
+		if cmp.Tagset1[i].Mean <= cmp.Tagset2[i].Mean {
+			t.Errorf("fraction %v: Tagset1 %.3f not above Tagset2 %.3f", f, cmp.Tagset1[i].Mean, cmp.Tagset2[i].Mean)
+		}
+	}
+	if gap := cmp.Tagset1[0].Mean - cmp.Tagset2[0].Mean; gap < 0.05 {
+		t.Errorf("10%% gap %.3f too small", gap)
+	}
+	var buf bytes.Buffer
+	cmp.Format(&buf)
+	if !strings.Contains(buf.String(), "Tagset1") {
+		t.Errorf("Format output wrong")
+	}
+}
+
+// Tables 6/7: the published tag lists, ordered by the respective criterion.
+func TestTables6and7(t *testing.T) {
+	t6, t7 := RunTables6and7()
+	if len(t6.Tags) != 41 || len(t7.Tags) != 41 {
+		t.Fatalf("tag lists sized %d/%d", len(t6.Tags), len(t7.Tags))
+	}
+	if t7.Tags[0] != "nature" {
+		t.Errorf("Table 7 must lead with the most frequent tag, got %q", t7.Tags[0])
+	}
+	var buf bytes.Buffer
+	t6.Format(&buf)
+	t7.Format(&buf)
+	if !strings.Contains(buf.String(), "sky") {
+		t.Errorf("Format output missing tags")
+	}
+}
+
+// Tables 9/10: under Tagset1 the per-class top tags split by affinity;
+// under Tagset2 the two classes' top lists overlap heavily (the paper's
+// "weak discriminating effect").
+func TestTables9and10(t *testing.T) {
+	t9, t10 := RunTables9and10(Quick(1))
+	affinity := map[string]bool{} // name → Object?
+	for _, tag := range dataset.Tagset1() {
+		affinity[tag.Name] = tag.Object
+	}
+	sceneHits := 0
+	for _, name := range t9.Ranked[0][:8] {
+		if !affinity[name] {
+			sceneHits++
+		}
+	}
+	objectHits := 0
+	for _, name := range t9.Ranked[1][:8] {
+		if affinity[name] {
+			objectHits++
+		}
+	}
+	if sceneHits < 5 || objectHits < 5 {
+		t.Errorf("Tagset1 rankings not affinity-aligned: scene %d/8, object %d/8\nscene: %v\nobject: %v",
+			sceneHits, objectHits, t9.Ranked[0][:8], t9.Ranked[1][:8])
+	}
+	// Tagset2 overlap between the classes' top-12 exceeds Tagset1's.
+	overlap := func(a, b []string) int {
+		set := map[string]bool{}
+		for _, x := range a {
+			set[x] = true
+		}
+		n := 0
+		for _, x := range b {
+			if set[x] {
+				n++
+			}
+		}
+		return n
+	}
+	o9 := overlap(t9.Ranked[0], t9.Ranked[1])
+	o10 := overlap(t10.Ranked[0], t10.Ranked[1])
+	if o10 <= o9 {
+		t.Errorf("Tagset2 class rankings should overlap more than Tagset1's: %d vs %d", o10, o9)
+	}
+}
+
+// Figure 5's shape: concept and conference are the most important ACM link
+// types on average.
+func TestFigure5ConceptConferenceLead(t *testing.T) {
+	li := RunFigure5(Quick(1))
+	concept := li.MeanImportance("concept")
+	conference := li.MeanImportance("conference")
+	for _, weaker := range []string{"year", "keyword", "author"} {
+		w := li.MeanImportance(weaker)
+		if concept <= w {
+			t.Errorf("concept %.3f not above %s %.3f", concept, weaker, w)
+		}
+		if conference <= w {
+			t.Errorf("conference %.3f not above %s %.3f", conference, weaker, w)
+		}
+	}
+	var buf bytes.Buffer
+	li.Format(&buf)
+	if !strings.Contains(buf.String(), "concept") {
+		t.Errorf("Format output wrong")
+	}
+}
+
+// Figure 10's shape: T-Mark converges within ~15 iterations on all four
+// datasets.
+func TestFigure10Converges(t *testing.T) {
+	cc := RunFigure10(Quick(1))
+	if len(cc.Datasets) != 4 {
+		t.Fatalf("expected 4 datasets, got %v", cc.Datasets)
+	}
+	if !cc.ConvergedWithin(1e-6, 15) {
+		t.Errorf("convergence slower than the paper's ~10 iterations: %v", cc.Traces)
+	}
+	for d, trace := range cc.Traces {
+		for i := 1; i < len(trace); i++ {
+			if trace[i] > trace[0] {
+				t.Errorf("%s: residual grew above the first iterate", cc.Datasets[d])
+				break
+			}
+		}
+	}
+	var buf bytes.Buffer
+	cc.Format(&buf)
+	if !strings.Contains(buf.String(), "DBLP") {
+		t.Errorf("Format output wrong")
+	}
+}
+
+// Figures 8/9's shape: on DBLP, relation-only beats feature-only and the
+// peak is interior; on NUS the curve is flat at small gamma and feature-
+// heavy settings never win.
+func TestFigure8GammaShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parameter sweep")
+	}
+	opt := Quick(2)
+	sweep := RunFigure8(opt)
+	first := sweep.Accuracy[0].Mean                  // gamma = 0
+	last := sweep.Accuracy[len(sweep.Values)-1].Mean // gamma = 1
+	best := sweep.Best()
+	if first <= last {
+		t.Errorf("relation-only (%.3f) should beat feature-only (%.3f) on DBLP", first, last)
+	}
+	if best == 0 || best == 1 {
+		t.Errorf("best gamma should be interior, got %v", best)
+	}
+	var buf bytes.Buffer
+	sweep.Format(&buf)
+	if !strings.Contains(buf.String(), "gamma") {
+		t.Errorf("Format output wrong")
+	}
+}
+
+// The headline result (Table 3): at 10% labels T-Mark is the best method.
+func TestTable3TMarkLeadsAtLowLabels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full method sweep")
+	}
+	opt := Quick(1)
+	opt.Fractions = []float64{0.1}
+	opt.Trials = 2
+	table := RunTable3(opt)
+	tm := table.Mean(0.1, "T-Mark")
+	for _, method := range table.Methods {
+		if method == "T-Mark" {
+			continue
+		}
+		if m := table.Mean(0.1, method); m > tm+0.02 {
+			t.Errorf("%s (%.3f) beats T-Mark (%.3f) at 10%% labels", method, m, tm)
+		}
+	}
+	var buf bytes.Buffer
+	table.Format(&buf)
+	if !strings.Contains(buf.String(), "T-Mark") {
+		t.Errorf("Format output wrong")
+	}
+}
+
+// Table 11's shape: T-Mark clearly beats the link-type-agnostic baselines
+// (wvRN+RL, EMR, ICA) at 10% labels under Macro-F1.
+func TestTable11TMarkBeatsAgnosticBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full method sweep")
+	}
+	opt := Quick(1)
+	opt.Fractions = []float64{0.1}
+	opt.Trials = 2
+	table := RunTable11(opt)
+	tm := table.Mean(0.1, "T-Mark")
+	for _, method := range []string{"wvRN+RL", "EMR", "ICA"} {
+		if m := table.Mean(0.1, method); m >= tm {
+			t.Errorf("%s (%.3f) not below T-Mark (%.3f) on ACM at 10%%", method, m, tm)
+		}
+	}
+}
+
+// Table 4's shape: Movies stays hard for everyone (no method saturates)
+// and the ensemble EMR sits in the top group, per the paper's finding that
+// sparse per-type links favour pooling.
+func TestTable4MoviesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full method sweep")
+	}
+	opt := Quick(1)
+	opt.Fractions = []float64{0.5}
+	opt.Trials = 2
+	table := RunTable4(opt)
+	best, bestMethod := -1.0, ""
+	for _, method := range table.Methods {
+		if m := table.Mean(0.5, method); m > best {
+			best, bestMethod = m, method
+		}
+	}
+	if best > 0.85 {
+		t.Errorf("Movies should stay hard; %s reached %.3f", bestMethod, best)
+	}
+	emr := table.Mean(0.5, "EMR")
+	if emr < best-0.15 {
+		t.Errorf("EMR (%.3f) should sit in the top group (best %.3f)", emr, best)
+	}
+}
+
+func TestOptionsScaled(t *testing.T) {
+	opt := Options{Scale: 0.5}
+	if got := opt.scaled(100); got != 50 {
+		t.Errorf("scaled(100) = %d, want 50", got)
+	}
+	opt.Scale = 0
+	if got := opt.scaled(100); got != 100 {
+		t.Errorf("zero scale should default to 1, got %d", got)
+	}
+	opt.Scale = 0.0001
+	if got := opt.scaled(100); got != 10 {
+		t.Errorf("scaled floor = %d, want 10", got)
+	}
+}
+
+func TestAccuracyTableCellLookup(t *testing.T) {
+	table := &AccuracyTable{
+		Methods:   []string{"A"},
+		Fractions: []float64{0.1},
+		Cells:     [][]eval.TrialStats{{{Mean: 0.5}}},
+	}
+	if got := table.Mean(0.1, "A"); got != 0.5 {
+		t.Errorf("Mean = %v, want 0.5", got)
+	}
+	if got := table.Mean(0.2, "A"); got != -1 {
+		t.Errorf("missing fraction should give -1, got %v", got)
+	}
+	if got := table.Mean(0.1, "B"); got != -1 {
+		t.Errorf("missing method should give -1, got %v", got)
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"tmark/internal/baselines"
+	"tmark/internal/eval"
+	"tmark/internal/hin"
+)
+
+// AccuracyTable is the common shape of Tables 3, 4 and 11: methods ×
+// labelled fractions, each cell aggregated over trials.
+type AccuracyTable struct {
+	Title     string
+	Metric    string // "accuracy" or "macro-F1"
+	Methods   []string
+	Fractions []float64
+	Cells     [][]eval.TrialStats // [fraction][method]
+}
+
+// Cell returns the stats for the given fraction and method name.
+func (t *AccuracyTable) Cell(fraction float64, method string) (eval.TrialStats, bool) {
+	fi, mi := -1, -1
+	for i, f := range t.Fractions {
+		if f == fraction {
+			fi = i
+		}
+	}
+	for i, m := range t.Methods {
+		if m == method {
+			mi = i
+		}
+	}
+	if fi < 0 || mi < 0 {
+		return eval.TrialStats{}, false
+	}
+	return t.Cells[fi][mi], true
+}
+
+// Mean returns the mean metric for (fraction, method), or -1 when absent.
+func (t *AccuracyTable) Mean(fraction float64, method string) float64 {
+	s, ok := t.Cell(fraction, method)
+	if !ok {
+		return -1
+	}
+	return s.Mean
+}
+
+// Format renders the table in the paper's layout.
+func (t *AccuracyTable) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s (%s, mean±std)\n", t.Title, t.Metric)
+	fmt.Fprintf(w, "%-6s", "frac")
+	for _, m := range t.Methods {
+		fmt.Fprintf(w, " %12s", m)
+	}
+	fmt.Fprintln(w)
+	for fi, f := range t.Fractions {
+		fmt.Fprintf(w, "%-6.1f", f)
+		for mi := range t.Methods {
+			fmt.Fprintf(w, " %12s", t.Cells[fi][mi].String())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// metricFunc evaluates one method's scores on the test split.
+type metricFunc func(g *hin.Graph, scores [][]int, truth [][]int, test []bool, q int) float64
+
+// accuracyMetric grades single-label predictions (Tables 3, 4, 8).
+func accuracyMetric(_ *hin.Graph, pred [][]int, truth [][]int, test []bool, _ int) float64 {
+	return eval.Accuracy(firstOf(pred), eval.PrimaryTruth(truth), test)
+}
+
+// macroF1Metric grades multi-label predictions (Table 11).
+func macroF1Metric(_ *hin.Graph, pred [][]int, truth [][]int, test []bool, q int) float64 {
+	return eval.MacroF1(pred, truth, q, test)
+}
+
+func firstOf(labels [][]int) []int {
+	out := make([]int, len(labels))
+	for i, ls := range labels {
+		if len(ls) == 0 {
+			out[i] = -1
+		} else {
+			out[i] = ls[0]
+		}
+	}
+	return out
+}
+
+// sweepConfig describes one accuracy-table experiment.
+type sweepConfig struct {
+	title   string
+	metric  string
+	build   func(seed int64) *hin.Graph
+	methods []baselines.Method
+	// multiShare > 0 switches to multi-label prediction with that share.
+	multiShare float64
+	metricFn   metricFunc
+}
+
+// runSweep executes the shared protocol of Tables 3/4/11: for every
+// labelled fraction, for Trials random stratified splits, mask the labels,
+// run every method, grade on the test nodes.
+func runSweep(opt Options, sc sweepConfig) *AccuracyTable {
+	table := &AccuracyTable{
+		Title:     sc.title,
+		Metric:    sc.metric,
+		Fractions: opt.Fractions,
+	}
+	for _, m := range sc.methods {
+		table.Methods = append(table.Methods, m.Name())
+	}
+	full := sc.build(opt.Seed)
+	for _, fraction := range opt.Fractions {
+		row := make([]eval.TrialStats, len(sc.methods))
+		for mi, method := range sc.methods {
+			method := method
+			fractionCopy := fraction
+			row[mi] = eval.RunTrials(opt.Trials, opt.Seed*31+int64(fractionCopy*1000), func(trial int, rng *rand.Rand) float64 {
+				split := eval.StratifiedSplit(full, fractionCopy, rng)
+				masked, truth := eval.MaskLabels(full, split)
+				scores, err := method.Scores(masked, rng)
+				if err != nil {
+					panic(fmt.Sprintf("experiments: %s on %s: %v", method.Name(), sc.title, err))
+				}
+				var pred [][]int
+				if sc.multiShare > 0 {
+					pred = baselines.PredictMulti(scores, sc.multiShare)
+				} else {
+					pred = singletons(baselines.Predict(scores))
+				}
+				return sc.metricFn(masked, pred, truth, split.Test, full.Q())
+			})
+		}
+		table.Cells = append(table.Cells, row)
+	}
+	return table
+}
+
+func singletons(pred []int) [][]int {
+	out := make([][]int, len(pred))
+	for i, c := range pred {
+		out[i] = []int{c}
+	}
+	return out
+}
+
+// RankingTable is the shape of Tables 2, 5, 9 and 10: per class, an
+// ordered list of link-type names.
+type RankingTable struct {
+	Title   string
+	Classes []string
+	Ranked  [][]string // [class][rank] → name
+}
+
+// Format renders one ranked column per class.
+func (t *RankingTable) Format(w io.Writer) {
+	fmt.Fprintln(w, t.Title)
+	for c, class := range t.Classes {
+		fmt.Fprintf(w, "  %-14s %s\n", class+":", strings.Join(t.Ranked[c], ", "))
+	}
+}
+
+// TopOverlap counts how many of the first k entries of the ranking for
+// class c appear in the expected set; rankings shorter than k count what
+// they have.
+func (t *RankingTable) TopOverlap(c, k int, expected map[string]bool) int {
+	hits := 0
+	for i, name := range t.Ranked[c] {
+		if i >= k {
+			break
+		}
+		if expected[name] {
+			hits++
+		}
+	}
+	return hits
+}

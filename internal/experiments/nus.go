@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"tmark/internal/baselines"
+	"tmark/internal/dataset"
+	"tmark/internal/eval"
+	"tmark/internal/hin"
+	"tmark/internal/tmark"
+)
+
+// buildNUS applies the option scale to the NUS configuration for the given
+// tag set.
+func buildNUS(opt Options, tags []dataset.Tag) func(seed int64) *hin.Graph {
+	return func(seed int64) *hin.Graph {
+		cfg := dataset.DefaultNUSConfig(seed)
+		cfg.Images = opt.scaled(cfg.Images)
+		return dataset.NUS(cfg, tags)
+	}
+}
+
+// TagListTable is the shape of Tables 6 and 7: the 41 selected tag names.
+type TagListTable struct {
+	Title string
+	Tags  []string
+}
+
+// Format prints four tags per row, like the paper.
+func (t *TagListTable) Format(w io.Writer) {
+	fmt.Fprintln(w, t.Title)
+	for i := 0; i < len(t.Tags); i += 4 {
+		end := i + 4
+		if end > len(t.Tags) {
+			end = len(t.Tags)
+		}
+		fmt.Fprintf(w, "  %2d-%2d:", i+1, end)
+		for _, name := range t.Tags[i:end] {
+			fmt.Fprintf(w, " %-14s", name)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RunTables6and7 reproduces Tables 6 and 7: the purity-selected Tagset1
+// (ranked by the probability of connecting same-class images) and the
+// frequency-selected Tagset2.
+func RunTables6and7() (*TagListTable, *TagListTable) {
+	t1 := dataset.Tagset1()
+	sort.SliceStable(t1, func(a, b int) bool {
+		if t1[a].Purity != t1[b].Purity {
+			return t1[a].Purity > t1[b].Purity
+		}
+		return t1[a].Freq > t1[b].Freq
+	})
+	t2 := dataset.Tagset2()
+	sort.SliceStable(t2, func(a, b int) bool { return t2[a].Freq > t2[b].Freq })
+	mk := func(title string, tags []dataset.Tag) *TagListTable {
+		out := &TagListTable{Title: title}
+		for _, tag := range tags {
+			out.Tags = append(out.Tags, tag.Name)
+		}
+		return out
+	}
+	return mk("Table 6: Tagset1 (ranked by same-class connection probability)", t1),
+		mk("Table 7: Tagset2 (ranked by frequency of appearance)", t2)
+}
+
+// TagsetComparison is the shape of Table 8: T-Mark accuracy per labelled
+// fraction on the two NUS networks.
+type TagsetComparison struct {
+	Fractions []float64
+	Tagset1   []eval.TrialStats
+	Tagset2   []eval.TrialStats
+}
+
+// Format renders the two accuracy columns.
+func (t *TagsetComparison) Format(w io.Writer) {
+	fmt.Fprintln(w, "Table 8: T-Mark accuracy on NUS with Tagset1 vs Tagset2")
+	fmt.Fprintf(w, "%-6s %12s %12s\n", "frac", "Tagset1", "Tagset2")
+	for i, f := range t.Fractions {
+		fmt.Fprintf(w, "%-6.1f %12s %12s\n", f, t.Tagset1[i].String(), t.Tagset2[i].String())
+	}
+}
+
+// RunTable8 reproduces Table 8: the link-selection experiment. The same
+// images are classified twice, once connected by the 41 purest tags and
+// once by the 41 most frequent tags.
+func RunTable8(opt Options) *TagsetComparison {
+	out := &TagsetComparison{Fractions: opt.Fractions}
+	for which, tags := range [][]dataset.Tag{dataset.Tagset1(), dataset.Tagset2()} {
+		full := buildNUS(opt, tags)(opt.Seed)
+		method := &baselines.TMark{Config: nusTMarkConfig(), ICA: true}
+		for _, fraction := range opt.Fractions {
+			fractionCopy := fraction
+			stats := eval.RunTrials(opt.Trials, opt.Seed*13+int64(fractionCopy*1000), func(trial int, rng *rand.Rand) float64 {
+				split := eval.StratifiedSplit(full, fractionCopy, rng)
+				masked, truth := eval.MaskLabels(full, split)
+				scores, err := method.Scores(masked, rng)
+				if err != nil {
+					panic(fmt.Sprintf("experiments: table 8: %v", err))
+				}
+				return eval.Accuracy(baselines.Predict(scores), eval.PrimaryTruth(truth), split.Test)
+			})
+			if which == 0 {
+				out.Tagset1 = append(out.Tagset1, stats)
+			} else {
+				out.Tagset2 = append(out.Tagset2, stats)
+			}
+		}
+	}
+	return out
+}
+
+// RunTables9and10 reproduces Tables 9 and 10: the top-12 tags per class
+// ranked by T-Mark's link importance, for each tag set.
+func RunTables9and10(opt Options) (*RankingTable, *RankingTable) {
+	run := func(title string, tags []dataset.Tag) *RankingTable {
+		g := buildNUS(opt, tags)(opt.Seed)
+		model, err := tmark.New(g, nusTMarkConfig())
+		if err != nil {
+			panic(fmt.Sprintf("experiments: tables 9/10: %v", err))
+		}
+		res := model.Run()
+		table := &RankingTable{Title: title, Classes: dataset.NUSClasses}
+		for c := range dataset.NUSClasses {
+			var names []string
+			for _, rs := range res.LinkRanking(c)[:12] {
+				names = append(names, g.Relations[rs.Relation].Name)
+			}
+			table.Ranked = append(table.Ranked, names)
+		}
+		return table
+	}
+	return run("Table 9: top-12 Tagset1 tags per class (T-Mark)", dataset.Tagset1()),
+		run("Table 10: top-12 Tagset2 tags per class (T-Mark)", dataset.Tagset2())
+}
+
+// RunFigure7 reproduces Fig. 7: accuracy vs α on NUS (Tagset1).
+func RunFigure7(opt Options) *ParamSweep {
+	return runParamSweep(opt, "Figure 7: T-Mark accuracy vs alpha on NUS", "alpha", AlphaValues,
+		buildNUS(opt, dataset.Tagset1()), nusTMarkConfig(), func(c *tmark.Config, v float64) { c.Alpha = v })
+}
+
+// RunFigure9 reproduces Fig. 9: accuracy vs γ on NUS (Tagset1).
+func RunFigure9(opt Options) *ParamSweep {
+	return runParamSweep(opt, "Figure 9: T-Mark accuracy vs gamma on NUS", "gamma", GammaValues,
+		buildNUS(opt, dataset.Tagset1()), nusTMarkConfig(), func(c *tmark.Config, v float64) { c.Gamma = v })
+}

@@ -1,0 +1,89 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic datasets. Each Run* function returns
+// a typed result plus a Format method rendering the same rows/series the
+// paper reports, so `cmd/experiments` and the root benchmarks share one
+// implementation.
+package experiments
+
+import (
+	"tmark/internal/tmark"
+)
+
+// Options sizes an experiment run. The zero value is not usable; start
+// from Quick (CI-scale) or Full (paper-scale protocol: all nine labelled
+// fractions, 10 trials).
+type Options struct {
+	// Seed drives every dataset generator and split.
+	Seed int64
+	// Trials is the number of random splits per labelled fraction.
+	Trials int
+	// Fractions are the labelled-data fractions to sweep.
+	Fractions []float64
+	// Scale multiplies dataset sizes (1 = the defaults in package dataset).
+	Scale float64
+}
+
+// Quick returns the options used by tests and benchmarks: small but large
+// enough that every qualitative shape of the paper holds.
+func Quick(seed int64) Options {
+	return Options{
+		Seed:      seed,
+		Trials:    2,
+		Fractions: []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+		Scale:     0.6,
+	}
+}
+
+// Full returns the paper's protocol: fractions 10%..90% and 10 trials.
+func Full(seed int64) Options {
+	return Options{
+		Seed:      seed,
+		Trials:    10,
+		Fractions: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		Scale:     1,
+	}
+}
+
+func (o Options) scaled(base int) int {
+	s := o.Scale
+	if s <= 0 {
+		s = 1
+	}
+	n := int(float64(base) * s)
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+// dblpTMarkConfig returns the paper's DBLP hyper-parameters (α=0.8, γ=0.6).
+func dblpTMarkConfig() tmark.Config {
+	cfg := tmark.DefaultConfig()
+	cfg.Alpha = 0.8
+	cfg.Gamma = 0.6
+	return cfg
+}
+
+// moviesTMarkConfig returns the Movies parameters (α=0.9).
+func moviesTMarkConfig() tmark.Config {
+	cfg := tmark.DefaultConfig()
+	cfg.Alpha = 0.9
+	cfg.Gamma = 0.6
+	return cfg
+}
+
+// nusTMarkConfig returns the NUS parameters (α=0.9, γ=0.4).
+func nusTMarkConfig() tmark.Config {
+	cfg := tmark.DefaultConfig()
+	cfg.Alpha = 0.9
+	cfg.Gamma = 0.4
+	return cfg
+}
+
+// acmTMarkConfig returns the ACM parameters (α=0.9).
+func acmTMarkConfig() tmark.Config {
+	cfg := tmark.DefaultConfig()
+	cfg.Alpha = 0.9
+	cfg.Gamma = 0.6
+	return cfg
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"tmark/internal/baselines"
+	"tmark/internal/tmark"
+)
+
+// methodSuite builds the paper's nine-method comparison with the T-Mark
+// variants configured for the dataset at hand. The Graph Inception and
+// Highway baselines are sized down together with the datasets so the full
+// sweep stays laptop-fast.
+func methodSuite(cfg tmark.Config) []baselines.Method {
+	return []baselines.Method{
+		&baselines.TMark{Config: cfg, ICA: true},
+		&baselines.TMark{Config: cfg, ICA: false},
+		&baselines.GraphInception{Depth: 1, Hidden: 16, Epochs: 25},
+		&baselines.HighwayNet{Hidden: 24, Depth: 2, Epochs: 40},
+		baselines.NewHcc(),
+		baselines.NewHccSS(),
+		baselines.NewWVRN(),
+		baselines.NewEMR(),
+		baselines.NewICA(),
+	}
+}
+
+// tmarkOnly wraps a single configured T-Mark for the parameter sweeps.
+func tmarkOnly(cfg tmark.Config) []baselines.Method {
+	return []baselines.Method{&baselines.TMark{Config: cfg, ICA: true}}
+}

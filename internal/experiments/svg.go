@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"tmark/internal/eval"
+	"tmark/internal/plot"
+)
+
+// SVG renders the sweep as a line chart (Figs. 6–9).
+func (p *ParamSweep) SVG() (string, error) {
+	means := make([]float64, len(p.Values))
+	for i, s := range p.Accuracy {
+		means[i] = s.Mean
+	}
+	chart := &plot.Line{
+		Title:  p.Title,
+		XLabel: p.Parameter,
+		YLabel: "accuracy",
+		Series: []plot.Series{{Name: "T-Mark", X: p.Values, Y: means}},
+	}
+	return chart.SVG()
+}
+
+// SVG renders the per-dataset convergence residuals on a log axis
+// (Fig. 10).
+func (cc *ConvergenceCurves) SVG() (string, error) {
+	chart := &plot.Line{
+		Title:  "Convergence of T-Mark",
+		XLabel: "iteration",
+		YLabel: "rho (log10)",
+		LogY:   true,
+	}
+	for d, name := range cc.Datasets {
+		xs := make([]float64, len(cc.Traces[d]))
+		ys := make([]float64, len(cc.Traces[d]))
+		for i, rho := range cc.Traces[d] {
+			xs[i] = float64(i + 1)
+			// Converged residuals can underflow to zero; clamp for the log
+			// axis without distorting the curve's visible part.
+			if rho <= 0 {
+				rho = 1e-16
+			}
+			ys[i] = rho
+		}
+		chart.Series = append(chart.Series, plot.Series{Name: name, X: xs, Y: ys})
+	}
+	return chart.SVG()
+}
+
+// SVG renders the link-type importance as grouped bars (Fig. 5).
+func (li *LinkImportance) SVG() (string, error) {
+	chart := &plot.Bars{
+		Title:  li.Title,
+		YLabel: "stationary probability",
+		Groups: li.LinkTypes,
+		Labels: li.Classes,
+	}
+	for k := range li.LinkTypes {
+		row := make([]float64, len(li.Classes))
+		for c := range li.Classes {
+			row[c] = li.Z[c][k]
+		}
+		chart.Values = append(chart.Values, row)
+	}
+	return chart.SVG()
+}
+
+// SVG renders the Tagset1/Tagset2 accuracy comparison (Table 8 as a
+// figure).
+func (t *TagsetComparison) SVG() (string, error) {
+	mk := func(stats []eval.TrialStats) []float64 {
+		out := make([]float64, len(stats))
+		for i, s := range stats {
+			out[i] = s.Mean
+		}
+		return out
+	}
+	chart := &plot.Line{
+		Title:  "NUS accuracy: Tagset1 vs Tagset2",
+		XLabel: "labelled fraction",
+		YLabel: "accuracy",
+		Series: []plot.Series{
+			{Name: "Tagset1", X: t.Fractions, Y: mk(t.Tagset1)},
+			{Name: "Tagset2", X: t.Fractions, Y: mk(t.Tagset2)},
+		},
+	}
+	return chart.SVG()
+}
+
+// SVG renders an accuracy table as one line per method over the labelled
+// fractions (the usual way Tables 3/4/11 are visualised).
+func (t *AccuracyTable) SVG() (string, error) {
+	chart := &plot.Line{
+		Title:  t.Title,
+		XLabel: "labelled fraction",
+		YLabel: t.Metric,
+	}
+	for mi, method := range t.Methods {
+		ys := make([]float64, len(t.Fractions))
+		for fi := range t.Fractions {
+			ys[fi] = t.Cells[fi][mi].Mean
+		}
+		chart.Series = append(chart.Series, plot.Series{Name: method, X: t.Fractions, Y: ys})
+	}
+	return chart.SVG()
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSVGRenderers(t *testing.T) {
+	opt := Quick(1)
+	opt.Trials = 1
+	opt.Fractions = []float64{0.1, 0.5}
+
+	cases := map[string]interface{ SVG() (string, error) }{
+		"fig10":  RunFigure10(opt),
+		"fig5":   RunFigure5(opt),
+		"table8": RunTable8(opt),
+	}
+	for name, artifact := range cases {
+		svg, err := artifact.SVG()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+			t.Errorf("%s: output not an SVG document", name)
+		}
+		if strings.Contains(svg, "NaN") {
+			t.Errorf("%s: NaN coordinates in SVG", name)
+		}
+	}
+}
+
+func TestAccuracyTableSVG(t *testing.T) {
+	opt := Quick(1)
+	opt.Trials = 1
+	opt.Fractions = []float64{0.1}
+	table := RunAblation(opt)
+	svg, err := table.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range table.Methods {
+		if !strings.Contains(svg, method) {
+			t.Errorf("SVG legend missing %q", method)
+		}
+	}
+}
+
+// The figure runners must return one stats entry per grid value with the
+// values themselves intact.
+func TestFigureRunnersPlumbing(t *testing.T) {
+	opt := Quick(3)
+	opt.Trials = 1
+	for name, sweep := range map[string]*ParamSweep{
+		"fig6": RunFigure6(opt),
+		"fig7": RunFigure7(opt),
+	} {
+		wantValues := AlphaValues
+		if len(sweep.Values) != len(wantValues) {
+			t.Fatalf("%s: %d values, want %d", name, len(sweep.Values), len(wantValues))
+		}
+		for i, v := range wantValues {
+			if sweep.Values[i] != v {
+				t.Errorf("%s: value[%d] = %v, want %v", name, i, sweep.Values[i], v)
+			}
+			s := sweep.Accuracy[i]
+			if s.Mean <= 0 || s.Mean > 1 {
+				t.Errorf("%s: accuracy[%d] = %v out of (0,1]", name, i, s.Mean)
+			}
+		}
+		if best := sweep.Best(); best < wantValues[0] || best > wantValues[len(wantValues)-1] {
+			t.Errorf("%s: Best() = %v outside the grid", name, best)
+		}
+	}
+}

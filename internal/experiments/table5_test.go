@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+
+	"tmark/internal/dataset"
+	"tmark/internal/hin"
+)
+
+// Table 5's shape: each genre's top-10 directors are dominated by
+// directors whose (generated) preferred genre matches, and the five
+// rankings barely overlap — the paper's "most directors prefer one
+// specific type of movie".
+func TestTable5DirectorsAlignWithGenres(t *testing.T) {
+	opt := Quick(1)
+	table := RunTable5(opt)
+	g := buildMovies(opt)(opt.Seed)
+	nameToRel := map[string]int{}
+	for k := range g.Relations {
+		nameToRel[g.Relations[k].Name] = k
+	}
+	var fracSum float64
+	for c, genre := range dataset.MovieGenres {
+		matches := 0
+		considered := 0
+		for _, name := range table.Ranked[c] {
+			k, ok := nameToRel[name]
+			if !ok {
+				t.Fatalf("ranked director %q not a relation", name)
+			}
+			if !directorHasFilms(g, k) {
+				continue // empty filmographies rank arbitrarily
+			}
+			considered++
+			if dataset.MovieDirectorPreferredGenre(k) == c {
+				matches++
+			}
+		}
+		if considered == 0 {
+			t.Fatalf("genre %s: no ranked directors with films", genre)
+		}
+		// 1/5 would be chance; tiny per-director filmographies make single
+		// genres noisy, so require above-chance per genre and a clear
+		// aggregate signal below.
+		frac := float64(matches) / float64(considered)
+		fracSum += frac
+		if frac < 0.25 {
+			t.Errorf("genre %s: only %.0f%% of top directors prefer it (%d/%d)",
+				genre, 100*frac, matches, considered)
+		}
+	}
+	if mean := fracSum / float64(len(dataset.MovieGenres)); mean < 0.45 {
+		t.Errorf("mean genre alignment %.2f, want >= 0.45 (chance 0.20)", mean)
+	}
+	// Distinct rankings: pairwise overlap of top-10 lists stays small.
+	for a := 0; a < len(table.Ranked); a++ {
+		for b := a + 1; b < len(table.Ranked); b++ {
+			shared := 0
+			set := map[string]bool{}
+			for _, name := range table.Ranked[a] {
+				set[name] = true
+			}
+			for _, name := range table.Ranked[b] {
+				if set[name] {
+					shared++
+				}
+			}
+			if shared > 4 {
+				t.Errorf("genres %d and %d share %d of their top-10 directors", a, b, shared)
+			}
+		}
+	}
+}
+
+func directorHasFilms(g *hin.Graph, k int) bool {
+	return len(g.Relations[k].Edges) > 0
+}

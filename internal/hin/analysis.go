@@ -1,0 +1,145 @@
+package hin
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Degrees returns, per node, the total degree (in+out across every
+// relation; undirected edges count once per endpoint).
+func (g *Graph) Degrees() []int {
+	deg := make([]int, g.N())
+	for k := range g.Relations {
+		for _, e := range g.Relations[k].Edges {
+			deg[e.From]++
+			deg[e.To]++
+		}
+	}
+	return deg
+}
+
+// RelationHomophily returns, per relation, the fraction of its edges that
+// connect nodes sharing at least one label. Relations without edges, or
+// whose endpoints lack labels, report NaN-free 0 with ok=false in the
+// second slice.
+func (g *Graph) RelationHomophily() (fractions []float64, defined []bool) {
+	fractions = make([]float64, g.M())
+	defined = make([]bool, g.M())
+	for k := range g.Relations {
+		var same, total float64
+		for _, e := range g.Relations[k].Edges {
+			if !g.Labeled(e.From) || !g.Labeled(e.To) {
+				continue
+			}
+			total++
+			if shareAnyLabel(g, e.From, e.To) {
+				same++
+			}
+		}
+		if total > 0 {
+			fractions[k] = same / total
+			defined[k] = true
+		}
+	}
+	return fractions, defined
+}
+
+func shareAnyLabel(g *Graph, a, b int) bool {
+	for _, c := range g.Nodes[a].Labels {
+		if g.HasLabel(b, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Components returns the weakly connected components over the union of
+// all relations, as sorted node-index slices, largest first.
+func (g *Graph) Components() [][]int {
+	n := g.N()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for k := range g.Relations {
+		for _, e := range g.Relations[k].Edges {
+			union(e.From, e.To)
+		}
+	}
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, members := range groups {
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a]) != len(out[b]) {
+			return len(out[a]) > len(out[b])
+		}
+		return out[a][0] < out[b][0]
+	})
+	return out
+}
+
+// Subgraph extracts the induced subgraph on the given nodes (indices into
+// g), keeping features, labels, classes and every edge whose endpoints
+// both survive. The second return maps old node indices to new ones.
+func (g *Graph) Subgraph(nodes []int) (*Graph, map[int]int) {
+	remap := make(map[int]int, len(nodes))
+	sub := New(g.Classes...)
+	for _, old := range nodes {
+		if old < 0 || old >= g.N() {
+			panic(fmt.Sprintf("hin: Subgraph node %d out of range %d", old, g.N()))
+		}
+		if _, dup := remap[old]; dup {
+			continue
+		}
+		node := g.Nodes[old]
+		id := sub.AddNode(node.Name, node.Features)
+		if len(node.Labels) > 0 {
+			sub.SetLabels(id, node.Labels...)
+		}
+		remap[old] = id
+	}
+	for k := range g.Relations {
+		r := g.Relations[k]
+		nk := sub.AddRelation(r.Name, r.Directed)
+		for _, e := range r.Edges {
+			from, okF := remap[e.From]
+			to, okT := remap[e.To]
+			if okF && okT {
+				sub.AddWeightedEdge(nk, from, to, e.Weight)
+			}
+		}
+	}
+	return sub, remap
+}
+
+// LargestComponent returns the induced subgraph of the largest weakly
+// connected component; T-Mark's irreducibility assumption often calls for
+// restricting analysis to it.
+func (g *Graph) LargestComponent() (*Graph, map[int]int) {
+	comps := g.Components()
+	if len(comps) == 0 {
+		return New(g.Classes...), map[int]int{}
+	}
+	return g.Subgraph(comps[0])
+}

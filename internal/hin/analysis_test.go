@@ -1,0 +1,206 @@
+package hin
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDegrees(t *testing.T) {
+	g := bibliography()
+	deg := g.Degrees()
+	// p1: co-author with p2 + cited by p4 = 2.
+	if deg[0] != 2 {
+		t.Errorf("deg(p1) = %d, want 2", deg[0])
+	}
+	// p3: cites p2, cites p4, same-conf with p2 = 3.
+	if deg[2] != 3 {
+		t.Errorf("deg(p3) = %d, want 3", deg[2])
+	}
+	var total int
+	for _, d := range deg {
+		total += d
+	}
+	if total != 10 { // 5 edges × 2 endpoints
+		t.Errorf("degree sum = %d, want 10", total)
+	}
+}
+
+func TestRelationHomophily(t *testing.T) {
+	g := New("a", "b")
+	n0 := g.AddNode("", nil)
+	n1 := g.AddNode("", nil)
+	n2 := g.AddNode("", nil)
+	n3 := g.AddNode("", nil) // unlabelled
+	g.SetLabels(n0, 0)
+	g.SetLabels(n1, 0)
+	g.SetLabels(n2, 1)
+	same := g.AddRelation("same", false)
+	mixed := g.AddRelation("mixed", false)
+	empty := g.AddRelation("empty", false)
+	g.AddEdge(same, n0, n1)
+	g.AddEdge(mixed, n0, n2)
+	g.AddEdge(mixed, n0, n1)
+	g.AddEdge(mixed, n0, n3) // skipped: endpoint unlabelled
+	fr, ok := g.RelationHomophily()
+	if !ok[same] || fr[same] != 1 {
+		t.Errorf("same relation homophily = %v (defined %v), want 1", fr[same], ok[same])
+	}
+	if !ok[mixed] || fr[mixed] != 0.5 {
+		t.Errorf("mixed relation homophily = %v, want 0.5", fr[mixed])
+	}
+	if ok[empty] {
+		t.Errorf("empty relation should be undefined")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New("c")
+	for i := 0; i < 5; i++ {
+		g.AddNode("", nil)
+	}
+	r := g.AddRelation("r", false)
+	g.AddEdge(r, 0, 1)
+	g.AddEdge(r, 1, 2)
+	g.AddEdge(r, 3, 4)
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Errorf("largest component = %v, want [0 1 2]", comps[0])
+	}
+	if len(comps[1]) != 2 || comps[1][0] != 3 {
+		t.Errorf("second component = %v, want [3 4]", comps[1])
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := bibliography()
+	sub, remap := g.Subgraph([]int{0, 1, 3})
+	if sub.N() != 3 {
+		t.Fatalf("subgraph N = %d, want 3", sub.N())
+	}
+	if sub.Q() != g.Q() || sub.M() != g.M() {
+		t.Errorf("subgraph must keep classes and relations")
+	}
+	// co-author p1–p2 survives; citation p4→p1 survives; edges touching p3
+	// are dropped.
+	edges := 0
+	for k := range sub.Relations {
+		edges += len(sub.Relations[k].Edges)
+	}
+	if edges != 2 {
+		t.Errorf("surviving edges = %d, want 2", edges)
+	}
+	if sub.PrimaryLabel(remap[0]) != 0 || sub.PrimaryLabel(remap[1]) != 1 {
+		t.Errorf("labels lost in subgraph")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Errorf("subgraph invalid: %v", err)
+	}
+}
+
+func TestSubgraphDeduplicatesAndPanics(t *testing.T) {
+	g := bibliography()
+	sub, _ := g.Subgraph([]int{0, 0, 1})
+	if sub.N() != 2 {
+		t.Errorf("duplicate input nodes must collapse, N = %d", sub.N())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("out-of-range node should panic")
+		}
+	}()
+	g.Subgraph([]int{99})
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := New("c")
+	for i := 0; i < 4; i++ {
+		g.AddNode("", nil)
+	}
+	r := g.AddRelation("r", false)
+	g.AddEdge(r, 0, 1)
+	g.AddEdge(r, 1, 2)
+	lc, remap := g.LargestComponent()
+	if lc.N() != 3 {
+		t.Errorf("largest component N = %d, want 3", lc.N())
+	}
+	if _, isolated := remap[3]; isolated {
+		t.Errorf("isolated node must not survive")
+	}
+	empty, _ := New("c").LargestComponent()
+	if empty.N() != 0 {
+		t.Errorf("empty graph largest component should be empty")
+	}
+}
+
+func TestEdgeCSVRoundTrip(t *testing.T) {
+	g := bibliography()
+	var buf bytes.Buffer
+	if err := g.WriteEdgeCSV(&buf); err != nil {
+		t.Fatalf("WriteEdgeCSV: %v", err)
+	}
+	back, err := ReadEdgeCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeCSV: %v", err)
+	}
+	if back.M() != g.M() {
+		t.Errorf("relations = %d, want %d", back.M(), g.M())
+	}
+	// Directedness survives via the "!" marker.
+	for k := range back.Relations {
+		if back.Relations[k].Name == "citation" && !back.Relations[k].Directed {
+			t.Errorf("citation lost directedness")
+		}
+		if back.Relations[k].Name == "co-author" && back.Relations[k].Directed {
+			t.Errorf("co-author gained directedness")
+		}
+	}
+	edges := 0
+	for k := range back.Relations {
+		edges += len(back.Relations[k].Edges)
+	}
+	if edges != 5 {
+		t.Errorf("edges = %d, want 5", edges)
+	}
+}
+
+func TestReadEdgeCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":      "a,b,c\nx,y,r",
+		"bad weight":      "from,to,relation,weight\nx,y,r,notanumber",
+		"negative weight": "from,to,relation,weight\nx,y,r,-1",
+		"no edges":        "from,to,relation",
+	}
+	for name, input := range cases {
+		if _, err := ReadEdgeCSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadEdgeCSVDefaultsWeight(t *testing.T) {
+	g, err := ReadEdgeCSV(strings.NewReader("from,to,relation\nx,y,r\ny,z,r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 1 {
+		t.Fatalf("shape %d/%d, want 3/1", g.N(), g.M())
+	}
+	if g.Relations[0].Edges[0].Weight != 1 {
+		t.Errorf("default weight = %v, want 1", g.Relations[0].Edges[0].Weight)
+	}
+}
+
+func TestWriteEdgeCSVRequiresNames(t *testing.T) {
+	g := New("c")
+	g.AddNode("", nil)
+	g.AddNode("", nil)
+	r := g.AddRelation("r", false)
+	g.AddEdge(r, 0, 1)
+	if err := g.WriteEdgeCSV(&bytes.Buffer{}); err == nil {
+		t.Errorf("unnamed nodes should fail CSV export")
+	}
+}

@@ -1,0 +1,121 @@
+package hin
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonGraph is the on-disk JSON shape. It mirrors Graph but keeps the
+// format explicit and versioned so future layout changes stay decodable.
+type jsonGraph struct {
+	Version   int            `json:"version"`
+	Classes   []string       `json:"classes"`
+	Nodes     []jsonNode     `json:"nodes"`
+	Relations []jsonRelation `json:"relations"`
+}
+
+type jsonNode struct {
+	Name     string    `json:"name,omitempty"`
+	Features []float64 `json:"features,omitempty"`
+	Labels   []int     `json:"labels,omitempty"`
+}
+
+type jsonRelation struct {
+	Name     string     `json:"name"`
+	Directed bool       `json:"directed,omitempty"`
+	Edges    [][3]int64 `json:"edges"` // from, to, weight*1e6 (fixed point)
+}
+
+const (
+	codecVersion     = 1
+	weightFixedPoint = 1e6
+)
+
+// WriteJSON serialises the graph.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{Version: codecVersion, Classes: g.Classes}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		jg.Nodes = append(jg.Nodes, jsonNode{Name: n.Name, Features: n.Features, Labels: n.Labels})
+	}
+	for k := range g.Relations {
+		r := &g.Relations[k]
+		jr := jsonRelation{Name: r.Name, Directed: r.Directed}
+		for _, e := range r.Edges {
+			jr.Edges = append(jr.Edges, [3]int64{int64(e.From), int64(e.To), int64(e.Weight * weightFixedPoint)})
+		}
+		jg.Relations = append(jg.Relations, jr)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jg)
+}
+
+// ReadJSON deserialises a graph written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("hin: decode: %w", err)
+	}
+	if jg.Version != codecVersion {
+		return nil, fmt.Errorf("hin: unsupported codec version %d", jg.Version)
+	}
+	// The builder methods panic on malformed indices (programming errors);
+	// decoded input is untrusted, so range-check everything first and
+	// return errors instead.
+	g := New(jg.Classes...)
+	for i, n := range jg.Nodes {
+		id := g.AddNode(n.Name, n.Features)
+		for _, c := range n.Labels {
+			if c < 0 || c >= g.Q() {
+				return nil, fmt.Errorf("hin: decode: node %d label %d out of range %d", i, c, g.Q())
+			}
+		}
+		if len(n.Labels) > 0 {
+			g.SetLabels(id, n.Labels...)
+		}
+	}
+	for _, jr := range jg.Relations {
+		k := g.AddRelation(jr.Name, jr.Directed)
+		for _, e := range jr.Edges {
+			from, to := int(e[0]), int(e[1])
+			weight := float64(e[2]) / weightFixedPoint
+			if from < 0 || from >= g.N() || to < 0 || to >= g.N() {
+				return nil, fmt.Errorf("hin: decode: relation %q edge (%d,%d) out of range %d", jr.Name, from, to, g.N())
+			}
+			if weight <= 0 {
+				return nil, fmt.Errorf("hin: decode: relation %q edge weight %v", jr.Name, weight)
+			}
+			g.AddWeightedEdge(k, from, to, weight)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SaveFile writes the graph to path as JSON.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph saved with SaveFile.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

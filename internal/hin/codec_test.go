@@ -1,0 +1,105 @@
+package hin
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := bibliography()
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if back.N() != g.N() || back.M() != g.M() || back.Q() != g.Q() {
+		t.Fatalf("round trip changed shape: %d/%d/%d", back.N(), back.M(), back.Q())
+	}
+	for i := range g.Nodes {
+		if back.Nodes[i].Name != g.Nodes[i].Name {
+			t.Errorf("node %d name %q != %q", i, back.Nodes[i].Name, g.Nodes[i].Name)
+		}
+		if len(back.Nodes[i].Labels) != len(g.Nodes[i].Labels) {
+			t.Errorf("node %d labels differ", i)
+		}
+	}
+	for k := range g.Relations {
+		if back.Relations[k].Directed != g.Relations[k].Directed {
+			t.Errorf("relation %d directedness lost", k)
+		}
+		if len(back.Relations[k].Edges) != len(g.Relations[k].Edges) {
+			t.Errorf("relation %d edges differ", k)
+		}
+	}
+}
+
+func TestJSONWeightFixedPoint(t *testing.T) {
+	g := New("c")
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	r := g.AddRelation("r", true)
+	g.AddWeightedEdge(r, a, b, 2.5)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := back.Relations[0].Edges[0].Weight; math.Abs(w-2.5) > 1e-9 {
+		t.Errorf("weight round trip = %v, want 2.5", w)
+	}
+}
+
+func TestReadJSONRejectsBadVersion(t *testing.T) {
+	_, err := ReadJSON(strings.NewReader(`{"version":99,"classes":[],"nodes":[{}],"relations":[]}`))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version should be rejected, got %v", err)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Errorf("garbage should fail to decode")
+	}
+}
+
+func TestReadJSONValidates(t *testing.T) {
+	// Node 5 referenced by an edge but only one node exists. AddWeightedEdge
+	// panics on bad indices, so decode must surface that as a failure; here
+	// we go through raw JSON to simulate a corrupted file.
+	defer func() { recover() }() // builder panic is acceptable; error also acceptable
+	_, err := ReadJSON(strings.NewReader(
+		`{"version":1,"classes":["c"],"nodes":[{}],"relations":[{"name":"r","edges":[[0,5,1000000]]}]}`))
+	if err == nil {
+		t.Errorf("corrupt edge should fail")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := bibliography()
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := g.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if back.Stats().String() != g.Stats().String() {
+		t.Errorf("file round trip changed stats: %v vs %v", back.Stats(), g.Stats())
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Errorf("missing file should error")
+	}
+}

@@ -1,0 +1,116 @@
+package hin
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeCSV builds a graph from a CSV edge list with the header
+//
+//	from,to,relation[,weight]
+//
+// Node and relation names are arbitrary strings; nodes and relations are
+// created on first sight. A relation name ending in "!" is directed (the
+// marker is stripped). The loader complements the JSON codec for ingesting
+// existing tabular datasets; labels and features must be attached
+// afterwards (see SetLabels / Node.Features).
+func ReadEdgeCSV(r io.Reader) (*Graph, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // allow 3 or 4 columns
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("hin: csv header: %w", err)
+	}
+	if len(header) < 3 || !strings.EqualFold(header[0], "from") ||
+		!strings.EqualFold(header[1], "to") || !strings.EqualFold(header[2], "relation") {
+		return nil, fmt.Errorf("hin: csv header %v, want from,to,relation[,weight]", header)
+	}
+
+	g := New()
+	nodeID := map[string]int{}
+	relID := map[string]int{}
+	node := func(name string) int {
+		if id, ok := nodeID[name]; ok {
+			return id
+		}
+		id := g.AddNode(name, nil)
+		nodeID[name] = id
+		return id
+	}
+	relation := func(name string) int {
+		directed := strings.HasSuffix(name, "!")
+		clean := strings.TrimSuffix(name, "!")
+		if id, ok := relID[clean]; ok {
+			return id
+		}
+		id := g.AddRelation(clean, directed)
+		relID[clean] = id
+		return id
+	}
+
+	line := 1
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hin: csv line %d: %w", line, err)
+		}
+		line++
+		if len(record) < 3 {
+			return nil, fmt.Errorf("hin: csv line %d: %d fields, want >= 3", line, len(record))
+		}
+		weight := 1.0
+		if len(record) >= 4 && record[3] != "" {
+			weight, err = strconv.ParseFloat(record[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("hin: csv line %d: weight %q: %w", line, record[3], err)
+			}
+		}
+		if weight <= 0 {
+			return nil, fmt.Errorf("hin: csv line %d: weight %v must be positive", line, weight)
+		}
+		g.AddWeightedEdge(relation(record[2]), node(record[0]), node(record[1]), weight)
+	}
+	if g.N() == 0 {
+		return nil, fmt.Errorf("hin: csv contained no edges")
+	}
+	return g, nil
+}
+
+// WriteEdgeCSV emits the graph's edges in the ReadEdgeCSV format. Node
+// names must be unique and nonempty; directed relations get the "!"
+// marker.
+func (g *Graph) WriteEdgeCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"from", "to", "relation", "weight"}); err != nil {
+		return err
+	}
+	for k := range g.Relations {
+		r := &g.Relations[k]
+		name := r.Name
+		if r.Directed {
+			name += "!"
+		}
+		for _, e := range r.Edges {
+			record := []string{
+				g.Nodes[e.From].Name,
+				g.Nodes[e.To].Name,
+				name,
+				strconv.FormatFloat(e.Weight, 'g', -1, 64),
+			}
+			if record[0] == "" || record[1] == "" {
+				return fmt.Errorf("hin: WriteEdgeCSV requires node names (edge %d of %q)", e.From, r.Name)
+			}
+			if err := cw.Write(record); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,173 @@
+// Package markov provides the classic (matrix) Markov-chain machinery that
+// T-Mark composes with its tensor chains: column-stochastic transition
+// matrices, power iteration to a stationary distribution, and personalised
+// PageRank (random walk with restart). The feature-similarity channel W of
+// the paper's eq. (9) is built here.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"tmark/internal/sparse"
+	"tmark/internal/vec"
+)
+
+// DefaultTolerance is the convergence threshold used when a caller passes
+// a nonpositive tolerance.
+const DefaultTolerance = 1e-10
+
+// DefaultMaxIterations bounds the power iterations when a caller passes a
+// nonpositive limit.
+const DefaultMaxIterations = 1000
+
+// Chain is a finite Markov chain with a column-stochastic transition
+// matrix P: P[i][j] is the probability of moving to state i from state j.
+type Chain struct {
+	P *vec.Matrix
+}
+
+// NewChain validates that p is square and column-stochastic within tol and
+// wraps it in a Chain.
+func NewChain(p *vec.Matrix, tol float64) (*Chain, error) {
+	if p.Rows != p.Cols {
+		return nil, fmt.Errorf("markov: transition matrix %dx%d not square", p.Rows, p.Cols)
+	}
+	if !p.IsColumnStochastic(tol) {
+		return nil, errors.New("markov: transition matrix not column-stochastic")
+	}
+	return &Chain{P: p}, nil
+}
+
+// FeatureTransition builds the paper's feature channel: the cosine
+// similarity matrix C of the node features, column-normalised into the
+// transition matrix W (eq. 9). Zero columns (featureless nodes nobody is
+// similar to) become uniform, keeping W stochastic.
+func FeatureTransition(features [][]float64) *vec.Matrix {
+	w := vec.CosineMatrix(features)
+	w.NormalizeColumns(true)
+	return w
+}
+
+// SparseFeatureTransition builds the feature channel keeping only the
+// topK most similar nodes per column before normalising. Dense cosine
+// similarity over bag-of-words features is dominated by a background level
+// that makes W nearly uniform; restricting each column to its nearest
+// neighbours concentrates the walk on genuinely similar nodes. topK <= 0
+// falls back to the dense variant.
+func SparseFeatureTransition(features [][]float64, topK int) *vec.Matrix {
+	w := vec.CosineMatrix(features)
+	if topK <= 0 || topK >= w.Rows {
+		w.NormalizeColumns(true)
+		return w
+	}
+	col := make([]float64, w.Rows)
+	for j := 0; j < w.Cols; j++ {
+		for i := 0; i < w.Rows; i++ {
+			col[i] = w.At(i, j)
+		}
+		// Keep entries >= the topK-th largest; zero the rest.
+		threshold := kthLargest(col, topK)
+		for i := 0; i < w.Rows; i++ {
+			if w.At(i, j) < threshold {
+				w.Set(i, j, 0)
+			}
+		}
+	}
+	w.NormalizeColumns(true)
+	return w
+}
+
+// SparseFeatureTransitionCSR builds the top-K feature transition as a
+// compressed sparse row matrix: the construction is still O(n²·d) (every
+// cosine must be examined once) but the stored channel is O(n·K), which is
+// what lets the solver iterate on large networks. topK <= 0 is rejected —
+// use FeatureTransition for the dense channel.
+func SparseFeatureTransitionCSR(features [][]float64, topK int) *sparse.Matrix {
+	if topK <= 0 {
+		panic("markov: SparseFeatureTransitionCSR needs topK > 0")
+	}
+	dense := SparseFeatureTransition(features, topK)
+	return sparse.FromDense(dense, 0)
+}
+
+// kthLargest returns the k-th largest value of xs (1-based) without
+// mutating xs; k is clamped to len(xs).
+func kthLargest(xs []float64, k int) float64 {
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	cp := append([]float64(nil), xs...)
+	// Quickselect would be asymptotically better; columns here are short
+	// enough that a sort keeps the code obvious.
+	sortDescending(cp)
+	return cp[k-1]
+}
+
+func sortDescending(xs []float64) {
+	sort.Sort(sort.Reverse(sort.Float64Slice(xs)))
+}
+
+// Result reports how a fixed-point iteration terminated.
+type Result struct {
+	Iterations int
+	Residual   float64 // L1 distance between the last two iterates
+	Converged  bool
+	Trace      []float64 // residual after each iteration
+}
+
+// Stationary runs power iteration x ← P·x from the uniform distribution
+// until the L1 change falls below tol, returning the stationary
+// distribution estimate and the iteration diagnostics.
+func (c *Chain) Stationary(tol float64, maxIter int) (vec.Vector, Result) {
+	n := c.P.Rows
+	x := vec.Uniform(n)
+	return c.iterate(x, func(cur, next vec.Vector) {
+		c.P.MulVec(cur, next)
+	}, tol, maxIter)
+}
+
+// RandomWalkWithRestart computes the stationary distribution of
+// x ← (1−α)·P·x + α·restart, i.e. personalised PageRank with restart
+// probability alpha and restart distribution restart (must sum to one).
+func (c *Chain) RandomWalkWithRestart(alpha float64, restart vec.Vector, tol float64, maxIter int) (vec.Vector, Result) {
+	if alpha < 0 || alpha > 1 {
+		panic(fmt.Sprintf("markov: restart probability %v out of [0,1]", alpha))
+	}
+	if len(restart) != c.P.Rows {
+		panic(fmt.Sprintf("markov: restart length %d, want %d", len(restart), c.P.Rows))
+	}
+	x := vec.Clone(restart)
+	return c.iterate(x, func(cur, next vec.Vector) {
+		c.P.MulVec(cur, next)
+		vec.Scale(1-alpha, next)
+		vec.Axpy(alpha, restart, next)
+	}, tol, maxIter)
+}
+
+func (c *Chain) iterate(x vec.Vector, step func(cur, next vec.Vector), tol float64, maxIter int) (vec.Vector, Result) {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	next := vec.New(len(x))
+	var res Result
+	for it := 1; it <= maxIter; it++ {
+		step(x, next)
+		res.Iterations = it
+		res.Residual = vec.Diff1(x, next)
+		res.Trace = append(res.Trace, res.Residual)
+		x, next = next, x
+		if res.Residual < tol {
+			res.Converged = true
+			break
+		}
+	}
+	return x, res
+}

@@ -1,0 +1,130 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKthLargest(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{1, 5}, {2, 4}, {3, 3}, {5, 1},
+		{0, 5},  // clamped to 1
+		{99, 1}, // clamped to len
+	}
+	for _, c := range cases {
+		if got := kthLargest(xs, c.k); got != c.want {
+			t.Errorf("kthLargest(k=%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 || xs[4] != 5 {
+		t.Errorf("kthLargest mutated its input: %v", xs)
+	}
+}
+
+func TestSparseFeatureTransitionTopK(t *testing.T) {
+	features := [][]float64{
+		{1, 0, 0},
+		{0.9, 0.1, 0},
+		{0.8, 0.2, 0},
+		{0, 0, 1},
+		{0, 0.1, 1},
+	}
+	w := SparseFeatureTransition(features, 2)
+	if !w.IsColumnStochastic(1e-9) {
+		t.Fatalf("sparse W must stay column-stochastic")
+	}
+	// Each column keeps at most topK strictly-positive entries (ties can
+	// add more; none here).
+	for j := 0; j < w.Cols; j++ {
+		nonzero := 0
+		for i := 0; i < w.Rows; i++ {
+			if w.At(i, j) > 0 {
+				nonzero++
+			}
+		}
+		if nonzero > 3 {
+			t.Errorf("column %d kept %d entries, want <= topK+ties", j, nonzero)
+		}
+	}
+}
+
+func TestSparseFeatureTransitionFallsBackToDense(t *testing.T) {
+	features := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	dense := FeatureTransition(features)
+	for _, k := range []int{0, -1, 3, 99} {
+		sparse := SparseFeatureTransition(features, k)
+		for i := range dense.Data {
+			if math.Abs(sparse.Data[i]-dense.Data[i]) > 1e-12 {
+				t.Fatalf("topK=%d should be the dense matrix", k)
+			}
+		}
+	}
+}
+
+func TestSparseFeatureTransitionStochasticProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(12)
+		dim := 1 + rng.Intn(6)
+		features := make([][]float64, n)
+		for i := range features {
+			features[i] = make([]float64, dim)
+			for d := range features[i] {
+				if rng.Float64() < 0.7 {
+					features[i][d] = rng.Float64()
+				}
+			}
+		}
+		k := 1 + rng.Intn(n)
+		w := SparseFeatureTransition(features, k)
+		if !w.IsColumnStochastic(1e-8) {
+			t.Fatalf("trial %d: sparse W (k=%d) not stochastic", trial, k)
+		}
+	}
+}
+
+func TestSparseFeatureTransitionCSRMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n, dim := 25, 6
+	features := make([][]float64, n)
+	for i := range features {
+		features[i] = make([]float64, dim)
+		for d := range features[i] {
+			features[i][d] = rng.Float64()
+		}
+	}
+	const k = 5
+	dense := SparseFeatureTransition(features, k)
+	csr := SparseFeatureTransitionCSR(features, k)
+	if csr.NNZ() > n*(k+3) {
+		t.Errorf("CSR kept %d entries for topK=%d over %d nodes", csr.NNZ(), k, n)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	want := make([]float64, n)
+	got := make([]float64, n)
+	dense.MulVec(x, want)
+	csr.MulVec(x, got)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Fatalf("CSR MulVec[%d] = %v, dense %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSparseFeatureTransitionCSRPanicsOnDenseRequest(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("topK=0 should panic (use FeatureTransition)")
+		}
+	}()
+	SparseFeatureTransitionCSR([][]float64{{1}}, 0)
+}

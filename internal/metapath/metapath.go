@@ -1,0 +1,170 @@
+// Package metapath provides meta-path machinery for heterogeneous
+// information networks: composing typed relations into multi-hop paths,
+// counting path instances between node pairs, and the PathSim similarity
+// of Sun et al. (VLDB 2011). The Hcc baseline's meta-path features are
+// built on it, and it is generally useful for HIN feature engineering.
+package metapath
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tmark/internal/hin"
+)
+
+// Path is a sequence of relation indices composed left to right: the path
+// [k1, k2] reaches the nodes found by following a k1 link then a k2 link.
+type Path struct {
+	Relations []int
+}
+
+// NewPath builds a path from relation indices.
+func NewPath(relations ...int) Path {
+	return Path{Relations: append([]int(nil), relations...)}
+}
+
+// Len returns the number of hops.
+func (p Path) Len() int { return len(p.Relations) }
+
+// String renders the path with relation names from g, or indices when g is
+// nil.
+func (p Path) String() string {
+	parts := make([]string, len(p.Relations))
+	for i, k := range p.Relations {
+		parts[i] = fmt.Sprintf("r%d", k)
+	}
+	return strings.Join(parts, "→")
+}
+
+// Name renders the path with the relation names of g.
+func (p Path) Name(g *hin.Graph) string {
+	parts := make([]string, len(p.Relations))
+	for i, k := range p.Relations {
+		parts[i] = g.Relations[k].Name
+	}
+	return strings.Join(parts, "→")
+}
+
+// validate panics on malformed paths; path construction errors are always
+// programming errors.
+func (p Path) validate(g *hin.Graph) {
+	if len(p.Relations) == 0 {
+		panic("metapath: empty path")
+	}
+	for _, k := range p.Relations {
+		if k < 0 || k >= g.M() {
+			panic(fmt.Sprintf("metapath: relation %d out of range %d", k, g.M()))
+		}
+	}
+}
+
+// Counts holds sparse path-instance counts: Counts[i][j] is the number of
+// path instances from node i to node j.
+type Counts []map[int]float64
+
+// Count returns the number of path instances between from and to.
+func (c Counts) Count(from, to int) float64 {
+	if from < 0 || from >= len(c) {
+		return 0
+	}
+	return c[from][to]
+}
+
+// InstanceCounts walks the path from every node and counts the instances
+// reaching each destination. Complexity is O(hops × instances); paths that
+// explode combinatorially are the caller's responsibility to avoid (use
+// Reach for support-only queries).
+func InstanceCounts(g *hin.Graph, p Path) Counts {
+	p.validate(g)
+	lists := g.NeighborLists()
+	n := g.N()
+	counts := make(Counts, n)
+	for i := 0; i < n; i++ {
+		frontier := map[int]float64{i: 1}
+		for _, k := range p.Relations {
+			next := make(map[int]float64)
+			for node, cnt := range frontier {
+				for _, nb := range lists[k][node] {
+					next[nb] += cnt
+				}
+			}
+			frontier = next
+			if len(frontier) == 0 {
+				break
+			}
+		}
+		counts[i] = frontier
+	}
+	return counts
+}
+
+// Reach returns, per node, the distinct nodes reachable along the path,
+// excluding the trivial self destination. The lists are sorted.
+func Reach(g *hin.Graph, p Path) [][]int {
+	counts := InstanceCounts(g, p)
+	out := make([][]int, len(counts))
+	for i, dests := range counts {
+		for j := range dests {
+			if j != i {
+				out[i] = append(out[i], j)
+			}
+		}
+		sort.Ints(out[i])
+	}
+	return out
+}
+
+// PathSim computes the symmetric meta-path similarity of Sun et al.:
+//
+//	s(i, j) = 2·c(i→j) / (c(i→i) + c(j→j))
+//
+// computed over the round-trip path p∘reverse(p), where reverse uses the
+// same relations backwards (meaningful for symmetric relations, which is
+// the standard PathSim setting). Returns the n×n similarity as sparse rows.
+func PathSim(g *hin.Graph, p Path) Counts {
+	p.validate(g)
+	// Round trip: forward then backward.
+	round := make([]int, 0, 2*p.Len())
+	round = append(round, p.Relations...)
+	for i := p.Len() - 1; i >= 0; i-- {
+		round = append(round, p.Relations[i])
+	}
+	counts := InstanceCounts(g, Path{Relations: round})
+	n := g.N()
+	sim := make(Counts, n)
+	for i := 0; i < n; i++ {
+		sim[i] = make(map[int]float64, len(counts[i]))
+		for j, cij := range counts[i] {
+			denom := counts[i][i] + counts[j][j]
+			if denom > 0 {
+				sim[i][j] = 2 * cij / denom
+			}
+		}
+	}
+	return sim
+}
+
+// Enumerate lists every path of length 1..maxLen over the graph's
+// relations, in lexicographic order. The count is m + m² + … + m^maxLen;
+// callers should keep maxLen small (the Hcc baseline uses 2).
+func Enumerate(g *hin.Graph, maxLen int) []Path {
+	if maxLen <= 0 {
+		return nil
+	}
+	var out []Path
+	var build func(prefix []int)
+	build = func(prefix []int) {
+		if len(prefix) > 0 {
+			out = append(out, NewPath(prefix...))
+		}
+		if len(prefix) == maxLen {
+			return
+		}
+		for k := 0; k < g.M(); k++ {
+			build(append(prefix, k))
+		}
+	}
+	build(nil)
+	return out
+}

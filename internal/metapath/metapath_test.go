@@ -1,0 +1,151 @@
+package metapath
+
+import (
+	"math"
+	"testing"
+
+	"tmark/internal/hin"
+)
+
+// chainGraph: 0 —a→ 1 —b→ 2, plus undirected c between 0 and 2.
+func chainGraph() *hin.Graph {
+	g := hin.New("x")
+	for i := 0; i < 3; i++ {
+		g.AddNode("", nil)
+	}
+	a := g.AddRelation("a", true)
+	b := g.AddRelation("b", true)
+	c := g.AddRelation("c", false)
+	g.AddEdge(a, 0, 1)
+	g.AddEdge(b, 1, 2)
+	g.AddEdge(c, 0, 2)
+	return g
+}
+
+func TestPathBasics(t *testing.T) {
+	p := NewPath(0, 1)
+	if p.Len() != 2 {
+		t.Errorf("Len = %d, want 2", p.Len())
+	}
+	if p.String() != "r0→r1" {
+		t.Errorf("String = %q", p.String())
+	}
+	g := chainGraph()
+	if p.Name(g) != "a→b" {
+		t.Errorf("Name = %q", p.Name(g))
+	}
+}
+
+func TestInstanceCounts(t *testing.T) {
+	g := chainGraph()
+	// Path a→b: only 0→1→2.
+	counts := InstanceCounts(g, NewPath(0, 1))
+	if got := counts.Count(0, 2); got != 1 {
+		t.Errorf("count(0→2 via a,b) = %v, want 1", got)
+	}
+	if got := counts.Count(1, 2); got != 0 {
+		t.Errorf("count(1→2 via a,b) = %v, want 0 (no a-edge from 1)", got)
+	}
+	if got := counts.Count(9, 0); got != 0 {
+		t.Errorf("out-of-range from should count 0")
+	}
+}
+
+func TestInstanceCountsMultiplicity(t *testing.T) {
+	// Two parallel 2-hop routes from 0 to 2 must count 2.
+	g := hin.New("x")
+	for i := 0; i < 4; i++ {
+		g.AddNode("", nil)
+	}
+	r := g.AddRelation("r", true)
+	g.AddEdge(r, 0, 1)
+	g.AddEdge(r, 0, 3)
+	g.AddEdge(r, 1, 2)
+	g.AddEdge(r, 3, 2)
+	counts := InstanceCounts(g, NewPath(0, 0))
+	if got := counts.Count(0, 2); got != 2 {
+		t.Errorf("count = %v, want 2 parallel instances", got)
+	}
+}
+
+func TestReachExcludesSelf(t *testing.T) {
+	g := chainGraph()
+	// Undirected c composed with itself returns to self; Reach drops it.
+	reach := Reach(g, NewPath(2, 2))
+	for i, dests := range reach {
+		for _, j := range dests {
+			if j == i {
+				t.Errorf("Reach kept self destination for node %d", i)
+			}
+		}
+	}
+	// Path c from node 0 reaches node 2.
+	one := Reach(g, NewPath(2))
+	if len(one[0]) != 1 || one[0][0] != 2 {
+		t.Errorf("Reach(c)[0] = %v, want [2]", one[0])
+	}
+}
+
+func TestPathSimProperties(t *testing.T) {
+	// Star via shared attribute: 0 and 1 both connect to hub 2.
+	g := hin.New("x")
+	for i := 0; i < 3; i++ {
+		g.AddNode("", nil)
+	}
+	r := g.AddRelation("shares", false)
+	g.AddEdge(r, 0, 2)
+	g.AddEdge(r, 1, 2)
+	sim := PathSim(g, NewPath(0))
+	// Self-similarity is 1 by construction.
+	if got := sim.Count(0, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("PathSim(0,0) = %v, want 1", got)
+	}
+	// Symmetry.
+	if math.Abs(sim.Count(0, 1)-sim.Count(1, 0)) > 1e-12 {
+		t.Errorf("PathSim not symmetric: %v vs %v", sim.Count(0, 1), sim.Count(1, 0))
+	}
+	// 0 and 1 share their single attribute → similarity 1.
+	if got := sim.Count(0, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("PathSim(0,1) = %v, want 1 (identical neighbourhoods)", got)
+	}
+	// Bounded by 1.
+	for i := range sim {
+		for j, v := range sim[i] {
+			if v > 1+1e-12 {
+				t.Errorf("PathSim(%d,%d) = %v exceeds 1", i, j, v)
+			}
+		}
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	g := chainGraph() // m = 3
+	paths := Enumerate(g, 2)
+	want := 3 + 9
+	if len(paths) != want {
+		t.Fatalf("Enumerate(2) = %d paths, want %d", len(paths), want)
+	}
+	if paths[0].Len() != 1 {
+		t.Errorf("first enumerated path should be single-hop")
+	}
+	if Enumerate(g, 0) != nil {
+		t.Errorf("maxLen 0 should enumerate nothing")
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	g := chainGraph()
+	for name, p := range map[string]Path{
+		"empty":        {},
+		"out of range": NewPath(7),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s path should panic", name)
+				}
+			}()
+			InstanceCounts(g, p)
+		}()
+	}
+}

@@ -1,0 +1,78 @@
+// Package nn is a small from-scratch neural-network substrate: dense and
+// highway layers, softmax cross-entropy training with Adam, all on plain
+// float64 slices. It exists so the paper's deep baselines (Highway Network,
+// Graph Inception) can be reproduced without any ML framework.
+package nn
+
+import "math"
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Linear Activation = iota
+	ReLU
+	Sigmoid
+	Tanh
+)
+
+// String names the activation for diagnostics.
+func (a Activation) String() string {
+	switch a {
+	case Linear:
+		return "linear"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	default:
+		return "unknown"
+	}
+}
+
+// apply evaluates the activation elementwise, writing into dst.
+func (a Activation) apply(pre, dst []float64) {
+	switch a {
+	case Linear:
+		copy(dst, pre)
+	case ReLU:
+		for i, v := range pre {
+			if v > 0 {
+				dst[i] = v
+			} else {
+				dst[i] = 0
+			}
+		}
+	case Sigmoid:
+		for i, v := range pre {
+			dst[i] = 1 / (1 + math.Exp(-v))
+		}
+	case Tanh:
+		for i, v := range pre {
+			dst[i] = math.Tanh(v)
+		}
+	}
+}
+
+// derivFromOutput returns dact/dpre given the activation *output* value;
+// all supported activations admit this form, which avoids caching preacts.
+func (a Activation) derivFromOutput(out float64) float64 {
+	switch a {
+	case Linear:
+		return 1
+	case ReLU:
+		if out > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return out * (1 - out)
+	case Tanh:
+		return 1 - out*out
+	default:
+		return 1
+	}
+}

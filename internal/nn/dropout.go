@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// trainable is implemented by layers that behave differently during
+// training and inference; Network.Fit flips every such layer into training
+// mode for the duration of the fit.
+type trainable interface {
+	setTraining(on bool)
+}
+
+// Dropout zeroes each input with probability Rate during training and
+// scales the survivors by 1/(1−Rate) (inverted dropout), so inference is
+// the identity. It is the regulariser the deep baselines use to keep their
+// parameter counts honest on small label sets.
+type Dropout struct {
+	dim      int
+	rate     float64
+	rng      *rand.Rand
+	training bool
+
+	mask []bool
+	y    []float64
+	gin  []float64
+}
+
+// NewDropout builds a dropout layer; rate must lie in [0, 1).
+func NewDropout(dim int, rate float64, rng *rand.Rand) *Dropout {
+	if dim <= 0 {
+		panic(fmt.Sprintf("nn: dropout dim %d", dim))
+	}
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{dim: dim, rate: rate, rng: rng,
+		mask: make([]bool, dim), y: make([]float64, dim), gin: make([]float64, dim)}
+}
+
+// In implements Layer.
+func (d *Dropout) In() int { return d.dim }
+
+// Out implements Layer.
+func (d *Dropout) Out() int { return d.dim }
+
+// Params implements Layer (dropout has none).
+func (d *Dropout) Params() []*Param { return nil }
+
+func (d *Dropout) setTraining(on bool) { d.training = on }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x []float64) []float64 {
+	if len(x) != d.dim {
+		panic(fmt.Sprintf("nn: dropout forward input %d, want %d", len(x), d.dim))
+	}
+	if !d.training || d.rate == 0 {
+		copy(d.y, x)
+		for i := range d.mask {
+			d.mask[i] = true
+		}
+		return d.y
+	}
+	scale := 1 / (1 - d.rate)
+	for i, v := range x {
+		if d.rng.Float64() < d.rate {
+			d.mask[i] = false
+			d.y[i] = 0
+		} else {
+			d.mask[i] = true
+			d.y[i] = v * scale
+		}
+	}
+	return d.y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad []float64) []float64 {
+	if len(grad) != d.dim {
+		panic(fmt.Sprintf("nn: dropout backward grad %d, want %d", len(grad), d.dim))
+	}
+	scale := 1.0
+	if d.training && d.rate > 0 {
+		scale = 1 / (1 - d.rate)
+	}
+	for i, g := range grad {
+		if d.mask[i] {
+			d.gin[i] = g * scale
+		} else {
+			d.gin[i] = 0
+		}
+	}
+	return d.gin
+}

@@ -1,0 +1,204 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	W []float64 // values
+	G []float64 // gradient, same length
+}
+
+func newParam(n int) *Param { return &Param{W: make([]float64, n), G: make([]float64, n)} }
+
+// Layer is one differentiable stage of a Network. Forward caches whatever
+// Backward needs, so a Layer instance handles one example at a time (the
+// trainer runs sample-wise SGD, which is plenty at the network sizes the
+// baselines use).
+type Layer interface {
+	// Forward consumes an input of length In() and returns the activation
+	// of length Out(). The returned slice is owned by the layer.
+	Forward(x []float64) []float64
+	// Backward consumes dLoss/dOut, accumulates parameter gradients, and
+	// returns dLoss/dIn (owned by the layer).
+	Backward(grad []float64) []float64
+	// Params exposes the trainable tensors for the optimiser.
+	Params() []*Param
+	In() int
+	Out() int
+}
+
+// Dense is a fully connected layer out = act(W·x + b).
+type Dense struct {
+	in, out int
+	act     Activation
+	w, b    *Param
+
+	x, y, gin []float64
+}
+
+// NewDense builds a dense layer with Glorot-uniform initialisation drawn
+// from rng.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: dense shape %dx%d", in, out))
+	}
+	d := &Dense{in: in, out: out, act: act,
+		w: newParam(in * out), b: newParam(out),
+		x: make([]float64, in), y: make([]float64, out), gin: make([]float64, in),
+	}
+	limit := math.Sqrt(6 / float64(in+out))
+	for i := range d.w.W {
+		d.w.W[i] = (2*rng.Float64() - 1) * limit
+	}
+	return d
+}
+
+// In implements Layer.
+func (d *Dense) In() int { return d.in }
+
+// Out implements Layer.
+func (d *Dense) Out() int { return d.out }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.in {
+		panic(fmt.Sprintf("nn: dense forward input %d, want %d", len(x), d.in))
+	}
+	copy(d.x, x)
+	pre := make([]float64, d.out)
+	for o := 0; o < d.out; o++ {
+		row := d.w.W[o*d.in : (o+1)*d.in]
+		s := d.b.W[o]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		pre[o] = s
+	}
+	d.act.apply(pre, d.y)
+	return d.y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad []float64) []float64 {
+	if len(grad) != d.out {
+		panic(fmt.Sprintf("nn: dense backward grad %d, want %d", len(grad), d.out))
+	}
+	for i := range d.gin {
+		d.gin[i] = 0
+	}
+	for o := 0; o < d.out; o++ {
+		g := grad[o] * d.act.derivFromOutput(d.y[o])
+		d.b.G[o] += g
+		row := d.w.W[o*d.in : (o+1)*d.in]
+		grow := d.w.G[o*d.in : (o+1)*d.in]
+		for i, xi := range d.x {
+			grow[i] += g * xi
+			d.gin[i] += g * row[i]
+		}
+	}
+	return d.gin
+}
+
+// Highway is the gated layer of Srivastava et al. (2015):
+//
+//	y = t ⊙ h + (1 − t) ⊙ x,   t = σ(W_t·x + b_t),   h = tanh(W_h·x + b_h).
+//
+// Input and output dimensions are equal. The transform-gate bias is
+// initialised negative (−1) as the paper recommends, so early training
+// favours the carry path.
+type Highway struct {
+	dim      int
+	wh, bh   *Param
+	wt, bt   *Param
+	x, h, tg []float64
+	y, gin   []float64
+}
+
+// NewHighway builds a highway layer of the given width.
+func NewHighway(dim int, rng *rand.Rand) *Highway {
+	if dim <= 0 {
+		panic(fmt.Sprintf("nn: highway dim %d", dim))
+	}
+	hw := &Highway{dim: dim,
+		wh: newParam(dim * dim), bh: newParam(dim),
+		wt: newParam(dim * dim), bt: newParam(dim),
+		x: make([]float64, dim), h: make([]float64, dim), tg: make([]float64, dim),
+		y: make([]float64, dim), gin: make([]float64, dim),
+	}
+	limit := math.Sqrt(6 / float64(2*dim))
+	for i := range hw.wh.W {
+		hw.wh.W[i] = (2*rng.Float64() - 1) * limit
+		hw.wt.W[i] = (2*rng.Float64() - 1) * limit
+	}
+	for o := range hw.bt.W {
+		hw.bt.W[o] = -1
+	}
+	return hw
+}
+
+// In implements Layer.
+func (hw *Highway) In() int { return hw.dim }
+
+// Out implements Layer.
+func (hw *Highway) Out() int { return hw.dim }
+
+// Params implements Layer.
+func (hw *Highway) Params() []*Param { return []*Param{hw.wh, hw.bh, hw.wt, hw.bt} }
+
+// Forward implements Layer.
+func (hw *Highway) Forward(x []float64) []float64 {
+	if len(x) != hw.dim {
+		panic(fmt.Sprintf("nn: highway forward input %d, want %d", len(x), hw.dim))
+	}
+	copy(hw.x, x)
+	for o := 0; o < hw.dim; o++ {
+		hrow := hw.wh.W[o*hw.dim : (o+1)*hw.dim]
+		trow := hw.wt.W[o*hw.dim : (o+1)*hw.dim]
+		hs, ts := hw.bh.W[o], hw.bt.W[o]
+		for i, xi := range x {
+			hs += hrow[i] * xi
+			ts += trow[i] * xi
+		}
+		hw.h[o] = math.Tanh(hs)
+		hw.tg[o] = 1 / (1 + math.Exp(-ts))
+		hw.y[o] = hw.tg[o]*hw.h[o] + (1-hw.tg[o])*x[o]
+	}
+	return hw.y
+}
+
+// Backward implements Layer.
+func (hw *Highway) Backward(grad []float64) []float64 {
+	if len(grad) != hw.dim {
+		panic(fmt.Sprintf("nn: highway backward grad %d, want %d", len(grad), hw.dim))
+	}
+	for i := range hw.gin {
+		hw.gin[i] = 0
+	}
+	for o := 0; o < hw.dim; o++ {
+		g := grad[o]
+		t, h, x := hw.tg[o], hw.h[o], hw.x[o]
+		// dy/dh = t, dy/dt = h − x, dy/dx (direct carry) = 1 − t.
+		gh := g * t * (1 - h*h)         // through tanh
+		gt := g * (h - x) * t * (1 - t) // through sigmoid
+		hw.gin[o] += g * (1 - t)
+		hw.bh.G[o] += gh
+		hw.bt.G[o] += gt
+		hrow := hw.wh.W[o*hw.dim : (o+1)*hw.dim]
+		trow := hw.wt.W[o*hw.dim : (o+1)*hw.dim]
+		ghrow := hw.wh.G[o*hw.dim : (o+1)*hw.dim]
+		gtrow := hw.wt.G[o*hw.dim : (o+1)*hw.dim]
+		for i, xi := range hw.x {
+			ghrow[i] += gh * xi
+			gtrow[i] += gt * xi
+			hw.gin[i] += gh*hrow[i] + gt*trow[i]
+		}
+	}
+	return hw.gin
+}

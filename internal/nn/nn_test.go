@@ -1,0 +1,236 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestActivationString(t *testing.T) {
+	names := map[Activation]string{Linear: "linear", ReLU: "relu", Sigmoid: "sigmoid", Tanh: "tanh", Activation(99): "unknown"}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+}
+
+func TestNewNetworkValidatesShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewNetwork(); err == nil {
+		t.Errorf("empty network should fail")
+	}
+	_, err := NewNetwork(NewDense(3, 4, ReLU, rng), NewDense(5, 2, Linear, rng))
+	if err == nil {
+		t.Errorf("mismatched layers should fail")
+	}
+	net, err := NewNetwork(NewDense(3, 4, ReLU, rng), NewDense(4, 2, Linear, rng))
+	if err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+	if net.In() != 3 || net.Out() != 2 {
+		t.Errorf("In/Out = %d/%d, want 3/2", net.In(), net.Out())
+	}
+	if len(net.Params()) != 4 {
+		t.Errorf("params = %d, want 4 (two W, two b)", len(net.Params()))
+	}
+}
+
+// numericalGradCheck compares analytic parameter gradients against central
+// finite differences for the softmax cross-entropy loss on one example.
+func numericalGradCheck(t *testing.T, net *Network, x []float64, label int) {
+	t.Helper()
+	loss := func() float64 {
+		p := net.Probabilities(x)
+		return -math.Log(math.Max(p[label], 1e-300))
+	}
+	// Analytic gradients.
+	logits := net.Forward(x)
+	grad := make([]float64, len(logits))
+	copy(grad, logits)
+	softmax(grad)
+	grad[label] -= 1
+	for _, p := range net.Params() {
+		for i := range p.G {
+			p.G[i] = 0
+		}
+	}
+	net.Backward(grad)
+
+	const h = 1e-5
+	for pi, p := range net.Params() {
+		for i := range p.W {
+			orig := p.W[i]
+			p.W[i] = orig + h
+			up := loss()
+			p.W[i] = orig - h
+			down := loss()
+			p.W[i] = orig
+			numeric := (up - down) / (2 * h)
+			analytic := p.G[i]
+			scale := math.Max(1, math.Abs(numeric)+math.Abs(analytic))
+			if math.Abs(numeric-analytic)/scale > 1e-4 {
+				t.Fatalf("param %d[%d]: analytic %v vs numeric %v", pi, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, act := range []Activation{Linear, ReLU, Sigmoid, Tanh} {
+		net, err := NewNetwork(NewDense(4, 5, act, rng), NewDense(5, 3, Linear, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := []float64{0.3, -0.7, 1.2, 0.05}
+		numericalGradCheck(t, net, x, 1)
+	}
+}
+
+func TestHighwayGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net, err := NewNetwork(
+		NewDense(3, 6, Tanh, rng),
+		NewHighway(6, rng),
+		NewHighway(6, rng),
+		NewDense(6, 2, Linear, rng),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numericalGradCheck(t, net, []float64{0.5, -0.2, 0.9}, 0)
+}
+
+func TestFitLearnsXor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net, err := NewNetwork(
+		NewDense(2, 8, Tanh, rng),
+		NewDense(8, 2, Linear, rng),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []int{0, 1, 1, 0}
+	cfg := DefaultTrainConfig(4)
+	cfg.Epochs = 400
+	cfg.LearningRate = 0.05
+	loss, err := net.Fit(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.1 {
+		t.Errorf("final XOR loss = %v, want < 0.1", loss)
+	}
+	for i, x := range X {
+		if got := net.Predict(x); got != y[i] {
+			t.Errorf("XOR(%v) = %d, want %d", x, got, y[i])
+		}
+	}
+}
+
+func TestFitHighwayLearnsBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 120; i++ {
+		c := i % 2
+		cx := -1.5
+		if c == 1 {
+			cx = 1.5
+		}
+		X = append(X, []float64{cx + rng.NormFloat64()*0.4, rng.NormFloat64() * 0.4})
+		y = append(y, c)
+	}
+	net, err := NewNetwork(
+		NewDense(2, 10, ReLU, rng),
+		NewHighway(10, rng),
+		NewDense(10, 2, Linear, rng),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Fit(X, y, DefaultTrainConfig(5)); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i, x := range X {
+		if net.Predict(x) == y[i] {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(len(X)); acc < 0.95 {
+		t.Errorf("highway blob accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestFitValidatesInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net, _ := NewNetwork(NewDense(2, 2, Linear, rng))
+	if _, err := net.Fit(nil, nil, DefaultTrainConfig(0)); err == nil {
+		t.Errorf("empty training set should fail")
+	}
+	if _, err := net.Fit([][]float64{{1, 2}}, []int{5}, DefaultTrainConfig(0)); err == nil {
+		t.Errorf("out-of-range label should fail")
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net, _ := NewNetwork(NewDense(3, 4, ReLU, rng), NewDense(4, 3, Linear, rng))
+	p := net.Probabilities([]float64{1, -1, 0.5})
+	var sum float64
+	for _, v := range p {
+		if v < 0 {
+			t.Fatalf("negative probability %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	build := func() *Network {
+		rng := rand.New(rand.NewSource(8))
+		net, _ := NewNetwork(NewDense(2, 4, Tanh, rng), NewDense(4, 2, Linear, rng))
+		return net
+	}
+	X := [][]float64{{0, 1}, {1, 0}}
+	y := []int{0, 1}
+	n1, n2 := build(), build()
+	if _, err := n1.Fit(X, y, DefaultTrainConfig(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n2.Fit(X, y, DefaultTrainConfig(9)); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := n1.Probabilities(X[0]), n2.Probabilities(X[0])
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("training not deterministic: %v vs %v", p1, p2)
+		}
+	}
+}
+
+func TestLayerPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := NewDense(2, 3, ReLU, rng)
+	h := NewHighway(2, rng)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("dense forward", func() { d.Forward([]float64{1}) })
+	mustPanic("dense backward", func() { d.Backward([]float64{1}) })
+	mustPanic("highway forward", func() { h.Forward([]float64{1, 2, 3}) })
+	mustPanic("highway backward", func() { h.Backward([]float64{1}) })
+	mustPanic("bad dense shape", func() { NewDense(0, 1, ReLU, rng) })
+	mustPanic("bad highway dim", func() { NewHighway(0, rng) })
+}

@@ -1,0 +1,220 @@
+// Package plot renders the experiment figures as standalone SVG files
+// using only the standard library: line charts for the parameter sweeps
+// and convergence curves (Figs. 6–10) and grouped bar charts for the
+// link-importance profiles (Fig. 5).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+	// LogY plots log10(y) (used for convergence residuals).
+}
+
+// Line describes a line chart.
+type Line struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogY switches the y axis to log10 (residual plots).
+	LogY bool
+}
+
+const (
+	width   = 640.0
+	height  = 400.0
+	marginL = 70.0
+	marginR = 140.0
+	marginT = 40.0
+	marginB = 50.0
+)
+
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f"}
+
+// SVG renders the chart.
+func (l *Line) SVG() (string, error) {
+	if len(l.Series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range l.Series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			return "", fmt.Errorf("plot: series %q has %d x and %d y points", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if l.LogY {
+				if y <= 0 {
+					return "", fmt.Errorf("plot: series %q has nonpositive y on a log axis", s.Name)
+				}
+				y = math.Log10(y)
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	px := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 {
+		if l.LogY {
+			y = math.Log10(y)
+		}
+		return marginT + plotH - (y-minY)/(maxY-minY)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, escape(l.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-12, escape(l.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" font-family="sans-serif" font-size="11" transform="rotate(-90 16 %g)" text-anchor="middle">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(l.YLabel))
+
+	// Ticks: 5 per axis.
+	for t := 0; t <= 4; t++ {
+		fx := minX + (maxX-minX)*float64(t)/4
+		fy := minY + (maxY-minY)*float64(t)/4
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px(fx), marginT+plotH+16, formatTick(fx))
+		label := fy
+		if l.LogY {
+			label = math.Pow(10, fy)
+		}
+		yPix := marginT + plotH - plotH*float64(t)/4
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginL-6, yPix+4, formatTick(label))
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n", marginL, yPix, marginL+plotW, yPix)
+	}
+
+	// Series polylines + legend.
+	for si, s := range l.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n", color, strings.Join(pts, " "))
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n", px(s.X[i]), py(s.Y[i]), color)
+		}
+		ly := marginT + 16*float64(si)
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="10" height="10" fill="%s"/>`+"\n", marginL+plotW+10, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n", marginL+plotW+24, ly+9, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// Bars describes a grouped bar chart: one group per Group, one bar per
+// Label within each group.
+type Bars struct {
+	Title  string
+	YLabel string
+	Groups []string
+	Labels []string
+	// Values[g][l] is the bar height of label l in group g.
+	Values [][]float64
+}
+
+// SVG renders the chart.
+func (bc *Bars) SVG() (string, error) {
+	if len(bc.Groups) == 0 || len(bc.Labels) == 0 {
+		return "", fmt.Errorf("plot: bars need groups and labels")
+	}
+	if len(bc.Values) != len(bc.Groups) {
+		return "", fmt.Errorf("plot: %d value rows for %d groups", len(bc.Values), len(bc.Groups))
+	}
+	maxY := 0.0
+	for g, row := range bc.Values {
+		if len(row) != len(bc.Labels) {
+			return "", fmt.Errorf("plot: group %d has %d values for %d labels", g, len(row), len(bc.Labels))
+		}
+		for _, v := range row {
+			if v < 0 {
+				return "", fmt.Errorf("plot: negative bar value %v", v)
+			}
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	groupW := plotW / float64(len(bc.Groups))
+	barW := groupW * 0.8 / float64(len(bc.Labels))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, escape(bc.Title))
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&b, `<text x="16" y="%g" font-family="sans-serif" font-size="11" transform="rotate(-90 16 %g)" text-anchor="middle">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(bc.YLabel))
+
+	for gi, group := range bc.Groups {
+		gx := marginL + groupW*float64(gi) + groupW*0.1
+		for li := range bc.Labels {
+			v := bc.Values[gi][li]
+			h := v / maxY * plotH
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				gx+barW*float64(li), marginT+plotH-h, barW, h, palette[li%len(palette)])
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%g" font-family="sans-serif" font-size="9" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW*0.4, marginT+plotH+14, escape(truncate(group, 12)))
+	}
+	for li, label := range bc.Labels {
+		ly := marginT + 16*float64(li)
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="10" height="10" fill="%s"/>`+"\n", marginL+plotW+10, ly, palette[li%len(palette)])
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n", marginL+plotW+24, ly+9, escape(label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000 || (av < 0.01 && av > 0):
+		return fmt.Sprintf("%.1e", v)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

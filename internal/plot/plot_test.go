@@ -1,0 +1,166 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestLineSVG(t *testing.T) {
+	l := &Line{
+		Title:  "accuracy vs alpha",
+		XLabel: "alpha",
+		YLabel: "accuracy",
+		Series: []Series{
+			{Name: "DBLP", X: []float64{0.1, 0.5, 0.9}, Y: []float64{0.8, 0.9, 0.85}},
+			{Name: "NUS", X: []float64{0.1, 0.5, 0.9}, Y: []float64{0.9, 0.93, 0.94}},
+		},
+	}
+	svg, err := l.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	for _, want := range []string{"accuracy vs alpha", "DBLP", "NUS", "<polyline", "<circle"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestLineSVGLogAxis(t *testing.T) {
+	l := &Line{
+		Title: "convergence",
+		LogY:  true,
+		Series: []Series{
+			{Name: "rho", X: []float64{1, 2, 3}, Y: []float64{1e-1, 1e-4, 1e-8}},
+		},
+	}
+	svg, err := l.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+}
+
+func TestLineSVGErrors(t *testing.T) {
+	if _, err := (&Line{}).SVG(); err == nil {
+		t.Errorf("no series should error")
+	}
+	bad := &Line{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Errorf("ragged series should error")
+	}
+	logBad := &Line{LogY: true, Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{0}}}}
+	if _, err := logBad.SVG(); err == nil {
+		t.Errorf("nonpositive log-axis value should error")
+	}
+}
+
+func TestLineSVGDegenerateRanges(t *testing.T) {
+	// A single flat point must not divide by zero.
+	l := &Line{Series: []Series{{Name: "p", X: []float64{1}, Y: []float64{2}}}}
+	svg, err := l.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Errorf("degenerate range produced NaN coordinates")
+	}
+	wellFormed(t, svg)
+}
+
+func TestBarsSVG(t *testing.T) {
+	b := &Bars{
+		Title:  "link importance",
+		YLabel: "z",
+		Groups: []string{"author", "concept"},
+		Labels: []string{"class A", "class B"},
+		Values: [][]float64{{0.2, 0.25}, {0.3, 0.28}},
+	}
+	svg, err := b.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<rect"); got < 4 {
+		t.Errorf("rects = %d, want at least 4 bars", got)
+	}
+	for _, want := range []string{"author", "concept", "class A"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestBarsSVGErrors(t *testing.T) {
+	cases := []*Bars{
+		{},
+		{Groups: []string{"g"}, Labels: []string{"l"}, Values: [][]float64{}},
+		{Groups: []string{"g"}, Labels: []string{"l"}, Values: [][]float64{{1, 2}}},
+		{Groups: []string{"g"}, Labels: []string{"l"}, Values: [][]float64{{-1}}},
+	}
+	for i, c := range cases {
+		if _, err := c.SVG(); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestBarsSVGAllZero(t *testing.T) {
+	b := &Bars{Groups: []string{"g"}, Labels: []string{"l"}, Values: [][]float64{{0}}}
+	svg, err := b.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Errorf("all-zero bars produced NaN")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b & "c"`); got != "a&lt;b &amp; &quot;c&quot;" {
+		t.Errorf("escape = %q", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		1234:  "1.2e+03",
+		0.001: "1.0e-03",
+		42:    "42",
+		0.5:   "0.50",
+		0:     "0.00",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := truncate("short", 12); got != "short" {
+		t.Errorf("truncate short = %q", got)
+	}
+	if got := truncate("averylongname", 6); len(got) > 8 { // utf-8 ellipsis
+		t.Errorf("truncate long = %q", got)
+	}
+}

@@ -1,0 +1,183 @@
+package rank
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tmark/internal/hin"
+	"tmark/internal/vec"
+)
+
+// starGraph builds a hub-and-spoke network: node 0 links to everyone via
+// relation 0 and a couple of noise links via relation 1.
+func starGraph() *hin.Graph {
+	g := hin.New("c")
+	for i := 0; i < 6; i++ {
+		g.AddNode("", nil)
+	}
+	spokes := g.AddRelation("spokes", true)
+	noise := g.AddRelation("noise", true)
+	for i := 1; i < 6; i++ {
+		g.AddEdge(spokes, 0, i) // 0 → i
+		g.AddEdge(spokes, i, 0) // i → 0, keeping the network irreducible
+	}
+	g.AddEdge(noise, 1, 2)
+	return g
+}
+
+func TestMultiRankConvergesAndRanksHub(t *testing.T) {
+	g := starGraph()
+	res, err := MultiRank(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("MultiRank did not converge: %+v", res)
+	}
+	if !vec.IsStochastic(res.X, 1e-8) || !vec.IsStochastic(res.Z, 1e-8) {
+		t.Fatalf("MultiRank scores must be distributions")
+	}
+	if top := res.TopNodes(1); top[0] != 0 {
+		t.Errorf("hub node should rank first, got %v (x=%v)", top, res.X)
+	}
+	if top := res.TopRelations(1); top[0] != 0 {
+		t.Errorf("spokes relation should rank first, got %v (z=%v)", top, res.Z)
+	}
+	if !strings.Contains(res.String(), "converged=true") {
+		t.Errorf("String = %q", res.String())
+	}
+}
+
+func TestMultiRankEmptyGraph(t *testing.T) {
+	if _, err := MultiRank(hin.New(), Options{}); err == nil {
+		t.Errorf("empty graph should error")
+	}
+	g := hin.New("c")
+	g.AddNode("", nil)
+	if _, err := MultiRank(g, Options{}); err == nil {
+		t.Errorf("graph without relations should error")
+	}
+}
+
+func TestMultiRankRestartHandlesReducible(t *testing.T) {
+	// A one-way chain is reducible; with restart the iteration still
+	// converges to a positive distribution.
+	g := hin.New("c")
+	for i := 0; i < 4; i++ {
+		g.AddNode("", nil)
+	}
+	r := g.AddRelation("chain", true)
+	for i := 0; i < 3; i++ {
+		g.AddEdge(r, i, i+1)
+	}
+	res, err := MultiRank(g, Options{Restart: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("restarted MultiRank should converge on reducible input")
+	}
+	for i, v := range res.X {
+		if v <= 0 {
+			t.Errorf("x[%d] = %v, want positive with restart", i, v)
+		}
+	}
+}
+
+func TestHARSeparatesHubsFromAuthorities(t *testing.T) {
+	// Node 0 points at 1..4 (pure hub); nodes 1..4 point at 5 (making 5 a
+	// strong authority).
+	g := hin.New("c")
+	for i := 0; i < 6; i++ {
+		g.AddNode("", nil)
+	}
+	r := g.AddRelation("links", true)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(r, 0, i)
+		g.AddEdge(r, i, 5)
+	}
+	res, err := HAR(g, Options{Restart: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("HAR did not converge: %+v", res)
+	}
+	for _, v := range [][]float64{res.Hub, res.Authority, res.Relevance} {
+		if !vec.IsStochastic(v, 1e-8) {
+			t.Fatalf("HAR outputs must be distributions")
+		}
+	}
+	if top := res.TopHubs(1); top[0] != 0 {
+		t.Errorf("node 0 should be the top hub, got %v (hub=%v)", top, res.Hub)
+	}
+	if top := res.TopAuthorities(1); top[0] != 5 {
+		t.Errorf("node 5 should be the top authority, got %v (auth=%v)", top, res.Authority)
+	}
+	if top := res.TopRelations(1); top[0] != 0 {
+		t.Errorf("only relation should top the relevance ranking")
+	}
+}
+
+func TestHAREmptyGraph(t *testing.T) {
+	if _, err := HAR(hin.New(), Options{}); err == nil {
+		t.Errorf("empty graph should error")
+	}
+}
+
+func TestTopIndicesClampsAndOrders(t *testing.T) {
+	scores := vec.Vector{0.1, 0.5, 0.2, 0.2}
+	top := topIndices(scores, 99)
+	if len(top) != 4 {
+		t.Fatalf("top length %d, want clamped 4", len(top))
+	}
+	if top[0] != 1 {
+		t.Errorf("top[0] = %d, want 1", top[0])
+	}
+	for a := 1; a < len(top); a++ {
+		if scores[top[a]] > scores[top[a-1]] {
+			t.Errorf("topIndices not descending: %v", top)
+		}
+	}
+}
+
+func TestOptionsNormalized(t *testing.T) {
+	o := Options{}.normalized()
+	if o.Epsilon != 1e-10 || o.MaxIterations != 1000 || o.Restart != 0 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	bad := Options{Restart: 1.5}.normalized()
+	if bad.Restart != 0 {
+		t.Errorf("out-of-range restart should be disabled, got %v", bad.Restart)
+	}
+}
+
+// MultiRank on random irreducible-ish networks stays in the simplex.
+func TestMultiRankStochasticProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		g := hin.New("c")
+		n := 3 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			g.AddNode("", nil)
+		}
+		m := 1 + rng.Intn(3)
+		for k := 0; k < m; k++ {
+			g.AddRelation(string(rune('a'+k)), true)
+			for e := 0; e < 2*n; e++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u != v {
+					g.AddEdge(k, u, v)
+				}
+			}
+		}
+		res, err := MultiRank(g, Options{Restart: 0.1, MaxIterations: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vec.IsStochastic(res.X, 1e-7) || !vec.IsStochastic(res.Z, 1e-7) {
+			t.Fatalf("trial %d: MultiRank left the simplex", trial)
+		}
+	}
+}

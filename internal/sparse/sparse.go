@@ -1,0 +1,148 @@
+// Package sparse provides a compressed sparse row (CSR) matrix with the
+// matrix–vector product the solvers need. The dense feature-transition
+// matrix W costs n² floats, which caps the network size; with a top-K
+// sparsified W this package brings the cost down to O(nK) and keeps the
+// T-Mark iteration linear in the number of stored similarities.
+package sparse
+
+import (
+	"fmt"
+
+	"tmark/internal/vec"
+)
+
+// Matrix is an immutable CSR matrix.
+type Matrix struct {
+	rows, cols int
+	rowPtr     []int32 // len rows+1
+	colIdx     []int32 // len nnz
+	values     []float64
+}
+
+// Triplet is one (row, col, value) entry for FromTriplets.
+type Triplet struct {
+	Row, Col int
+	Value    float64
+}
+
+// FromTriplets builds a CSR matrix from unordered entries; duplicate
+// (row, col) pairs are summed. Entries out of range panic.
+func FromTriplets(rows, cols int, entries []Triplet) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative shape %dx%d", rows, cols))
+	}
+	// Bucket by row, then sort-and-merge columns per row.
+	perRow := make([]map[int]float64, rows)
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) out of %dx%d", e.Row, e.Col, rows, cols))
+		}
+		if e.Value == 0 {
+			continue
+		}
+		if perRow[e.Row] == nil {
+			perRow[e.Row] = make(map[int]float64)
+		}
+		perRow[e.Row][e.Col] += e.Value
+	}
+	m := &Matrix{rows: rows, cols: cols, rowPtr: make([]int32, rows+1)}
+	for r := 0; r < rows; r++ {
+		m.rowPtr[r] = int32(len(m.values))
+		cols := make([]int, 0, len(perRow[r]))
+		for c := range perRow[r] {
+			cols = append(cols, c)
+		}
+		insertionSort(cols)
+		for _, c := range cols {
+			m.colIdx = append(m.colIdx, int32(c))
+			m.values = append(m.values, perRow[r][c])
+		}
+	}
+	m.rowPtr[rows] = int32(len(m.values))
+	return m
+}
+
+// FromDense converts a dense matrix, dropping entries with |v| <= tol.
+func FromDense(d *vec.Matrix, tol float64) *Matrix {
+	var entries []Triplet
+	for r := 0; r < d.Rows; r++ {
+		row := d.Row(r)
+		for c, v := range row {
+			if v > tol || v < -tol {
+				entries = append(entries, Triplet{Row: r, Col: c, Value: v})
+			}
+		}
+	}
+	return FromTriplets(d.Rows, d.Cols, entries)
+}
+
+func insertionSort(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Dims returns (rows, cols).
+func (m *Matrix) Dims() (int, int) { return m.rows, m.cols }
+
+// NNZ returns the stored entry count.
+func (m *Matrix) NNZ() int { return len(m.values) }
+
+// At returns the entry at (r, c) by binary search within the row.
+func (m *Matrix) At(r, c int) float64 {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		panic(fmt.Sprintf("sparse: At(%d,%d) out of %dx%d", r, c, m.rows, m.cols))
+	}
+	lo, hi := int(m.rowPtr[r]), int(m.rowPtr[r+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case int(m.colIdx[mid]) < c:
+			lo = mid + 1
+		case int(m.colIdx[mid]) > c:
+			hi = mid
+		default:
+			return m.values[mid]
+		}
+	}
+	return 0
+}
+
+// MulVec computes dst = M·x. dst must have length rows and not alias x.
+func (m *Matrix) MulVec(x, dst []float64) {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("sparse: MulVec x length %d, want %d", len(x), m.cols))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("sparse: MulVec dst length %d, want %d", len(dst), m.rows))
+	}
+	for r := 0; r < m.rows; r++ {
+		var s float64
+		for p := m.rowPtr[r]; p < m.rowPtr[r+1]; p++ {
+			s += m.values[p] * x[m.colIdx[p]]
+		}
+		dst[r] = s
+	}
+}
+
+// ColumnSums returns the per-column sums (useful to verify stochasticity).
+func (m *Matrix) ColumnSums() []float64 {
+	sums := make([]float64, m.cols)
+	for r := 0; r < m.rows; r++ {
+		for p := m.rowPtr[r]; p < m.rowPtr[r+1]; p++ {
+			sums[m.colIdx[p]] += m.values[p]
+		}
+	}
+	return sums
+}
+
+// Each visits every stored entry in row-major order.
+func (m *Matrix) Each(fn func(r, c int, v float64)) {
+	for r := 0; r < m.rows; r++ {
+		for p := m.rowPtr[r]; p < m.rowPtr[r+1]; p++ {
+			fn(r, int(m.colIdx[p]), m.values[p])
+		}
+	}
+}

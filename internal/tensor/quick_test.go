@@ -1,0 +1,120 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tmark/internal/vec"
+)
+
+// tensorSpec is a quick-generatable description of a random tensor plus a
+// pair of stochastic vectors.
+type tensorSpec struct {
+	N, M    uint8
+	Entries []uint32 // packed (i, j, k) triples modulo the dims
+	Seed    int64
+}
+
+// build materialises the spec into a tensor and stochastic x, z.
+func (s tensorSpec) build() (*Tensor, []float64, []float64) {
+	n := int(s.N%14) + 2
+	m := int(s.M%5) + 1
+	a := New(n, m)
+	for _, e := range s.Entries {
+		i := int(e) % n
+		j := int(e>>8) % n
+		k := int(e>>16) % m
+		a.Add(i, j, k, 1+float64(e%7))
+	}
+	a.Finalize()
+	rng := rand.New(rand.NewSource(s.Seed))
+	return a, randomStochastic(rng, n), randomStochastic(rng, m)
+}
+
+// Property (Theorem 1 substrate): for any tensor and any stochastic x, z,
+// both contractions return probability vectors.
+func TestQuickContractionsPreserveSimplex(t *testing.T) {
+	f := func(s tensorSpec) bool {
+		a, x, z := s.build()
+		o := NewNodeTransition(a)
+		r := NewRelationTransition(a)
+		dx := make([]float64, a.N())
+		o.Apply(x, z, dx)
+		if !vec.IsStochastic(dx, 1e-8) {
+			return false
+		}
+		dz := make([]float64, a.M())
+		r.Apply(x, dz)
+		return vec.IsStochastic(dz, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: normalisation preserves the support of A — every stored
+// probability is positive exactly where A is nonzero.
+func TestQuickNormalisationKeepsSupport(t *testing.T) {
+	f := func(s tensorSpec) bool {
+		a, _, _ := s.build()
+		o := NewNodeTransition(a)
+		r := NewRelationTransition(a)
+		if o.NNZ() != a.NNZ() || r.NNZ() != a.NNZ() {
+			return false
+		}
+		ok := true
+		a.Each(func(i, j, k int, v float64) {
+			if o.At(i, j, k) <= 0 || r.At(i, j, k) <= 0 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Finalize is order-independent — inserting the same entries in
+// a different order yields an identical tensor.
+func TestQuickFinalizeOrderIndependent(t *testing.T) {
+	f := func(s tensorSpec, shuffleSeed int64) bool {
+		n := int(s.N%14) + 2
+		m := int(s.M%5) + 1
+		type entry struct {
+			i, j, k int
+			v       float64
+		}
+		entries := make([]entry, 0, len(s.Entries))
+		for _, e := range s.Entries {
+			entries = append(entries, entry{int(e) % n, int(e>>8) % n, int(e>>16) % m, 1 + float64(e%7)})
+		}
+		a := New(n, m)
+		for _, e := range entries {
+			a.Add(e.i, e.j, e.k, e.v)
+		}
+		a.Finalize()
+		rng := rand.New(rand.NewSource(shuffleSeed))
+		rng.Shuffle(len(entries), func(x, y int) { entries[x], entries[y] = entries[y], entries[x] })
+		b := New(n, m)
+		for _, e := range entries {
+			b.Add(e.i, e.j, e.k, e.v)
+		}
+		b.Finalize()
+		if a.NNZ() != b.NNZ() {
+			return false
+		}
+		same := true
+		a.Each(func(i, j, k int, v float64) {
+			if math.Abs(b.At(i, j, k)-v) > 1e-12 {
+				same = false
+			}
+		})
+		return same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

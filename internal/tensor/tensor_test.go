@@ -1,0 +1,254 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// paperExample builds the bibliography HIN of Section 3.2: four
+// publications, relations 0=co-author, 1=citation (directed, a[i,j]: j
+// cites i), 2=same conference.
+func paperExample() *Tensor {
+	t := New(4, 3)
+	// co-author: p1 and p2 share an author (undirected).
+	t.Add(0, 1, 0, 1)
+	t.Add(1, 0, 0, 1)
+	// citation: p3 cites p2 and p4; p4 cites p1.
+	t.Add(1, 2, 1, 1)
+	t.Add(3, 2, 1, 1)
+	t.Add(0, 3, 1, 1)
+	// same conference: p2 and p3 both at WWW (undirected).
+	t.Add(1, 2, 2, 1)
+	t.Add(2, 1, 2, 1)
+	t.Finalize()
+	return t
+}
+
+func TestAddFinalizeAt(t *testing.T) {
+	a := paperExample()
+	if a.N() != 4 || a.M() != 3 {
+		t.Fatalf("shape = %dx%d, want 4x3", a.N(), a.M())
+	}
+	if a.NNZ() != 7 {
+		t.Fatalf("NNZ = %d, want 7", a.NNZ())
+	}
+	if got := a.At(1, 2, 1); got != 1 {
+		t.Errorf("At(1,2,1) = %v, want 1 (p3 cites p2)", got)
+	}
+	if got := a.At(2, 2, 1); got != 0 {
+		t.Errorf("At(2,2,1) = %v, want 0", got)
+	}
+}
+
+func TestAddCoalescesDuplicates(t *testing.T) {
+	a := New(2, 1)
+	a.Add(0, 1, 0, 1)
+	a.Add(0, 1, 0, 2)
+	a.Finalize()
+	if a.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1 after coalescing", a.NNZ())
+	}
+	if got := a.At(0, 1, 0); got != 3 {
+		t.Errorf("coalesced value = %v, want 3", got)
+	}
+}
+
+func TestAddZeroIgnored(t *testing.T) {
+	a := New(2, 1)
+	a.Add(0, 1, 0, 0)
+	a.Finalize()
+	if a.NNZ() != 0 {
+		t.Errorf("zero Add should be ignored, NNZ=%d", a.NNZ())
+	}
+}
+
+func TestAddPanics(t *testing.T) {
+	a := New(2, 1)
+	for _, c := range []struct {
+		name    string
+		i, j, k int
+		v       float64
+	}{
+		{"i out of range", 2, 0, 0, 1},
+		{"j out of range", 0, -1, 0, 1},
+		{"k out of range", 0, 0, 1, 1},
+		{"negative value", 0, 0, 0, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Add should panic", c.name)
+				}
+			}()
+			a.Add(c.i, c.j, c.k, c.v)
+		}()
+	}
+}
+
+func TestUseBeforeFinalizePanics(t *testing.T) {
+	a := New(2, 1)
+	a.Add(0, 1, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("At before Finalize should panic")
+		}
+	}()
+	a.At(0, 1, 0)
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	a := paperExample()
+	nnz := a.NNZ()
+	a.Finalize()
+	if a.NNZ() != nnz {
+		t.Errorf("second Finalize changed NNZ: %d vs %d", a.NNZ(), nnz)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	a := paperExample()
+	s := a.Slice(1) // citation
+	if s[1][2] != 1 || s[3][2] != 1 || s[0][3] != 1 {
+		t.Errorf("citation slice wrong: %v", s)
+	}
+	var total float64
+	for _, row := range s {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != 3 {
+		t.Errorf("citation slice mass = %v, want 3", total)
+	}
+}
+
+func TestUnfoldShapesMatchPaper(t *testing.T) {
+	a := paperExample()
+	u1 := a.Unfold1()
+	if u1.Rows != 4 || u1.Cols != 12 {
+		t.Errorf("Unfold1 shape %dx%d, want 4x12 as in Section 3.2", u1.Rows, u1.Cols)
+	}
+	u3 := a.Unfold3()
+	if u3.Rows != 3 || u3.Cols != 16 {
+		t.Errorf("Unfold3 shape %dx%d, want 3x16 as in Section 3.2", u3.Rows, u3.Cols)
+	}
+	// Mass must be preserved by both unfoldings.
+	var m1, m3 float64
+	for _, v := range u1.Data {
+		m1 += v
+	}
+	for _, v := range u3.Data {
+		m3 += v
+	}
+	if m1 != 7 || m3 != 7 {
+		t.Errorf("unfold mass = %v / %v, want 7", m1, m3)
+	}
+	// Cross-check a specific cell: a[1,2,1] lives at Unfold1 (1, 2+1*4) and
+	// Unfold3 (1, 1+2*4).
+	if u1.At(1, 6) != 1 {
+		t.Errorf("Unfold1[1,6] = %v, want 1", u1.At(1, 6))
+	}
+	if u3.At(1, 9) != 1 {
+		t.Errorf("Unfold3[1,9] = %v, want 1", u3.At(1, 9))
+	}
+}
+
+func TestIrreducible(t *testing.T) {
+	if !paperExample().Irreducible() {
+		t.Errorf("paper example should be irreducible (strongly connected union graph)")
+	}
+	// Two disconnected components are reducible.
+	a := New(4, 1)
+	a.Add(0, 1, 0, 1)
+	a.Add(1, 0, 0, 1)
+	a.Add(2, 3, 0, 1)
+	a.Add(3, 2, 0, 1)
+	a.Finalize()
+	if a.Irreducible() {
+		t.Errorf("disconnected tensor should be reducible")
+	}
+	// A one-way chain is reducible even though weakly connected.
+	b := New(3, 1)
+	b.Add(1, 0, 0, 1)
+	b.Add(2, 1, 0, 1)
+	b.Finalize()
+	if b.Irreducible() {
+		t.Errorf("one-way chain should be reducible")
+	}
+	empty := New(0, 0)
+	empty.Finalize()
+	if empty.Irreducible() {
+		t.Errorf("empty tensor should be reducible by convention")
+	}
+}
+
+// randomTensor returns a random n×n×m tensor with the given nonzero count.
+func randomTensor(rng *rand.Rand, n, m, nnz int) *Tensor {
+	a := New(n, m)
+	for p := 0; p < nnz; p++ {
+		a.Add(rng.Intn(n), rng.Intn(n), rng.Intn(m), 1+rng.Float64())
+	}
+	a.Finalize()
+	return a
+}
+
+func randomStochastic(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	var s float64
+	for i := range x {
+		x[i] = rng.Float64() + 1e-3
+		s += x[i]
+	}
+	for i := range x {
+		x[i] /= s
+	}
+	return x
+}
+
+func TestEachOrderAndCount(t *testing.T) {
+	a := paperExample()
+	count := 0
+	lastK, lastJ := -1, -1
+	a.Each(func(i, j, k int, v float64) {
+		count++
+		if k < lastK || (k == lastK && j < lastJ) {
+			t.Fatalf("Each out of (k,j) order at (%d,%d,%d)", i, j, k)
+		}
+		lastK, lastJ = k, j
+		if v <= 0 {
+			t.Fatalf("Each yielded nonpositive value %v", v)
+		}
+	})
+	if count != a.NNZ() {
+		t.Errorf("Each visited %d entries, want %d", count, a.NNZ())
+	}
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	a := paperExample()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Slice(3) should panic for m=3")
+		}
+	}()
+	a.Slice(3)
+}
+
+func TestAtAbsentEntryZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomTensor(rng, 6, 3, 10)
+	// Count nonzeros through At and compare with NNZ-derived mass.
+	var massAt, massEach float64
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			for k := 0; k < 3; k++ {
+				massAt += a.At(i, j, k)
+			}
+		}
+	}
+	a.Each(func(_, _, _ int, v float64) { massEach += v })
+	if math.Abs(massAt-massEach) > 1e-12 {
+		t.Errorf("At mass %v != Each mass %v", massAt, massEach)
+	}
+}

@@ -1,0 +1,74 @@
+package tensor
+
+import (
+	"fmt"
+
+	"tmark/internal/vec"
+)
+
+// maxUnfoldCells bounds the dense unfoldings; they exist for inspection and
+// the paper's worked example, not for large networks.
+const maxUnfoldCells = 1 << 24
+
+// Unfold1 returns the 1-mode matricisation A₍₁₎ of size n × (n·m): column
+// j + k·n holds the fibre a[·,j,k]. This is the layout of the worked
+// example in Section 3.2 of the paper, where normalising each column of
+// A₍₁₎ yields O.
+func (t *Tensor) Unfold1() *vec.Matrix {
+	t.mustBeFinalized("Unfold1")
+	if cells := t.n * t.n * t.m; cells > maxUnfoldCells {
+		panic(fmt.Sprintf("tensor: Unfold1 would materialise %d cells", cells))
+	}
+	u := vec.NewMatrix(t.n, t.n*t.m)
+	t.Each(func(i, j, k int, v float64) {
+		u.Set(i, j+k*t.n, v)
+	})
+	return u
+}
+
+// Unfold3 returns the 3-mode matricisation A₍₃₎ of size m × (n·n): column
+// i + j·n holds the tube a[i,j,·]. Normalising each column of A₍₃₎ yields R.
+func (t *Tensor) Unfold3() *vec.Matrix {
+	t.mustBeFinalized("Unfold3")
+	if cells := t.n * t.n * t.m; cells > maxUnfoldCells {
+		panic(fmt.Sprintf("tensor: Unfold3 would materialise %d cells", cells))
+	}
+	u := vec.NewMatrix(t.m, t.n*t.n)
+	t.Each(func(i, j, k int, v float64) {
+		u.Set(k, i+j*t.n, v)
+	})
+	return u
+}
+
+// DenseApplyO is a reference implementation of O ×̄₁ x ×̄₃ z that loops over
+// all n·n·m cells through At, including implicit dangling columns. It is
+// quadratic and exists so tests and ablation benches can cross-check the
+// sparse Apply.
+func DenseApplyO(o *NodeTransition, x, z []float64) []float64 {
+	dst := make([]float64, o.n)
+	for i := 0; i < o.n; i++ {
+		var s float64
+		for j := 0; j < o.n; j++ {
+			for k := 0; k < o.m; k++ {
+				s += o.At(i, j, k) * x[j] * z[k]
+			}
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// DenseApplyR is the quadratic reference implementation of R ×̄₁ x ×̄₂ x.
+func DenseApplyR(r *RelationTransition, x []float64) []float64 {
+	dst := make([]float64, r.m)
+	for k := 0; k < r.m; k++ {
+		var s float64
+		for i := 0; i < r.n; i++ {
+			for j := 0; j < r.n; j++ {
+				s += r.At(i, j, k) * x[i] * x[j]
+			}
+		}
+		dst[k] = s
+	}
+	return dst
+}

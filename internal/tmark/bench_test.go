@@ -1,0 +1,93 @@
+package tmark
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tmark/internal/hin"
+)
+
+// benchGraph builds a homophilous network of the given size for solver
+// benchmarks.
+func benchGraph(n int) *hin.Graph {
+	rng := rand.New(rand.NewSource(1))
+	g := hin.New("a", "b", "c", "d")
+	for i := 0; i < n; i++ {
+		f := make([]float64, 16)
+		for d := 0; d < 6; d++ {
+			f[(i%4)*4+rng.Intn(4)]++
+		}
+		g.AddNode("", f)
+	}
+	for k := 0; k < 5; k++ {
+		g.AddRelation(fmt.Sprintf("r%d", k), false)
+		for e := 0; e < 3*n; e++ {
+			u := rng.Intn(n)
+			v := rng.Intn(n)
+			if rng.Float64() < 0.7 {
+				v = (v/4)*4 + u%4 // same class bucket
+				if v >= n {
+					v -= 4
+				}
+			}
+			if u != v && v >= 0 {
+				g.AddEdge(k, u, v)
+			}
+		}
+	}
+	for i := 0; i < n; i += 10 {
+		g.SetLabels(i, i%4)
+	}
+	return g
+}
+
+// BenchmarkRun measures a full multi-class solve at several network sizes;
+// time should scale with the tensor nonzeros (O(qTD)).
+func BenchmarkRun(b *testing.B) {
+	for _, n := range []int{200, 500, 1000} {
+		g := benchGraph(n)
+		m, err := New(g, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Run()
+			}
+		})
+	}
+}
+
+// BenchmarkRunWarm measures the incremental-restart saving.
+func BenchmarkRunWarm(b *testing.B) {
+	g := benchGraph(500)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev := m.Run()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Run()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.RunWarm(prev)
+		}
+	})
+}
+
+// BenchmarkModelConstruction isolates tensor + W build cost.
+func BenchmarkModelConstruction(b *testing.B) {
+	g := benchGraph(500)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

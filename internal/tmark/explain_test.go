@@ -1,0 +1,106 @@
+package tmark
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The decomposition must reconstruct the stationary score: this is a
+// node-level fixed-point verification (Theorem 2/3 in action).
+func TestExplainReconstructsFixedPoint(t *testing.T) {
+	for _, ica := range []bool{true, false} {
+		cfg := DefaultConfig()
+		cfg.ICAUpdate = ica
+		m, err := New(paperGraph(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m.Run()
+		for c := 0; c < res.Q(); c++ {
+			for i := 0; i < res.N(); i++ {
+				e := m.Explain(res, i, c)
+				if math.Abs(e.Residual) > 1e-6 {
+					t.Errorf("ica=%v node %d class %d: residual %v too large (%s)", ica, i, c, e.Residual, e)
+				}
+				if e.Relational < -1e-12 || e.Feature < -1e-12 || e.Restart < -1e-12 {
+					t.Errorf("negative channel contribution: %s", e)
+				}
+			}
+		}
+	}
+}
+
+func TestExplainSeedsCarryRestartMass(t *testing.T) {
+	m, err := New(paperGraph(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	// p1 is the DM seed: its DM restart share must dominate its channels.
+	e := m.Explain(res, 0, 0)
+	if e.Restart <= e.Relational || e.Restart <= e.Feature {
+		t.Errorf("seed node restart share should dominate: %s", e)
+	}
+	// p3 is unlabelled and (absent ICA promotion to exactly this class)
+	// typically scores through the channels; its restart share cannot
+	// exceed its total.
+	e3 := m.Explain(res, 2, 0)
+	if e3.Restart > e3.Score+1e-9 {
+		t.Errorf("restart share exceeds score: %s", e3)
+	}
+}
+
+func TestExplainAllMatchesExplain(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomGraph(rng, 20, 2, 3)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	all := m.ExplainAll(res, 1)
+	if len(all) != g.N() {
+		t.Fatalf("ExplainAll returned %d entries", len(all))
+	}
+	for i := 0; i < g.N(); i += 3 {
+		single := m.Explain(res, i, 1)
+		batch := all[i]
+		if math.Abs(single.Relational-batch.Relational) > 1e-12 ||
+			math.Abs(single.Feature-batch.Feature) > 1e-12 ||
+			math.Abs(single.Restart-batch.Restart) > 1e-12 {
+			t.Errorf("node %d: batch and single explanations differ", i)
+		}
+	}
+}
+
+func TestExplainPanics(t *testing.T) {
+	m, err := New(paperGraph(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	for name, f := range map[string]func(){
+		"node range":  func() { m.Explain(res, 99, 0) },
+		"class range": func() { m.Explain(res, 0, 9) },
+		"batch class": func() { m.ExplainAll(res, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestExplanationString(t *testing.T) {
+	e := Explanation{Node: 3, Class: 1, Score: 0.5, Relational: 0.2, Feature: 0.1, Restart: 0.2}
+	s := e.String()
+	if !strings.Contains(s, "node 3") || !strings.Contains(s, "0.5000") {
+		t.Errorf("String = %q", s)
+	}
+}

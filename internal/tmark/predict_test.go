@@ -1,0 +1,143 @@
+package tmark
+
+import (
+	"math"
+	"testing"
+
+	"tmark/internal/vec"
+)
+
+func solvedExample(t *testing.T) *Result {
+	t.Helper()
+	m, err := New(paperGraph(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run()
+}
+
+func TestScoresShape(t *testing.T) {
+	res := solvedExample(t)
+	s := res.Scores()
+	if s.Rows != 4 || s.Cols != 2 {
+		t.Fatalf("Scores shape %dx%d, want 4x2", s.Rows, s.Cols)
+	}
+	if res.N() != 4 || res.M() != 3 || res.Q() != 2 {
+		t.Errorf("result dims %d/%d/%d, want 4/3/2", res.N(), res.M(), res.Q())
+	}
+	// Column c must equal the class's X vector.
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 4; i++ {
+			if s.At(i, c) != res.Classes[c].X[i] {
+				t.Fatalf("Scores[%d,%d] != X", i, c)
+			}
+		}
+	}
+}
+
+func TestProbabilitiesRowsNormalised(t *testing.T) {
+	res := solvedExample(t)
+	p := res.Probabilities()
+	for i := 0; i < p.Rows; i++ {
+		if !vec.IsStochastic(p.Row(i), 1e-9) {
+			t.Errorf("row %d not a distribution: %v", i, p.Row(i))
+		}
+	}
+}
+
+func TestPredictMultiLabel(t *testing.T) {
+	res := solvedExample(t)
+	// share=1 keeps only classes tied with the max — at least one each.
+	strict := res.PredictMultiLabel(1)
+	for i, labels := range strict {
+		if len(labels) == 0 {
+			t.Errorf("node %d got no labels", i)
+		}
+	}
+	// A tiny share accepts everything with nonzero probability.
+	loose := res.PredictMultiLabel(1e-9)
+	for i := range loose {
+		if len(loose[i]) < len(strict[i]) {
+			t.Errorf("node %d: loose share returned fewer labels", i)
+		}
+	}
+}
+
+func TestPredictMultiLabelPanics(t *testing.T) {
+	res := solvedExample(t)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("share=0 should panic")
+		}
+	}()
+	res.PredictMultiLabel(0)
+}
+
+func TestLinkRankingSortedAndComplete(t *testing.T) {
+	res := solvedExample(t)
+	for c := 0; c < 2; c++ {
+		ranked := res.LinkRanking(c)
+		if len(ranked) != 3 {
+			t.Fatalf("class %d: ranked %d relations, want 3", c, len(ranked))
+		}
+		seen := map[int]bool{}
+		var total float64
+		for q := range ranked {
+			if q > 0 && ranked[q].Score > ranked[q-1].Score {
+				t.Errorf("class %d: ranking not descending at %d", c, q)
+			}
+			seen[ranked[q].Relation] = true
+			total += ranked[q].Score
+		}
+		if len(seen) != 3 {
+			t.Errorf("class %d: duplicate relations in ranking", c)
+		}
+		if math.Abs(total-1) > 1e-8 {
+			t.Errorf("class %d: ranking scores sum to %v, want 1", c, total)
+		}
+	}
+}
+
+func TestNodeRankingFavoursSeeds(t *testing.T) {
+	res := solvedExample(t)
+	dm := res.NodeRanking(0)
+	// The DM seed p1 (index 0) should rank first: the restart keeps pumping
+	// mass into it.
+	if dm[0].Relation != 0 {
+		t.Errorf("DM top node = %d, want 0 (the seed p1)", dm[0].Relation)
+	}
+	cv := res.NodeRanking(1)
+	if cv[0].Relation != 1 {
+		t.Errorf("CV top node = %d, want 1 (the seed p2)", cv[0].Relation)
+	}
+}
+
+func TestRankingPanics(t *testing.T) {
+	res := solvedExample(t)
+	for name, f := range map[string]func(){
+		"LinkRanking": func() { res.LinkRanking(9) },
+		"NodeRanking": func() { res.NodeRanking(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of range should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaxIterations(t *testing.T) {
+	res := solvedExample(t)
+	maxIt := res.MaxIterations()
+	if maxIt <= 0 || maxIt > DefaultConfig().MaxIterations {
+		t.Errorf("MaxIterations = %d out of range", maxIt)
+	}
+	for _, cr := range res.Classes {
+		if cr.Iterations > maxIt {
+			t.Errorf("class %d iterations %d exceed max %d", cr.Class, cr.Iterations, maxIt)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package tmark
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonResult is the on-disk shape of a solved Result; it exists so the
+// incremental workflow (solve, persist, later RunWarm from the loaded
+// solution) works across process restarts.
+type jsonResult struct {
+	Version int               `json:"version"`
+	N       int               `json:"n"`
+	M       int               `json:"m"`
+	Q       int               `json:"q"`
+	Classes []jsonClassResult `json:"classes"`
+}
+
+type jsonClassResult struct {
+	Class      int       `json:"class"`
+	X          []float64 `json:"x"`
+	Z          []float64 `json:"z"`
+	Restart    []float64 `json:"restart,omitempty"`
+	Iterations int       `json:"iterations"`
+	Converged  bool      `json:"converged"`
+	Seeds      int       `json:"seeds"`
+}
+
+const resultCodecVersion = 1
+
+// WriteJSON persists the result (stationary vectors, restart sets and
+// convergence metadata; traces are not persisted).
+func (r *Result) WriteJSON(w io.Writer) error {
+	jr := jsonResult{Version: resultCodecVersion, N: r.n, M: r.m, Q: r.q}
+	for c := range r.Classes {
+		cr := &r.Classes[c]
+		jr.Classes = append(jr.Classes, jsonClassResult{
+			Class: cr.Class, X: cr.X, Z: cr.Z, Restart: cr.Restart,
+			Iterations: cr.Iterations, Converged: cr.Converged, Seeds: cr.Seeds,
+		})
+	}
+	return json.NewEncoder(w).Encode(jr)
+}
+
+// ReadResultJSON loads a result written by WriteJSON and checks its
+// internal consistency.
+func ReadResultJSON(rd io.Reader) (*Result, error) {
+	var jr jsonResult
+	if err := json.NewDecoder(rd).Decode(&jr); err != nil {
+		return nil, fmt.Errorf("tmark: decode result: %w", err)
+	}
+	if jr.Version != resultCodecVersion {
+		return nil, fmt.Errorf("tmark: unsupported result version %d", jr.Version)
+	}
+	if jr.N < 0 || jr.M < 0 || jr.Q < 0 || len(jr.Classes) != jr.Q {
+		return nil, fmt.Errorf("tmark: result shape inconsistent: n=%d m=%d q=%d classes=%d",
+			jr.N, jr.M, jr.Q, len(jr.Classes))
+	}
+	res := &Result{n: jr.N, m: jr.M, q: jr.Q}
+	for _, jc := range jr.Classes {
+		if len(jc.X) != jr.N || len(jc.Z) != jr.M {
+			return nil, fmt.Errorf("tmark: class %d vectors sized %d/%d, want %d/%d",
+				jc.Class, len(jc.X), len(jc.Z), jr.N, jr.M)
+		}
+		if jc.Restart != nil && len(jc.Restart) != jr.N {
+			return nil, fmt.Errorf("tmark: class %d restart sized %d, want %d", jc.Class, len(jc.Restart), jr.N)
+		}
+		res.Classes = append(res.Classes, ClassResult{
+			Class: jc.Class, X: jc.X, Z: jc.Z, Restart: jc.Restart,
+			Iterations: jc.Iterations, Converged: jc.Converged, Seeds: jc.Seeds,
+		})
+	}
+	return res, nil
+}
+
+// SaveFile writes the result to path as JSON.
+func (r *Result) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadResultFile reads a result saved with SaveFile.
+func LoadResultFile(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadResultJSON(f)
+}

@@ -1,0 +1,97 @@
+package tmark
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tmark/internal/vec"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	m, err := New(paperGraph(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadResultJSON: %v", err)
+	}
+	if back.N() != res.N() || back.M() != res.M() || back.Q() != res.Q() {
+		t.Fatalf("round trip changed shape")
+	}
+	for c := range res.Classes {
+		if vec.Diff1(res.Classes[c].X, back.Classes[c].X) != 0 {
+			t.Errorf("class %d X changed", c)
+		}
+		if vec.Diff1(res.Classes[c].Restart, back.Classes[c].Restart) != 0 {
+			t.Errorf("class %d restart changed", c)
+		}
+		if back.Classes[c].Converged != res.Classes[c].Converged {
+			t.Errorf("class %d metadata changed", c)
+		}
+	}
+	// Predictions survive the round trip.
+	p1, p2 := res.Predict(), back.Predict()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("prediction %d changed after round trip", i)
+		}
+	}
+}
+
+func TestResultFileWarmRestartWorkflow(t *testing.T) {
+	g := paperGraph()
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	path := filepath.Join(t.TempDir(), "result.json")
+	if err := res.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := LoadResultFile(path)
+	if err != nil {
+		t.Fatalf("LoadResultFile: %v", err)
+	}
+	// The loaded result warm-starts a new model on the same network.
+	m2, err := New(paperGraph(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := m2.RunWarm(loaded)
+	for c := range warm.Classes {
+		if !vec.IsStochastic(warm.Classes[c].X, 1e-8) {
+			t.Errorf("warm-from-file class %d not stochastic", c)
+		}
+	}
+}
+
+func TestReadResultJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     "nope",
+		"bad version": `{"version":9,"n":1,"m":1,"q":0,"classes":[]}`,
+		"class count": `{"version":1,"n":1,"m":1,"q":2,"classes":[]}`,
+		"vector size": `{"version":1,"n":2,"m":1,"q":1,"classes":[{"class":0,"x":[1],"z":[1]}]}`,
+		"restart size": `{"version":1,"n":1,"m":1,"q":1,
+			"classes":[{"class":0,"x":[1],"z":[1],"restart":[0.5,0.5]}]}`,
+	}
+	for name, input := range cases {
+		if _, err := ReadResultJSON(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLoadResultFileMissing(t *testing.T) {
+	if _, err := LoadResultFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Errorf("missing file should error")
+	}
+}

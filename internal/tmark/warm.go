@@ -1,0 +1,100 @@
+package tmark
+
+import (
+	"fmt"
+
+	"tmark/internal/vec"
+)
+
+// RunWarm solves the tensor equations starting from a previous solution
+// instead of the seed vectors. When labels are added or removed
+// incrementally — the streaming-classification setting — the previous
+// stationary distributions are near the new ones and the iteration
+// converges in a fraction of the cold-start iterations. The previous
+// result must match this model's dimensions; class counts may differ
+// (new classes start cold).
+func (m *Model) RunWarm(prev *Result) *Result {
+	if prev == nil {
+		return m.Run()
+	}
+	if prev.n != m.graph.N() || prev.m != m.graph.M() {
+		panic(fmt.Sprintf("tmark: RunWarm dimension mismatch: prev %dx%d, graph %dx%d",
+			prev.n, prev.m, m.graph.N(), m.graph.M()))
+	}
+	q := m.graph.Q()
+	res := &Result{
+		Classes: make([]ClassResult, q),
+		n:       m.graph.N(),
+		m:       m.graph.M(),
+		q:       q,
+	}
+	warm := func(c int) (x, z vec.Vector, ok bool) {
+		if c >= len(prev.Classes) {
+			return nil, nil, false
+		}
+		pc := &prev.Classes[c]
+		if len(pc.X) != res.n || len(pc.Z) != res.m {
+			return nil, nil, false
+		}
+		return vec.Clone(pc.X), vec.Clone(pc.Z), true
+	}
+
+	if m.cfg.ICAUpdate {
+		m.runLockstepFrom(res, warm)
+		return res
+	}
+	for c := 0; c < q; c++ {
+		x, z, ok := warm(c)
+		if !ok {
+			res.Classes[c] = m.solveClass(c)
+			continue
+		}
+		res.Classes[c] = m.solveClassFrom(c, x, z)
+	}
+	return res
+}
+
+// solveClassFrom is solveClass with explicit starting vectors.
+func (m *Model) solveClassFrom(c int, x, z vec.Vector) ClassResult {
+	l, seeds := m.seedVector(c)
+	s := classState{
+		x: x, z: z, l: l,
+		xNext: vec.New(m.graph.N()), zNext: vec.New(m.graph.M()), tmp: vec.New(m.graph.N()),
+		seeds: seeds,
+	}
+	cr := ClassResult{Class: c, Seeds: seeds}
+	for t := 1; t <= m.cfg.MaxIterations; t++ {
+		if m.cfg.ICAUpdate && t > 2 {
+			m.icaReseed(c, s.x, s.l)
+		}
+		rho := m.step(&s)
+		cr.Trace = append(cr.Trace, rho)
+		cr.Iterations = t
+		if rho < m.cfg.Epsilon {
+			cr.Converged = true
+			break
+		}
+	}
+	cr.X, cr.Z = s.x, s.z
+	cr.Restart = s.l
+	return cr
+}
+
+// runLockstepFrom is runLockstep with per-class warm starting vectors.
+func (m *Model) runLockstepFrom(res *Result, warm func(c int) (vec.Vector, vec.Vector, bool)) {
+	n, mm, q := m.graph.N(), m.graph.M(), m.graph.Q()
+	states := make([]classState, q)
+	for c := 0; c < q; c++ {
+		l, seeds := m.seedVector(c)
+		x, z, ok := warm(c)
+		if !ok {
+			x, z = vec.Clone(l), vec.Uniform(mm)
+		}
+		states[c] = classState{
+			x: x, z: z, l: l,
+			xNext: vec.New(n), zNext: vec.New(mm), tmp: vec.New(n),
+			seeds: seeds,
+		}
+	}
+	m.iterateLockstep(res, states)
+}

@@ -1,0 +1,166 @@
+package tmark
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmark/internal/hin"
+	"tmark/internal/vec"
+)
+
+// labelledChain builds a ring network large enough that warm starting
+// saves iterations.
+func labelledChain(n int, labelEvery int) *hin.Graph {
+	g := hin.New("a", "b")
+	for i := 0; i < n; i++ {
+		g.AddNode("", []float64{float64(i % 2), float64((i + 1) % 2)})
+	}
+	r := g.AddRelation("ring", false)
+	for i := 0; i < n; i++ {
+		g.AddEdge(r, i, (i+1)%n)
+	}
+	for i := 0; i < n; i += labelEvery {
+		g.SetLabels(i, (i/labelEvery)%2)
+	}
+	return g
+}
+
+func TestRunWarmNilFallsBackToCold(t *testing.T) {
+	m, err := New(paperGraph(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := m.Run()
+	warm := m.RunWarm(nil)
+	for c := range cold.Classes {
+		if vec.Diff1(cold.Classes[c].X, warm.Classes[c].X) > 1e-12 {
+			t.Errorf("RunWarm(nil) diverged from Run for class %d", c)
+		}
+	}
+}
+
+func TestRunWarmReachesSameFixedPoint(t *testing.T) {
+	g := labelledChain(40, 5)
+	for _, ica := range []bool{true, false} {
+		cfg := DefaultConfig()
+		cfg.ICAUpdate = ica
+		m, err := New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold := m.Run()
+		// Add one more label and re-solve, warm and cold, on the updated
+		// graph: both must land on the same stationary point.
+		g2 := labelledChain(40, 5)
+		g2.SetLabels(7, 1)
+		m2, err := New(g2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold2 := m2.Run()
+		warm2 := m2.RunWarm(cold)
+		for c := range cold2.Classes {
+			if d := vec.Diff1(cold2.Classes[c].X, warm2.Classes[c].X); d > 1e-5 {
+				t.Errorf("ica=%v class %d: warm and cold fixed points differ by %v", ica, c, d)
+			}
+			if !vec.IsStochastic(warm2.Classes[c].X, 1e-8) {
+				t.Errorf("ica=%v class %d: warm X not stochastic", ica, c)
+			}
+		}
+		// Warm start from the converged answer to the SAME problem: nearly
+		// instant without ICA; with ICA the pseudo-seed schedule replays
+		// (l is rebuilt from t=3), so it may take a few extra iterations
+		// but never more than the cold solve.
+		warmSame := m2.RunWarm(cold2)
+		if !ica && warmSame.MaxIterations() > 3 {
+			t.Errorf("warm restart from own solution took %d iterations", warmSame.MaxIterations())
+		}
+		if warmSame.MaxIterations() > cold2.MaxIterations() {
+			t.Errorf("ica=%v: warm restart slower than cold (%d vs %d)", ica, warmSame.MaxIterations(), cold2.MaxIterations())
+		}
+	}
+}
+
+func TestRunWarmSavesIterations(t *testing.T) {
+	g := labelledChain(60, 6)
+	cfg := DefaultConfig()
+	cfg.ICAUpdate = false
+	m, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := m.Run()
+
+	// Perturb one label; warm solving the slightly-changed problem should
+	// need no more iterations than cold solving it.
+	g2 := labelledChain(60, 6)
+	g2.SetLabels(13, 0)
+	m2, err := New(g2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldIters := m2.Run().MaxIterations()
+	warmIters := m2.RunWarm(cold).MaxIterations()
+	if warmIters > coldIters {
+		t.Errorf("warm start took %d iterations, cold %d", warmIters, coldIters)
+	}
+}
+
+func TestRunWarmDimensionMismatchPanics(t *testing.T) {
+	m, err := New(paperGraph(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := &Result{n: 99, m: 1, q: 2}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("dimension mismatch should panic")
+		}
+	}()
+	m.RunWarm(prev)
+}
+
+func TestRunWarmNewClassStartsCold(t *testing.T) {
+	g := paperGraph()
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := m.Run()
+	// Same graph with one extra class: the new class has no warm vectors.
+	g2 := paperGraph()
+	g2.AddClass("extra")
+	m2, err := New(g2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m2.RunWarm(prev)
+	if len(res.Classes) != 3 {
+		t.Fatalf("classes = %d, want 3", len(res.Classes))
+	}
+	for c, cr := range res.Classes {
+		if !vec.IsStochastic(cr.X, 1e-8) {
+			t.Errorf("class %d X not stochastic after mixed warm/cold start", c)
+		}
+	}
+}
+
+// Warm starting must be as accurate as cold solving on a real problem.
+func TestRunWarmAccuracyParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomGraph(rng, 30, 2, 3)
+	cfg := DefaultConfig()
+	m, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := m.Run()
+	warm := m.RunWarm(cold)
+	coldPred := cold.Predict()
+	warmPred := warm.Predict()
+	for i := range coldPred {
+		if coldPred[i] != warmPred[i] {
+			t.Errorf("node %d: warm prediction %d differs from cold %d", i, warmPred[i], coldPred[i])
+		}
+	}
+}

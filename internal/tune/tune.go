@@ -1,0 +1,157 @@
+// Package tune selects T-Mark hyper-parameters by cross-validation over
+// the labelled seeds — the production counterpart of the paper's manual
+// parameter studies (Figs. 6–9). The labelled nodes are split into folds;
+// each candidate configuration is scored by hiding one fold at a time and
+// measuring how well the solver recovers it.
+package tune
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tmark/internal/eval"
+	"tmark/internal/hin"
+	"tmark/internal/tmark"
+)
+
+// Grid enumerates the candidate values per parameter. Empty slices keep
+// the base configuration's value.
+type Grid struct {
+	Alphas  []float64
+	Gammas  []float64
+	Lambdas []float64
+}
+
+// DefaultGrid covers the region the paper sweeps.
+func DefaultGrid() Grid {
+	return Grid{
+		Alphas: []float64{0.5, 0.7, 0.8, 0.9},
+		Gammas: []float64{0.2, 0.4, 0.6, 0.8},
+	}
+}
+
+// candidates expands the grid into configurations on top of base.
+func (g Grid) candidates(base tmark.Config) []tmark.Config {
+	alphas := g.Alphas
+	if len(alphas) == 0 {
+		alphas = []float64{base.Alpha}
+	}
+	gammas := g.Gammas
+	if len(gammas) == 0 {
+		gammas = []float64{base.Gamma}
+	}
+	lambdas := g.Lambdas
+	if len(lambdas) == 0 {
+		lambdas = []float64{base.Lambda}
+	}
+	var out []tmark.Config
+	for _, a := range alphas {
+		for _, gm := range gammas {
+			for _, l := range lambdas {
+				cfg := base
+				cfg.Alpha, cfg.Gamma, cfg.Lambda = a, gm, l
+				out = append(out, cfg)
+			}
+		}
+	}
+	return out
+}
+
+// Point is one evaluated configuration.
+type Point struct {
+	Config   tmark.Config
+	Accuracy float64
+}
+
+// Result reports the selection.
+type Result struct {
+	Best   tmark.Config
+	Points []Point // sorted best-first
+	Folds  int
+}
+
+// Tune scores every grid candidate by k-fold cross-validation over the
+// labelled nodes of g and returns the accuracy-maximising configuration.
+// Ties break toward the earlier candidate (the grid's order). folds is
+// clamped to the labelled-node count; it must be at least 2.
+func Tune(g *hin.Graph, base tmark.Config, grid Grid, folds int, rng *rand.Rand) (*Result, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if folds < 2 {
+		return nil, fmt.Errorf("tune: folds %d, need >= 2", folds)
+	}
+	var labelled []int
+	for i := 0; i < g.N(); i++ {
+		if g.Labeled(i) {
+			labelled = append(labelled, i)
+		}
+	}
+	if len(labelled) < folds {
+		folds = len(labelled)
+	}
+	if folds < 2 {
+		return nil, fmt.Errorf("tune: only %d labelled nodes", len(labelled))
+	}
+	order := append([]int(nil), labelled...)
+	rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+
+	truth := make([]int, g.N())
+	for i := range truth {
+		truth[i] = g.PrimaryLabel(i)
+	}
+
+	candidates := grid.candidates(base)
+	res := &Result{Folds: folds}
+	for _, cfg := range candidates {
+		var accSum float64
+		for fold := 0; fold < folds; fold++ {
+			masked, mask := maskFold(g, order, fold, folds)
+			model, err := tmark.New(masked, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("tune: config α=%v γ=%v: %w", cfg.Alpha, cfg.Gamma, err)
+			}
+			pred := model.Run().Predict()
+			accSum += eval.Accuracy(pred, truth, mask)
+		}
+		res.Points = append(res.Points, Point{Config: cfg, Accuracy: accSum / float64(folds)})
+	}
+	sort.SliceStable(res.Points, func(a, b int) bool {
+		return res.Points[a].Accuracy > res.Points[b].Accuracy
+	})
+	res.Best = res.Points[0].Config
+	return res, nil
+}
+
+// maskFold returns a copy of g with the fold's labels hidden, plus the
+// evaluation mask selecting exactly the hidden nodes.
+func maskFold(g *hin.Graph, order []int, fold, folds int) (*hin.Graph, []bool) {
+	hidden := make(map[int]bool)
+	for pos, node := range order {
+		if pos%folds == fold {
+			hidden[node] = true
+		}
+	}
+	masked := hin.New(g.Classes...)
+	mask := make([]bool, g.N())
+	for i := range g.Nodes {
+		node := g.Nodes[i]
+		masked.AddNode(node.Name, node.Features)
+		if hidden[i] {
+			mask[i] = true
+			continue
+		}
+		if len(node.Labels) > 0 {
+			masked.SetLabels(i, node.Labels...)
+		}
+	}
+	for k := range g.Relations {
+		r := g.Relations[k]
+		nk := masked.AddRelation(r.Name, r.Directed)
+		for _, e := range r.Edges {
+			masked.AddWeightedEdge(nk, e.From, e.To, e.Weight)
+		}
+	}
+	return masked, mask
+}

@@ -1,0 +1,156 @@
+package tune
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmark/internal/dataset"
+	"tmark/internal/tmark"
+)
+
+func tuningGraph(seed int64) *dataset.SynthConfig {
+	return &dataset.SynthConfig{
+		Seed:          seed,
+		Classes:       []string{"a", "b", "c"},
+		NodesPerClass: 40,
+		Vocab:         30,
+		TokensPerNode: 10,
+		FeatureFocus:  0.55,
+		Relations: []dataset.RelationSpec{
+			{Name: "strong", Homophily: 0.85, Edges: 400},
+			{Name: "noise", Homophily: 0, Edges: 200},
+		},
+		LabelFraction: 0.4,
+	}
+}
+
+func TestTuneSelectsReasonableConfig(t *testing.T) {
+	g, err := dataset.Synth(*tuningGraph(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(g, tmark.DefaultConfig(), DefaultGrid(), 3, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 16 { // 4 alphas × 4 gammas
+		t.Fatalf("points = %d, want 16", len(res.Points))
+	}
+	for p := 1; p < len(res.Points); p++ {
+		if res.Points[p].Accuracy > res.Points[p-1].Accuracy {
+			t.Fatalf("points not sorted best-first")
+		}
+	}
+	if res.Best.Validate() != nil {
+		t.Errorf("selected config invalid: %+v", res.Best)
+	}
+	if res.Points[0].Accuracy < 0.6 {
+		t.Errorf("best CV accuracy %.3f suspiciously low", res.Points[0].Accuracy)
+	}
+	// On a network whose links are strong and features moderate, the tuner
+	// should not pick the feature-only-ish extreme.
+	if res.Best.Gamma > 0.8 {
+		t.Errorf("tuner picked gamma %v on a link-dominated network", res.Best.Gamma)
+	}
+}
+
+func TestTuneEmptyGridKeepsBase(t *testing.T) {
+	g, err := dataset.Synth(*tuningGraph(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tmark.DefaultConfig()
+	res, err := Tune(g, base, Grid{}, 2, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("points = %d, want 1 (base only)", len(res.Points))
+	}
+	if res.Best.Alpha != base.Alpha || res.Best.Gamma != base.Gamma {
+		t.Errorf("empty grid changed the base config")
+	}
+}
+
+func TestTuneErrors(t *testing.T) {
+	g, err := dataset.Synth(*tuningGraph(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Tune(g, tmark.DefaultConfig(), Grid{}, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Errorf("folds=1 should error")
+	}
+	bad := tmark.DefaultConfig()
+	bad.Alpha = 0
+	if _, err := Tune(g, bad, Grid{}, 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Errorf("invalid base should error")
+	}
+	cfg := tuningGraph(4)
+	cfg.LabelFraction = 0.03 // one label per class → three labelled nodes
+	tiny, err := dataset.Synth(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Tune(tiny, tmark.DefaultConfig(), Grid{}, 5, rand.New(rand.NewSource(1))); err != nil {
+		t.Errorf("folds should clamp to labelled count, got %v", err)
+	}
+}
+
+func TestTuneDeterministic(t *testing.T) {
+	g, err := dataset.Synth(*tuningGraph(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		res, err := Tune(g, tmark.DefaultConfig(), Grid{Alphas: []float64{0.5, 0.9}}, 2, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Best.Alpha != b.Best.Alpha {
+		t.Errorf("tuning not deterministic: %v vs %v", a.Best.Alpha, b.Best.Alpha)
+	}
+	for i := range a.Points {
+		if a.Points[i].Accuracy != b.Points[i].Accuracy {
+			t.Fatalf("point accuracies differ between runs")
+		}
+	}
+}
+
+// The fold masking must hide exactly the fold's labels and nothing else.
+func TestMaskFold(t *testing.T) {
+	g, err := dataset.Synth(*tuningGraph(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labelled []int
+	for i := 0; i < g.N(); i++ {
+		if g.Labeled(i) {
+			labelled = append(labelled, i)
+		}
+	}
+	masked, mask := maskFold(g, labelled, 0, 4)
+	hidden, kept := 0, 0
+	for _, i := range labelled {
+		if mask[i] {
+			hidden++
+			if masked.Labeled(i) {
+				t.Fatalf("hidden node %d kept its label", i)
+			}
+		} else {
+			kept++
+			if !masked.Labeled(i) {
+				t.Fatalf("non-fold node %d lost its label", i)
+			}
+		}
+	}
+	if hidden == 0 || kept == 0 {
+		t.Fatalf("degenerate fold: hidden=%d kept=%d", hidden, kept)
+	}
+	want := (len(labelled) + 3) / 4
+	if hidden != want {
+		t.Errorf("hidden = %d, want %d", hidden, want)
+	}
+}

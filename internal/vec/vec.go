@@ -1,0 +1,183 @@
+// Package vec provides the small dense linear-algebra kernels used by the
+// rest of the repository: vectors, row-major matrices, norms, stochastic
+// normalisation and cosine similarity.
+//
+// Everything is written against plain float64 slices so callers can reuse
+// buffers across iterations without allocation; functions that write into a
+// destination slice follow the dst-first convention of the standard library
+// (copy, append).
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense column vector.
+type Vector = []float64
+
+// New returns a zero vector of length n.
+func New(n int) Vector { return make(Vector, n) }
+
+// Uniform returns the uniform probability vector of length n (each entry
+// 1/n). It returns an empty vector when n <= 0.
+func Uniform(n int) Vector {
+	if n <= 0 {
+		return nil
+	}
+	v := make(Vector, n)
+	p := 1 / float64(n)
+	for i := range v {
+		v[i] = p
+	}
+	return v
+}
+
+// Basis returns the length-n standard basis vector with a one at index i.
+func Basis(n, i int) Vector {
+	v := make(Vector, n)
+	v[i] = 1
+	return v
+}
+
+// Clone returns a copy of v.
+func Clone(v Vector) Vector {
+	if v == nil {
+		return nil
+	}
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Dot returns the inner product of a and b. It panics when the lengths
+// differ, since that is always a programming error.
+func Dot(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst = dst + alpha*x, in place.
+func Axpy(alpha float64, x, dst Vector) {
+	if len(x) != len(dst) {
+		panic(fmt.Sprintf("vec: Axpy length mismatch %d vs %d", len(x), len(dst)))
+	}
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every entry of v by alpha, in place.
+func Scale(alpha float64, v Vector) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Fill sets every entry of v to value.
+func Fill(v Vector, value float64) {
+	for i := range v {
+		v[i] = value
+	}
+}
+
+// Sum returns the sum of the entries of v.
+func Sum(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Norm1 returns the L1 norm of v.
+func Norm1(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Diff1 returns the L1 distance between a and b without allocating.
+func Diff1(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Diff1 length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, x := range a {
+		s += math.Abs(x - b[i])
+	}
+	return s
+}
+
+// Normalize1 rescales v in place so its entries sum to one. When the sum is
+// zero (or not finite) it leaves v untouched and reports false.
+func Normalize1(v Vector) bool {
+	s := Sum(v)
+	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return false
+	}
+	Scale(1/s, v)
+	return true
+}
+
+// Argmax returns the index of the largest entry of v, breaking ties toward
+// the smaller index. It returns -1 for an empty vector.
+func Argmax(v Vector) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, arg := v[0], 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > best {
+			best, arg = v[i], i
+		}
+	}
+	return arg
+}
+
+// IsStochastic reports whether v is entrywise nonnegative and sums to one
+// within tol.
+func IsStochastic(v Vector, tol float64) bool {
+	for _, x := range v {
+		if x < -tol || math.IsNaN(x) {
+			return false
+		}
+	}
+	return math.Abs(Sum(v)-1) <= tol
+}
+
+// Cosine returns the cosine similarity of a and b. Two zero vectors have
+// similarity zero rather than NaN, which is the convention the paper's
+// feature graph needs for featureless nodes.
+func Cosine(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Cosine length mismatch %d vs %d", len(a), len(b)))
+	}
+	var dot, na, nb float64
+	for i, x := range a {
+		dot += x * b[i]
+		na += x * x
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}

@@ -1,0 +1,191 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestUniform(t *testing.T) {
+	u := Uniform(4)
+	if len(u) != 4 {
+		t.Fatalf("len = %d, want 4", len(u))
+	}
+	for i, v := range u {
+		if v != 0.25 {
+			t.Errorf("u[%d] = %v, want 0.25", i, v)
+		}
+	}
+	if Uniform(0) != nil || Uniform(-1) != nil {
+		t.Errorf("Uniform of nonpositive length should be nil")
+	}
+}
+
+func TestBasis(t *testing.T) {
+	b := Basis(3, 1)
+	want := Vector{0, 1, 0}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("Basis(3,1) = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot(Vector{1, 2, 3}, Vector{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Dot with mismatched lengths should panic")
+		}
+	}()
+	Dot(Vector{1}, Vector{1, 2})
+}
+
+func TestAxpyScaleSum(t *testing.T) {
+	dst := Vector{1, 1, 1}
+	Axpy(2, Vector{1, 2, 3}, dst)
+	want := Vector{3, 5, 7}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Axpy = %v, want %v", dst, want)
+		}
+	}
+	Scale(0.5, dst)
+	if got := Sum(dst); got != 7.5 {
+		t.Errorf("Sum after Scale = %v, want 7.5", got)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := Vector{3, -4}
+	if got := Norm1(v); got != 7 {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+	if got := Norm2(v); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Diff1(Vector{1, 2}, Vector{3, 0}); got != 4 {
+		t.Errorf("Diff1 = %v, want 4", got)
+	}
+}
+
+func TestNormalize1(t *testing.T) {
+	v := Vector{1, 3}
+	if !Normalize1(v) {
+		t.Fatal("Normalize1 returned false for nonzero vector")
+	}
+	if v[0] != 0.25 || v[1] != 0.75 {
+		t.Errorf("Normalize1 = %v, want [0.25 0.75]", v)
+	}
+	z := Vector{0, 0}
+	if Normalize1(z) {
+		t.Errorf("Normalize1 of zero vector should report false")
+	}
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("Normalize1 of zero vector must leave it untouched, got %v", z)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want int
+	}{
+		{nil, -1},
+		{Vector{1}, 0},
+		{Vector{1, 3, 2}, 1},
+		{Vector{2, 2}, 0}, // ties break low
+		{Vector{-5, -1, -3}, 1},
+	}
+	for _, c := range cases {
+		if got := Argmax(c.v); got != c.want {
+			t.Errorf("Argmax(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestIsStochastic(t *testing.T) {
+	if !IsStochastic(Vector{0.5, 0.5}, 1e-12) {
+		t.Errorf("[0.5 0.5] should be stochastic")
+	}
+	if IsStochastic(Vector{0.7, 0.5}, 1e-12) {
+		t.Errorf("sum 1.2 should not be stochastic")
+	}
+	if IsStochastic(Vector{-0.1, 1.1}, 1e-12) {
+		t.Errorf("negative entry should not be stochastic")
+	}
+	if IsStochastic(Vector{math.NaN(), 1}, 1e-12) {
+		t.Errorf("NaN entry should not be stochastic")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine(Vector{1, 0}, Vector{0, 1}); got != 0 {
+		t.Errorf("orthogonal cosine = %v, want 0", got)
+	}
+	if got := Cosine(Vector{2, 0}, Vector{5, 0}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("parallel cosine = %v, want 1", got)
+	}
+	if got := Cosine(Vector{0, 0}, Vector{1, 2}); got != 0 {
+		t.Errorf("zero-vector cosine = %v, want 0", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector{1, 2}
+	c := Clone(v)
+	c[0] = 9
+	if v[0] != 1 {
+		t.Errorf("Clone shares storage with original")
+	}
+	if Clone(nil) != nil {
+		t.Errorf("Clone(nil) should be nil")
+	}
+}
+
+// Property: Normalize1 of any positive vector yields a stochastic vector.
+func TestNormalize1StochasticProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		v := make(Vector, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Fold arbitrary magnitudes into a bounded range so the sum
+			// cannot overflow; the property under test is about Normalize1,
+			// not float64 saturation.
+			v = append(v, math.Abs(math.Mod(x, 1e6)))
+		}
+		if !Normalize1(v) {
+			return Sum(v) == 0 // nothing to normalise
+		}
+		return IsStochastic(v, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cosine is symmetric and bounded by [-1, 1].
+func TestCosineSymmetricBoundedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		a, b := make(Vector, n), make(Vector, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		ab, ba := Cosine(a, b), Cosine(b, a)
+		if !almostEqual(ab, ba, 1e-12) {
+			t.Fatalf("Cosine not symmetric: %v vs %v", ab, ba)
+		}
+		if ab > 1+1e-12 || ab < -1-1e-12 {
+			t.Fatalf("Cosine out of range: %v", ab)
+		}
+	}
+}

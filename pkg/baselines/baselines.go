@@ -1,0 +1,55 @@
+// Package baselines is the public interface to the comparison methods of
+// the paper's evaluation — ICA, Hcc, Hcc-ss, wvRN+RL, EMR, Highway
+// Network and Graph Inception — plus adapters exposing T-Mark and
+// TensorRrCc behind the same Method interface, so experiments can sweep
+// all of them uniformly. It re-exports the implementation in
+// internal/baselines.
+package baselines
+
+import (
+	ibase "tmark/internal/baselines"
+	ivec "tmark/internal/vec"
+)
+
+// Method is a node-classification algorithm under evaluation.
+type Method = ibase.Method
+
+// Concrete method types, for configuration beyond the constructors.
+type (
+	// ICA is the iterative classification baseline.
+	ICA = ibase.ICA
+	// Hcc is the meta-path collective classifier (and Hcc-ss variant).
+	Hcc = ibase.Hcc
+	// WVRN is weighted-vote relational neighbour with relaxation labelling.
+	WVRN = ibase.WVRN
+	// EMR is the per-link-type ensemble.
+	EMR = ibase.EMR
+	// HighwayNet is the gated network on content features.
+	HighwayNet = ibase.HighwayNet
+	// GraphInception is the label-propagating convolution baseline.
+	GraphInception = ibase.GraphInception
+	// TMark adapts the core algorithm to the Method interface.
+	TMark = ibase.TMark
+)
+
+// Constructors with the experiment defaults.
+func NewICA() *ICA                       { return ibase.NewICA() }
+func NewHcc() *Hcc                       { return ibase.NewHcc() }
+func NewHccSS() *Hcc                     { return ibase.NewHccSS() }
+func NewWVRN() *WVRN                     { return ibase.NewWVRN() }
+func NewEMR() *EMR                       { return ibase.NewEMR() }
+func NewHighwayNet() *HighwayNet         { return ibase.NewHighwayNet() }
+func NewGraphInception() *GraphInception { return ibase.NewGraphInception() }
+func NewTMark() *TMark                   { return ibase.NewTMark() }
+func NewTensorRrCc() *TMark              { return ibase.NewTensorRrCc() }
+
+// All returns the paper's nine-method suite in table order.
+func All() []Method { return ibase.All() }
+
+// Predict reduces a score matrix to argmax classes per node.
+func Predict(scores *ivec.Matrix) []int { return ibase.Predict(scores) }
+
+// PredictMulti thresholds a score matrix into multi-label predictions.
+func PredictMulti(scores *ivec.Matrix, share float64) [][]int {
+	return ibase.PredictMulti(scores, share)
+}

@@ -1,0 +1,41 @@
+package baselines_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tmark/pkg/baselines"
+	"tmark/pkg/datasets"
+	"tmark/pkg/eval"
+)
+
+// Sweep the full nine-method suite over one split and report accuracies.
+func Example() {
+	cfg := datasets.DefaultDBLPConfig(3)
+	cfg.AuthorsPerArea = 30
+	full := datasets.DBLP(cfg)
+	rng := rand.New(rand.NewSource(5))
+	split := eval.StratifiedSplit(full, 0.3, rng)
+	masked, truth := eval.MaskLabels(full, split)
+	primary := eval.PrimaryTruth(truth)
+
+	wins := 0
+	var tmarkAcc float64
+	for _, m := range baselines.All() {
+		scores, err := m.Scores(masked, rand.New(rand.NewSource(9)))
+		if err != nil {
+			panic(err)
+		}
+		acc := eval.Accuracy(baselines.Predict(scores), primary, split.Test)
+		if m.Name() == "T-Mark" {
+			tmarkAcc = acc
+		} else if acc <= tmarkAcc+0.1 {
+			wins++
+		}
+	}
+	fmt.Printf("methods swept: %d\n", len(baselines.All()))
+	fmt.Printf("T-Mark competitive with the field: %v\n", wins >= 6)
+	// Output:
+	// methods swept: 9
+	// T-Mark competitive with the field: true
+}

@@ -1,0 +1,70 @@
+// Package datasets exposes the synthetic evaluation networks: seeded
+// generators for the DBLP, Movies, NUS-WIDE and ACM stand-ins the paper
+// evaluates on, the worked bibliography example of its Section 3.2, and a
+// generic stochastic-block-model-style generator for custom workloads. It
+// re-exports the implementation in internal/dataset.
+package datasets
+
+import (
+	idataset "tmark/internal/dataset"
+	ihin "tmark/internal/hin"
+)
+
+// Re-exported configuration types.
+type (
+	// DBLPConfig parameterises the author-classification network.
+	DBLPConfig = idataset.DBLPConfig
+	// MoviesConfig parameterises the genre-prediction network.
+	MoviesConfig = idataset.MoviesConfig
+	// NUSConfig parameterises the image tag network.
+	NUSConfig = idataset.NUSConfig
+	// ACMConfig parameterises the multi-label publication network.
+	ACMConfig = idataset.ACMConfig
+	// SynthConfig parameterises the generic generator.
+	SynthConfig = idataset.SynthConfig
+	// RelationSpec describes one generic link type.
+	RelationSpec = idataset.RelationSpec
+	// Tag describes one NUS user tag (affinity, purity, frequency).
+	Tag = idataset.Tag
+)
+
+// Naming tables of the generated networks.
+var (
+	// DBLPAreas lists the four research areas.
+	DBLPAreas = idataset.DBLPAreas
+	// DBLPConferences maps each area to its five conferences.
+	DBLPConferences = idataset.DBLPConferences
+	// MovieGenres lists the five genres.
+	MovieGenres = idataset.MovieGenres
+	// NUSClasses lists the two image concepts (Scene, Object).
+	NUSClasses = idataset.NUSClasses
+	// ACMIndexTerms lists the multi-label classes.
+	ACMIndexTerms = idataset.ACMIndexTerms
+	// ACMLinkTypes lists the six ACM relations.
+	ACMLinkTypes = idataset.ACMLinkTypes
+)
+
+// Generator entry points.
+func DBLP(cfg DBLPConfig) *ihin.Graph            { return idataset.DBLP(cfg) }
+func Movies(cfg MoviesConfig) *ihin.Graph        { return idataset.Movies(cfg) }
+func NUS(cfg NUSConfig, tags []Tag) *ihin.Graph  { return idataset.NUS(cfg, tags) }
+func ACM(cfg ACMConfig) *ihin.Graph              { return idataset.ACM(cfg) }
+func Synth(cfg SynthConfig) (*ihin.Graph, error) { return idataset.Synth(cfg) }
+
+// Example returns the paper's Section 3.2 worked bibliography network.
+func Example() *ihin.Graph { return idataset.Example() }
+
+// ExampleTruth returns the worked example's ground-truth classes.
+func ExampleTruth() []int { return idataset.ExampleTruth() }
+
+// Default configurations at the experiment scale.
+func DefaultDBLPConfig(seed int64) DBLPConfig     { return idataset.DefaultDBLPConfig(seed) }
+func DefaultMoviesConfig(seed int64) MoviesConfig { return idataset.DefaultMoviesConfig(seed) }
+func DefaultNUSConfig(seed int64) NUSConfig       { return idataset.DefaultNUSConfig(seed) }
+func DefaultACMConfig(seed int64) ACMConfig       { return idataset.DefaultACMConfig(seed) }
+
+// Tagset1 returns the 41 purity-selected NUS tags (paper Table 6).
+func Tagset1() []Tag { return idataset.Tagset1() }
+
+// Tagset2 returns the 41 frequency-selected NUS tags (paper Table 7).
+func Tagset2() []Tag { return idataset.Tagset2() }

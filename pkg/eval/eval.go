@@ -1,0 +1,67 @@
+// Package eval is the public evaluation interface: metrics (accuracy,
+// macro/micro F1, confusion matrices), stratified train/test splits over a
+// network, deterministic multi-trial running and paired significance
+// tests. It re-exports the implementation in internal/eval.
+package eval
+
+import (
+	"math/rand"
+
+	ieval "tmark/internal/eval"
+	ihin "tmark/internal/hin"
+)
+
+// Split is one train/test partition.
+type Split = ieval.Split
+
+// TrialStats aggregates a metric over repeated trials (mean ± std).
+type TrialStats = ieval.TrialStats
+
+// ConfusionMatrix counts (truth, predicted) pairs.
+type ConfusionMatrix = ieval.ConfusionMatrix
+
+// Accuracy grades single-label predictions on masked positions.
+func Accuracy(pred, truth []int, mask []bool) float64 {
+	return ieval.Accuracy(pred, truth, mask)
+}
+
+// MacroF1 grades multi-label predictions, macro-averaged over classes.
+func MacroF1(pred, truth [][]int, q int, mask []bool) float64 {
+	return ieval.MacroF1(pred, truth, q, mask)
+}
+
+// MicroF1 grades multi-label predictions, micro-averaged.
+func MicroF1(pred, truth [][]int, mask []bool) float64 {
+	return ieval.MicroF1(pred, truth, mask)
+}
+
+// StratifiedSplit samples trainFraction of each class into training.
+func StratifiedSplit(g *ihin.Graph, trainFraction float64, rng *rand.Rand) Split {
+	return ieval.StratifiedSplit(g, trainFraction, rng)
+}
+
+// MaskLabels hides non-training labels, returning the masked copy and the
+// full ground truth.
+func MaskLabels(g *ihin.Graph, split Split) (*ihin.Graph, [][]int) {
+	return ieval.MaskLabels(g, split)
+}
+
+// PrimaryTruth flattens multi-label truth to primary labels (−1 when
+// unlabelled).
+func PrimaryTruth(truth [][]int) []int { return ieval.PrimaryTruth(truth) }
+
+// RunTrials runs fn once per trial with independent deterministic RNGs.
+func RunTrials(trials int, seed int64, fn func(trial int, rng *rand.Rand) float64) TrialStats {
+	return ieval.RunTrials(trials, seed, fn)
+}
+
+// Confusion builds a confusion matrix over masked positions.
+func Confusion(pred, truth []int, mask []bool, classes []string) *ConfusionMatrix {
+	return ieval.Confusion(pred, truth, mask, classes)
+}
+
+// PairedTTest compares two methods' per-trial metrics; positive t means
+// the first is better, significant reports the two-sided 5% verdict.
+func PairedTTest(a, b []float64) (t float64, significant bool) {
+	return ieval.PairedTTest(a, b)
+}

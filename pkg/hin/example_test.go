@@ -1,0 +1,50 @@
+package hin_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"tmark/pkg/hin"
+)
+
+// Build a small network, persist it to JSON and load it back.
+func Example() {
+	g := hin.New("spam", "ham")
+	alice := g.AddNode("alice", []float64{1, 0})
+	bob := g.AddNode("bob", []float64{0, 1})
+	follows := g.AddRelation("follows", true)
+	g.AddEdge(follows, alice, bob)
+	g.SetLabels(alice, 0)
+
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		panic(err)
+	}
+	back, err := hin.ReadJSON(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(back.Stats())
+	// Output:
+	// nodes=2 relations=1 classes=2 edges=1 labeled=1 featdim=2
+}
+
+// Ingest a CSV edge list; the "!" suffix marks directed relations.
+func ExampleReadEdgeCSV() {
+	csv := strings.Join([]string{
+		"from,to,relation,weight",
+		"alice,bob,follows!,1",
+		"bob,carol,follows!,1",
+		"alice,carol,coworker,2.5",
+	}, "\n")
+	g, err := hin.ReadEdgeCSV(strings.NewReader(csv))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("nodes=%d relations=%d\n", g.N(), g.M())
+	fmt.Printf("follows directed: %v\n", g.Relations[0].Directed)
+	// Output:
+	// nodes=3 relations=2
+	// follows directed: true
+}

@@ -1,0 +1,52 @@
+// Package hin is the public interface for building and inspecting
+// heterogeneous information networks: typed nodes with features and
+// (multi-)labels, multiple typed relations, persistence, and structural
+// analysis. It re-exports the implementation in internal/hin; every type
+// here is identical to its internal counterpart, so values flow freely
+// into the classification and ranking packages.
+//
+// Build a network:
+//
+//	g := hin.New("spam", "ham")
+//	a := g.AddNode("alice", []float64{1, 0})
+//	b := g.AddNode("bob", []float64{0, 1})
+//	follows := g.AddRelation("follows", true)
+//	g.AddEdge(follows, a, b)
+//	g.SetLabels(a, 0)
+//
+// Nodes carrying labels act as training seeds for the classifiers in
+// package tmark; everything else is a prediction target.
+package hin
+
+import (
+	"io"
+
+	ihin "tmark/internal/hin"
+)
+
+// Graph is a heterogeneous information network.
+type Graph = ihin.Graph
+
+// Node is one classified object of a network.
+type Node = ihin.Node
+
+// Relation is one link type.
+type Relation = ihin.Relation
+
+// Edge is one typed link.
+type Edge = ihin.Edge
+
+// Stats summarises a network.
+type Stats = ihin.Stats
+
+// New returns an empty graph with the given class names.
+func New(classes ...string) *Graph { return ihin.New(classes...) }
+
+// ReadJSON decodes a graph from its JSON form.
+func ReadJSON(r io.Reader) (*Graph, error) { return ihin.ReadJSON(r) }
+
+// LoadFile reads a graph saved with Graph.SaveFile.
+func LoadFile(path string) (*Graph, error) { return ihin.LoadFile(path) }
+
+// ReadEdgeCSV builds a graph from a from,to,relation[,weight] edge list.
+func ReadEdgeCSV(r io.Reader) (*Graph, error) { return ihin.ReadEdgeCSV(r) }

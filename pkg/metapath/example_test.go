@@ -1,0 +1,34 @@
+package metapath_test
+
+import (
+	"fmt"
+
+	"tmark/pkg/hin"
+	"tmark/pkg/metapath"
+)
+
+// Count co-authorship-style meta-path instances: two papers are related
+// when they share an author (paper —writtenBy→ author —writes→ paper).
+func Example() {
+	g := hin.New()
+	p1 := g.AddNode("paper1", nil)
+	p2 := g.AddNode("paper2", nil)
+	p3 := g.AddNode("paper3", nil)
+	author := g.AddNode("alice", nil)
+	writtenBy := g.AddRelation("writtenBy", false)
+	g.AddEdge(writtenBy, p1, author)
+	g.AddEdge(writtenBy, p2, author)
+
+	// Path writtenBy ∘ writtenBy: paper → author → paper.
+	path := metapath.NewPath(writtenBy, writtenBy)
+	counts := metapath.InstanceCounts(g, path)
+	fmt.Printf("paper1↔paper2 instances: %v\n", counts.Count(p1, p2))
+	fmt.Printf("paper1↔paper3 instances: %v\n", counts.Count(p1, p3))
+
+	sim := metapath.PathSim(g, metapath.NewPath(writtenBy))
+	fmt.Printf("PathSim(paper1, paper2) = %v\n", sim.Count(p1, p2))
+	// Output:
+	// paper1↔paper2 instances: 1
+	// paper1↔paper3 instances: 0
+	// PathSim(paper1, paper2) = 1
+}

@@ -1,0 +1,31 @@
+// Package metapath is the public interface to meta-path utilities over
+// heterogeneous information networks: composing typed relations into
+// multi-hop paths, counting path instances, and the PathSim similarity.
+// It re-exports the implementation in internal/metapath.
+package metapath
+
+import (
+	ihin "tmark/internal/hin"
+	imp "tmark/internal/metapath"
+)
+
+// Path is a sequence of relation indices composed left to right.
+type Path = imp.Path
+
+// Counts holds sparse per-pair path-instance counts.
+type Counts = imp.Counts
+
+// NewPath builds a path from relation indices.
+func NewPath(relations ...int) Path { return imp.NewPath(relations...) }
+
+// InstanceCounts counts the path instances between every node pair.
+func InstanceCounts(g *ihin.Graph, p Path) Counts { return imp.InstanceCounts(g, p) }
+
+// Reach lists, per node, the distinct nodes reachable along the path.
+func Reach(g *ihin.Graph, p Path) [][]int { return imp.Reach(g, p) }
+
+// PathSim computes the symmetric meta-path similarity of Sun et al.
+func PathSim(g *ihin.Graph, p Path) Counts { return imp.PathSim(g, p) }
+
+// Enumerate lists every path up to maxLen hops.
+func Enumerate(g *ihin.Graph, maxLen int) []Path { return imp.Enumerate(g, maxLen) }

@@ -1,0 +1,58 @@
+package rank_test
+
+import (
+	"fmt"
+
+	"tmark/pkg/hin"
+	"tmark/pkg/rank"
+)
+
+// Co-rank an unlabelled network's nodes and link types with MultiRank.
+func ExampleMultiRank() {
+	g := hin.New()
+	hub := g.AddNode("hub", nil)
+	for i := 0; i < 4; i++ {
+		g.AddNode(fmt.Sprintf("leaf%d", i), nil)
+	}
+	spokes := g.AddRelation("spokes", true)
+	rarely := g.AddRelation("rarely", true)
+	for i := 1; i <= 4; i++ {
+		g.AddEdge(spokes, hub, i)
+		g.AddEdge(spokes, i, hub)
+	}
+	g.AddEdge(rarely, 1, 2)
+
+	res, err := rank.MultiRank(g, rank.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("top node: %s\n", g.Nodes[res.TopNodes(1)[0]].Name)
+	fmt.Printf("top relation: %s\n", g.Relations[res.TopRelations(1)[0]].Name)
+	// Output:
+	// top node: hub
+	// top relation: spokes
+}
+
+// Separate hubs from authorities with HAR.
+func ExampleHAR() {
+	g := hin.New()
+	g.AddNode("curator", nil) // points at everything
+	g.AddNode("paper1", nil)
+	g.AddNode("paper2", nil)
+	g.AddNode("classic", nil) // everything points at it
+	cites := g.AddRelation("cites", true)
+	g.AddEdge(cites, 0, 1)
+	g.AddEdge(cites, 0, 2)
+	g.AddEdge(cites, 1, 3)
+	g.AddEdge(cites, 2, 3)
+
+	res, err := rank.HAR(g, rank.Options{Restart: 0.1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("top hub: %s\n", g.Nodes[res.TopHubs(1)[0]].Name)
+	fmt.Printf("top authority: %s\n", g.Nodes[res.TopAuthorities(1)[0]].Name)
+	// Output:
+	// top hub: curator
+	// top authority: classic
+}

@@ -1,0 +1,29 @@
+// Package rank is the public interface to the unsupervised tensor
+// co-ranking algorithms T-Mark descends from: MultiRank (co-ranking nodes
+// and relations) and HAR (hub/authority/relevance scores). It re-exports
+// the implementation in internal/rank.
+package rank
+
+import (
+	ihin "tmark/internal/hin"
+	irank "tmark/internal/rank"
+)
+
+// Options controls the fixed-point iterations.
+type Options = irank.Options
+
+// MultiRankResult holds the stationary node and relation rankings.
+type MultiRankResult = irank.MultiRankResult
+
+// HARResult holds hub, authority and relevance scores.
+type HARResult = irank.HARResult
+
+// MultiRank co-ranks the nodes and relations of an unlabelled network.
+func MultiRank(g *ihin.Graph, opt Options) (*MultiRankResult, error) {
+	return irank.MultiRank(g, opt)
+}
+
+// HAR computes hub, authority and relevance scores.
+func HAR(g *ihin.Graph, opt Options) (*HARResult, error) {
+	return irank.HAR(g, opt)
+}

@@ -1,0 +1,58 @@
+package tmark_test
+
+import (
+	"fmt"
+
+	"tmark/pkg/datasets"
+	"tmark/pkg/hin"
+	"tmark/pkg/tmark"
+)
+
+// Classify the paper's worked bibliography example end to end.
+func Example() {
+	g := datasets.Example()
+	cfg := tmark.DefaultConfig()
+	cfg.Gamma = 0.5
+	model, err := tmark.New(g, cfg)
+	if err != nil {
+		panic(err)
+	}
+	res := model.Run()
+	for i, c := range res.Predict() {
+		fmt.Printf("%s → %s\n", g.Nodes[i].Name, g.Classes[c])
+	}
+	// Output:
+	// p1 (TKDE 2008) → DM
+	// p2 (WWW 2016) → CV
+	// p3 (WWW 2019) → CV
+	// p4 (SIGMOD 2014) → DM
+}
+
+// Build a network by hand and rank its link types for one class.
+func ExampleNew() {
+	g := hin.New("left", "right")
+	a := g.AddNode("a", []float64{1, 0})
+	b := g.AddNode("b", []float64{1, 0})
+	c := g.AddNode("c", []float64{0, 1})
+	d := g.AddNode("d", []float64{0, 1})
+	good := g.AddRelation("good", false)
+	noise := g.AddRelation("noise", false)
+	g.AddEdge(good, a, b)
+	g.AddEdge(good, c, d)
+	g.AddEdge(noise, a, c)
+	g.SetLabels(a, 0)
+	g.SetLabels(c, 1)
+
+	model, err := tmark.New(g, tmark.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	res := model.Run()
+	pred := res.Predict()
+	fmt.Printf("b → %s, d → %s\n", g.Classes[pred[b]], g.Classes[pred[d]])
+	top := res.LinkRanking(0)[0]
+	fmt.Printf("most relevant link type for %q: %s\n", g.Classes[0], g.Relations[top.Relation].Name)
+	// Output:
+	// b → left, d → right
+	// most relevant link type for "left": good
+}

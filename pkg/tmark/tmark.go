@@ -1,0 +1,46 @@
+// Package tmark is the public interface to the T-Mark algorithm: tensor-
+// based Markov chain collective classification and link ranking for
+// heterogeneous information networks, as published by Han, Chen, Tan, Ng
+// and Wu. It re-exports the implementation in internal/tmark.
+//
+// Classify a network built with package hin:
+//
+//	model, err := tmark.New(g, tmark.DefaultConfig())
+//	if err != nil { ... }
+//	res := model.Run()
+//	classes := res.Predict()          // argmax class per node
+//	ranking := res.LinkRanking(0)     // link types ranked for class 0
+//
+// The Config fields follow the paper: Alpha is the restart probability of
+// the labelled seeds, Gamma balances the feature-similarity channel
+// against the relational tensor, Lambda is the ICA confidence threshold,
+// and ICAUpdate toggles between T-Mark (true) and its TensorRrCc
+// predecessor (false). RunWarm continues from a previous solution when
+// labels change incrementally.
+package tmark
+
+import (
+	ihin "tmark/internal/hin"
+	itmark "tmark/internal/tmark"
+)
+
+// Config holds the algorithm's hyper-parameters.
+type Config = itmark.Config
+
+// Model is a solver bound to one network.
+type Model = itmark.Model
+
+// Result bundles the per-class stationary solutions.
+type Result = itmark.Result
+
+// ClassResult is one class's stationary solution.
+type ClassResult = itmark.ClassResult
+
+// RelationScore pairs a relation (or node) index with its score.
+type RelationScore = itmark.RelationScore
+
+// DefaultConfig returns the paper's default hyper-parameters.
+func DefaultConfig() Config { return itmark.DefaultConfig() }
+
+// New builds a model for the graph; labelled nodes are the training seeds.
+func New(g *ihin.Graph, cfg Config) (*Model, error) { return itmark.New(g, cfg) }

@@ -1,0 +1,43 @@
+package tune_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tmark/pkg/datasets"
+	"tmark/pkg/tmark"
+	"tmark/pkg/tune"
+)
+
+// Select alpha and gamma by cross-validation over the labelled seeds.
+func Example() {
+	g, err := datasets.Synth(datasets.SynthConfig{
+		Seed:          3,
+		Classes:       []string{"x", "y"},
+		NodesPerClass: 40,
+		Vocab:         24,
+		TokensPerNode: 8,
+		FeatureFocus:  0.55,
+		Relations: []datasets.RelationSpec{
+			{Name: "strong", Homophily: 0.9, Edges: 300},
+		},
+		LabelFraction: 0.4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := tune.Tune(g, tmark.DefaultConfig(), tune.Grid{
+		Alphas: []float64{0.5, 0.8},
+		Gammas: []float64{0.3, 0.6},
+	}, 3, rand.New(rand.NewSource(1)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("candidates evaluated: %d over %d folds\n", len(res.Points), res.Folds)
+	fmt.Printf("best config valid: %v\n", res.Best.Validate() == nil)
+	fmt.Printf("best cv accuracy reasonable: %v\n", res.Points[0].Accuracy > 0.6)
+	// Output:
+	// candidates evaluated: 4 over 3 folds
+	// best config valid: true
+	// best cv accuracy reasonable: true
+}

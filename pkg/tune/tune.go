@@ -1,0 +1,30 @@
+// Package tune is the public interface to hyper-parameter selection:
+// k-fold cross-validation over the labelled seeds picks the best α/γ/λ
+// for a network, the production counterpart of the paper's manual
+// parameter studies. It re-exports the implementation in internal/tune.
+package tune
+
+import (
+	"math/rand"
+
+	ihin "tmark/internal/hin"
+	itmark "tmark/internal/tmark"
+	itune "tmark/internal/tune"
+)
+
+// Grid enumerates candidate values per parameter.
+type Grid = itune.Grid
+
+// Point is one evaluated configuration.
+type Point = itune.Point
+
+// Result reports a tuning run, best configuration first.
+type Result = itune.Result
+
+// DefaultGrid covers the α/γ region the paper sweeps.
+func DefaultGrid() Grid { return itune.DefaultGrid() }
+
+// Tune cross-validates every grid candidate over g's labelled nodes.
+func Tune(g *ihin.Graph, base itmark.Config, grid Grid, folds int, rng *rand.Rand) (*Result, error) {
+	return itune.Tune(g, base, grid, folds, rng)
+}
