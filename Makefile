@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test short-test vet bench fuzz experiments figures examples clean
+.PHONY: all build test short-test race vet bench fuzz experiments figures examples clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ test:
 
 short-test:
 	$(GO) test -short ./...
+
+# The parallel kernels are the only concurrent code; run them under the
+# race detector.
+race:
+	$(GO) test -race ./internal/... ./pkg/...
 
 # One benchmark per paper table/figure plus ablations and micro-benches.
 bench:

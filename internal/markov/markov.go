@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tmark/internal/par"
 	"tmark/internal/sparse"
 	"tmark/internal/vec"
 )
@@ -45,8 +46,15 @@ func NewChain(p *vec.Matrix, tol float64) (*Chain, error) {
 // transition matrix W (eq. 9). Zero columns (featureless nodes nobody is
 // similar to) become uniform, keeping W stochastic.
 func FeatureTransition(features [][]float64) *vec.Matrix {
-	w := vec.CosineMatrix(features)
-	w.NormalizeColumns(true)
+	return FeatureTransitionPar(features, nil)
+}
+
+// FeatureTransitionPar is FeatureTransition with the O(n²·d) cosine build
+// and the column normalisation spread over the pool; a nil pool runs
+// serially. The result is bitwise identical to the serial build.
+func FeatureTransitionPar(features [][]float64, p *par.Pool) *vec.Matrix {
+	w := vec.CosineMatrixPar(features, p)
+	w.NormalizeColumnsPar(true, p)
 	return w
 }
 
@@ -57,25 +65,35 @@ func FeatureTransition(features [][]float64) *vec.Matrix {
 // neighbours concentrates the walk on genuinely similar nodes. topK <= 0
 // falls back to the dense variant.
 func SparseFeatureTransition(features [][]float64, topK int) *vec.Matrix {
-	w := vec.CosineMatrix(features)
+	return SparseFeatureTransitionPar(features, topK, nil)
+}
+
+// SparseFeatureTransitionPar is SparseFeatureTransition with the cosine
+// build, the per-column top-K thresholding, and the normalisation spread
+// over the pool; a nil pool runs serially. Columns are thresholded
+// independently, so the result is bitwise identical to the serial build.
+func SparseFeatureTransitionPar(features [][]float64, topK int, p *par.Pool) *vec.Matrix {
+	w := vec.CosineMatrixPar(features, p)
 	if topK <= 0 || topK >= w.Rows {
-		w.NormalizeColumns(true)
+		w.NormalizeColumnsPar(true, p)
 		return w
 	}
-	col := make([]float64, w.Rows)
-	for j := 0; j < w.Cols; j++ {
-		for i := 0; i < w.Rows; i++ {
-			col[i] = w.At(i, j)
-		}
-		// Keep entries >= the topK-th largest; zero the rest.
-		threshold := kthLargest(col, topK)
-		for i := 0; i < w.Rows; i++ {
-			if w.At(i, j) < threshold {
-				w.Set(i, j, 0)
+	p.For(w.Cols, func(lo, hi int) {
+		col := make([]float64, w.Rows)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < w.Rows; i++ {
+				col[i] = w.At(i, j)
+			}
+			// Keep entries >= the topK-th largest; zero the rest.
+			threshold := kthLargest(col, topK)
+			for i := 0; i < w.Rows; i++ {
+				if w.At(i, j) < threshold {
+					w.Set(i, j, 0)
+				}
 			}
 		}
-	}
-	w.NormalizeColumns(true)
+	})
+	w.NormalizeColumnsPar(true, p)
 	return w
 }
 
@@ -85,10 +103,17 @@ func SparseFeatureTransition(features [][]float64, topK int) *vec.Matrix {
 // what lets the solver iterate on large networks. topK <= 0 is rejected —
 // use FeatureTransition for the dense channel.
 func SparseFeatureTransitionCSR(features [][]float64, topK int) *sparse.Matrix {
+	return SparseFeatureTransitionCSRPar(features, topK, nil)
+}
+
+// SparseFeatureTransitionCSRPar is SparseFeatureTransitionCSR with the
+// dense construction phases spread over the pool; a nil pool runs
+// serially.
+func SparseFeatureTransitionCSRPar(features [][]float64, topK int, p *par.Pool) *sparse.Matrix {
 	if topK <= 0 {
 		panic("markov: SparseFeatureTransitionCSR needs topK > 0")
 	}
-	dense := SparseFeatureTransition(features, topK)
+	dense := SparseFeatureTransitionPar(features, topK, p)
 	return sparse.FromDense(dense, 0)
 }
 

@@ -1,0 +1,59 @@
+package markov
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmark/internal/par"
+)
+
+func testFeatures(rng *rand.Rand, n, d int) [][]float64 {
+	f := make([][]float64, n)
+	for i := range f {
+		f[i] = make([]float64, d)
+		for j := range f[i] {
+			if rng.Float64() < 0.5 {
+				f[i][j] = rng.Float64()
+			}
+		}
+	}
+	return f
+}
+
+// The parallel feature-channel builds must be bitwise identical to the
+// serial ones: every column is computed independently with unchanged
+// arithmetic.
+func TestFeatureTransitionParMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := testFeatures(rng, 40, 6)
+	want := FeatureTransition(f)
+	p := par.New(4)
+	defer p.Close()
+	got := FeatureTransitionPar(f, p)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("cell %d = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestSparseFeatureTransitionCSRParMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	f := testFeatures(rng, 35, 5)
+	for _, topK := range []int{1, 4, 10, 40} {
+		want := SparseFeatureTransitionCSR(f, topK)
+		p := par.New(3)
+		got := SparseFeatureTransitionCSRPar(f, topK, p)
+		p.Close()
+		if want.NNZ() != got.NNZ() {
+			t.Fatalf("topK=%d: NNZ %d, want %d", topK, got.NNZ(), want.NNZ())
+		}
+		for r := 0; r < 35; r++ {
+			for c := 0; c < 35; c++ {
+				if want.At(r, c) != got.At(r, c) {
+					t.Fatalf("topK=%d: At(%d,%d) = %v, want %v", topK, r, c, got.At(r, c), want.At(r, c))
+				}
+			}
+		}
+	}
+}

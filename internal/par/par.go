@@ -1,0 +1,154 @@
+// Package par provides the worker pool and sharded parallel-for used by
+// the solver's hot loops. The design goals, in order: (1) bound the actual
+// compute concurrency to an explicit worker count, (2) make steady-state
+// dispatch allocation-free so per-iteration kernels stay zero-alloc, and
+// (3) keep results deterministic — shard boundaries depend only on the
+// input size and shard count, never on scheduling.
+//
+// A kernel implements Task, keeps the task struct (and a WaitGroup) inside
+// a reusable scratch object, and calls Pool.Run. Jobs travel by value
+// through a channel and the Task interface holds a pointer, so nothing
+// escapes to the heap per call.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Task is a unit of sharded work: RunShard is invoked once per shard with
+// the shard index and the total shard count. Implementations partition
+// their input with Split. A RunShard body must not call back into the pool
+// — the workers that would serve the nested call may all be occupied by
+// the outer one.
+type Task interface {
+	RunShard(shard, shards int)
+}
+
+// job pairs one task shard with its completion group.
+type job struct {
+	t      Task
+	shard  int
+	shards int
+	wg     *sync.WaitGroup
+}
+
+// Pool is a fixed set of worker goroutines executing Task shards. A nil
+// Pool, or one built with a single worker, runs everything inline on the
+// caller. Pools are safe for concurrent Run/For calls; Close releases the
+// workers.
+type Pool struct {
+	workers int
+	jobs    chan job
+}
+
+// New returns a pool bounded to the given number of concurrent executors;
+// workers <= 0 means GOMAXPROCS. The pool spawns workers-1 goroutines
+// because the caller of Run/For executes the final shard itself, so
+// exactly `workers` goroutines compute during a dispatch.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.jobs = make(chan job, 4*workers)
+		for w := 0; w < workers-1; w++ {
+			go p.work()
+		}
+	}
+	return p
+}
+
+func (p *Pool) work() {
+	for jb := range p.jobs {
+		jb.t.RunShard(jb.shard, jb.shards)
+		jb.wg.Done()
+	}
+}
+
+// Workers returns the concurrency bound the pool was built with; a nil
+// pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Serial reports whether the pool executes everything inline on the
+// caller (nil pool or a single worker).
+func (p *Pool) Serial() bool { return p == nil || p.jobs == nil }
+
+// Run executes t.RunShard(s, shards) for every s in [0, shards): shards-1
+// jobs are dispatched to the workers, the caller runs the last shard, then
+// blocks until all complete. wg must be an otherwise-idle WaitGroup owned
+// by the caller; keeping it in a reusable scratch struct next to the task
+// makes Run allocation-free. Tasks must not call Run themselves.
+func (p *Pool) Run(shards int, t Task, wg *sync.WaitGroup) {
+	if p.Serial() || shards <= 1 {
+		for s := 0; s < shards; s++ {
+			t.RunShard(s, shards)
+		}
+		return
+	}
+	wg.Add(shards - 1)
+	for s := 0; s < shards-1; s++ {
+		p.jobs <- job{t, s, shards, wg}
+	}
+	t.RunShard(shards-1, shards)
+	wg.Wait()
+}
+
+// funcTask adapts a contiguous-range closure to Task for For.
+type funcTask struct {
+	n  int
+	fn func(lo, hi int)
+}
+
+func (t *funcTask) RunShard(s, shards int) {
+	lo, hi := Split(t.n, shards, s)
+	if lo < hi {
+		t.fn(lo, hi)
+	}
+}
+
+// For runs fn over disjoint contiguous sub-ranges of [0, n) covering it
+// exactly, and waits. It allocates a small adapter per call, so it belongs
+// on construction and driver paths, not inside zero-allocation kernels.
+func (p *Pool) For(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.Serial() || n == 1 {
+		fn(0, n)
+		return
+	}
+	shards := p.workers
+	if shards > n {
+		shards = n
+	}
+	var wg sync.WaitGroup
+	t := funcTask{n: n, fn: fn}
+	p.Run(shards, &t, &wg)
+}
+
+// Close releases the pool's worker goroutines. The pool must be idle, and
+// no Run or For may be issued afterwards. Close on a nil or serial pool is
+// a no-op.
+func (p *Pool) Close() {
+	if p != nil && p.jobs != nil {
+		close(p.jobs)
+	}
+}
+
+// Split partitions n items into near-equal contiguous ranges and returns
+// the half-open range of shard s. Boundaries depend only on (n, shards),
+// which pins the reduction order — and therefore the exact floating-point
+// result — of every sharded kernel for a given worker count.
+func Split(n, shards, s int) (lo, hi int) {
+	if shards <= 0 {
+		return 0, n
+	}
+	return s * n / shards, (s + 1) * n / shards
+}

@@ -1,0 +1,208 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// coverTask marks every index of its shard range; used to prove exact
+// coverage of [0, n).
+type coverTask struct {
+	n    int
+	hits []int32
+}
+
+func (t *coverTask) RunShard(s, shards int) {
+	lo, hi := Split(t.n, shards, s)
+	for i := lo; i < hi; i++ {
+		atomic.AddInt32(&t.hits[i], 1)
+	}
+}
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 5, 97, 1000} {
+			task := &coverTask{n: n, hits: make([]int32, n)}
+			var wg sync.WaitGroup
+			shards := workers
+			p.Run(shards, task, &wg)
+			for i, h := range task.hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 2, 3, 17, 257} {
+		hits := make([]int32, n)
+		p.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestSplitTilesRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, shards := range []int{1, 2, 3, 7, 16} {
+			prev := 0
+			for s := 0; s < shards; s++ {
+				lo, hi := Split(n, shards, s)
+				if lo != prev {
+					t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", n, shards, s, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d shards=%d: shard %d inverted range", n, shards, s)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d shards=%d: ranges end at %d", n, shards, prev)
+			}
+		}
+	}
+}
+
+// concurrencyTask records the peak number of simultaneously running shards.
+type concurrencyTask struct {
+	gate    chan struct{}
+	running int32
+	peak    int32
+}
+
+func (t *concurrencyTask) RunShard(s, shards int) {
+	cur := atomic.AddInt32(&t.running, 1)
+	for {
+		old := atomic.LoadInt32(&t.peak)
+		if cur <= old || atomic.CompareAndSwapInt32(&t.peak, old, cur) {
+			break
+		}
+	}
+	<-t.gate
+	atomic.AddInt32(&t.running, -1)
+}
+
+// The pool must bound actual concurrency to the worker count even when far
+// more shards are dispatched — this is the property the old semaphore
+// pattern in the solver violated.
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers, shards = 3, 12
+	p := New(workers)
+	defer p.Close()
+	task := &concurrencyTask{gate: make(chan struct{})}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	go func() {
+		p.Run(shards, task, &wg)
+		close(done)
+	}()
+	for i := 0; i < shards; i++ {
+		task.gate <- struct{}{}
+	}
+	<-done
+	if task.peak > workers {
+		t.Fatalf("peak concurrency %d exceeds workers %d", task.peak, workers)
+	}
+}
+
+func TestNilAndSerialPool(t *testing.T) {
+	var p *Pool
+	if !p.Serial() || p.Workers() != 1 {
+		t.Fatalf("nil pool should be serial with 1 worker")
+	}
+	ran := 0
+	p.For(5, func(lo, hi int) { ran += hi - lo })
+	if ran != 5 {
+		t.Fatalf("nil pool For covered %d of 5", ran)
+	}
+	p.Close() // must not panic
+
+	s := New(1)
+	defer s.Close()
+	if !s.Serial() {
+		t.Fatalf("1-worker pool should be serial")
+	}
+	task := &coverTask{n: 10, hits: make([]int32, 10)}
+	var wg sync.WaitGroup
+	s.Run(4, task, &wg)
+	for i, h := range task.hits {
+		if h != 1 {
+			t.Fatalf("serial pool: index %d hit %d times", i, h)
+		}
+	}
+}
+
+// sumTask accumulates a per-shard sum; reused across calls to prove the
+// dispatch path itself does not allocate.
+type sumTask struct {
+	xs   []float64
+	part []float64
+}
+
+func (t *sumTask) RunShard(s, shards int) {
+	lo, hi := Split(len(t.xs), shards, s)
+	var sum float64
+	for _, v := range t.xs[lo:hi] {
+		sum += v
+	}
+	t.part[s] = sum
+}
+
+func TestRunDispatchDoesNotAllocate(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	task := &sumTask{xs: make([]float64, 4096), part: make([]float64, 4)}
+	for i := range task.xs {
+		task.xs[i] = 1
+	}
+	var wg sync.WaitGroup
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Run(4, task, &wg)
+	})
+	if allocs != 0 {
+		t.Fatalf("Run allocated %v times per call, want 0", allocs)
+	}
+}
+
+func TestConcurrentRunCalls(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var outer sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		outer.Add(1)
+		go func() {
+			defer outer.Done()
+			task := &sumTask{xs: make([]float64, 1000), part: make([]float64, 4)}
+			for i := range task.xs {
+				task.xs[i] = 0.5
+			}
+			var wg sync.WaitGroup
+			for iter := 0; iter < 50; iter++ {
+				p.Run(4, task, &wg)
+				var total float64
+				for _, v := range task.part {
+					total += v
+				}
+				if total != 500 {
+					t.Errorf("concurrent Run sum = %v, want 500", total)
+					return
+				}
+			}
+		}()
+	}
+	outer.Wait()
+}

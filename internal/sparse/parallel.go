@@ -1,0 +1,91 @@
+package sparse
+
+// Parallel row-range MulVec. CSR rows are independent — every output
+// element is owned by exactly one shard — so there is no reduction and no
+// per-worker buffer; shards only need balanced row ranges, which are cut
+// by stored-entry count rather than row count so skewed matrices still
+// load-balance.
+
+import (
+	"sync"
+
+	"tmark/internal/par"
+)
+
+// MulScratch holds the reusable dispatch state of MulVecParallel. Build
+// one per solver run with NewMulScratch; steady-state calls then allocate
+// nothing. A scratch must not be shared by concurrent calls.
+type MulScratch struct {
+	shards int
+	task   mulTask
+	wg     sync.WaitGroup
+}
+
+// NewMulScratch returns scratch for the given shard count (typically the
+// worker-pool size). shards < 1 is treated as 1.
+func NewMulScratch(shards int) *MulScratch {
+	if shards < 1 {
+		shards = 1
+	}
+	return &MulScratch{shards: shards}
+}
+
+type mulTask struct {
+	m      *Matrix
+	x, dst []float64
+}
+
+func (t *mulTask) RunShard(shard, shards int) {
+	m := t.m
+	nnz := len(m.values)
+	lo := m.rowAtNNZ(shard * nnz / shards)
+	hi := m.rowAtNNZ((shard + 1) * nnz / shards)
+	if shard == shards-1 {
+		hi = m.rows // trailing empty rows belong to the last shard
+	}
+	x, dst := t.x, t.dst
+	for r := lo; r < hi; r++ {
+		var s float64
+		for p := m.rowPtr[r]; p < m.rowPtr[r+1]; p++ {
+			s += m.values[p] * x[m.colIdx[p]]
+		}
+		dst[r] = s
+	}
+}
+
+// rowAtNNZ returns the smallest row whose rowPtr is >= target. Because the
+// targets s·nnz/shards are nondecreasing in s, consecutive shards receive
+// disjoint row ranges that tile [0, rows).
+func (m *Matrix) rowAtNNZ(target int) int {
+	lo, hi := 0, m.rows
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(m.rowPtr[mid]) < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// MulVecParallel computes dst = M·x like MulVec, with the rows sharded
+// across the pool by stored-entry count. Each row is computed by exactly
+// one worker with the same arithmetic as the serial path, so the result is
+// bitwise identical to MulVec. A nil/serial pool or single-shard scratch
+// falls back to the serial path.
+func (m *Matrix) MulVecParallel(p *par.Pool, s *MulScratch, x, dst []float64) {
+	if p.Serial() || s == nil || s.shards <= 1 || m.rows == 0 {
+		m.MulVec(x, dst)
+		return
+	}
+	if len(x) != m.cols {
+		panic("sparse: MulVecParallel x length mismatch")
+	}
+	if len(dst) != m.rows {
+		panic("sparse: MulVecParallel dst length mismatch")
+	}
+	s.task.m, s.task.x, s.task.dst = m, x, dst
+	p.Run(s.shards, &s.task, &s.wg)
+	s.task.x, s.task.dst = nil, nil
+}

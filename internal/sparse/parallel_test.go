@@ -1,0 +1,129 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmark/internal/par"
+)
+
+// Reference CSR semantics: duplicates summed, zeros dropped, rows in
+// order, columns ascending within a row. The counting-sort build must
+// reproduce a brute-force map build exactly.
+func TestFromTripletsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 1+rng.Intn(30), 1+rng.Intn(30)
+		nnz := rng.Intn(4 * rows)
+		entries := make([]Triplet, 0, nnz)
+		ref := make(map[[2]int]float64)
+		for e := 0; e < nnz; e++ {
+			tr := Triplet{Row: rng.Intn(rows), Col: rng.Intn(cols), Value: float64(rng.Intn(5))}
+			entries = append(entries, tr)
+			if tr.Value != 0 {
+				ref[[2]int{tr.Row, tr.Col}] += tr.Value
+			}
+		}
+		m := FromTriplets(rows, cols, entries)
+		want := 0
+		for key, v := range ref {
+			want++
+			if got := m.At(key[0], key[1]); got != v {
+				t.Fatalf("trial %d: At(%d,%d) = %v, want %v", trial, key[0], key[1], got, v)
+			}
+		}
+		if m.NNZ() != want {
+			t.Fatalf("trial %d: NNZ = %d, want %d", trial, m.NNZ(), want)
+		}
+		// Each must visit rows in order with ascending columns.
+		lastRow, lastCol := -1, -1
+		m.Each(func(r, c int, v float64) {
+			if r < lastRow || (r == lastRow && c <= lastCol) {
+				t.Fatalf("trial %d: Each out of order at (%d,%d) after (%d,%d)", trial, r, c, lastRow, lastCol)
+			}
+			lastRow, lastCol = r, c
+		})
+	}
+}
+
+func TestFromTripletsEmptyAndZeroShapes(t *testing.T) {
+	if m := FromTriplets(0, 0, nil); m.NNZ() != 0 {
+		t.Fatalf("empty matrix NNZ = %d", m.NNZ())
+	}
+	m := FromTriplets(4, 3, []Triplet{{Row: 2, Col: 1, Value: 0}})
+	if m.NNZ() != 0 {
+		t.Fatalf("all-zero entries should drop, NNZ = %d", m.NNZ())
+	}
+	x := []float64{1, 2, 3}
+	dst := make([]float64, 4)
+	m.MulVec(x, dst)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("empty MulVec dst[%d] = %v", i, v)
+		}
+	}
+}
+
+// Rows are computed whole by a single worker with unchanged arithmetic, so
+// the parallel product must be bitwise identical to the serial one — even
+// with skewed rows and empty leading/trailing rows.
+func TestMulVecParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.Intn(200), 1+rng.Intn(50)
+		var entries []Triplet
+		for r := 0; r < rows; r++ {
+			if r%5 == 0 {
+				continue // empty rows
+			}
+			k := rng.Intn(8)
+			if r == rows/2 {
+				k = cols // one heavy row to skew the nnz balance
+			}
+			for e := 0; e < k; e++ {
+				entries = append(entries, Triplet{Row: r, Col: rng.Intn(cols), Value: rng.NormFloat64()})
+			}
+		}
+		m := FromTriplets(rows, cols, entries)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, rows)
+		m.MulVec(x, want)
+		for _, workers := range []int{2, 3, 8} {
+			p := par.New(workers)
+			s := NewMulScratch(workers)
+			got := make([]float64, rows)
+			m.MulVecParallel(p, s, x, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d workers %d: row %d = %v, want %v", trial, workers, i, got[i], want[i])
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+func TestMulVecParallelZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var entries []Triplet
+	for e := 0; e < 5000; e++ {
+		entries = append(entries, Triplet{Row: rng.Intn(500), Col: rng.Intn(500), Value: rng.Float64()})
+	}
+	m := FromTriplets(500, 500, entries)
+	x := make([]float64, 500)
+	dst := make([]float64, 500)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	p := par.New(4)
+	defer p.Close()
+	s := NewMulScratch(4)
+	if allocs := testing.AllocsPerRun(50, func() {
+		m.MulVecParallel(p, s, x, dst)
+	}); allocs != 0 {
+		t.Errorf("MulVecParallel allocates %v per call, want 0", allocs)
+	}
+}

@@ -27,12 +27,20 @@ type Triplet struct {
 
 // FromTriplets builds a CSR matrix from unordered entries; duplicate
 // (row, col) pairs are summed. Entries out of range panic.
+//
+// The build is a two-pass counting sort: a stable pass by column followed
+// by a stable pass by row leaves the entries in (row, col) order, after
+// which duplicates are merged in place. Everything is O(nnz + rows + cols)
+// with five flat allocations — no per-row maps, whose allocation cost
+// dominated construction on large feature matrices.
 func FromTriplets(rows, cols int, entries []Triplet) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("sparse: negative shape %dx%d", rows, cols))
 	}
-	// Bucket by row, then sort-and-merge columns per row.
-	perRow := make([]map[int]float64, rows)
+	// Validation pass; count the entries that survive the zero-drop and
+	// the per-row occupancy for the second counting pass.
+	rowCounts := make([]int, rows+1)
+	nnz := 0
 	for _, e := range entries {
 		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
 			panic(fmt.Sprintf("sparse: entry (%d,%d) out of %dx%d", e.Row, e.Col, rows, cols))
@@ -40,25 +48,74 @@ func FromTriplets(rows, cols int, entries []Triplet) *Matrix {
 		if e.Value == 0 {
 			continue
 		}
-		if perRow[e.Row] == nil {
-			perRow[e.Row] = make(map[int]float64)
-		}
-		perRow[e.Row][e.Col] += e.Value
+		rowCounts[e.Row+1]++
+		nnz++
 	}
 	m := &Matrix{rows: rows, cols: cols, rowPtr: make([]int32, rows+1)}
-	for r := 0; r < rows; r++ {
-		m.rowPtr[r] = int32(len(m.values))
-		cols := make([]int, 0, len(perRow[r]))
-		for c := range perRow[r] {
-			cols = append(cols, c)
-		}
-		insertionSort(cols)
-		for _, c := range cols {
-			m.colIdx = append(m.colIdx, int32(c))
-			m.values = append(m.values, perRow[r][c])
+	if nnz == 0 {
+		return m
+	}
+	// Pass 1: stable counting sort by column.
+	colCounts := make([]int, cols+1)
+	for _, e := range entries {
+		if e.Value != 0 {
+			colCounts[e.Col+1]++
 		}
 	}
-	m.rowPtr[rows] = int32(len(m.values))
+	for c := 1; c <= cols; c++ {
+		colCounts[c] += colCounts[c-1]
+	}
+	byColRow := make([]int32, nnz)
+	byColCol := make([]int32, nnz)
+	byColVal := make([]float64, nnz)
+	for _, e := range entries {
+		if e.Value == 0 {
+			continue
+		}
+		pos := colCounts[e.Col]
+		colCounts[e.Col]++
+		byColRow[pos] = int32(e.Row)
+		byColCol[pos] = int32(e.Col)
+		byColVal[pos] = e.Value
+	}
+	// Pass 2: stable counting sort by row. Stability keeps each row's
+	// columns in ascending order from pass 1.
+	for r := 1; r <= rows; r++ {
+		rowCounts[r] += rowCounts[r-1]
+	}
+	m.colIdx = make([]int32, nnz)
+	m.values = make([]float64, nnz)
+	rowOf := make([]int32, nnz)
+	for p := 0; p < nnz; p++ {
+		r := byColRow[p]
+		pos := rowCounts[r]
+		rowCounts[r]++
+		rowOf[pos] = r
+		m.colIdx[pos] = byColCol[p]
+		m.values[pos] = byColVal[p]
+	}
+	// Merge duplicate (row, col) pairs in place and build rowPtr.
+	out := 0
+	for p := 0; p < nnz; p++ {
+		if out > 0 && rowOf[out-1] == rowOf[p] && m.colIdx[out-1] == m.colIdx[p] {
+			m.values[out-1] += m.values[p]
+			continue
+		}
+		rowOf[out] = rowOf[p]
+		m.colIdx[out] = m.colIdx[p]
+		m.values[out] = m.values[p]
+		out++
+	}
+	m.colIdx = m.colIdx[:out]
+	m.values = m.values[:out]
+	next := 0
+	for r := 0; r <= rows; r++ {
+		m.rowPtr[r] = int32(next)
+		for next < out && int(rowOf[next]) == r {
+			next++
+		}
+	}
+	m.rowPtr[rows] = int32(out)
 	return m
 }
 
@@ -74,14 +131,6 @@ func FromDense(d *vec.Matrix, tol float64) *Matrix {
 		}
 	}
 	return FromTriplets(d.Rows, d.Cols, entries)
-}
-
-func insertionSort(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
 
 // Dims returns (rows, cols).

@@ -1,0 +1,186 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tmark/internal/par"
+)
+
+// randomVec returns a random distribution (uses the shared
+// randomStochastic helper, tolerating n == 0).
+func randomVec(rng *rand.Rand, n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	return randomStochastic(rng, n)
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// The parallel node contraction must agree with the serial path within
+// 1e-12 for every worker count, including tensors that are entirely
+// dangling or entirely empty.
+func TestNodeApplyParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []*Tensor{
+		randomTensor(rng, 60, 4, 700),
+		randomTensor(rng, 17, 1, 90),
+		randomTensor(rng, 40, 6, 10),
+		func() *Tensor { a := New(12, 3); a.Finalize(); return a }(), // all dangling
+		func() *Tensor { a := New(0, 0); a.Finalize(); return a }(), // empty
+	}
+	for ci, a := range cases {
+		o := NewNodeTransition(a)
+		x := randomVec(rng, o.N())
+		z := randomVec(rng, o.M())
+		want := make([]float64, o.N())
+		o.Apply(x, z, want)
+		for _, workers := range []int{2, 3, 8} {
+			p := par.New(workers)
+			s := NewNodeApplyScratch(o, workers)
+			got := make([]float64, o.N())
+			o.ApplyParallel(p, s, x, z, got)
+			if d := maxAbsDiff(want, got); d > 1e-12 {
+				t.Errorf("case %d workers %d: parallel Apply diverged by %v", ci, workers, d)
+			}
+			p.Close()
+		}
+	}
+}
+
+// Same agreement for the relation contraction, with distinct mode-1 and
+// mode-2 vectors (the ApplyPair form used by HAR).
+func TestRelationApplyPairParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	cases := []*Tensor{
+		randomTensor(rng, 50, 5, 600),
+		randomTensor(rng, 21, 2, 180),
+		func() *Tensor { a := New(9, 4); a.Finalize(); return a }(), // all dangling
+		func() *Tensor { a := New(0, 0); a.Finalize(); return a }(), // empty
+	}
+	for ci, a := range cases {
+		r := NewRelationTransition(a)
+		xi := randomVec(rng, r.N())
+		xj := randomVec(rng, r.N())
+		want := make([]float64, r.M())
+		r.ApplyPair(xi, xj, want)
+		wantSame := make([]float64, r.M())
+		r.Apply(xi, wantSame)
+		for _, workers := range []int{2, 4, 7} {
+			p := par.New(workers)
+			s := NewRelationApplyScratch(r, workers)
+			got := make([]float64, r.M())
+			r.ApplyPairParallel(p, s, xi, xj, got)
+			if d := maxAbsDiff(want, got); d > 1e-12 {
+				t.Errorf("case %d workers %d: parallel ApplyPair diverged by %v", ci, workers, d)
+			}
+			gotSame := make([]float64, r.M())
+			r.ApplyParallel(p, s, xi, gotSame)
+			if d := maxAbsDiff(wantSame, gotSame); d > 1e-12 {
+				t.Errorf("case %d workers %d: parallel Apply diverged by %v", ci, workers, d)
+			}
+			p.Close()
+		}
+	}
+}
+
+// For a fixed shard count, repeated parallel contractions must agree with
+// each other bit for bit: shard boundaries and the reduction order depend
+// only on the shard count, never on goroutine scheduling.
+func TestParallelApplyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomTensor(rng, 80, 5, 1200)
+	o := NewNodeTransition(a)
+	r := NewRelationTransition(a)
+	x := randomVec(rng, o.N())
+	z := randomVec(rng, o.M())
+	p := par.New(4)
+	defer p.Close()
+	so := NewNodeApplyScratch(o, 4)
+	sr := NewRelationApplyScratch(r, 4)
+	first := make([]float64, o.N())
+	firstZ := make([]float64, r.M())
+	o.ApplyParallel(p, so, x, z, first)
+	r.ApplyParallel(p, sr, x, firstZ)
+	for trial := 0; trial < 20; trial++ {
+		got := make([]float64, o.N())
+		gotZ := make([]float64, r.M())
+		o.ApplyParallel(p, so, x, z, got)
+		r.ApplyParallel(p, sr, x, gotZ)
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: node contraction not deterministic at %d", trial, i)
+			}
+		}
+		for k := range firstZ {
+			if gotZ[k] != firstZ[k] {
+				t.Fatalf("trial %d: relation contraction not deterministic at %d", trial, k)
+			}
+		}
+	}
+}
+
+// Steady-state parallel contractions must not allocate: the task, the
+// wait group, and all partial buffers live in the reusable scratch.
+func TestParallelApplyZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomTensor(rng, 100, 4, 2000)
+	o := NewNodeTransition(a)
+	r := NewRelationTransition(a)
+	x := randomVec(rng, o.N())
+	z := randomVec(rng, o.M())
+	dst := make([]float64, o.N())
+	dstZ := make([]float64, r.M())
+	p := par.New(4)
+	defer p.Close()
+	so := NewNodeApplyScratch(o, 4)
+	sr := NewRelationApplyScratch(r, 4)
+	if allocs := testing.AllocsPerRun(50, func() {
+		o.ApplyParallel(p, so, x, z, dst)
+	}); allocs != 0 {
+		t.Errorf("NodeTransition.ApplyParallel allocates %v per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		r.ApplyParallel(p, sr, x, dstZ)
+	}); allocs != 0 {
+		t.Errorf("RelationTransition.ApplyParallel allocates %v per call, want 0", allocs)
+	}
+}
+
+// A nil pool or a single-shard scratch must take the serial path and give
+// identical results.
+func TestParallelApplySerialFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomTensor(rng, 30, 3, 270)
+	o := NewNodeTransition(a)
+	x := randomVec(rng, o.N())
+	z := randomVec(rng, o.M())
+	want := make([]float64, o.N())
+	o.Apply(x, z, want)
+	got := make([]float64, o.N())
+	o.ApplyParallel(nil, nil, x, z, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nil-pool fallback differs at %d", i)
+		}
+	}
+	p := par.New(1)
+	defer p.Close()
+	s := NewNodeApplyScratch(o, 1)
+	o.ApplyParallel(p, s, x, z, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("single-worker fallback differs at %d", i)
+		}
+	}
+}

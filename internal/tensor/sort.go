@@ -1,0 +1,61 @@
+package tensor
+
+// cooBuf is an aligned set of COO slices moved together by the counting
+// passes below.
+type cooBuf struct {
+	i, j, k []int32
+	v       []float64
+}
+
+func newCooBuf(nnz int) cooBuf {
+	return cooBuf{
+		i: make([]int32, nnz),
+		j: make([]int32, nnz),
+		k: make([]int32, nnz),
+		v: make([]float64, nnz),
+	}
+}
+
+// countingPass stably reorders src into dst by key (which must alias one
+// of src's index slices) using nkeys buckets. This is one digit of an LSD
+// radix sort: O(nnz + nkeys) per pass with no comparator calls, replacing
+// the sort.Slice-over-permutation build that dominated tensor
+// construction.
+func countingPass(key []int32, nkeys int, src, dst cooBuf) {
+	counts := make([]int, nkeys+1)
+	for _, b := range key {
+		counts[b+1]++
+	}
+	for b := 1; b <= nkeys; b++ {
+		counts[b] += counts[b-1]
+	}
+	for p, b := range key {
+		pos := counts[b]
+		counts[b]++
+		dst.i[pos] = src.i[p]
+		dst.j[pos] = src.j[p]
+		dst.k[pos] = src.k[p]
+		dst.v[pos] = src.v[p]
+	}
+}
+
+// sortKJI sorts the entries by (k, j, i) via three stable counting passes
+// (least-significant key first). The contents of e are consumed as scratch;
+// the returned buffer holds the sorted entries.
+func sortKJI(e cooBuf, n, m int) cooBuf {
+	tmp := newCooBuf(len(e.v))
+	countingPass(e.i, n, e, tmp)
+	countingPass(tmp.j, n, tmp, e)
+	countingPass(e.k, m, e, tmp)
+	return tmp
+}
+
+// sortJIK sorts the entries by (j, i, k); the RelationTransition layout.
+// The contents of e are consumed as scratch.
+func sortJIK(e cooBuf, n, m int) cooBuf {
+	tmp := newCooBuf(len(e.v))
+	countingPass(e.k, m, e, tmp)
+	countingPass(tmp.i, n, tmp, e)
+	countingPass(e.j, n, e, tmp)
+	return tmp
+}

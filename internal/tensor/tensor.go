@@ -16,7 +16,6 @@ package tensor
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Tensor is a sparse nonnegative 3-way tensor A of size n×n×m in coordinate
@@ -71,42 +70,27 @@ func (t *Tensor) Add(i, j, k int, value float64) {
 }
 
 // Finalize sorts the entries into (k, j, i) order and coalesces duplicates.
-// It is idempotent and must be called before At, the normalisations, or the
-// unfoldings.
+// The sort is an LSD counting sort over the three index modes — O(nnz)
+// with no comparator calls. It is idempotent and must be called before At,
+// the normalisations, or the unfoldings.
 func (t *Tensor) Finalize() {
 	if t.finalized {
 		return
 	}
-	idx := make([]int, len(t.v))
-	for p := range idx {
-		idx[p] = p
+	if len(t.v) > 0 {
+		s := sortKJI(cooBuf{t.i, t.j, t.k, t.v}, t.n, t.m)
+		// Coalesce duplicate coordinates in place.
+		out := 0
+		for p := range s.v {
+			if out > 0 && s.i[out-1] == s.i[p] && s.j[out-1] == s.j[p] && s.k[out-1] == s.k[p] {
+				s.v[out-1] += s.v[p]
+				continue
+			}
+			s.i[out], s.j[out], s.k[out], s.v[out] = s.i[p], s.j[p], s.k[p], s.v[p]
+			out++
+		}
+		t.i, t.j, t.k, t.v = s.i[:out], s.j[:out], s.k[:out], s.v[:out]
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		pa, pb := idx[a], idx[b]
-		if t.k[pa] != t.k[pb] {
-			return t.k[pa] < t.k[pb]
-		}
-		if t.j[pa] != t.j[pb] {
-			return t.j[pa] < t.j[pb]
-		}
-		return t.i[pa] < t.i[pb]
-	})
-	ni := make([]int32, 0, len(idx))
-	nj := make([]int32, 0, len(idx))
-	nk := make([]int32, 0, len(idx))
-	nv := make([]float64, 0, len(idx))
-	for _, p := range idx {
-		last := len(nv) - 1
-		if last >= 0 && ni[last] == t.i[p] && nj[last] == t.j[p] && nk[last] == t.k[p] {
-			nv[last] += t.v[p]
-			continue
-		}
-		ni = append(ni, t.i[p])
-		nj = append(nj, t.j[p])
-		nk = append(nk, t.k[p])
-		nv = append(nv, t.v[p])
-	}
-	t.i, t.j, t.k, t.v = ni, nj, nk, nv
 	t.finalized = true
 }
 

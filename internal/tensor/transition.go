@@ -181,32 +181,26 @@ type RelationTransition struct {
 	tubeI, tubeJ []int32
 }
 
-// NewRelationTransition normalises the finalized tensor a into R.
+// NewRelationTransition normalises the finalized tensor a into R. The
+// entries are re-sorted from the tensor's (k, j, i) layout into (j, i, k)
+// by an LSD counting sort — O(nnz) with no permutation indirection.
 func NewRelationTransition(a *Tensor) *RelationTransition {
 	a.mustBeFinalized("NewRelationTransition")
-	idx := make([]int, len(a.v))
-	for p := range idx {
-		idx[p] = p
-	}
-	sort.Slice(idx, func(x, y int) bool {
-		px, py := idx[x], idx[y]
-		if a.j[px] != a.j[py] {
-			return a.j[px] < a.j[py]
-		}
-		if a.i[px] != a.i[py] {
-			return a.i[px] < a.i[py]
-		}
-		return a.k[px] < a.k[py]
-	})
+	nnz := len(a.v)
 	r := &RelationTransition{
 		n: a.n, m: a.m,
-		i: make([]int32, len(idx)),
-		j: make([]int32, len(idx)),
-		k: make([]int32, len(idx)),
-		p: make([]float64, len(idx)),
+		i: make([]int32, nnz),
+		j: make([]int32, nnz),
+		k: make([]int32, nnz),
+		p: make([]float64, nnz),
 	}
-	for q, p := range idx {
-		r.i[q], r.j[q], r.k[q], r.p[q] = a.i[p], a.j[p], a.k[p], a.v[p]
+	copy(r.i, a.i)
+	copy(r.j, a.j)
+	copy(r.k, a.k)
+	copy(r.p, a.v)
+	if nnz > 0 {
+		s := sortJIK(cooBuf{r.i, r.j, r.k, r.p}, a.n, a.m)
+		r.i, r.j, r.k, r.p = s.i, s.j, s.k, s.v
 	}
 	for start := 0; start < len(r.p); {
 		end := start + 1

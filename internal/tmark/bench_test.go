@@ -80,6 +80,33 @@ func BenchmarkRunWarm(b *testing.B) {
 	})
 }
 
+// BenchmarkModelRunParallel sweeps the Workers knob on a large graph so
+// the intra-operator scaling can be read off directly. Epsilon is set
+// unreachably small so every worker count performs the same fixed number
+// of iterations. On a single-CPU host all worker counts share one core
+// and the sweep measures only dispatch overhead; run with GOMAXPROCS of
+// at least 8 to observe the speedup.
+func BenchmarkModelRunParallel(b *testing.B) {
+	g := benchGraph(20000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := DefaultConfig()
+		cfg.Gamma = 0 // the dense feature channel needs O(n^2) memory at this scale
+		cfg.Epsilon = 1e-300
+		cfg.MaxIterations = 8
+		cfg.Workers = workers
+		m, err := New(g, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Run()
+			}
+		})
+	}
+}
+
 // BenchmarkModelConstruction isolates tensor + W build cost.
 func BenchmarkModelConstruction(b *testing.B) {
 	g := benchGraph(500)

@@ -26,7 +26,7 @@ func TestStepMatchesSolveClass(t *testing.T) {
 		xNext: vec.New(g.N()), zNext: vec.New(g.M()), tmp: vec.New(g.N()),
 	}
 	for it := 0; it < want.Iterations; it++ {
-		m.step(&s)
+		m.step(&s, nil)
 	}
 	if d := vec.Diff1(s.x, want.X); d > 1e-12 {
 		t.Errorf("manual stepping diverged from solveClass: %v", d)

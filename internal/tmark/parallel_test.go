@@ -1,0 +1,133 @@
+package tmark
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmark/internal/vec"
+)
+
+// A parallel solve must agree with the fully serial solve: the sharded
+// kernels change only the floating-point summation order, so per-node
+// scores may drift by rounding but predictions and distributions must
+// match tightly.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 6; trial++ {
+		g := randomGraph(rng, 20+rng.Intn(30), 1+rng.Intn(3), 2+rng.Intn(3))
+		for _, ica := range []bool{false, true} {
+			cfg := DefaultConfig()
+			cfg.ICAUpdate = ica
+			cfg.Gamma = 0.5
+			cfg.Workers = 1
+			serial, err := New(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := serial.Run()
+
+			cfg.Workers = 4
+			parallel, err := New(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := parallel.Run()
+
+			for c := range want.Classes {
+				if d := vec.Diff1(want.Classes[c].X, got.Classes[c].X); d > 1e-6 {
+					t.Errorf("trial %d ica=%v class %d: X diverged by %v", trial, ica, c, d)
+				}
+				if d := vec.Diff1(want.Classes[c].Z, got.Classes[c].Z); d > 1e-6 {
+					t.Errorf("trial %d ica=%v class %d: Z diverged by %v", trial, ica, c, d)
+				}
+			}
+			wantPred := want.Predict()
+			gotPred := got.Predict()
+			for i := range wantPred {
+				if wantPred[i] != gotPred[i] {
+					t.Errorf("trial %d ica=%v: node %d predicted %d serial vs %d parallel",
+						trial, ica, i, wantPred[i], gotPred[i])
+				}
+			}
+		}
+	}
+}
+
+// For a fixed Workers value, repeated parallel runs must agree bit for
+// bit: shard boundaries and reduction order depend only on the worker
+// count, not on scheduling.
+func TestRunParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	g := randomGraph(rng, 40, 2, 3)
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	m, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := m.Run()
+	for trial := 0; trial < 5; trial++ {
+		res := m.Run()
+		for c := range first.Classes {
+			if d := vec.Diff1(first.Classes[c].X, res.Classes[c].X); d != 0 {
+				t.Fatalf("trial %d class %d: X not deterministic (diff %v)", trial, c, d)
+			}
+			if d := vec.Diff1(first.Classes[c].Z, res.Classes[c].Z); d != 0 {
+				t.Fatalf("trial %d class %d: Z not deterministic (diff %v)", trial, c, d)
+			}
+		}
+	}
+}
+
+// RunWarm must follow the same parallel machinery as Run.
+func TestRunWarmParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	g := randomGraph(rng, 30, 2, 2)
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	ms, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := ms.Run()
+	want := ms.RunWarm(prev)
+
+	cfg.Workers = 3
+	mp, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mp.RunWarm(prev)
+	for c := range want.Classes {
+		if d := vec.Diff1(want.Classes[c].X, got.Classes[c].X); d > 1e-6 {
+			t.Errorf("class %d: warm X diverged by %v", c, d)
+		}
+	}
+}
+
+// A Model must stay safe for concurrent Run calls: each run owns its pool
+// and scratch. Run under -race this doubles as the race check for the
+// whole solver stack.
+func TestConcurrentParallelRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := randomGraph(rng, 30, 2, 3)
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	m, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.Run()
+	done := make(chan *Result, 4)
+	for i := 0; i < 4; i++ {
+		go func() { done <- m.Run() }()
+	}
+	for i := 0; i < 4; i++ {
+		res := <-done
+		for c := range base.Classes {
+			if d := vec.Diff1(base.Classes[c].X, res.Classes[c].X); d != 0 {
+				t.Errorf("concurrent run %d class %d drifted by %v", i, c, d)
+			}
+		}
+	}
+}

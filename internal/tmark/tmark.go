@@ -19,10 +19,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"tmark/internal/hin"
 	"tmark/internal/markov"
+	"tmark/internal/par"
+	"tmark/internal/sparse"
 	"tmark/internal/tensor"
 	"tmark/internal/vec"
 )
@@ -56,8 +57,13 @@ type Config struct {
 	// Bag-of-words features share so much background vocabulary that the
 	// dense W is nearly uniform; a modest K concentrates the feature walk.
 	FeatureTopK int
-	// Workers caps the number of classes solved concurrently; 0 means
-	// GOMAXPROCS.
+	// Workers bounds the compute concurrency of the solver: the hot-loop
+	// kernels (the O and R tensor contractions and the W·x product) are
+	// sharded across a worker pool of this size, and model construction
+	// uses the same bound for the cosine-similarity build. 0 means
+	// GOMAXPROCS; 1 runs fully serial. Results are deterministic for a
+	// fixed Workers value; different values can differ by float rounding
+	// in the shard reduction only.
 	Workers int
 }
 
@@ -152,15 +158,25 @@ func New(g *hin.Graph, cfg Config) (*Model, error) {
 		irreducible: a.Irreducible(),
 	}
 	if cfg.Gamma > 0 {
+		pool := par.New(cfg.workerCount())
 		if cfg.FeatureTopK > 0 {
 			// The sparsified channel keeps only O(n·K) weights, so the
 			// per-iteration cost stays linear on large networks.
-			m.w = markov.SparseFeatureTransitionCSR(g.FeatureMatrix(), cfg.FeatureTopK)
+			m.w = markov.SparseFeatureTransitionCSRPar(g.FeatureMatrix(), cfg.FeatureTopK, pool)
 		} else {
-			m.w = markov.FeatureTransition(g.FeatureMatrix())
+			m.w = markov.FeatureTransitionPar(g.FeatureMatrix(), pool)
 		}
+		pool.Close()
 	}
 	return m, nil
+}
+
+// workerCount resolves the Workers knob: 0 means GOMAXPROCS.
+func (c Config) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Irreducible reports whether the adjacency tensor satisfied the paper's
@@ -196,9 +212,12 @@ type Result struct {
 	n, m, q int
 }
 
-// Run solves the tensor equations for every class. Without the ICA update
-// the classes are independent and solved in parallel (up to cfg.Workers at
-// a time). With the ICA update the classes advance in lockstep, because
+// Run solves the tensor equations for every class. Classes are stepped
+// sequentially and the parallelism lives inside the per-iteration kernels,
+// which are sharded across a worker pool of cfg.Workers goroutines — so the
+// solver scales with cores even when the class count is small (q = 4–5 on
+// the paper's datasets), and exactly Workers goroutines compute at any
+// moment. With the ICA update the classes advance in lockstep, because
 // eq. (12) accepts "highly confident labels ... in the prediction matrix":
 // a confident label is a cross-class statement, so after every iteration
 // each unlabelled node may join the restart set of its argmax class only.
@@ -210,30 +229,88 @@ func (m *Model) Run() *Result {
 		m:       m.graph.M(),
 		q:       q,
 	}
+	rs := m.newRunScratch()
+	defer rs.close()
 	if m.cfg.ICAUpdate {
-		m.runLockstep(res)
+		m.runLockstep(res, rs)
 		return res
 	}
-	workers := m.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > q {
-		workers = q
-	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
 	for c := 0; c < q; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res.Classes[c] = m.solveClass(c)
-		}(c)
+		res.Classes[c] = m.solveClass(c, rs)
 	}
-	wg.Wait()
 	return res
+}
+
+// runScratch bundles the worker pool and the per-kernel scratch buffers of
+// one Run call. The buffers are reused across iterations and classes, so
+// steady-state iterations allocate nothing in the kernels. A runScratch is
+// owned by one goroutine; concurrent Run calls each build their own, which
+// keeps the Model itself read-only during solving. A nil runScratch selects
+// the serial kernel paths.
+type runScratch struct {
+	pool *par.Pool
+	o    *tensor.NodeApplyScratch
+	r    *tensor.RelationApplyScratch
+	wCSR *sparse.MulScratch
+	wDen *vec.MulScratch
+}
+
+// newRunScratch builds the pool and kernel scratch for one solver run, or
+// returns nil when the configuration is effectively serial.
+func (m *Model) newRunScratch() *runScratch {
+	w := m.cfg.workerCount()
+	if w <= 1 {
+		return nil
+	}
+	rs := &runScratch{
+		pool: par.New(w),
+		o:    tensor.NewNodeApplyScratch(m.o, w),
+		r:    tensor.NewRelationApplyScratch(m.r, w),
+	}
+	switch m.w.(type) {
+	case *sparse.Matrix:
+		rs.wCSR = sparse.NewMulScratch(w)
+	case *vec.Matrix:
+		rs.wDen = vec.NewMulScratch(w)
+	}
+	return rs
+}
+
+func (rs *runScratch) close() {
+	if rs != nil {
+		rs.pool.Close()
+	}
+}
+
+func (rs *runScratch) applyNode(o *tensor.NodeTransition, x, z, dst vec.Vector) {
+	if rs == nil {
+		o.Apply(x, z, dst)
+		return
+	}
+	o.ApplyParallel(rs.pool, rs.o, x, z, dst)
+}
+
+func (rs *runScratch) applyRelation(r *tensor.RelationTransition, x, dst vec.Vector) {
+	if rs == nil {
+		r.Apply(x, dst)
+		return
+	}
+	r.ApplyParallel(rs.pool, rs.r, x, dst)
+}
+
+func (rs *runScratch) mulFeature(w matvec, x, dst vec.Vector) {
+	if rs == nil {
+		w.MulVec(x, dst)
+		return
+	}
+	switch fw := w.(type) {
+	case *sparse.Matrix:
+		fw.MulVecParallel(rs.pool, rs.wCSR, x, dst)
+	case *vec.Matrix:
+		fw.MulVecParallel(rs.pool, rs.wDen, x, dst)
+	default:
+		w.MulVec(x, dst)
+	}
 }
 
 // classState is the per-class working set of the lockstep solver.
@@ -250,7 +327,7 @@ type classState struct {
 
 // runLockstep advances every class together, applying the cross-class ICA
 // reseed between iterations.
-func (m *Model) runLockstep(res *Result) {
+func (m *Model) runLockstep(res *Result, rs *runScratch) {
 	n, mm, q := m.graph.N(), m.graph.M(), m.graph.Q()
 	states := make([]classState, q)
 	for c := 0; c < q; c++ {
@@ -261,48 +338,34 @@ func (m *Model) runLockstep(res *Result) {
 			seeds: seeds,
 		}
 	}
-	m.iterateLockstep(res, states)
+	m.iterateLockstep(res, states, rs)
 }
 
-// iterateLockstep runs the shared lockstep loop over prepared states.
-func (m *Model) iterateLockstep(res *Result, states []classState) {
+// iterateLockstep runs the shared lockstep loop over prepared states. The
+// classes are stepped one after another — the worker pool inside the
+// kernels is the parallelism, so the actual concurrency is bounded by
+// cfg.Workers instead of the per-iteration goroutine-plus-semaphore churn
+// this loop used to spawn (which kept all q goroutines live regardless of
+// the Workers setting).
+func (m *Model) iterateLockstep(res *Result, states []classState, rs *runScratch) {
 	q := len(states)
-	workers := m.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > q {
-		workers = q
-	}
 	for t := 1; t <= m.cfg.MaxIterations; t++ {
 		if t > 2 {
 			m.icaReseedAll(states)
 		}
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
+		allDone := true
 		for c := 0; c < q; c++ {
-			if states[c].converged {
+			s := &states[c]
+			if s.converged {
 				continue
 			}
-			wg.Add(1)
-			go func(s *classState) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				rho := m.step(s)
-				s.trace = append(s.trace, rho)
-				s.iterations++
-				if rho < m.cfg.Epsilon {
-					s.converged = true
-				}
-			}(&states[c])
-		}
-		wg.Wait()
-		allDone := true
-		for c := range states {
-			if !states[c].converged {
+			rho := m.step(s, rs)
+			s.trace = append(s.trace, rho)
+			s.iterations++
+			if rho < m.cfg.Epsilon {
+				s.converged = true
+			} else {
 				allDone = false
-				break
 			}
 		}
 		if allDone {
@@ -320,23 +383,23 @@ func (m *Model) iterateLockstep(res *Result, states []classState) {
 }
 
 // step performs one iteration of eq. (10) and eq. (8) on the state and
-// returns ρ.
-func (m *Model) step(s *classState) float64 {
+// returns ρ. A nil rs runs the serial kernels.
+func (m *Model) step(s *classState, rs *runScratch) float64 {
 	alpha, beta := m.cfg.Alpha, m.cfg.Beta()
 	rel := 1 - alpha - beta
 	if rel > 0 {
-		m.o.Apply(s.x, s.z, s.xNext)
+		rs.applyNode(m.o, s.x, s.z, s.xNext)
 		vec.Scale(rel, s.xNext)
 	} else {
 		vec.Fill(s.xNext, 0)
 	}
 	if beta > 0 && m.w != nil {
-		m.w.MulVec(s.x, s.tmp)
+		rs.mulFeature(m.w, s.x, s.tmp)
 		vec.Axpy(beta, s.tmp, s.xNext)
 	}
 	vec.Axpy(alpha, s.l, s.xNext)
 	vec.Normalize1(s.xNext)
-	m.r.Apply(s.xNext, s.zNext)
+	rs.applyRelation(m.r, s.xNext, s.zNext)
 	vec.Normalize1(s.zNext)
 	rho := vec.Diff1(s.x, s.xNext) + vec.Diff1(s.z, s.zNext)
 	copy(s.x, s.xNext)
@@ -396,7 +459,9 @@ func (m *Model) RunClass(c int) ClassResult {
 	if c < 0 || c >= m.graph.Q() {
 		panic(fmt.Sprintf("tmark: class %d out of range %d", c, m.graph.Q()))
 	}
-	return m.solveClass(c)
+	rs := m.newRunScratch()
+	defer rs.close()
+	return m.solveClass(c, rs)
 }
 
 // seedVector builds the initial restart vector l for class c (eq. 11):
@@ -419,7 +484,7 @@ func (m *Model) seedVector(c int) (vec.Vector, int) {
 	return l, count
 }
 
-func (m *Model) solveClass(c int) ClassResult {
+func (m *Model) solveClass(c int, rs *runScratch) ClassResult {
 	n, mm := m.graph.N(), m.graph.M()
 	alpha, beta := m.cfg.Alpha, m.cfg.Beta()
 	rel := 1 - alpha - beta // weight of the relational tensor channel
@@ -439,13 +504,13 @@ func (m *Model) solveClass(c int) ClassResult {
 		}
 		// x_t = rel·O(x,z) + β·Wx + α·l
 		if rel > 0 {
-			m.o.Apply(x, z, xNext)
+			rs.applyNode(m.o, x, z, xNext)
 			vec.Scale(rel, xNext)
 		} else {
 			vec.Fill(xNext, 0)
 		}
 		if beta > 0 && m.w != nil {
-			m.w.MulVec(x, tmp)
+			rs.mulFeature(m.w, x, tmp)
 			vec.Axpy(beta, tmp, xNext)
 		}
 		vec.Axpy(alpha, l, xNext)
@@ -455,7 +520,7 @@ func (m *Model) solveClass(c int) ClassResult {
 		// has unit mass, so this changes nothing mathematically.
 		vec.Normalize1(xNext)
 		// z_t = R(x_t, x_t)
-		m.r.Apply(xNext, zNext)
+		rs.applyRelation(m.r, xNext, zNext)
 		vec.Normalize1(zNext)
 
 		rho := vec.Diff1(x, xNext) + vec.Diff1(z, zNext)

@@ -39,23 +39,25 @@ func (m *Model) RunWarm(prev *Result) *Result {
 		return vec.Clone(pc.X), vec.Clone(pc.Z), true
 	}
 
+	rs := m.newRunScratch()
+	defer rs.close()
 	if m.cfg.ICAUpdate {
-		m.runLockstepFrom(res, warm)
+		m.runLockstepFrom(res, warm, rs)
 		return res
 	}
 	for c := 0; c < q; c++ {
 		x, z, ok := warm(c)
 		if !ok {
-			res.Classes[c] = m.solveClass(c)
+			res.Classes[c] = m.solveClass(c, rs)
 			continue
 		}
-		res.Classes[c] = m.solveClassFrom(c, x, z)
+		res.Classes[c] = m.solveClassFrom(c, x, z, rs)
 	}
 	return res
 }
 
 // solveClassFrom is solveClass with explicit starting vectors.
-func (m *Model) solveClassFrom(c int, x, z vec.Vector) ClassResult {
+func (m *Model) solveClassFrom(c int, x, z vec.Vector, rs *runScratch) ClassResult {
 	l, seeds := m.seedVector(c)
 	s := classState{
 		x: x, z: z, l: l,
@@ -67,7 +69,7 @@ func (m *Model) solveClassFrom(c int, x, z vec.Vector) ClassResult {
 		if m.cfg.ICAUpdate && t > 2 {
 			m.icaReseed(c, s.x, s.l)
 		}
-		rho := m.step(&s)
+		rho := m.step(&s, rs)
 		cr.Trace = append(cr.Trace, rho)
 		cr.Iterations = t
 		if rho < m.cfg.Epsilon {
@@ -81,7 +83,7 @@ func (m *Model) solveClassFrom(c int, x, z vec.Vector) ClassResult {
 }
 
 // runLockstepFrom is runLockstep with per-class warm starting vectors.
-func (m *Model) runLockstepFrom(res *Result, warm func(c int) (vec.Vector, vec.Vector, bool)) {
+func (m *Model) runLockstepFrom(res *Result, warm func(c int) (vec.Vector, vec.Vector, bool), rs *runScratch) {
 	n, mm, q := m.graph.N(), m.graph.M(), m.graph.Q()
 	states := make([]classState, q)
 	for c := 0; c < q; c++ {
@@ -96,5 +98,5 @@ func (m *Model) runLockstepFrom(res *Result, warm func(c int) (vec.Vector, vec.V
 			seeds: seeds,
 		}
 	}
-	m.iterateLockstep(res, states)
+	m.iterateLockstep(res, states, rs)
 }

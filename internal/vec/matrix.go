@@ -133,8 +133,14 @@ func Mul(a, b *Matrix) *Matrix {
 // to leave zero columns untouched instead. It returns the number of zero
 // columns encountered.
 func (m *Matrix) NormalizeColumns(fillUniform bool) int {
+	return m.normalizeColumnRange(0, m.Cols, fillUniform)
+}
+
+// normalizeColumnRange normalises columns [lo, hi); each column's
+// arithmetic is independent, so disjoint ranges can run concurrently.
+func (m *Matrix) normalizeColumnRange(lo, hi int, fillUniform bool) int {
 	zero := 0
-	for j := 0; j < m.Cols; j++ {
+	for j := lo; j < hi; j++ {
 		var s float64
 		for i := 0; i < m.Rows; i++ {
 			s += m.Data[i*m.Cols+j]
@@ -202,21 +208,29 @@ func CosineMatrix(features [][]float64) *Matrix {
 		norms[i] = Norm2(f)
 	}
 	for i := 0; i < n; i++ {
-		m.Set(i, i, 1)
-		if norms[i] == 0 {
-			m.Set(i, i, 0)
-		}
-		for j := i + 1; j < n; j++ {
-			var c float64
-			if norms[i] != 0 && norms[j] != 0 {
-				c = Dot(features[i], features[j]) / (norms[i] * norms[j])
-				if c < 0 {
-					c = 0 // transition weights must be nonnegative
-				}
-			}
-			m.Set(i, j, c)
-			m.Set(j, i, c)
-		}
+		cosineRow(m, features, norms, i)
 	}
 	return m
+}
+
+// cosineRow fills row i's upper triangle and the mirrored lower-triangle
+// cells. Cell (a, b) with a < b is written only by the call with i == a,
+// so distinct rows can be computed concurrently without racing.
+func cosineRow(m *Matrix, features [][]float64, norms []float64, i int) {
+	n := len(features)
+	m.Set(i, i, 1)
+	if norms[i] == 0 {
+		m.Set(i, i, 0)
+	}
+	for j := i + 1; j < n; j++ {
+		var c float64
+		if norms[i] != 0 && norms[j] != 0 {
+			c = Dot(features[i], features[j]) / (norms[i] * norms[j])
+			if c < 0 {
+				c = 0 // transition weights must be nonnegative
+			}
+		}
+		m.Set(i, j, c)
+		m.Set(j, i, c)
+	}
 }

@@ -1,0 +1,123 @@
+package vec
+
+// Parallel companions to the dense-matrix operations on the solver's hot
+// and construction paths. All of them produce results bitwise identical to
+// their serial counterparts: work is partitioned so that every output cell
+// is written by exactly one worker with unchanged arithmetic.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tmark/internal/par"
+)
+
+// MulScratch holds the reusable dispatch state of the dense MulVecParallel.
+// Build one per solver run with NewMulScratch; steady-state calls then
+// allocate nothing. A scratch must not be shared by concurrent calls.
+type MulScratch struct {
+	shards int
+	task   denseMulTask
+	wg     sync.WaitGroup
+}
+
+// NewMulScratch returns scratch for the given shard count. shards < 1 is
+// treated as 1.
+func NewMulScratch(shards int) *MulScratch {
+	if shards < 1 {
+		shards = 1
+	}
+	return &MulScratch{shards: shards}
+}
+
+type denseMulTask struct {
+	m      *Matrix
+	x, dst []float64
+}
+
+func (t *denseMulTask) RunShard(shard, shards int) {
+	m := t.m
+	lo, hi := par.Split(m.Rows, shards, shard)
+	x := t.x
+	for i := lo; i < hi; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		t.dst[i] = s
+	}
+}
+
+// MulVecParallel computes dst = m·x like MulVec with the rows sharded
+// across the pool. Dense rows cost the same, so plain equal ranges
+// balance. Bitwise identical to MulVec; a nil/serial pool or single-shard
+// scratch falls back to the serial path.
+func (m *Matrix) MulVecParallel(p *par.Pool, s *MulScratch, x, dst Vector) {
+	if p.Serial() || s == nil || s.shards <= 1 || m.Rows == 0 {
+		m.MulVec(x, dst)
+		return
+	}
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("vec: MulVecParallel x length %d, want %d", len(x), m.Cols))
+	}
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("vec: MulVecParallel dst length %d, want %d", len(dst), m.Rows))
+	}
+	s.task.m, s.task.x, s.task.dst = m, x, dst
+	p.Run(s.shards, &s.task, &s.wg)
+	s.task.x, s.task.dst = nil, nil
+}
+
+// cosineTask computes cosine rows strided by shard: row i does n−i dot
+// products, so striding balances the triangular workload across workers.
+type cosineTask struct {
+	features [][]float64
+	norms    []float64
+	m        *Matrix
+}
+
+func (t *cosineTask) RunShard(shard, shards int) {
+	for i := shard; i < len(t.features); i += shards {
+		cosineRow(t.m, t.features, t.norms, i)
+	}
+}
+
+// CosineMatrixPar is CosineMatrix with the O(n²·d) pairwise dot products
+// spread over the pool. Every cell is written by exactly one worker, so
+// the result is bitwise identical to the serial build.
+func CosineMatrixPar(features [][]float64, p *par.Pool) *Matrix {
+	if p.Serial() || len(features) <= 1 {
+		return CosineMatrix(features)
+	}
+	n := len(features)
+	m := NewMatrix(n, n)
+	norms := make([]float64, n)
+	for i, f := range features {
+		norms[i] = Norm2(f)
+	}
+	shards := p.Workers()
+	if shards > n {
+		shards = n
+	}
+	t := &cosineTask{features: features, norms: norms, m: m}
+	var wg sync.WaitGroup
+	p.Run(shards, t, &wg)
+	return m
+}
+
+// NormalizeColumnsPar is NormalizeColumns with the column sweeps spread
+// over the pool; columns are independent, so the per-column arithmetic —
+// and hence the result — matches the serial method exactly.
+func (m *Matrix) NormalizeColumnsPar(fillUniform bool, p *par.Pool) int {
+	if p.Serial() {
+		return m.NormalizeColumns(fillUniform)
+	}
+	var zero int64
+	p.For(m.Cols, func(lo, hi int) {
+		z := m.normalizeColumnRange(lo, hi, fillUniform)
+		atomic.AddInt64(&zero, int64(z))
+	})
+	return int(zero)
+}

@@ -17,6 +17,12 @@
 // and ICAUpdate toggles between T-Mark (true) and its TensorRrCc
 // predecessor (false). RunWarm continues from a previous solution when
 // labels change incrementally.
+//
+// Config.Workers bounds the compute concurrency: the hot-loop kernels
+// (tensor contractions and the feature-matrix product) and the cosine
+// construction are sharded across a pool of that many workers. 0 uses
+// GOMAXPROCS, 1 runs fully serial; results are deterministic for any
+// fixed value.
 package tmark
 
 import (
