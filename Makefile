@@ -3,15 +3,21 @@
 
 GO ?= go
 
-.PHONY: all build test short-test race vet bench fuzz experiments figures examples clean
+.PHONY: all build test short-test race vet bench bench-stats fuzz experiments figures examples clean
 
 all: build vet test race
 
 build:
 	$(GO) build ./...
 
+# go vet always; staticcheck too when it is on PATH.
 vet:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -27,6 +33,12 @@ race:
 # One benchmark per paper table/figure plus ablations and micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Workers sweep with the telemetry collector on: reports the wall-time
+# split across the solver kernels (o_contract, r_contract, w_matvec,
+# ica_reseed) per worker count, plus the collector-overhead guard.
+bench-stats:
+	$(GO) test -run xxx -bench 'BenchmarkRunStats|BenchmarkCollectorOverhead' -benchmem -v ./internal/tmark/
 
 # Short fuzzing passes over the untrusted-input parsers.
 fuzz:

@@ -6,14 +6,23 @@
 //	experiments [-run all|example|table2|table3|table4|table5|tables6-7|
 //	             table8|tables9-10|table11|fig5|fig6|fig7|fig8|fig9|fig10|ablation]
 //	            [-full] [-seed N] [-trials N] [-svg DIR]
+//	            [-stats] [-metrics-addr :9090]
 //
 // By default it runs everything at the quick (CI) scale; -full switches to
 // the paper's protocol (nine labelled fractions, ten trials, full dataset
 // sizes) and takes correspondingly longer. With -svg the figure-shaped
 // experiments additionally write SVG charts into DIR.
+//
+// Long experiment batches can be watched from outside: -metrics-addr
+// serves the process metrics registry (solver run and iteration totals,
+// per-kernel timers) at /metrics in Prometheus text format plus pprof
+// under /debug/pprof/, and -stats dumps the registry snapshot to stderr
+// after each experiment completes.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +31,7 @@ import (
 	"time"
 
 	"tmark/internal/experiments"
+	"tmark/pkg/obs"
 )
 
 // svger is any experiment result that can render itself as a chart.
@@ -34,10 +44,22 @@ func main() {
 		run    = flag.String("run", "all", "experiment to run (comma separated), or 'all'")
 		full   = flag.Bool("full", false, "use the paper's full protocol (10 trials, 9 fractions)")
 		seed   = flag.Int64("seed", 1, "base random seed")
-		trials = flag.Int("trials", 0, "override the number of trials per cell")
-		svgDir = flag.String("svg", "", "directory to write SVG charts into")
+		trials      = flag.Int("trials", 0, "override the number of trials per cell")
+		svgDir      = flag.String("svg", "", "directory to write SVG charts into")
+		stats       = flag.Bool("stats", false, "dump the metrics registry snapshot to stderr after each experiment")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		addr, shutdown, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", addr)
+		defer shutdown(context.Background())
+	}
 
 	opt := experiments.Quick(*seed)
 	if *full {
@@ -124,6 +146,9 @@ func main() {
 			writeSVG(j.name, artifact)
 		}
 		fmt.Printf("[%s done in %v]\n\n", j.name, time.Since(start).Round(time.Millisecond))
+		if *stats {
+			dumpRegistry(j.name)
+		}
 		ran++
 	}
 	if ran == 0 {
@@ -131,4 +156,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// dumpRegistry prints the cumulative metrics snapshot (solver runs,
+// iterations, kernel timers) after an experiment, tagged with its name.
+func dumpRegistry(name string) {
+	snap := obs.Default().Snapshot()
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: snapshot: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "[metrics after %s]\n%s\n", name, out)
 }

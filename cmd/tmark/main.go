@@ -6,7 +6,7 @@
 //	tmark -in network.json [-csv] [-alpha 0.8] [-gamma 0.6] [-lambda 0.7]
 //	      [-epsilon 1e-8] [-maxiter 100] [-no-ica] [-topk K] [-top 10]
 //	      [-explain node] [-json] [-save result.json] [-warm result.json]
-//	      [-tune]
+//	      [-tune] [-workers N] [-timeout 30s] [-stats] [-metrics-addr :9090]
 //
 // The input is a graph in the JSON format written by cmd/datagen or
 // hin.Graph.SaveFile; with -csv it is a from,to,relation[,weight] edge
@@ -16,19 +16,29 @@
 // node and the top link types per class. -explain prints the channel
 // decomposition of one node's scores; -json switches the report to a
 // machine-readable document.
+//
+// Observability: -stats prints the run's per-kernel wall-time breakdown
+// to stderr; -metrics-addr serves the process metrics registry at
+// /metrics (Prometheus text format), /vars (JSON) and the pprof
+// endpoints under /debug/pprof/. -timeout bounds the solve, and an
+// interrupt (Ctrl-C) cancels it; either way the partial result obtained
+// so far is still reported.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
 
-	"tmark/internal/hin"
-	"tmark/internal/tmark"
-	"tmark/internal/tune"
+	"tmark/pkg/hin"
+	"tmark/pkg/obs"
+	"tmark/pkg/tmark"
+	"tmark/pkg/tune"
 )
 
 type report struct {
@@ -36,6 +46,7 @@ type report struct {
 	Irreducible bool               `json:"irreducible"`
 	Converged   bool               `json:"converged"`
 	Iterations  int                `json:"iterations"`
+	Stopped     string             `json:"stopped,omitempty"`
 	Predictions []prediction       `json:"predictions"`
 	LinkRanking map[string][]score `json:"linkRanking"`
 }
@@ -56,26 +67,47 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tmark: ")
 	var (
-		in      = flag.String("in", "", "input network (required)")
-		csvIn   = flag.Bool("csv", false, "input is a from,to,relation[,weight] CSV edge list")
-		alpha   = flag.Float64("alpha", 0.8, "restart probability α")
-		gamma   = flag.Float64("gamma", 0.6, "feature-channel scale γ")
-		lambda  = flag.Float64("lambda", 0.7, "ICA confidence threshold λ")
-		epsilon = flag.Float64("epsilon", 1e-8, "convergence threshold ε")
-		maxiter = flag.Int("maxiter", 100, "maximum iterations per class")
-		noICA   = flag.Bool("no-ica", false, "disable the ICA label update (TensorRrCc mode)")
-		topK    = flag.Int("topk", 0, "sparsify the feature channel to top-K neighbours (0 = dense)")
-		top     = flag.Int("top", 10, "link types to print per class")
-		explain = flag.Int("explain", -1, "print the channel decomposition for this node")
-		asJSON  = flag.Bool("json", false, "emit a JSON report instead of text")
-		save    = flag.String("save", "", "persist the solved result (stationary vectors) to this file")
-		warm    = flag.String("warm", "", "warm-start from a result previously written with -save")
-		auto    = flag.Bool("tune", false, "select alpha/gamma by cross-validation over the labelled nodes before solving")
+		in          = flag.String("in", "", "input network (required)")
+		csvIn       = flag.Bool("csv", false, "input is a from,to,relation[,weight] CSV edge list")
+		alpha       = flag.Float64("alpha", 0.8, "restart probability α")
+		gamma       = flag.Float64("gamma", 0.6, "feature-channel scale γ")
+		lambda      = flag.Float64("lambda", 0.7, "ICA confidence threshold λ")
+		epsilon     = flag.Float64("epsilon", 1e-8, "convergence threshold ε")
+		maxiter     = flag.Int("maxiter", 100, "maximum iterations per class")
+		noICA       = flag.Bool("no-ica", false, "disable the ICA label update (TensorRrCc mode)")
+		topK        = flag.Int("topk", 0, "sparsify the feature channel to top-K neighbours (0 = dense)")
+		top         = flag.Int("top", 10, "link types to print per class")
+		explain     = flag.Int("explain", -1, "print the channel decomposition for this node")
+		asJSON      = flag.Bool("json", false, "emit a JSON report instead of text")
+		save        = flag.String("save", "", "persist the solved result (stationary vectors) to this file")
+		warm        = flag.String("warm", "", "warm-start from a result previously written with -save")
+		auto        = flag.Bool("tune", false, "select alpha/gamma by cross-validation over the labelled nodes before solving")
+		workers     = flag.Int("workers", 0, "compute workers (0 = GOMAXPROCS, 1 = serial)")
+		timeout     = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
+		stats       = flag.Bool("stats", false, "print the run's per-kernel time breakdown to stderr")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *metricsAddr != "" {
+		addr, shutdown, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics server: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", addr)
+		defer shutdown(context.Background())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	g, err := load(*in, *csvIn)
@@ -87,6 +119,7 @@ func main() {
 		Alpha: *alpha, Gamma: *gamma, Lambda: *lambda,
 		Epsilon: *epsilon, MaxIterations: *maxiter,
 		ICAUpdate: !*noICA, FeatureTopK: *topK,
+		Workers: *workers,
 	}
 	if *auto {
 		tr, err := tune.Tune(g, cfg, tune.DefaultGrid(), 3, rand.New(rand.NewSource(1)))
@@ -101,15 +134,26 @@ func main() {
 	if err != nil {
 		log.Fatalf("build model: %v", err)
 	}
+	var opts []tmark.RunOption
+	var runStats tmark.RunStats
+	if *stats {
+		opts = append(opts, tmark.WithStats(&runStats))
+	}
 	var res *tmark.Result
 	if *warm != "" {
 		prev, err := tmark.LoadResultFile(*warm)
 		if err != nil {
 			log.Fatalf("load warm start: %v", err)
 		}
-		res = model.RunWarm(prev)
+		res = model.RunWarmContext(ctx, prev, opts...)
 	} else {
-		res = model.Run()
+		res = model.RunContext(ctx, opts...)
+	}
+	if res.Stopped != nil {
+		fmt.Fprintf(os.Stderr, "run stopped early (%s): %v; reporting partial result\n", res.Reason, res.Stopped)
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, runStats.String())
 	}
 	if *save != "" {
 		if err := res.SaveFile(*save); err != nil {
@@ -160,6 +204,9 @@ func buildReport(g *hin.Graph, model *tmark.Model, res *tmark.Result, top int) *
 		Iterations:  res.MaxIterations(),
 		LinkRanking: map[string][]score{},
 	}
+	if res.Stopped != nil {
+		rep.Stopped = res.Reason.String()
+	}
 	pred := res.Predict()
 	probs := res.LiftedProbabilities()
 	for i := 0; i < g.N(); i++ {
@@ -191,6 +238,9 @@ func printReport(g *hin.Graph, rep *report) {
 	fmt.Printf("network: %s\n", rep.Stats)
 	if !rep.Irreducible {
 		fmt.Println("note: adjacency tensor is reducible; uniqueness guarantees weakened")
+	}
+	if rep.Stopped != "" {
+		fmt.Printf("note: run stopped early (%s); predictions are partial\n", rep.Stopped)
 	}
 	if !rep.Converged {
 		fmt.Printf("note: not all classes converged within %d iterations\n", rep.Iterations)

@@ -1,19 +1,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
-	"tmark/internal/dataset"
-	"tmark/internal/tmark"
+	"tmark/pkg/datasets"
+	"tmark/pkg/obs"
+	"tmark/pkg/tmark"
 )
 
 func exampleFile(t *testing.T) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "example.json")
-	if err := dataset.Example().SaveFile(path); err != nil {
+	if err := datasets.Example().SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
 	return path
@@ -47,7 +52,7 @@ func TestLoadJSONAndCSV(t *testing.T) {
 }
 
 func TestBuildReport(t *testing.T) {
-	g := dataset.Example()
+	g := datasets.Example()
 	cfg := tmark.DefaultConfig()
 	cfg.Gamma = 0.5
 	model, err := tmark.New(g, cfg)
@@ -58,6 +63,9 @@ func TestBuildReport(t *testing.T) {
 	rep := buildReport(g, model, res, 2)
 	if !rep.Converged || !rep.Irreducible {
 		t.Errorf("report flags wrong: %+v", rep)
+	}
+	if rep.Stopped != "" {
+		t.Errorf("completed run reported Stopped=%q", rep.Stopped)
 	}
 	if len(rep.Predictions) != 2 {
 		t.Fatalf("predictions = %d, want 2 unlabelled nodes", len(rep.Predictions))
@@ -73,5 +81,56 @@ func TestBuildReport(t *testing.T) {
 	// The report must serialise cleanly.
 	if _, err := json.Marshal(rep); err != nil {
 		t.Errorf("marshal report: %v", err)
+	}
+}
+
+// TestStatsAndMetricsPath exercises what `-stats -metrics-addr :0` wires
+// together: a run collected via WithStats whose breakdown renders, and a
+// live /metrics endpoint exposing the solver's registry aggregates in
+// Prometheus text format.
+func TestStatsAndMetricsPath(t *testing.T) {
+	addr, shutdown, err := obs.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(context.Background())
+
+	g := datasets.Example()
+	cfg := tmark.DefaultConfig()
+	cfg.Gamma = 0.5
+	model, err := tmark.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st tmark.RunStats
+	res := model.RunContext(context.Background(), tmark.WithStats(&st))
+	if res.Stopped != nil {
+		t.Fatalf("Stopped = %v", res.Stopped)
+	}
+	text := st.String()
+	for _, want := range []string{"o_contract", "r_contract", "ica_reseed", "kernel"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stats breakdown missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	for _, want := range []string{
+		"tmark_runs_total",
+		"tmark_iterations_total",
+		"tmark_kernel_o_contract_seconds_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q; got:\n%s", want, metrics)
+		}
 	}
 }

@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"tmark/pkg/datasets"
 	"tmark/pkg/tmark"
@@ -23,7 +25,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := model.Run()
+
+	// RunContext bounds the solve (cancel/deadline stop within one
+	// iteration, leaving a usable partial result) and WithStats records
+	// where the time went. Plain model.Run() works too.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var stats tmark.RunStats
+	res := model.RunContext(ctx, tmark.WithStats(&stats))
+	if res.Stopped != nil {
+		log.Printf("stopped early (%s): %v", res.Reason, res.Stopped)
+	}
 
 	pred := res.Predict()
 	for i := range g.Nodes {
@@ -42,4 +54,7 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	fmt.Printf("\nsolved in %v (%d iterations over %d classes)\n",
+		stats.Wall.Round(time.Microsecond), stats.Iterations, len(stats.Classes))
 }

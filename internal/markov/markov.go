@@ -9,7 +9,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
+	"tmark/internal/obs"
 	"tmark/internal/par"
 	"tmark/internal/sparse"
 	"tmark/internal/vec"
@@ -27,6 +29,11 @@ const DefaultMaxIterations = 1000
 // matrix P: P[i][j] is the probability of moving to state i from state j.
 type Chain struct {
 	P *vec.Matrix
+
+	// Probe, when non-nil, counts power-iteration steps and the matrix
+	// cells each step touches; the nil default disables observation at the
+	// cost of one branch per iteration.
+	Probe *obs.Probe
 }
 
 // NewChain validates that p is square and column-stochastic within tol and
@@ -51,10 +58,14 @@ func FeatureTransition(features [][]float64) *vec.Matrix {
 
 // FeatureTransitionPar is FeatureTransition with the O(n²·d) cosine build
 // and the column normalisation spread over the pool; a nil pool runs
-// serially. The result is bitwise identical to the serial build.
+// serially. The result is bitwise identical to the serial build. The
+// build duration is published to the default obs registry
+// (tmark_build_w_seconds_total), a once-per-model cost.
 func FeatureTransitionPar(features [][]float64, p *par.Pool) *vec.Matrix {
+	start := time.Now()
 	w := vec.CosineMatrixPar(features, p)
 	w.NormalizeColumnsPar(true, p)
+	obs.Default().Timer("tmark_build_w").ObserveSince(start)
 	return w
 }
 
@@ -72,7 +83,11 @@ func SparseFeatureTransition(features [][]float64, topK int) *vec.Matrix {
 // build, the per-column top-K thresholding, and the normalisation spread
 // over the pool; a nil pool runs serially. Columns are thresholded
 // independently, so the result is bitwise identical to the serial build.
+// Like FeatureTransitionPar, the build duration is published to the
+// default obs registry.
 func SparseFeatureTransitionPar(features [][]float64, topK int, p *par.Pool) *vec.Matrix {
+	start := time.Now()
+	defer obs.Default().Timer("tmark_build_w").ObserveSince(start)
 	w := vec.CosineMatrixPar(features, p)
 	if topK <= 0 || topK >= w.Rows {
 		w.NormalizeColumnsPar(true, p)
@@ -185,6 +200,7 @@ func (c *Chain) iterate(x vec.Vector, step func(cur, next vec.Vector), tol float
 	var res Result
 	for it := 1; it <= maxIter; it++ {
 		step(x, next)
+		c.Probe.Observe(c.P.Rows * c.P.Cols)
 		res.Iterations = it
 		res.Residual = vec.Diff1(x, next)
 		res.Trace = append(res.Trace, res.Residual)

@@ -1,0 +1,243 @@
+// Package obs is the observability layer of the solver: low-overhead
+// counters and timers for the hot loops, a per-run telemetry record
+// (RunStats, filled by a Collector), and a process-wide metrics Registry
+// with an expvar-style snapshot and Prometheus text exposition.
+//
+// The package has two design rules. First, zero dependencies: only the
+// standard library, so every compute package can import it freely.
+// Second, disabled must cost nothing measurable: every instrument is
+// usable through a nil pointer — a nil *Collector, *Probe, *PoolStats,
+// *Counter or *Timer turns every method into a nil-checked no-op — so
+// the hot paths thread telemetry unconditionally and pay a branch, not
+// an atomic, when observation is off.
+//
+// Contention is handled by sharding: instruments updated concurrently by
+// pool workers (PoolStats, ShardedCounter) keep one cache-line-padded
+// slot per worker and sum on read, so the per-shard add never bounces a
+// cache line between cores.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonic atomic counter. The zero value is ready to use;
+// a nil *Counter is a valid disabled counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Calls on a nil counter are no-ops.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value; 0 on a nil counter.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Timer accumulates observed durations and their count. The zero value is
+// ready to use; a nil *Timer is a valid disabled timer.
+type Timer struct {
+	ns    atomic.Int64
+	calls atomic.Int64
+}
+
+// Observe records one duration. Calls on a nil timer are no-ops.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.ns.Add(int64(d))
+	t.calls.Add(1)
+}
+
+// ObserveSince records the duration elapsed since start. A zero start (as
+// returned by a nil Collector's Clock) is ignored.
+func (t *Timer) ObserveSince(start time.Time) {
+	if t == nil || start.IsZero() {
+		return
+	}
+	t.Observe(time.Since(start))
+}
+
+// Total returns the accumulated duration; 0 on a nil timer.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.ns.Load())
+}
+
+// Count returns the number of observations; 0 on a nil timer.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.calls.Load()
+}
+
+// paddedInt is an atomic counter padded to a cache line so adjacent
+// shards never share one (64-byte lines on every target we build for).
+type paddedInt struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// ShardedCounter is a counter split across per-worker slots to avoid
+// cross-core contention on concurrent adds. Reads sum the slots. A nil
+// *ShardedCounter is a valid disabled counter.
+type ShardedCounter struct {
+	shards []paddedInt
+}
+
+// NewShardedCounter returns a counter with the given number of slots;
+// shards < 1 is treated as 1.
+func NewShardedCounter(shards int) *ShardedCounter {
+	if shards < 1 {
+		shards = 1
+	}
+	return &ShardedCounter{shards: make([]paddedInt, shards)}
+}
+
+// Add adds n to the slot of the given shard (taken modulo the slot
+// count, so any worker index is safe). No-op on a nil counter.
+func (c *ShardedCounter) Add(shard int, n int64) {
+	if c == nil {
+		return
+	}
+	if shard < 0 {
+		shard = -shard
+	}
+	c.shards[shard%len(c.shards)].v.Add(n)
+}
+
+// Load sums the slots; 0 on a nil counter.
+func (c *ShardedCounter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	var sum int64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// Shards returns the slot count; 0 on a nil counter.
+func (c *ShardedCounter) Shards() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.shards)
+}
+
+// Probe counts one kernel call site: invocations and items (stored
+// entries, rows, …) processed. Compute kernels carry an optional *Probe
+// on their scratch objects and call Observe unconditionally; a nil probe
+// — the default — reduces the call to a branch.
+type Probe struct {
+	calls atomic.Int64
+	items atomic.Int64
+}
+
+// Observe records one kernel call over n items. No-op on a nil probe.
+func (p *Probe) Observe(n int) {
+	if p == nil {
+		return
+	}
+	p.calls.Add(1)
+	p.items.Add(int64(n))
+}
+
+// Calls returns the recorded invocation count; 0 on a nil probe.
+func (p *Probe) Calls() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.calls.Load()
+}
+
+// Items returns the recorded item total; 0 on a nil probe.
+func (p *Probe) Items() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.items.Load()
+}
+
+// PoolStats observes a worker pool: dispatches (batch submissions), shard
+// executions, and per-worker busy time. The per-worker series are sharded
+// so concurrent workers never contend on one cache line. A nil *PoolStats
+// disables observation.
+type PoolStats struct {
+	dispatches Counter
+	shardsRun  *ShardedCounter
+	busyNS     *ShardedCounter
+}
+
+// NewPoolStats returns stats sized for the given worker count.
+func NewPoolStats(workers int) *PoolStats {
+	if workers < 1 {
+		workers = 1
+	}
+	return &PoolStats{
+		shardsRun: NewShardedCounter(workers),
+		busyNS:    NewShardedCounter(workers),
+	}
+}
+
+// Dispatch records one batch submission. No-op on a nil receiver.
+func (s *PoolStats) Dispatch() {
+	if s == nil {
+		return
+	}
+	s.dispatches.Inc()
+}
+
+// ObserveShard records one shard executed by the given worker for d.
+// No-op on a nil receiver.
+func (s *PoolStats) ObserveShard(worker int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.shardsRun.Add(worker, 1)
+	s.busyNS.Add(worker, int64(d))
+}
+
+// Dispatches returns the batch submissions observed; 0 on nil.
+func (s *PoolStats) Dispatches() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dispatches.Load()
+}
+
+// ShardsRun returns the shard executions observed; 0 on nil.
+func (s *PoolStats) ShardsRun() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.shardsRun.Load()
+}
+
+// Busy returns the summed worker busy time; 0 on nil. Busy time counts
+// every worker in parallel, so it can exceed wall time — the ratio is the
+// effective parallelism.
+func (s *PoolStats) Busy() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.busyNS.Load())
+}

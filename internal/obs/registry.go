@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a process-wide set of named metrics: monotonic counters,
+// duration timers, and read-on-demand gauges. Metrics are created on
+// first use and live for the process; a Registry is safe for concurrent
+// use, and the instruments it hands out are updated lock-free.
+//
+// The registry exposes itself two ways: Snapshot returns an expvar-style
+// name→value map, and WritePrometheus emits the Prometheus text format
+// (timers expand into <name>_seconds_total and <name>_calls_total pairs).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+	gauges   map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		timers:   map[string]*Timer{},
+		gauges:   map[string]func() float64{},
+	}
+}
+
+// std is the process-wide default registry the solver publishes into and
+// the -metrics-addr endpoint serves.
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	name = sanitize(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	name = sanitize(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// SetGauge registers (or replaces) a gauge evaluated at read time.
+func (r *Registry) SetGauge(name string, fn func() float64) {
+	name = sanitize(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// Snapshot returns an expvar-style map of every metric: counters as
+// int64, gauges as float64, and timers as a <name>_seconds_total float
+// plus a <name>_calls_total int64.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+2*len(r.timers)+len(r.gauges))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	for name, t := range r.timers {
+		out[name+"_seconds_total"] = t.Total().Seconds()
+		out[name+"_calls_total"] = t.Count()
+	}
+	for name, fn := range r.gauges {
+		out[name] = fn()
+	}
+	return out
+}
+
+// WritePrometheus emits the registry in the Prometheus text exposition
+// format (version 0.0.4), metric names sorted for stable output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type sample struct {
+		name  string
+		typ   string
+		value string
+	}
+	r.mu.Lock()
+	samples := make([]sample, 0, len(r.counters)+2*len(r.timers)+len(r.gauges))
+	for name, c := range r.counters {
+		samples = append(samples, sample{name, "counter", fmt.Sprintf("%d", c.Load())})
+	}
+	for name, t := range r.timers {
+		samples = append(samples,
+			sample{name + "_seconds_total", "counter", formatFloat(t.Total().Seconds())},
+			sample{name + "_calls_total", "counter", fmt.Sprintf("%d", t.Count())})
+	}
+	for name, fn := range r.gauges {
+		samples = append(samples, sample{name, "gauge", formatFloat(fn())})
+	}
+	r.mu.Unlock()
+	sort.Slice(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", s.name, s.typ, s.name, s.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+// sanitize maps an arbitrary string onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], with a leading underscore when the first rune
+// would be a digit.
+func sanitize(name string) string {
+	ok := true
+	for i := 0; i < len(name); i++ {
+		if !validMetricByte(name[i], i == 0) {
+			ok = false
+			break
+		}
+	}
+	if ok && name != "" {
+		return name
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		if validMetricByte(name[i], false) {
+			b.WriteByte(name[i])
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	s := b.String()
+	if s == "" {
+		return "_"
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		s = "_" + s
+	}
+	return s
+}
+
+func validMetricByte(b byte, first bool) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_', b == ':':
+		return true
+	case b >= '0' && b <= '9':
+		return !first
+	}
+	return false
+}

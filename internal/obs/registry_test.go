@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total").Add(3)
+	r.Timer("solve").Observe(1500 * time.Millisecond)
+	r.SetGauge("workers", func() float64 { return 4 })
+
+	snap := r.Snapshot()
+	if snap["runs_total"] != int64(3) {
+		t.Errorf("runs_total = %v", snap["runs_total"])
+	}
+	if snap["solve_seconds_total"] != 1.5 {
+		t.Errorf("solve_seconds_total = %v", snap["solve_seconds_total"])
+	}
+	if snap["solve_calls_total"] != int64(1) {
+		t.Errorf("solve_calls_total = %v", snap["solve_calls_total"])
+	}
+	if snap["workers"] != 4.0 {
+		t.Errorf("workers = %v", snap["workers"])
+	}
+	// Same name returns the same instrument.
+	if r.Counter("runs_total").Load() != 3 {
+		t.Errorf("counter identity lost")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(7)
+	r.Counter("a_total").Inc()
+	r.Timer("kernel").Observe(2 * time.Second)
+	r.SetGauge("depth", func() float64 { return 0.5 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE a_total counter\na_total 1\n",
+		"# TYPE b_total counter\nb_total 7\n",
+		"# TYPE kernel_seconds_total counter\nkernel_seconds_total 2\n",
+		"# TYPE kernel_calls_total counter\nkernel_calls_total 1\n",
+		"# TYPE depth gauge\ndepth 0.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted: a_total before b_total before depth before kernel_*.
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Errorf("output not sorted:\n%s", out)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"good_name", "good_name"},
+		{"has space", "has_space"},
+		{"kernel/o", "kernel_o"},
+		{"9lives", "_9lives"},
+		{"", "_"},
+	} {
+		if got := sanitize(tc.in); got != tc.want {
+			t.Errorf("sanitize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tmark_runs_total").Add(2)
+	addr, shutdown, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = shutdown(ctx)
+	}()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "tmark_runs_total 2") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	code, body = get("/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/vars = %d", code)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/vars not JSON: %v", err)
+	}
+	if snap["tmark_runs_total"] != 2.0 { // JSON numbers decode as float64
+		t.Errorf("/vars tmark_runs_total = %v", snap["tmark_runs_total"])
+	}
+	code, body = get("/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestDefaultRegistryIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() not a singleton")
+	}
+	Default().Counter("obs_test_probe_total").Inc()
+	if Default().Counter("obs_test_probe_total").Load() < 1 {
+		t.Fatal("default registry lost a counter")
+	}
+}

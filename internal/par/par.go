@@ -14,6 +14,9 @@ package par
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"tmark/internal/obs"
 )
 
 // Task is a unit of sharded work: RunShard is invoked once per shard with
@@ -40,29 +43,46 @@ type job struct {
 type Pool struct {
 	workers int
 	jobs    chan job
+	// stats observes dispatches, shard executions and per-worker busy
+	// time. It is fixed at construction (workers read it without
+	// synchronisation) and nil means observation off: the hot dispatch
+	// path then pays one branch per shard and nothing else.
+	stats *obs.PoolStats
 }
 
 // New returns a pool bounded to the given number of concurrent executors;
 // workers <= 0 means GOMAXPROCS. The pool spawns workers-1 goroutines
 // because the caller of Run/For executes the final shard itself, so
 // exactly `workers` goroutines compute during a dispatch.
-func New(workers int) *Pool {
+func New(workers int) *Pool { return NewObserved(workers, nil) }
+
+// NewObserved is New with pool telemetry: every dispatch, shard execution
+// and per-worker busy interval is recorded into stats (sharded per worker,
+// so observation does not serialise the workers). A nil stats disables
+// observation and is exactly New.
+func NewObserved(workers int, stats *obs.PoolStats) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{workers: workers}
+	p := &Pool{workers: workers, stats: stats}
 	if workers > 1 {
 		p.jobs = make(chan job, 4*workers)
 		for w := 0; w < workers-1; w++ {
-			go p.work()
+			go p.work(w)
 		}
 	}
 	return p
 }
 
-func (p *Pool) work() {
+func (p *Pool) work(id int) {
 	for jb := range p.jobs {
-		jb.t.RunShard(jb.shard, jb.shards)
+		if p.stats != nil {
+			start := time.Now()
+			jb.t.RunShard(jb.shard, jb.shards)
+			p.stats.ObserveShard(id, time.Since(start))
+		} else {
+			jb.t.RunShard(jb.shard, jb.shards)
+		}
 		jb.wg.Done()
 	}
 }
@@ -87,16 +107,34 @@ func (p *Pool) Serial() bool { return p == nil || p.jobs == nil }
 // makes Run allocation-free. Tasks must not call Run themselves.
 func (p *Pool) Run(shards int, t Task, wg *sync.WaitGroup) {
 	if p.Serial() || shards <= 1 {
+		if p != nil && p.stats != nil && shards > 0 {
+			p.stats.Dispatch()
+			start := time.Now()
+			for s := 0; s < shards; s++ {
+				t.RunShard(s, shards)
+			}
+			p.stats.ObserveShard(0, time.Since(start))
+			return
+		}
 		for s := 0; s < shards; s++ {
 			t.RunShard(s, shards)
 		}
 		return
 	}
+	p.stats.Dispatch()
 	wg.Add(shards - 1)
 	for s := 0; s < shards-1; s++ {
 		p.jobs <- job{t, s, shards, wg}
 	}
-	t.RunShard(shards-1, shards)
+	if p.stats != nil {
+		// The caller acts as the last worker; its busy time lands in the
+		// final per-worker slot.
+		start := time.Now()
+		t.RunShard(shards-1, shards)
+		p.stats.ObserveShard(p.workers-1, time.Since(start))
+	} else {
+		t.RunShard(shards-1, shards)
+	}
 	wg.Wait()
 }
 

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"tmark/internal/obs"
 )
 
 // coverTask marks every index of its shard range; used to prove exact
@@ -205,4 +207,57 @@ func TestConcurrentRunCalls(t *testing.T) {
 		}()
 	}
 	outer.Wait()
+}
+
+func TestNewObservedRecordsPoolStats(t *testing.T) {
+	st := obs.NewPoolStats(4)
+	p := NewObserved(4, st)
+	defer p.Close()
+
+	task := &sumTask{xs: make([]float64, 1000), part: make([]float64, 4)}
+	for i := range task.xs {
+		task.xs[i] = 1
+	}
+	var wg sync.WaitGroup
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		p.Run(4, task, &wg)
+	}
+	if st.Dispatches() != runs {
+		t.Errorf("dispatches = %d, want %d", st.Dispatches(), runs)
+	}
+	if st.ShardsRun() != 4*runs {
+		t.Errorf("shards = %d, want %d", st.ShardsRun(), 4*runs)
+	}
+	if st.Busy() <= 0 {
+		t.Errorf("busy = %v, want > 0", st.Busy())
+	}
+}
+
+func TestNewObservedSerialPool(t *testing.T) {
+	st := obs.NewPoolStats(1)
+	p := NewObserved(1, st)
+	defer p.Close()
+	task := &sumTask{xs: make([]float64, 100), part: make([]float64, 2)}
+	var wg sync.WaitGroup
+	p.Run(2, task, &wg)
+	if st.Dispatches() != 1 || st.ShardsRun() != 1 {
+		// The serial path runs every shard inline and records the batch as
+		// one shard execution on worker 0.
+		t.Errorf("serial stats = %d dispatches, %d shards", st.Dispatches(), st.ShardsRun())
+	}
+}
+
+func TestObservedRunStaysAllocationFree(t *testing.T) {
+	st := obs.NewPoolStats(4)
+	p := NewObserved(4, st)
+	defer p.Close()
+	task := &sumTask{xs: make([]float64, 1000), part: make([]float64, 4)}
+	var wg sync.WaitGroup
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Run(4, task, &wg)
+	})
+	if allocs != 0 {
+		t.Fatalf("observed Run allocated %v times per call, want 0", allocs)
+	}
 }

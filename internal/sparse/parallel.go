@@ -9,6 +9,7 @@ package sparse
 import (
 	"sync"
 
+	"tmark/internal/obs"
 	"tmark/internal/par"
 )
 
@@ -19,6 +20,10 @@ type MulScratch struct {
 	shards int
 	task   mulTask
 	wg     sync.WaitGroup
+
+	// Probe, when non-nil, counts MulVecParallel calls and the stored
+	// entries they touch; nil disables observation.
+	Probe *obs.Probe
 }
 
 // NewMulScratch returns scratch for the given shard count (typically the
@@ -85,6 +90,7 @@ func (m *Matrix) MulVecParallel(p *par.Pool, s *MulScratch, x, dst []float64) {
 	if len(dst) != m.rows {
 		panic("sparse: MulVecParallel dst length mismatch")
 	}
+	s.Probe.Observe(len(m.values))
 	s.task.m, s.task.x, s.task.dst = m, x, dst
 	p.Run(s.shards, &s.task, &s.wg)
 	s.task.x, s.task.dst = nil, nil

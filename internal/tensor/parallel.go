@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"tmark/internal/obs"
 	"tmark/internal/par"
 )
 
@@ -28,6 +29,11 @@ type NodeApplyScratch struct {
 	mass     []float64 // per-shard stored-column mass Σ x[j]·z[k]
 	task     nodeApplyTask
 	wg       sync.WaitGroup
+
+	// Probe, when non-nil, counts ApplyParallel calls and the stored
+	// entries they contract (the kernel's work items). The nil default
+	// costs one branch per call.
+	Probe *obs.Probe
 }
 
 // NewNodeApplyScratch sizes scratch buffers for o with the given shard
@@ -120,6 +126,7 @@ func (o *NodeTransition) ApplyParallel(p *par.Pool, s *NodeApplyScratch, x, z, d
 	if len(z) != o.m {
 		panic(fmt.Sprintf("tensor: NodeTransition.ApplyParallel z length %d, want %d", len(z), o.m))
 	}
+	s.Probe.Observe(len(o.p))
 	t := &s.task
 	t.x, t.z, t.dst = x, z, dst
 	t.reduce, t.u = false, 0
@@ -150,6 +157,10 @@ type RelationApplyScratch struct {
 	mass     []float64
 	task     relationApplyTask
 	wg       sync.WaitGroup
+
+	// Probe, when non-nil, counts ApplyPairParallel calls and the stored
+	// entries they contract; nil disables observation.
+	Probe *obs.Probe
 }
 
 // NewRelationApplyScratch sizes scratch buffers for r with the given shard
@@ -220,6 +231,7 @@ func (r *RelationTransition) ApplyPairParallel(p *par.Pool, s *RelationApplyScra
 	if len(dst) != r.m {
 		panic(fmt.Sprintf("tensor: RelationTransition.ApplyPairParallel dst length %d, want %d", len(dst), r.m))
 	}
+	s.Probe.Observe(len(r.p))
 	t := &s.task
 	t.xi, t.xj = xi, xj
 	p.Run(s.shards, t, &s.wg)

@@ -1,0 +1,378 @@
+package tmark
+
+// The context-aware run API. RunContext is the solver's real entry point:
+// Run, RunWarm and RunClass are thin wrappers over it. The functional
+// options select per-run behaviour — telemetry collection (WithStats),
+// an iteration callback (WithProgress), a worker-count override
+// (WithWorkers) — without widening the method signature, and the context
+// makes every run cancellable: the iteration loops check ctx between
+// iterations, so a cancelled or expired context stops the solver within
+// one iteration and the partial Result (with Stopped/Reason set) remains
+// fully usable for prediction.
+
+import (
+	"context"
+	"errors"
+
+	"tmark/internal/obs"
+	"tmark/internal/par"
+	"tmark/internal/sparse"
+	"tmark/internal/tensor"
+	"tmark/internal/vec"
+)
+
+// Reason labels why a solver run returned.
+type Reason int
+
+const (
+	// ReasonUnknown is the zero value; results loaded from disk or built
+	// before this field existed carry it.
+	ReasonUnknown Reason = iota
+	// ReasonConverged: every class reached ρ_t < ε.
+	ReasonConverged
+	// ReasonMaxIterations: the iteration cap fired before convergence.
+	ReasonMaxIterations
+	// ReasonCanceled: the run's context was cancelled mid-solve.
+	ReasonCanceled
+	// ReasonDeadline: the run's context deadline expired mid-solve.
+	ReasonDeadline
+)
+
+// String names the reason for logs and reports.
+func (r Reason) String() string {
+	switch r {
+	case ReasonConverged:
+		return "converged"
+	case ReasonMaxIterations:
+		return "max-iterations"
+	case ReasonCanceled:
+		return "canceled"
+	case ReasonDeadline:
+		return "deadline"
+	default:
+		return "unknown"
+	}
+}
+
+// RunStats is the per-run telemetry record filled by WithStats: wall
+// time, the per-kernel time/call/item split, per-class iteration counts
+// and residual traces, worker-pool activity and the allocation delta.
+type RunStats = obs.RunStats
+
+// ClassStats is the per-class slice of a RunStats.
+type ClassStats = obs.ClassStats
+
+// KernelStats is the per-kernel slice of a RunStats.
+type KernelStats = obs.KernelStats
+
+// Kernel identifies a compute kernel in a RunStats.
+type Kernel = obs.Kernel
+
+// runOptions is the resolved option set of one run.
+type runOptions struct {
+	stats    *RunStats
+	progress func(class, iter int, rho float64)
+	workers  int // 0 keeps Config.Workers
+}
+
+// RunOption configures one solver run; see WithStats, WithProgress and
+// WithWorkers.
+type RunOption func(*runOptions)
+
+// WithStats has the run fill s with its telemetry: wall time, the
+// per-kernel time split, per-class iteration counts and residual traces,
+// pool activity, and the allocation delta. Collection adds two clock
+// reads per kernel call on the driver goroutine — negligible against the
+// kernels themselves — and does not change any numeric result. s is
+// rewritten in place, so one RunStats may be reused across runs.
+func WithStats(s *RunStats) RunOption {
+	return func(o *runOptions) { o.stats = s }
+}
+
+// WithProgress invokes fn after every iteration of every class with the
+// class index, that class's iteration count, and the iteration's residual
+// ρ. The callback runs on the solver goroutine: keep it cheap, and do not
+// call back into the model from it. Cancelling the run's context from the
+// callback stops the solver within one iteration.
+func WithProgress(fn func(class, iter int, rho float64)) RunOption {
+	return func(o *runOptions) { o.progress = fn }
+}
+
+// WithWorkers overrides Config.Workers for this run only: n = 1 forces a
+// serial solve, n > 1 shards the kernels across n workers. n <= 0 keeps
+// the model's configured value.
+func WithWorkers(n int) RunOption {
+	return func(o *runOptions) {
+		if n > 0 {
+			o.workers = n
+		}
+	}
+}
+
+// Run solves the tensor equations for every class; it is RunContext with
+// a background context and no options. Classes are stepped sequentially
+// and the parallelism lives inside the per-iteration kernels, which are
+// sharded across a worker pool of cfg.Workers goroutines — so the solver
+// scales with cores even when the class count is small (q = 4–5 on the
+// paper's datasets). With the ICA update the classes advance in lockstep,
+// because eq. (12) accepts "highly confident labels ... in the prediction
+// matrix": a confident label is a cross-class statement, so after every
+// iteration each unlabelled node may join the restart set of its argmax
+// class only.
+func (m *Model) Run() *Result {
+	return m.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation and per-run options. The iteration
+// loops check ctx between iterations: when it is cancelled or its
+// deadline expires, the solver returns within one iteration with the
+// partial solution, Result.Stopped set to the context's error, and
+// Result.Reason set to ReasonCanceled or ReasonDeadline. Classes the run
+// never reached hold their seed state, so Predict and the other Result
+// accessors stay usable on a partial result. A nil ctx is treated as
+// context.Background().
+func (m *Model) RunContext(ctx context.Context, opts ...RunOption) *Result {
+	ctx = orBackground(ctx)
+	rs := m.newRunScratch(resolveOptions(opts))
+	defer rs.close()
+	q := m.graph.Q()
+	res := &Result{
+		Classes: make([]ClassResult, q),
+		n:       m.graph.N(),
+		m:       m.graph.M(),
+		q:       q,
+	}
+	if m.cfg.ICAUpdate {
+		m.runLockstep(ctx, res, rs)
+	} else {
+		for c := 0; c < q; c++ {
+			res.Classes[c] = m.solveClass(ctx, c, rs)
+		}
+	}
+	m.finishRun(ctx, res, rs)
+	return res
+}
+
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+func resolveOptions(opts []RunOption) runOptions {
+	var ro runOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&ro)
+		}
+	}
+	return ro
+}
+
+// finishRun stamps the stop reason, fills the caller's RunStats, and
+// publishes the run's aggregates to the process-wide metrics registry.
+func (m *Model) finishRun(ctx context.Context, res *Result, rs *runScratch) {
+	if err := ctx.Err(); err != nil {
+		res.Stopped = err
+		if errors.Is(err, context.DeadlineExceeded) {
+			res.Reason = ReasonDeadline
+		} else {
+			res.Reason = ReasonCanceled
+		}
+	} else if res.Converged() {
+		res.Reason = ReasonConverged
+	} else {
+		res.Reason = ReasonMaxIterations
+	}
+
+	st := rs.opts.stats
+	rs.col.Finish(st)
+	if st != nil {
+		st.Workers = rs.workers
+		st.Iterations = 0
+		st.Classes = st.Classes[:0]
+		for i := range res.Classes {
+			cr := &res.Classes[i]
+			st.Iterations += cr.Iterations
+			final := 0.0
+			if len(cr.Trace) > 0 {
+				final = cr.Trace[len(cr.Trace)-1]
+			}
+			st.Classes = append(st.Classes, ClassStats{
+				Class:         cr.Class,
+				Iterations:    cr.Iterations,
+				Converged:     cr.Converged,
+				FinalResidual: final,
+				Residuals:     append([]float64(nil), cr.Trace...),
+			})
+		}
+	}
+	publishRun(res, st)
+}
+
+// The solver's standing metrics in the process-wide registry. Cheap
+// aggregates (run and iteration counters) are published after every run;
+// the per-kernel timers gain data only from runs that collected stats.
+var (
+	regRuns       = obs.Default().Counter("tmark_runs_total")
+	regStopped    = obs.Default().Counter("tmark_runs_stopped_total")
+	regIterations = obs.Default().Counter("tmark_iterations_total")
+	regKernels    = func() [obs.NumKernels]*obs.Timer {
+		var ts [obs.NumKernels]*obs.Timer
+		for _, k := range obs.Kernels() {
+			ts[k] = obs.Default().Timer("tmark_kernel_" + k.String())
+		}
+		return ts
+	}()
+)
+
+func publishRun(res *Result, st *RunStats) {
+	regRuns.Inc()
+	if res.Stopped != nil {
+		regStopped.Inc()
+	}
+	iters := 0
+	for i := range res.Classes {
+		iters += res.Classes[i].Iterations
+	}
+	regIterations.Add(int64(iters))
+	if st != nil {
+		for _, ks := range st.Kernels {
+			if ks.Calls > 0 {
+				regKernels[ks.Kernel].Observe(ks.Time)
+			}
+		}
+	}
+}
+
+// runScratch bundles one run's worker pool, per-kernel scratch buffers,
+// telemetry collector and options. The buffers are reused across
+// iterations and classes, so steady-state iterations allocate nothing in
+// the kernels. A runScratch is owned by one goroutine; concurrent Run
+// calls each build their own, which keeps the Model itself read-only
+// during solving. A nil pool selects the serial kernel paths; a nil
+// collector (the default) reduces every telemetry touch to a branch.
+type runScratch struct {
+	pool    *par.Pool
+	o       *tensor.NodeApplyScratch
+	r       *tensor.RelationApplyScratch
+	wCSR    *sparse.MulScratch
+	wDen    *vec.MulScratch
+	col     *obs.Collector
+	opts    runOptions
+	workers int
+}
+
+// newRunScratch builds the pool, kernel scratch and collector for one
+// solver run. The result is never nil — a serial run simply leaves the
+// pool and scratches unset.
+func (m *Model) newRunScratch(ro runOptions) *runScratch {
+	w := m.cfg.workerCount()
+	if ro.workers > 0 {
+		w = ro.workers
+	}
+	rs := &runScratch{opts: ro, workers: w}
+	if ro.stats != nil {
+		rs.col = obs.NewCollector()
+	}
+	if w > 1 {
+		rs.pool = par.NewObserved(w, rs.col.AttachPool(w))
+		rs.o = tensor.NewNodeApplyScratch(m.o, w)
+		rs.o.Probe = rs.col.KernelProbe(obs.KernelO)
+		rs.r = tensor.NewRelationApplyScratch(m.r, w)
+		rs.r.Probe = rs.col.KernelProbe(obs.KernelR)
+		switch m.w.(type) {
+		case *sparse.Matrix:
+			rs.wCSR = sparse.NewMulScratch(w)
+			rs.wCSR.Probe = rs.col.KernelProbe(obs.KernelW)
+		case *vec.Matrix:
+			rs.wDen = vec.NewMulScratch(w)
+			rs.wDen.Probe = rs.col.KernelProbe(obs.KernelW)
+		}
+	}
+	return rs
+}
+
+func (rs *runScratch) close() {
+	if rs != nil {
+		rs.pool.Close()
+	}
+}
+
+// progressFn returns the per-iteration callback, or nil.
+func (rs *runScratch) progressFn() func(class, iter int, rho float64) {
+	if rs == nil {
+		return nil
+	}
+	return rs.opts.progress
+}
+
+func (rs *runScratch) applyNode(o *tensor.NodeTransition, x, z, dst vec.Vector) {
+	if rs == nil {
+		o.Apply(x, z, dst)
+		return
+	}
+	start := rs.col.Clock()
+	if rs.pool == nil {
+		o.Apply(x, z, dst)
+		rs.col.AddKernelItems(obs.KernelO, int64(o.NNZ()))
+	} else {
+		o.ApplyParallel(rs.pool, rs.o, x, z, dst)
+	}
+	rs.col.StopKernel(obs.KernelO, start)
+}
+
+func (rs *runScratch) applyRelation(r *tensor.RelationTransition, x, dst vec.Vector) {
+	if rs == nil {
+		r.Apply(x, dst)
+		return
+	}
+	start := rs.col.Clock()
+	if rs.pool == nil {
+		r.Apply(x, dst)
+		rs.col.AddKernelItems(obs.KernelR, int64(r.NNZ()))
+	} else {
+		r.ApplyParallel(rs.pool, rs.r, x, dst)
+	}
+	rs.col.StopKernel(obs.KernelR, start)
+}
+
+func (rs *runScratch) mulFeature(w matvec, x, dst vec.Vector) {
+	if rs == nil {
+		w.MulVec(x, dst)
+		return
+	}
+	start := rs.col.Clock()
+	switch fw := w.(type) {
+	case *sparse.Matrix:
+		if rs.pool == nil {
+			fw.MulVec(x, dst)
+			rs.col.AddKernelItems(obs.KernelW, int64(fw.NNZ()))
+		} else {
+			fw.MulVecParallel(rs.pool, rs.wCSR, x, dst)
+		}
+	case *vec.Matrix:
+		if rs.pool == nil {
+			fw.MulVec(x, dst)
+			rs.col.AddKernelItems(obs.KernelW, int64(fw.Rows*fw.Cols))
+		} else {
+			fw.MulVecParallel(rs.pool, rs.wDen, x, dst)
+		}
+	default:
+		w.MulVec(x, dst)
+	}
+	rs.col.StopKernel(obs.KernelW, start)
+}
+
+// reseed times one ICA reseed pass (fn) under the reseed kernel.
+func (rs *runScratch) reseed(items int, fn func()) {
+	if rs == nil || rs.col == nil {
+		fn()
+		return
+	}
+	start := rs.col.Clock()
+	fn()
+	rs.col.StopKernel(obs.KernelReseed, start)
+	rs.col.AddKernelItems(obs.KernelReseed, int64(items))
+}

@@ -1,0 +1,72 @@
+package tmark
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"tmark/internal/obs"
+)
+
+// BenchmarkCollectorOverhead guards the cost of telemetry: the "on"
+// sub-benchmark runs the solver with a live collector (WithStats), the
+// "off" one without. The two must stay within a few percent of each
+// other — the disabled path is nil-check branches only, and the enabled
+// path only adds driver-side clock reads plus atomic adds per kernel
+// call.
+func BenchmarkCollectorOverhead(b *testing.B) {
+	g := benchGraph(500)
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Run()
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		var st RunStats
+		for i := 0; i < b.N; i++ {
+			m.RunContext(context.Background(), WithStats(&st))
+		}
+	})
+}
+
+// BenchmarkRunStats is the `make bench-stats` entry point: a Workers
+// sweep with the collector on, reporting the per-kernel wall-time split
+// as benchmark metrics (kernel_<name>_ms per run) and logging the full
+// breakdown table once per worker count.
+func BenchmarkRunStats(b *testing.B) {
+	g := benchGraph(2000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := DefaultConfig()
+		cfg.Gamma = 0 // dense feature channel is O(n^2) memory at this size
+		cfg.Epsilon = 1e-300
+		cfg.MaxIterations = 8
+		cfg.Workers = workers
+		m, err := New(g, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var st RunStats
+			totals := make([]time.Duration, obs.NumKernels)
+			for i := 0; i < b.N; i++ {
+				m.RunContext(context.Background(), WithStats(&st))
+				for _, ks := range st.Kernels {
+					totals[ks.Kernel] += ks.Time
+				}
+			}
+			for k, total := range totals {
+				perRun := total / time.Duration(b.N)
+				b.ReportMetric(float64(perRun)/1e6, "kernel_"+obs.Kernel(k).String()+"_ms")
+			}
+			b.Logf("last run breakdown:\n%s", st.String())
+		})
+	}
+}

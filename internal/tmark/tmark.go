@@ -16,6 +16,7 @@
 package tmark
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -23,7 +24,6 @@ import (
 	"tmark/internal/hin"
 	"tmark/internal/markov"
 	"tmark/internal/par"
-	"tmark/internal/sparse"
 	"tmark/internal/tensor"
 	"tmark/internal/vec"
 )
@@ -68,7 +68,8 @@ type Config struct {
 }
 
 // DefaultConfig returns the paper's default hyper-parameters (DBLP
-// settings: α=0.8, γ=0.6).
+// settings: α=0.8, γ=0.6). Workers is left at 0, which resolves to
+// GOMAXPROCS at run time; set it to 1 for a fully serial solve.
 func DefaultConfig() Config {
 	return Config{
 		Alpha:         0.8,
@@ -97,6 +98,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxIterations <= 0 {
 		return fmt.Errorf("tmark: MaxIterations %d must be positive", c.MaxIterations)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("tmark: Workers %d must not be negative (0 means GOMAXPROCS)", c.Workers)
 	}
 	return nil
 }
@@ -209,108 +213,17 @@ type ClassResult struct {
 // Result bundles the per-class solutions.
 type Result struct {
 	Classes []ClassResult
+	// Reason records why the run returned: convergence, the iteration
+	// cap, or a context interruption. Results deserialised from disk
+	// carry ReasonUnknown.
+	Reason Reason
+	// Stopped is nil when the run completed naturally and the context's
+	// error (context.Canceled or context.DeadlineExceeded) when the run
+	// was interrupted. On an interrupted run the Classes hold the partial
+	// solution reached so far, which remains valid input for Predict,
+	// the rankings, and RunWarm.
+	Stopped error
 	n, m, q int
-}
-
-// Run solves the tensor equations for every class. Classes are stepped
-// sequentially and the parallelism lives inside the per-iteration kernels,
-// which are sharded across a worker pool of cfg.Workers goroutines — so the
-// solver scales with cores even when the class count is small (q = 4–5 on
-// the paper's datasets), and exactly Workers goroutines compute at any
-// moment. With the ICA update the classes advance in lockstep, because
-// eq. (12) accepts "highly confident labels ... in the prediction matrix":
-// a confident label is a cross-class statement, so after every iteration
-// each unlabelled node may join the restart set of its argmax class only.
-func (m *Model) Run() *Result {
-	q := m.graph.Q()
-	res := &Result{
-		Classes: make([]ClassResult, q),
-		n:       m.graph.N(),
-		m:       m.graph.M(),
-		q:       q,
-	}
-	rs := m.newRunScratch()
-	defer rs.close()
-	if m.cfg.ICAUpdate {
-		m.runLockstep(res, rs)
-		return res
-	}
-	for c := 0; c < q; c++ {
-		res.Classes[c] = m.solveClass(c, rs)
-	}
-	return res
-}
-
-// runScratch bundles the worker pool and the per-kernel scratch buffers of
-// one Run call. The buffers are reused across iterations and classes, so
-// steady-state iterations allocate nothing in the kernels. A runScratch is
-// owned by one goroutine; concurrent Run calls each build their own, which
-// keeps the Model itself read-only during solving. A nil runScratch selects
-// the serial kernel paths.
-type runScratch struct {
-	pool *par.Pool
-	o    *tensor.NodeApplyScratch
-	r    *tensor.RelationApplyScratch
-	wCSR *sparse.MulScratch
-	wDen *vec.MulScratch
-}
-
-// newRunScratch builds the pool and kernel scratch for one solver run, or
-// returns nil when the configuration is effectively serial.
-func (m *Model) newRunScratch() *runScratch {
-	w := m.cfg.workerCount()
-	if w <= 1 {
-		return nil
-	}
-	rs := &runScratch{
-		pool: par.New(w),
-		o:    tensor.NewNodeApplyScratch(m.o, w),
-		r:    tensor.NewRelationApplyScratch(m.r, w),
-	}
-	switch m.w.(type) {
-	case *sparse.Matrix:
-		rs.wCSR = sparse.NewMulScratch(w)
-	case *vec.Matrix:
-		rs.wDen = vec.NewMulScratch(w)
-	}
-	return rs
-}
-
-func (rs *runScratch) close() {
-	if rs != nil {
-		rs.pool.Close()
-	}
-}
-
-func (rs *runScratch) applyNode(o *tensor.NodeTransition, x, z, dst vec.Vector) {
-	if rs == nil {
-		o.Apply(x, z, dst)
-		return
-	}
-	o.ApplyParallel(rs.pool, rs.o, x, z, dst)
-}
-
-func (rs *runScratch) applyRelation(r *tensor.RelationTransition, x, dst vec.Vector) {
-	if rs == nil {
-		r.Apply(x, dst)
-		return
-	}
-	r.ApplyParallel(rs.pool, rs.r, x, dst)
-}
-
-func (rs *runScratch) mulFeature(w matvec, x, dst vec.Vector) {
-	if rs == nil {
-		w.MulVec(x, dst)
-		return
-	}
-	switch fw := w.(type) {
-	case *sparse.Matrix:
-		fw.MulVecParallel(rs.pool, rs.wCSR, x, dst)
-	case *vec.Matrix:
-		fw.MulVecParallel(rs.pool, rs.wDen, x, dst)
-	default:
-		w.MulVec(x, dst)
-	}
 }
 
 // classState is the per-class working set of the lockstep solver.
@@ -327,7 +240,7 @@ type classState struct {
 
 // runLockstep advances every class together, applying the cross-class ICA
 // reseed between iterations.
-func (m *Model) runLockstep(res *Result, rs *runScratch) {
+func (m *Model) runLockstep(ctx context.Context, res *Result, rs *runScratch) {
 	n, mm, q := m.graph.N(), m.graph.M(), m.graph.Q()
 	states := make([]classState, q)
 	for c := 0; c < q; c++ {
@@ -338,7 +251,7 @@ func (m *Model) runLockstep(res *Result, rs *runScratch) {
 			seeds: seeds,
 		}
 	}
-	m.iterateLockstep(res, states, rs)
+	m.iterateLockstep(ctx, res, states, rs)
 }
 
 // iterateLockstep runs the shared lockstep loop over prepared states. The
@@ -346,12 +259,18 @@ func (m *Model) runLockstep(res *Result, rs *runScratch) {
 // kernels is the parallelism, so the actual concurrency is bounded by
 // cfg.Workers instead of the per-iteration goroutine-plus-semaphore churn
 // this loop used to spawn (which kept all q goroutines live regardless of
-// the Workers setting).
-func (m *Model) iterateLockstep(res *Result, states []classState, rs *runScratch) {
+// the Workers setting). The context is checked once per lockstep
+// iteration: a cancelled run keeps whatever the states held when it
+// noticed, so the caller still gets the partial solution.
+func (m *Model) iterateLockstep(ctx context.Context, res *Result, states []classState, rs *runScratch) {
 	q := len(states)
+	progress := rs.progressFn()
 	for t := 1; t <= m.cfg.MaxIterations; t++ {
+		if ctx.Err() != nil {
+			break
+		}
 		if t > 2 {
-			m.icaReseedAll(states)
+			rs.reseed(q*m.graph.N(), func() { m.icaReseedAll(states) })
 		}
 		allDone := true
 		for c := 0; c < q; c++ {
@@ -362,6 +281,9 @@ func (m *Model) iterateLockstep(res *Result, states []classState, rs *runScratch
 			rho := m.step(s, rs)
 			s.trace = append(s.trace, rho)
 			s.iterations++
+			if progress != nil {
+				progress(c, s.iterations, rho)
+			}
 			if rho < m.cfg.Epsilon {
 				s.converged = true
 			} else {
@@ -398,6 +320,10 @@ func (m *Model) step(s *classState, rs *runScratch) float64 {
 		vec.Axpy(beta, s.tmp, s.xNext)
 	}
 	vec.Axpy(alpha, s.l, s.xNext)
+	// Rounding in the dangling-mass closed forms compounds across
+	// iterations (the error dynamics amplify by ≈ 3·(1−α−β)+β per step),
+	// so project back onto the simplex; the fixed point itself has unit
+	// mass, so this changes nothing mathematically.
 	vec.Normalize1(s.xNext)
 	rs.applyRelation(m.r, s.xNext, s.zNext)
 	vec.Normalize1(s.zNext)
@@ -459,9 +385,9 @@ func (m *Model) RunClass(c int) ClassResult {
 	if c < 0 || c >= m.graph.Q() {
 		panic(fmt.Sprintf("tmark: class %d out of range %d", c, m.graph.Q()))
 	}
-	rs := m.newRunScratch()
+	rs := m.newRunScratch(runOptions{})
 	defer rs.close()
-	return m.solveClass(c, rs)
+	return m.solveClass(context.Background(), c, rs)
 }
 
 // seedVector builds the initial restart vector l for class c (eq. 11):
@@ -484,58 +410,13 @@ func (m *Model) seedVector(c int) (vec.Vector, int) {
 	return l, count
 }
 
-func (m *Model) solveClass(c int, rs *runScratch) ClassResult {
-	n, mm := m.graph.N(), m.graph.M()
-	alpha, beta := m.cfg.Alpha, m.cfg.Beta()
-	rel := 1 - alpha - beta // weight of the relational tensor channel
-
-	l, seeds := m.seedVector(c)
-	x := vec.Clone(l)
-	z := vec.Uniform(mm)
-
-	xNext := vec.New(n)
-	zNext := vec.New(mm)
-	tmp := vec.New(n)
-
-	cr := ClassResult{Class: c, Seeds: seeds, X: x, Z: z}
-	for t := 1; t <= m.cfg.MaxIterations; t++ {
-		if m.cfg.ICAUpdate && t > 2 {
-			m.icaReseed(c, x, l)
-		}
-		// x_t = rel·O(x,z) + β·Wx + α·l
-		if rel > 0 {
-			rs.applyNode(m.o, x, z, xNext)
-			vec.Scale(rel, xNext)
-		} else {
-			vec.Fill(xNext, 0)
-		}
-		if beta > 0 && m.w != nil {
-			rs.mulFeature(m.w, x, tmp)
-			vec.Axpy(beta, tmp, xNext)
-		}
-		vec.Axpy(alpha, l, xNext)
-		// Rounding in the dangling-mass closed forms compounds across
-		// iterations (the error dynamics amplify by ≈ 3·(1−α−β)+β per
-		// step), so project back onto the simplex; the fixed point itself
-		// has unit mass, so this changes nothing mathematically.
-		vec.Normalize1(xNext)
-		// z_t = R(x_t, x_t)
-		rs.applyRelation(m.r, xNext, zNext)
-		vec.Normalize1(zNext)
-
-		rho := vec.Diff1(x, xNext) + vec.Diff1(z, zNext)
-		cr.Trace = append(cr.Trace, rho)
-		cr.Iterations = t
-		copy(x, xNext)
-		copy(z, zNext)
-		if rho < m.cfg.Epsilon {
-			cr.Converged = true
-			break
-		}
-	}
-	cr.X, cr.Z = x, z
-	cr.Restart = l
-	return cr
+// solveClass runs one class cold: from the seed restart vector and the
+// uniform relation distribution. It shares the iteration loop (and hence
+// the context check, telemetry and progress reporting) with the
+// warm-start path.
+func (m *Model) solveClass(ctx context.Context, c int, rs *runScratch) ClassResult {
+	l, _ := m.seedVector(c)
+	return m.solveClassFrom(ctx, c, vec.Clone(l), vec.Uniform(m.graph.M()), rs)
 }
 
 // icaReseed rebuilds l from the training labels plus the currently

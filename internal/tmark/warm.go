@@ -1,26 +1,36 @@
 package tmark
 
 import (
+	"context"
 	"fmt"
 
 	"tmark/internal/vec"
 )
 
 // RunWarm solves the tensor equations starting from a previous solution
-// instead of the seed vectors. When labels are added or removed
-// incrementally — the streaming-classification setting — the previous
-// stationary distributions are near the new ones and the iteration
-// converges in a fraction of the cold-start iterations. The previous
-// result must match this model's dimensions; class counts may differ
-// (new classes start cold).
+// instead of the seed vectors; it is RunWarmContext with a background
+// context and no options. When labels are added or removed incrementally
+// — the streaming-classification setting — the previous stationary
+// distributions are near the new ones and the iteration converges in a
+// fraction of the cold-start iterations. The previous result must match
+// this model's dimensions; class counts may differ (new classes start
+// cold).
 func (m *Model) RunWarm(prev *Result) *Result {
+	return m.RunWarmContext(context.Background(), prev)
+}
+
+// RunWarmContext is RunWarm with cancellation and per-run options; see
+// RunContext for the contract of ctx, Result.Stopped and the RunOption
+// set. A nil prev degrades to a cold RunContext.
+func (m *Model) RunWarmContext(ctx context.Context, prev *Result, opts ...RunOption) *Result {
 	if prev == nil {
-		return m.Run()
+		return m.RunContext(ctx, opts...)
 	}
 	if prev.n != m.graph.N() || prev.m != m.graph.M() {
 		panic(fmt.Sprintf("tmark: RunWarm dimension mismatch: prev %dx%d, graph %dx%d",
 			prev.n, prev.m, m.graph.N(), m.graph.M()))
 	}
+	ctx = orBackground(ctx)
 	q := m.graph.Q()
 	res := &Result{
 		Classes: make([]ClassResult, q),
@@ -39,39 +49,50 @@ func (m *Model) RunWarm(prev *Result) *Result {
 		return vec.Clone(pc.X), vec.Clone(pc.Z), true
 	}
 
-	rs := m.newRunScratch()
+	rs := m.newRunScratch(resolveOptions(opts))
 	defer rs.close()
 	if m.cfg.ICAUpdate {
-		m.runLockstepFrom(res, warm, rs)
-		return res
-	}
-	for c := 0; c < q; c++ {
-		x, z, ok := warm(c)
-		if !ok {
-			res.Classes[c] = m.solveClass(c, rs)
-			continue
+		m.runLockstepFrom(ctx, res, warm, rs)
+	} else {
+		for c := 0; c < q; c++ {
+			x, z, ok := warm(c)
+			if !ok {
+				res.Classes[c] = m.solveClass(ctx, c, rs)
+				continue
+			}
+			res.Classes[c] = m.solveClassFrom(ctx, c, x, z, rs)
 		}
-		res.Classes[c] = m.solveClassFrom(c, x, z, rs)
 	}
+	m.finishRun(ctx, res, rs)
 	return res
 }
 
-// solveClassFrom is solveClass with explicit starting vectors.
-func (m *Model) solveClassFrom(c int, x, z vec.Vector, rs *runScratch) ClassResult {
+// solveClassFrom iterates one class from explicit starting vectors. The
+// context is checked before every iteration, so a cancelled run returns
+// the state reached so far (at worst the starting vectors themselves)
+// with zero or more iterations recorded.
+func (m *Model) solveClassFrom(ctx context.Context, c int, x, z vec.Vector, rs *runScratch) ClassResult {
 	l, seeds := m.seedVector(c)
 	s := classState{
 		x: x, z: z, l: l,
 		xNext: vec.New(m.graph.N()), zNext: vec.New(m.graph.M()), tmp: vec.New(m.graph.N()),
 		seeds: seeds,
 	}
+	progress := rs.progressFn()
 	cr := ClassResult{Class: c, Seeds: seeds}
 	for t := 1; t <= m.cfg.MaxIterations; t++ {
+		if ctx.Err() != nil {
+			break
+		}
 		if m.cfg.ICAUpdate && t > 2 {
-			m.icaReseed(c, s.x, s.l)
+			rs.reseed(m.graph.N(), func() { m.icaReseed(c, s.x, s.l) })
 		}
 		rho := m.step(&s, rs)
 		cr.Trace = append(cr.Trace, rho)
 		cr.Iterations = t
+		if progress != nil {
+			progress(c, t, rho)
+		}
 		if rho < m.cfg.Epsilon {
 			cr.Converged = true
 			break
@@ -83,7 +104,7 @@ func (m *Model) solveClassFrom(c int, x, z vec.Vector, rs *runScratch) ClassResu
 }
 
 // runLockstepFrom is runLockstep with per-class warm starting vectors.
-func (m *Model) runLockstepFrom(res *Result, warm func(c int) (vec.Vector, vec.Vector, bool), rs *runScratch) {
+func (m *Model) runLockstepFrom(ctx context.Context, res *Result, warm func(c int) (vec.Vector, vec.Vector, bool), rs *runScratch) {
 	n, mm, q := m.graph.N(), m.graph.M(), m.graph.Q()
 	states := make([]classState, q)
 	for c := 0; c < q; c++ {
@@ -98,5 +119,5 @@ func (m *Model) runLockstepFrom(res *Result, warm func(c int) (vec.Vector, vec.V
 			seeds: seeds,
 		}
 	}
-	m.iterateLockstep(res, states, rs)
+	m.iterateLockstep(ctx, res, states, rs)
 }

@@ -1,0 +1,39 @@
+// Package obs exposes the process-wide telemetry registry of the T-Mark
+// solver: monotonic counters, duration timers and gauges that the
+// internal packages publish as they work (run counts, iteration totals,
+// per-kernel timers, W-matrix build time). The registry snapshot is
+// served in Prometheus text exposition format and as an expvar-style
+// JSON document; see Serve.
+//
+// Per-run telemetry — the wall-time split across compute kernels, the
+// residual traces — is collected with tmark.WithStats instead; this
+// package carries only process-wide aggregates.
+package obs
+
+import (
+	"context"
+	"net"
+	"net/http"
+
+	iobs "tmark/internal/obs"
+)
+
+// Registry is a named collection of counters, timers and gauges.
+type Registry = iobs.Registry
+
+// NewRegistry returns an empty registry independent of the default one.
+func NewRegistry() *Registry { return iobs.NewRegistry() }
+
+// Default returns the process-wide registry the solver publishes into.
+func Default() *Registry { return iobs.Default() }
+
+// Handler serves the default registry in Prometheus text format.
+func Handler() http.Handler { return iobs.Default().Handler() }
+
+// Serve starts an HTTP server on addr exposing the default registry at
+// /metrics (Prometheus), /vars (JSON) and the pprof endpoints under
+// /debug/pprof/. It returns the bound address (useful with ":0") and a
+// shutdown function.
+func Serve(addr string) (net.Addr, func(context.Context) error, error) {
+	return iobs.Default().Serve(addr)
+}

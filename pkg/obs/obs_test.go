@@ -1,0 +1,41 @@
+package obs_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tmark/pkg/obs"
+)
+
+func TestFacadeServesDefaultRegistry(t *testing.T) {
+	obs.Default().Counter("facade_test_counter").Add(7)
+
+	addr, shutdown, err := obs.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(context.Background())
+
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "facade_test_counter 7") {
+		t.Errorf("metrics missing facade counter:\n%s", body)
+	}
+
+	if _, ok := obs.Default().Snapshot()["facade_test_counter"]; !ok {
+		t.Error("snapshot missing facade counter")
+	}
+	if obs.NewRegistry() == obs.Default() {
+		t.Error("NewRegistry returned the default registry")
+	}
+}
