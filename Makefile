@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short-test race vet bench bench-stats fuzz experiments figures examples clean
+.PHONY: all build test short-test race vet bench bench-stats bench-json fuzz experiments figures examples clean
 
 all: build vet test race
 
@@ -25,7 +25,9 @@ test:
 short-test:
 	$(GO) test -short ./...
 
-# The parallel kernels are the only concurrent code; run them under the
+# The parallel kernels (including the blocked SpMM-style batch kernels
+# and the batched-vs-sequential equivalence suites) are the only
+# concurrent code; run the full internal + facade test set under the
 # race detector.
 race:
 	$(GO) test -race ./internal/... ./pkg/...
@@ -39,6 +41,14 @@ bench:
 # ica_reseed) per worker count, plus the collector-overhead guard.
 bench-stats:
 	$(GO) test -run xxx -bench 'BenchmarkRunStats|BenchmarkCollectorOverhead' -benchmem -v ./internal/tmark/
+
+# Machine-readable perf trajectory: run the batched-vs-sequential sweep
+# and archive it as JSON (BENCH_3.json tracks this PR's speedup onward).
+bench-json:
+	$(GO) test -run xxx -bench BenchmarkBatchedVsSequential -benchmem ./internal/tmark/ > /tmp/bench_batched.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_batched.txt > BENCH_3.json
+	@rm -f /tmp/bench_batched.txt
+	@echo wrote BENCH_3.json
 
 # Short fuzzing passes over the untrusted-input parsers.
 fuzz:

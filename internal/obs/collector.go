@@ -100,12 +100,26 @@ func (c *Collector) StopKernel(k Kernel, start time.Time) {
 	c.kernels[k].calls.Inc()
 }
 
-// AddKernelItems credits n processed items to kernel k; no-op when nil.
+// AddKernelItems credits n processed items and one applied column to
+// kernel k; no-op when nil.
 func (c *Collector) AddKernelItems(k Kernel, n int64) {
 	if c == nil || k >= NumKernels {
 		return
 	}
 	c.kernels[k].probe.items.Add(n)
+	c.kernels[k].probe.cols.Add(1)
+}
+
+// AddKernelCols credits n processed items applied across cols class
+// columns to kernel k — the batched-kernel variant of AddKernelItems,
+// where one streamed pass over the items serves cols right-hand sides.
+// No-op when nil.
+func (c *Collector) AddKernelCols(k Kernel, n, cols int64) {
+	if c == nil || k >= NumKernels {
+		return
+	}
+	c.kernels[k].probe.items.Add(n)
+	c.kernels[k].probe.cols.Add(cols)
 }
 
 // KernelProbe returns the item/call probe of kernel k, for attaching to a
@@ -147,6 +161,7 @@ func (c *Collector) Finish(s *RunStats) {
 			Time:   time.Duration(agg.ns.Load()),
 			Calls:  agg.calls.Load(),
 			Items:  agg.probe.Items(),
+			Cols:   agg.probe.Cols(),
 		})
 	}
 	s.PoolDispatches = c.pool.Dispatches()
@@ -172,6 +187,11 @@ type KernelStats struct {
 	// Items is the number of stored entries (tensor nonzeros, CSR entries,
 	// dense cells, …) the kernel processed across all calls.
 	Items int64
+	// Cols is the number of right-hand-side columns the kernel applied
+	// across all calls: one per call for the single-vector kernels, the
+	// active class count per call for the batched kernels. Items measures
+	// memory traffic; Items scaled by Cols/Calls approximates arithmetic.
+	Cols int64
 }
 
 // ClassStats summarises one class's iteration history within a run.
@@ -241,7 +261,7 @@ func (s *RunStats) String() string {
 	}
 	fmt.Fprintf(&b, "run: wall %v, %d workers, %d iterations over %d classes (%d converged)\n",
 		s.Wall.Round(time.Microsecond), s.Workers, s.Iterations, len(s.Classes), converged)
-	fmt.Fprintf(&b, "%-12s %12s %7s %8s %14s\n", "kernel", "time", "%", "calls", "items")
+	fmt.Fprintf(&b, "%-12s %12s %7s %8s %14s %8s\n", "kernel", "time", "%", "calls", "items", "cols")
 	kernels := append([]KernelStats(nil), s.Kernels...)
 	sort.SliceStable(kernels, func(i, j int) bool { return kernels[i].Time > kernels[j].Time })
 	for _, ks := range kernels {
@@ -249,8 +269,8 @@ func (s *RunStats) String() string {
 		if s.Wall > 0 {
 			pct = 100 * float64(ks.Time) / float64(s.Wall)
 		}
-		fmt.Fprintf(&b, "%-12s %12v %6.1f%% %8d %14d\n",
-			ks.Name, ks.Time.Round(time.Microsecond), pct, ks.Calls, ks.Items)
+		fmt.Fprintf(&b, "%-12s %12v %6.1f%% %8d %14d %8d\n",
+			ks.Name, ks.Time.Round(time.Microsecond), pct, ks.Calls, ks.Items, ks.Cols)
 	}
 	if s.PoolDispatches > 0 {
 		util := 0.0

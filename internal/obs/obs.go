@@ -143,22 +143,33 @@ func (c *ShardedCounter) Shards() int {
 	return len(c.shards)
 }
 
-// Probe counts one kernel call site: invocations and items (stored
-// entries, rows, …) processed. Compute kernels carry an optional *Probe
-// on their scratch objects and call Observe unconditionally; a nil probe
-// — the default — reduces the call to a branch.
+// Probe counts one kernel call site: invocations, items (stored
+// entries, rows, …) processed, and right-hand-side columns applied.
+// Compute kernels carry an optional *Probe on their scratch objects and
+// call Observe unconditionally; a nil probe — the default — reduces the
+// call to a branch. The column dimension separates the batched
+// (multi-class) kernels from the single-vector ones: a batched call
+// streams its items once but applies them to `cols` class columns, so
+// items measures memory traffic and cols·items measures arithmetic.
 type Probe struct {
 	calls atomic.Int64
 	items atomic.Int64
+	cols  atomic.Int64
 }
 
-// Observe records one kernel call over n items. No-op on a nil probe.
-func (p *Probe) Observe(n int) {
+// Observe records one single-column kernel call over n items. No-op on a
+// nil probe.
+func (p *Probe) Observe(n int) { p.ObserveCols(n, 1) }
+
+// ObserveCols records one kernel call that streamed n items across cols
+// right-hand-side columns. No-op on a nil probe.
+func (p *Probe) ObserveCols(n, cols int) {
 	if p == nil {
 		return
 	}
 	p.calls.Add(1)
 	p.items.Add(int64(n))
+	p.cols.Add(int64(cols))
 }
 
 // Calls returns the recorded invocation count; 0 on a nil probe.
@@ -175,6 +186,14 @@ func (p *Probe) Items() int64 {
 		return 0
 	}
 	return p.items.Load()
+}
+
+// Cols returns the recorded column total; 0 on a nil probe.
+func (p *Probe) Cols() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.cols.Load()
 }
 
 // PoolStats observes a worker pool: dispatches (batch submissions), shard

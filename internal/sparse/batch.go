@@ -1,0 +1,109 @@
+package sparse
+
+// Multi-right-hand-side (blocked) CSR product: the batched solver's
+// SpMV → SpMM upgrade. Each stored entry is read once per iteration and
+// applied to every active class column, so the kernel's memory traffic
+// is independent of the class count. Per column the entries of a row are
+// accumulated in the same ascending order as MulVec, so column c of the
+// blocked result is bitwise equal to MulVec run on column c alone.
+
+import (
+	"fmt"
+	"sync"
+
+	"tmark/internal/obs"
+	"tmark/internal/par"
+)
+
+// MulVecBatch computes the blocked product dst = M·x for b interleaved
+// right-hand sides: x is a cols×b block, dst a rows×b block (node-major,
+// stride b), and dst must not alias x.
+func (m *Matrix) MulVecBatch(x, dst []float64, b int) {
+	if b <= 0 {
+		panic(fmt.Sprintf("sparse: MulVecBatch column count %d", b))
+	}
+	if len(x) < m.cols*b {
+		panic(fmt.Sprintf("sparse: MulVecBatch x block %d, want %d", len(x), m.cols*b))
+	}
+	if len(dst) < m.rows*b {
+		panic(fmt.Sprintf("sparse: MulVecBatch dst block %d, want %d", len(dst), m.rows*b))
+	}
+	m.mulBatchRows(x, dst, b, 0, m.rows)
+}
+
+// mulBatchRows computes rows [lo, hi) of the blocked product; every
+// output cell is owned by exactly one caller, so disjoint row ranges can
+// run concurrently.
+func (m *Matrix) mulBatchRows(x, dst []float64, b, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		out := dst[r*b : (r+1)*b]
+		for c := range out {
+			out[c] = 0
+		}
+		for p := m.rowPtr[r]; p < m.rowPtr[r+1]; p++ {
+			v := m.values[p]
+			xr := x[int(m.colIdx[p])*b:]
+			for c := range out {
+				out[c] += v * xr[c]
+			}
+		}
+	}
+}
+
+// MulBatchScratch holds the reusable dispatch state of
+// MulVecBatchParallel; see MulScratch for the contract.
+type MulBatchScratch struct {
+	shards int
+	task   mulBatchTask
+	wg     sync.WaitGroup
+
+	// Probe, when non-nil, counts MulVecBatchParallel calls, the stored
+	// entries they stream, and the columns they apply them to.
+	Probe *obs.Probe
+}
+
+// NewMulBatchScratch returns batch scratch for the given shard count.
+// shards < 1 is treated as 1.
+func NewMulBatchScratch(shards int) *MulBatchScratch {
+	if shards < 1 {
+		shards = 1
+	}
+	return &MulBatchScratch{shards: shards}
+}
+
+type mulBatchTask struct {
+	m      *Matrix
+	x, dst []float64
+	b      int
+}
+
+func (t *mulBatchTask) RunShard(shard, shards int) {
+	m := t.m
+	nnz := len(m.values)
+	lo := m.rowAtNNZ(shard * nnz / shards)
+	hi := m.rowAtNNZ((shard + 1) * nnz / shards)
+	if shard == shards-1 {
+		hi = m.rows // trailing empty rows belong to the last shard
+	}
+	m.mulBatchRows(t.x, t.dst, t.b, lo, hi)
+}
+
+// MulVecBatchParallel is MulVecBatch with the rows sharded across the
+// pool by stored-entry count — the same split as MulVecParallel, whose
+// boundaries depend only on the matrix and shard count, never on b. Each
+// row is computed by exactly one worker with the serial arithmetic, so
+// the result is bitwise identical to MulVecBatch. A nil/serial pool or
+// single-shard scratch falls back to the serial path.
+func (m *Matrix) MulVecBatchParallel(p *par.Pool, s *MulBatchScratch, x, dst []float64, b int) {
+	if p.Serial() || s == nil || s.shards <= 1 || m.rows == 0 {
+		m.MulVecBatch(x, dst, b)
+		return
+	}
+	if b <= 0 || len(x) < m.cols*b || len(dst) < m.rows*b {
+		panic("sparse: MulVecBatchParallel block length mismatch")
+	}
+	s.Probe.ObserveCols(len(m.values), b)
+	s.task.m, s.task.x, s.task.dst, s.task.b = m, x, dst, b
+	p.Run(s.shards, &s.task, &s.wg)
+	s.task.x, s.task.dst = nil, nil
+}

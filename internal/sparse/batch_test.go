@@ -1,0 +1,100 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmark/internal/par"
+)
+
+// skewedMatrix builds a CSR matrix with empty rows and one heavy row, the
+// shapes that stress the nnz-balanced shard split.
+func skewedMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	var entries []Triplet
+	for r := 0; r < rows; r++ {
+		if r%5 == 0 {
+			continue
+		}
+		k := rng.Intn(8)
+		if r == rows/2 {
+			k = cols
+		}
+		for e := 0; e < k; e++ {
+			entries = append(entries, Triplet{Row: r, Col: rng.Intn(cols), Value: rng.NormFloat64()})
+		}
+	}
+	return FromTriplets(rows, cols, entries)
+}
+
+// Column c of the blocked product must be bitwise equal to MulVec on
+// column c alone, serial and parallel, for every worker count.
+func TestMulVecBatchMatchesSingleColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(200), 1+rng.Intn(50)
+		m := skewedMatrix(rng, rows, cols)
+		for _, b := range []int{1, 3, 6} {
+			x := make([]float64, cols*b)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			dst := make([]float64, rows*b)
+			m.MulVecBatch(x, dst, b)
+			check := func(label string, got []float64) {
+				t.Helper()
+				for c := 0; c < b; c++ {
+					xc := make([]float64, cols)
+					for j := range xc {
+						xc[j] = x[j*b+c]
+					}
+					want := make([]float64, rows)
+					m.MulVec(xc, want)
+					for i := range want {
+						if got[i*b+c] != want[i] {
+							t.Fatalf("trial %d b=%d col %d %s: row %d = %v, want %v",
+								trial, b, c, label, i, got[i*b+c], want[i])
+						}
+					}
+				}
+			}
+			check("serial", dst)
+			for _, workers := range []int{2, 3, 8} {
+				p := par.New(workers)
+				s := NewMulBatchScratch(workers)
+				gotP := make([]float64, rows*b)
+				m.MulVecBatchParallel(p, s, x, gotP, b)
+				check("parallel", gotP)
+				p.Close()
+			}
+		}
+	}
+}
+
+// Steady-state blocked products must not allocate.
+func TestMulVecBatchZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var entries []Triplet
+	for e := 0; e < 5000; e++ {
+		entries = append(entries, Triplet{Row: rng.Intn(500), Col: rng.Intn(500), Value: rng.Float64()})
+	}
+	m := FromTriplets(500, 500, entries)
+	const b = 4
+	x := make([]float64, 500*b)
+	dst := make([]float64, 500*b)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		m.MulVecBatch(x, dst, b)
+	}); allocs != 0 {
+		t.Errorf("MulVecBatch allocates %v per call, want 0", allocs)
+	}
+	p := par.New(4)
+	defer p.Close()
+	s := NewMulBatchScratch(4)
+	if allocs := testing.AllocsPerRun(50, func() {
+		m.MulVecBatchParallel(p, s, x, dst, b)
+	}); allocs != 0 {
+		t.Errorf("MulVecBatchParallel allocates %v per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,42 @@
+package tensor
+
+// AVX2 variants of the blocked contraction inner loops for the common
+// column counts 4 and 8. A b-column row is exactly one (b = 4) or two
+// (b = 8) 256-bit lanes, so the scalar bodies of cooScatterBatch and
+// pairMassBatch map 1:1 onto VMULPD/VADDPD: each lane performs the same
+// IEEE-754 double multiply/add as the scalar `*`/`+` on that column, in
+// the same per-column order (no FMA contraction), so the vector kernels
+// are bitwise identical to the scalar ones and every equivalence test
+// covers both. The b-row run cache lives in a vector register with the
+// same reload-on-index-change rule as the scalar loop.
+//
+// useBatchASM is resolved once at startup: the amd64 baseline (GOAMD64
+// v1) does not guarantee AVX2, so the kernels are gated on a CPUID
+// probe (AVX2 + OSXSAVE + OS-enabled YMM state).
+var useBatchASM = cpuSupportsAVX2()
+
+// cpuSupportsAVX2 reports whether the CPU and OS support AVX2 (CPUID
+// leaf 7 AVX2, leaf 1 OSXSAVE/AVX, and XCR0 XMM+YMM state enabled).
+func cpuSupportsAVX2() bool
+
+// cooScatterAVX4 is the cols = 4 body of cooScatterBatch over n entries:
+// dst[di·4+c] += p·a[ai·4+c]·bb[bi·4+c], entries in order, bb row cached.
+//
+//go:noescape
+func cooScatterAVX4(dst, a, bb *float64, di, ai, bi *int32, p *float64, n int)
+
+// cooScatterAVX8 is the cols = 8 body of cooScatterBatch.
+//
+//go:noescape
+func cooScatterAVX8(dst, a, bb *float64, di, ai, bi *int32, p *float64, n int)
+
+// pairMassAVX4 is the cols = 4 body of pairMassBatch over n pairs:
+// mass[c] += a[ai·4+c]·bb[bi·4+c], pairs in order, bb row cached.
+//
+//go:noescape
+func pairMassAVX4(a, bb *float64, ai, bi *int32, n int, mass *float64)
+
+// pairMassAVX8 is the cols = 8 body of pairMassBatch.
+//
+//go:noescape
+func pairMassAVX8(a, bb *float64, ai, bi *int32, n int, mass *float64)

@@ -1,0 +1,209 @@
+// AVX2 inner loops of the blocked tensor contractions. See
+// batch_amd64.go for the bitwise contract: VMULPD/VADDPD lanes perform
+// exactly the scalar IEEE-754 double ops of cooScatterBatch /
+// pairMassBatch, in the same order, with no FMA contraction.
+
+#include "textflag.h"
+
+// func cpuSupportsAVX2() bool
+TEXT ·cpuSupportsAVX2(SB), NOSPLIT, $0-1
+	// Highest function parameter must reach leaf 7.
+	MOVL $0, AX
+	XORL CX, CX
+	CPUID
+	CMPL AX, $7
+	JL   noavx2
+	// Leaf 1: OSXSAVE (ECX bit 27) and AVX (ECX bit 28).
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $0x18000000, R8
+	CMPL R8, $0x18000000
+	JNE  noavx2
+	// XCR0: XMM (bit 1) and YMM (bit 2) state enabled by the OS.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx2
+	// Leaf 7 sub-leaf 0: AVX2 (EBX bit 5).
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x20, BX
+	JZ   noavx2
+	MOVB $1, ret+0(FP)
+	RET
+
+noavx2:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func cooScatterAVX4(dst, a, bb *float64, di, ai, bi *int32, p *float64, n int)
+//
+// Per entry q: Y0 = broadcast p[q]; Y0 = Y0 * a-row; Y0 = Y0 * b-row
+// (cached in Y1, reloaded only when bi[q] changes); dst-row += Y0 —
+// the exact (p·a)·b then d+w order of the scalar case-4 body.
+TEXT ·cooScatterAVX4(SB), NOSPLIT, $0-64
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ bb+16(FP), R15
+	MOVQ di+24(FP), BX
+	MOVQ ai+32(FP), DX
+	MOVQ bi+40(FP), R9
+	MOVQ p+48(FP), R10
+	MOVQ n+56(FP), R13
+	XORQ CX, CX
+	MOVQ $-1, R14
+
+scatter4:
+	MOVL (R9)(CX*4), R8
+	CMPQ R8, R14
+	JE   bsame4
+	MOVQ R8, R14
+	SHLQ $5, R8
+	VMOVUPD (R15)(R8*1), Y1
+
+bsame4:
+	MOVL (DX)(CX*4), R8
+	SHLQ $5, R8
+	VBROADCASTSD (R10)(CX*8), Y0
+	VMOVUPD (SI)(R8*1), Y2
+	VMULPD Y2, Y0, Y0
+	VMULPD Y1, Y0, Y0
+	MOVL (BX)(CX*4), R8
+	SHLQ $5, R8
+	VMOVUPD (DI)(R8*1), Y2
+	VADDPD Y0, Y2, Y2
+	VMOVUPD Y2, (DI)(R8*1)
+	INCQ CX
+	CMPQ CX, R13
+	JL   scatter4
+	VZEROUPPER
+	RET
+
+// func cooScatterAVX8(dst, a, bb *float64, di, ai, bi *int32, p *float64, n int)
+//
+// The cols = 8 variant: rows span two 256-bit lanes (Y1/Y4 cache the
+// b-row halves).
+TEXT ·cooScatterAVX8(SB), NOSPLIT, $0-64
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ bb+16(FP), R15
+	MOVQ di+24(FP), BX
+	MOVQ ai+32(FP), DX
+	MOVQ bi+40(FP), R9
+	MOVQ p+48(FP), R10
+	MOVQ n+56(FP), R13
+	XORQ CX, CX
+	MOVQ $-1, R14
+
+scatter8:
+	MOVL (R9)(CX*4), R8
+	CMPQ R8, R14
+	JE   bsame8
+	MOVQ R8, R14
+	SHLQ $6, R8
+	VMOVUPD (R15)(R8*1), Y1
+	VMOVUPD 32(R15)(R8*1), Y4
+
+bsame8:
+	MOVL (DX)(CX*4), R8
+	SHLQ $6, R8
+	VBROADCASTSD (R10)(CX*8), Y0
+	VMOVUPD (SI)(R8*1), Y2
+	VMOVUPD 32(SI)(R8*1), Y5
+	VMULPD Y2, Y0, Y2
+	VMULPD Y5, Y0, Y5
+	VMULPD Y1, Y2, Y2
+	VMULPD Y4, Y5, Y5
+	MOVL (BX)(CX*4), R8
+	SHLQ $6, R8
+	VMOVUPD (DI)(R8*1), Y3
+	VMOVUPD 32(DI)(R8*1), Y6
+	VADDPD Y2, Y3, Y3
+	VADDPD Y5, Y6, Y6
+	VMOVUPD Y3, (DI)(R8*1)
+	VMOVUPD Y6, 32(DI)(R8*1)
+	INCQ CX
+	CMPQ CX, R13
+	JL   scatter8
+	VZEROUPPER
+	RET
+
+// func pairMassAVX4(a, bb *float64, ai, bi *int32, n int, mass *float64)
+//
+// Per pair q: Y3 += a-row * b-row (cached b-row in Y1) — the exact a·b
+// then m+w order of the scalar case-4 body; Y3 starts from mass and is
+// stored back, like the scalar register accumulators.
+TEXT ·pairMassAVX4(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	MOVQ bb+8(FP), R15
+	MOVQ ai+16(FP), DX
+	MOVQ bi+24(FP), R9
+	MOVQ n+32(FP), R13
+	MOVQ mass+40(FP), R12
+	VMOVUPD (R12), Y3
+	XORQ CX, CX
+	MOVQ $-1, R14
+
+mass4:
+	MOVL (R9)(CX*4), R8
+	CMPQ R8, R14
+	JE   msame4
+	MOVQ R8, R14
+	SHLQ $5, R8
+	VMOVUPD (R15)(R8*1), Y1
+
+msame4:
+	MOVL (DX)(CX*4), R8
+	SHLQ $5, R8
+	VMOVUPD (SI)(R8*1), Y2
+	VMULPD Y1, Y2, Y2
+	VADDPD Y2, Y3, Y3
+	INCQ CX
+	CMPQ CX, R13
+	JL   mass4
+	VMOVUPD Y3, (R12)
+	VZEROUPPER
+	RET
+
+// func pairMassAVX8(a, bb *float64, ai, bi *int32, n int, mass *float64)
+TEXT ·pairMassAVX8(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	MOVQ bb+8(FP), R15
+	MOVQ ai+16(FP), DX
+	MOVQ bi+24(FP), R9
+	MOVQ n+32(FP), R13
+	MOVQ mass+40(FP), R12
+	VMOVUPD (R12), Y3
+	VMOVUPD 32(R12), Y6
+	XORQ CX, CX
+	MOVQ $-1, R14
+
+mass8:
+	MOVL (R9)(CX*4), R8
+	CMPQ R8, R14
+	JE   msame8
+	MOVQ R8, R14
+	SHLQ $6, R8
+	VMOVUPD (R15)(R8*1), Y1
+	VMOVUPD 32(R15)(R8*1), Y4
+
+msame8:
+	MOVL (DX)(CX*4), R8
+	SHLQ $6, R8
+	VMOVUPD (SI)(R8*1), Y2
+	VMOVUPD 32(SI)(R8*1), Y5
+	VMULPD Y1, Y2, Y2
+	VMULPD Y4, Y5, Y5
+	VADDPD Y2, Y3, Y3
+	VADDPD Y5, Y6, Y6
+	INCQ CX
+	CMPQ CX, R13
+	JL   mass8
+	VMOVUPD Y3, (R12)
+	VMOVUPD Y6, 32(R12)
+	VZEROUPPER
+	RET

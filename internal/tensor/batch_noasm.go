@@ -1,0 +1,24 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always take the pure-Go kernel bodies; the stubs are
+// never reached. A var (not a const) so tests can exercise the scalar
+// fallback uniformly across builds.
+var useBatchASM = false
+
+func cooScatterAVX4(dst, a, bb *float64, di, ai, bi *int32, p *float64, n int) {
+	panic("tensor: AVX2 kernel on non-amd64 build")
+}
+
+func cooScatterAVX8(dst, a, bb *float64, di, ai, bi *int32, p *float64, n int) {
+	panic("tensor: AVX2 kernel on non-amd64 build")
+}
+
+func pairMassAVX4(a, bb *float64, ai, bi *int32, n int, mass *float64) {
+	panic("tensor: AVX2 kernel on non-amd64 build")
+}
+
+func pairMassAVX8(a, bb *float64, ai, bi *int32, n int, mass *float64) {
+	panic("tensor: AVX2 kernel on non-amd64 build")
+}

@@ -1,0 +1,204 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmark/internal/par"
+)
+
+// randomBlock returns a rows×b block whose columns are independent random
+// distributions.
+func randomBlock(rng *rand.Rand, rows, b int) []float64 {
+	block := make([]float64, rows*b)
+	for c := 0; c < b; c++ {
+		col := randomVec(rng, rows)
+		for i, v := range col {
+			block[i*b+c] = v
+		}
+	}
+	return block
+}
+
+// column extracts column c of a blocked vector.
+func column(block []float64, rows, b, c int) []float64 {
+	out := make([]float64, rows)
+	for i := range out {
+		out[i] = block[i*b+c]
+	}
+	return out
+}
+
+// runBothKernelPaths runs f once with the default kernel selection (the
+// AVX2 bodies, on hosts that support them) and once with the scalar
+// fallback forced, so both implementations of the b = 4 / 8 loops stay
+// covered on every machine.
+func runBothKernelPaths(t *testing.T, f func(t *testing.T)) {
+	t.Run("default", f)
+	old := useBatchASM
+	useBatchASM = false
+	defer func() { useBatchASM = old }()
+	t.Run("scalar", f)
+}
+
+// Column c of the blocked node contraction must be bitwise equal to the
+// single-vector Apply run on column c alone — the whole point of the
+// batched solver is that batching changes layout, never arithmetic.
+func TestNodeApplyBatchMatchesSingleColumns(t *testing.T) {
+	runBothKernelPaths(t, testNodeApplyBatchMatchesSingleColumns)
+}
+
+func testNodeApplyBatchMatchesSingleColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	cases := []*Tensor{
+		randomTensor(rng, 60, 4, 700),
+		randomTensor(rng, 17, 1, 90),
+		func() *Tensor { a := New(12, 3); a.Finalize(); return a }(), // all dangling
+		func() *Tensor { a := New(0, 0); a.Finalize(); return a }(),  // empty
+	}
+	for ci, a := range cases {
+		o := NewNodeTransition(a)
+		for _, b := range []int{1, 2, 3, 4, 5, 8} {
+			x := randomBlock(rng, o.N(), b)
+			z := randomBlock(rng, o.M(), b)
+			s := NewNodeBatchScratch(o, 1, b)
+			dst := make([]float64, o.N()*b)
+			o.ApplyBatch(s, x, z, dst, b)
+			for c := 0; c < b; c++ {
+				want := make([]float64, o.N())
+				o.Apply(column(x, o.N(), b, c), column(z, o.M(), b, c), want)
+				got := column(dst, o.N(), b, c)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("case %d b=%d col %d: batch row %d = %v, want %v", ci, b, c, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Same per-column bitwise contract for the relation contraction.
+func TestRelationApplyBatchMatchesSingleColumns(t *testing.T) {
+	runBothKernelPaths(t, testRelationApplyBatchMatchesSingleColumns)
+}
+
+func testRelationApplyBatchMatchesSingleColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	cases := []*Tensor{
+		randomTensor(rng, 50, 5, 600),
+		func() *Tensor { a := New(9, 4); a.Finalize(); return a }(), // all dangling
+		func() *Tensor { a := New(0, 0); a.Finalize(); return a }(), // empty
+	}
+	for ci, a := range cases {
+		r := NewRelationTransition(a)
+		for _, b := range []int{1, 2, 3, 4, 8} {
+			x := randomBlock(rng, r.N(), b)
+			s := NewRelationBatchScratch(r, 1, b)
+			dst := make([]float64, r.M()*b)
+			r.ApplyBatch(s, x, dst, b)
+			for c := 0; c < b; c++ {
+				want := make([]float64, r.M())
+				r.Apply(column(x, r.N(), b, c), want)
+				got := column(dst, r.M(), b, c)
+				for k := range want {
+					if got[k] != want[k] {
+						t.Fatalf("case %d b=%d col %d: batch rel %d = %v, want %v", ci, b, c, k, got[k], want[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The parallel batched contractions shard by the same boundaries as the
+// single-vector parallel kernels (independent of b), so they must also be
+// bitwise equal to the single-vector parallel results per column — for
+// every worker count, including when b shrinks below the scratch's
+// capacity (retired classes).
+func TestApplyBatchParallelMatchesSingleColumns(t *testing.T) {
+	runBothKernelPaths(t, testApplyBatchParallelMatchesSingleColumns)
+}
+
+func testApplyBatchParallelMatchesSingleColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	a := randomTensor(rng, 80, 5, 1200)
+	o := NewNodeTransition(a)
+	r := NewRelationTransition(a)
+	const maxCols = 8
+	for _, workers := range []int{2, 3, 8} {
+		p := par.New(workers)
+		so := NewNodeBatchScratch(o, workers, maxCols)
+		sr := NewRelationBatchScratch(r, workers, maxCols)
+		soRef := NewNodeApplyScratch(o, workers)
+		srRef := NewRelationApplyScratch(r, workers)
+		for _, b := range []int{maxCols, 4, 2} { // full block, then compacted ones
+			x := randomBlock(rng, o.N(), b)
+			z := randomBlock(rng, o.M(), b)
+			dst := make([]float64, o.N()*b)
+			dstZ := make([]float64, r.M()*b)
+			o.ApplyBatchParallel(p, so, x, z, dst, b)
+			r.ApplyBatchParallel(p, sr, x, dstZ, b)
+			for c := 0; c < b; c++ {
+				xc, zc := column(x, o.N(), b, c), column(z, o.M(), b, c)
+				want := make([]float64, o.N())
+				o.ApplyParallel(p, soRef, xc, zc, want)
+				for i, w := range want {
+					if got := dst[i*b+c]; got != w {
+						t.Fatalf("workers %d b=%d col %d: node row %d = %v, want %v", workers, b, c, i, got, w)
+					}
+				}
+				wantZ := make([]float64, r.M())
+				r.ApplyParallel(p, srRef, xc, wantZ)
+				for k, w := range wantZ {
+					if got := dstZ[k*b+c]; got != w {
+						t.Fatalf("workers %d b=%d col %d: rel %d = %v, want %v", workers, b, c, k, got, w)
+					}
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// Steady-state batched contractions must not allocate: partials, column
+// sums and the dispatch task all live in the reusable scratch.
+func TestApplyBatchZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	a := randomTensor(rng, 100, 4, 2000)
+	o := NewNodeTransition(a)
+	r := NewRelationTransition(a)
+	const b = 4
+	x := randomBlock(rng, o.N(), b)
+	z := randomBlock(rng, o.M(), b)
+	dst := make([]float64, o.N()*b)
+	dstZ := make([]float64, r.M()*b)
+
+	so1 := NewNodeBatchScratch(o, 1, b)
+	sr1 := NewRelationBatchScratch(r, 1, b)
+	if allocs := testing.AllocsPerRun(50, func() {
+		o.ApplyBatch(so1, x, z, dst, b)
+	}); allocs != 0 {
+		t.Errorf("ApplyBatch allocates %v per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		r.ApplyBatch(sr1, x, dstZ, b)
+	}); allocs != 0 {
+		t.Errorf("relation ApplyBatch allocates %v per call, want 0", allocs)
+	}
+
+	p := par.New(4)
+	defer p.Close()
+	so := NewNodeBatchScratch(o, 4, b)
+	sr := NewRelationBatchScratch(r, 4, b)
+	if allocs := testing.AllocsPerRun(50, func() {
+		o.ApplyBatchParallel(p, so, x, z, dst, b)
+	}); allocs != 0 {
+		t.Errorf("ApplyBatchParallel allocates %v per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		r.ApplyBatchParallel(p, sr, x, dstZ, b)
+	}); allocs != 0 {
+		t.Errorf("relation ApplyBatchParallel allocates %v per call, want 0", allocs)
+	}
+}

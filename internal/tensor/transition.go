@@ -178,7 +178,12 @@ type RelationTransition struct {
 	p       []float64
 
 	// Distinct non-dangling tubes, sorted by (j, i), aligned slices.
+	// tubeStart[t] is the offset of tube t's first entry in the sorted
+	// entry arrays (len(tubeI)+1 offsets, last = nnz): each tube is a
+	// contiguous entry run, which the blocked serial kernel exploits to
+	// fuse the stored-mass and scatter passes (fusedMassScatterBatch).
 	tubeI, tubeJ []int32
+	tubeStart    []int32
 }
 
 // NewRelationTransition normalises the finalized tensor a into R. The
@@ -216,8 +221,10 @@ func NewRelationTransition(a *Tensor) *RelationTransition {
 		}
 		r.tubeI = append(r.tubeI, r.i[start])
 		r.tubeJ = append(r.tubeJ, r.j[start])
+		r.tubeStart = append(r.tubeStart, int32(start))
 		start = end
 	}
+	r.tubeStart = append(r.tubeStart, int32(len(r.p)))
 	return r
 }
 

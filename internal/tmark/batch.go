@@ -1,0 +1,261 @@
+package tmark
+
+// The batched multi-class solver: all q classes advance in lockstep
+// through blocked (SpMM-style) kernels. The per-class node distributions
+// are interleaved into one node-major n×b block X (entry (i, c) at
+// i*b+c) and the link-type distributions into an m×b block Z, so each
+// per-iteration kernel streams every tensor entry / CSR row once and
+// applies it to all b active class columns — the kernels are
+// memory-bandwidth-bound, so this removes the q-fold re-streaming of the
+// sequential path. Classes whose residual drops below Epsilon retire:
+// their columns are gathered out to the final per-class vectors and the
+// block is compacted, so late iterations only pay for stragglers.
+//
+// Per class the batched solver is bitwise identical to the sequential
+// reference path for a fixed worker count: every blocked kernel
+// accumulates each column's floats in the single-vector order (see
+// internal/tensor/batch.go), the per-column simplex projection and
+// residual mirror vec.Normalize1/Diff1, and retirement only removes a
+// column's storage — never changes another column's arithmetic, since no
+// kernel mixes columns.
+
+import (
+	"context"
+
+	"tmark/internal/vec"
+)
+
+// batchRun is the working set of one batched solve. Blocked buffers are
+// allocated for q columns and re-sliced to the active stride b as
+// classes retire; per-class vectors (restart, finals, traces) stay full
+// length for the result.
+type batchRun struct {
+	n, m, q int
+	b       int   // active column count
+	classOf []int // column -> class, ascending; len b
+	slot    []int // class -> active column, or -1 once retired
+
+	x, z   []float64 // current blocked state, stride b
+	xn, zn []float64 // next iterates
+	tmp    []float64 // feature-channel product W·X
+	l      []vec.Vector
+	seeds  []int
+	xOut   []vec.Vector // final per-class x̄, filled at retirement/finish
+	zOut   []vec.Vector
+	conv   []bool
+	iters  []int
+	trace  [][]float64
+	keep   []int // compaction scratch
+	argmax []int // reseed scratch: node -> argmax class
+}
+
+// runBatched solves every class through the blocked lockstep loop; a nil
+// warm starts every class cold from its seed vector. It fills res with
+// per-class ClassResults exactly like the sequential paths.
+func (m *Model) runBatched(ctx context.Context, res *Result, warm func(c int) (vec.Vector, vec.Vector, bool), rs *runScratch) {
+	n, mm, q := m.graph.N(), m.graph.M(), m.graph.Q()
+	st := &batchRun{
+		n: n, m: mm, q: q, b: q,
+		classOf: make([]int, q),
+		slot:    make([]int, q),
+		x:       make([]float64, n*q),
+		z:       make([]float64, mm*q),
+		xn:      make([]float64, n*q),
+		zn:      make([]float64, mm*q),
+		tmp:     make([]float64, n*q),
+		l:       make([]vec.Vector, q),
+		seeds:   make([]int, q),
+		xOut:    make([]vec.Vector, q),
+		zOut:    make([]vec.Vector, q),
+		conv:    make([]bool, q),
+		iters:   make([]int, q),
+		trace:   make([][]float64, q),
+		keep:    make([]int, 0, q),
+		argmax:  make([]int, n),
+	}
+	uniformZ := vec.Uniform(mm)
+	for c := 0; c < q; c++ {
+		l, seeds := m.seedVector(c)
+		st.l[c], st.seeds[c] = l, seeds
+		st.xOut[c], st.zOut[c] = vec.New(n), vec.New(mm)
+		st.classOf[c], st.slot[c] = c, c
+		x, z := l, uniformZ
+		if warm != nil {
+			if wx, wz, ok := warm(c); ok {
+				x, z = wx, wz
+			}
+		}
+		vec.ScatterCol(x, st.x, c, q)
+		vec.ScatterCol(z, st.z, c, q)
+	}
+
+	m.iterateBatched(ctx, st, rs)
+
+	// Gather still-active columns (iteration cap or cancellation); retired
+	// classes were gathered when they converged.
+	for col := 0; col < st.b; col++ {
+		c := st.classOf[col]
+		vec.GatherCol(st.x, col, st.b, st.xOut[c])
+		vec.GatherCol(st.z, col, st.b, st.zOut[c])
+	}
+	for c := 0; c < q; c++ {
+		res.Classes[c] = ClassResult{
+			Class: c, X: st.xOut[c], Z: st.zOut[c],
+			Iterations: st.iters[c], Converged: st.conv[c],
+			Trace: st.trace[c], Seeds: st.seeds[c], Restart: st.l[c],
+		}
+	}
+}
+
+// iterateBatched is the blocked lockstep loop. The context is checked
+// once per iteration, like the sequential loops, so a cancelled run
+// keeps the state of the last completed iteration.
+func (m *Model) iterateBatched(ctx context.Context, st *batchRun, rs *runScratch) {
+	alpha, beta := m.cfg.Alpha, m.cfg.Beta()
+	rel := 1 - alpha - beta
+	n, mm := st.n, st.m
+	progress := rs.progressFn()
+	for t := 1; t <= m.cfg.MaxIterations; t++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if m.cfg.ICAUpdate && t > 2 {
+			rs.reseedCols(st.q*n, st.q, func() { m.icaReseedBatch(st) })
+		}
+		b := st.b
+		x, z, xn, zn := st.x[:n*b], st.z[:mm*b], st.xn[:n*b], st.zn[:mm*b]
+		if rel > 0 {
+			rs.applyNodeBatch(m.o, x, z, xn, b)
+			vec.Scale(rel, xn)
+		} else {
+			vec.Fill(xn, 0)
+		}
+		if beta > 0 && m.w != nil {
+			tmp := st.tmp[:n*b]
+			rs.mulFeatureBatch(x, tmp, b)
+			vec.Axpy(beta, tmp, xn)
+		}
+		for col := 0; col < b; col++ {
+			vec.AxpyCol(alpha, st.l[st.classOf[col]], xn, col, b)
+			// The same simplex projection as the sequential step: rounding
+			// in the dangling-mass closed forms compounds across
+			// iterations, and the fixed point has unit mass anyway.
+			vec.Normalize1Col(xn, col, b)
+		}
+		rs.applyRelationBatch(m.r, xn, zn, b)
+		for col := 0; col < b; col++ {
+			vec.Normalize1Col(zn, col, b)
+		}
+		retired := false
+		for col := 0; col < b; col++ {
+			rho := vec.Diff1Col(x, xn, col, b) + vec.Diff1Col(z, zn, col, b)
+			c := st.classOf[col]
+			st.trace[c] = append(st.trace[c], rho)
+			st.iters[c]++
+			if progress != nil {
+				progress(c, st.iters[c], rho)
+			}
+			if rho < m.cfg.Epsilon {
+				st.conv[c] = true
+				retired = true
+			}
+		}
+		copy(x, xn)
+		copy(z, zn)
+		if retired {
+			st.retireConverged()
+			if st.b == 0 {
+				break
+			}
+		}
+	}
+}
+
+// retireConverged gathers every freshly converged column into its final
+// per-class vectors and left-packs the surviving columns, shrinking the
+// active stride. Compaction moves each surviving value to an offset no
+// greater than its source (i·b′+nc ≤ i·b+keep[nc] for b′ < b), so the
+// in-place repack never overwrites unread state.
+func (st *batchRun) retireConverged() {
+	st.keep = st.keep[:0]
+	for col := 0; col < st.b; col++ {
+		c := st.classOf[col]
+		if st.conv[c] {
+			vec.GatherCol(st.x, col, st.b, st.xOut[c])
+			vec.GatherCol(st.z, col, st.b, st.zOut[c])
+			st.slot[c] = -1
+			continue
+		}
+		st.keep = append(st.keep, col)
+	}
+	if len(st.keep) == st.b {
+		return
+	}
+	vec.CompactCols(st.x, st.n, st.b, st.keep)
+	vec.CompactCols(st.z, st.m, st.b, st.keep)
+	for nc, oc := range st.keep {
+		c := st.classOf[oc]
+		st.classOf[nc] = c
+		st.slot[c] = nc
+	}
+	st.b = len(st.keep)
+	st.classOf = st.classOf[:st.b]
+}
+
+// xAt reads node i of class c's current distribution: from the active
+// block while the class iterates, from the frozen final once retired.
+// The reseed is the one place that needs cross-class reads, and it must
+// see retired classes too — the sequential icaReseedAll reads (and
+// rewrites the restart vector of) converged classes every pass.
+func (st *batchRun) xAt(c, i int) float64 {
+	if s := st.slot[c]; s >= 0 {
+		return st.x[i*st.b+s]
+	}
+	return st.xOut[c][i]
+}
+
+// icaReseedBatch rebuilds every class's restart vector from the blocked
+// prediction state, mirroring icaReseedAll statement for statement:
+// unlabelled node i joins class c's seeds when c is i's argmax class and
+// x[i] clears the confidence threshold λ·(best unlabelled probability of
+// class c).
+func (m *Model) icaReseedBatch(st *batchRun) {
+	n, q := st.n, st.q
+	for i := 0; i < n; i++ {
+		best, bestC := -1.0, -1
+		for c := 0; c < q; c++ {
+			if v := st.xAt(c, i); v > best {
+				best, bestC = v, c
+			}
+		}
+		st.argmax[i] = bestC
+	}
+	for c := 0; c < q; c++ {
+		maxUnlabeled := 0.0
+		for i := 0; i < n; i++ {
+			if v := st.xAt(c, i); !m.graph.Labeled(i) && v > maxUnlabeled {
+				maxUnlabeled = v
+			}
+		}
+		threshold := m.cfg.Lambda * maxUnlabeled
+		l := st.l[c]
+		count := 0
+		for i := range l {
+			accept := m.graph.HasLabel(i, c)
+			if !accept && !m.graph.Labeled(i) && maxUnlabeled > 0 {
+				accept = st.argmax[i] == c && st.xAt(c, i) > threshold
+			}
+			if accept {
+				l[i] = 1
+				count++
+			} else {
+				l[i] = 0
+			}
+		}
+		if count == 0 {
+			vec.Fill(l, 1/float64(len(l)))
+			continue
+		}
+		vec.Scale(1/float64(count), l)
+	}
+}

@@ -1,0 +1,235 @@
+package tmark
+
+// Equivalence tests for the batched multi-class solver: per class it must
+// reproduce the sequential reference paths bit for bit — same X, Z,
+// residual traces, iteration counts and restart vectors — for every
+// worker count, with and without the ICA update, for dense and CSR
+// feature matrices, warm and cold, and under mid-run cancellation.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"tmark/internal/vec"
+)
+
+// assertResultsBitwise fails unless the two results are per-class bitwise
+// identical in every numeric field.
+func assertResultsBitwise(t *testing.T, label string, batched, seq *Result) {
+	t.Helper()
+	if len(batched.Classes) != len(seq.Classes) {
+		t.Fatalf("%s: class counts %d vs %d", label, len(batched.Classes), len(seq.Classes))
+	}
+	for c := range seq.Classes {
+		bc, sc := &batched.Classes[c], &seq.Classes[c]
+		if d := vec.Diff1(bc.X, sc.X); d != 0 {
+			t.Errorf("%s: class %d X diverged by %v", label, c, d)
+		}
+		if d := vec.Diff1(bc.Z, sc.Z); d != 0 {
+			t.Errorf("%s: class %d Z diverged by %v", label, c, d)
+		}
+		if d := vec.Diff1(bc.Restart, sc.Restart); d != 0 {
+			t.Errorf("%s: class %d Restart diverged by %v", label, c, d)
+		}
+		if bc.Iterations != sc.Iterations {
+			t.Errorf("%s: class %d iterations %d vs %d", label, c, bc.Iterations, sc.Iterations)
+		}
+		if bc.Converged != sc.Converged {
+			t.Errorf("%s: class %d converged %v vs %v", label, c, bc.Converged, sc.Converged)
+		}
+		if bc.Seeds != sc.Seeds {
+			t.Errorf("%s: class %d seeds %d vs %d", label, c, bc.Seeds, sc.Seeds)
+		}
+		if len(bc.Trace) != len(sc.Trace) {
+			t.Errorf("%s: class %d trace lengths %d vs %d", label, c, len(bc.Trace), len(sc.Trace))
+			continue
+		}
+		for i := range sc.Trace {
+			if bc.Trace[i] != sc.Trace[i] {
+				t.Errorf("%s: class %d trace[%d] = %v vs %v", label, c, i, bc.Trace[i], sc.Trace[i])
+				break
+			}
+		}
+	}
+}
+
+// The batched solver must reproduce the sequential reference bitwise
+// across worker counts (1 = serial kernels, 4 = sharded, 0 = GOMAXPROCS),
+// ICA modes, and feature-matrix representations. Epsilon is set so some
+// classes converge before others, exercising column retirement.
+func TestBatchedMatchesSequentialBitwise(t *testing.T) {
+	g := benchGraph(160)
+	uneven := false // some case must retire classes at different iterations
+	for _, ica := range []bool{true, false} {
+		for _, topK := range []int{0, 8} { // dense W, CSR W
+			for _, workers := range []int{1, 4, 0} {
+				cfg := DefaultConfig()
+				cfg.ICAUpdate = ica
+				cfg.FeatureTopK = topK
+				cfg.Workers = workers
+				cfg.Epsilon = 1e-7
+				cfg.MaxIterations = 60
+				m, err := New(g, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("ica=%v topK=%d workers=%d", ica, topK, workers)
+				batched := m.RunContext(context.Background(), WithBatchedClasses(true))
+				seq := m.RunContext(context.Background(), WithBatchedClasses(false))
+				assertResultsBitwise(t, label, batched, seq)
+				for c := range batched.Classes {
+					if batched.Classes[c].Iterations != batched.Classes[0].Iterations {
+						uneven = true
+					}
+				}
+			}
+		}
+	}
+	if !uneven {
+		t.Error("no case retired classes at different iterations; column compaction untested")
+	}
+}
+
+// The relation-only configuration (Gamma = 0, no feature matrix) must
+// agree too — it skips the W kernel entirely.
+func TestBatchedMatchesSequentialNoFeatureChannel(t *testing.T) {
+	g := benchGraph(120)
+	cfg := DefaultConfig()
+	cfg.Gamma = 0
+	cfg.Epsilon = 1e-7
+	cfg.MaxIterations = 50
+	m, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := m.RunContext(context.Background(), WithBatchedClasses(true))
+	seq := m.RunContext(context.Background(), WithBatchedClasses(false))
+	assertResultsBitwise(t, "gamma=0", batched, seq)
+}
+
+// Warm starts must agree as well: both paths continue from the same
+// previous solution.
+func TestBatchedWarmMatchesSequential(t *testing.T) {
+	g := benchGraph(120)
+	cfg := DefaultConfig()
+	cfg.Epsilon = 1e-7
+	cfg.MaxIterations = 8 // stop early to leave room for the warm leg
+	m, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := m.Run()
+	cfg2 := cfg
+	cfg2.MaxIterations = 60
+	m2, err := New(g, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := m2.RunWarmContext(context.Background(), prev, WithBatchedClasses(true))
+	seq := m2.RunWarmContext(context.Background(), prev, WithBatchedClasses(false))
+	assertResultsBitwise(t, "warm", batched, seq)
+}
+
+// Under the ICA update both paths run the same lockstep schedule with one
+// context check per iteration, so a deterministic mid-run cancellation
+// must leave bitwise identical partial results.
+func TestBatchedCancelMatchesSequentialLockstep(t *testing.T) {
+	g := benchGraph(120)
+	cfg := slowConfig(1)
+	cfg.ICAUpdate = true
+	cfg.MaxIterations = 40
+	m, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(batch bool) *Result {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		return m.RunContext(ctx, WithBatchedClasses(batch),
+			WithProgress(func(class, iter int, rho float64) {
+				if class == 2 && iter == 5 {
+					cancel()
+				}
+			}))
+	}
+	batched, seq := run(true), run(false)
+	if batched.Stopped == nil || seq.Stopped == nil {
+		t.Fatalf("cancellation not recorded: batched %v, sequential %v", batched.Stopped, seq.Stopped)
+	}
+	assertResultsBitwise(t, "cancel", batched, seq)
+	for c := range batched.Classes {
+		if got := batched.Classes[c].Iterations; got != 5 {
+			t.Errorf("class %d ran %d iterations, want 5 (lockstep cancellation)", c, got)
+		}
+	}
+}
+
+// The batched reseed must reproduce icaReseedAll exactly — including for
+// retired classes, whose distributions it reads from the frozen final
+// vectors and whose restart vectors it keeps rewriting.
+func TestIcaReseedBatchMatchesSequential(t *testing.T) {
+	g := benchGraph(80)
+	cfg := DefaultConfig()
+	m, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, mm, q := g.N(), g.M(), g.Q()
+
+	// A mid-solve snapshot to reseed from.
+	snap := m.RunContext(context.Background(), WithBatchedClasses(false))
+	states := make([]classState, q)
+	for c := 0; c < q; c++ {
+		l, _ := m.seedVector(c)
+		states[c] = classState{x: vec.Clone(snap.Classes[c].X), l: l}
+	}
+
+	// The batched mirror: class 1 retired (frozen in xOut), the rest live
+	// in a compacted 3-column block.
+	st := &batchRun{
+		n: n, m: mm, q: q, b: q - 1,
+		classOf: []int{0, 2, 3},
+		slot:    []int{0, -1, 1, 2},
+		x:       make([]float64, n*(q-1)),
+		xOut:    make([]vec.Vector, q),
+		l:       make([]vec.Vector, q),
+		argmax:  make([]int, n),
+	}
+	for c := 0; c < q; c++ {
+		l, _ := m.seedVector(c)
+		st.l[c] = l
+		if s := st.slot[c]; s >= 0 {
+			vec.ScatterCol(states[c].x, st.x, s, st.b)
+		} else {
+			st.xOut[c] = vec.Clone(states[c].x)
+		}
+	}
+
+	m.icaReseedAll(states)
+	m.icaReseedBatch(st)
+	for c := 0; c < q; c++ {
+		if d := vec.Diff1(states[c].l, st.l[c]); d != 0 {
+			t.Errorf("class %d reseeded restart diverged by %v", c, d)
+		}
+	}
+}
+
+// The batched path must be deterministic across repeated runs for a fixed
+// worker count.
+func TestBatchedDeterministic(t *testing.T) {
+	g := benchGraph(120)
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	cfg.MaxIterations = 20
+	cfg.Epsilon = 1e-300
+	m, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := m.Run()
+	for trial := 0; trial < 3; trial++ {
+		got := m.Run()
+		assertResultsBitwise(t, fmt.Sprintf("trial %d", trial), got, first)
+	}
+}

@@ -1,6 +1,7 @@
 package tmark
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -40,6 +41,85 @@ func benchGraph(n int) *hin.Graph {
 		g.SetLabels(i, i%4)
 	}
 	return g
+}
+
+// benchGraphQ is benchGraph with a configurable class count q; node i
+// belongs to class bucket i%q and features/edges are homophilous within
+// the bucket. The tensor nonzero count is ≈ 15·n (5 relations × 3n
+// directed edges, minus collisions).
+func benchGraphQ(n, q int) *hin.Graph {
+	rng := rand.New(rand.NewSource(1))
+	names := make([]string, q)
+	for c := range names {
+		names[c] = fmt.Sprintf("class%d", c)
+	}
+	g := hin.New(names...)
+	for i := 0; i < n; i++ {
+		f := make([]float64, 4*q)
+		for d := 0; d < 6; d++ {
+			f[(i%q)*4+rng.Intn(4)]++
+		}
+		g.AddNode("", f)
+	}
+	for k := 0; k < 5; k++ {
+		g.AddRelation(fmt.Sprintf("r%d", k), false)
+		for e := 0; e < 3*n; e++ {
+			u := rng.Intn(n)
+			v := rng.Intn(n)
+			if rng.Float64() < 0.7 {
+				v = (v/q)*q + u%q // same class bucket
+				if v >= n {
+					v -= q
+				}
+			}
+			if u != v && v >= 0 {
+				g.AddEdge(k, u, v)
+			}
+		}
+	}
+	for i := 0; i < n; i += 10 {
+		g.SetLabels(i, i%q)
+	}
+	return g
+}
+
+// BenchmarkBatchedVsSequential compares the blocked multi-class solver
+// against the sequential per-class reference on the O-contraction-
+// dominated configuration (Gamma = 0), sweeping the class count and the
+// tensor size. Epsilon is unreachable so both paths perform the same
+// fixed iteration count, and Workers is pinned to 1 so the ratio isolates
+// the kernel fusion rather than pool scheduling. The batched path streams
+// each tensor entry once per iteration instead of q times, so its edge
+// should grow with q.
+func BenchmarkBatchedVsSequential(b *testing.B) {
+	for _, nnz := range []int{10_000, 100_000} {
+		n := nnz / 15
+		for _, q := range []int{2, 4, 8} {
+			g := benchGraphQ(n, q)
+			cfg := DefaultConfig()
+			cfg.Gamma = 0 // O-contraction-dominated: no feature channel
+			cfg.ICAUpdate = false
+			cfg.Epsilon = 1e-300
+			cfg.MaxIterations = 8
+			cfg.Workers = 1
+			m, err := New(g, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, batched := range []bool{true, false} {
+				mode := "sequential"
+				if batched {
+					mode = "batched"
+				}
+				b.Run(fmt.Sprintf("nnz=%dk/q=%d/%s", nnz/1000, q, mode), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						m.RunContext(context.Background(), WithBatchedClasses(batched))
+					}
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkRun measures a full multi-class solve at several network sizes;

@@ -74,7 +74,9 @@ func TestRunContextSequentialCancelSkipsRemainingClasses(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	res := m.RunContext(ctx, WithProgress(func(class, iter int, rho float64) {
+	// This test pins down the sequential path's class-skipping semantics;
+	// the batched path advances all classes in lockstep instead.
+	res := m.RunContext(ctx, WithBatchedClasses(false), WithProgress(func(class, iter int, rho float64) {
 		if class == 1 && iter >= 2 {
 			cancel()
 		}

@@ -73,6 +73,9 @@ type runOptions struct {
 	stats    *RunStats
 	progress func(class, iter int, rho float64)
 	workers  int // 0 keeps Config.Workers
+	// sequential selects the per-class reference solver instead of the
+	// default batched (blocked multi-class) path; see WithBatchedClasses.
+	sequential bool
 }
 
 // RunOption configures one solver run; see WithStats, WithProgress and
@@ -109,16 +112,36 @@ func WithWorkers(n int) RunOption {
 	}
 }
 
+// WithBatchedClasses selects between the batched multi-class solver (on,
+// the default) and the sequential per-class reference path (off). The
+// batched path stores the per-class distributions as one blocked n×q
+// matrix and advances every class per kernel pass, so each tensor entry
+// and CSR row is streamed once per iteration instead of q times; classes
+// that converge retire from the active column set, so late iterations
+// only pay for stragglers. Per class the two paths produce bitwise
+// identical X, Z, residual traces and iteration counts for a fixed
+// worker count. The only observable difference is cancellation order
+// with the ICA update disabled: the sequential path finishes class c
+// before starting class c+1 (classes after the cancellation point keep
+// their seed state), while the batched path advances all classes in
+// lockstep (every class holds the same partial iteration count).
+func WithBatchedClasses(on bool) RunOption {
+	return func(o *runOptions) { o.sequential = !on }
+}
+
 // Run solves the tensor equations for every class; it is RunContext with
-// a background context and no options. Classes are stepped sequentially
-// and the parallelism lives inside the per-iteration kernels, which are
-// sharded across a worker pool of cfg.Workers goroutines — so the solver
-// scales with cores even when the class count is small (q = 4–5 on the
-// paper's datasets). With the ICA update the classes advance in lockstep,
-// because eq. (12) accepts "highly confident labels ... in the prediction
-// matrix": a confident label is a cross-class statement, so after every
-// iteration each unlabelled node may join the restart set of its argmax
-// class only.
+// a background context and no options. All classes advance in lockstep
+// through the batched kernels: the per-class distributions live in one
+// blocked n×q matrix, so every tensor entry and CSR row is streamed once
+// per iteration and applied to all active classes (see
+// WithBatchedClasses). The kernels are additionally sharded across a
+// worker pool of cfg.Workers goroutines, so the solver scales with cores
+// even when the class count is small (q = 4–5 on the paper's datasets).
+// With the ICA update the lockstep order is also semantically required,
+// because eq. (12) accepts "highly confident labels ... in the
+// prediction matrix": a confident label is a cross-class statement, so
+// after every iteration each unlabelled node may join the restart set of
+// its argmax class only.
 func (m *Model) Run() *Result {
 	return m.RunContext(context.Background())
 }
@@ -142,7 +165,9 @@ func (m *Model) RunContext(ctx context.Context, opts ...RunOption) *Result {
 		m:       m.graph.M(),
 		q:       q,
 	}
-	if m.cfg.ICAUpdate {
+	if !rs.opts.sequential {
+		m.runBatched(ctx, res, nil, rs)
+	} else if m.cfg.ICAUpdate {
 		m.runLockstep(ctx, res, rs)
 	} else {
 		for c := 0; c < q; c++ {
@@ -254,11 +279,25 @@ func publishRun(res *Result, st *RunStats) {
 // during solving. A nil pool selects the serial kernel paths; a nil
 // collector (the default) reduces every telemetry touch to a branch.
 type runScratch struct {
-	pool    *par.Pool
-	o       *tensor.NodeApplyScratch
-	r       *tensor.RelationApplyScratch
-	wCSR    *sparse.MulScratch
-	wDen    *vec.MulScratch
+	pool *par.Pool
+	o    *tensor.NodeApplyScratch
+	r    *tensor.RelationApplyScratch
+	wCSR *sparse.MulScratch
+	wDen *vec.MulScratch
+
+	// Batched-path scratch: blocked contraction buffers and multi-RHS
+	// matvec dispatch state, built only when the run is batched.
+	ob    *tensor.NodeBatchScratch
+	rb    *tensor.RelationBatchScratch
+	wCSRb *sparse.MulBatchScratch
+	wDenb *vec.MulBatchScratch
+
+	// wS/wD are the feature matrix's resolved dynamic type, fixed once per
+	// run so the per-step wrappers dispatch on a nil check instead of
+	// re-running a type switch every iteration. At most one is non-nil.
+	wS *sparse.Matrix
+	wD *vec.Matrix
+
 	col     *obs.Collector
 	opts    runOptions
 	workers int
@@ -266,7 +305,8 @@ type runScratch struct {
 
 // newRunScratch builds the pool, kernel scratch and collector for one
 // solver run. The result is never nil — a serial run simply leaves the
-// pool and scratches unset.
+// pool unset, and only the scratch of the selected path (batched or
+// sequential) is allocated.
 func (m *Model) newRunScratch(ro runOptions) *runScratch {
 	w := m.cfg.workerCount()
 	if ro.workers > 0 {
@@ -276,17 +316,45 @@ func (m *Model) newRunScratch(ro runOptions) *runScratch {
 	if ro.stats != nil {
 		rs.col = obs.NewCollector()
 	}
+	switch fw := m.w.(type) {
+	case *sparse.Matrix:
+		rs.wS = fw
+	case *vec.Matrix:
+		rs.wD = fw
+	}
 	if w > 1 {
 		rs.pool = par.NewObserved(w, rs.col.AttachPool(w))
+	}
+	if !ro.sequential {
+		// The serial blocked kernels need the per-column sum buffers too,
+		// so the batch scratch exists for every worker count.
+		q := m.graph.Q()
+		rs.ob = tensor.NewNodeBatchScratch(m.o, w, q)
+		rs.ob.Probe = rs.col.KernelProbe(obs.KernelO)
+		rs.rb = tensor.NewRelationBatchScratch(m.r, w, q)
+		rs.rb.Probe = rs.col.KernelProbe(obs.KernelR)
+		if w > 1 {
+			switch {
+			case rs.wS != nil:
+				rs.wCSRb = sparse.NewMulBatchScratch(w)
+				rs.wCSRb.Probe = rs.col.KernelProbe(obs.KernelW)
+			case rs.wD != nil:
+				rs.wDenb = vec.NewMulBatchScratch(w)
+				rs.wDenb.Probe = rs.col.KernelProbe(obs.KernelW)
+			}
+		}
+		return rs
+	}
+	if w > 1 {
 		rs.o = tensor.NewNodeApplyScratch(m.o, w)
 		rs.o.Probe = rs.col.KernelProbe(obs.KernelO)
 		rs.r = tensor.NewRelationApplyScratch(m.r, w)
 		rs.r.Probe = rs.col.KernelProbe(obs.KernelR)
-		switch m.w.(type) {
-		case *sparse.Matrix:
+		switch {
+		case rs.wS != nil:
 			rs.wCSR = sparse.NewMulScratch(w)
 			rs.wCSR.Probe = rs.col.KernelProbe(obs.KernelW)
-		case *vec.Matrix:
+		case rs.wD != nil:
 			rs.wDen = vec.NewMulScratch(w)
 			rs.wDen.Probe = rs.col.KernelProbe(obs.KernelW)
 		}
@@ -344,20 +412,20 @@ func (rs *runScratch) mulFeature(w matvec, x, dst vec.Vector) {
 		return
 	}
 	start := rs.col.Clock()
-	switch fw := w.(type) {
-	case *sparse.Matrix:
+	switch {
+	case rs.wS != nil:
 		if rs.pool == nil {
-			fw.MulVec(x, dst)
-			rs.col.AddKernelItems(obs.KernelW, int64(fw.NNZ()))
+			rs.wS.MulVec(x, dst)
+			rs.col.AddKernelItems(obs.KernelW, int64(rs.wS.NNZ()))
 		} else {
-			fw.MulVecParallel(rs.pool, rs.wCSR, x, dst)
+			rs.wS.MulVecParallel(rs.pool, rs.wCSR, x, dst)
 		}
-	case *vec.Matrix:
+	case rs.wD != nil:
 		if rs.pool == nil {
-			fw.MulVec(x, dst)
-			rs.col.AddKernelItems(obs.KernelW, int64(fw.Rows*fw.Cols))
+			rs.wD.MulVec(x, dst)
+			rs.col.AddKernelItems(obs.KernelW, int64(rs.wD.Rows*rs.wD.Cols))
 		} else {
-			fw.MulVecParallel(rs.pool, rs.wDen, x, dst)
+			rs.wD.MulVecParallel(rs.pool, rs.wDen, x, dst)
 		}
 	default:
 		w.MulVec(x, dst)
@@ -375,4 +443,68 @@ func (rs *runScratch) reseed(items int, fn func()) {
 	fn()
 	rs.col.StopKernel(obs.KernelReseed, start)
 	rs.col.AddKernelItems(obs.KernelReseed, int64(items))
+}
+
+// The blocked wrappers of the batched path. The batch scratch always
+// exists on a batched run (newRunScratch builds it for every worker
+// count), so unlike the sequential wrappers there is no nil-rs form.
+
+func (rs *runScratch) applyNodeBatch(o *tensor.NodeTransition, x, z, dst []float64, b int) {
+	start := rs.col.Clock()
+	if rs.pool == nil {
+		o.ApplyBatch(rs.ob, x, z, dst, b)
+		rs.col.AddKernelCols(obs.KernelO, int64(o.NNZ()), int64(b))
+	} else {
+		o.ApplyBatchParallel(rs.pool, rs.ob, x, z, dst, b)
+	}
+	rs.col.StopKernel(obs.KernelO, start)
+}
+
+func (rs *runScratch) applyRelationBatch(r *tensor.RelationTransition, x, dst []float64, b int) {
+	start := rs.col.Clock()
+	if rs.pool == nil {
+		r.ApplyBatch(rs.rb, x, dst, b)
+		rs.col.AddKernelCols(obs.KernelR, int64(r.NNZ()), int64(b))
+	} else {
+		r.ApplyBatchParallel(rs.pool, rs.rb, x, dst, b)
+	}
+	rs.col.StopKernel(obs.KernelR, start)
+}
+
+func (rs *runScratch) mulFeatureBatch(x, dst []float64, b int) {
+	start := rs.col.Clock()
+	switch {
+	case rs.wS != nil:
+		if rs.pool == nil {
+			rs.wS.MulVecBatch(x, dst, b)
+			rs.col.AddKernelCols(obs.KernelW, int64(rs.wS.NNZ()), int64(b))
+		} else {
+			rs.wS.MulVecBatchParallel(rs.pool, rs.wCSRb, x, dst, b)
+		}
+	case rs.wD != nil:
+		if rs.pool == nil {
+			rs.wD.MulVecBatch(x, dst, b)
+			rs.col.AddKernelCols(obs.KernelW, int64(rs.wD.Rows*rs.wD.Cols), int64(b))
+		} else {
+			rs.wD.MulVecBatchParallel(rs.pool, rs.wDenb, x, dst, b)
+		}
+	default:
+		// New only ever builds a CSR or dense W; failing loudly beats
+		// silently leaving dst stale.
+		panic("tmark: batched run requires a CSR or dense feature matrix")
+	}
+	rs.col.StopKernel(obs.KernelW, start)
+}
+
+// reseedCols times one batched ICA reseed pass (fn) under the reseed
+// kernel, crediting the streamed items and the class columns they cover.
+func (rs *runScratch) reseedCols(items, cols int, fn func()) {
+	if rs.col == nil {
+		fn()
+		return
+	}
+	start := rs.col.Clock()
+	fn()
+	rs.col.StopKernel(obs.KernelReseed, start)
+	rs.col.AddKernelCols(obs.KernelReseed, int64(items), int64(cols))
 }

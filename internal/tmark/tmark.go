@@ -265,12 +265,13 @@ func (m *Model) runLockstep(ctx context.Context, res *Result, rs *runScratch) {
 func (m *Model) iterateLockstep(ctx context.Context, res *Result, states []classState, rs *runScratch) {
 	q := len(states)
 	progress := rs.progressFn()
+	argmax := make([]int, m.graph.N()) // reseed scratch, hoisted out of the pass
 	for t := 1; t <= m.cfg.MaxIterations; t++ {
 		if ctx.Err() != nil {
 			break
 		}
 		if t > 2 {
-			rs.reseed(q*m.graph.N(), func() { m.icaReseedAll(states) })
+			rs.reseed(q*m.graph.N(), func() { m.icaReseedInto(states, argmax) })
 		}
 		allDone := true
 		for c := 0; c < q; c++ {
@@ -338,8 +339,13 @@ func (m *Model) step(s *classState, rs *runScratch) float64 {
 // class and x[i] clears the confidence threshold λ·(best unlabelled
 // probability of class c).
 func (m *Model) icaReseedAll(states []classState) {
+	m.icaReseedInto(states, make([]int, m.graph.N()))
+}
+
+// icaReseedInto is icaReseedAll with caller-owned argmax scratch, so the
+// lockstep loop reseeds without a per-iteration allocation.
+func (m *Model) icaReseedInto(states []classState, argmax []int) {
 	n, q := m.graph.N(), len(states)
-	argmax := make([]int, n)
 	for i := 0; i < n; i++ {
 		best, bestC := -1.0, -1
 		for c := 0; c < q; c++ {
@@ -385,7 +391,7 @@ func (m *Model) RunClass(c int) ClassResult {
 	if c < 0 || c >= m.graph.Q() {
 		panic(fmt.Sprintf("tmark: class %d out of range %d", c, m.graph.Q()))
 	}
-	rs := m.newRunScratch(runOptions{})
+	rs := m.newRunScratch(runOptions{sequential: true})
 	defer rs.close()
 	return m.solveClass(context.Background(), c, rs)
 }
@@ -415,8 +421,8 @@ func (m *Model) seedVector(c int) (vec.Vector, int) {
 // the context check, telemetry and progress reporting) with the
 // warm-start path.
 func (m *Model) solveClass(ctx context.Context, c int, rs *runScratch) ClassResult {
-	l, _ := m.seedVector(c)
-	return m.solveClassFrom(ctx, c, vec.Clone(l), vec.Uniform(m.graph.M()), rs)
+	l, seeds := m.seedVector(c)
+	return m.solveClassSeeded(ctx, c, vec.Clone(l), vec.Uniform(m.graph.M()), l, seeds, rs)
 }
 
 // icaReseed rebuilds l from the training labels plus the currently

@@ -51,7 +51,9 @@ func (m *Model) RunWarmContext(ctx context.Context, prev *Result, opts ...RunOpt
 
 	rs := m.newRunScratch(resolveOptions(opts))
 	defer rs.close()
-	if m.cfg.ICAUpdate {
+	if !rs.opts.sequential {
+		m.runBatched(ctx, res, warm, rs)
+	} else if m.cfg.ICAUpdate {
 		m.runLockstepFrom(ctx, res, warm, rs)
 	} else {
 		for c := 0; c < q; c++ {
@@ -73,6 +75,13 @@ func (m *Model) RunWarmContext(ctx context.Context, prev *Result, opts ...RunOpt
 // with zero or more iterations recorded.
 func (m *Model) solveClassFrom(ctx context.Context, c int, x, z vec.Vector, rs *runScratch) ClassResult {
 	l, seeds := m.seedVector(c)
+	return m.solveClassSeeded(ctx, c, x, z, l, seeds, rs)
+}
+
+// solveClassSeeded is solveClassFrom with the restart vector already
+// built, so the cold path (which derives its starting x from l) computes
+// the seed vector once instead of twice.
+func (m *Model) solveClassSeeded(ctx context.Context, c int, x, z, l vec.Vector, seeds int, rs *runScratch) ClassResult {
 	s := classState{
 		x: x, z: z, l: l,
 		xNext: vec.New(m.graph.N()), zNext: vec.New(m.graph.M()), tmp: vec.New(m.graph.N()),

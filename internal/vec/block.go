@@ -1,0 +1,108 @@
+package vec
+
+// Column operations on blocked multi-vector storage. The batched solver
+// keeps q per-class vectors interleaved in one node-major block: entry
+// (i, c) of an n×b block lives at i*stride+c, so one pass over the block
+// touches every class's value for a node consecutively. Each helper
+// visits the rows of one column in ascending index order — exactly the
+// order of its single-vector counterpart in vec.go — so a column of a
+// block and a standalone vector accumulate bitwise-identical floats.
+
+import (
+	"fmt"
+	"math"
+)
+
+// ScatterCol copies src into column col of the blocked dst:
+// dst[i*stride+col] = src[i].
+func ScatterCol(src Vector, dst []float64, col, stride int) {
+	checkBlock("ScatterCol", len(src), len(dst), col, stride)
+	for i, v := range src {
+		dst[i*stride+col] = v
+	}
+}
+
+// GatherCol copies column col of the blocked src into dst:
+// dst[i] = src[i*stride+col].
+func GatherCol(src []float64, col, stride int, dst Vector) {
+	checkBlock("GatherCol", len(dst), len(src), col, stride)
+	for i := range dst {
+		dst[i] = src[i*stride+col]
+	}
+}
+
+// AxpyCol computes column col of dst += alpha*x, mirroring Axpy on one
+// column of the block.
+func AxpyCol(alpha float64, x Vector, dst []float64, col, stride int) {
+	checkBlock("AxpyCol", len(x), len(dst), col, stride)
+	for i, v := range x {
+		dst[i*stride+col] += alpha * v
+	}
+}
+
+// SumCol returns the sum of column col, adding rows in ascending order
+// like Sum.
+func SumCol(v []float64, col, stride int) float64 {
+	var s float64
+	for p := col; p < len(v); p += stride {
+		s += v[p]
+	}
+	return s
+}
+
+// Diff1Col returns the L1 distance between column col of the equally
+// blocked a and b, mirroring Diff1's row order.
+func Diff1Col(a, b []float64, col, stride int) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Diff1Col length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for p := col; p < len(a); p += stride {
+		s += math.Abs(a[p] - b[p])
+	}
+	return s
+}
+
+// Normalize1Col rescales column col in place so it sums to one, with
+// Normalize1's zero/NaN/Inf guard: a bad sum leaves the column untouched
+// and reports false. The arithmetic (one 1/s, then a multiply per row)
+// matches Normalize1 exactly.
+func Normalize1Col(v []float64, col, stride int) bool {
+	s := SumCol(v, col, stride)
+	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return false
+	}
+	inv := 1 / s
+	for p := col; p < len(v); p += stride {
+		v[p] *= inv
+	}
+	return true
+}
+
+// CompactCols left-packs the columns listed in keep (strictly ascending)
+// of an n-row block, shrinking the stride from oldStride to len(keep).
+// The move is in-place safe: for every row the destination offset
+// i*len(keep)+nc never exceeds the source offset i*oldStride+keep[nc],
+// so ascending iteration never overwrites unread data.
+func CompactCols(v []float64, rows, oldStride int, keep []int) {
+	newStride := len(keep)
+	if newStride == oldStride {
+		return
+	}
+	for i := 0; i < rows; i++ {
+		src := i * oldStride
+		dst := i * newStride
+		for nc, oc := range keep {
+			v[dst+nc] = v[src+oc]
+		}
+	}
+}
+
+// checkBlock validates that a blocked operand with the given length can
+// hold rows×stride entries addressed at column col.
+func checkBlock(op string, rows, blockLen, col, stride int) {
+	if col < 0 || col >= stride || rows*stride > blockLen {
+		panic(fmt.Sprintf("vec: %s column %d stride %d over %d rows exceeds block of %d",
+			op, col, stride, rows, blockLen))
+	}
+}
