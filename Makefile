@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short-test race vet bench bench-stats bench-json fuzz experiments figures examples clean
+.PHONY: all build test short-test race serve-race vet bench bench-stats bench-json fuzz experiments figures examples clean
 
 all: build vet test race
 
@@ -43,17 +43,31 @@ bench-stats:
 	$(GO) test -run xxx -bench 'BenchmarkRunStats|BenchmarkCollectorOverhead' -benchmem -v ./internal/tmark/
 
 # Machine-readable perf trajectory: run the batched-vs-sequential sweep
-# and archive it as JSON (BENCH_3.json tracks this PR's speedup onward).
+# (BENCH_3.json, kept frozen) and the coalesced-serving sweep
+# (BENCH_4.json: q=8 concurrent queries on a shared warm model, one
+# lockstep batch vs one solve per query) and archive both as JSON.
 bench-json:
 	$(GO) test -run xxx -bench BenchmarkBatchedVsSequential -benchmem ./internal/tmark/ > /tmp/bench_batched.txt
 	$(GO) run ./cmd/benchjson < /tmp/bench_batched.txt > BENCH_3.json
 	@rm -f /tmp/bench_batched.txt
 	@echo wrote BENCH_3.json
+	$(GO) test -run xxx -bench BenchmarkCoalescedServing -benchmem ./internal/serve/ > /tmp/bench_serving.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_serving.txt > BENCH_4.json
+	@rm -f /tmp/bench_serving.txt
+	@echo wrote BENCH_4.json
+
+# The serving integration suite (coalescer, cache, drain) under the race
+# detector — the separate CI job; make race covers it too, this target
+# is the focused loop.
+serve-race:
+	$(GO) test -race -count=1 ./internal/serve/
 
 # Short fuzzing passes over the untrusted-input parsers.
 fuzz:
 	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/hin/
 	$(GO) test -fuzz FuzzReadEdgeCSV -fuzztime 30s ./internal/hin/
+	$(GO) test -fuzz FuzzReadCOO -fuzztime 30s ./internal/dataset/
+	$(GO) test -fuzz FuzzDecodeClassifyRequest -fuzztime 30s ./internal/serve/
 
 # Regenerate every table and figure at the quick scale.
 experiments:

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -41,9 +42,9 @@ type svger interface {
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "experiment to run (comma separated), or 'all'")
-		full   = flag.Bool("full", false, "use the paper's full protocol (10 trials, 9 fractions)")
-		seed   = flag.Int64("seed", 1, "base random seed")
+		run         = flag.String("run", "all", "experiment to run (comma separated), or 'all'")
+		full        = flag.Bool("full", false, "use the paper's full protocol (10 trials, 9 fractions)")
+		seed        = flag.Int64("seed", 1, "base random seed")
 		trials      = flag.Int("trials", 0, "override the number of trials per cell")
 		svgDir      = flag.String("svg", "", "directory to write SVG charts into")
 		stats       = flag.Bool("stats", false, "dump the metrics registry snapshot to stderr after each experiment")
@@ -102,37 +103,43 @@ func main() {
 		fmt.Printf("[wrote %s]\n", path)
 	}
 
+	// All result output flows through one error-latching writer: the
+	// Format methods write unconditionally, and a full pipe or closed
+	// stdout is surfaced once, as a non-zero exit, instead of silently
+	// truncating the tables (the tables ARE the program's output).
+	out := &errWriter{w: os.Stdout}
+
 	type job struct {
 		name string
 		fn   func() interface{}
 	}
 	jobs := []job{
-		{"example", func() interface{} { we := experiments.RunWorkedExample(); we.Format(os.Stdout); return we }},
-		{"table2", func() interface{} { t := experiments.RunTable2(opt); t.Format(os.Stdout); return t }},
-		{"table3", func() interface{} { t := experiments.RunTable3(opt); t.Format(os.Stdout); return t }},
-		{"table4", func() interface{} { t := experiments.RunTable4(opt); t.Format(os.Stdout); return t }},
-		{"table5", func() interface{} { t := experiments.RunTable5(opt); t.Format(os.Stdout); return t }},
+		{"example", func() interface{} { we := experiments.RunWorkedExample(); we.Format(out); return we }},
+		{"table2", func() interface{} { t := experiments.RunTable2(opt); t.Format(out); return t }},
+		{"table3", func() interface{} { t := experiments.RunTable3(opt); t.Format(out); return t }},
+		{"table4", func() interface{} { t := experiments.RunTable4(opt); t.Format(out); return t }},
+		{"table5", func() interface{} { t := experiments.RunTable5(opt); t.Format(out); return t }},
 		{"tables6-7", func() interface{} {
 			t6, t7 := experiments.RunTables6and7()
-			t6.Format(os.Stdout)
-			t7.Format(os.Stdout)
+			t6.Format(out)
+			t7.Format(out)
 			return nil
 		}},
-		{"table8", func() interface{} { t := experiments.RunTable8(opt); t.Format(os.Stdout); return t }},
+		{"table8", func() interface{} { t := experiments.RunTable8(opt); t.Format(out); return t }},
 		{"tables9-10", func() interface{} {
 			t9, t10 := experiments.RunTables9and10(opt)
-			t9.Format(os.Stdout)
-			t10.Format(os.Stdout)
+			t9.Format(out)
+			t10.Format(out)
 			return nil
 		}},
-		{"table11", func() interface{} { t := experiments.RunTable11(opt); t.Format(os.Stdout); return t }},
-		{"fig5", func() interface{} { f := experiments.RunFigure5(opt); f.Format(os.Stdout); return f }},
-		{"fig6", func() interface{} { f := experiments.RunFigure6(opt); f.Format(os.Stdout); return f }},
-		{"fig7", func() interface{} { f := experiments.RunFigure7(opt); f.Format(os.Stdout); return f }},
-		{"fig8", func() interface{} { f := experiments.RunFigure8(opt); f.Format(os.Stdout); return f }},
-		{"fig9", func() interface{} { f := experiments.RunFigure9(opt); f.Format(os.Stdout); return f }},
-		{"fig10", func() interface{} { f := experiments.RunFigure10(opt); f.Format(os.Stdout); return f }},
-		{"ablation", func() interface{} { t := experiments.RunAblation(opt); t.Format(os.Stdout); return t }},
+		{"table11", func() interface{} { t := experiments.RunTable11(opt); t.Format(out); return t }},
+		{"fig5", func() interface{} { f := experiments.RunFigure5(opt); f.Format(out); return f }},
+		{"fig6", func() interface{} { f := experiments.RunFigure6(opt); f.Format(out); return f }},
+		{"fig7", func() interface{} { f := experiments.RunFigure7(opt); f.Format(out); return f }},
+		{"fig8", func() interface{} { f := experiments.RunFigure8(opt); f.Format(out); return f }},
+		{"fig9", func() interface{} { f := experiments.RunFigure9(opt); f.Format(out); return f }},
+		{"fig10", func() interface{} { f := experiments.RunFigure10(opt); f.Format(out); return f }},
+		{"ablation", func() interface{} { t := experiments.RunAblation(opt); t.Format(out); return t }},
 	}
 
 	ran := 0
@@ -145,7 +152,7 @@ func main() {
 		if artifact != nil {
 			writeSVG(j.name, artifact)
 		}
-		fmt.Printf("[%s done in %v]\n\n", j.name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "[%s done in %v]\n\n", j.name, time.Since(start).Round(time.Millisecond))
 		if *stats {
 			dumpRegistry(j.name)
 		}
@@ -156,6 +163,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if out.err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: write results: %v\n", out.err)
+		os.Exit(1)
+	}
+}
+
+// errWriter latches the first write error so the Format methods (which
+// return nothing) can write unconditionally and main can fail once.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
 }
 
 // dumpRegistry prints the cumulative metrics snapshot (solver runs,

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"tmark/internal/experiments"
+)
+
+// brokenWriter fails every write — a closed stdout.
+type brokenWriter struct{ calls int }
+
+var errClosed = errors.New("stdout closed")
+
+func (w *brokenWriter) Write(p []byte) (int, error) {
+	w.calls++
+	return 0, errClosed
+}
+
+// TestErrWriterSurfacesFormatFailures pins the fix for experiment tables
+// vanishing into unchecked writes: a Format call against a failed sink
+// must leave the error on the shared errWriter for main's final check.
+func TestErrWriterSurfacesFormatFailures(t *testing.T) {
+	sink := &brokenWriter{}
+	out := &errWriter{w: sink}
+	we := experiments.RunWorkedExample()
+	we.Format(out)
+	if !errors.Is(out.err, errClosed) {
+		t.Fatalf("errWriter.err = %v, want %v", out.err, errClosed)
+	}
+	if sink.calls != 1 {
+		t.Errorf("underlying writer hit %d times, want 1 (latched after first failure)", sink.calls)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
@@ -167,7 +168,9 @@ func main() {
 			log.Fatalf("explain: node %d out of range %d", *explain, g.N())
 		}
 		for c := range g.Classes {
-			fmt.Println(model.Explain(res, *explain, c))
+			if _, err := fmt.Fprintln(os.Stdout, model.Explain(res, *explain, c)); err != nil {
+				log.Fatalf("write report: %v", err)
+			}
 		}
 		return
 	}
@@ -181,7 +184,30 @@ func main() {
 		}
 		return
 	}
-	printReport(g, rep)
+	// A full pipe or closed stdout must fail the run: the report IS the
+	// program's output, and `tmark ... > /full/disk` exiting 0 with a
+	// truncated report is silent data loss.
+	if err := printReport(os.Stdout, g, rep); err != nil {
+		log.Fatalf("write report: %v", err)
+	}
+}
+
+// errWriter latches the first write error so a report printer can write
+// unconditionally and check once at the end.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
 }
 
 func load(path string, csvIn bool) (*hin.Graph, error) {
@@ -234,34 +260,36 @@ func buildReport(g *hin.Graph, model *tmark.Model, res *tmark.Result, top int) *
 	return rep
 }
 
-func printReport(g *hin.Graph, rep *report) {
-	fmt.Printf("network: %s\n", rep.Stats)
+func printReport(w io.Writer, g *hin.Graph, rep *report) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintf(ew, "network: %s\n", rep.Stats)
 	if !rep.Irreducible {
-		fmt.Println("note: adjacency tensor is reducible; uniqueness guarantees weakened")
+		fmt.Fprintln(ew, "note: adjacency tensor is reducible; uniqueness guarantees weakened")
 	}
 	if rep.Stopped != "" {
-		fmt.Printf("note: run stopped early (%s); predictions are partial\n", rep.Stopped)
+		fmt.Fprintf(ew, "note: run stopped early (%s); predictions are partial\n", rep.Stopped)
 	}
 	if !rep.Converged {
-		fmt.Printf("note: not all classes converged within %d iterations\n", rep.Iterations)
+		fmt.Fprintf(ew, "note: not all classes converged within %d iterations\n", rep.Iterations)
 	}
-	fmt.Println("\npredictions for unlabelled nodes:")
+	fmt.Fprintln(ew, "\npredictions for unlabelled nodes:")
 	for p, pr := range rep.Predictions {
 		if p >= 50 {
-			fmt.Printf("  … %d more\n", len(rep.Predictions)-p)
+			fmt.Fprintf(ew, "  … %d more\n", len(rep.Predictions)-p)
 			break
 		}
 		name := pr.Name
 		if name == "" {
 			name = fmt.Sprintf("node %d", pr.Node)
 		}
-		fmt.Printf("  %-30s → %-20s (confidence %.3f)\n", name, pr.Class, pr.Confidence)
+		fmt.Fprintf(ew, "  %-30s → %-20s (confidence %.3f)\n", name, pr.Class, pr.Confidence)
 	}
-	fmt.Println("\nlink-type relevance per class:")
+	fmt.Fprintln(ew, "\nlink-type relevance per class:")
 	for _, class := range g.Classes {
-		fmt.Printf("  %s:\n", class)
+		fmt.Fprintf(ew, "  %s:\n", class)
 		for _, s := range rep.LinkRanking[class] {
-			fmt.Printf("    %-24s %.4f\n", s.Name, s.Score)
+			fmt.Fprintf(ew, "    %-24s %.4f\n", s.Name, s.Score)
 		}
 	}
+	return ew.err
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"tmark/pkg/datasets"
+	"tmark/pkg/tmark"
+)
+
+// failAfterWriter fails every write once limit bytes went through — the
+// shape of a pipe that fills up mid-report.
+type failAfterWriter struct {
+	limit   int
+	written int
+}
+
+var errPipeFull = errors.New("pipe full")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		n := w.limit - w.written
+		if n < 0 {
+			n = 0
+		}
+		w.written = w.limit
+		return n, errPipeFull
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func exampleReport(t *testing.T) *report {
+	t.Helper()
+	g := datasets.Example()
+	model, err := tmark.New(g, tmark.DefaultConfig())
+	if err != nil {
+		t.Fatalf("tmark.New: %v", err)
+	}
+	return buildReport(g, model, model.Run(), 3)
+}
+
+func TestPrintReportWritesEverything(t *testing.T) {
+	rep := exampleReport(t)
+	var buf bytes.Buffer
+	if err := printReport(&buf, datasets.Example(), rep); err != nil {
+		t.Fatalf("printReport: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"network:", "predictions for unlabelled nodes:", "link-type relevance per class:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrintReportPropagatesWriteErrors pins the fix for the silently
+// truncated report: a write failure must come back to main (which exits
+// non-zero), not vanish inside unchecked fmt.Printf returns.
+func TestPrintReportPropagatesWriteErrors(t *testing.T) {
+	rep := exampleReport(t)
+	err := printReport(&failAfterWriter{limit: 20}, datasets.Example(), rep)
+	if !errors.Is(err, errPipeFull) {
+		t.Fatalf("printReport returned %v, want %v", err, errPipeFull)
+	}
+}
+
+func TestErrWriterLatchesFirstError(t *testing.T) {
+	ew := &errWriter{w: &failAfterWriter{limit: 4}}
+	if _, err := ew.Write([]byte("ok")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := ew.Write([]byte("overflow")); !errors.Is(err, errPipeFull) {
+		t.Fatalf("overflowing write: %v, want %v", err, errPipeFull)
+	}
+	// Later writes keep failing with the latched error, even though the
+	// underlying writer would accept more short writes.
+	if _, err := ew.Write([]byte("x")); !errors.Is(err, errPipeFull) {
+		t.Fatalf("post-error write: %v, want latched %v", err, errPipeFull)
+	}
+	if !errors.Is(ew.err, errPipeFull) {
+		t.Fatalf("latched err = %v", ew.err)
+	}
+}

@@ -1,0 +1,200 @@
+// Command tmarkd serves T-Mark classification over HTTP: datasets are
+// loaded once at startup, models are built lazily and kept warm in an
+// LRU cache, and concurrent /classify requests against the same model
+// are coalesced into one lockstep batch solve.
+//
+// Usage:
+//
+//	tmarkd [-addr :8321] [-dataset name=spec]... [-default name]
+//	       [-alpha 0.8] [-gamma 0.6] [-lambda 0.7] [-epsilon 1e-8]
+//	       [-maxiter 100] [-no-ica] [-topk K] [-workers N] [-seed N]
+//	       [-cache 4] [-max-batch 8] [-queue 64] [-max-concurrent 2]
+//	       [-max-body 1048576] [-drain-timeout 30s]
+//
+// Each -dataset flag loads one network under a name. The spec is either
+// a file path — .json (hin.Graph JSON codec), .csv (from,to,relation
+// edge list) or .coo (sparse-coordinate tensor text) — or the name of a
+// built-in synthetic generator: example, dblp, movies, nus or acm
+// (seeded by -seed). With no -dataset flag the synthetic DBLP network
+// is served. -default selects the dataset used by requests that name
+// none; it may stay empty when exactly one dataset is loaded.
+//
+// Endpoints: POST /classify (seed labels in, per-node scores and link
+// rankings out), GET /rank?dataset=&class= (full-solve link-type
+// ranking), /healthz (liveness), /readyz (503 while draining), and the
+// observability set /metrics, /vars and /debug/pprof/.
+//
+// On SIGTERM or SIGINT the server stops admitting work (readyz flips to
+// 503 so load balancers fail over), cancels in-flight solves — each
+// returns within one solver iteration with a usable partial result —
+// and shuts the listener down within -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"tmark/internal/dataset"
+	"tmark/internal/hin"
+	"tmark/internal/serve"
+	"tmark/internal/tmark"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "tmarkd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// datasetSpec is one parsed -dataset flag.
+type datasetSpec struct{ name, spec string }
+
+// datasetList collects repeated -dataset name=spec flags.
+type datasetList []datasetSpec
+
+func (d *datasetList) String() string {
+	parts := make([]string, len(*d))
+	for i, s := range *d {
+		parts[i] = s.name + "=" + s.spec
+	}
+	return strings.Join(parts, ",")
+}
+
+func (d *datasetList) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" || spec == "" {
+		return fmt.Errorf("want name=path or name=builtin, got %q", v)
+	}
+	for _, s := range *d {
+		if s.name == name {
+			return fmt.Errorf("dataset %q declared twice", name)
+		}
+	}
+	*d = append(*d, datasetSpec{name, spec})
+	return nil
+}
+
+// run is main minus process concerns: it parses args, loads datasets,
+// and serves until ctx is cancelled. Split out so tests can drive the
+// whole wiring in-process.
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tmarkd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var sets datasetList
+	fs.Var(&sets, "dataset", "load a network as name=path (.json/.csv/.coo) or name=builtin (repeatable)")
+	var (
+		addr     = fs.String("addr", ":8321", "listen address")
+		def      = fs.String("default", "", "dataset served when a request names none")
+		seed     = fs.Int64("seed", 1, "seed for the built-in synthetic generators")
+		alpha    = fs.Float64("alpha", 0.8, "restart probability α")
+		gamma    = fs.Float64("gamma", 0.6, "feature-channel scale γ")
+		lambda   = fs.Float64("lambda", 0.7, "ICA confidence threshold λ")
+		epsilon  = fs.Float64("epsilon", 1e-8, "convergence threshold ε")
+		maxiter  = fs.Int("maxiter", 100, "maximum iterations per solve")
+		noICA    = fs.Bool("no-ica", false, "disable the ICA label update (TensorRrCc mode)")
+		topK     = fs.Int("topk", 0, "sparsify the feature channel to top-K neighbours (0 = dense)")
+		workers  = fs.Int("workers", 0, "compute workers per solve (0 = GOMAXPROCS)")
+		cache    = fs.Int("cache", serve.DefaultCacheSize, "warm models kept in the LRU cache")
+		maxBatch = fs.Int("max-batch", serve.DefaultMaxBatch, "maximum queries coalesced into one lockstep solve")
+		queue    = fs.Int("queue", serve.DefaultQueueDepth, "admission queue depth per model (full queue → 503)")
+		maxConc  = fs.Int("max-concurrent", serve.DefaultMaxConcurrent, "batch solves running at once across all models")
+		maxBody  = fs.Int64("max-body", serve.DefaultMaxBodyBytes, "maximum /classify request body bytes")
+		drain    = fs.Duration("drain-timeout", 30*time.Second, "shutdown deadline after SIGTERM/SIGINT")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if len(sets) == 0 {
+		sets = datasetList{{"dblp", "dblp"}}
+	}
+
+	datasets := make(map[string]*hin.Graph, len(sets))
+	for _, s := range sets {
+		g, err := loadDataset(s.spec, *seed)
+		if err != nil {
+			return fmt.Errorf("dataset %s: %w", s.name, err)
+		}
+		datasets[s.name] = g
+		fmt.Fprintf(stderr, "tmarkd: loaded %s (%s): %s\n", s.name, s.spec, g.Stats())
+	}
+
+	srv, err := serve.New(serve.Options{
+		Datasets: datasets,
+		Default:  *def,
+		Config: tmark.Config{
+			Alpha: *alpha, Gamma: *gamma, Lambda: *lambda,
+			Epsilon: *epsilon, MaxIterations: *maxiter,
+			ICAUpdate: !*noICA, FeatureTopK: *topK,
+			Workers: *workers,
+		},
+		CacheSize:     *cache,
+		MaxBatch:      *maxBatch,
+		QueueDepth:    *queue,
+		MaxConcurrent: *maxConc,
+		MaxBodyBytes:  *maxBody,
+	})
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(datasets))
+	for name := range datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(stderr, "tmarkd: serving %s on %s\n", strings.Join(names, ", "), *addr)
+	return srv.ListenAndServe(ctx, *addr, *drain)
+}
+
+// loadDataset resolves one -dataset spec: a file path dispatched on
+// extension, or a built-in synthetic generator name.
+func loadDataset(spec string, seed int64) (*hin.Graph, error) {
+	switch ext := strings.ToLower(filepath.Ext(spec)); ext {
+	case ".json":
+		return hin.LoadFile(spec)
+	case ".csv", ".coo":
+		f, err := os.Open(spec)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if ext == ".csv" {
+			return hin.ReadEdgeCSV(f)
+		}
+		return dataset.ReadCOO(f)
+	case "":
+		switch spec {
+		case "example":
+			return dataset.Example(), nil
+		case "dblp":
+			return dataset.DBLP(dataset.DefaultDBLPConfig(seed)), nil
+		case "movies":
+			return dataset.Movies(dataset.DefaultMoviesConfig(seed)), nil
+		case "nus":
+			return dataset.NUS(dataset.DefaultNUSConfig(seed), dataset.Tagset1()), nil
+		case "acm":
+			return dataset.ACM(dataset.DefaultACMConfig(seed)), nil
+		}
+		return nil, fmt.Errorf("unknown built-in dataset %q (want example, dblp, movies, nus or acm)", spec)
+	default:
+		return nil, fmt.Errorf("unsupported dataset format %q (want .json, .csv or .coo)", ext)
+	}
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tmark/internal/dataset"
+	"tmark/internal/serve"
+)
+
+func TestDatasetListSet(t *testing.T) {
+	var d datasetList
+	if err := d.Set("a=example"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := d.Set("b=net.json"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	for _, bad := range []string{"", "noequals", "=path", "name="} {
+		if err := d.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted, want error", bad)
+		}
+	}
+	if err := d.Set("a=other"); err == nil {
+		t.Errorf("duplicate name accepted, want error")
+	}
+	if got := d.String(); got != "a=example,b=net.json" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestLoadDatasetBuiltins(t *testing.T) {
+	for _, name := range []string{"example", "dblp", "movies", "nus", "acm"} {
+		g, err := loadDataset(name, 1)
+		if err != nil {
+			t.Errorf("builtin %s: %v", name, err)
+			continue
+		}
+		if g.N() == 0 {
+			t.Errorf("builtin %s: empty graph", name)
+		}
+	}
+	if _, err := loadDataset("nope", 1); err == nil {
+		t.Error("unknown builtin accepted")
+	}
+	if _, err := loadDataset("net.parquet", 1); err == nil {
+		t.Error("unsupported extension accepted")
+	}
+	if _, err := loadDataset("missing.json", 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadDatasetFiles(t *testing.T) {
+	dir := t.TempDir()
+
+	jsonPath := filepath.Join(dir, "net.json")
+	if err := dataset.Example().SaveFile(jsonPath); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	g, err := loadDataset(jsonPath, 1)
+	if err != nil {
+		t.Fatalf("load .json: %v", err)
+	}
+	if g.N() != dataset.Example().N() {
+		t.Errorf(".json round trip: %d nodes, want %d", g.N(), dataset.Example().N())
+	}
+
+	csvPath := filepath.Join(dir, "net.csv")
+	if err := os.WriteFile(csvPath, []byte("from,to,relation,weight\na,b,r,1\nb,a,r,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if g, err = loadDataset(csvPath, 1); err != nil {
+		t.Fatalf("load .csv: %v", err)
+	} else if g.N() != 2 {
+		t.Errorf(".csv: %d nodes, want 2", g.N())
+	}
+
+	cooPath := filepath.Join(dir, "net.coo")
+	if err := os.WriteFile(cooPath, []byte("coo 3 1 2\nl 0 0\nl 2 1\ne 0 0 1\ne 0 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if g, err = loadDataset(cooPath, 1); err != nil {
+		t.Fatalf("load .coo: %v", err)
+	} else if g.N() != 3 || g.Q() != 2 {
+		t.Errorf(".coo: (%d nodes, %d classes), want (3, 2)", g.N(), g.Q())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	ctx := context.Background()
+	cases := [][]string{
+		{"-definitely-not-a-flag"},
+		{"-dataset", "broken"},
+		{"-dataset", "x=missing.json"},
+		{"-dataset", "x=example", "-default", "y"},
+		{"-dataset", "x=example", "x_trailing_arg"},
+		{"-dataset", "x=example", "-alpha", "2"},
+	}
+	for _, args := range cases {
+		if err := run(ctx, args, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestRunServesAndDrains drives the full wiring in-process: run() on a
+// real port with a .coo dataset, a /classify round trip, then a context
+// cancellation standing in for SIGTERM.
+func TestRunServesAndDrains(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // free the port for run; re-bind races are unlikely in-process
+
+	cooPath := filepath.Join(t.TempDir(), "net.coo")
+	coo := "coo 6 2 2\nl 0 0\nl 1 1\ne 0 0 2\ne 0 2 4\ne 0 1 3\ne 0 3 5\ne 1 4 5\ne 1 5 0\n"
+	if err := os.WriteFile(cooPath, []byte(coo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	var logs bytes.Buffer
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", addr,
+			"-dataset", "tiny=" + cooPath,
+			"-workers", "1",
+			"-drain-timeout", "5s",
+		}, &logs)
+	}()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became healthy; logs:\n%s", logs.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	body := `{"seeds":[0],"scores":true}`
+	resp, err := http.Post(base+"/classify", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("classify: %v", err)
+	}
+	var out serve.ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify status %d", resp.StatusCode)
+	}
+	if out.Dataset != "tiny" || len(out.Scores) != 6 {
+		t.Fatalf("response dataset %q with %d scores, want tiny with 6", out.Dataset, len(out.Scores))
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancellation")
+	}
+	if !strings.Contains(logs.String(), "serving tiny on") {
+		t.Errorf("startup log missing; got:\n%s", logs.String())
+	}
+}

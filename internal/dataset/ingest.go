@@ -1,0 +1,202 @@
+package dataset
+
+// COO ingest: a line-oriented sparse-coordinate text format for loading
+// an adjacency tensor (plus labels) directly, without going through the
+// JSON codec. The format mirrors how the paper presents the model — the
+// HIN *is* the (m, n, n) tensor — and is trivial to emit from numpy /
+// MATLAB dumps of real datasets:
+//
+//	# comments and blank lines are ignored
+//	coo <n> <m> <q>          header: nodes, relations, classes (first line)
+//	r <k> <name>[!]          optional relation naming; "!" marks directed
+//	l <i> <c>                label: node i belongs to class c
+//	e <k> <i> <j> [w]        tensor entry: edge i→j of relation k, weight w (default 1)
+//
+// The reader is strict: indices must be in range, weights positive and
+// finite, and duplicate coordinates (the classic COO ambiguity — does a
+// repeated (k,i,j) sum or overwrite?) are an error rather than a silent
+// policy choice. Malformed input must always surface as an error, never
+// a panic: ReadCOO is fuzzed (FuzzReadCOO).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"tmark/internal/hin"
+)
+
+// cooMaxDim bounds the declared header dimensions so a hostile header
+// ("coo 9999999999 9999999999 1") cannot make the reader allocate
+// unboundedly before any real content is seen.
+const cooMaxDim = 1 << 24
+
+// ReadCOO builds a graph from the COO text format above.
+func ReadCOO(r io.Reader) (*hin.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	line := 0
+	next := func() ([]string, bool) {
+		for sc.Scan() {
+			line++
+			text := sc.Text()
+			if i := strings.IndexByte(text, '#'); i >= 0 {
+				text = text[:i]
+			}
+			fields := strings.Fields(text)
+			if len(fields) > 0 {
+				return fields, true
+			}
+		}
+		return nil, false
+	}
+
+	header, ok := next()
+	if !ok {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("dataset: coo: %w", err)
+		}
+		return nil, fmt.Errorf("dataset: coo: empty input, want 'coo n m q' header")
+	}
+	if len(header) != 4 || header[0] != "coo" {
+		return nil, fmt.Errorf("dataset: coo line %d: header %q, want 'coo n m q'", line, strings.Join(header, " "))
+	}
+	dims := make([]int, 3)
+	for i, name := range []string{"n", "m", "q"} {
+		v, err := strconv.Atoi(header[i+1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: coo line %d: %s: %w", line, name, err)
+		}
+		if v < 1 || v > cooMaxDim {
+			return nil, fmt.Errorf("dataset: coo line %d: %s = %d out of range [1, %d]", line, name, v, cooMaxDim)
+		}
+		dims[i] = v
+	}
+	n, m, q := dims[0], dims[1], dims[2]
+
+	g := hin.New()
+	for c := 0; c < q; c++ {
+		g.AddClass(fmt.Sprintf("c%d", c))
+	}
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), nil)
+	}
+	for k := 0; k < m; k++ {
+		g.AddRelation(fmt.Sprintf("r%d", k), false)
+	}
+
+	index := func(fields []string, pos, limit int, what string) (int, error) {
+		v, err := strconv.Atoi(fields[pos])
+		if err != nil {
+			return 0, fmt.Errorf("dataset: coo line %d: %s %q: %w", line, what, fields[pos], err)
+		}
+		if v < 0 || v >= limit {
+			return 0, fmt.Errorf("dataset: coo line %d: %s %d out of range [0, %d)", line, what, v, limit)
+		}
+		return v, nil
+	}
+
+	type coord struct{ k, i, j int }
+	type labelCoord struct{ i, c int }
+	seenEdge := make(map[coord]bool)
+	seenLabel := make(map[labelCoord]bool)
+	namedRel := make(map[int]bool)
+	edges := 0
+
+	for {
+		fields, ok := next()
+		if !ok {
+			break
+		}
+		switch fields[0] {
+		case "e":
+			if len(fields) != 4 && len(fields) != 5 {
+				return nil, fmt.Errorf("dataset: coo line %d: edge wants 'e k i j [w]', got %d fields", line, len(fields))
+			}
+			k, err := index(fields, 1, m, "relation")
+			if err != nil {
+				return nil, err
+			}
+			i, err := index(fields, 2, n, "from node")
+			if err != nil {
+				return nil, err
+			}
+			j, err := index(fields, 3, n, "to node")
+			if err != nil {
+				return nil, err
+			}
+			w := 1.0
+			if len(fields) == 5 {
+				w, err = strconv.ParseFloat(fields[4], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: coo line %d: weight %q: %w", line, fields[4], err)
+				}
+				if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+					return nil, fmt.Errorf("dataset: coo line %d: weight %v must be positive and finite", line, w)
+				}
+			}
+			at := coord{k, i, j}
+			if seenEdge[at] {
+				return nil, fmt.Errorf("dataset: coo line %d: duplicate entry (%d, %d, %d)", line, k, i, j)
+			}
+			seenEdge[at] = true
+			g.AddWeightedEdge(k, i, j, w)
+			edges++
+		case "l":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dataset: coo line %d: label wants 'l i c', got %d fields", line, len(fields))
+			}
+			i, err := index(fields, 1, n, "node")
+			if err != nil {
+				return nil, err
+			}
+			c, err := index(fields, 2, q, "class")
+			if err != nil {
+				return nil, err
+			}
+			at := labelCoord{i, c}
+			if seenLabel[at] {
+				return nil, fmt.Errorf("dataset: coo line %d: duplicate label (%d, %d)", line, i, c)
+			}
+			seenLabel[at] = true
+			g.SetLabels(i, append(append([]int{}, g.Nodes[i].Labels...), c)...)
+		case "r":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dataset: coo line %d: relation wants 'r k name', got %d fields", line, len(fields))
+			}
+			k, err := index(fields, 1, m, "relation")
+			if err != nil {
+				return nil, err
+			}
+			if namedRel[k] {
+				return nil, fmt.Errorf("dataset: coo line %d: duplicate relation declaration %d", line, k)
+			}
+			namedRel[k] = true
+			name := fields[2]
+			if directed := strings.HasSuffix(name, "!"); directed {
+				name = strings.TrimSuffix(name, "!")
+				g.Relations[k].Directed = true
+			}
+			if name == "" {
+				return nil, fmt.Errorf("dataset: coo line %d: empty relation name", line)
+			}
+			g.Relations[k].Name = name
+		default:
+			return nil, fmt.Errorf("dataset: coo line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: coo: %w", err)
+	}
+	if edges == 0 {
+		return nil, fmt.Errorf("dataset: coo: no edges")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: coo: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+const cooSample = `# tiny two-class network
+coo 4 2 2
+r 0 cites!
+r 1 coauthor
+l 0 0
+l 3 1
+e 0 0 1 2.5
+e 0 1 2
+e 1 2 3 0.5
+e 1 3 0
+`
+
+func TestReadCOO(t *testing.T) {
+	g, err := ReadCOO(strings.NewReader(cooSample))
+	if err != nil {
+		t.Fatalf("ReadCOO: %v", err)
+	}
+	if g.N() != 4 || g.M() != 2 || g.Q() != 2 {
+		t.Fatalf("dims (%d, %d, %d), want (4, 2, 2)", g.N(), g.M(), g.Q())
+	}
+	if g.Relations[0].Name != "cites" || !g.Relations[0].Directed {
+		t.Errorf("relation 0 = %q directed %v, want cites directed", g.Relations[0].Name, g.Relations[0].Directed)
+	}
+	if g.Relations[1].Name != "coauthor" || g.Relations[1].Directed {
+		t.Errorf("relation 1 = %q directed %v, want coauthor undirected", g.Relations[1].Name, g.Relations[1].Directed)
+	}
+	if !g.HasLabel(0, 0) || !g.HasLabel(3, 1) || g.Labeled(1) || g.Labeled(2) {
+		t.Errorf("labels wrong: %v %v %v %v", g.Nodes[0].Labels, g.Nodes[1].Labels, g.Nodes[2].Labels, g.Nodes[3].Labels)
+	}
+	if len(g.Relations[0].Edges) != 2 || len(g.Relations[1].Edges) != 2 {
+		t.Fatalf("edge counts %d/%d, want 2/2", len(g.Relations[0].Edges), len(g.Relations[1].Edges))
+	}
+	if w := g.Relations[0].Edges[0].Weight; w != 2.5 {
+		t.Errorf("edge weight %v, want 2.5", w)
+	}
+	if w := g.Relations[0].Edges[1].Weight; w != 1 {
+		t.Errorf("default edge weight %v, want 1", w)
+	}
+}
+
+func TestReadCOOMultiLabel(t *testing.T) {
+	in := "coo 2 1 3\nl 0 2\nl 0 0\ne 0 0 1\n"
+	g, err := ReadCOO(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCOO: %v", err)
+	}
+	if !g.HasLabel(0, 0) || !g.HasLabel(0, 2) || g.HasLabel(0, 1) {
+		t.Fatalf("node 0 labels %v, want [0 2]", g.Nodes[0].Labels)
+	}
+}
+
+func TestReadCOOErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"no header":          "e 0 0 1\n",
+		"bad header":         "coo 4 2\n",
+		"zero nodes":         "coo 0 1 1\ne 0 0 0\n",
+		"huge dims":          "coo 99999999999 1 1\n",
+		"relation range":     "coo 2 1 1\ne 1 0 1\n",
+		"node range":         "coo 2 1 1\ne 0 0 2\n",
+		"negative node":      "coo 2 1 1\ne 0 -1 1\n",
+		"class range":        "coo 2 1 1\nl 0 1\ne 0 0 1\n",
+		"nan weight":         "coo 2 1 1\ne 0 0 1 NaN\n",
+		"inf weight":         "coo 2 1 1\ne 0 0 1 Inf\n",
+		"overflow weight":    "coo 2 1 1\ne 0 0 1 1e999\n",
+		"zero weight":        "coo 2 1 1\ne 0 0 1 0\n",
+		"negative weight":    "coo 2 1 1\ne 0 0 1 -3\n",
+		"duplicate edge":     "coo 2 1 1\ne 0 0 1 2\ne 0 0 1 5\n",
+		"duplicate label":    "coo 2 1 1\nl 0 0\nl 0 0\ne 0 0 1\n",
+		"duplicate relation": "coo 2 1 1\nr 0 a\nr 0 b\ne 0 0 1\n",
+		"unknown record":     "coo 2 1 1\nx 0 0 1\n",
+		"short edge":         "coo 2 1 1\ne 0 0\n",
+		"no edges":           "coo 2 1 1\nl 0 0\n",
+		"empty rel name":     "coo 2 1 1\nr 0 !\ne 0 0 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCOO(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted, want error", name)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// NMI returns the normalized mutual information between the predicted
+// and true labelings, restricted to indices where mask is true (nil mask
+// = all positions); truth entries of −1 (unlabelled) are skipped, like
+// Accuracy. Normalization is by the arithmetic mean of the two entropies
+// (the common "NMI_sum" variant: 2·I(P;T)/(H(P)+H(T))). Degenerate
+// cases follow the usual clustering-metric conventions: if both sides
+// are single-cluster the score is 1 (perfect agreement carries no
+// information but no disagreement either); if exactly one side is
+// single-cluster the score is 0; an empty evaluation set scores 0.
+func NMI(pred, truth []int, mask []bool) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("eval: NMI length mismatch %d vs %d", len(pred), len(truth)))
+	}
+	joint := map[[2]int]float64{}
+	pCount := map[int]float64{}
+	tCount := map[int]float64{}
+	n := 0.0
+	for i := range pred {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		if truth[i] < 0 {
+			continue
+		}
+		joint[[2]int{pred[i], truth[i]}]++
+		pCount[pred[i]]++
+		tCount[truth[i]]++
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	hp := entropy(pCount, n)
+	ht := entropy(tCount, n)
+	if hp == 0 && ht == 0 {
+		return 1
+	}
+	if hp == 0 || ht == 0 {
+		return 0
+	}
+	mi := 0.0
+	for pt, c := range joint {
+		pxy := c / n
+		px := pCount[pt[0]] / n
+		py := tCount[pt[1]] / n
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	if mi < 0 { // float round-off on independent labelings
+		mi = 0
+	}
+	return 2 * mi / (hp + ht)
+}
+
+func entropy(counts map[int]float64, n float64) float64 {
+	h := 0.0
+	for _, c := range counts {
+		p := c / n
+		h -= p * math.Log(p)
+	}
+	return h
+}

@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNMIPerfectAndPermuted(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	if got := NMI(truth, truth, nil); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI(identical) = %v, want 1", got)
+	}
+	// NMI is invariant under relabeling: a pure permutation of cluster
+	// ids is still a perfect match.
+	perm := []int{2, 2, 0, 0, 1, 1}
+	if got := NMI(perm, truth, nil); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI(permuted) = %v, want 1", got)
+	}
+}
+
+func TestNMIIndependent(t *testing.T) {
+	// A prediction that is constant carries no information.
+	truth := []int{0, 1, 0, 1}
+	if got := NMI([]int{0, 0, 0, 0}, truth, nil); got != 0 {
+		t.Errorf("NMI(constant pred) = %v, want 0", got)
+	}
+	// Perfectly balanced independence: every (pred, truth) cell equally
+	// likely → MI 0.
+	pred := []int{0, 1, 0, 1}
+	indep := []int{0, 0, 1, 1}
+	if got := NMI(pred, indep, nil); math.Abs(got) > 1e-12 {
+		t.Errorf("NMI(independent) = %v, want 0", got)
+	}
+}
+
+func TestNMIKnownValue(t *testing.T) {
+	// Hand-computed 2×2 case: pred splits {a,a,b,b}, truth {a,b,b,b}.
+	// H(P) = ln 2, H(T) = -(1/4)ln(1/4)-(3/4)ln(3/4),
+	// I = Σ pxy ln(pxy/(px py)) over cells (0,0)=1/4, (0,1)=1/4, (1,1)=1/2.
+	pred := []int{0, 0, 1, 1}
+	truth := []int{0, 1, 1, 1}
+	hp := math.Log(2)
+	ht := -(0.25*math.Log(0.25) + 0.75*math.Log(0.75))
+	mi := 0.25*math.Log(0.25/(0.5*0.25)) +
+		0.25*math.Log(0.25/(0.5*0.75)) +
+		0.5*math.Log(0.5/(0.5*0.75))
+	want := 2 * mi / (hp + ht)
+	if got := NMI(pred, truth, nil); math.Abs(got-want) > 1e-12 {
+		t.Errorf("NMI = %v, want %v", got, want)
+	}
+}
+
+func TestNMIMaskAndUnlabelled(t *testing.T) {
+	pred := []int{0, 1, 9, 9}
+	truth := []int{0, 1, -1, 2}
+	mask := []bool{true, true, true, false}
+	// Position 2 is unlabelled, position 3 masked out → the evaluated
+	// pairs are a perfect two-cluster match.
+	if got := NMI(pred, truth, mask); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI(masked) = %v, want 1", got)
+	}
+	if got := NMI(nil, nil, nil); got != 0 {
+		t.Errorf("NMI(empty) = %v, want 0", got)
+	}
+	if got := NMI([]int{3, 3}, []int{1, 1}, nil); got != 1 {
+		t.Errorf("NMI(single cluster both) = %v, want 1", got)
+	}
+}
+
+func TestNMIBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		pred := make([]int, n)
+		truth := make([]int, n)
+		for i := range pred {
+			pred[i] = rng.Intn(4)
+			truth[i] = rng.Intn(3)
+		}
+		got := NMI(pred, truth, nil)
+		if got < 0 || got > 1+1e-12 || math.IsNaN(got) {
+			t.Fatalf("NMI out of [0,1]: %v (pred %v truth %v)", got, pred, truth)
+		}
+	}
+}
+
+func TestNMIPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	NMI([]int{0}, []int{0, 1}, nil)
+}

@@ -1,0 +1,191 @@
+package experiments
+
+// Golden-file regression tests: fixed-seed solves of shrunk DBLP and
+// Movies networks, compared field by field against checked-in fixtures
+// under testdata/golden/. The stationary scores are the sensitive part —
+// any kernel or ordering change that moves a score by more than 1e-9
+// fails here, before it can silently shift the paper's tables. Regenerate
+// the fixtures after an intentional numerical change with
+//
+//	go test ./internal/experiments/ -run TestGolden -update
+//
+// and review the diff like any other code change.
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tmark/internal/dataset"
+	"tmark/internal/eval"
+	"tmark/internal/hin"
+	"tmark/internal/tmark"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden fixtures under testdata/golden/")
+
+const goldenScoreTol = 1e-9
+
+// goldenLink is one entry of a stored link-type ranking.
+type goldenLink struct {
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// goldenDoc is the stored outcome of one fixed-seed solve.
+type goldenDoc struct {
+	Dataset    string                  `json:"dataset"`
+	Accuracy   float64                 `json:"accuracy"`
+	NMI        float64                 `json:"nmi"`
+	Iterations int                     `json:"iterations"`
+	Converged  bool                    `json:"converged"`
+	Links      map[string][]goldenLink `json:"links"`  // top-k per class
+	Scores     map[string][]float64    `json:"scores"` // stationary x per class
+}
+
+// goldenCase builds one deterministic solve: generate, split 30% train,
+// mask, solve with Workers=1, measure against the held-out truth.
+func goldenCase(t *testing.T, name string, g *hin.Graph) *goldenDoc {
+	t.Helper()
+	split := eval.StratifiedSplit(g, 0.3, rand.New(rand.NewSource(17)))
+	masked, truth := eval.MaskLabels(g, split)
+	cfg := tmark.DefaultConfig()
+	cfg.Workers = 1
+	model, err := tmark.New(masked, cfg)
+	if err != nil {
+		t.Fatalf("%s: tmark.New: %v", name, err)
+	}
+	res := model.Run()
+	pred := res.Predict()
+	primary := eval.PrimaryTruth(truth)
+	doc := &goldenDoc{
+		Dataset:    name,
+		Accuracy:   eval.Accuracy(pred, primary, split.Test),
+		NMI:        eval.NMI(pred, primary, split.Test),
+		Iterations: res.MaxIterations(),
+		Converged:  res.Converged(),
+		Links:      map[string][]goldenLink{},
+		Scores:     map[string][]float64{},
+	}
+	const topK = 3
+	for c, class := range g.Classes {
+		ranked := res.LinkRanking(c)
+		k := topK
+		if k > len(ranked) {
+			k = len(ranked)
+		}
+		links := make([]goldenLink, k)
+		for i, rs := range ranked[:k] {
+			links[i] = goldenLink{Name: g.Relations[rs.Relation].Name, Score: rs.Score}
+		}
+		doc.Links[class] = links
+		doc.Scores[class] = res.Classes[c].X
+	}
+	return doc
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".json")
+}
+
+func compareGolden(t *testing.T, got *goldenDoc) {
+	t.Helper()
+	path := goldenPath(got.Dataset)
+	if *updateGolden {
+		out, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture %s (run with -update to create): %v", path, err)
+	}
+	var want goldenDoc
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	if got.Iterations != want.Iterations || got.Converged != want.Converged {
+		t.Errorf("%s: iterations/converged %d/%v, want %d/%v",
+			got.Dataset, got.Iterations, got.Converged, want.Iterations, want.Converged)
+	}
+	if math.Abs(got.Accuracy-want.Accuracy) > goldenScoreTol {
+		t.Errorf("%s: accuracy %v, want %v", got.Dataset, got.Accuracy, want.Accuracy)
+	}
+	if math.Abs(got.NMI-want.NMI) > goldenScoreTol {
+		t.Errorf("%s: NMI %v, want %v", got.Dataset, got.NMI, want.NMI)
+	}
+	for class, wantLinks := range want.Links {
+		gotLinks := got.Links[class]
+		if len(gotLinks) != len(wantLinks) {
+			t.Errorf("%s/%s: %d ranked links, want %d", got.Dataset, class, len(gotLinks), len(wantLinks))
+			continue
+		}
+		for i := range wantLinks {
+			if gotLinks[i].Name != wantLinks[i].Name {
+				t.Errorf("%s/%s: rank %d is %q, want %q", got.Dataset, class, i, gotLinks[i].Name, wantLinks[i].Name)
+			}
+			if math.Abs(gotLinks[i].Score-wantLinks[i].Score) > goldenScoreTol {
+				t.Errorf("%s/%s: rank %d score %v, want %v (drift %g)",
+					got.Dataset, class, i, gotLinks[i].Score, wantLinks[i].Score,
+					gotLinks[i].Score-wantLinks[i].Score)
+			}
+		}
+	}
+	for class, wantX := range want.Scores {
+		gotX := got.Scores[class]
+		if len(gotX) != len(wantX) {
+			t.Errorf("%s/%s: %d scores, want %d", got.Dataset, class, len(gotX), len(wantX))
+			continue
+		}
+		worst, at := 0.0, -1
+		for i := range wantX {
+			if d := math.Abs(gotX[i] - wantX[i]); d > worst {
+				worst, at = d, i
+			}
+		}
+		if worst > goldenScoreTol {
+			t.Errorf("%s/%s: score drift %g at node %d (tolerance %g)",
+				got.Dataset, class, worst, at, goldenScoreTol)
+		}
+	}
+}
+
+// goldenDBLP is a shrunk fixed-seed DBLP network: small enough that the
+// fixture stays reviewable, structured enough that the link ranking is
+// meaningful (home conferences above the cross-area noise venues).
+func goldenDBLP() *hin.Graph {
+	cfg := dataset.DefaultDBLPConfig(5)
+	cfg.AuthorsPerArea = 30
+	cfg.CrossAttendance = 20
+	return dataset.DBLP(cfg)
+}
+
+// goldenMovies is a shrunk fixed-seed Movies network (the sparse-link
+// regime the EMR ensemble experiments stress).
+func goldenMovies() *hin.Graph {
+	cfg := dataset.DefaultMoviesConfig(5)
+	cfg.MoviesPerGenre = 25
+	cfg.Directors = 30
+	return dataset.Movies(cfg)
+}
+
+func TestGoldenDBLP(t *testing.T) {
+	compareGolden(t, goldenCase(t, "dblp", goldenDBLP()))
+}
+
+func TestGoldenMovies(t *testing.T) {
+	compareGolden(t, goldenCase(t, "movies", goldenMovies()))
+}

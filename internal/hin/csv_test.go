@@ -1,0 +1,32 @@
+package hin
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadEdgeCSVRejectsNonFiniteWeights pins the fix for the NaN hole:
+// strconv.ParseFloat happily parses "NaN" and "Inf", and `weight <= 0`
+// is false for NaN, so without an explicit finiteness check those
+// weights used to flow straight into the graph.
+func TestReadEdgeCSVRejectsNonFiniteWeights(t *testing.T) {
+	for _, w := range []string{"NaN", "nan", "+Inf", "-Inf", "Infinity", "1e999", "0", "-1", "-0"} {
+		in := "from,to,relation,weight\na,b,r," + w
+		if _, err := ReadEdgeCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("weight %q accepted, want error", w)
+		} else if !strings.Contains(err.Error(), "weight") {
+			t.Errorf("weight %q: error %v does not mention the weight", w, err)
+		}
+	}
+}
+
+func TestReadEdgeCSVAcceptsFiniteWeights(t *testing.T) {
+	in := "from,to,relation,weight\na,b,r,0.25\nb,c,r,3"
+	g, err := ReadEdgeCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadEdgeCSV: %v", err)
+	}
+	if g.N() != 3 {
+		t.Fatalf("N = %d, want 3", g.N())
+	}
+}

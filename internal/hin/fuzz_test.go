@@ -2,6 +2,7 @@ package hin
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -44,6 +45,11 @@ func FuzzReadEdgeCSV(f *testing.F) {
 	f.Add("from,to,relation\nx,y,z")
 	f.Add("bad,header,here\n1,2,3")
 	f.Add("from,to,relation,weight\na,b,r,nope")
+	f.Add("from,to,relation,weight\na,b,r,NaN")
+	f.Add("from,to,relation,weight\na,b,r,+Inf")
+	f.Add("from,to,relation,weight\na,b,r,-Inf")
+	f.Add("from,to,relation,weight\na,b,r,1e999")
+	f.Add("from,to,relation,weight\na,b,r,-0")
 	f.Add("")
 	f.Fuzz(func(t *testing.T, data string) {
 		defer func() {
@@ -60,6 +66,15 @@ func FuzzReadEdgeCSV(f *testing.F) {
 		}
 		if vErr := g.Validate(); vErr != nil {
 			t.Fatalf("ReadEdgeCSV returned invalid graph: %v", vErr)
+		}
+		// Every edge weight of an accepted graph must be positive and
+		// finite — NaN/Inf must have been rejected at parse time.
+		for k := range g.Relations {
+			for _, e := range g.Relations[k].Edges {
+				if math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) || e.Weight <= 0 {
+					t.Fatalf("accepted graph carries weight %v on relation %q", e.Weight, g.Relations[k].Name)
+				}
+			}
 		}
 	})
 }

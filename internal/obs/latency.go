@@ -1,0 +1,101 @@
+package obs
+
+// Latency is a sliding-window quantile estimator for request latencies:
+// a fixed-size ring of the most recent observations, queried by
+// nearest-rank quantile. The window keeps the estimate responsive to the
+// current load (a histogram over the process lifetime would smear a
+// latency regression across hours of old traffic) while bounding memory
+// and keeping Observe O(1). Quantile sorts a copy of the window, so it
+// is meant for scrape-time gauges (a few calls per scrape), not hot
+// paths.
+//
+// Like the other instruments, a nil *Latency is a valid no-op receiver.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultLatencyWindow is the ring size used when NewLatency is given a
+// non-positive window.
+const DefaultLatencyWindow = 1024
+
+// Latency records durations into a bounded ring and reports windowed
+// quantiles. Safe for concurrent use.
+type Latency struct {
+	mu    sync.Mutex
+	ring  []float64 // seconds
+	next  int
+	full  bool
+	count int64
+	sort  []float64 // scratch for Quantile
+}
+
+// NewLatency builds a Latency over the most recent window observations.
+func NewLatency(window int) *Latency {
+	if window <= 0 {
+		window = DefaultLatencyWindow
+	}
+	return &Latency{ring: make([]float64, window)}
+}
+
+// Observe records one duration. Nil-safe.
+func (l *Latency) Observe(d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.ring[l.next] = d.Seconds()
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	l.count++
+	l.mu.Unlock()
+}
+
+// Count reports the total number of observations, including those that
+// have rotated out of the window. Nil-safe.
+func (l *Latency) Count() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Quantile reports the nearest-rank p-quantile (p in [0, 1]) over the
+// current window, in seconds. It returns 0 when nothing has been
+// observed. Nil-safe.
+func (l *Latency) Quantile(p float64) float64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.ring)
+	}
+	if n == 0 {
+		return 0
+	}
+	l.sort = append(l.sort[:0], l.ring[:n]...)
+	sort.Float64s(l.sort)
+	if p <= 0 {
+		return l.sort[0]
+	}
+	if p >= 1 {
+		return l.sort[n-1]
+	}
+	// Nearest rank: the smallest value with at least p·n observations at
+	// or below it.
+	rank := int(p * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	return l.sort[rank]
+}

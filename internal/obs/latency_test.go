@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyNilSafe(t *testing.T) {
+	var l *Latency
+	l.Observe(time.Second)
+	if l.Quantile(0.5) != 0 || l.Count() != 0 {
+		t.Fatalf("nil Latency should read as zero")
+	}
+}
+
+func TestLatencyEmpty(t *testing.T) {
+	l := NewLatency(8)
+	if got := l.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	l := NewLatency(100)
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want float64 // seconds
+	}{
+		{0, 0.001},
+		{0.5, 0.051},
+		{0.99, 0.100},
+		{1, 0.100},
+	}
+	for _, c := range cases {
+		if got := l.Quantile(c.p); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if l.Count() != 100 {
+		t.Errorf("Count = %d, want 100", l.Count())
+	}
+}
+
+// TestLatencyWindowRotation: old observations fall out of the window,
+// so the quantiles track only the recent past.
+func TestLatencyWindowRotation(t *testing.T) {
+	l := NewLatency(10)
+	for i := 0; i < 10; i++ {
+		l.Observe(time.Hour) // ancient, slow
+	}
+	for i := 0; i < 10; i++ {
+		l.Observe(time.Millisecond) // recent, fast
+	}
+	if got := l.Quantile(0.99); got != 0.001 {
+		t.Fatalf("p99 after rotation = %v, want 0.001", got)
+	}
+	if l.Count() != 20 {
+		t.Fatalf("Count = %d, want 20", l.Count())
+	}
+}
+
+func TestLatencyDefaultWindow(t *testing.T) {
+	l := NewLatency(0)
+	l.Observe(time.Second)
+	if got := l.Quantile(0.5); got != 1 {
+		t.Fatalf("Quantile = %v, want 1", got)
+	}
+}
+
+// TestLatencyConcurrent exercises Observe/Quantile under the race
+// detector.
+func TestLatencyConcurrent(t *testing.T) {
+	l := NewLatency(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Observe(time.Duration(i) * time.Microsecond)
+				_ = l.Quantile(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Count() != 1600 {
+		t.Fatalf("Count = %d, want 1600", l.Count())
+	}
+}

@@ -1,0 +1,157 @@
+// Package serve implements tmarkd's HTTP layer: a warm-model cache over
+// immutable T-Mark models (the normalized tensors O and R and the feature
+// matrix W are fixed per dataset + hyperparameters — only the restart
+// vector changes per request) and a request coalescer that batches
+// concurrent /classify queries against the same warm model into one
+// blocked lockstep solve.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MaxSeeds bounds the seed list of one request; a query naming more
+// seeds than this is rejected before any work happens.
+const MaxSeeds = 1 << 20
+
+// ClassifyRequest is the wire form of one /classify query: a seed node
+// set (the restart set of eq. 11) plus optional hyperparameter overrides.
+// Overridden hyperparameters select a different warm model from the
+// cache; requests that share dataset and hyperparameters share a model
+// and can coalesce into one lockstep solve.
+type ClassifyRequest struct {
+	// Dataset names the loaded dataset to query; empty selects the
+	// server's default dataset.
+	Dataset string `json:"dataset,omitempty"`
+	// Seeds are the node indices of the query's restart set.
+	Seeds []int `json:"seeds"`
+	// ICA enables the per-query self-training reseed (the query's seed
+	// set plays the role of the labelled set).
+	ICA bool `json:"ica,omitempty"`
+	// Scores requests the full per-node score vector in the response.
+	Scores bool `json:"scores,omitempty"`
+	// TopNodes bounds the ranked node list (default 10 when Scores is
+	// unset, 0 otherwise).
+	TopNodes int `json:"top_nodes,omitempty"`
+	// TopLinks bounds the link-type ranking (default: all link types).
+	TopLinks int `json:"top_links,omitempty"`
+
+	// Hyperparameter overrides; nil keeps the server's base value.
+	Alpha         *float64 `json:"alpha,omitempty"`
+	Gamma         *float64 `json:"gamma,omitempty"`
+	Lambda        *float64 `json:"lambda,omitempty"`
+	Epsilon       *float64 `json:"epsilon,omitempty"`
+	MaxIterations *int     `json:"max_iterations,omitempty"`
+}
+
+// DecodeClassifyRequest parses and validates one /classify body. It is
+// strict — unknown fields, trailing data, non-finite numbers (which
+// encoding/json already rejects) and malformed seed lists all error —
+// and it never panics, whatever the input: it is fuzzed.
+func DecodeClassifyRequest(r io.Reader) (*ClassifyRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req ClassifyRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("serve: decode request: %w", err)
+	}
+	// A second document (or any trailing token) means the body was not
+	// one JSON object.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, errors.New("serve: trailing data after request object")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate checks the request's model-independent invariants; the
+// server checks seed indices against the dataset's node count later.
+func (r *ClassifyRequest) Validate() error {
+	if len(r.Seeds) == 0 {
+		return errors.New("serve: request needs at least one seed node")
+	}
+	if len(r.Seeds) > MaxSeeds {
+		return fmt.Errorf("serve: %d seeds exceeds the limit %d", len(r.Seeds), MaxSeeds)
+	}
+	for _, s := range r.Seeds {
+		if s < 0 {
+			return fmt.Errorf("serve: negative seed %d", s)
+		}
+	}
+	if r.TopNodes < 0 || r.TopLinks < 0 {
+		return errors.New("serve: top_nodes and top_links must be non-negative")
+	}
+	for name, p := range map[string]*float64{
+		"alpha": r.Alpha, "gamma": r.Gamma, "lambda": r.Lambda, "epsilon": r.Epsilon,
+	} {
+		if p != nil && (math.IsNaN(*p) || math.IsInf(*p, 0)) {
+			return fmt.Errorf("serve: %s must be finite", name)
+		}
+	}
+	if r.MaxIterations != nil && *r.MaxIterations <= 0 {
+		return errors.New("serve: max_iterations must be positive")
+	}
+	return nil
+}
+
+// NodeScore is one entry of the ranked node list.
+type NodeScore struct {
+	Node  int     `json:"node"`
+	Name  string  `json:"name,omitempty"`
+	Score float64 `json:"score"`
+}
+
+// LinkScore is one entry of the link-type ranking: the stationary
+// probability z̄_k measuring relation k's importance to the query class.
+type LinkScore struct {
+	Relation int     `json:"relation"`
+	Name     string  `json:"name,omitempty"`
+	Score    float64 `json:"score"`
+}
+
+// ClassifyResponse is the wire form of one /classify answer. Scores are
+// emitted through encoding/json's shortest-round-trip float formatting,
+// so the decoded float64 values are bitwise identical to the solver's.
+type ClassifyResponse struct {
+	Dataset    string  `json:"dataset"`
+	Seeds      int     `json:"seeds"`
+	Iterations int     `json:"iterations"`
+	Converged  bool    `json:"converged"`
+	Residual   float64 `json:"residual,omitempty"`
+	// Stopped carries the cancellation error of a drained or cancelled
+	// query; the scores are then the last completed iteration's state —
+	// a usable partial solution.
+	Stopped string `json:"stopped,omitempty"`
+	// Coalesced is the width of the lockstep batch this query rode in
+	// (1 = it ran alone).
+	Coalesced int         `json:"coalesced"`
+	Scores    []float64   `json:"scores,omitempty"`
+	TopNodes  []NodeScore `json:"top_nodes,omitempty"`
+	Links     []LinkScore `json:"links,omitempty"`
+}
+
+// ClassRanking is one class's slice of a /rank answer.
+type ClassRanking struct {
+	Class     int         `json:"class"`
+	Name      string      `json:"name,omitempty"`
+	Converged bool        `json:"converged"`
+	Links     []LinkScore `json:"links"`
+}
+
+// RankResponse is the wire form of a /rank answer: the per-class
+// link-type rankings of the dataset's own labelled classes.
+type RankResponse struct {
+	Dataset string         `json:"dataset"`
+	Classes []ClassRanking `json:"classes"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

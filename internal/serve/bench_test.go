@@ -1,0 +1,64 @@
+package serve
+
+// The serving-throughput benchmark behind BENCH_4.json: q = 8 concurrent
+// single-class queries against one shared warm model, coalesced into one
+// SolveColumns lockstep batch versus solved one SolveColumn at a time —
+// the uncoalesced-serving baseline, which re-streams the tensors once
+// per query. Epsilon is unreachable and MaxIterations fixed so both
+// sides perform identical iteration counts; Workers is pinned to 1 so
+// the ratio isolates the coalescing, not pool scheduling.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"tmark/internal/tmark"
+)
+
+func BenchmarkCoalescedServing(b *testing.B) {
+	const q = 8
+	for _, n := range []int{700, 7000} {
+		g := testGraph(n)
+		cfg := tmark.DefaultConfig()
+		cfg.Workers = 1
+		cfg.ICAUpdate = false
+		cfg.Gamma = 0 // tensor-streaming dominated, like production HINs
+		cfg.Epsilon = 1e-300
+		cfg.MaxIterations = 30
+		model, err := tmark.New(g, cfg)
+		if err != nil {
+			b.Fatalf("tmark.New: %v", err)
+		}
+		queries := make([]tmark.ColumnQuery, q)
+		for i := range queries {
+			queries[i] = tmark.ColumnQuery{Seeds: classSeeds(g, i%g.Q())}
+		}
+		ctx := context.Background()
+
+		b.Run(fmt.Sprintf("mode=coalesced/n=%d/q=%d", n, q), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := model.SolveColumns(ctx, queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportQueriesPerSec(b, q)
+		})
+		b.Run(fmt.Sprintf("mode=uncoalesced/n=%d/q=%d", n, q), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, query := range queries {
+					if _, err := model.SolveColumn(ctx, query); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			reportQueriesPerSec(b, q)
+		})
+	}
+}
+
+func reportQueriesPerSec(b *testing.B, q int) {
+	b.ReportMetric(float64(q)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}

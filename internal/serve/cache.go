@@ -1,0 +1,197 @@
+package serve
+
+// The warm-model cache. Building a T-Mark model normalizes the
+// adjacency tensor into O and R and materialises the feature matrix W —
+// work worth doing once per (dataset, hyperparameters) pair, after which
+// the model is immutable and serves any number of concurrent queries.
+// The cache is LRU-bounded: hyperparameter overrides mint new keys, and
+// without a bound a scan over (say) alpha values would pin one model
+// per step forever. Each entry owns the coalescer batching requests
+// against its model; eviction retires the coalescer gracefully (accepted
+// work finishes at full quality) while new requests rebuild the entry.
+
+import (
+	"container/list"
+	"sync"
+
+	"tmark/internal/tmark"
+)
+
+// modelKey identifies one warm model: the dataset plus the full
+// hyperparameter set. tmark.Config is a flat comparable struct, so the
+// key works directly as a map key.
+type modelKey struct {
+	dataset string
+	cfg     tmark.Config
+}
+
+// warmModel is one cache entry. ready is closed once the build finished
+// (successfully or not); concurrent requests for the same key wait on it
+// instead of building twice.
+type warmModel struct {
+	key   modelKey
+	ready chan struct{}
+	model *tmark.Model
+	coal  *coalescer
+	err   error
+	elem  *list.Element
+
+	// The full multi-class solve backing /rank, computed lazily at most
+	// once per warm model.
+	fullOnce sync.Once
+	full     *tmark.Result
+}
+
+// fullResult lazily runs the full multi-class solve for /rank. The
+// model's own ICA setting applies here (this is the dataset's real
+// class structure, where the cross-class reseed is meaningful).
+func (e *warmModel) fullResult() *tmark.Result {
+	e.fullOnce.Do(func() {
+		e.full = e.model.RunContext(e.coal.solveCtx)
+	})
+	return e.full
+}
+
+// modelCache is the LRU map of warm models.
+type modelCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[modelKey]*warmModel
+	order    *list.List // front = most recently used
+	build    func(modelKey) (*tmark.Model, error)
+	newCoal  func(*tmark.Model) *coalescer
+	met      *metrics
+}
+
+func newModelCache(capacity int, build func(modelKey) (*tmark.Model, error), newCoal func(*tmark.Model) *coalescer, met *metrics) *modelCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &modelCache{
+		capacity: capacity,
+		entries:  make(map[modelKey]*warmModel),
+		order:    list.New(),
+		build:    build,
+		newCoal:  newCoal,
+		met:      met,
+	}
+}
+
+// get returns the ready warm model for key, building it on a miss. The
+// build runs outside the cache lock (models can be expensive), with
+// duplicate requests for the same key waiting on the first builder.
+// Failed builds are not cached: the placeholder is removed so a later
+// request can retry.
+func (c *modelCache) get(key modelKey) (*warmModel, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.order.MoveToFront(e.elem)
+		c.mu.Unlock()
+		if c.met != nil {
+			c.met.cacheHits.Inc()
+		}
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e, nil
+	}
+	e := &warmModel{key: key, ready: make(chan struct{})}
+	e.elem = c.order.PushFront(e)
+	c.entries[key] = e
+	var evicted []*warmModel
+	for len(c.entries) > c.capacity {
+		back := c.order.Back()
+		old := back.Value.(*warmModel)
+		c.order.Remove(back)
+		delete(c.entries, old.key)
+		evicted = append(evicted, old)
+	}
+	c.mu.Unlock()
+	if c.met != nil {
+		c.met.cacheMisses.Inc()
+	}
+	for _, old := range evicted {
+		if c.met != nil {
+			c.met.cacheEvictions.Inc()
+		}
+		// Retire asynchronously: the evicted coalescer finishes its
+		// accepted work before going away, and a slow drain must not
+		// stall the request that triggered the eviction.
+		go func(old *warmModel) {
+			<-old.ready
+			if old.coal != nil {
+				old.coal.stop(false)
+			}
+		}(old)
+	}
+
+	model, err := c.build(key)
+	if err != nil {
+		e.err = err
+		close(e.ready)
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+			c.order.Remove(e.elem)
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	e.model = model
+	e.coal = c.newCoal(model)
+	close(e.ready)
+	return e, nil
+}
+
+// snapshot returns the current entries without touching LRU order.
+func (c *modelCache) snapshot() []*warmModel {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*warmModel, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	return out
+}
+
+// queueDepth sums the admission-queue lengths of every ready entry —
+// the tmarkd_queue_depth gauge.
+func (c *modelCache) queueDepth() int {
+	total := 0
+	for _, e := range c.snapshot() {
+		select {
+		case <-e.ready:
+			if e.coal != nil {
+				total += e.coal.depth()
+			}
+		default:
+		}
+	}
+	return total
+}
+
+// drainAll stops every coalescer, cancelling in-flight solves so each
+// pending request completes within one solver iteration. It blocks until
+// every dispatcher has answered its queue and exited.
+func (c *modelCache) drainAll() {
+	var wg sync.WaitGroup
+	for _, e := range c.snapshot() {
+		wg.Add(1)
+		go func(e *warmModel) {
+			defer wg.Done()
+			<-e.ready
+			if e.coal != nil {
+				e.coal.stop(true)
+			}
+		}(e)
+	}
+	wg.Wait()
+}
+
+// size reports the current entry count.
+func (c *modelCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,59 @@
+package serve
+
+// Fuzzing for the /classify request decoder: whatever the body bytes,
+// DecodeClassifyRequest must either return a validated request or an
+// error — never panic, and never accept a request that fails its own
+// Validate. Additional seed inputs live in
+// testdata/fuzz/FuzzDecodeClassifyRequest.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzDecodeClassifyRequest(f *testing.F) {
+	seeds := []string{
+		`{"seeds":[0,1,2]}`,
+		`{"seeds":[5],"dataset":"dblp","ica":true,"scores":true}`,
+		`{"seeds":[1],"alpha":0.8,"gamma":0.6,"lambda":0.7,"epsilon":1e-8,"max_iterations":100}`,
+		`{"seeds":[3,3,3],"top_nodes":5,"top_links":2}`,
+		`{"seeds":[]}`,
+		`{"seeds":[-1]}`,
+		`{"seeds":[1],"alpha":1e999}`,
+		`{"seeds":[1],"unknown":"field"}`,
+		`{"seeds":[1]} trailing`,
+		`{`,
+		``,
+		`null`,
+		`[1,2,3]`,
+		`{"seeds":[9007199254740993]}`,
+		"{\"seeds\":[1],\"dataset\":\"\\u0000\xff\"}",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeClassifyRequest(bytes.NewReader(data))
+		if err != nil {
+			if req != nil {
+				t.Fatalf("error %v returned alongside a request", err)
+			}
+			return
+		}
+		if req == nil {
+			t.Fatalf("nil request without error")
+		}
+		// Anything the decoder accepts must satisfy its own invariants.
+		if err := req.Validate(); err != nil {
+			t.Fatalf("decoded request fails validation: %v", err)
+		}
+		if len(req.Seeds) == 0 {
+			t.Fatalf("decoded request has no seeds")
+		}
+		for _, s := range req.Seeds {
+			if s < 0 {
+				t.Fatalf("decoded request kept negative seed %d", s)
+			}
+		}
+	})
+}

@@ -1,0 +1,457 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tmark/internal/hin"
+	"tmark/internal/obs"
+	"tmark/internal/tmark"
+)
+
+// Defaults for the zero values of Options.
+const (
+	DefaultCacheSize     = 4
+	DefaultMaxBatch      = 8
+	DefaultQueueDepth    = 64
+	DefaultMaxConcurrent = 2
+	DefaultMaxBodyBytes  = 1 << 20
+	DefaultTopNodes      = 10
+)
+
+// Options configures a Server. Datasets is the only required field.
+type Options struct {
+	// Datasets maps dataset names to loaded graphs. The graphs must be
+	// fully built (a model is constructed from each on first use) and
+	// must not be mutated afterwards.
+	Datasets map[string]*hin.Graph
+	// Default names the dataset used by requests that name none. It may
+	// stay empty when exactly one dataset is loaded.
+	Default string
+	// Config is the base hyperparameter set; the zero value means
+	// tmark.DefaultConfig(). Per-request overrides derive new cache keys
+	// from it.
+	Config tmark.Config
+	// CacheSize bounds the warm-model LRU cache (default 4).
+	CacheSize int
+	// MaxBatch bounds the width of one coalesced lockstep solve
+	// (default 8).
+	MaxBatch int
+	// QueueDepth bounds the per-model admission queue; a full queue
+	// rejects with 503 (default 64).
+	QueueDepth int
+	// MaxConcurrent bounds how many batch solves run at once across all
+	// warm models (default 2).
+	MaxConcurrent int
+	// MaxBodyBytes bounds a /classify request body (default 1 MiB).
+	MaxBodyBytes int64
+	// Registry receives the serving metrics and backs /metrics, /vars
+	// and /debug/pprof; nil means obs.Default().
+	Registry *obs.Registry
+}
+
+// Server is the tmarkd HTTP service: one mux serving /classify, /rank,
+// /healthz, /readyz plus the obs metrics and pprof endpoints, over a
+// warm-model cache with per-model request coalescers.
+type Server struct {
+	opts  Options
+	cache *modelCache
+	met   *metrics
+	mux   *http.ServeMux
+	// slots is the server-wide solve semaphore shared by every
+	// coalescer (capacity MaxConcurrent); tests pre-fill it to hold
+	// batches at a deterministic point.
+	slots chan struct{}
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+}
+
+// metrics is the request-level instrument set of one server.
+type metrics struct {
+	requests       *obs.Counter
+	errors         *obs.Counter
+	rejected       *obs.Counter
+	canceled       *obs.Counter
+	batches        *obs.Counter
+	batchedReqs    *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	latency        *obs.Latency
+	batchTime      *obs.Timer
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		requests:       reg.Counter("tmarkd_requests_total"),
+		errors:         reg.Counter("tmarkd_errors_total"),
+		rejected:       reg.Counter("tmarkd_rejected_total"),
+		canceled:       reg.Counter("tmarkd_canceled_total"),
+		batches:        reg.Counter("tmarkd_batches_total"),
+		batchedReqs:    reg.Counter("tmarkd_batched_requests_total"),
+		cacheHits:      reg.Counter("tmarkd_cache_hits_total"),
+		cacheMisses:    reg.Counter("tmarkd_cache_misses_total"),
+		cacheEvictions: reg.Counter("tmarkd_cache_evictions_total"),
+		latency:        obs.NewLatency(0),
+		batchTime:      reg.Timer("tmarkd_batch_solve"),
+	}
+}
+
+// observeBatch records one completed lockstep batch: width requests
+// solved together in d.
+func (m *metrics) observeBatch(width int, d time.Duration) {
+	m.batches.Inc()
+	m.batchedReqs.Add(int64(width))
+	m.batchTime.Observe(d)
+}
+
+// New builds a Server over the given options.
+func New(opts Options) (*Server, error) {
+	if len(opts.Datasets) == 0 {
+		return nil, errors.New("serve: no datasets loaded")
+	}
+	if opts.Default == "" {
+		if len(opts.Datasets) > 1 {
+			return nil, errors.New("serve: multiple datasets need an explicit default")
+		}
+		for name := range opts.Datasets {
+			opts.Default = name
+		}
+	}
+	if _, ok := opts.Datasets[opts.Default]; !ok {
+		return nil, fmt.Errorf("serve: default dataset %q not loaded", opts.Default)
+	}
+	if opts.Config == (tmark.Config{}) {
+		opts.Config = tmark.DefaultConfig()
+	}
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+
+	s := &Server{opts: opts, met: newMetrics(reg)}
+	slots := make(chan struct{}, opts.MaxConcurrent)
+	s.slots = slots
+	s.cache = newModelCache(opts.CacheSize,
+		func(key modelKey) (*tmark.Model, error) {
+			g, ok := opts.Datasets[key.dataset]
+			if !ok {
+				return nil, fmt.Errorf("serve: unknown dataset %q", key.dataset)
+			}
+			return tmark.New(g, key.cfg)
+		},
+		func(m *tmark.Model) *coalescer {
+			return newCoalescer(m, opts.MaxBatch, opts.QueueDepth, slots, s.met)
+		},
+		s.met)
+
+	reg.SetGauge("tmarkd_queue_depth", func() float64 { return float64(s.cache.queueDepth()) })
+	reg.SetGauge("tmarkd_coalesce_ratio", func() float64 {
+		b := s.met.batches.Load()
+		if b == 0 {
+			return 0
+		}
+		return float64(s.met.batchedReqs.Load()) / float64(b)
+	})
+	reg.SetGauge("tmarkd_classify_latency_p50_seconds", func() float64 { return s.met.latency.Quantile(0.50) })
+	reg.SetGauge("tmarkd_classify_latency_p99_seconds", func() float64 { return s.met.latency.Quantile(0.99) })
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/classify", s.handleClassify)
+	mux.HandleFunc("/rank", s.handleRank)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/vars", reg.JSONHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the server's mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully stops serving: /readyz flips to 503, new queries are
+// rejected, and every in-flight or queued solve is cancelled so each
+// pending request completes (with a usable partial result) within one
+// solver iteration. Drain blocks until every pending request has been
+// answered; shut the HTTP listener down afterwards so the responses
+// flush to their clients.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		s.cache.drainAll()
+	})
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// resolve maps a request's dataset name + overrides onto a warm model.
+func (s *Server) resolve(name string, req *ClassifyRequest) (string, *warmModel, int, error) {
+	if name == "" {
+		name = s.opts.Default
+	}
+	g, ok := s.opts.Datasets[name]
+	if !ok {
+		return name, nil, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name)
+	}
+	cfg := s.opts.Config
+	if req != nil {
+		if req.Alpha != nil {
+			cfg.Alpha = *req.Alpha
+		}
+		if req.Gamma != nil {
+			cfg.Gamma = *req.Gamma
+		}
+		if req.Lambda != nil {
+			cfg.Lambda = *req.Lambda
+		}
+		if req.Epsilon != nil {
+			cfg.Epsilon = *req.Epsilon
+		}
+		if req.MaxIterations != nil {
+			cfg.MaxIterations = *req.MaxIterations
+		}
+		if err := cfg.Validate(); err != nil {
+			return name, nil, http.StatusBadRequest, err
+		}
+		for _, seed := range req.Seeds {
+			if seed >= g.N() {
+				return name, nil, http.StatusBadRequest,
+					fmt.Errorf("seed %d out of range: dataset %q has %d nodes", seed, name, g.N())
+			}
+		}
+	}
+	e, err := s.cache.get(modelKey{dataset: name, cfg: cfg})
+	if err != nil {
+		return name, nil, http.StatusInternalServerError, err
+	}
+	return name, e, http.StatusOK, nil
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.met.requests.Inc()
+	if s.draining.Load() {
+		s.met.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	req, err := DecodeClassifyRequest(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		s.met.errors.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	name, e, status, err := s.resolve(req.Dataset, req)
+	if err != nil {
+		s.met.errors.Inc()
+		writeError(w, status, err.Error())
+		return
+	}
+
+	start := time.Now()
+	res, width, err := e.coal.do(r.Context(), tmark.ColumnQuery{Seeds: req.Seeds, ICA: req.ICA})
+	s.met.latency.Observe(time.Since(start))
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
+		s.met.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		s.met.errors.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if r.Context().Err() != nil {
+		// The client is gone; its column already retired mid-batch.
+		s.met.canceled.Inc()
+		return
+	}
+
+	g := s.opts.Datasets[name]
+	resp := &ClassifyResponse{
+		Dataset:    name,
+		Seeds:      res.Seeds,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Coalesced:  width,
+	}
+	if len(res.Trace) > 0 {
+		resp.Residual = res.Trace[len(res.Trace)-1]
+	}
+	if res.Stopped != nil {
+		resp.Stopped = res.Stopped.Error()
+	}
+	if req.Scores {
+		resp.Scores = res.X
+	}
+	topNodes := req.TopNodes
+	if topNodes == 0 && !req.Scores {
+		topNodes = DefaultTopNodes
+	}
+	resp.TopNodes = topNodeScores(g, res.X, topNodes)
+	resp.Links = linkScores(g, res.Z, req.TopLinks)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.met.requests.Inc()
+	if s.draining.Load() {
+		s.met.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	name, e, status, err := s.resolve(r.URL.Query().Get("dataset"), nil)
+	if err != nil {
+		s.met.errors.Inc()
+		writeError(w, status, err.Error())
+		return
+	}
+	top := 0
+	if v := r.URL.Query().Get("top"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &top); err != nil || top < 0 {
+			s.met.errors.Inc()
+			writeError(w, http.StatusBadRequest, "top must be a non-negative integer")
+			return
+		}
+	}
+	g := s.opts.Datasets[name]
+	full := e.fullResult()
+	resp := &RankResponse{Dataset: name}
+	for c := 0; c < full.Q(); c++ {
+		cr := full.Classes[c]
+		resp.Classes = append(resp.Classes, ClassRanking{
+			Class:     c,
+			Name:      g.Classes[c],
+			Converged: cr.Converged,
+			Links:     linkScores(g, cr.Z, top),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// topNodeScores ranks the nodes by score, descending, ties broken by
+// lower index (matching Result.NodeRanking), truncated to top.
+func topNodeScores(g *hin.Graph, x []float64, top int) []NodeScore {
+	if top <= 0 || len(x) == 0 {
+		return nil
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return x[idx[a]] > x[idx[b]] })
+	if top > len(idx) {
+		top = len(idx)
+	}
+	out := make([]NodeScore, top)
+	for i := 0; i < top; i++ {
+		out[i] = NodeScore{Node: idx[i], Name: g.Nodes[idx[i]].Name, Score: x[idx[i]]}
+	}
+	return out
+}
+
+// linkScores ranks the link types by stationary probability, descending,
+// ties broken by lower index (matching Result.LinkRanking). top <= 0
+// keeps all of them.
+func linkScores(g *hin.Graph, z []float64, top int) []LinkScore {
+	if len(z) == 0 {
+		return nil
+	}
+	idx := make([]int, len(z))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return z[idx[a]] > z[idx[b]] })
+	if top <= 0 || top > len(idx) {
+		top = len(idx)
+	}
+	out := make([]LinkScore, top)
+	for i := 0; i < top; i++ {
+		out[i] = LinkScore{Relation: idx[i], Name: g.Relations[idx[i]].Name, Score: z[idx[i]]}
+	}
+	return out
+}
+
+// ListenAndServe runs the server on addr until ctx is cancelled, then
+// drains and shuts the listener down. It is the wiring used by cmd/tmarkd
+// and the integration tests.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, shutdownTimeout time.Duration) error {
+	httpSrv := &http.Server{Addr: addr, Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	s.Drain()
+	shCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	return httpSrv.Shutdown(shCtx)
+}

@@ -37,7 +37,7 @@ func TestNodeApplyParallelMatchesSerial(t *testing.T) {
 		randomTensor(rng, 17, 1, 90),
 		randomTensor(rng, 40, 6, 10),
 		func() *Tensor { a := New(12, 3); a.Finalize(); return a }(), // all dangling
-		func() *Tensor { a := New(0, 0); a.Finalize(); return a }(), // empty
+		func() *Tensor { a := New(0, 0); a.Finalize(); return a }(),  // empty
 	}
 	for ci, a := range cases {
 		o := NewNodeTransition(a)

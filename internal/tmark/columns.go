@@ -1,0 +1,436 @@
+package tmark
+
+// The per-query (column) solve API of the serving layer. A ColumnQuery is
+// one independent single-class solve: a restart vector (usually uniform
+// over a caller-chosen seed set) iterated through eq. (10) and eq. (8)
+// until convergence. Queries against the same model share O, R and W, so
+// q concurrent queries can advance in lockstep through the blocked
+// SpMM-style kernels of the batched solver — SolveColumns streams every
+// tensor entry once per iteration and applies it to all q query columns,
+// exactly like the multi-class Run does for the graph's own classes.
+//
+// Per column the batched SolveColumns is bitwise identical to the
+// sequential SolveColumn for a fixed worker count: the blocked kernels
+// accumulate each column in single-vector order, the per-column simplex
+// projection and residual mirror vec.Normalize1/Diff1, and retirement
+// (convergence or per-column cancellation) only removes a column's
+// storage, never touching another column's arithmetic. Unlike the
+// multi-class Run, queries are never coupled by the cross-class ICA
+// reseed — eq. (12) is a statement about one prediction matrix over one
+// label set, and independent queries share neither. A query may instead
+// opt into a per-query self-training reseed (ColumnQuery.ICA) whose
+// "labelled" set is the query's own seed set.
+//
+// Each column carries an optional context: the lockstep loop checks it
+// every iteration and retires cancelled columns mid-batch (the same
+// column compaction that retires converged classes), so one impatient
+// caller never stops the rest of the batch. The run-level context still
+// cancels every column at once.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"tmark/internal/vec"
+)
+
+// ColumnQuery describes one independent single-class solve against the
+// model. Exactly one of Seeds and Restart must be set: Seeds lists the
+// node indices of the query's restart set (the restart vector is uniform
+// over them, like eq. (11)); Restart supplies the full-length vector
+// directly (it is copied and L1-normalised; entries must be finite and
+// non-negative with positive total mass).
+type ColumnQuery struct {
+	// Seeds are the node indices of the restart set; duplicates are
+	// tolerated and count once.
+	Seeds []int
+	// Restart is an explicit restart vector of length n, overriding Seeds.
+	Restart vec.Vector
+	// ICA enables the per-query self-training reseed: after each
+	// iteration (from t = 3, like Algorithm 1), non-seed nodes whose
+	// score exceeds Lambda times the best non-seed score join the restart
+	// set. The query's own seed set plays the role of the labelled set.
+	ICA bool
+	// Ctx, when non-nil, cancels this column alone: the lockstep loop
+	// checks it every iteration and retires the column mid-batch with
+	// ColumnResult.Stopped set, leaving the other columns untouched.
+	Ctx context.Context
+}
+
+// ColumnResult is the stationary solution of one query column. X scores
+// the nodes and Z ranks the link types for the query's class, exactly
+// like a ClassResult.
+type ColumnResult struct {
+	X vec.Vector // stationary node distribution x̄ (length n)
+	Z vec.Vector // stationary relation distribution z̄ (length m)
+	// Restart is the final restart vector — the seeds plus any pseudo-
+	// seeds a per-query ICA reseed accepted.
+	Restart    vec.Vector
+	Seeds      int // restart-set size of the query
+	Iterations int
+	Converged  bool
+	Trace      []float64 // ρ_t after each iteration
+	// Stopped is nil when the column converged or hit the iteration cap,
+	// and the context error when the column was cancelled (by its own
+	// Ctx or the run context). A stopped column holds the state of the
+	// last completed iteration, which remains a usable partial solution.
+	Stopped error
+}
+
+// columnState is one validated query: the restart vector, the seed mask
+// of the per-query reseed (nil when ICA is off), and the column context.
+type columnState struct {
+	l      vec.Vector
+	isSeed []bool
+	ctx    context.Context
+	seeds  int
+}
+
+// buildColumnState validates one query against the model's dimensions
+// and materialises its restart vector. The seed path performs exactly
+// the arithmetic of seedVector (ones, then one reciprocal scale), so a
+// query whose seed set equals class c's labelled set reproduces class
+// c's restart vector bitwise.
+func (m *Model) buildColumnState(q ColumnQuery) (columnState, error) {
+	n := m.graph.N()
+	cs := columnState{ctx: q.Ctx}
+	switch {
+	case q.Restart != nil:
+		if len(q.Restart) != n {
+			return cs, fmt.Errorf("tmark: query restart vector length %d, want %d", len(q.Restart), n)
+		}
+		l := vec.New(n)
+		for i, v := range q.Restart {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return cs, fmt.Errorf("tmark: query restart[%d] = %v must be finite and non-negative", i, v)
+			}
+			if v > 0 {
+				cs.seeds++
+			}
+			l[i] = v
+		}
+		if !vec.Normalize1(l) {
+			return cs, fmt.Errorf("tmark: query restart vector has no mass")
+		}
+		cs.l = l
+	case len(q.Seeds) > 0:
+		l := vec.New(n)
+		for _, s := range q.Seeds {
+			if s < 0 || s >= n {
+				return cs, fmt.Errorf("tmark: query seed %d out of range %d", s, n)
+			}
+			if l[s] == 0 {
+				cs.seeds++
+			}
+			l[s] = 1
+		}
+		vec.Scale(1/float64(cs.seeds), l)
+		cs.l = l
+	default:
+		return cs, fmt.Errorf("tmark: query needs seeds or a restart vector")
+	}
+	if q.ICA {
+		cs.isSeed = make([]bool, n)
+		for i, v := range cs.l {
+			if v > 0 {
+				cs.isSeed[i] = true
+			}
+		}
+	}
+	return cs, nil
+}
+
+// columnErr returns the first pending cancellation of the run context or
+// the column's own context.
+func columnErr(runCtx, colCtx context.Context) error {
+	if err := runCtx.Err(); err != nil {
+		return err
+	}
+	if colCtx != nil {
+		if err := colCtx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// queryReseed is the per-query self-training reseed shared by the
+// sequential and batched column paths: non-seed node i joins the restart
+// set when its score clears λ times the best non-seed score. at reads
+// the column's current score of node i, so both layouts (vector and
+// blocked) run the identical float comparisons and the identical
+// renormalisation.
+func queryReseed(lambda float64, isSeed []bool, at func(i int) float64, l vec.Vector) {
+	maxFree := 0.0
+	for i := range l {
+		if v := at(i); !isSeed[i] && v > maxFree {
+			maxFree = v
+		}
+	}
+	threshold := lambda * maxFree
+	count := 0
+	for i := range l {
+		accept := isSeed[i]
+		if !accept && maxFree > 0 {
+			accept = at(i) > threshold
+		}
+		if accept {
+			l[i] = 1
+			count++
+		} else {
+			l[i] = 0
+		}
+	}
+	if count == 0 {
+		vec.Fill(l, 1/float64(len(l)))
+		return
+	}
+	vec.Scale(1/float64(count), l)
+}
+
+// SolveColumn solves one query through the sequential single-vector
+// kernels — the reference path of SolveColumns. The run context and the
+// query's own context are both checked before every iteration; a
+// cancelled solve returns the state of the last completed iteration with
+// Stopped set. A nil ctx is treated as context.Background().
+func (m *Model) SolveColumn(ctx context.Context, q ColumnQuery, opts ...RunOption) (ColumnResult, error) {
+	ctx = orBackground(ctx)
+	cs, err := m.buildColumnState(q)
+	if err != nil {
+		return ColumnResult{}, err
+	}
+	ro := resolveOptions(opts)
+	ro.sequential = true
+	rs := m.newRunScratchCols(ro, 1)
+	defer rs.close()
+	return m.solveColumnSeq(ctx, 0, cs, rs), nil
+}
+
+// solveColumnSeq iterates one validated query with the single-vector
+// kernels, mirroring solveClassSeeded step for step (ctx check, reseed
+// from t = 3, step, trace, convergence test).
+func (m *Model) solveColumnSeq(ctx context.Context, idx int, cs columnState, rs *runScratch) ColumnResult {
+	s := classState{
+		x: vec.Clone(cs.l), z: vec.Uniform(m.graph.M()), l: cs.l,
+		xNext: vec.New(m.graph.N()), zNext: vec.New(m.graph.M()), tmp: vec.New(m.graph.N()),
+		seeds: cs.seeds,
+	}
+	progress := rs.progressFn()
+	cr := ColumnResult{Seeds: cs.seeds}
+	for t := 1; t <= m.cfg.MaxIterations; t++ {
+		if err := columnErr(ctx, cs.ctx); err != nil {
+			cr.Stopped = err
+			break
+		}
+		if cs.isSeed != nil && t > 2 {
+			rs.reseed(m.graph.N(), func() {
+				queryReseed(m.cfg.Lambda, cs.isSeed, func(i int) float64 { return s.x[i] }, s.l)
+			})
+		}
+		rho := m.step(&s, rs)
+		cr.Trace = append(cr.Trace, rho)
+		cr.Iterations = t
+		if progress != nil {
+			progress(idx, t, rho)
+		}
+		if rho < m.cfg.Epsilon {
+			cr.Converged = true
+			break
+		}
+	}
+	cr.X, cr.Z, cr.Restart = s.x, s.z, s.l
+	return cr
+}
+
+// SolveColumns solves the queries together through the blocked lockstep
+// kernels: one n×q node block and one m×q link block advance per
+// iteration, so every tensor entry and CSR row is streamed once and
+// applied to all active query columns. Columns retire mid-batch when
+// they converge or when their own context is cancelled; the run context
+// cancels every remaining column at once. Per column the result is
+// bitwise identical to SolveColumn on the same query for a fixed worker
+// count; WithBatchedClasses(false) selects that sequential path
+// column by column instead. Query validation errors fail the whole call
+// before any solving happens.
+func (m *Model) SolveColumns(ctx context.Context, queries []ColumnQuery, opts ...RunOption) ([]ColumnResult, error) {
+	ctx = orBackground(ctx)
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	states := make([]columnState, len(queries))
+	for i, q := range queries {
+		cs, err := m.buildColumnState(q)
+		if err != nil {
+			return nil, fmt.Errorf("tmark: column %d: %w", i, err)
+		}
+		states[i] = cs
+	}
+	ro := resolveOptions(opts)
+	rs := m.newRunScratchCols(ro, len(queries))
+	defer rs.close()
+	out := make([]ColumnResult, len(queries))
+	if ro.sequential {
+		for i := range states {
+			out[i] = m.solveColumnSeq(ctx, i, states[i], rs)
+		}
+		return out, nil
+	}
+	m.iterateColumns(ctx, states, out, rs)
+	return out, nil
+}
+
+// columnBlock is the working set of one batched column solve: the
+// blocked iterates plus the active-column bookkeeping. colOf maps the
+// active column to its query index; retirement compacts the block
+// in place exactly like the multi-class batchRun.
+type columnBlock struct {
+	n, m  int
+	b     int   // active column count
+	colOf []int // column -> query index, ascending; len b
+	x, z  []float64
+	xn    []float64
+	zn    []float64
+	tmp   []float64
+	keep  []int
+}
+
+// retire gathers every column with a pending verdict (converged or
+// stopped) into its final per-query vectors and left-packs the
+// survivors, shrinking the active stride.
+func (st *columnBlock) retire(out []ColumnResult, done func(i int) bool) {
+	st.keep = st.keep[:0]
+	for col := 0; col < st.b; col++ {
+		i := st.colOf[col]
+		if done(i) {
+			x, z := vec.New(st.n), vec.New(st.m)
+			vec.GatherCol(st.x, col, st.b, x)
+			vec.GatherCol(st.z, col, st.b, z)
+			out[i].X, out[i].Z = x, z
+			continue
+		}
+		st.keep = append(st.keep, col)
+	}
+	if len(st.keep) == st.b {
+		return
+	}
+	vec.CompactCols(st.x, st.n, st.b, st.keep)
+	vec.CompactCols(st.z, st.m, st.b, st.keep)
+	for nc, oc := range st.keep {
+		st.colOf[nc] = st.colOf[oc]
+	}
+	st.b = len(st.keep)
+	st.colOf = st.colOf[:st.b]
+}
+
+// iterateColumns is the blocked lockstep loop over query columns. The
+// per-iteration order mirrors solveColumnSeq per column — cancellation
+// check, per-query reseed from t = 3, the eq. (10)/(8) step — so column
+// c stays bitwise equal to its sequential solve.
+func (m *Model) iterateColumns(ctx context.Context, states []columnState, out []ColumnResult, rs *runScratch) {
+	n, mm := m.graph.N(), m.graph.M()
+	nq := len(states)
+	st := &columnBlock{
+		n: n, m: mm, b: nq,
+		colOf: make([]int, nq),
+		x:     make([]float64, n*nq),
+		z:     make([]float64, mm*nq),
+		xn:    make([]float64, n*nq),
+		zn:    make([]float64, mm*nq),
+		tmp:   make([]float64, n*nq),
+		keep:  make([]int, 0, nq),
+	}
+	uniformZ := vec.Uniform(mm)
+	for i := range states {
+		st.colOf[i] = i
+		vec.ScatterCol(states[i].l, st.x, i, nq)
+		vec.ScatterCol(uniformZ, st.z, i, nq)
+		out[i] = ColumnResult{Seeds: states[i].seeds, Restart: states[i].l}
+	}
+	alpha, beta := m.cfg.Alpha, m.cfg.Beta()
+	rel := 1 - alpha - beta
+	progress := rs.progressFn()
+	for t := 1; t <= m.cfg.MaxIterations && st.b > 0; t++ {
+		// Cancellation first, like the sequential loop's top-of-iteration
+		// check: a cancelled column keeps the state of the last completed
+		// iteration. The run context stops every column; a column context
+		// retires that column alone.
+		stopped := false
+		for col := 0; col < st.b; col++ {
+			i := st.colOf[col]
+			if err := columnErr(ctx, states[i].ctx); err != nil {
+				out[i].Stopped = err
+				stopped = true
+			}
+		}
+		if stopped {
+			st.retire(out, func(i int) bool { return out[i].Stopped != nil })
+			if st.b == 0 {
+				break
+			}
+		}
+		if t > 2 {
+			for col := 0; col < st.b; col++ {
+				i := st.colOf[col]
+				if states[i].isSeed == nil {
+					continue
+				}
+				col := col
+				rs.reseed(n, func() {
+					b := st.b
+					queryReseed(m.cfg.Lambda, states[i].isSeed,
+						func(r int) float64 { return st.x[r*b+col] }, states[i].l)
+				})
+			}
+		}
+		b := st.b
+		x, z, xn, zn := st.x[:n*b], st.z[:mm*b], st.xn[:n*b], st.zn[:mm*b]
+		if rel > 0 {
+			rs.applyNodeBatch(m.o, x, z, xn, b)
+			vec.Scale(rel, xn)
+		} else {
+			vec.Fill(xn, 0)
+		}
+		if beta > 0 && m.w != nil {
+			tmp := st.tmp[:n*b]
+			rs.mulFeatureBatch(x, tmp, b)
+			vec.Axpy(beta, tmp, xn)
+		}
+		for col := 0; col < b; col++ {
+			vec.AxpyCol(alpha, states[st.colOf[col]].l, xn, col, b)
+			vec.Normalize1Col(xn, col, b)
+		}
+		rs.applyRelationBatch(m.r, xn, zn, b)
+		for col := 0; col < b; col++ {
+			vec.Normalize1Col(zn, col, b)
+		}
+		converged := false
+		for col := 0; col < b; col++ {
+			rho := vec.Diff1Col(x, xn, col, b) + vec.Diff1Col(z, zn, col, b)
+			i := st.colOf[col]
+			out[i].Trace = append(out[i].Trace, rho)
+			out[i].Iterations++
+			if progress != nil {
+				progress(i, out[i].Iterations, rho)
+			}
+			if rho < m.cfg.Epsilon {
+				out[i].Converged = true
+				converged = true
+			}
+		}
+		copy(x, xn)
+		copy(z, zn)
+		if converged {
+			st.retire(out, func(i int) bool { return out[i].Converged })
+		}
+	}
+	// Gather the leftovers: iteration cap, or a run-context cancellation
+	// noticed by the loop condition.
+	err := ctx.Err()
+	st.retire(out, func(i int) bool {
+		if err != nil && out[i].Stopped == nil {
+			out[i].Stopped = err
+		}
+		return true
+	})
+}

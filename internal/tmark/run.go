@@ -308,6 +308,13 @@ type runScratch struct {
 // pool unset, and only the scratch of the selected path (batched or
 // sequential) is allocated.
 func (m *Model) newRunScratch(ro runOptions) *runScratch {
+	return m.newRunScratchCols(ro, m.graph.Q())
+}
+
+// newRunScratchCols is newRunScratch with an explicit column capacity for
+// the blocked buffers: a class run blocks over the graph's q classes,
+// while a column-query run (SolveColumns) blocks over the query count.
+func (m *Model) newRunScratchCols(ro runOptions, maxCols int) *runScratch {
 	w := m.cfg.workerCount()
 	if ro.workers > 0 {
 		w = ro.workers
@@ -328,7 +335,7 @@ func (m *Model) newRunScratch(ro runOptions) *runScratch {
 	if !ro.sequential {
 		// The serial blocked kernels need the per-column sum buffers too,
 		// so the batch scratch exists for every worker count.
-		q := m.graph.Q()
+		q := maxCols
 		rs.ob = tensor.NewNodeBatchScratch(m.o, w, q)
 		rs.ob.Probe = rs.col.KernelProbe(obs.KernelO)
 		rs.rb = tensor.NewRelationBatchScratch(m.r, w, q)

@@ -1,0 +1,162 @@
+package tmark
+
+// The public client side of tmarkd, the warm-model classification
+// service (cmd/tmarkd). The wire types are aliases of the server's own
+// (internal/serve), so a program embedding the server and a program
+// talking to one over HTTP share identical structs. Scores travel
+// through encoding/json's shortest-round-trip float formatting: the
+// float64 values a Client decodes are bitwise identical to the solver's.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"tmark/internal/serve"
+)
+
+// ClassifyRequest is one /classify query: a seed node set plus optional
+// hyperparameter overrides.
+type ClassifyRequest = serve.ClassifyRequest
+
+// ClassifyResponse is one /classify answer.
+type ClassifyResponse = serve.ClassifyResponse
+
+// NodeScore is one entry of a ranked node list.
+type NodeScore = serve.NodeScore
+
+// LinkScore is one entry of a link-type ranking.
+type LinkScore = serve.LinkScore
+
+// ClassRanking is one class's slice of a /rank answer.
+type ClassRanking = serve.ClassRanking
+
+// RankResponse is a /rank answer: per-class link-type rankings.
+type RankResponse = serve.RankResponse
+
+// ServiceError is the decoded form of a non-2xx tmarkd answer.
+type ServiceError struct {
+	StatusCode int    // HTTP status
+	Message    string // the server's error string
+}
+
+func (e *ServiceError) Error() string {
+	return fmt.Sprintf("tmarkd: %s (status %d)", e.Message, e.StatusCode)
+}
+
+// Overloaded reports whether the error is the server shedding load
+// (full admission queue or draining); such requests are retryable
+// against another replica or after backoff.
+func (e *ServiceError) Overloaded() bool {
+	return e.StatusCode == http.StatusServiceUnavailable
+}
+
+// Client talks to one tmarkd instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8321".
+	BaseURL string
+	// HTTPClient overrides the transport; nil uses http.DefaultClient.
+	// Request deadlines and cancellation come from the per-call context
+	// (a cancelled /classify retires the query's column server-side
+	// within one solver iteration).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for the server at baseURL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Classify runs one seed-set query and returns the scored result.
+func (c *Client) Classify(ctx context.Context, req *ClassifyRequest) (*ClassifyResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/classify", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	var out ClassifyResponse
+	if err := c.do(hreq, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Rank fetches the per-class link-type rankings of a dataset from a
+// full warm solve. dataset "" selects the server's default; top bounds
+// each ranking (0 = all link types).
+func (c *Client) Rank(ctx context.Context, dataset string, top int) (*RankResponse, error) {
+	q := url.Values{}
+	if dataset != "" {
+		q.Set("dataset", dataset)
+	}
+	if top > 0 {
+		q.Set("top", strconv.Itoa(top))
+	}
+	u := c.BaseURL + "/rank"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out RankResponse
+	if err := c.do(hreq, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready reports nil when the server is accepting work, and a
+// ServiceError (Overloaded() == true while draining) otherwise.
+func (c *Client) Ready(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	return c.do(hreq, nil)
+}
+
+// do executes the request and decodes either the expected body into out
+// or the server's error envelope into a ServiceError.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg := http.StatusText(resp.StatusCode)
+		var envelope serve.ErrorResponse
+		if body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16)); err == nil {
+			if json.Unmarshal(body, &envelope) == nil && envelope.Error != "" {
+				msg = envelope.Error
+			}
+		}
+		return &ServiceError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("tmarkd: decode response: %w", err)
+	}
+	return nil
+}

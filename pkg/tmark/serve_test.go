@@ -1,0 +1,106 @@
+package tmark_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"tmark/internal/serve"
+	"tmark/pkg/hin"
+	"tmark/pkg/tmark"
+)
+
+func clientGraph() *hin.Graph {
+	g := hin.New("left", "right")
+	rel := g.AddRelation("link", false)
+	for i := 0; i < 12; i++ {
+		id := g.AddNode("", nil)
+		if i < 2 {
+			g.SetLabels(id, i)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		g.AddEdge(rel, i, (i+1)%12)
+		g.AddEdge(rel, i, (i+5)%12)
+	}
+	return g
+}
+
+func newClientServer(t *testing.T) (*tmark.Client, *serve.Server) {
+	t.Helper()
+	cfg := tmark.DefaultConfig()
+	cfg.Workers = 1
+	cfg.ICAUpdate = false
+	s, err := serve.New(serve.Options{
+		Datasets: map[string]*hin.Graph{"toy": clientGraph()},
+		Config:   cfg,
+	})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	t.Cleanup(s.Drain)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return tmark.NewClient(ts.URL), s
+}
+
+func TestClientClassifyRankReady(t *testing.T) {
+	c, _ := newClientServer(t)
+	ctx := context.Background()
+
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("Ready: %v", err)
+	}
+
+	resp, err := c.Classify(ctx, &tmark.ClassifyRequest{Seeds: []int{0}, Scores: true})
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	if resp.Dataset != "toy" || !resp.Converged || len(resp.Scores) != 12 {
+		t.Fatalf("Classify response: dataset %q converged %v scores %d", resp.Dataset, resp.Converged, len(resp.Scores))
+	}
+	sum := 0.0
+	for _, s := range resp.Scores {
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("scores sum %v, want ≈1", sum)
+	}
+
+	rank, err := c.Rank(ctx, "toy", 1)
+	if err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+	if len(rank.Classes) != 2 || len(rank.Classes[0].Links) != 1 {
+		t.Fatalf("Rank response: %d classes, %d links", len(rank.Classes), len(rank.Classes[0].Links))
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	c, s := newClientServer(t)
+	ctx := context.Background()
+
+	// Client-side validation rejects before any network traffic.
+	if _, err := c.Classify(ctx, &tmark.ClassifyRequest{}); err == nil {
+		t.Error("empty request accepted")
+	}
+
+	// A server-side rejection surfaces as a ServiceError with the
+	// server's message.
+	_, err := c.Classify(ctx, &tmark.ClassifyRequest{Dataset: "nope", Seeds: []int{0}})
+	se, ok := err.(*tmark.ServiceError)
+	if !ok {
+		t.Fatalf("Classify(bad dataset): %v, want *ServiceError", err)
+	}
+	if se.StatusCode != 404 || se.Overloaded() {
+		t.Errorf("ServiceError %+v, want status 404, not overloaded", se)
+	}
+
+	// Draining flips readiness to an overloaded ServiceError.
+	s.Drain()
+	err = c.Ready(ctx)
+	se, ok = err.(*tmark.ServiceError)
+	if !ok || !se.Overloaded() {
+		t.Fatalf("Ready while draining: %v, want overloaded ServiceError", err)
+	}
+}
