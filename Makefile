@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short-test race serve-race vet bench bench-stats bench-json fuzz experiments figures examples clean
+.PHONY: all build test short-test race serve-race chaos vet bench bench-stats bench-json fuzz experiments figures examples clean
 
 all: build vet test race
 
@@ -62,12 +62,20 @@ bench-json:
 serve-race:
 	$(GO) test -race -count=1 ./internal/serve/
 
+# The fault-injection suites under the race detector: solver chaos
+# (injected NaN/Inf corruption, checkpoint kill-and-resume, scalar-
+# demotion retry), serving chaos (build/solve panics, overload shedding,
+# eviction racing a borrowed solve) and the tmarkd SIGTERM drain test.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestKill|TestEviction|TestServeRank|TestRunSIGTERM|TestGuard|TestCheckpoint|TestResume|TestInterrupted|TestSequentialStep|TestNoASMDemotion|TestKernelFaultPoint' ./internal/tmark/ ./internal/serve/ ./internal/tensor/ ./cmd/tmarkd/
+
 # Short fuzzing passes over the untrusted-input parsers.
 fuzz:
 	$(GO) test -fuzz FuzzReadJSON -fuzztime 30s ./internal/hin/
 	$(GO) test -fuzz FuzzReadEdgeCSV -fuzztime 30s ./internal/hin/
 	$(GO) test -fuzz FuzzReadCOO -fuzztime 30s ./internal/dataset/
 	$(GO) test -fuzz FuzzDecodeClassifyRequest -fuzztime 30s ./internal/serve/
+	$(GO) test -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/tmark/
 
 # Regenerate every table and figure at the quick scale.
 experiments:

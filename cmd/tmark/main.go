@@ -7,6 +7,14 @@
 //	      [-epsilon 1e-8] [-maxiter 100] [-no-ica] [-topk K] [-top 10]
 //	      [-explain node] [-json] [-save result.json] [-warm result.json]
 //	      [-tune] [-workers N] [-timeout 30s] [-stats] [-metrics-addr :9090]
+//	      [-checkpoint-dir DIR] [-checkpoint-every K] [-resume FILE|auto]
+//
+// Fault tolerance: -checkpoint-dir snapshots the solver state every
+// -checkpoint-every iterations (and flushes a final snapshot when the
+// solve is interrupted) to DIR/<input>-<confighash>.ckpt. -resume
+// restarts a solve from a snapshot — bitwise identical to a run that
+// was never interrupted; "auto" resumes from the file -checkpoint-dir
+// would write when it exists and matches, and starts cold otherwise.
 //
 // The input is a graph in the JSON format written by cmd/datagen or
 // hin.Graph.SaveFile; with -csv it is a from,to,relation[,weight] edge
@@ -35,6 +43,8 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 
 	"tmark/pkg/hin"
 	"tmark/pkg/obs"
@@ -87,6 +97,9 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 		stats       = flag.Bool("stats", false, "print the run's per-kernel time breakdown to stderr")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address")
+		ckptDir     = flag.String("checkpoint-dir", "", "snapshot the solver state into this directory")
+		ckptEvery   = flag.Int("checkpoint-every", 8, "snapshot cadence in iterations (with -checkpoint-dir)")
+		resume      = flag.String("resume", "", "resume from this checkpoint file; \"auto\" = the -checkpoint-dir file if present")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -139,6 +152,45 @@ func main() {
 	var runStats tmark.RunStats
 	if *stats {
 		opts = append(opts, tmark.WithStats(&runStats))
+	}
+	if *ckptDir != "" {
+		// Fail fast on an unusable directory: mid-solve save errors are
+		// deliberately non-fatal (a sick disk must not kill a healthy
+		// solve), so a typo here would otherwise checkpoint nothing.
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			log.Fatalf("checkpoint dir: %v", err)
+		}
+		sink := &tmark.DirSink{Dir: *ckptDir, Name: checkpointName(*in, model)}
+		opts = append(opts, tmark.WithCheckpoint(sink, *ckptEvery))
+	}
+	if *resume != "" {
+		if *warm != "" {
+			log.Fatal("-resume and -warm are mutually exclusive: a checkpoint restores mid-solve state, a warm start begins a new solve")
+		}
+		path := *resume
+		auto := path == "auto"
+		if auto {
+			if *ckptDir == "" {
+				log.Fatal("-resume auto requires -checkpoint-dir")
+			}
+			path = filepath.Join(*ckptDir, checkpointName(*in, model))
+		}
+		switch cp, err := tmark.LoadCheckpointFile(path); {
+		case err == nil:
+			if verr := model.ValidateCheckpoint(cp); verr != nil {
+				if !auto {
+					log.Fatalf("resume %s: %v", path, verr)
+				}
+				fmt.Fprintf(os.Stderr, "checkpoint %s ignored (%v); starting cold\n", path, verr)
+			} else {
+				opts = append(opts, tmark.ResumeFrom(cp))
+				fmt.Fprintf(os.Stderr, "resuming from %s (iteration %d)\n", path, cp.Iter)
+			}
+		case auto && os.IsNotExist(err):
+			// No snapshot yet: a cold start that will write one.
+		default:
+			log.Fatalf("resume %s: %v", path, err)
+		}
 	}
 	var res *tmark.Result
 	if *warm != "" {
@@ -208,6 +260,14 @@ func (ew *errWriter) Write(p []byte) (int, error) {
 		ew.err = err
 	}
 	return n, err
+}
+
+// checkpointName derives the snapshot filename from the input file and
+// the model's hyper-parameter hash, so different configs never clobber
+// (or wrongly resume) each other's snapshots.
+func checkpointName(in string, model *tmark.Model) string {
+	base := strings.TrimSuffix(filepath.Base(in), filepath.Ext(in))
+	return fmt.Sprintf("%s-%016x.ckpt", base, model.ConfigHash())
 }
 
 func load(path string, csvIn bool) (*hin.Graph, error) {

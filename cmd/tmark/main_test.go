@@ -134,3 +134,44 @@ func TestStatsAndMetricsPath(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckpointName pins the snapshot-file naming: stable for one
+// (input, config) pair, distinct across configs so -resume auto can
+// never restore a snapshot from different hyper-parameters.
+func TestCheckpointName(t *testing.T) {
+	g := datasets.Example()
+	cfg := tmark.DefaultConfig()
+	cfg.Workers = 1
+	m1, err := tmark.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := checkpointName("/data/net.json", m1)
+	if a != checkpointName("/elsewhere/net.json", m1) {
+		t.Errorf("name depends on the directory: %q", a)
+	}
+	if !strings.HasPrefix(a, "net-") || !strings.HasSuffix(a, ".ckpt") {
+		t.Errorf("name %q, want net-<hash>.ckpt", a)
+	}
+
+	cfg.Alpha = 0.5
+	m2, err := tmark.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := checkpointName("/data/net.json", m2); a == b {
+		t.Errorf("different configs share checkpoint name %q", a)
+	}
+
+	// Workers must NOT change the name: a snapshot resumes bitwise
+	// identically under any worker count.
+	cfg.Alpha = 0.8
+	cfg.Workers = 4
+	m3, err := tmark.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := checkpointName("/data/net.json", m3); a != c {
+		t.Errorf("worker count changes checkpoint name: %q vs %q", a, c)
+	}
+}

@@ -9,7 +9,8 @@
 //	       [-alpha 0.8] [-gamma 0.6] [-lambda 0.7] [-epsilon 1e-8]
 //	       [-maxiter 100] [-no-ica] [-topk K] [-workers N] [-seed N]
 //	       [-cache 4] [-max-batch 8] [-queue 64] [-max-concurrent 2]
-//	       [-max-body 1048576] [-drain-timeout 30s]
+//	       [-max-body 1048576] [-drain-timeout 30s] [-retry-after 1s]
+//	       [-checkpoint-dir DIR] [-checkpoint-every K]
 //
 // Each -dataset flag loads one network under a name. The spec is either
 // a file path — .json (hin.Graph JSON codec), .csv (from,to,relation
@@ -27,7 +28,12 @@
 // On SIGTERM or SIGINT the server stops admitting work (readyz flips to
 // 503 so load balancers fail over), cancels in-flight solves — each
 // returns within one solver iteration with a usable partial result —
-// and shuts the listener down within -drain-timeout.
+// and shuts the listener down within -drain-timeout. Every 503 (load
+// shed, drain, quarantined model) carries a Retry-After backoff hint
+// (-retry-after). With -checkpoint-dir each /rank full solve snapshots
+// its state every -checkpoint-every iterations and flushes a final
+// snapshot during the drain, so the next process resumes it instead of
+// recomputing from scratch.
 package main
 
 import (
@@ -116,6 +122,9 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		maxConc  = fs.Int("max-concurrent", serve.DefaultMaxConcurrent, "batch solves running at once across all models")
 		maxBody  = fs.Int64("max-body", serve.DefaultMaxBodyBytes, "maximum /classify request body bytes")
 		drain    = fs.Duration("drain-timeout", 30*time.Second, "shutdown deadline after SIGTERM/SIGINT")
+		ckDir    = fs.String("checkpoint-dir", "", "checkpoint /rank full solves into this directory and resume them across restarts")
+		ckEvery  = fs.Int("checkpoint-every", serve.DefaultCheckpointEvery, "snapshot cadence in iterations (with -checkpoint-dir)")
+		retryDur = fs.Duration("retry-after", serve.DefaultRetryAfter, "Retry-After backoff hint stamped on 503 responses")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,6 +146,14 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "tmarkd: loaded %s (%s): %s\n", s.name, s.spec, g.Stats())
 	}
 
+	if *ckDir != "" {
+		// Fail fast on an unusable directory: mid-solve save errors are
+		// deliberately non-fatal, so a typo here would otherwise
+		// checkpoint nothing.
+		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+	}
 	srv, err := serve.New(serve.Options{
 		Datasets: datasets,
 		Default:  *def,
@@ -146,11 +163,14 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 			ICAUpdate: !*noICA, FeatureTopK: *topK,
 			Workers: *workers,
 		},
-		CacheSize:     *cache,
-		MaxBatch:      *maxBatch,
-		QueueDepth:    *queue,
-		MaxConcurrent: *maxConc,
-		MaxBodyBytes:  *maxBody,
+		CacheSize:       *cache,
+		MaxBatch:        *maxBatch,
+		QueueDepth:      *queue,
+		MaxConcurrent:   *maxConc,
+		MaxBodyBytes:    *maxBody,
+		RetryAfter:      *retryDur,
+		CheckpointDir:   *ckDir,
+		CheckpointEvery: *ckEvery,
 	})
 	if err != nil {
 		return err

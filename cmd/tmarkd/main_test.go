@@ -10,11 +10,14 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"tmark/internal/dataset"
+	"tmark/internal/fault"
 	"tmark/internal/serve"
+	"tmark/internal/tmark"
 )
 
 func TestDatasetListSet(t *testing.T) {
@@ -187,5 +190,112 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 	if !strings.Contains(logs.String(), "serving tiny on") {
 		t.Errorf("startup log missing; got:\n%s", logs.String())
+	}
+}
+
+// TestRunSIGTERMFlushesFinalCheckpoint proves the shutdown ordering the
+// checkpoint feature depends on: a SIGTERM (context cancellation)
+// arriving while a /rank full solve is mid-flight must drain cleanly
+// AND flush that solve's final snapshot to -checkpoint-dir before
+// run() returns. The snapshot cadence is set far beyond the solve
+// length, so the only way a checkpoint file can exist afterwards is
+// the drain-time final flush.
+func TestRunSIGTERMFlushesFinalCheckpoint(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cooPath := filepath.Join(t.TempDir(), "net.coo")
+	coo := "coo 6 2 2\nl 0 0\nl 1 1\ne 0 0 2\ne 0 2 4\ne 0 1 3\ne 0 3 5\ne 1 4 5\ne 1 5 0\n"
+	if err := os.WriteFile(cooPath, []byte(coo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ckDir := t.TempDir()
+
+	// The solve signals its first kernel pass through the fault
+	// registry, then crawls so the cancellation lands mid-flight.
+	started := make(chan struct{})
+	var once sync.Once
+	fault.Inject(fault.TensorNodeBatch, func(...any) {
+		once.Do(func() { close(started) })
+		time.Sleep(time.Millisecond)
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	var logs bytes.Buffer
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", addr,
+			"-dataset", "tiny=" + cooPath,
+			"-workers", "1",
+			"-epsilon", "1e-300",
+			"-maxiter", "100000",
+			"-drain-timeout", "10s",
+			"-checkpoint-dir", ckDir,
+			"-checkpoint-every", "1000000", // periodic saves never fire
+		}, &logs)
+	}()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became healthy; logs:\n%s", logs.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	rankDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(base + "/rank")
+		if err != nil {
+			rankDone <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		rankDone <- resp.StatusCode
+	}()
+
+	<-started // the rank solve is inside its first iterations
+	cancel()  // SIGTERM
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after cancellation")
+	}
+	if status := <-rankDone; status != http.StatusOK {
+		t.Fatalf("/rank during drain: status %d, want 200 (partial result)", status)
+	}
+
+	// run() has returned; the final flush must already be on disk and
+	// must be a valid, resumable mid-flight snapshot.
+	files, err := filepath.Glob(filepath.Join(ckDir, "*.ckpt"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("checkpoint files after shutdown: %v %v, want exactly one", files, err)
+	}
+	cp, err := tmark.LoadCheckpointFile(files[0])
+	if err != nil {
+		t.Fatalf("final checkpoint does not decode: %v", err)
+	}
+	if cp.Iter <= 0 || cp.Iter >= 100000 {
+		t.Fatalf("final checkpoint at iteration %d, want mid-flight", cp.Iter)
 	}
 }

@@ -22,7 +22,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"math"
 	"strconv"
 	"strings"
 
@@ -135,8 +134,8 @@ func ReadCOO(r io.Reader) (*hin.Graph, error) {
 				if err != nil {
 					return nil, fmt.Errorf("dataset: coo line %d: weight %q: %w", line, fields[4], err)
 				}
-				if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
-					return nil, fmt.Errorf("dataset: coo line %d: weight %v must be positive and finite", line, w)
+				if err := hin.ValidWeight(w); err != nil {
+					return nil, fmt.Errorf("dataset: coo line %d: %v", line, err)
 				}
 			}
 			at := coord{k, i, j}

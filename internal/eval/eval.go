@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"tmark/internal/hin"
 )
@@ -154,7 +155,19 @@ func StratifiedSplit(g *hin.Graph, trainFraction float64, rng *rand.Rand) Split 
 			byClass[c] = append(byClass[c], i)
 		}
 	}
-	for _, nodes := range byClass {
+	// Iterate classes in sorted order, NOT map order: each class's
+	// shuffle consumes the shared seeded rng, so the iteration order
+	// decides which random numbers each class gets. Ranging over the
+	// map made the "deterministic" split a per-process coin flip — the
+	// golden-file solves drifted whenever the runtime's map order
+	// differed from the fixture generator's.
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		nodes := byClass[c]
 		rng.Shuffle(len(nodes), func(a, b int) { nodes[a], nodes[b] = nodes[b], nodes[a] })
 		take := int(math.Round(trainFraction * float64(len(nodes))))
 		if take < 1 {

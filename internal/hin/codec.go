@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -33,6 +34,28 @@ const (
 	weightFixedPoint = 1e6
 )
 
+// fixedPointWeight converts an edge weight into the codec's 1e-6
+// fixed-point form, rejecting anything the conversion would corrupt.
+// float64→int64 of an out-of-range value is implementation-defined in
+// Go, so an Inf or huge weight would silently encode as garbage (and a
+// tiny one as 0) that ReadJSON then rejects — or worse, accepts as a
+// different weight. Failing at encode time names the bad edge while
+// the caller can still do something about it.
+func fixedPointWeight(w float64) (int64, error) {
+	if err := ValidWeight(w); err != nil {
+		return 0, err
+	}
+	fp := w * weightFixedPoint
+	if fp >= math.MaxInt64 {
+		return 0, fmt.Errorf("weight %v overflows the 1e-6 fixed-point encoding", w)
+	}
+	n := int64(fp)
+	if n <= 0 {
+		return 0, fmt.Errorf("weight %v rounds to zero in the 1e-6 fixed-point encoding", w)
+	}
+	return n, nil
+}
+
 // WriteJSON serialises the graph.
 func (g *Graph) WriteJSON(w io.Writer) error {
 	jg := jsonGraph{Version: codecVersion, Classes: g.Classes}
@@ -44,7 +67,11 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 		r := &g.Relations[k]
 		jr := jsonRelation{Name: r.Name, Directed: r.Directed}
 		for _, e := range r.Edges {
-			jr.Edges = append(jr.Edges, [3]int64{int64(e.From), int64(e.To), int64(e.Weight * weightFixedPoint)})
+			fp, err := fixedPointWeight(e.Weight)
+			if err != nil {
+				return fmt.Errorf("hin: encode: relation %q edge (%d,%d): %w", r.Name, e.From, e.To, err)
+			}
+			jr.Edges = append(jr.Edges, [3]int64{int64(e.From), int64(e.To), fp})
 		}
 		jg.Relations = append(jg.Relations, jr)
 	}
@@ -85,8 +112,8 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 			if from < 0 || from >= g.N() || to < 0 || to >= g.N() {
 				return nil, fmt.Errorf("hin: decode: relation %q edge (%d,%d) out of range %d", jr.Name, from, to, g.N())
 			}
-			if weight <= 0 {
-				return nil, fmt.Errorf("hin: decode: relation %q edge weight %v", jr.Name, weight)
+			if err := ValidWeight(weight); err != nil {
+				return nil, fmt.Errorf("hin: decode: relation %q edge (%d,%d): %v", jr.Name, from, to, err)
 			}
 			g.AddWeightedEdge(k, from, to, weight)
 		}

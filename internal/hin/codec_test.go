@@ -2,6 +2,7 @@ package hin
 
 import (
 	"bytes"
+	"io"
 	"math"
 	"path/filepath"
 	"strings"
@@ -101,5 +102,81 @@ func TestSaveLoadFile(t *testing.T) {
 func TestLoadFileMissing(t *testing.T) {
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Errorf("missing file should error")
+	}
+}
+
+func TestValidWeight(t *testing.T) {
+	for _, w := range []float64{1, 0.5, 1e-6, 1e6, 1e300} {
+		if err := ValidWeight(w); err != nil {
+			t.Errorf("ValidWeight(%v) = %v, want nil", w, err)
+		}
+	}
+	for _, w := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := ValidWeight(w); err == nil {
+			t.Errorf("ValidWeight(%v) accepted", w)
+		}
+	}
+}
+
+// TestWriteJSONRejectsUnencodableWeights covers the fixed-point edge of
+// the codec: a weight whose *1e6 encoding overflows int64 (or truncates
+// to zero) must fail the encode with the offending edge named, instead
+// of writing a document that decodes to Inf, garbage, or a rejection in
+// some later process. The weights are smuggled past the builder's
+// validation by mutating the edge in place, standing in for upstream
+// arithmetic bugs (e.g. an Inf produced by 1/0 feature scaling).
+func TestWriteJSONRejectsUnencodableWeights(t *testing.T) {
+	for _, w := range []float64{math.Inf(1), math.NaN(), 1e300, math.MaxInt64, 1e-9, -3} {
+		g := New("a", "b")
+		g.AddNode("x", nil)
+		g.AddNode("y", nil)
+		g.SetLabels(0, 0)
+		g.SetLabels(1, 1)
+		g.AddRelation("r", false)
+		g.AddWeightedEdge(0, 0, 1, 1)
+		g.Relations[0].Edges[0].Weight = w
+		if err := g.WriteJSON(io.Discard); err == nil {
+			t.Errorf("WriteJSON accepted weight %v", w)
+		} else if !strings.Contains(err.Error(), `relation "r" edge (0,1)`) {
+			t.Errorf("weight %v: error %q does not name the edge", w, err)
+		}
+	}
+
+	// The largest representable weight still round-trips exactly enough
+	// to decode and re-validate.
+	g := New("a", "b")
+	g.AddNode("x", nil)
+	g.AddNode("y", nil)
+	g.SetLabels(0, 0)
+	g.SetLabels(1, 1)
+	g.AddRelation("r", false)
+	g.AddWeightedEdge(0, 0, 1, 9e12)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON(9e12): %v", err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got := g2.Relations[0].Edges[0].Weight; got != 9e12 {
+		t.Errorf("round-tripped weight %v, want 9e12", got)
+	}
+}
+
+func TestAddWeightedEdgeRejectsNaN(t *testing.T) {
+	g := New("a")
+	g.AddNode("x", nil)
+	g.AddNode("y", nil)
+	g.AddRelation("r", false)
+	for _, w := range []float64{math.NaN(), math.Inf(1), 0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddWeightedEdge(%v) did not panic", w)
+				}
+			}()
+			g.AddWeightedEdge(0, 0, 1, w)
+		}()
 	}
 }

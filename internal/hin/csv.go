@@ -4,7 +4,6 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"math"
 	"strconv"
 	"strings"
 )
@@ -72,10 +71,8 @@ func ReadEdgeCSV(r io.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("hin: csv line %d: weight %q: %w", line, record[3], err)
 			}
 		}
-		// NaN fails every comparison, so `weight <= 0` alone would wave
-		// NaN (and +Inf) through into the stochastic normalisation.
-		if math.IsNaN(weight) || math.IsInf(weight, 0) || weight <= 0 {
-			return nil, fmt.Errorf("hin: csv line %d: weight %v must be positive and finite", line, weight)
+		if err := ValidWeight(weight); err != nil {
+			return nil, fmt.Errorf("hin: csv line %d: %v", line, err)
 		}
 		g.AddWeightedEdge(relation(record[2]), node(record[0]), node(record[1]), weight)
 	}

@@ -9,10 +9,24 @@ package hin
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"tmark/internal/tensor"
 )
+
+// ValidWeight reports whether w can serve as an edge weight: positive
+// and finite. NaN fails every comparison, so the naive `w <= 0` check
+// alone would wave NaN (and +Inf) through into the stochastic
+// normalisation, where a single bad entry poisons every score it
+// touches. Every ingest path (builder, CSV, COO, JSON) funnels
+// through this one predicate so they cannot drift apart.
+func ValidWeight(w float64) error {
+	if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+		return fmt.Errorf("weight %v must be positive and finite", w)
+	}
+	return nil
+}
 
 // Edge is one typed link from node From to node To. Weight defaults to 1
 // when built through AddEdge; the tensor representation keeps weights so
@@ -99,8 +113,8 @@ func (g *Graph) AddWeightedEdge(relation, from, to int, weight float64) {
 	if from < 0 || from >= len(g.Nodes) || to < 0 || to >= len(g.Nodes) {
 		panic(fmt.Sprintf("hin: edge (%d,%d) out of range %d", from, to, len(g.Nodes)))
 	}
-	if weight <= 0 {
-		panic(fmt.Sprintf("hin: edge weight %v must be positive", weight))
+	if err := ValidWeight(weight); err != nil {
+		panic(fmt.Sprintf("hin: edge (%d,%d): %v", from, to, err))
 	}
 	r := &g.Relations[relation]
 	r.Edges = append(r.Edges, Edge{From: from, To: to, Weight: weight})

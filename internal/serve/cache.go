@@ -12,8 +12,12 @@ package serve
 
 import (
 	"container/list"
+	"context"
+	"fmt"
+	"path/filepath"
 	"sync"
 
+	"tmark/internal/fault"
 	"tmark/internal/tmark"
 )
 
@@ -36,18 +40,33 @@ type warmModel struct {
 	err   error
 	elem  *list.Element
 
+	// ck holds the checkpoint/resume options of the /rank full solve
+	// when the server has a checkpoint directory; empty otherwise.
+	ck []tmark.RunOption
+
 	// The full multi-class solve backing /rank, computed lazily at most
-	// once per warm model.
-	fullOnce sync.Once
-	full     *tmark.Result
+	// once per warm model. It runs under its own context — NOT the
+	// coalescer's solveCtx — because eviction retires the coalescer
+	// (which ends by cancelling solveCtx) while a /rank borrower may
+	// still be mid-solve: an evicted model must finish its borrowed
+	// work at full quality. Only the server drain cancels rankCtx.
+	rankCtx    context.Context
+	rankCancel context.CancelFunc
+	fullOnce   sync.Once
+	full       *tmark.Result
 }
 
 // fullResult lazily runs the full multi-class solve for /rank. The
 // model's own ICA setting applies here (this is the dataset's real
-// class structure, where the cross-class reseed is meaningful).
+// class structure, where the cross-class reseed is meaningful). With a
+// checkpoint directory configured the solve snapshots periodically and
+// resumes from the previous process's last snapshot; a server drain
+// cancels rankCtx, which flushes a final checkpoint before the solve
+// returns its partial result.
 func (e *warmModel) fullResult() *tmark.Result {
 	e.fullOnce.Do(func() {
-		e.full = e.model.RunContext(e.coal.solveCtx)
+		e.full = e.model.RunContext(e.rankCtx, e.ck...)
+		e.rankCancel() // solve finished; release the context
 	})
 	return e.full
 }
@@ -61,6 +80,11 @@ type modelCache struct {
 	build    func(modelKey) (*tmark.Model, error)
 	newCoal  func(*tmark.Model) *coalescer
 	met      *metrics
+
+	// ckDir, when set, gives every warm model a per-key checkpoint file
+	// for its /rank full solve, written every ckEvery iterations.
+	ckDir   string
+	ckEvery int
 }
 
 func newModelCache(capacity int, build func(modelKey) (*tmark.Model, error), newCoal func(*tmark.Model) *coalescer, met *metrics) *modelCache {
@@ -97,6 +121,7 @@ func (c *modelCache) get(key modelKey) (*warmModel, error) {
 		return e, nil
 	}
 	e := &warmModel{key: key, ready: make(chan struct{})}
+	e.rankCtx, e.rankCancel = context.WithCancel(context.Background())
 	e.elem = c.order.PushFront(e)
 	c.entries[key] = e
 	var evicted []*warmModel
@@ -115,6 +140,9 @@ func (c *modelCache) get(key modelKey) (*warmModel, error) {
 		if c.met != nil {
 			c.met.cacheEvictions.Inc()
 		}
+		if fault.Enabled() {
+			fault.Fire(fault.ServeCacheEvict, old.key.dataset)
+		}
 		// Retire asynchronously: the evicted coalescer finishes its
 		// accepted work before going away, and a slow drain must not
 		// stall the request that triggered the eviction.
@@ -126,9 +154,10 @@ func (c *modelCache) get(key modelKey) (*warmModel, error) {
 		}(old)
 	}
 
-	model, err := c.build(key)
+	model, err := c.buildSafe(key)
 	if err != nil {
 		e.err = err
+		e.rankCancel()
 		close(e.ready)
 		c.mu.Lock()
 		if cur, ok := c.entries[key]; ok && cur == e {
@@ -139,9 +168,87 @@ func (c *modelCache) get(key modelKey) (*warmModel, error) {
 		return nil, err
 	}
 	e.model = model
+	if c.ckDir != "" {
+		e.ck = c.checkpointOptions(key, model)
+	}
 	e.coal = c.newCoal(model)
+	e.coal.onPanic = func() { c.quarantine(e) }
 	close(e.ready)
 	return e, nil
+}
+
+// buildSafe runs the model build behind a panic barrier. A crashing
+// build fails like an erroring one — the placeholder entry is removed
+// so the next request retries the build — instead of tearing down the
+// request goroutine with waiters still parked on the entry.
+func (c *modelCache) buildSafe(key modelKey) (m *tmark.Model, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			m, err = nil, fmt.Errorf("%w: model build panicked: %v", ErrModelFault, rec)
+			if c.met != nil {
+				c.met.panics.Inc()
+			}
+		}
+	}()
+	if fault.Enabled() {
+		if err := fault.Check(fault.ServeModelBuild); err != nil {
+			return nil, err
+		}
+		fault.Fire(fault.ServeModelBuild, key.dataset)
+	}
+	return c.build(key)
+}
+
+// quarantine drops a faulting entry from the cache so the next request
+// for its key rebuilds the model from the immutable graph (waiters
+// coalesce on the rebuild exactly like a cold miss). The entry's
+// coalescer retires asynchronously once its queue is answered; its
+// remaining jobs finish against the old model — at worst with another
+// ErrModelFault, never a wrong answer.
+func (c *modelCache) quarantine(e *warmModel) {
+	c.mu.Lock()
+	if cur, ok := c.entries[e.key]; ok && cur == e {
+		delete(c.entries, e.key)
+		c.order.Remove(e.elem)
+	}
+	c.mu.Unlock()
+	if c.met != nil {
+		c.met.quarantines.Inc()
+	}
+	go func() {
+		<-e.ready
+		if e.coal != nil {
+			e.coal.stop(false)
+		}
+	}()
+}
+
+// checkpointOptions wires one warm model's /rank solve to its
+// per-key checkpoint file: periodic snapshots while it runs (the drain
+// path flushes a final one), resumed on the next process start when a
+// matching snapshot is present. A stale or mismatching file is simply
+// ignored — the solve starts cold and overwrites it.
+func (c *modelCache) checkpointOptions(key modelKey, m *tmark.Model) []tmark.RunOption {
+	name := fmt.Sprintf("%s-%016x.ckpt", safeName(key.dataset), m.ConfigHash())
+	opts := []tmark.RunOption{tmark.WithCheckpoint(&tmark.DirSink{Dir: c.ckDir, Name: name}, c.ckEvery)}
+	if cp, err := tmark.LoadCheckpointFile(filepath.Join(c.ckDir, name)); err == nil && m.ValidateCheckpoint(cp) == nil {
+		opts = append(opts, tmark.ResumeFrom(cp))
+	}
+	return opts
+}
+
+// safeName maps a dataset name onto a filename-safe form.
+func safeName(s string) string {
+	out := []byte(s)
+	for i, b := range out {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9',
+			b == '.', b == '-', b == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
 }
 
 // snapshot returns the current entries without touching LRU order.
@@ -180,6 +287,7 @@ func (c *modelCache) drainAll() {
 		wg.Add(1)
 		go func(e *warmModel) {
 			defer wg.Done()
+			e.rankCancel() // in-flight /rank solves flush and return
 			<-e.ready
 			if e.coal != nil {
 				e.coal.stop(true)

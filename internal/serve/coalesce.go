@@ -20,10 +20,12 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tmark/internal/fault"
 	"tmark/internal/tmark"
 )
 
@@ -33,6 +35,13 @@ var ErrOverloaded = errors.New("serve: admission queue full")
 
 // ErrDraining reports a coalescer that has stopped accepting work.
 var ErrDraining = errors.New("serve: draining")
+
+// ErrModelFault reports a solve or build that panicked. The faulting
+// model is quarantined — dropped from the cache so the next request
+// rebuilds it from the immutable graph — and the requests that hit the
+// fault are answered with this error (a 503: the rebuild usually
+// clears a transient corruption, so clients should retry).
+var ErrModelFault = errors.New("serve: model quarantined after fault")
 
 // job is one enqueued query and its reply channel (buffered so the
 // dispatcher never blocks on delivery).
@@ -60,6 +69,12 @@ type coalescer struct {
 	cancel   context.CancelFunc
 
 	slots chan struct{} // server-wide solve semaphore; nil = unbounded
+
+	// onPanic is invoked (at most per batch) when a batch solve panics,
+	// after the panic is recovered; the cache wires it to quarantine
+	// this coalescer's model. The field is assigned before the warm
+	// model is published, so the dispatcher never observes a torn write.
+	onPanic func()
 
 	closed   atomic.Bool   // intake rejected once set
 	drainCh  chan struct{} // signals the dispatcher to empty and exit
@@ -170,14 +185,15 @@ fill:
 
 // run executes one lockstep batch and answers every job. SolveColumns
 // only fails on query validation, and the server validates before
-// enqueueing, so err is defensively forwarded but not expected.
+// enqueueing, so err is defensively forwarded but not expected — except
+// for ErrModelFault, which solve synthesises from a recovered panic.
 func (c *coalescer) run(batch []*job) {
 	queries := make([]tmark.ColumnQuery, len(batch))
 	for i, j := range batch {
 		queries[i] = j.query
 	}
 	start := time.Now()
-	out, err := c.model.SolveColumns(c.solveCtx, queries)
+	out, err := c.solve(queries)
 	if c.met != nil {
 		c.met.observeBatch(len(batch), time.Since(start))
 	}
@@ -188,6 +204,29 @@ func (c *coalescer) run(batch []*job) {
 		}
 		j.resp <- r
 	}
+}
+
+// solve runs the lockstep solve with a panic barrier: a crashing solver
+// must take down neither the dispatcher (which still owes every queued
+// job an answer) nor the process. A recovered panic quarantines the
+// model via onPanic and surfaces as ErrModelFault on every job of the
+// batch.
+func (c *coalescer) solve(queries []tmark.ColumnQuery) (out []tmark.ColumnResult, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			out, err = nil, fmt.Errorf("%w: batch solve panicked: %v", ErrModelFault, rec)
+			if c.met != nil {
+				c.met.panics.Inc()
+			}
+			if c.onPanic != nil {
+				c.onPanic()
+			}
+		}
+	}()
+	if fault.Enabled() {
+		fault.Fire(fault.ServeBatchSolve, len(queries))
+	}
+	return c.model.SolveColumns(c.solveCtx, queries)
 }
 
 // stop closes intake and waits for the dispatcher to answer everything

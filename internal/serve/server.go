@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,12 +20,14 @@ import (
 
 // Defaults for the zero values of Options.
 const (
-	DefaultCacheSize     = 4
-	DefaultMaxBatch      = 8
-	DefaultQueueDepth    = 64
-	DefaultMaxConcurrent = 2
-	DefaultMaxBodyBytes  = 1 << 20
-	DefaultTopNodes      = 10
+	DefaultCacheSize       = 4
+	DefaultMaxBatch        = 8
+	DefaultQueueDepth      = 64
+	DefaultMaxConcurrent   = 2
+	DefaultMaxBodyBytes    = 1 << 20
+	DefaultTopNodes        = 10
+	DefaultRetryAfter      = time.Second
+	DefaultCheckpointEvery = 8
 )
 
 // Options configures a Server. Datasets is the only required field.
@@ -53,6 +56,17 @@ type Options struct {
 	MaxConcurrent int
 	// MaxBodyBytes bounds a /classify request body (default 1 MiB).
 	MaxBodyBytes int64
+	// RetryAfter is the backoff hint carried in the Retry-After header
+	// of every 503 (load shed, drain, quarantined model); default 1s.
+	RetryAfter time.Duration
+	// CheckpointDir, when set, gives every warm model's /rank full
+	// solve a per-model checkpoint file in this directory: snapshots
+	// every CheckpointEvery iterations, a final flush on drain, and a
+	// resume from the last snapshot on the next process start.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot cadence in solver iterations
+	// (default 8); only meaningful with CheckpointDir.
+	CheckpointEvery int
 	// Registry receives the serving metrics and backs /metrics, /vars
 	// and /debug/pprof; nil means obs.Default().
 	Registry *obs.Registry
@@ -71,6 +85,10 @@ type Server struct {
 	// batches at a deterministic point.
 	slots chan struct{}
 
+	// retryAfter is Options.RetryAfter pre-rendered for the Retry-After
+	// header (whole seconds, at least 1).
+	retryAfter string
+
 	draining  atomic.Bool
 	drainOnce sync.Once
 }
@@ -86,6 +104,8 @@ type metrics struct {
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
 	cacheEvictions *obs.Counter
+	panics         *obs.Counter
+	quarantines    *obs.Counter
 	latency        *obs.Latency
 	batchTime      *obs.Timer
 }
@@ -101,6 +121,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		cacheHits:      reg.Counter("tmarkd_cache_hits_total"),
 		cacheMisses:    reg.Counter("tmarkd_cache_misses_total"),
 		cacheEvictions: reg.Counter("tmarkd_cache_evictions_total"),
+		panics:         reg.Counter("tmarkd_panics_recovered_total"),
+		quarantines:    reg.Counter("tmarkd_model_quarantines_total"),
 		latency:        obs.NewLatency(0),
 		batchTime:      reg.Timer("tmarkd_batch_solve"),
 	}
@@ -151,12 +173,23 @@ func New(opts Options) (*Server, error) {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = DefaultRetryAfter
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = DefaultCheckpointEvery
+	}
 	reg := opts.Registry
 	if reg == nil {
 		reg = obs.Default()
 	}
 
 	s := &Server{opts: opts, met: newMetrics(reg)}
+	secs := int(opts.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	s.retryAfter = strconv.Itoa(secs)
 	slots := make(chan struct{}, opts.MaxConcurrent)
 	s.slots = slots
 	s.cache = newModelCache(opts.CacheSize,
@@ -171,6 +204,8 @@ func New(opts Options) (*Server, error) {
 			return newCoalescer(m, opts.MaxBatch, opts.QueueDepth, slots, s.met)
 		},
 		s.met)
+	s.cache.ckDir = opts.CheckpointDir
+	s.cache.ckEvery = opts.CheckpointEvery
 
 	reg.SetGauge("tmarkd_queue_depth", func() float64 { return float64(s.cache.queueDepth()) })
 	reg.SetGauge("tmarkd_coalesce_ratio", func() float64 {
@@ -229,6 +264,14 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: msg})
 }
 
+// unavailable sheds one request: a 503 with the server's Retry-After
+// hint, so well-behaved clients (pkg/tmark honours the header) back off
+// instead of hammering an overloaded, draining or recovering server.
+func (s *Server) unavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", s.retryAfter)
+	writeError(w, http.StatusServiceUnavailable, msg)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte("ok\n"))
@@ -236,6 +279,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", s.retryAfter)
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -281,6 +325,12 @@ func (s *Server) resolve(name string, req *ClassifyRequest) (string, *warmModel,
 	}
 	e, err := s.cache.get(modelKey{dataset: name, cfg: cfg})
 	if err != nil {
+		// A faulted (panicked) build is transient by construction — the
+		// entry was dropped, so a later request rebuilds from scratch —
+		// and therefore sheds as a retryable 503 rather than a 500.
+		if errors.Is(err, ErrModelFault) {
+			return name, nil, http.StatusServiceUnavailable, err
+		}
 		return name, nil, http.StatusInternalServerError, err
 	}
 	return name, e, http.StatusOK, nil
@@ -294,7 +344,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
 	if s.draining.Load() {
 		s.met.rejected.Inc()
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		s.unavailable(w, "draining")
 		return
 	}
 	req, err := DecodeClassifyRequest(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
@@ -306,6 +356,10 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	name, e, status, err := s.resolve(req.Dataset, req)
 	if err != nil {
 		s.met.errors.Inc()
+		if status == http.StatusServiceUnavailable {
+			s.unavailable(w, err.Error())
+			return
+		}
 		writeError(w, status, err.Error())
 		return
 	}
@@ -314,9 +368,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	res, width, err := e.coal.do(r.Context(), tmark.ColumnQuery{Seeds: req.Seeds, ICA: req.ICA})
 	s.met.latency.Observe(time.Since(start))
 	switch {
-	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining), errors.Is(err, ErrModelFault):
 		s.met.rejected.Inc()
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		s.unavailable(w, err.Error())
 		return
 	case err != nil:
 		s.met.errors.Inc()
@@ -363,12 +417,16 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
 	if s.draining.Load() {
 		s.met.rejected.Inc()
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		s.unavailable(w, "draining")
 		return
 	}
 	name, e, status, err := s.resolve(r.URL.Query().Get("dataset"), nil)
 	if err != nil {
 		s.met.errors.Inc()
+		if status == http.StatusServiceUnavailable {
+			s.unavailable(w, err.Error())
+			return
+		}
 		writeError(w, status, err.Error())
 		return
 	}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sync"
 
+	"tmark/internal/fault"
 	"tmark/internal/obs"
 	"tmark/internal/par"
 )
@@ -51,6 +52,13 @@ type NodeBatchScratch struct {
 	// Probe, when non-nil, counts ApplyBatchParallel calls, the stored
 	// entries they stream, and the class columns they apply them to.
 	Probe *obs.Probe
+
+	// NoASM demotes this scratch's contractions to the scalar reference
+	// bodies even when the host supports the AVX2 kernels. The solver's
+	// numerical-fault retry sets it: after a fault in the vectorised
+	// path, the retry re-runs on the scalar bodies so a miscompiled or
+	// misbehaving assembly kernel cannot poison the answer twice.
+	NoASM bool
 }
 
 // NewNodeBatchScratch sizes batch scratch for o with the given shard
@@ -106,10 +114,14 @@ func (o *NodeTransition) ApplyBatch(s *NodeBatchScratch, x, z, dst []float64, b 
 	for c := range mass {
 		mass[c] = 0
 	}
-	pairMassBatch(x, z, o.colJ, o.colK, b, 0, len(o.colJ), mass)
-	cooScatterBatch(dst, x, z, o.i, o.j, o.k, o.p, b, 0, len(o.p))
+	asm := useBatchASM && !s.NoASM
+	pairMassBatch(x, z, o.colJ, o.colK, b, 0, len(o.colJ), mass, asm)
+	cooScatterBatch(dst, x, z, o.i, o.j, o.k, o.p, b, 0, len(o.p), asm)
 	danglingAddends(sumX, sumZ, mass, u, n)
 	addUniformCols(dst, u, b)
+	if fault.Enabled() {
+		fault.Fire(fault.TensorNodeBatch, dst, b)
+	}
 }
 
 // fusedMassScatterBatch is the scalar serial relation-contraction core:
@@ -267,7 +279,9 @@ func fusedMassScatterBatch(dst, a, bb []float64, runA, runB, runStart, di []int3
 // run cache there would mispredict constantly and cost more than the
 // loads it saves. Pure load elimination: no float's value or
 // accumulation order changes.
-func cooScatterBatch(dst, a, bb []float64, di, ai, bi []int32, p []float64, cols, lo, hi int) {
+// asm selects the AVX2 bodies for cols 4 and 8; callers pass
+// useBatchASM gated on the scratch's NoASM demotion flag.
+func cooScatterBatch(dst, a, bb []float64, di, ai, bi []int32, p []float64, cols, lo, hi int, asm bool) {
 	if lo >= hi {
 		return
 	}
@@ -315,7 +329,7 @@ func cooScatterBatch(dst, a, bb []float64, di, ai, bi []int32, p []float64, cols
 			d[2] += pv * av[2] * b2
 		}
 	case 4:
-		if useBatchASM {
+		if asm {
 			cooScatterAVX4(&dst[0], &a[0], &bb[0], &di[lo], &ai[lo], &bi[lo], &p[lo], hi-lo)
 			return
 		}
@@ -337,7 +351,7 @@ func cooScatterBatch(dst, a, bb []float64, di, ai, bi []int32, p []float64, cols
 			d[3] += pv * av[3] * b3
 		}
 	case 8:
-		if useBatchASM {
+		if asm {
 			cooScatterAVX8(&dst[0], &a[0], &bb[0], &di[lo], &ai[lo], &bi[lo], &p[lo], hi-lo)
 			return
 		}
@@ -388,7 +402,7 @@ func cooScatterBatch(dst, a, bb []float64, di, ai, bi []int32, p []float64, cols
 // node mass pairs sort by (k, j), the relation ones by (j, i)), so its
 // row is cached in locals like cooScatterBatch's operands; the column
 // accumulators live in locals too, added in the same q order per column.
-func pairMassBatch(a, bb []float64, ai, bi []int32, cols, lo, hi int, mass []float64) {
+func pairMassBatch(a, bb []float64, ai, bi []int32, cols, lo, hi int, mass []float64, asm bool) {
 	if lo >= hi {
 		return
 	}
@@ -438,7 +452,7 @@ func pairMassBatch(a, bb []float64, ai, bi []int32, cols, lo, hi int, mass []flo
 		}
 		mass[0], mass[1], mass[2] = m0, m1, m2
 	case 4:
-		if useBatchASM {
+		if asm {
 			pairMassAVX4(&a[0], &bb[0], &ai[lo], &bi[lo], hi-lo, &mass[0])
 			return
 		}
@@ -460,7 +474,7 @@ func pairMassBatch(a, bb []float64, ai, bi []int32, cols, lo, hi int, mass []flo
 		}
 		mass[0], mass[1], mass[2], mass[3] = m0, m1, m2, m3
 	case 8:
-		if useBatchASM {
+		if asm {
 			pairMassAVX8(&a[0], &bb[0], &ai[lo], &bi[lo], hi-lo, &mass[0])
 			return
 		}
@@ -597,10 +611,11 @@ func (t *nodeBatchTask) RunShard(shard, shards int) {
 			sumZ[c] += v
 		}
 	}
+	asm := useBatchASM && !s.NoASM
 	lo, hi = par.Split(len(o.colJ), shards, shard)
-	pairMassBatch(x, z, o.colJ, o.colK, b, lo, hi, mass)
+	pairMassBatch(x, z, o.colJ, o.colK, b, lo, hi, mass, asm)
 	lo, hi = par.Split(len(o.p), shards, shard)
-	cooScatterBatch(part, x, z, o.i, o.j, o.k, o.p, b, lo, hi)
+	cooScatterBatch(part, x, z, o.i, o.j, o.k, o.p, b, lo, hi, asm)
 }
 
 // ApplyBatchParallel computes the blocked contraction like ApplyBatch
@@ -639,6 +654,9 @@ func (o *NodeTransition) ApplyBatchParallel(p *par.Pool, s *NodeBatchScratch, x,
 	t.reduce = true
 	p.Run(s.shards, t, &s.wg)
 	t.x, t.z, t.dst = nil, nil, nil
+	if fault.Enabled() {
+		fault.Fire(fault.TensorNodeBatch, dst[:o.n*b], b)
+	}
 }
 
 func checkNodeBlocks(o *NodeTransition, op string, lx, lz, ldst, b int) {
@@ -669,6 +687,10 @@ type RelationBatchScratch struct {
 	// Probe, when non-nil, counts ApplyBatchParallel calls, the stored
 	// entries they stream, and the class columns they apply them to.
 	Probe *obs.Probe
+
+	// NoASM demotes this scratch's contractions to the scalar reference
+	// bodies; see NodeBatchScratch.NoASM.
+	NoASM bool
 }
 
 // NewRelationBatchScratch sizes batch scratch for r with the given shard
@@ -722,16 +744,19 @@ func (r *RelationTransition) ApplyBatch(s *RelationBatchScratch, x, dst []float6
 	for c := range mass {
 		mass[c] = 0
 	}
-	if useBatchASM && (b == 4 || b == 8) {
+	if asm := useBatchASM && !s.NoASM; asm && (b == 4 || b == 8) {
 		// The AVX2 split kernels beat the fused pass; both orders are
 		// bitwise identical (see fusedMassScatterBatch).
-		pairMassBatch(x, x, r.tubeI, r.tubeJ, b, 0, len(r.tubeI), mass)
-		cooScatterBatch(dst, x, x, r.k, r.i, r.j, r.p, b, 0, len(r.p))
+		pairMassBatch(x, x, r.tubeI, r.tubeJ, b, 0, len(r.tubeI), mass, asm)
+		cooScatterBatch(dst, x, x, r.k, r.i, r.j, r.p, b, 0, len(r.p), asm)
 	} else {
 		fusedMassScatterBatch(dst, x, x, r.tubeI, r.tubeJ, r.tubeStart, r.k, r.p, b, mass)
 	}
 	danglingAddends(sumI, sumI, mass, u, m)
 	addUniformCols(dst, u, b)
+	if fault.Enabled() {
+		fault.Fire(fault.TensorRelationBatch, dst, b)
+	}
 }
 
 type relationBatchTask struct {
@@ -761,10 +786,11 @@ func (t *relationBatchTask) RunShard(shard, shards int) {
 			sumI[c] += v
 		}
 	}
+	asm := useBatchASM && !s.NoASM
 	lo, hi = par.Split(len(r.tubeI), shards, shard)
-	pairMassBatch(x, x, r.tubeI, r.tubeJ, b, lo, hi, mass)
+	pairMassBatch(x, x, r.tubeI, r.tubeJ, b, lo, hi, mass, asm)
 	lo, hi = par.Split(len(r.p), shards, shard)
-	cooScatterBatch(part, x, x, r.k, r.i, r.j, r.p, b, lo, hi)
+	cooScatterBatch(part, x, x, r.k, r.i, r.j, r.p, b, lo, hi, asm)
 }
 
 // ApplyBatchParallel computes the blocked contraction like ApplyBatch
@@ -809,6 +835,9 @@ func (r *RelationTransition) ApplyBatchParallel(p *par.Pool, s *RelationBatchScr
 		}
 	}
 	t.x = nil
+	if fault.Enabled() {
+		fault.Fire(fault.TensorRelationBatch, dst[:m*b], b)
+	}
 }
 
 func checkRelationBlocks(r *RelationTransition, op string, lx, ldst, b int) {

@@ -1,0 +1,86 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tmark/internal/fault"
+)
+
+// Scratch.NoASM must select the scalar bodies: a demoted run has to be
+// bitwise equal to a run with the assembly kernels disabled globally,
+// for every column width including the AVX-accelerated 4 and 8.
+func TestNoASMDemotionMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	a := randomTensor(rng, 48, 3, 500)
+	o := NewNodeTransition(a)
+	r := NewRelationTransition(a)
+	for _, b := range []int{1, 4, 8} {
+		x := randomBlock(rng, o.N(), b)
+		z := randomBlock(rng, o.M(), b)
+
+		// Reference: global scalar selection.
+		old := useBatchASM
+		useBatchASM = false
+		wantN := make([]float64, o.N()*b)
+		o.ApplyBatch(NewNodeBatchScratch(o, 1, b), x, z, wantN, b)
+		wantR := make([]float64, r.M()*b)
+		r.ApplyBatch(NewRelationBatchScratch(r, 1, b), x, wantR, b)
+		useBatchASM = old
+
+		// Demoted: default selection with NoASM set on the scratch.
+		sn := NewNodeBatchScratch(o, 1, b)
+		sn.NoASM = true
+		gotN := make([]float64, o.N()*b)
+		o.ApplyBatch(sn, x, z, gotN, b)
+		sr := NewRelationBatchScratch(r, 1, b)
+		sr.NoASM = true
+		gotR := make([]float64, r.M()*b)
+		r.ApplyBatch(sr, x, gotR, b)
+
+		for i := range wantN {
+			if gotN[i] != wantN[i] {
+				t.Fatalf("b=%d node demoted[%d] = %v, want scalar %v", b, i, gotN[i], wantN[i])
+			}
+		}
+		for i := range wantR {
+			if gotR[i] != wantR[i] {
+				t.Fatalf("b=%d relation demoted[%d] = %v, want scalar %v", b, i, gotR[i], wantR[i])
+			}
+		}
+	}
+}
+
+// The kernel fault points must hand the hook the real destination block,
+// so a chaos test can poison exactly one iteration's output.
+func TestKernelFaultPointCorruptsOutput(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	rng := rand.New(rand.NewSource(405))
+	a := randomTensor(rng, 30, 2, 200)
+	o := NewNodeTransition(a)
+	const b = 4
+	x := randomBlock(rng, o.N(), b)
+	z := randomBlock(rng, o.M(), b)
+	s := NewNodeBatchScratch(o, 1, b)
+	dst := make([]float64, o.N()*b)
+
+	fired := 0
+	remove := fault.Inject(fault.TensorNodeBatch, func(args ...any) {
+		fired++
+		block := args[0].([]float64)
+		if cols := args[1].(int); cols != b {
+			t.Fatalf("fault point cols = %d, want %d", cols, b)
+		}
+		block[0] = math.NaN()
+	})
+	defer remove()
+
+	o.ApplyBatch(s, x, z, dst, b)
+	if fired != 1 {
+		t.Fatalf("fault point fired %d times, want 1", fired)
+	}
+	if !math.IsNaN(dst[0]) {
+		t.Fatalf("hook mutation did not reach dst: dst[0] = %v", dst[0])
+	}
+}

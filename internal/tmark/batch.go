@@ -21,6 +21,7 @@ package tmark
 
 import (
 	"context"
+	"math"
 
 	"tmark/internal/vec"
 )
@@ -47,12 +48,19 @@ type batchRun struct {
 	trace  [][]float64
 	keep   []int // compaction scratch
 	argmax []int // reseed scratch: node -> argmax class
+
+	rhos []float64 // per-column residuals of the current iteration
+	best []float64 // per-class best residual seen (divergence guard)
+
+	t0   int // completed iterations restored from a checkpoint
+	done int // last completed iteration (snapshot cursor)
 }
 
 // runBatched solves every class through the blocked lockstep loop; a nil
 // warm starts every class cold from its seed vector. It fills res with
-// per-class ClassResults exactly like the sequential paths.
-func (m *Model) runBatched(ctx context.Context, res *Result, warm func(c int) (vec.Vector, vec.Vector, bool), rs *runScratch) {
+// per-class ClassResults exactly like the sequential paths and returns
+// the guard verdict that stopped the loop, if any.
+func (m *Model) runBatched(ctx context.Context, res *Result, warm warmFn, rs *runScratch) *runFault {
 	n, mm, q := m.graph.N(), m.graph.M(), m.graph.Q()
 	st := &batchRun{
 		n: n, m: mm, q: q, b: q,
@@ -72,6 +80,8 @@ func (m *Model) runBatched(ctx context.Context, res *Result, warm func(c int) (v
 		trace:   make([][]float64, q),
 		keep:    make([]int, 0, q),
 		argmax:  make([]int, n),
+		rhos:    make([]float64, q),
+		best:    make([]float64, q),
 	}
 	uniformZ := vec.Uniform(mm)
 	for c := 0; c < q; c++ {
@@ -79,6 +89,7 @@ func (m *Model) runBatched(ctx context.Context, res *Result, warm func(c int) (v
 		st.l[c], st.seeds[c] = l, seeds
 		st.xOut[c], st.zOut[c] = vec.New(n), vec.New(mm)
 		st.classOf[c], st.slot[c] = c, c
+		st.best[c] = math.Inf(1)
 		x, z := l, uniformZ
 		if warm != nil {
 			if wx, wz, ok := warm(c); ok {
@@ -88,8 +99,18 @@ func (m *Model) runBatched(ctx context.Context, res *Result, warm func(c int) (v
 		vec.ScatterCol(x, st.x, c, q)
 		vec.ScatterCol(z, st.z, c, q)
 	}
+	if cp := rs.opts.resume; cp != nil {
+		m.restoreBatch(st, cp)
+	}
 
-	m.iterateBatched(ctx, st, rs)
+	flt := m.iterateBatched(ctx, st, rs)
+
+	// An interrupted run flushes one final snapshot so a later process
+	// can resume from exactly the state this one reports: drains and
+	// kills lose at most the iterations since the last completed one.
+	if rs.opts.ckSink != nil && st.b > 0 && ctx.Err() != nil {
+		m.saveCheckpoint(rs.opts.ckSink, m.snapshotBatch(st))
+	}
 
 	// Gather still-active columns (iteration cap or cancellation); retired
 	// classes were gathered when they converged.
@@ -105,21 +126,37 @@ func (m *Model) runBatched(ctx context.Context, res *Result, warm func(c int) (v
 			Trace: st.trace[c], Seeds: st.seeds[c], Restart: st.l[c],
 		}
 	}
+	return flt
 }
 
 // iterateBatched is the blocked lockstep loop. The context is checked
 // once per iteration, like the sequential loops, so a cancelled run
-// keeps the state of the last completed iteration.
-func (m *Model) iterateBatched(ctx context.Context, st *batchRun, rs *runScratch) {
+// keeps the state of the last completed iteration. The numerical-health
+// probes run before the iterate is committed (copy xn→x), so a fault
+// verdict always leaves the block at the last healthy iteration — the
+// snapshot it carries is what the automatic demoted retry resumes from.
+func (m *Model) iterateBatched(ctx context.Context, st *batchRun, rs *runScratch) *runFault {
 	alpha, beta := m.cfg.Alpha, m.cfg.Beta()
 	rel := 1 - alpha - beta
 	n, mm := st.n, st.m
+	g := rs.opts.guards
 	progress := rs.progressFn()
-	for t := 1; t <= m.cfg.MaxIterations; t++ {
+	corrupt := func(col, t int, kind string) *runFault {
+		regNumericalFaults.Inc()
+		return &runFault{
+			fault:     Fault{Class: st.classOf[col], Iter: t, Kind: kind},
+			cp:        m.snapshotBatch(st),
+			retryable: true,
+		}
+	}
+	for t := st.t0 + 1; t <= m.cfg.MaxIterations; t++ {
 		if ctx.Err() != nil {
 			break
 		}
 		if m.cfg.ICAUpdate && t > 2 {
+			// Re-running the reseed after a resume is safe: it recomputes
+			// every restart vector from the prediction state alone, never
+			// reading the previous l, so it is idempotent on a fixed block.
 			rs.reseedCols(st.q*n, st.q, func() { m.icaReseedBatch(st) })
 		}
 		b := st.b
@@ -139,16 +176,36 @@ func (m *Model) iterateBatched(ctx context.Context, st *batchRun, rs *runScratch
 			vec.AxpyCol(alpha, st.l[st.classOf[col]], xn, col, b)
 			// The same simplex projection as the sequential step: rounding
 			// in the dangling-mass closed forms compounds across
-			// iterations, and the fixed point has unit mass anyway.
-			vec.Normalize1Col(xn, col, b)
+			// iterations, and the fixed point has unit mass anyway. The
+			// projection's by-product — the pre-normalisation mass — is the
+			// corruption probe: a zero/NaN/Inf or drifting mass faults the
+			// iterate before anything is committed.
+			mass, ok := vec.Normalize1ColMass(xn, col, b)
+			if kind, bad := badMass(mass, ok, g); bad {
+				return corrupt(col, t, kind)
+			}
 		}
 		rs.applyRelationBatch(m.r, xn, zn, b)
 		for col := 0; col < b; col++ {
-			vec.Normalize1Col(zn, col, b)
+			mass, ok := vec.Normalize1ColMass(zn, col, b)
+			if kind, bad := badMass(mass, ok, g); bad {
+				return corrupt(col, t, kind)
+			}
+		}
+		// Residual probe pass: every column's ρ must be finite before any
+		// column's bookkeeping commits, so a fault never leaves a torn
+		// trace behind.
+		rhos := st.rhos[:b]
+		for col := 0; col < b; col++ {
+			rho := vec.Diff1Col(x, xn, col, b) + vec.Diff1Col(z, zn, col, b)
+			if nonFinite(rho) {
+				return corrupt(col, t, faultNonFinite)
+			}
+			rhos[col] = rho
 		}
 		retired := false
 		for col := 0; col < b; col++ {
-			rho := vec.Diff1Col(x, xn, col, b) + vec.Diff1Col(z, zn, col, b)
+			rho := rhos[col]
 			c := st.classOf[col]
 			st.trace[c] = append(st.trace[c], rho)
 			st.iters[c]++
@@ -162,13 +219,40 @@ func (m *Model) iterateBatched(ctx context.Context, st *batchRun, rs *runScratch
 		}
 		copy(x, xn)
 		copy(z, zn)
+		st.done = t
+		// The opt-in series probes run post-commit: divergence and
+		// stagnation are verdicts about the (valid) residual series, so
+		// the committed state is exactly what the stopped run reports,
+		// and neither is retryable — they reproduce deterministically.
+		for col := 0; col < b; col++ {
+			c := st.classOf[col]
+			if st.conv[c] {
+				continue
+			}
+			rho := rhos[col]
+			if diverged(rho, st.best[c], g) {
+				regNumericalFaults.Inc()
+				return &runFault{fault: Fault{Class: c, Iter: t, Kind: faultDivergence}}
+			}
+			if rho < st.best[c] {
+				st.best[c] = rho
+			}
+			if stagnated(st.trace[c], g) {
+				regStagnations.Inc()
+				return &runFault{fault: Fault{Class: c, Iter: t, Kind: faultStagnation}}
+			}
+		}
 		if retired {
 			st.retireConverged()
 			if st.b == 0 {
 				break
 			}
 		}
+		if sink := rs.opts.ckSink; sink != nil && rs.opts.ckEvery > 0 && t%rs.opts.ckEvery == 0 && st.b > 0 {
+			m.saveCheckpoint(sink, m.snapshotBatch(st))
+		}
 	}
+	return nil
 }
 
 // retireConverged gathers every freshly converged column into its final
@@ -258,4 +342,83 @@ func (m *Model) icaReseedBatch(st *batchRun) {
 		}
 		vec.Scale(1/float64(count), l)
 	}
+}
+
+// snapshotBatch deep-copies the batched working set into a Checkpoint.
+// st.done is the snapshot's iteration cursor: on the periodic cadence it
+// equals the just-committed iteration, and at a pre-commit fault it still
+// names the last healthy one, so a resume always replays from valid
+// state. Retired classes are stored with their frozen finals; the ICA
+// reseed reads them (through xAt), so resuming reproduces the exact
+// cross-class coupling of the uninterrupted run.
+func (m *Model) snapshotBatch(st *batchRun) *Checkpoint {
+	cp := &Checkpoint{
+		ConfigHash: m.cfg.checkpointHash(),
+		Kind:       ckKindClasses,
+		N:          st.n, M: st.m, Q: st.q,
+		Iter:    st.done,
+		B:       st.b,
+		ClassOf: append([]int(nil), st.classOf[:st.b]...),
+		State:   make([]uint8, st.q),
+		Iters:   append([]int(nil), st.iters...),
+		Seeds:   append([]int(nil), st.seeds...),
+		X:       append([]float64(nil), st.x[:st.n*st.b]...),
+		Z:       append([]float64(nil), st.z[:st.m*st.b]...),
+		L:       make([]float64, st.q*st.n),
+		XOut:    make([][]float64, st.q),
+		ZOut:    make([][]float64, st.q),
+		Trace:   make([][]float64, st.q),
+	}
+	for c := 0; c < st.q; c++ {
+		copy(cp.L[c*st.n:(c+1)*st.n], st.l[c])
+		if st.slot[c] < 0 {
+			cp.State[c] = 1
+			cp.XOut[c] = append([]float64(nil), st.xOut[c]...)
+			cp.ZOut[c] = append([]float64(nil), st.zOut[c]...)
+		}
+		cp.Trace[c] = append([]float64(nil), st.trace[c]...)
+	}
+	return cp
+}
+
+// restoreBatch loads a class-run checkpoint into the freshly initialised
+// working set, replacing the cold/warm seed state. It panics on a
+// checkpoint that does not belong to this model — ResumeFrom documents
+// the contract, and Model.ValidateCheckpoint probes without panicking.
+func (m *Model) restoreBatch(st *batchRun, cp *Checkpoint) {
+	if err := m.ValidateCheckpoint(cp); err != nil {
+		panic(err.Error())
+	}
+	st.b = cp.B
+	st.classOf = st.classOf[:st.b]
+	copy(st.classOf, cp.ClassOf)
+	for c := range st.slot {
+		st.slot[c] = -1
+	}
+	for col, c := range st.classOf {
+		st.slot[c] = col
+	}
+	copy(st.x[:st.n*st.b], cp.X)
+	copy(st.z[:st.m*st.b], cp.Z)
+	for c := 0; c < st.q; c++ {
+		copy(st.l[c], cp.L[c*st.n:(c+1)*st.n])
+		st.iters[c] = cp.Iters[c]
+		st.seeds[c] = cp.Seeds[c]
+		st.trace[c] = append([]float64(nil), cp.Trace[c]...)
+		// The divergence guard compares against the best residual seen so
+		// far; rebuilding it from the restored trace matches what the
+		// uninterrupted run would hold at this iteration.
+		st.best[c] = math.Inf(1)
+		for _, r := range st.trace[c] {
+			if r < st.best[c] {
+				st.best[c] = r
+			}
+		}
+		if cp.State[c] != 0 {
+			st.conv[c] = cp.State[c] == 1
+			copy(st.xOut[c], cp.XOut[c])
+			copy(st.zOut[c], cp.ZOut[c])
+		}
+	}
+	st.t0, st.done = cp.Iter, cp.Iter
 }

@@ -1,0 +1,246 @@
+package tmark
+
+// Chaos tests: deterministic fault injection into the solver's kernels
+// and checkpoint path, asserting the guards degrade to correct — never
+// wrong — answers. A corrupted iterate is always discarded before
+// commit, so every state a faulted run reports is a healthy iterate,
+// and the automatic demoted retry recovers the full bitwise-correct
+// result when the corruption was transient.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"tmark/internal/fault"
+	"tmark/internal/vec"
+)
+
+// injectNaN arms the fault point to write NaN into the kernel's output
+// block on its nth firing, returning the disarm func.
+func injectNaN(p fault.Point, nth int64, offset int) func() {
+	return fault.Inject(p, fault.Nth(nth, func(args ...any) {
+		dst := args[0].([]float64)
+		dst[offset] = math.NaN()
+	}))
+}
+
+// A transient NaN in the blocked node kernel must trigger exactly one
+// demoted retry from the last good state and still produce the bitwise
+// answer of a clean run.
+func TestChaosNaNRecoversThroughRetry(t *testing.T) {
+	g := benchGraph(100)
+	for _, workers := range []int{1, 4} {
+		label := fmt.Sprintf("workers=%d", workers)
+		m, err := New(g, ckConfig(true, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := m.RunContext(context.Background())
+
+		remove := injectNaN(fault.TensorNodeBatch, 5, 0)
+		res := m.RunContext(context.Background())
+		remove()
+
+		if len(res.Faults) == 0 {
+			t.Fatalf("%s: no fault recorded", label)
+		}
+		if res.Faults[0].Kind != faultNonFinite {
+			t.Errorf("%s: fault kind %q", label, res.Faults[0].Kind)
+		}
+		if res.Reason != ref.Reason {
+			t.Errorf("%s: reason %v, want %v (recovered run)", label, res.Reason, ref.Reason)
+		}
+		assertResultsBitwise(t, label, res, ref)
+	}
+}
+
+// With the retry disabled the run must stop at the fault with the last
+// healthy state: every reported float is finite and each class's
+// iteration count is below the fault iteration.
+func TestChaosNaNNoRetryStopsHealthy(t *testing.T) {
+	m, err := New(benchGraph(100), ckConfig(true, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remove := injectNaN(fault.TensorNodeBatch, 5, 0)
+	defer remove()
+	res := m.RunContext(context.Background(), WithGuards(GuardConfig{NoRetry: true}))
+
+	if res.Reason != ReasonNumericalFault {
+		t.Fatalf("reason %v, want ReasonNumericalFault", res.Reason)
+	}
+	if !errors.Is(res.Stopped, ErrNumericalFault) {
+		t.Fatalf("stopped %v, want ErrNumericalFault", res.Stopped)
+	}
+	if len(res.Faults) != 1 || res.Faults[0].Iter != 5 {
+		t.Fatalf("faults %v, want one at iteration 5", res.Faults)
+	}
+	for c := range res.Classes {
+		cr := &res.Classes[c]
+		if cr.Iterations != 4 {
+			t.Errorf("class %d reports iteration %d, want 4 (last healthy)", c, cr.Iterations)
+		}
+		for _, v := range cr.X {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("class %d X contains non-finite value", c)
+			}
+		}
+	}
+}
+
+// A deterministic fault (reproducing on every firing) must survive the
+// one retry and stop the run — the retry is attempted once, not looped.
+func TestChaosPersistentFaultStops(t *testing.T) {
+	m, err := New(benchGraph(100), ckConfig(true, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remove := fault.Inject(fault.TensorNodeBatch, func(args ...any) {
+		args[0].([]float64)[0] = math.NaN()
+	})
+	defer remove()
+	res := m.RunContext(context.Background())
+	if res.Reason != ReasonNumericalFault {
+		t.Fatalf("reason %v, want ReasonNumericalFault", res.Reason)
+	}
+	// Both attempts' faults are on the record: the original and the one
+	// that reproduced on the demoted retry.
+	if len(res.Faults) != 2 {
+		t.Fatalf("faults %v, want two (original + retry)", res.Faults)
+	}
+}
+
+// In a batched column solve a NaN confined to one column must retire
+// that column alone with its last healthy state; the other columns keep
+// iterating and finish bitwise identical to a clean run.
+func TestChaosColumnFaultIsolation(t *testing.T) {
+	g := benchGraph(100)
+	queries := []ColumnQuery{
+		{Seeds: []int{0, 4, 8}},
+		{Seeds: []int{1, 5, 9}},
+		{Seeds: []int{2, 6, 10}},
+	}
+	m, err := New(g, ckConfig(false, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.SolveColumns(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt column 1 of the relation block on the 4th iteration.
+	remove := fault.Inject(fault.TensorRelationBatch, fault.Nth(4, func(args ...any) {
+		dst, cols := args[0].([]float64), args[1].(int)
+		dst[1%cols] = math.NaN()
+	}))
+	defer remove()
+	out, err := m.SolveColumns(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !errors.Is(out[1].Stopped, ErrNumericalFault) {
+		t.Fatalf("column 1 stopped %v, want ErrNumericalFault", out[1].Stopped)
+	}
+	if out[1].Iterations != 3 {
+		t.Errorf("column 1 reports iteration %d, want 3 (last healthy)", out[1].Iterations)
+	}
+	for _, v := range out[1].X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("faulted column reports non-finite state")
+		}
+	}
+	for _, i := range []int{0, 2} {
+		if out[i].Stopped != nil {
+			t.Errorf("healthy column %d stopped: %v", i, out[i].Stopped)
+		}
+		if d := vec.Diff1(out[i].X, ref[i].X); d != 0 {
+			t.Errorf("healthy column %d X diverged by %v", i, d)
+		}
+		if out[i].Iterations != ref[i].Iterations {
+			t.Errorf("healthy column %d iterations %d vs %d", i, out[i].Iterations, ref[i].Iterations)
+		}
+	}
+}
+
+// The stagnation guard stops a run whose residuals go flat, without a
+// retry (the verdict is a property of the data, not the hardware).
+func TestGuardStagnationStopsRun(t *testing.T) {
+	cfg := ckConfig(true, 1)
+	cfg.Epsilon = 1e-300 // unreachable: every run grinds to the cap
+	m, err := New(benchGraph(100), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// StagnationTol = 1 accepts any window as flat, so the guard fires as
+	// soon as the window fills — a deterministic stand-in for a genuinely
+	// stuck iteration.
+	res := m.RunContext(context.Background(), WithGuards(GuardConfig{Stagnation: 3, StagnationTol: 1}))
+	if res.Reason != ReasonStagnated {
+		t.Fatalf("reason %v, want ReasonStagnated", res.Reason)
+	}
+	if !errors.Is(res.Stopped, ErrStagnated) {
+		t.Fatalf("stopped %v, want ErrStagnated", res.Stopped)
+	}
+	if len(res.Faults) != 1 || res.Faults[0].Kind != faultStagnation || res.Faults[0].Iter != 3 {
+		t.Fatalf("faults %v, want one stagnation at iteration 3", res.Faults)
+	}
+}
+
+// A failing checkpoint sink must not stop the solve: the run completes
+// identically, losing only resumability.
+func TestChaosCheckpointSaveFailureDoesNotStopRun(t *testing.T) {
+	m, err := New(benchGraph(100), ckConfig(true, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := m.RunContext(context.Background())
+
+	remove := fault.InjectErr(fault.CheckpointSave, func() error {
+		return errors.New("disk on fire")
+	})
+	defer remove()
+	sink := &MemorySink{}
+	res := m.RunContext(context.Background(), WithCheckpoint(sink, 2))
+	if sink.Last() != nil {
+		t.Error("sink received a snapshot despite the injected save failure")
+	}
+	assertResultsBitwise(t, "failing-sink", res, ref)
+}
+
+// The sequential step() carries the same always-on corruption guard:
+// a poisoned iterate makes it return NaN and leave x/z untouched at the
+// last healthy iteration (the sequential kernels expose no batch fault
+// points, so the guard is driven directly).
+func TestSequentialStepDiscardsCorruptIterate(t *testing.T) {
+	m, err := New(benchGraph(100), ckConfig(false, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := m.newRunScratch(runOptions{sequential: true})
+	defer rs.close()
+	l, seeds := m.seedVector(0)
+	s := classState{
+		x: vec.Clone(l), z: vec.Uniform(m.graph.M()), l: l,
+		xNext: vec.New(m.graph.N()), zNext: vec.New(m.graph.M()), tmp: vec.New(m.graph.N()),
+		seeds: seeds,
+	}
+	if rho := m.step(&s, rs); math.IsNaN(rho) {
+		t.Fatal("clean step returned NaN")
+	}
+	before := vec.Clone(s.x)
+	s.x[3] = math.NaN() // poison the committed state; next step must fault
+	before[3] = math.NaN()
+	if rho := m.step(&s, rs); !math.IsNaN(rho) {
+		t.Fatalf("poisoned step returned %v, want NaN", rho)
+	}
+	for i, v := range s.x {
+		if v != before[i] && !(math.IsNaN(v) && math.IsNaN(before[i])) {
+			t.Fatalf("faulted step committed x[%d]", i)
+		}
+	}
+}

@@ -229,6 +229,14 @@ func (m *Model) solveColumnSeq(ctx context.Context, idx int, cs columnState, rs 
 			})
 		}
 		rho := m.step(&s, rs)
+		if math.IsNaN(rho) {
+			// step discarded the corrupted iterate, so x/z hold the last
+			// healthy iteration — the partial solution the stopped column
+			// reports.
+			regNumericalFaults.Inc()
+			cr.Stopped = ErrNumericalFault
+			break
+		}
 		cr.Trace = append(cr.Trace, rho)
 		cr.Iterations = t
 		if progress != nil {
@@ -267,6 +275,14 @@ func (m *Model) SolveColumns(ctx context.Context, queries []ColumnQuery, opts ..
 		states[i] = cs
 	}
 	ro := resolveOptions(opts)
+	if cp := ro.resume; cp != nil {
+		if ro.sequential {
+			return nil, fmt.Errorf("%w: resume requires the batched path", ErrCheckpointMismatch)
+		}
+		if err := m.validateColumnCheckpoint(cp, len(queries)); err != nil {
+			return nil, err
+		}
+	}
 	rs := m.newRunScratchCols(ro, len(queries))
 	defer rs.close()
 	out := make([]ColumnResult, len(queries))
@@ -278,6 +294,31 @@ func (m *Model) SolveColumns(ctx context.Context, queries []ColumnQuery, opts ..
 	}
 	m.iterateColumns(ctx, states, out, rs)
 	return out, nil
+}
+
+// validateColumnCheckpoint reports whether the checkpoint can resume a
+// SolveColumns call over nq resubmitted queries on this model. The
+// queries themselves must be resubmitted unchanged — the checkpoint
+// stores their restart vectors and verdicts by position.
+func (m *Model) validateColumnCheckpoint(cp *Checkpoint, nq int) error {
+	if cp.Kind != ckKindColumns {
+		return fmt.Errorf("%w: kind %d is not a column-run checkpoint", ErrCheckpointMismatch, cp.Kind)
+	}
+	if cp.N != m.graph.N() || cp.M != m.graph.M() {
+		return fmt.Errorf("%w: checkpoint %dx%d, model %dx%d",
+			ErrCheckpointMismatch, cp.N, cp.M, m.graph.N(), m.graph.M())
+	}
+	if cp.Q != nq {
+		return fmt.Errorf("%w: checkpoint has %d query columns, call has %d", ErrCheckpointMismatch, cp.Q, nq)
+	}
+	if cp.ConfigHash != m.cfg.checkpointHash() {
+		return fmt.Errorf("%w: config hash %016x, model %016x",
+			ErrCheckpointMismatch, cp.ConfigHash, m.cfg.checkpointHash())
+	}
+	if cp.Iter >= m.cfg.MaxIterations && cp.B > 0 {
+		return fmt.Errorf("%w: checkpoint already at the iteration cap (%d)", ErrCheckpointMismatch, cp.Iter)
+	}
+	return nil
 }
 
 // columnBlock is the working set of one batched column solve: the
@@ -293,6 +334,13 @@ type columnBlock struct {
 	zn    []float64
 	tmp   []float64
 	keep  []int
+
+	rhos []float64 // per-column residuals of the current iteration
+	bad  []string  // per-column corruption verdicts ("" = healthy)
+	best []float64 // per-query best residual seen (divergence guard)
+
+	t0   int // completed iterations restored from a checkpoint
+	done int // last completed iteration (snapshot cursor)
 }
 
 // retire gathers every column with a pending verdict (converged or
@@ -327,6 +375,11 @@ func (st *columnBlock) retire(out []ColumnResult, done func(i int) bool) {
 // per-iteration order mirrors solveColumnSeq per column — cancellation
 // check, per-query reseed from t = 3, the eq. (10)/(8) step — so column
 // c stays bitwise equal to its sequential solve.
+//
+// Numerical faults are isolated per column: the kernels never mix
+// columns, so a corrupted column retires with its last healthy state and
+// Stopped = ErrNumericalFault while the rest of the batch carries on —
+// one poisoned query never spoils its batchmates.
 func (m *Model) iterateColumns(ctx context.Context, states []columnState, out []ColumnResult, rs *runScratch) {
 	n, mm := m.graph.N(), m.graph.M()
 	nq := len(states)
@@ -339,28 +392,43 @@ func (m *Model) iterateColumns(ctx context.Context, states []columnState, out []
 		zn:    make([]float64, mm*nq),
 		tmp:   make([]float64, n*nq),
 		keep:  make([]int, 0, nq),
+		rhos:  make([]float64, nq),
+		bad:   make([]string, nq),
+		best:  make([]float64, nq),
 	}
 	uniformZ := vec.Uniform(mm)
 	for i := range states {
 		st.colOf[i] = i
+		st.best[i] = math.Inf(1)
 		vec.ScatterCol(states[i].l, st.x, i, nq)
 		vec.ScatterCol(uniformZ, st.z, i, nq)
 		out[i] = ColumnResult{Seeds: states[i].seeds, Restart: states[i].l}
 	}
+	if cp := rs.opts.resume; cp != nil {
+		restoreColumns(st, cp, states, out)
+	}
 	alpha, beta := m.cfg.Alpha, m.cfg.Beta()
 	rel := 1 - alpha - beta
+	g := rs.opts.guards
 	progress := rs.progressFn()
-	for t := 1; t <= m.cfg.MaxIterations && st.b > 0; t++ {
-		// Cancellation first, like the sequential loop's top-of-iteration
-		// check: a cancelled column keeps the state of the last completed
-		// iteration. The run context stops every column; a column context
-		// retires that column alone.
+	for t := st.t0 + 1; t <= m.cfg.MaxIterations && st.b > 0; t++ {
+		// A run-level cancellation breaks out before any column is marked:
+		// the drain flush below must snapshot the survivors as still
+		// active, or a resumed run would treat them as permanently stopped.
+		if ctx.Err() != nil {
+			break
+		}
+		// Per-column cancellation next, like the sequential loop's
+		// top-of-iteration check: a cancelled column keeps the state of
+		// the last completed iteration and retires alone.
 		stopped := false
 		for col := 0; col < st.b; col++ {
 			i := st.colOf[col]
-			if err := columnErr(ctx, states[i].ctx); err != nil {
-				out[i].Stopped = err
-				stopped = true
+			if states[i].ctx != nil {
+				if err := states[i].ctx.Err(); err != nil {
+					out[i].Stopped = err
+					stopped = true
+				}
 			}
 		}
 		if stopped {
@@ -396,17 +464,66 @@ func (m *Model) iterateColumns(ctx context.Context, states []columnState, out []
 			rs.mulFeatureBatch(x, tmp, b)
 			vec.Axpy(beta, tmp, xn)
 		}
+		bad := st.bad[:b]
 		for col := 0; col < b; col++ {
+			bad[col] = ""
 			vec.AxpyCol(alpha, states[st.colOf[col]].l, xn, col, b)
-			vec.Normalize1Col(xn, col, b)
+			mass, ok := vec.Normalize1ColMass(xn, col, b)
+			if kind, isBad := badMass(mass, ok, g); isBad {
+				bad[col] = kind
+			}
 		}
 		rs.applyRelationBatch(m.r, xn, zn, b)
 		for col := 0; col < b; col++ {
-			vec.Normalize1Col(zn, col, b)
+			if bad[col] != "" {
+				continue
+			}
+			mass, ok := vec.Normalize1ColMass(zn, col, b)
+			if kind, isBad := badMass(mass, ok, g); isBad {
+				bad[col] = kind
+			}
 		}
-		converged := false
+		rhos := st.rhos[:b]
+		anyBad := false
 		for col := 0; col < b; col++ {
+			if bad[col] != "" {
+				anyBad = true
+				continue
+			}
 			rho := vec.Diff1Col(x, xn, col, b) + vec.Diff1Col(z, zn, col, b)
+			if nonFinite(rho) {
+				bad[col] = faultNonFinite
+				anyBad = true
+				continue
+			}
+			rhos[col] = rho
+		}
+		// Faulted columns get their pre-iteration (healthy) state written
+		// back into the next block before the wholesale commit below, so
+		// the block never holds a corrupted column and the faulted query
+		// retires with the last healthy iterate.
+		if anyBad {
+			for col := 0; col < b; col++ {
+				if bad[col] == "" {
+					continue
+				}
+				i := st.colOf[col]
+				regNumericalFaults.Inc()
+				out[i].Stopped = ErrNumericalFault
+				for r := 0; r < n; r++ {
+					xn[r*b+col] = x[r*b+col]
+				}
+				for r := 0; r < mm; r++ {
+					zn[r*b+col] = z[r*b+col]
+				}
+			}
+		}
+		done := anyBad
+		for col := 0; col < b; col++ {
+			if bad[col] != "" {
+				continue
+			}
+			rho := rhos[col]
 			i := st.colOf[col]
 			out[i].Trace = append(out[i].Trace, rho)
 			out[i].Iterations++
@@ -415,14 +532,51 @@ func (m *Model) iterateColumns(ctx context.Context, states []columnState, out []
 			}
 			if rho < m.cfg.Epsilon {
 				out[i].Converged = true
-				converged = true
+				done = true
 			}
 		}
 		copy(x, xn)
 		copy(z, zn)
-		if converged {
-			st.retire(out, func(i int) bool { return out[i].Converged })
+		st.done = t
+		// The opt-in series probes run post-commit per column: divergence
+		// and stagnation are verdicts about the (valid) residual series,
+		// so the committed state is what the stopped column reports.
+		for col := 0; col < b; col++ {
+			if bad[col] != "" {
+				continue
+			}
+			i := st.colOf[col]
+			if out[i].Converged {
+				continue
+			}
+			rho := rhos[col]
+			if diverged(rho, st.best[i], g) {
+				regNumericalFaults.Inc()
+				out[i].Stopped = ErrNumericalFault
+				done = true
+				continue
+			}
+			if rho < st.best[i] {
+				st.best[i] = rho
+			}
+			if stagnated(out[i].Trace, g) {
+				regStagnations.Inc()
+				out[i].Stopped = ErrStagnated
+				done = true
+			}
 		}
+		if done {
+			st.retire(out, func(i int) bool { return out[i].Converged || out[i].Stopped != nil })
+		}
+		if sink := rs.opts.ckSink; sink != nil && rs.opts.ckEvery > 0 && t%rs.opts.ckEvery == 0 && st.b > 0 {
+			m.saveCheckpoint(sink, m.snapshotColumns(st, states, out))
+		}
+	}
+	// Drain flush before the leftovers are marked: the snapshot keeps the
+	// surviving columns active, so a resumed call continues them from
+	// exactly the state this interrupted call reports.
+	if rs.opts.ckSink != nil && st.b > 0 && ctx.Err() != nil {
+		m.saveCheckpoint(rs.opts.ckSink, m.snapshotColumns(st, states, out))
 	}
 	// Gather the leftovers: iteration cap, or a run-context cancellation
 	// noticed by the loop condition.
@@ -433,4 +587,79 @@ func (m *Model) iterateColumns(ctx context.Context, states []columnState, out []
 		}
 		return true
 	})
+}
+
+// snapshotColumns deep-copies the batched column working set into a
+// Checkpoint. The resubmitted queries supply the restart vectors on
+// restore, so the snapshot stores states[i].l (which the per-query
+// reseed may have rewritten) rather than re-deriving them.
+func (m *Model) snapshotColumns(st *columnBlock, states []columnState, out []ColumnResult) *Checkpoint {
+	nq := len(states)
+	cp := &Checkpoint{
+		ConfigHash: m.cfg.checkpointHash(),
+		Kind:       ckKindColumns,
+		N:          st.n, M: st.m, Q: nq,
+		Iter:    st.done,
+		B:       st.b,
+		ClassOf: append([]int(nil), st.colOf[:st.b]...),
+		State:   make([]uint8, nq),
+		Iters:   make([]int, nq),
+		Seeds:   make([]int, nq),
+		X:       append([]float64(nil), st.x[:st.n*st.b]...),
+		Z:       append([]float64(nil), st.z[:st.m*st.b]...),
+		L:       make([]float64, nq*st.n),
+		XOut:    make([][]float64, nq),
+		ZOut:    make([][]float64, nq),
+		Trace:   make([][]float64, nq),
+	}
+	for i := 0; i < nq; i++ {
+		copy(cp.L[i*st.n:(i+1)*st.n], states[i].l)
+		cp.Iters[i] = out[i].Iterations
+		cp.Seeds[i] = out[i].Seeds
+		cp.Trace[i] = append([]float64(nil), out[i].Trace...)
+		if out[i].X != nil { // retired: converged, per-column cancel, or fault
+			if out[i].Converged {
+				cp.State[i] = 1
+			} else {
+				cp.State[i] = 2
+			}
+			cp.XOut[i] = append([]float64(nil), out[i].X...)
+			cp.ZOut[i] = append([]float64(nil), out[i].Z...)
+		}
+	}
+	return cp
+}
+
+// restoreColumns loads a validated column-run checkpoint into the
+// freshly initialised working set. Columns the original call retired
+// keep their verdicts: converged columns return as converged, stopped
+// columns (per-column cancellation or numerical fault in the original
+// call) return with Stopped = context.Canceled since the precise
+// original error is not serialised.
+func restoreColumns(st *columnBlock, cp *Checkpoint, states []columnState, out []ColumnResult) {
+	st.b = cp.B
+	st.colOf = st.colOf[:st.b]
+	copy(st.colOf, cp.ClassOf)
+	copy(st.x[:st.n*st.b], cp.X)
+	copy(st.z[:st.m*st.b], cp.Z)
+	for i := range states {
+		copy(states[i].l, cp.L[i*st.n:(i+1)*st.n])
+		out[i].Iterations = cp.Iters[i]
+		out[i].Trace = append([]float64(nil), cp.Trace[i]...)
+		st.best[i] = math.Inf(1)
+		for _, r := range out[i].Trace {
+			if r < st.best[i] {
+				st.best[i] = r
+			}
+		}
+		if cp.State[i] != 0 {
+			out[i].Converged = cp.State[i] == 1
+			if !out[i].Converged {
+				out[i].Stopped = context.Canceled
+			}
+			out[i].X = vec.Vector(append([]float64(nil), cp.XOut[i]...))
+			out[i].Z = vec.Vector(append([]float64(nil), cp.ZOut[i]...))
+		}
+	}
+	st.t0, st.done = cp.Iter, cp.Iter
 }

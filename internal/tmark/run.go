@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 
+	"tmark/internal/fault"
 	"tmark/internal/obs"
 	"tmark/internal/par"
 	"tmark/internal/sparse"
@@ -36,6 +37,13 @@ const (
 	ReasonCanceled
 	// ReasonDeadline: the run's context deadline expired mid-solve.
 	ReasonDeadline
+	// ReasonNumericalFault: a numerical-health guard detected a
+	// corrupted or diverging iterate and the (possibly retried) run
+	// stopped with the last healthy state; see Result.Faults.
+	ReasonNumericalFault
+	// ReasonStagnated: the residual series went flat before reaching
+	// Epsilon (GuardConfig.Stagnation).
+	ReasonStagnated
 )
 
 // String names the reason for logs and reports.
@@ -49,6 +57,10 @@ func (r Reason) String() string {
 		return "canceled"
 	case ReasonDeadline:
 		return "deadline"
+	case ReasonNumericalFault:
+		return "numerical-fault"
+	case ReasonStagnated:
+		return "stagnated"
 	default:
 		return "unknown"
 	}
@@ -76,6 +88,16 @@ type runOptions struct {
 	// sequential selects the per-class reference solver instead of the
 	// default batched (blocked multi-class) path; see WithBatchedClasses.
 	sequential bool
+	// ckSink/ckEvery enable periodic checkpointing of the batched loops;
+	// resume restores a prior snapshot. See WithCheckpoint / ResumeFrom.
+	ckSink  CheckpointSink
+	ckEvery int
+	resume  *Checkpoint
+	// noASM demotes the blocked kernels to their scalar reference bodies
+	// (WithScalarKernels); the numerical-fault retry sets it too.
+	noASM bool
+	// guards enables the optional numerical-health probes; see WithGuards.
+	guards *GuardConfig
 }
 
 // RunOption configures one solver run; see WithStats, WithProgress and
@@ -129,6 +151,47 @@ func WithBatchedClasses(on bool) RunOption {
 	return func(o *runOptions) { o.sequential = !on }
 }
 
+// WithCheckpoint has the batched lockstep loops hand a snapshot of
+// their full working set to sink every `every` iterations, plus a final
+// snapshot when the run is interrupted by its context — so a killed or
+// drained process can later continue from the last checkpoint with
+// ResumeFrom. Snapshots are deep copies; Save runs on the solver
+// goroutine. Checkpointing applies to the batched paths (the default);
+// the sequential reference paths ignore it. Save errors never stop the
+// solve — they are counted in the metrics registry and the run carries
+// on, since a failing checkpoint disk must not take down a healthy
+// computation.
+func WithCheckpoint(sink CheckpointSink, every int) RunOption {
+	return func(o *runOptions) {
+		if sink != nil && every > 0 {
+			o.ckSink = sink
+			o.ckEvery = every
+		}
+	}
+}
+
+// ResumeFrom restores a checkpoint written by a previous run with the
+// same model (dimensions and arithmetic config must match; RunContext
+// panics on a mismatched checkpoint — use Model.ValidateCheckpoint to
+// probe first, and SolveColumns returns the mismatch as an error). The
+// resumed run continues at the snapshot's iteration and, for a fixed
+// worker count, is bitwise identical to the uninterrupted run. Resume
+// requires the batched path and overrides any warm start.
+func ResumeFrom(cp *Checkpoint) RunOption {
+	return func(o *runOptions) { o.resume = cp }
+}
+
+// WithScalarKernels(true) demotes the blocked contractions to their
+// scalar reference bodies even on hosts with the AVX2 kernels. The
+// numerical-fault retry uses it to re-run a faulted solve on the
+// reference path; tests use it to cover both kernel implementations on
+// any machine. The scalar and vectorised bodies are bitwise identical
+// by contract, so this changes no result — it only removes the
+// hand-written assembly from the loop.
+func WithScalarKernels(on bool) RunOption {
+	return func(o *runOptions) { o.noASM = on }
+}
+
 // Run solves the tensor equations for every class; it is RunContext with
 // a background context and no options. All classes advance in lockstep
 // through the batched kernels: the per-class distributions live in one
@@ -155,8 +218,45 @@ func (m *Model) Run() *Result {
 // accessors stay usable on a partial result. A nil ctx is treated as
 // context.Background().
 func (m *Model) RunContext(ctx context.Context, opts ...RunOption) *Result {
-	ctx = orBackground(ctx)
-	rs := m.newRunScratch(resolveOptions(opts))
+	return m.runClasses(orBackground(ctx), nil, resolveOptions(opts))
+}
+
+// warmFn supplies per-class warm starting vectors; nil starts cold.
+type warmFn func(c int) (x, z vec.Vector, ok bool)
+
+// runClasses runs the class solve once and, when a batched attempt hits
+// a retryable corruption fault, retries exactly once from the fault's
+// last-good snapshot with the AVX2 kernels demoted to the scalar
+// reference bodies — the recovery path for a misbehaving vector unit.
+// A fault that reproduces on the demoted attempt (it is deterministic)
+// stops the run with the last healthy state and ReasonNumericalFault.
+func (m *Model) runClasses(ctx context.Context, warm warmFn, ro runOptions) *Result {
+	res, flt := m.runClassesOnce(ctx, warm, ro)
+	if flt == nil || !flt.retryable || flt.cp == nil {
+		return res
+	}
+	if ro.noASM || (ro.guards != nil && ro.guards.NoRetry) || ctx.Err() != nil {
+		return res
+	}
+	regGuardRetries.Inc()
+	ro.resume = flt.cp
+	ro.noASM = true
+	res2, _ := m.runClassesOnce(ctx, warm, ro)
+	// The first attempt's fault stays on the record of the run that
+	// recovered from it.
+	res2.Faults = append([]Fault{flt.fault}, res2.Faults...)
+	return res2
+}
+
+// runClassesOnce is one full solve attempt: scratch build, path
+// dispatch, fault bookkeeping, finishRun. The returned runFault is
+// non-nil only for batched-path guard verdicts (the input to the retry
+// decision); sequential-path faults are recorded on the Result alone.
+func (m *Model) runClassesOnce(ctx context.Context, warm warmFn, ro runOptions) (*Result, *runFault) {
+	if ro.resume != nil && ro.sequential {
+		panic("tmark: ResumeFrom requires the batched path (WithBatchedClasses(true))")
+	}
+	rs := m.newRunScratch(ro)
 	defer rs.close()
 	q := m.graph.Q()
 	res := &Result{
@@ -165,17 +265,31 @@ func (m *Model) RunContext(ctx context.Context, opts ...RunOption) *Result {
 		m:       m.graph.M(),
 		q:       q,
 	}
-	if !rs.opts.sequential {
-		m.runBatched(ctx, res, nil, rs)
+	var flt *runFault
+	if !ro.sequential {
+		flt = m.runBatched(ctx, res, warm, rs)
 	} else if m.cfg.ICAUpdate {
-		m.runLockstep(ctx, res, rs)
+		m.runLockstepFrom(ctx, res, warm, rs)
 	} else {
 		for c := 0; c < q; c++ {
+			if warm != nil {
+				if x, z, ok := warm(c); ok {
+					res.Classes[c] = m.solveClassFrom(ctx, c, x, z, rs)
+					continue
+				}
+			}
 			res.Classes[c] = m.solveClass(ctx, c, rs)
 		}
 	}
+	if flt != nil {
+		res.Faults = append(res.Faults, flt.fault)
+		res.Reason, res.Stopped = flt.reason()
+	} else if len(rs.faults) > 0 {
+		res.Faults = append(res.Faults, rs.faults...)
+		res.Reason, res.Stopped = ReasonNumericalFault, ErrNumericalFault
+	}
 	m.finishRun(ctx, res, rs)
-	return res
+	return res, flt
 }
 
 func orBackground(ctx context.Context) context.Context {
@@ -197,18 +311,23 @@ func resolveOptions(opts []RunOption) runOptions {
 
 // finishRun stamps the stop reason, fills the caller's RunStats, and
 // publishes the run's aggregates to the process-wide metrics registry.
+// A reason already stamped by a guard (numerical fault, stagnation) is
+// kept — the guard verdict is more specific than anything derivable
+// here.
 func (m *Model) finishRun(ctx context.Context, res *Result, rs *runScratch) {
-	if err := ctx.Err(); err != nil {
-		res.Stopped = err
-		if errors.Is(err, context.DeadlineExceeded) {
-			res.Reason = ReasonDeadline
+	if res.Reason == ReasonUnknown {
+		if err := ctx.Err(); err != nil {
+			res.Stopped = err
+			if errors.Is(err, context.DeadlineExceeded) {
+				res.Reason = ReasonDeadline
+			} else {
+				res.Reason = ReasonCanceled
+			}
+		} else if res.Converged() {
+			res.Reason = ReasonConverged
 		} else {
-			res.Reason = ReasonCanceled
+			res.Reason = ReasonMaxIterations
 		}
-	} else if res.Converged() {
-		res.Reason = ReasonConverged
-	} else {
-		res.Reason = ReasonMaxIterations
 	}
 
 	st := rs.opts.stats
@@ -243,7 +362,14 @@ var (
 	regRuns       = obs.Default().Counter("tmark_runs_total")
 	regStopped    = obs.Default().Counter("tmark_runs_stopped_total")
 	regIterations = obs.Default().Counter("tmark_iterations_total")
-	regKernels    = func() [obs.NumKernels]*obs.Timer {
+	// Fault-tolerance aggregates: guard trips, demoted retries, and
+	// checkpoint traffic.
+	regNumericalFaults  = obs.Default().Counter("tmark_numerical_faults_total")
+	regStagnations      = obs.Default().Counter("tmark_stagnations_total")
+	regGuardRetries     = obs.Default().Counter("tmark_guard_retries_total")
+	regCheckpoints      = obs.Default().Counter("tmark_checkpoints_saved_total")
+	regCheckpointErrors = obs.Default().Counter("tmark_checkpoint_errors_total")
+	regKernels          = func() [obs.NumKernels]*obs.Timer {
 		var ts [obs.NumKernels]*obs.Timer
 		for _, k := range obs.Kernels() {
 			ts[k] = obs.Default().Timer("tmark_kernel_" + k.String())
@@ -251,6 +377,27 @@ var (
 		return ts
 	}()
 )
+
+// saveCheckpoint hands one snapshot to the sink, counting the outcome.
+// Save errors never stop the solve: a failing checkpoint disk must not
+// take down a healthy computation, so the error is recorded in the
+// registry and the run carries on (losing only resumability since the
+// last successful save). The fault point lets the chaos suite fail
+// saves deterministically.
+func (m *Model) saveCheckpoint(sink CheckpointSink, cp *Checkpoint) {
+	var err error
+	if fault.Enabled() {
+		err = fault.Check(fault.CheckpointSave)
+	}
+	if err == nil {
+		err = sink.Save(cp)
+	}
+	if err != nil {
+		regCheckpointErrors.Inc()
+		return
+	}
+	regCheckpoints.Inc()
+}
 
 func publishRun(res *Result, st *RunStats) {
 	regRuns.Inc()
@@ -301,6 +448,10 @@ type runScratch struct {
 	col     *obs.Collector
 	opts    runOptions
 	workers int
+
+	// faults collects the numerical-health events of the sequential
+	// paths (the batched loops report theirs through runFault instead).
+	faults []Fault
 }
 
 // newRunScratch builds the pool, kernel scratch and collector for one
@@ -338,8 +489,10 @@ func (m *Model) newRunScratchCols(ro runOptions, maxCols int) *runScratch {
 		q := maxCols
 		rs.ob = tensor.NewNodeBatchScratch(m.o, w, q)
 		rs.ob.Probe = rs.col.KernelProbe(obs.KernelO)
+		rs.ob.NoASM = ro.noASM
 		rs.rb = tensor.NewRelationBatchScratch(m.r, w, q)
 		rs.rb.Probe = rs.col.KernelProbe(obs.KernelR)
+		rs.rb.NoASM = ro.noASM
 		if w > 1 {
 			switch {
 			case rs.wS != nil:

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 
 	"tmark/internal/hin"
@@ -223,6 +224,11 @@ type Result struct {
 	// solution reached so far, which remains valid input for Predict,
 	// the rankings, and RunWarm.
 	Stopped error
+	// Faults lists every numerical-health event the run's guards
+	// detected, oldest first. A run that recovered through the automatic
+	// demoted retry still reports the original fault here while Reason
+	// records the final outcome (e.g. ReasonConverged).
+	Faults  []Fault
 	n, m, q int
 }
 
@@ -238,22 +244,6 @@ type classState struct {
 	seeds      int
 }
 
-// runLockstep advances every class together, applying the cross-class ICA
-// reseed between iterations.
-func (m *Model) runLockstep(ctx context.Context, res *Result, rs *runScratch) {
-	n, mm, q := m.graph.N(), m.graph.M(), m.graph.Q()
-	states := make([]classState, q)
-	for c := 0; c < q; c++ {
-		l, seeds := m.seedVector(c)
-		states[c] = classState{
-			x: vec.Clone(l), z: vec.Uniform(mm), l: l,
-			xNext: vec.New(n), zNext: vec.New(mm), tmp: vec.New(n),
-			seeds: seeds,
-		}
-	}
-	m.iterateLockstep(ctx, res, states, rs)
-}
-
 // iterateLockstep runs the shared lockstep loop over prepared states. The
 // classes are stepped one after another — the worker pool inside the
 // kernels is the parallelism, so the actual concurrency is bounded by
@@ -266,6 +256,7 @@ func (m *Model) iterateLockstep(ctx context.Context, res *Result, states []class
 	q := len(states)
 	progress := rs.progressFn()
 	argmax := make([]int, m.graph.N()) // reseed scratch, hoisted out of the pass
+loop:
 	for t := 1; t <= m.cfg.MaxIterations; t++ {
 		if ctx.Err() != nil {
 			break
@@ -280,6 +271,16 @@ func (m *Model) iterateLockstep(ctx context.Context, res *Result, states []class
 				continue
 			}
 			rho := m.step(s, rs)
+			if math.IsNaN(rho) {
+				// One corrupted class stops the whole lockstep run: the ICA
+				// reseed couples the classes through the prediction matrix,
+				// so advancing the others on a poisoned matrix helps nobody.
+				// step discarded the iterate, so every class still holds the
+				// last healthy iteration.
+				rs.faults = append(rs.faults, Fault{Class: c, Iter: t, Kind: faultNonFinite})
+				regNumericalFaults.Inc()
+				break loop
+			}
 			s.trace = append(s.trace, rho)
 			s.iterations++
 			if progress != nil {
@@ -325,10 +326,16 @@ func (m *Model) step(s *classState, rs *runScratch) float64 {
 	// iterations (the error dynamics amplify by ≈ 3·(1−α−β)+β per step),
 	// so project back onto the simplex; the fixed point itself has unit
 	// mass, so this changes nothing mathematically.
-	vec.Normalize1(s.xNext)
+	okX := vec.Normalize1(s.xNext)
 	rs.applyRelation(m.r, s.xNext, s.zNext)
-	vec.Normalize1(s.zNext)
+	okZ := vec.Normalize1(s.zNext)
 	rho := vec.Diff1(s.x, s.xNext) + vec.Diff1(s.z, s.zNext)
+	if !okX || !okZ || nonFinite(rho) {
+		// Corrupted iterate: discard it — x/z keep iteration t−1, which
+		// is exactly the state a stopped run must report — and signal the
+		// caller with a NaN residual.
+		return math.NaN()
+	}
 	copy(s.x, s.xNext)
 	copy(s.z, s.zNext)
 	return rho

@@ -3,6 +3,7 @@ package tmark
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"tmark/internal/vec"
 )
@@ -30,43 +31,18 @@ func (m *Model) RunWarmContext(ctx context.Context, prev *Result, opts ...RunOpt
 		panic(fmt.Sprintf("tmark: RunWarm dimension mismatch: prev %dx%d, graph %dx%d",
 			prev.n, prev.m, m.graph.N(), m.graph.M()))
 	}
-	ctx = orBackground(ctx)
-	q := m.graph.Q()
-	res := &Result{
-		Classes: make([]ClassResult, q),
-		n:       m.graph.N(),
-		m:       m.graph.M(),
-		q:       q,
-	}
+	n, mm := m.graph.N(), m.graph.M()
 	warm := func(c int) (x, z vec.Vector, ok bool) {
 		if c >= len(prev.Classes) {
 			return nil, nil, false
 		}
 		pc := &prev.Classes[c]
-		if len(pc.X) != res.n || len(pc.Z) != res.m {
+		if len(pc.X) != n || len(pc.Z) != mm {
 			return nil, nil, false
 		}
 		return vec.Clone(pc.X), vec.Clone(pc.Z), true
 	}
-
-	rs := m.newRunScratch(resolveOptions(opts))
-	defer rs.close()
-	if !rs.opts.sequential {
-		m.runBatched(ctx, res, warm, rs)
-	} else if m.cfg.ICAUpdate {
-		m.runLockstepFrom(ctx, res, warm, rs)
-	} else {
-		for c := 0; c < q; c++ {
-			x, z, ok := warm(c)
-			if !ok {
-				res.Classes[c] = m.solveClass(ctx, c, rs)
-				continue
-			}
-			res.Classes[c] = m.solveClassFrom(ctx, c, x, z, rs)
-		}
-	}
-	m.finishRun(ctx, res, rs)
-	return res
+	return m.runClasses(orBackground(ctx), warm, resolveOptions(opts))
 }
 
 // solveClassFrom iterates one class from explicit starting vectors. The
@@ -97,6 +73,14 @@ func (m *Model) solveClassSeeded(ctx context.Context, c int, x, z, l vec.Vector,
 			rs.reseed(m.graph.N(), func() { m.icaReseed(c, s.x, s.l) })
 		}
 		rho := m.step(&s, rs)
+		if math.IsNaN(rho) {
+			// step discarded the corrupted iterate, so x/z hold the last
+			// healthy iteration; the class stops there and the run reports
+			// the fault.
+			rs.faults = append(rs.faults, Fault{Class: c, Iter: t, Kind: faultNonFinite})
+			regNumericalFaults.Inc()
+			break
+		}
 		cr.Trace = append(cr.Trace, rho)
 		cr.Iterations = t
 		if progress != nil {
@@ -112,13 +96,19 @@ func (m *Model) solveClassSeeded(ctx context.Context, c int, x, z, l vec.Vector,
 	return cr
 }
 
-// runLockstepFrom is runLockstep with per-class warm starting vectors.
-func (m *Model) runLockstepFrom(ctx context.Context, res *Result, warm func(c int) (vec.Vector, vec.Vector, bool), rs *runScratch) {
+// runLockstepFrom runs the sequential ICA lockstep loop, starting each
+// class from its warm vectors when warm supplies them (a nil warm starts
+// every class cold from its seed vector).
+func (m *Model) runLockstepFrom(ctx context.Context, res *Result, warm warmFn, rs *runScratch) {
 	n, mm, q := m.graph.N(), m.graph.M(), m.graph.Q()
 	states := make([]classState, q)
 	for c := 0; c < q; c++ {
 		l, seeds := m.seedVector(c)
-		x, z, ok := warm(c)
+		var x, z vec.Vector
+		ok := false
+		if warm != nil {
+			x, z, ok = warm(c)
+		}
 		if !ok {
 			x, z = vec.Clone(l), vec.Uniform(mm)
 		}

@@ -68,15 +68,24 @@ func Diff1Col(a, b []float64, col, stride int) float64 {
 // and reports false. The arithmetic (one 1/s, then a multiply per row)
 // matches Normalize1 exactly.
 func Normalize1Col(v []float64, col, stride int) bool {
+	_, ok := Normalize1ColMass(v, col, stride)
+	return ok
+}
+
+// Normalize1ColMass is Normalize1Col returning the pre-normalisation
+// column mass alongside the verdict — the solver's numerical-health
+// guards read the mass the projection already computed, so the probe
+// costs nothing extra. The arithmetic is identical to Normalize1Col.
+func Normalize1ColMass(v []float64, col, stride int) (float64, bool) {
 	s := SumCol(v, col, stride)
 	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) {
-		return false
+		return s, false
 	}
 	inv := 1 / s
 	for p := col; p < len(v); p += stride {
 		v[p] *= inv
 	}
-	return true
+	return s, true
 }
 
 // CompactCols left-packs the columns listed in keep (strictly ascending)

@@ -11,11 +11,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"tmark/internal/serve"
 )
@@ -41,8 +44,9 @@ type RankResponse = serve.RankResponse
 
 // ServiceError is the decoded form of a non-2xx tmarkd answer.
 type ServiceError struct {
-	StatusCode int    // HTTP status
-	Message    string // the server's error string
+	StatusCode int           // HTTP status
+	Message    string        // the server's error string
+	RetryAfter time.Duration // the server's Retry-After hint, 0 when absent
 }
 
 func (e *ServiceError) Error() string {
@@ -50,10 +54,69 @@ func (e *ServiceError) Error() string {
 }
 
 // Overloaded reports whether the error is the server shedding load
-// (full admission queue or draining); such requests are retryable
-// against another replica or after backoff.
+// (full admission queue, draining, or a quarantined model rebuilding);
+// such requests are retryable against another replica or after backoff.
 func (e *ServiceError) Overloaded() bool {
 	return e.StatusCode == http.StatusServiceUnavailable
+}
+
+// Temporary reports whether retrying the same request can succeed: the
+// server shed it (503) or a gateway in front dropped it (502, 504). A
+// Client with a Retry policy handles these itself.
+func (e *ServiceError) Temporary() bool {
+	switch e.StatusCode {
+	case http.StatusServiceUnavailable, http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Retry is the client's policy for transient failures: transport errors
+// and temporary statuses (503 load shed or drain, 502/504 gateways)
+// are retried with exponential backoff plus jitter. When the server
+// sends a Retry-After hint — tmarkd stamps one on every 503 — it is
+// honoured as the floor of that attempt's delay; MaxDelay caps every
+// delay, hint included, so a client aimed at a long drain still fails
+// over in bounded time. Every solve is a pure function of the immutable
+// warm model, so retrying a /classify POST is safe.
+type Retry struct {
+	// MaxAttempts bounds the total tries, the first call included
+	// (minimum 1; a 1 disables retrying).
+	MaxAttempts int
+	// BaseDelay is the pre-jitter delay before the first retry; each
+	// further retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps every delay, Retry-After hints included. 0 means no
+	// cap.
+	MaxDelay time.Duration
+	// Jitter widens each delay by a uniformly random fraction of itself
+	// in [0, Jitter) so synchronized clients spread out; 0 disables.
+	Jitter float64
+}
+
+// DefaultRetry is the recommended client policy: four attempts, 100ms
+// doubling backoff with 20% jitter, capped at 5s.
+func DefaultRetry() *Retry {
+	return &Retry{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second, Jitter: 0.2}
+}
+
+// Delay computes the backoff before retry number retry (1-based),
+// honouring the server hint as a floor and MaxDelay as the ceiling.
+func (r *Retry) Delay(retry int, hint time.Duration) time.Duration {
+	d := r.BaseDelay << (retry - 1)
+	if d < 0 { // absurd retry counts shift into the sign bit
+		d = r.MaxDelay
+	}
+	if hint > d {
+		d = hint
+	}
+	if r.Jitter > 0 && d > 0 {
+		d += time.Duration(rand.Float64() * r.Jitter * float64(d))
+	}
+	if r.MaxDelay > 0 && d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	return d
 }
 
 // Client talks to one tmarkd instance.
@@ -65,10 +128,14 @@ type Client struct {
 	// (a cancelled /classify retires the query's column server-side
 	// within one solver iteration).
 	HTTPClient *http.Client
+	// Retry enables automatic retry of transient failures; nil performs
+	// exactly one attempt per call. See DefaultRetry.
+	Retry *Retry
 }
 
-// NewClient returns a Client for the server at baseURL.
-func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+// NewClient returns a Client for the server at baseURL with the default
+// retry policy.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL, Retry: DefaultRetry()} }
 
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
@@ -86,13 +153,16 @@ func (c *Client) Classify(ctx context.Context, req *ClassifyRequest) (*ClassifyR
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/classify", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
 	var out ClassifyResponse
-	if err := c.do(hreq, &out); err != nil {
+	err = c.do(ctx, func() (*http.Request, error) {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/classify", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		return hreq, nil
+	}, &out)
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -113,30 +183,80 @@ func (c *Client) Rank(ctx context.Context, dataset string, top int) (*RankRespon
 	if enc := q.Encode(); enc != "" {
 		u += "?" + enc
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return nil, err
-	}
 	var out RankResponse
-	if err := c.do(hreq, &out); err != nil {
+	err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	}, &out)
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Ready reports nil when the server is accepting work, and a
-// ServiceError (Overloaded() == true while draining) otherwise.
+// ServiceError (Overloaded() == true while draining) otherwise. A
+// readiness probe answers "now", so Ready never retries — callers poll
+// it on their own schedule.
 func (c *Client) Ready(ctx context.Context) error {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
 	if err != nil {
 		return err
 	}
-	return c.do(hreq, nil)
+	return c.once(hreq, nil)
 }
 
-// do executes the request and decodes either the expected body into out
-// or the server's error envelope into a ServiceError.
-func (c *Client) do(req *http.Request, out any) error {
+// do runs one logical call through the retry policy: newReq mints a
+// fresh request per attempt (bodies are single-use), transient failures
+// back off and retry, and anything else — including a cancelled
+// context — returns immediately.
+func (c *Client) do(ctx context.Context, newReq func() (*http.Request, error), out any) error {
+	attempts := 1
+	if c.Retry != nil && c.Retry.MaxAttempts > 1 {
+		attempts = c.Retry.MaxAttempts
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		req, rerr := newReq()
+		if rerr != nil {
+			return rerr
+		}
+		err = c.once(req, out)
+		if err == nil || attempt >= attempts || !transient(err) {
+			return err
+		}
+		var hint time.Duration
+		var se *ServiceError
+		if errors.As(err, &se) {
+			hint = se.RetryAfter
+		}
+		timer := time.NewTimer(c.Retry.Delay(attempt, hint))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return err
+		case <-timer.C:
+		}
+	}
+}
+
+// transient reports whether a failed attempt is worth retrying: a
+// temporary ServiceError (503/502/504) or a transport error on a live
+// context (a refused or dropped connection — the flapping-server case).
+func transient(err error) bool {
+	var se *ServiceError
+	if errors.As(err, &se) {
+		return se.Temporary()
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return ue.Err != context.Canceled && ue.Err != context.DeadlineExceeded
+	}
+	return false
+}
+
+// once executes the request and decodes either the expected body into
+// out or the server's error envelope into a ServiceError.
+func (c *Client) once(req *http.Request, out any) error {
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
@@ -150,7 +270,11 @@ func (c *Client) do(req *http.Request, out any) error {
 				msg = envelope.Error
 			}
 		}
-		return &ServiceError{StatusCode: resp.StatusCode, Message: msg}
+		return &ServiceError{
+			StatusCode: resp.StatusCode,
+			Message:    msg,
+			RetryAfter: retryAfterHint(resp.Header.Get("Retry-After")),
+		}
 	}
 	if out == nil {
 		return nil
@@ -159,4 +283,21 @@ func (c *Client) do(req *http.Request, out any) error {
 		return fmt.Errorf("tmarkd: decode response: %w", err)
 	}
 	return nil
+}
+
+// retryAfterHint parses a Retry-After header: delay-seconds or an
+// HTTP-date; malformed or absent values yield 0.
+func retryAfterHint(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
