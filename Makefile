@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short-test race serve-race chaos vet bench bench-stats bench-json fuzz experiments figures examples clean
+.PHONY: all build test short-test race serve-race chaos vet bench bench-stats bench-json bench-accel accel-equivalence fuzz experiments figures examples clean
 
 all: build vet test race
 
@@ -55,6 +55,25 @@ bench-json:
 	$(GO) run ./cmd/benchjson < /tmp/bench_serving.txt > BENCH_4.json
 	@rm -f /tmp/bench_serving.txt
 	@echo wrote BENCH_4.json
+
+# The quality-tier sweep (BENCH_6.json): exact vs accelerated vs fast on
+# the slow-mixing golden Ring network and the expander-like golden DBLP
+# network, reporting wall time plus committed iterations per solve. The
+# headline row — ring-slowmix/accelerated — must show the ≥2× iteration
+# reduction that TestAccelGoldenSlowMixingTwofold asserts.
+bench-accel:
+	$(GO) test -run xxx -bench BenchmarkAccelTiers -benchmem ./internal/experiments/ > /tmp/bench_accel.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_accel.txt > BENCH_6.json
+	@rm -f /tmp/bench_accel.txt
+	@echo wrote BENCH_6.json
+
+# The short accelerated/fast-tier equivalence suite — accelerated solves
+# must reproduce the exact predictions in no more (and on the ring at
+# least 2x fewer) iterations; fast solves must stay inside the
+# documented accuracy/NMI envelope. The focused CI job runs this.
+accel-equivalence:
+	$(GO) test -count=1 -run 'TestAccelGolden|TestFastGolden' -v ./internal/experiments/
+	$(GO) test -count=1 -run 'TestAcceleration|TestSolveColumnQualityTiers|TestSolveColumnsMixedQuality|TestRunApproximate|TestQualityPrecedence' ./internal/tmark/
 
 # The serving integration suite (coalescer, cache, drain) under the race
 # detector — the separate CI job; make race covers it too, this target

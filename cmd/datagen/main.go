@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	datagen -dataset dblp|movies|nus1|nus2|acm|example -out network.json
+//	datagen -dataset dblp|movies|nus1|nus2|acm|ring|example -out network.json
 //	        [-seed N] [-scale 1.0] [-mask 0.3]
 //
 // -mask keeps that fraction of node labels (per class, stratified) and
@@ -27,7 +27,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("datagen: ")
 	var (
-		name  = flag.String("dataset", "", "dblp, movies, nus1, nus2, acm or example (required)")
+		name  = flag.String("dataset", "", "dblp, movies, nus1, nus2, acm, ring or example (required)")
 		out   = flag.String("out", "", "output path (required)")
 		seed  = flag.Int64("seed", 1, "generator seed")
 		scale = flag.Float64("scale", 1, "size multiplier")
@@ -84,6 +84,10 @@ func build(name string, seed int64, scale float64) (*hin.Graph, error) {
 		cfg.Publications = scaled(cfg.Publications)
 		cfg.Citations = scaled(cfg.Citations)
 		return dataset.ACM(cfg), nil
+	case "ring":
+		cfg := dataset.DefaultRingConfig(seed)
+		cfg.ArcLength = scaled(cfg.ArcLength)
+		return dataset.Ring(cfg), nil
 	case "example":
 		return dataset.Example(), nil
 	default:

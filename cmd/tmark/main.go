@@ -100,6 +100,7 @@ func main() {
 		ckptDir     = flag.String("checkpoint-dir", "", "snapshot the solver state into this directory")
 		ckptEvery   = flag.Int("checkpoint-every", 8, "snapshot cadence in iterations (with -checkpoint-dir)")
 		resume      = flag.String("resume", "", "resume from this checkpoint file; \"auto\" = the -checkpoint-dir file if present")
+		quality     = flag.String("quality", "", "solve tier: exact (default), accelerated (same predictions, fewer iterations) or fast (linearized approximation)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -152,6 +153,17 @@ func main() {
 	var runStats tmark.RunStats
 	if *stats {
 		opts = append(opts, tmark.WithStats(&runStats))
+	}
+	switch tier, err := tmark.ParseQuality(*quality); {
+	case err != nil:
+		log.Fatal(err)
+	case tier == tmark.QualityAccelerated:
+		opts = append(opts, tmark.WithAcceleration(true))
+	case tier == tmark.QualityFast:
+		if *resume != "" {
+			log.Fatal("-quality fast and -resume are mutually exclusive: the linearized tier has no iterative state to restore")
+		}
+		opts = append(opts, tmark.WithApproximate(true))
 	}
 	if *ckptDir != "" {
 		// Fail fast on an unusable directory: mid-solve save errors are

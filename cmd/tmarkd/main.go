@@ -15,7 +15,7 @@
 // Each -dataset flag loads one network under a name. The spec is either
 // a file path — .json (hin.Graph JSON codec), .csv (from,to,relation
 // edge list) or .coo (sparse-coordinate tensor text) — or the name of a
-// built-in synthetic generator: example, dblp, movies, nus or acm
+// built-in synthetic generator: example, dblp, movies, nus, acm or ring
 // (seeded by -seed). With no -dataset flag the synthetic DBLP network
 // is served. -default selects the dataset used by requests that name
 // none; it may stay empty when exactly one dataset is loaded.
@@ -125,8 +125,13 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		ckDir    = fs.String("checkpoint-dir", "", "checkpoint /rank full solves into this directory and resume them across restarts")
 		ckEvery  = fs.Int("checkpoint-every", serve.DefaultCheckpointEvery, "snapshot cadence in iterations (with -checkpoint-dir)")
 		retryDur = fs.Duration("retry-after", serve.DefaultRetryAfter, "Retry-After backoff hint stamped on 503 responses")
+		quality  = fs.String("default-quality", "", "solve tier of requests that name none: exact, accelerated or fast (default exact)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	defQuality, err := tmark.ParseQuality(*quality)
+	if err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
@@ -163,6 +168,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 			ICAUpdate: !*noICA, FeatureTopK: *topK,
 			Workers: *workers,
 		},
+		DefaultQuality:  defQuality,
 		CacheSize:       *cache,
 		MaxBatch:        *maxBatch,
 		QueueDepth:      *queue,
@@ -212,8 +218,10 @@ func loadDataset(spec string, seed int64) (*hin.Graph, error) {
 			return dataset.NUS(dataset.DefaultNUSConfig(seed), dataset.Tagset1()), nil
 		case "acm":
 			return dataset.ACM(dataset.DefaultACMConfig(seed)), nil
+		case "ring":
+			return dataset.Ring(dataset.DefaultRingConfig(seed)), nil
 		}
-		return nil, fmt.Errorf("unknown built-in dataset %q (want example, dblp, movies, nus or acm)", spec)
+		return nil, fmt.Errorf("unknown built-in dataset %q (want example, dblp, movies, nus, acm or ring)", spec)
 	default:
 		return nil, fmt.Errorf("unsupported dataset format %q (want .json, .csv or .coo)", ext)
 	}

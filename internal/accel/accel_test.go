@@ -1,0 +1,293 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"tmark/internal/fault"
+)
+
+// observe pushes a flat (x‖z) iterate into the history through the
+// blocked-layout API with a single-column block.
+func observe(e *Extrapolator, u []float64) {
+	e.Observe(u[:e.n], u[e.n:], 0, 1)
+}
+
+// geometric builds the iterate f + c·ρ^k·d, which is exactly the
+// convergence path of a linear fixed-point iteration with contraction
+// rate ρ along direction d.
+func geometric(f, d []float64, c, rho float64, k int) []float64 {
+	u := make([]float64, len(f))
+	s := c * math.Pow(rho, float64(k))
+	for i := range u {
+		u[i] = f[i] + s*d[i]
+	}
+	return u
+}
+
+// On an exactly geometric iterate sequence SQUAREM's S3 step lands on
+// the fixed point: s = −1/(1−ρ) makes (1 − s(ρ−1))² vanish. The
+// proposal must therefore reproduce f to rounding.
+func TestProposeLandsOnFixedPointOfGeometricSequence(t *testing.T) {
+	n, m := 4, 2
+	f := []float64{0.4, 0.3, 0.2, 0.1, 0.7, 0.3}
+	// Mass-free perturbation per part, so every iterate is a pair of
+	// distributions and the simplex projection is a no-op.
+	d := []float64{0.02, -0.01, -0.02, 0.01, 0.05, -0.05}
+	var cnt Counters
+	e := NewExtrapolator(n, m, &cnt)
+
+	for k := 0; k < 3; k++ {
+		observe(e, geometric(f, d, 1, 0.9, k))
+	}
+	if !e.Propose() {
+		t.Fatal("no proposal from a full geometric history")
+	}
+	if !e.Pending() {
+		t.Fatal("proposal did not leave a pending candidate")
+	}
+	if cnt.Proposed != 1 || cnt.Accepted != 0 || cnt.Rejected != 0 {
+		t.Fatalf("counters %+v, want exactly one proposal", cnt)
+	}
+	for i := range f {
+		if math.Abs(e.cand[i]-f[i]) > 1e-12 {
+			t.Fatalf("cand[%d] = %v, want fixed point %v", i, e.cand[i], f[i])
+		}
+	}
+}
+
+// A step length |s| ≤ 1 would land at or short of the newest iterate,
+// so nothing is proposed and nothing is counted as a rejection.
+func TestProposeSkipsShortSteps(t *testing.T) {
+	n, m := 3, 1
+	var cnt Counters
+	e := NewExtrapolator(n, m, &cnt)
+	// Oscillation: h2 = h0, so v = −2r and s = −1/2.
+	h0 := []float64{0.5, 0.3, 0.2, 1}
+	h1 := []float64{0.45, 0.35, 0.2, 1}
+	observe(e, h0)
+	observe(e, h1)
+	observe(e, h0)
+	if e.Propose() {
+		t.Fatal("proposed a jump shorter than the plain iterate")
+	}
+	if e.Pending() || !e.Active() {
+		t.Fatal("short-step skip changed pending/active state")
+	}
+	if cnt.Proposed != 0 || cnt.Rejected != 0 {
+		t.Fatalf("counters %+v, want all zero (skip is free)", cnt)
+	}
+	// The window keeps sliding: one more observation of a genuinely
+	// converging tail must yield a proposal.
+	f := []float64{0.4, 0.35, 0.25, 1}
+	d := []float64{0.03, -0.01, -0.02, 0}
+	e.nh = 0
+	for k := 0; k < 3; k++ {
+		observe(e, geometric(f, d, 1, 0.8, k))
+	}
+	if !e.Propose() {
+		t.Fatal("no proposal after the window slid onto a geometric tail")
+	}
+}
+
+// ScatterCandidate must write only the target column and save what it
+// overwrote; RestoreInto must put the saved column back.
+func TestScatterAndRestoreRoundTrip(t *testing.T) {
+	n, m, b, col := 3, 2, 4, 1
+	e := NewExtrapolator(n, m, nil)
+	f := []float64{0.5, 0.3, 0.2, 0.6, 0.4}
+	d := []float64{0.01, -0.005, -0.005, 0.02, -0.02}
+	for k := 0; k < 3; k++ {
+		observe(e, geometric(f, d, 1, 0.9, k))
+	}
+	if !e.Propose() {
+		t.Fatal("no proposal")
+	}
+
+	x := make([]float64, n*b)
+	z := make([]float64, m*b)
+	for i := range x {
+		x[i] = float64(i) + 1
+	}
+	for i := range z {
+		z[i] = -float64(i) - 1
+	}
+	xBefore := append([]float64(nil), x...)
+	zBefore := append([]float64(nil), z...)
+
+	e.ScatterCandidate(x, z, col, b)
+	for r := 0; r < n; r++ {
+		for c := 0; c < b; c++ {
+			if c == col {
+				if x[r*b+c] != e.cand[r] {
+					t.Fatalf("x[%d,%d] = %v, want candidate %v", r, c, x[r*b+c], e.cand[r])
+				}
+			} else if x[r*b+c] != xBefore[r*b+c] {
+				t.Fatalf("scatter touched x column %d", c)
+			}
+		}
+	}
+	for r := 0; r < m; r++ {
+		if z[r*b+col] != e.cand[n+r] {
+			t.Fatalf("z[%d] missing candidate", r)
+		}
+	}
+
+	e.RestoreInto(x, z, col, b)
+	for i := range x {
+		if x[i] != xBefore[i] {
+			t.Fatalf("restore left x[%d] = %v, want %v", i, x[i], xBefore[i])
+		}
+	}
+	for i := range z {
+		if z[i] != zBefore[i] {
+			t.Fatalf("restore left z[%d] = %v, want %v", i, z[i], zBefore[i])
+		}
+	}
+	if !e.Pending() {
+		t.Fatal("restore must not resolve the pending verdict itself")
+	}
+}
+
+// Two consecutive rejections shut the extrapolator off; an acceptance in
+// between resets the countdown.
+func TestConsecutiveRejectsDisable(t *testing.T) {
+	fill := func(e *Extrapolator) {
+		f := []float64{0.5, 0.3, 0.2, 1}
+		d := []float64{0.02, -0.01, -0.01, 0}
+		for k := 0; k < 3; k++ {
+			observe(e, geometric(f, d, 1, 0.9, k))
+		}
+		if !e.Propose() {
+			t.Fatal("no proposal")
+		}
+	}
+	var cnt Counters
+	e := NewExtrapolator(3, 1, &cnt)
+
+	fill(e)
+	e.Reject()
+	if !e.Active() {
+		t.Fatal("disabled after a single rejection")
+	}
+	fill(e)
+	e.Accept()
+	fill(e)
+	e.Reject()
+	if !e.Active() {
+		t.Fatal("acceptance did not reset the rejection countdown")
+	}
+	fill(e)
+	e.Reject()
+	if e.Active() {
+		t.Fatal("still active after two consecutive rejections")
+	}
+	if e.Propose() {
+		t.Fatal("a cooling-down extrapolator proposed")
+	}
+	if cnt.Proposed != 4 || cnt.Accepted != 1 || cnt.Rejected != 3 {
+		t.Fatalf("counters %+v, want 4 proposed / 1 accepted / 3 rejected", cnt)
+	}
+
+	// The shutoff is a cooldown, not a kill switch: observed commits run
+	// it down (they are not buffered), and once it expires the
+	// extrapolator proposes again from fresh history.
+	f := []float64{0.5, 0.3, 0.2, 1}
+	d := []float64{0.02, -0.01, -0.01, 0}
+	for k := 0; k < initialCooldown; k++ {
+		observe(e, geometric(f, d, 1, 0.9, k))
+		if e.Propose() {
+			t.Fatalf("proposed %d commits into an %d-commit cooldown", k+1, initialCooldown)
+		}
+	}
+	if !e.Active() {
+		t.Fatal("cooldown did not expire after its window of commits")
+	}
+	fill(e)
+	if cnt.Proposed != 5 {
+		t.Fatalf("proposed %d, want 5 after the cooldown re-engaged", cnt.Proposed)
+	}
+
+	// Consecutive shutoffs back off exponentially: the next rejection
+	// (consecutive count is still past the threshold) opens a window
+	// twice as long.
+	e.Reject()
+	for k := 0; k < 2*initialCooldown; k++ {
+		if e.Active() {
+			t.Fatalf("second cooldown expired after %d commits, want %d", k, 2*initialCooldown)
+		}
+		observe(e, geometric(f, d, 1, 0.9, k))
+	}
+	if !e.Active() {
+		t.Fatal("second cooldown did not expire after twice the window")
+	}
+}
+
+// All query methods must be safe on a nil extrapolator — the mixed-tier
+// column solver keeps nil entries for exact-quality queries.
+func TestNilExtrapolatorIsInert(t *testing.T) {
+	var e *Extrapolator
+	if e.Active() || e.Pending() {
+		t.Fatal("nil extrapolator reports activity")
+	}
+	e.Observe(nil, nil, 0, 1) // must not panic
+	if e.Propose() {
+		t.Fatal("nil extrapolator proposed")
+	}
+}
+
+// A candidate poisoned at the fault point dies at the propose-time
+// projection: no pending candidate, one rejection counted, and the
+// wasted-pass cost is zero because nothing was scattered.
+func TestFaultPoisonedProposalRejectsAtProposeTime(t *testing.T) {
+	var cnt Counters
+	e := NewExtrapolator(3, 1, &cnt)
+	remove := fault.Inject(fault.AccelPropose, func(args ...any) {
+		args[0].([]float64)[0] = math.NaN()
+	})
+	defer remove()
+
+	f := []float64{0.5, 0.3, 0.2, 1}
+	d := []float64{0.02, -0.01, -0.01, 0}
+	for k := 0; k < 3; k++ {
+		observe(e, geometric(f, d, 1, 0.9, k))
+	}
+	if e.Propose() {
+		t.Fatal("NaN candidate survived the propose-time projection")
+	}
+	if e.Pending() {
+		t.Fatal("poisoned proposal left a pending candidate")
+	}
+	if cnt.Proposed != 1 || cnt.Rejected != 1 || cnt.Accepted != 0 {
+		t.Fatalf("counters %+v, want 1 proposed / 1 rejected", cnt)
+	}
+}
+
+func TestProjectSimplex(t *testing.T) {
+	v := []float64{0.5, -0.25, 1.5}
+	if !projectSimplex(v) {
+		t.Fatal("healthy vector rejected")
+	}
+	if v[1] != 0 {
+		t.Fatalf("negative entry not clamped: %v", v[1])
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-15 {
+		t.Fatalf("projected mass %v, want 1", sum)
+	}
+	if projectSimplex([]float64{math.NaN(), 1}) {
+		t.Fatal("NaN accepted")
+	}
+	if projectSimplex([]float64{math.Inf(1), 1}) {
+		t.Fatal("Inf accepted")
+	}
+	if projectSimplex([]float64{-1, -2}) {
+		t.Fatal("massless vector accepted")
+	}
+	if projectSimplex([]float64{0, 0}) {
+		t.Fatal("zero vector accepted")
+	}
+}

@@ -351,3 +351,57 @@ func TestNameSeedStable(t *testing.T) {
 		t.Errorf("nameSeed must be nonnegative for rand.NewSource")
 	}
 }
+
+func TestRingShape(t *testing.T) {
+	g := Ring(DefaultRingConfig(1))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.N() != 240 {
+		t.Errorf("N = %d, want 240", g.N())
+	}
+	if g.M() != 3 {
+		t.Errorf("M = %d, want next/self/chord", g.M())
+	}
+	if g.Q() != 4 {
+		t.Errorf("Q = %d, want 4 arcs", g.Q())
+	}
+	perArc := make([]int, g.Q())
+	for i := 0; i < g.N(); i++ {
+		perArc[g.PrimaryLabel(i)]++
+	}
+	for a, cnt := range perArc {
+		if cnt != 60 {
+			t.Errorf("arc %d has %d nodes, want 60", a, cnt)
+		}
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := Ring(DefaultRingConfig(7))
+	b := Ring(DefaultRingConfig(7))
+	if a.Stats().String() != b.Stats().String() {
+		t.Errorf("same seed different graphs: %v vs %v", a.Stats(), b.Stats())
+	}
+}
+
+// The defining property: the ring mixes slowly. The lazy cycle's
+// diffusion distance grows with the circumference, so a label seeded on
+// one arc should reach the antipodal arc only through many short steps —
+// structurally, the cycle has no high-degree hubs: every node touches at
+// most 2 next-edges, 1 self-loop and a couple of chords.
+func TestRingNoHubs(t *testing.T) {
+	g := Ring(DefaultRingConfig(3))
+	deg := make([]int, g.N())
+	for _, rel := range g.Relations {
+		for _, e := range rel.Edges {
+			deg[e.From]++
+			deg[e.To]++
+		}
+	}
+	for i, d := range deg {
+		if d > 10 {
+			t.Errorf("node %d has degree %d, want a hub-free cycle", i, d)
+		}
+	}
+}

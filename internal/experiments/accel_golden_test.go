@@ -1,0 +1,153 @@
+package experiments
+
+// Quality-tier equivalence on the golden datasets. The accelerated tier
+// must reproduce the exact tier's predictions node for node while never
+// spending more committed iterations (and strictly fewer on a
+// slow-mixing configuration); the linearized fast tier must stay inside
+// its documented accuracy envelope against the exact solve.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"tmark/internal/eval"
+	"tmark/internal/hin"
+	"tmark/internal/tmark"
+)
+
+// The documented accuracy/NMI budget of the linearized tier on the
+// golden datasets: freezing z̄ at uniform and dropping the ICA reseed
+// may cost at most this much held-out accuracy (resp. NMI) against the
+// exact solve. NMI gets the wider budget because it punishes the same
+// handful of flipped predictions quadratically: measured on the golden
+// fixtures the fast tier gives up ≈0.05 accuracy and ≈0.11 NMI on DBLP
+// and is at parity on Movies, so these envelopes guard the
+// approximation from quietly widening past what EXPERIMENTS.md states.
+const (
+	fastAccEnvelope = 0.05
+	fastNMIEnvelope = 0.15
+)
+
+// goldenTierSetup mirrors goldenCase's deterministic split and masking.
+func goldenTierSetup(t *testing.T, name string, g *hin.Graph, cfg tmark.Config) (*tmark.Model, eval.Split, []int) {
+	t.Helper()
+	split := eval.StratifiedSplit(g, 0.3, rand.New(rand.NewSource(17)))
+	masked, truth := eval.MaskLabels(g, split)
+	model, err := tmark.New(masked, cfg)
+	if err != nil {
+		t.Fatalf("%s: tmark.New: %v", name, err)
+	}
+	return model, split, eval.PrimaryTruth(truth)
+}
+
+func testAccelGoldenEquivalence(t *testing.T, name string, g *hin.Graph) {
+	cfg := tmark.DefaultConfig()
+	cfg.Workers = 1
+	model, _, _ := goldenTierSetup(t, name, g, cfg)
+
+	exact := model.Run()
+	var st tmark.RunStats
+	accel := model.RunContext(context.Background(), tmark.WithAcceleration(true), tmark.WithStats(&st))
+
+	if accel.Converged() != exact.Converged() {
+		t.Fatalf("%s: converged %v, exact %v", name, accel.Converged(), exact.Converged())
+	}
+	for c := range exact.Classes {
+		if accel.Classes[c].Iterations > exact.Classes[c].Iterations {
+			t.Errorf("%s: class %d accelerated took %d iterations, exact %d",
+				name, c, accel.Classes[c].Iterations, exact.Classes[c].Iterations)
+		}
+	}
+	ep, ap := exact.Predict(), accel.Predict()
+	for i := range ep {
+		if ap[i] != ep[i] {
+			t.Fatalf("%s: node %d predicted %d accelerated, %d exact", name, i, ap[i], ep[i])
+		}
+	}
+	t.Logf("%s: exact %d iterations, accelerated %d (%d proposed, %d accepted)",
+		name, exact.MaxIterations(), accel.MaxIterations(), st.AccelProposed, st.AccelAccepted)
+}
+
+func TestAccelGoldenDBLP(t *testing.T) {
+	testAccelGoldenEquivalence(t, "dblp", goldenDBLP())
+}
+
+func TestAccelGoldenMovies(t *testing.T) {
+	testAccelGoldenEquivalence(t, "movies", goldenMovies())
+}
+
+func TestAccelGoldenRing(t *testing.T) {
+	testAccelGoldenEquivalence(t, "ring", goldenRing())
+}
+
+// On the slow-mixing golden Ring network under a deep-iteration
+// configuration (small restart weight, so the contraction sits near
+// 1−α and the exact solve takes hundreds of iterations) the accelerated
+// tier must cut the committed iteration count by at least 2× — the
+// headline reduction the BENCH_6 archive tracks — while keeping the
+// exact predictions. The expander-like DBLP/Movies networks converge in
+// ~10 iterations under any configuration, which leaves extrapolation no
+// tail to jump down; the cycle topology is precisely the regime the
+// accelerated tier exists for.
+func TestAccelGoldenSlowMixingTwofold(t *testing.T) {
+	cfg := tmark.DefaultConfig()
+	cfg.Workers = 1
+	cfg.Alpha = 0.05
+	cfg.Gamma = 0
+	cfg.ICAUpdate = false
+	cfg.Epsilon = 1e-9
+	cfg.MaxIterations = 2000
+	model, _, _ := goldenTierSetup(t, "ring", goldenRing(), cfg)
+
+	exact := model.Run()
+	accel := model.RunContext(context.Background(), tmark.WithAcceleration(true))
+	if !exact.Converged() || !accel.Converged() {
+		t.Fatalf("converged: exact %v, accel %v", exact.Converged(), accel.Converged())
+	}
+	ei, ai := exact.MaxIterations(), accel.MaxIterations()
+	if ai*2 > ei {
+		t.Errorf("accelerated %d iterations vs exact %d: less than the 2x reduction", ai, ei)
+	}
+	ep, ap := exact.Predict(), accel.Predict()
+	for i := range ep {
+		if ap[i] != ep[i] {
+			t.Fatalf("node %d predicted %d accelerated, %d exact", i, ap[i], ep[i])
+		}
+	}
+	t.Logf("slow-mixing ring: exact %d iterations, accelerated %d (%.1fx)", ei, ai, float64(ei)/float64(ai))
+}
+
+func testFastGoldenEnvelope(t *testing.T, name string, g *hin.Graph) {
+	cfg := tmark.DefaultConfig()
+	cfg.Workers = 1
+	model, split, primary := goldenTierSetup(t, name, g, cfg)
+
+	exact := model.Run()
+	fast := model.RunContext(context.Background(), tmark.WithApproximate(true))
+	for c := range fast.Classes {
+		if !fast.Classes[c].Converged {
+			t.Fatalf("%s: fast class %d did not converge", name, c)
+		}
+	}
+	eAcc := eval.Accuracy(exact.Predict(), primary, split.Test)
+	fAcc := eval.Accuracy(fast.Predict(), primary, split.Test)
+	eNMI := eval.NMI(exact.Predict(), primary, split.Test)
+	fNMI := eval.NMI(fast.Predict(), primary, split.Test)
+	if fAcc < eAcc-fastAccEnvelope {
+		t.Errorf("%s: fast accuracy %.4f below exact %.4f - %.2f envelope", name, fAcc, eAcc, fastAccEnvelope)
+	}
+	if fNMI < eNMI-fastNMIEnvelope {
+		t.Errorf("%s: fast NMI %.4f below exact %.4f - %.2f envelope", name, fNMI, eNMI, fastNMIEnvelope)
+	}
+	t.Logf("%s: accuracy exact %.4f fast %.4f, NMI exact %.4f fast %.4f, fast iterations %d",
+		name, eAcc, fAcc, eNMI, fNMI, fast.MaxIterations())
+}
+
+func TestFastGoldenDBLPEnvelope(t *testing.T) {
+	testFastGoldenEnvelope(t, "dblp", goldenDBLP())
+}
+
+func TestFastGoldenMoviesEnvelope(t *testing.T) {
+	testFastGoldenEnvelope(t, "movies", goldenMovies())
+}

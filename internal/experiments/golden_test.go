@@ -182,10 +182,24 @@ func goldenMovies() *hin.Graph {
 	return dataset.Movies(cfg)
 }
 
+// goldenRing is a shrunk fixed-seed Ring network: the slow-mixing cycle
+// fixture, where the power method's contraction sits near 1−α and deep
+// iteration counts make the accelerated tier's extrapolation earn its
+// keep (see accel_golden_test.go).
+func goldenRing() *hin.Graph {
+	cfg := dataset.DefaultRingConfig(5)
+	cfg.ArcLength = 30
+	return dataset.Ring(cfg)
+}
+
 func TestGoldenDBLP(t *testing.T) {
 	compareGolden(t, goldenCase(t, "dblp", goldenDBLP()))
 }
 
 func TestGoldenMovies(t *testing.T) {
 	compareGolden(t, goldenCase(t, "movies", goldenMovies()))
+}
+
+func TestGoldenRing(t *testing.T) {
+	compareGolden(t, goldenCase(t, "ring", goldenRing()))
 }

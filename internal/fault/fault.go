@@ -54,6 +54,14 @@ const (
 	// CheckpointSave is checked (Check) before a checkpoint sink write;
 	// a registered error simulates a failing disk.
 	CheckpointSave Point = "tmark/checkpoint-save"
+	// AccelPropose fires when the extrapolated power method builds a
+	// candidate iterate, before the simplex projection and the health
+	// vetting; args are (cand []float64, n int, m int) — the concatenated
+	// (x, z) candidate. A hook that writes NaN into cand exercises the
+	// propose-time finite check; a hook that writes a finite but wildly
+	// wrong distribution exercises the in-loop non-monotone-residual
+	// rejection and its fallback to plain iteration.
+	AccelPropose Point = "accel/propose"
 )
 
 // registry holds the active hooks. active mirrors the total hook count

@@ -231,6 +231,13 @@ type RunStats struct {
 	// allocate concurrently.
 	Allocs     uint64
 	AllocBytes uint64
+	// AccelProposed, AccelAccepted and AccelRejected count the
+	// extrapolated power method's candidate iterates over the run: built,
+	// passed the monotone-residual vet, and discarded (all zero when the
+	// run did not use WithAcceleration).
+	AccelProposed int64
+	AccelAccepted int64
+	AccelRejected int64
 }
 
 // KernelTime returns the recorded time of kernel k (0 when absent).
@@ -281,6 +288,10 @@ func (s *RunStats) String() string {
 			s.PoolDispatches, s.PoolShards, s.PoolBusy.Round(time.Microsecond), util)
 	}
 	fmt.Fprintf(&b, "alloc: %d objects, %d bytes\n", s.Allocs, s.AllocBytes)
+	if s.AccelProposed > 0 {
+		fmt.Fprintf(&b, "accel: %d proposed, %d accepted, %d rejected\n",
+			s.AccelProposed, s.AccelAccepted, s.AccelRejected)
+	}
 	for _, cs := range s.Classes {
 		fmt.Fprintf(&b, "class %d: %d iterations, converged=%v, final rho %.3g\n",
 			cs.Class, cs.Iterations, cs.Converged, cs.FinalResidual)

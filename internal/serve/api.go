@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"tmark/internal/tmark"
 )
 
 // MaxSeeds bounds the seed list of one request; a query naming more
@@ -39,6 +41,12 @@ type ClassifyRequest struct {
 	TopNodes int `json:"top_nodes,omitempty"`
 	// TopLinks bounds the link-type ranking (default: all link types).
 	TopLinks int `json:"top_links,omitempty"`
+	// Quality selects the solve tier: "exact" (plain fixed-point
+	// iteration), "accelerated" (extrapolated power method, identical
+	// predictions in fewer iterations) or "fast" (linearized approximate
+	// solve). Empty inherits the server's default tier. Any other value
+	// is rejected with 400 — never silently defaulted.
+	Quality string `json:"quality,omitempty"`
 
 	// Hyperparameter overrides; nil keeps the server's base value.
 	Alpha         *float64 `json:"alpha,omitempty"`
@@ -97,6 +105,9 @@ func (r *ClassifyRequest) Validate() error {
 	if r.MaxIterations != nil && *r.MaxIterations <= 0 {
 		return errors.New("serve: max_iterations must be positive")
 	}
+	if _, err := tmark.ParseQuality(r.Quality); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -119,8 +130,11 @@ type LinkScore struct {
 // emitted through encoding/json's shortest-round-trip float formatting,
 // so the decoded float64 values are bitwise identical to the solver's.
 type ClassifyResponse struct {
-	Dataset    string  `json:"dataset"`
-	Seeds      int     `json:"seeds"`
+	Dataset string `json:"dataset"`
+	Seeds   int    `json:"seeds"`
+	// Quality echoes the tier that actually solved the query ("exact",
+	// "accelerated" or "fast"), after server defaults applied.
+	Quality    string  `json:"quality"`
 	Iterations int     `json:"iterations"`
 	Converged  bool    `json:"converged"`
 	Residual   float64 `json:"residual,omitempty"`
@@ -145,9 +159,13 @@ type ClassRanking struct {
 }
 
 // RankResponse is the wire form of a /rank answer: the per-class
-// link-type rankings of the dataset's own labelled classes.
+// link-type rankings of the dataset's own labelled classes. Quality is
+// the tier that produced the rankings: "exact" (also serving
+// quality=accelerated requests — the full solve is cached once per warm
+// model, so there is no iteration count to cut) or "fast".
 type RankResponse struct {
 	Dataset string         `json:"dataset"`
+	Quality string         `json:"quality"`
 	Classes []ClassRanking `json:"classes"`
 }
 

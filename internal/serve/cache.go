@@ -44,16 +44,21 @@ type warmModel struct {
 	// when the server has a checkpoint directory; empty otherwise.
 	ck []tmark.RunOption
 
-	// The full multi-class solve backing /rank, computed lazily at most
-	// once per warm model. It runs under its own context — NOT the
-	// coalescer's solveCtx — because eviction retires the coalescer
-	// (which ends by cancelling solveCtx) while a /rank borrower may
-	// still be mid-solve: an evicted model must finish its borrowed
-	// work at full quality. Only the server drain cancels rankCtx.
+	// The full multi-class solves backing /rank, each computed lazily at
+	// most once per warm model: the reference solve (serving the exact
+	// and accelerated tiers) and the linearized fast-tier solve. They run
+	// under their own context — NOT the coalescer's solveCtx — because
+	// eviction retires the coalescer (which ends by cancelling solveCtx)
+	// while a /rank borrower may still be mid-solve: an evicted model
+	// must finish its borrowed work at full quality. Only the server
+	// drain (or a failed build) cancels rankCtx; it stays live after a
+	// solve finishes because the other tier's solve may start later.
 	rankCtx    context.Context
 	rankCancel context.CancelFunc
 	fullOnce   sync.Once
 	full       *tmark.Result
+	fastOnce   sync.Once
+	fastFull   *tmark.Result
 }
 
 // fullResult lazily runs the full multi-class solve for /rank. The
@@ -66,9 +71,19 @@ type warmModel struct {
 func (e *warmModel) fullResult() *tmark.Result {
 	e.fullOnce.Do(func() {
 		e.full = e.model.RunContext(e.rankCtx, e.ck...)
-		e.rankCancel() // solve finished; release the context
 	})
 	return e.full
+}
+
+// fastResult lazily runs the linearized approximate solve for
+// /rank?quality=fast. It never checkpoints or resumes — the fast tier is
+// one linear solve per class, cheap enough to redo from scratch, and the
+// iterative checkpoint format cannot describe it anyway.
+func (e *warmModel) fastResult() *tmark.Result {
+	e.fastOnce.Do(func() {
+		e.fastFull = e.model.RunContext(e.rankCtx, tmark.WithApproximate(true))
+	})
+	return e.fastFull
 }
 
 // modelCache is the LRU map of warm models.

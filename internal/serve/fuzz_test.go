@@ -17,6 +17,14 @@ func FuzzDecodeClassifyRequest(f *testing.F) {
 		`{"seeds":[5],"dataset":"dblp","ica":true,"scores":true}`,
 		`{"seeds":[1],"alpha":0.8,"gamma":0.6,"lambda":0.7,"epsilon":1e-8,"max_iterations":100}`,
 		`{"seeds":[3,3,3],"top_nodes":5,"top_links":2}`,
+		`{"seeds":[1],"quality":"fast"}`,
+		`{"seeds":[1],"quality":"accelerated"}`,
+		`{"seeds":[1],"quality":"exact"}`,
+		`{"seeds":[1],"quality":""}`,
+		`{"seeds":[1],"quality":"FAST"}`,
+		`{"seeds":[1],"quality":"fast "}`,
+		`{"seeds":[1],"quality":"fast"}`,
+		`{"seeds":[1],"quality":42}`,
 		`{"seeds":[]}`,
 		`{"seeds":[-1]}`,
 		`{"seeds":[1],"alpha":1e999}`,

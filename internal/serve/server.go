@@ -43,6 +43,10 @@ type Options struct {
 	// tmark.DefaultConfig(). Per-request overrides derive new cache keys
 	// from it.
 	Config tmark.Config
+	// DefaultQuality is the solve tier of requests that name none; the
+	// zero value (tmark.QualityDefault) means exact. Requests override it
+	// per query with "quality".
+	DefaultQuality tmark.Quality
 	// CacheSize bounds the warm-model LRU cache (default 4).
 	CacheSize int
 	// MaxBatch bounds the width of one coalesced lockstep solve
@@ -364,8 +368,19 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Validate() vetted the spelling; resolve the tier against the
+	// server's default so the coalescer — and the response echo — see a
+	// concrete quality. Tiers mix freely inside one coalesced batch.
+	quality, _ := tmark.ParseQuality(req.Quality)
+	if quality == tmark.QualityDefault {
+		quality = s.opts.DefaultQuality
+	}
+	if quality == tmark.QualityDefault {
+		quality = tmark.QualityExact
+	}
+
 	start := time.Now()
-	res, width, err := e.coal.do(r.Context(), tmark.ColumnQuery{Seeds: req.Seeds, ICA: req.ICA})
+	res, width, err := e.coal.do(r.Context(), tmark.ColumnQuery{Seeds: req.Seeds, ICA: req.ICA, Quality: quality})
 	s.met.latency.Observe(time.Since(start))
 	switch {
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining), errors.Is(err, ErrModelFault):
@@ -387,6 +402,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	resp := &ClassifyResponse{
 		Dataset:    name,
 		Seeds:      res.Seeds,
+		Quality:    quality.String(),
 		Iterations: res.Iterations,
 		Converged:  res.Converged,
 		Coalesced:  width,
@@ -438,9 +454,29 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	quality, err := tmark.ParseQuality(r.URL.Query().Get("quality"))
+	if err != nil {
+		s.met.errors.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if quality == tmark.QualityDefault {
+		quality = s.opts.DefaultQuality
+	}
 	g := s.opts.Datasets[name]
-	full := e.fullResult()
-	resp := &RankResponse{Dataset: name}
+	// The full multi-class solve backing /rank is computed at most once
+	// per warm model and cached, so the accelerated tier has nothing to
+	// win here: it serves the same cached reference solve as exact. Only
+	// the fast tier gets its own (cheaper) cached solve.
+	var full *tmark.Result
+	effective := "exact"
+	if quality == tmark.QualityFast {
+		full = e.fastResult()
+		effective = "fast"
+	} else {
+		full = e.fullResult()
+	}
+	resp := &RankResponse{Dataset: name, Quality: effective}
 	for c := 0; c < full.Q(); c++ {
 		cr := full.Classes[c]
 		resp.Classes = append(resp.Classes, ClassRanking{

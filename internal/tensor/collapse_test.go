@@ -1,0 +1,89 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// collapsedMatvec evaluates the collapsed operator the way the fast tier
+// does: explicit triplets plus the uniform spread of the per-source
+// dangling weights.
+func collapsedMatvec(n int, rows, cols []int32, vals, dangle, x []float64) []float64 {
+	dst := make([]float64, n)
+	for q := range rows {
+		dst[rows[q]] += vals[q] * x[cols[q]]
+	}
+	var lost float64
+	for j, d := range dangle {
+		lost += d * x[j]
+	}
+	uni := lost / float64(n)
+	for i := range dst {
+		dst[i] += uni
+	}
+	return dst
+}
+
+// The collapsed matrix must reproduce the tensor contraction with z
+// frozen: P·x + dangling spread = O ×̄₁ x ×̄₃ z̄ for any x.
+func TestCollapseZMatchesFrozenContraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []*Tensor{
+		randomTensor(rng, 50, 4, 600),
+		randomTensor(rng, 13, 1, 40),
+		func() *Tensor { a := New(9, 3); a.Finalize(); return a }(), // all dangling
+	}
+	for ci, a := range cases {
+		o := NewNodeTransition(a)
+		zbar := randomVec(rng, o.M())
+		rows, cols, vals, dangle := o.CollapseZ(zbar)
+		x := randomVec(rng, o.N())
+
+		want := make([]float64, o.N())
+		o.Apply(x, zbar, want)
+		got := collapsedMatvec(o.N(), rows, cols, vals, dangle, x)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("case %d row %d: collapsed %v, tensor %v", ci, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// With a distribution z̄ every column of the collapsed operator is again
+// stochastic: stored entries plus the dangling weight sum to one.
+func TestCollapseZColumnsStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := randomTensor(rng, 40, 5, 500)
+	o := NewNodeTransition(a)
+	zbar := randomVec(rng, o.M())
+	rows, cols, vals, dangle := o.CollapseZ(zbar)
+	_ = rows
+	colSum := make([]float64, o.N())
+	copy(colSum, dangle)
+	for q := range cols {
+		colSum[cols[q]] += vals[q]
+	}
+	for j, s := range colSum {
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("column %d mass %v, want 1", j, s)
+		}
+		if dangle[j] < 0 {
+			t.Fatalf("column %d negative dangling weight %v", j, dangle[j])
+		}
+	}
+}
+
+func TestCollapseZWrongLengthPanics(t *testing.T) {
+	a := New(4, 2)
+	a.Add(0, 1, 0, 1)
+	a.Finalize()
+	o := NewNodeTransition(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong zbar length")
+		}
+	}()
+	o.CollapseZ(make([]float64, 3))
+}

@@ -23,6 +23,7 @@ import (
 	"context"
 	"math"
 
+	"tmark/internal/accel"
 	"tmark/internal/vec"
 )
 
@@ -135,13 +136,50 @@ func (m *Model) runBatched(ctx context.Context, res *Result, warm warmFn, rs *ru
 // probes run before the iterate is committed (copy xn→x), so a fault
 // verdict always leaves the block at the last healthy iteration — the
 // snapshot it carries is what the automatic demoted retry resumes from.
+//
+// With WithAcceleration, each class additionally carries an
+// extrapolator over its committed (x, z) sequence. A pending candidate
+// is scattered into the block after the ICA reseed (which must read
+// committed state only) and vetted by riding one ordinary pass: the
+// kernels map the candidate u to F(u), and the candidate is accepted
+// exactly when the pass stays healthy and d(u, F(u)) is strictly below
+// the class's last committed residual. An accepted pass commits like
+// any other; a rejected pass restores the pre-jump column into the next
+// block before the wholesale commit and touches no bookkeeping, so the
+// committed iterate/trace sequence of a class whose every proposal is
+// rejected is bitwise identical to the plain run's.
 func (m *Model) iterateBatched(ctx context.Context, st *batchRun, rs *runScratch) *runFault {
 	alpha, beta := m.cfg.Alpha, m.cfg.Beta()
 	rel := 1 - alpha - beta
 	n, mm := st.n, st.m
 	g := rs.opts.guards
 	progress := rs.progressFn()
+	var ex []*accel.Extrapolator
+	var jumped, vetoed []bool // by class, valid within one pass
+	if rs.opts.accelerate {
+		ex = make([]*accel.Extrapolator, st.q)
+		for c := range ex {
+			ex[c] = accel.NewExtrapolator(n, mm, &rs.accel)
+		}
+		jumped = make([]bool, st.q)
+		vetoed = make([]bool, st.q)
+	}
+	// dropJumps undoes every candidate still scattered in the current
+	// block — a corruption fault on some other column must snapshot (and
+	// retry from) committed state only, never a candidate under vet.
+	dropJumps := func() {
+		for col := 0; col < st.b; col++ {
+			if c := st.classOf[col]; jumped[c] {
+				ex[c].RestoreInto(st.x, st.z, col, st.b)
+				ex[c].Reject()
+				jumped[c] = false
+			}
+		}
+	}
 	corrupt := func(col, t int, kind string) *runFault {
+		if ex != nil {
+			dropJumps()
+		}
 		regNumericalFaults.Inc()
 		return &runFault{
 			fault:     Fault{Class: st.classOf[col], Iter: t, Kind: kind},
@@ -161,6 +199,19 @@ func (m *Model) iterateBatched(ctx context.Context, st *batchRun, rs *runScratch
 		}
 		b := st.b
 		x, z, xn, zn := st.x[:n*b], st.z[:mm*b], st.xn[:n*b], st.zn[:mm*b]
+		// Scatter pending extrapolated candidates — after the reseed, so
+		// the cross-class coupling always reads committed state.
+		anyJump := false
+		if ex != nil {
+			for col := 0; col < b; col++ {
+				c := st.classOf[col]
+				if ex[c].Pending() {
+					ex[c].ScatterCandidate(x, z, col, b)
+					jumped[c], vetoed[c] = true, false
+					anyJump = true
+				}
+			}
+		}
 		if rel > 0 {
 			rs.applyNodeBatch(m.o, x, z, xn, b)
 			vec.Scale(rel, xn)
@@ -173,7 +224,8 @@ func (m *Model) iterateBatched(ctx context.Context, st *batchRun, rs *runScratch
 			vec.Axpy(beta, tmp, xn)
 		}
 		for col := 0; col < b; col++ {
-			vec.AxpyCol(alpha, st.l[st.classOf[col]], xn, col, b)
+			c := st.classOf[col]
+			vec.AxpyCol(alpha, st.l[c], xn, col, b)
 			// The same simplex projection as the sequential step: rounding
 			// in the dangling-mass closed forms compounds across
 			// iterations, and the fixed point has unit mass anyway. The
@@ -182,13 +234,27 @@ func (m *Model) iterateBatched(ctx context.Context, st *batchRun, rs *runScratch
 			// iterate before anything is committed.
 			mass, ok := vec.Normalize1ColMass(xn, col, b)
 			if kind, bad := badMass(mass, ok, g); bad {
+				// A candidate under vet faults only itself: the jump is
+				// rejected below, not escalated to a model fault.
+				if ex != nil && jumped[c] {
+					vetoed[c] = true
+					continue
+				}
 				return corrupt(col, t, kind)
 			}
 		}
 		rs.applyRelationBatch(m.r, xn, zn, b)
 		for col := 0; col < b; col++ {
+			c := st.classOf[col]
+			if ex != nil && jumped[c] && vetoed[c] {
+				continue
+			}
 			mass, ok := vec.Normalize1ColMass(zn, col, b)
 			if kind, bad := badMass(mass, ok, g); bad {
+				if ex != nil && jumped[c] {
+					vetoed[c] = true
+					continue
+				}
 				return corrupt(col, t, kind)
 			}
 		}
@@ -197,16 +263,56 @@ func (m *Model) iterateBatched(ctx context.Context, st *batchRun, rs *runScratch
 		// trace behind.
 		rhos := st.rhos[:b]
 		for col := 0; col < b; col++ {
+			c := st.classOf[col]
+			if ex != nil && jumped[c] && vetoed[c] {
+				continue
+			}
 			rho := vec.Diff1Col(x, xn, col, b) + vec.Diff1Col(z, zn, col, b)
 			if nonFinite(rho) {
+				if ex != nil && jumped[c] {
+					vetoed[c] = true
+					continue
+				}
 				return corrupt(col, t, faultNonFinite)
 			}
 			rhos[col] = rho
 		}
+		// The vet verdicts. A jumped column's residual is d(u, F(u));
+		// accept exactly when the pass stayed healthy and it improves
+		// strictly on the class's last committed residual — the monotone
+		// guarantee that the accelerated run can never take more committed
+		// iterations than the plain one. A rejected column gets its
+		// pre-jump state restored into the next block, so the wholesale
+		// commit below re-installs the last committed iterate.
+		if anyJump {
+			for col := 0; col < b; col++ {
+				c := st.classOf[col]
+				if !jumped[c] {
+					continue
+				}
+				last := math.Inf(1)
+				if tr := st.trace[c]; len(tr) > 0 {
+					last = tr[len(tr)-1]
+				}
+				if !vetoed[c] && rhos[col] < last {
+					ex[c].Accept()
+				} else {
+					ex[c].RestoreInto(xn, zn, col, b)
+					ex[c].Reject()
+					vetoed[c] = true
+				}
+				jumped[c] = false
+			}
+		}
 		retired := false
 		for col := 0; col < b; col++ {
-			rho := rhos[col]
 			c := st.classOf[col]
+			if ex != nil && vetoed[c] {
+				// Rejected pass: nothing committed for this class, so no
+				// trace entry, no iteration count, no convergence test.
+				continue
+			}
+			rho := rhos[col]
 			st.trace[c] = append(st.trace[c], rho)
 			st.iters[c]++
 			if progress != nil {
@@ -226,7 +332,7 @@ func (m *Model) iterateBatched(ctx context.Context, st *batchRun, rs *runScratch
 		// and neither is retryable — they reproduce deterministically.
 		for col := 0; col < b; col++ {
 			c := st.classOf[col]
-			if st.conv[c] {
+			if st.conv[c] || (ex != nil && vetoed[c]) {
 				continue
 			}
 			rho := rhos[col]
@@ -240,6 +346,23 @@ func (m *Model) iterateBatched(ctx context.Context, st *batchRun, rs *runScratch
 			if stagnated(st.trace[c], g) {
 				regStagnations.Inc()
 				return &runFault{fault: Fault{Class: c, Iter: t, Kind: faultStagnation}}
+			}
+		}
+		// Feed the extrapolators the freshly committed iterates and let
+		// them propose for the next pass — before retirement compacts the
+		// column mapping.
+		if ex != nil {
+			for col := 0; col < b; col++ {
+				c := st.classOf[col]
+				vetoed[c] = false
+				if st.conv[c] {
+					continue
+				}
+				// Observe runs even through a shutoff cooldown — the committed
+				// iterates are what count the cooldown down; Propose no-ops
+				// until it expires.
+				ex[c].Observe(x, z, col, b)
+				ex[c].Propose()
 			}
 		}
 		if retired {

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 
+	"tmark/internal/accel"
 	"tmark/internal/vec"
 )
 
@@ -56,6 +57,15 @@ type ColumnQuery struct {
 	// checks it every iteration and retires the column mid-batch with
 	// ColumnResult.Stopped set, leaving the other columns untouched.
 	Ctx context.Context
+	// Quality selects this query's solve tier, overriding the run
+	// options: exact iteration, the extrapolated power method (identical
+	// answers, fewer committed iterations), or the linearized fast tier
+	// (approximate, one sparse solve). The zero value inherits the run's
+	// WithAcceleration / WithApproximate settings. Tiers mix freely
+	// within one SolveColumns batch: fast queries solve through the
+	// collapsed linear system while the rest advance through the lockstep
+	// block.
+	Quality Quality
 }
 
 // ColumnResult is the stationary solution of one query column. X scores
@@ -79,12 +89,14 @@ type ColumnResult struct {
 }
 
 // columnState is one validated query: the restart vector, the seed mask
-// of the per-query reseed (nil when ICA is off), and the column context.
+// of the per-query reseed (nil when ICA is off), the column context,
+// and the resolved solve tier.
 type columnState struct {
-	l      vec.Vector
-	isSeed []bool
-	ctx    context.Context
-	seeds  int
+	l       vec.Vector
+	isSeed  []bool
+	ctx     context.Context
+	seeds   int
+	quality Quality // resolved: never QualityDefault after SolveColumns
 }
 
 // buildColumnState validates one query against the model's dimensions
@@ -202,8 +214,26 @@ func (m *Model) SolveColumn(ctx context.Context, q ColumnQuery, opts ...RunOptio
 	}
 	ro := resolveOptions(opts)
 	ro.sequential = true
+	cs.quality = q.Quality.resolve(ro)
+	if cs.quality == QualityAccelerated && ro.resume == nil {
+		// The extrapolated vet pass lives in the blocked lockstep loop, so
+		// an accelerated query runs as a batch of one — the per-column
+		// trajectory is batch-size-invariant, making the solo result
+		// bitwise identical to the same query inside any SolveColumns
+		// batch. (A resumed solo query stays on the sequential reference
+		// path, where acceleration degrades to exact iteration.)
+		ro.sequential = false
+		rs := m.newRunScratchCols(ro, 1)
+		defer rs.close()
+		out := make([]ColumnResult, 1)
+		m.iterateColumns(ctx, []columnState{cs}, out, rs)
+		return out[0], nil
+	}
 	rs := m.newRunScratchCols(ro, 1)
 	defer rs.close()
+	if cs.quality == QualityFast {
+		return m.solveFastColumn(ctx, cs, rs.linScratch(), rs), nil
+	}
 	return m.solveColumnSeq(ctx, 0, cs, rs), nil
 }
 
@@ -266,18 +296,24 @@ func (m *Model) SolveColumns(ctx context.Context, queries []ColumnQuery, opts ..
 	if len(queries) == 0 {
 		return nil, nil
 	}
+	ro := resolveOptions(opts)
 	states := make([]columnState, len(queries))
+	anyFast := false
 	for i, q := range queries {
 		cs, err := m.buildColumnState(q)
 		if err != nil {
 			return nil, fmt.Errorf("tmark: column %d: %w", i, err)
 		}
+		cs.quality = q.Quality.resolve(ro)
+		anyFast = anyFast || cs.quality == QualityFast
 		states[i] = cs
 	}
-	ro := resolveOptions(opts)
 	if cp := ro.resume; cp != nil {
 		if ro.sequential {
 			return nil, fmt.Errorf("%w: resume requires the batched path", ErrCheckpointMismatch)
+		}
+		if anyFast {
+			return nil, fmt.Errorf("%w: resume requires iterative queries, not quality=fast", ErrCheckpointMismatch)
 		}
 		if err := m.validateColumnCheckpoint(cp, len(queries)); err != nil {
 			return nil, err
@@ -286,8 +322,21 @@ func (m *Model) SolveColumns(ctx context.Context, queries []ColumnQuery, opts ..
 	rs := m.newRunScratchCols(ro, len(queries))
 	defer rs.close()
 	out := make([]ColumnResult, len(queries))
+	// Fast-tier queries never enter the iterative block: each is one
+	// linear solve against the shared collapsed system.
+	if anyFast {
+		ms := rs.linScratch()
+		for i := range states {
+			if states[i].quality == QualityFast {
+				out[i] = m.solveFastColumn(ctx, states[i], ms, rs)
+			}
+		}
+	}
 	if ro.sequential {
 		for i := range states {
+			if states[i].quality == QualityFast {
+				continue
+			}
 			out[i] = m.solveColumnSeq(ctx, i, states[i], rs)
 		}
 		return out, nil
@@ -383,26 +432,48 @@ func (st *columnBlock) retire(out []ColumnResult, done func(i int) bool) {
 func (m *Model) iterateColumns(ctx context.Context, states []columnState, out []ColumnResult, rs *runScratch) {
 	n, mm := m.graph.N(), m.graph.M()
 	nq := len(states)
+	// Fast-tier queries were answered through the linear solve before
+	// this loop; only the iterative queries enter the block.
+	iterQ := make([]int, 0, nq)
+	for i := range states {
+		if states[i].quality != QualityFast {
+			iterQ = append(iterQ, i)
+		}
+	}
+	nb := len(iterQ)
+	if nb == 0 {
+		return
+	}
 	st := &columnBlock{
-		n: n, m: mm, b: nq,
-		colOf: make([]int, nq),
-		x:     make([]float64, n*nq),
-		z:     make([]float64, mm*nq),
-		xn:    make([]float64, n*nq),
-		zn:    make([]float64, mm*nq),
-		tmp:   make([]float64, n*nq),
-		keep:  make([]int, 0, nq),
-		rhos:  make([]float64, nq),
-		bad:   make([]string, nq),
+		n: n, m: mm, b: nb,
+		colOf: make([]int, nb),
+		x:     make([]float64, n*nb),
+		z:     make([]float64, mm*nb),
+		xn:    make([]float64, n*nb),
+		zn:    make([]float64, mm*nb),
+		tmp:   make([]float64, n*nb),
+		keep:  make([]int, 0, nb),
+		rhos:  make([]float64, nb),
+		bad:   make([]string, nb),
 		best:  make([]float64, nq),
 	}
 	uniformZ := vec.Uniform(mm)
-	for i := range states {
-		st.colOf[i] = i
+	var ex []*accel.Extrapolator
+	var jumped, vetoed []bool // by query index, valid within one pass
+	for col, i := range iterQ {
+		st.colOf[col] = i
 		st.best[i] = math.Inf(1)
-		vec.ScatterCol(states[i].l, st.x, i, nq)
-		vec.ScatterCol(uniformZ, st.z, i, nq)
+		vec.ScatterCol(states[i].l, st.x, col, nb)
+		vec.ScatterCol(uniformZ, st.z, col, nb)
 		out[i] = ColumnResult{Seeds: states[i].seeds, Restart: states[i].l}
+		if states[i].quality == QualityAccelerated {
+			if ex == nil {
+				ex = make([]*accel.Extrapolator, nq)
+				jumped = make([]bool, nq)
+				vetoed = make([]bool, nq)
+			}
+			ex[i] = accel.NewExtrapolator(n, mm, &rs.accel)
+		}
 	}
 	if cp := rs.opts.resume; cp != nil {
 		restoreColumns(st, cp, states, out)
@@ -453,6 +524,19 @@ func (m *Model) iterateColumns(ctx context.Context, states []columnState, out []
 		}
 		b := st.b
 		x, z, xn, zn := st.x[:n*b], st.z[:mm*b], st.xn[:n*b], st.zn[:mm*b]
+		// Scatter pending extrapolated candidates — after the per-query
+		// reseed, which must read committed state only.
+		anyJump := false
+		if ex != nil {
+			for col := 0; col < b; col++ {
+				i := st.colOf[col]
+				if ex[i].Pending() {
+					ex[i].ScatterCandidate(x, z, col, b)
+					jumped[i], vetoed[i] = true, false
+					anyJump = true
+				}
+			}
+		}
 		if rel > 0 {
 			rs.applyNodeBatch(m.o, x, z, xn, b)
 			vec.Scale(rel, xn)
@@ -466,37 +550,81 @@ func (m *Model) iterateColumns(ctx context.Context, states []columnState, out []
 		}
 		bad := st.bad[:b]
 		for col := 0; col < b; col++ {
+			i := st.colOf[col]
 			bad[col] = ""
-			vec.AxpyCol(alpha, states[st.colOf[col]].l, xn, col, b)
+			vec.AxpyCol(alpha, states[i].l, xn, col, b)
 			mass, ok := vec.Normalize1ColMass(xn, col, b)
 			if kind, isBad := badMass(mass, ok, g); isBad {
-				bad[col] = kind
+				// A candidate under vet faults only its own jump: the
+				// proposal is rejected below instead of the column retiring.
+				if ex != nil && jumped[i] {
+					vetoed[i] = true
+				} else {
+					bad[col] = kind
+				}
 			}
 		}
 		rs.applyRelationBatch(m.r, xn, zn, b)
 		for col := 0; col < b; col++ {
-			if bad[col] != "" {
+			i := st.colOf[col]
+			if bad[col] != "" || (ex != nil && jumped[i] && vetoed[i]) {
 				continue
 			}
 			mass, ok := vec.Normalize1ColMass(zn, col, b)
 			if kind, isBad := badMass(mass, ok, g); isBad {
-				bad[col] = kind
+				if ex != nil && jumped[i] {
+					vetoed[i] = true
+				} else {
+					bad[col] = kind
+				}
 			}
 		}
 		rhos := st.rhos[:b]
 		anyBad := false
 		for col := 0; col < b; col++ {
+			i := st.colOf[col]
 			if bad[col] != "" {
 				anyBad = true
 				continue
 			}
+			if ex != nil && jumped[i] && vetoed[i] {
+				continue
+			}
 			rho := vec.Diff1Col(x, xn, col, b) + vec.Diff1Col(z, zn, col, b)
 			if nonFinite(rho) {
+				if ex != nil && jumped[i] {
+					vetoed[i] = true
+					continue
+				}
 				bad[col] = faultNonFinite
 				anyBad = true
 				continue
 			}
 			rhos[col] = rho
+		}
+		// Vet verdicts for the jumped columns: accept exactly when the
+		// pass stayed healthy and d(u, F(u)) strictly improves on the
+		// query's last committed residual; otherwise restore the pre-jump
+		// column into the next block so the commit re-installs it.
+		if anyJump {
+			for col := 0; col < b; col++ {
+				i := st.colOf[col]
+				if !jumped[i] {
+					continue
+				}
+				last := math.Inf(1)
+				if tr := out[i].Trace; len(tr) > 0 {
+					last = tr[len(tr)-1]
+				}
+				if !vetoed[i] && rhos[col] < last {
+					ex[i].Accept()
+				} else {
+					ex[i].RestoreInto(xn, zn, col, b)
+					ex[i].Reject()
+					vetoed[i] = true
+				}
+				jumped[i] = false
+			}
 		}
 		// Faulted columns get their pre-iteration (healthy) state written
 		// back into the next block before the wholesale commit below, so
@@ -520,11 +648,13 @@ func (m *Model) iterateColumns(ctx context.Context, states []columnState, out []
 		}
 		done := anyBad
 		for col := 0; col < b; col++ {
-			if bad[col] != "" {
+			i := st.colOf[col]
+			if bad[col] != "" || (ex != nil && vetoed[i]) {
+				// Faulted, or a rejected vet pass: nothing committed for
+				// this query, so no trace entry and no convergence test.
 				continue
 			}
 			rho := rhos[col]
-			i := st.colOf[col]
 			out[i].Trace = append(out[i].Trace, rho)
 			out[i].Iterations++
 			if progress != nil {
@@ -542,10 +672,10 @@ func (m *Model) iterateColumns(ctx context.Context, states []columnState, out []
 		// and stagnation are verdicts about the (valid) residual series,
 		// so the committed state is what the stopped column reports.
 		for col := 0; col < b; col++ {
-			if bad[col] != "" {
+			i := st.colOf[col]
+			if bad[col] != "" || (ex != nil && vetoed[i]) {
 				continue
 			}
-			i := st.colOf[col]
 			if out[i].Converged {
 				continue
 			}
@@ -563,6 +693,24 @@ func (m *Model) iterateColumns(ctx context.Context, states []columnState, out []
 				regStagnations.Inc()
 				out[i].Stopped = ErrStagnated
 				done = true
+			}
+		}
+		// Feed the extrapolators the freshly committed iterates and let
+		// them propose for the next pass — before retirement compacts the
+		// column mapping.
+		if ex != nil {
+			for col := 0; col < b; col++ {
+				i := st.colOf[col]
+				vetoed[i] = false
+				e := ex[i]
+				if e == nil || out[i].Converged || out[i].Stopped != nil {
+					continue
+				}
+				// Observe runs even through a shutoff cooldown — the committed
+				// iterates are what count the cooldown down; Propose no-ops
+				// until it expires.
+				e.Observe(x, z, col, b)
+				e.Propose()
 			}
 		}
 		if done {
@@ -587,6 +735,14 @@ func (m *Model) iterateColumns(ctx context.Context, states []columnState, out []
 		}
 		return true
 	})
+	// Publish extrapolator activity from this batch — column solves are
+	// the serving path, so the registry counters must see their proposals
+	// just like finishRun publishes the full-solve ones.
+	if rs.accel.Proposed > 0 {
+		regAccelProposed.Add(rs.accel.Proposed)
+		regAccelAccepted.Add(rs.accel.Accepted)
+		regAccelRejected.Add(rs.accel.Rejected)
+	}
 }
 
 // snapshotColumns deep-copies the batched column working set into a

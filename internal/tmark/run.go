@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 
+	"tmark/internal/accel"
 	"tmark/internal/fault"
 	"tmark/internal/obs"
 	"tmark/internal/par"
@@ -98,6 +99,12 @@ type runOptions struct {
 	noASM bool
 	// guards enables the optional numerical-health probes; see WithGuards.
 	guards *GuardConfig
+	// accelerate turns on the extrapolated power method in the batched
+	// lockstep loops; see WithAcceleration.
+	accelerate bool
+	// approximate replaces the fixed-point loop with the linearized
+	// single-solve tier; see WithApproximate.
+	approximate bool
 }
 
 // RunOption configures one solver run; see WithStats, WithProgress and
@@ -181,6 +188,40 @@ func ResumeFrom(cp *Checkpoint) RunOption {
 	return func(o *runOptions) { o.resume = cp }
 }
 
+// WithAcceleration(true) turns on the extrapolated power method in the
+// batched lockstep loops (class runs and SolveColumns): every three
+// committed iterates the solver proposes a SQUAREM-extrapolated
+// candidate for each active column, projects it back onto the simplex,
+// and vets it through one ordinary iteration pass under the same health
+// probes a plain run applies — finite values, conserved column mass,
+// and a residual strictly below the last committed one. A candidate
+// that fails any probe is discarded and plain iteration resumes from
+// the last committed iterate, so the converged answer satisfies exactly
+// the guarantees of the unaccelerated solve (it converges in at most as
+// many committed iterations, typically far fewer on slow-mixing
+// configurations). A column whose proposals keep failing stops
+// proposing, bounding the vet overhead. The sequential reference paths
+// ignore this option. Checkpoints snapshot only committed state, so
+// WithCheckpoint composes: a resumed run simply restarts extrapolation
+// from plain-iteration state.
+func WithAcceleration(on bool) RunOption {
+	return func(o *runOptions) { o.accelerate = on }
+}
+
+// WithApproximate(true) selects the linearized fast tier: instead of
+// iterating the coupled (x, z) fixed point, the solver freezes z at the
+// uniform distribution, collapses the tensor into one sparse matrix,
+// and solves the resulting linear system in a fixed number of Jacobi
+// sweeps (contraction rate ≤ 1−α). The answer is approximate — the ICA
+// reseed is dropped and z never re-couples — but needs no tensor
+// streaming; see internal/accel.System for the accuracy bound and the
+// golden suite for the measured envelope. Overrides WithAcceleration.
+// Incompatible with ResumeFrom (there is no iteration state to resume);
+// WithCheckpoint is ignored.
+func WithApproximate(on bool) RunOption {
+	return func(o *runOptions) { o.approximate = on }
+}
+
 // WithScalarKernels(true) demotes the blocked contractions to their
 // scalar reference bodies even on hosts with the AVX2 kernels. The
 // numerical-fault retry uses it to re-run a faulted solve on the
@@ -256,6 +297,9 @@ func (m *Model) runClassesOnce(ctx context.Context, warm warmFn, ro runOptions) 
 	if ro.resume != nil && ro.sequential {
 		panic("tmark: ResumeFrom requires the batched path (WithBatchedClasses(true))")
 	}
+	if ro.resume != nil && ro.approximate {
+		panic("tmark: ResumeFrom requires the iterative path, not WithApproximate")
+	}
 	rs := m.newRunScratch(ro)
 	defer rs.close()
 	q := m.graph.Q()
@@ -266,7 +310,11 @@ func (m *Model) runClassesOnce(ctx context.Context, warm warmFn, ro runOptions) 
 		q:       q,
 	}
 	var flt *runFault
-	if !ro.sequential {
+	if ro.approximate {
+		if err := m.runApproximate(ctx, res, rs); err != nil {
+			res.Reason, res.Stopped = ReasonNumericalFault, err
+		}
+	} else if !ro.sequential {
 		flt = m.runBatched(ctx, res, warm, rs)
 	} else if m.cfg.ICAUpdate {
 		m.runLockstepFrom(ctx, res, warm, rs)
@@ -334,6 +382,9 @@ func (m *Model) finishRun(ctx context.Context, res *Result, rs *runScratch) {
 	rs.col.Finish(st)
 	if st != nil {
 		st.Workers = rs.workers
+		st.AccelProposed = rs.accel.Proposed
+		st.AccelAccepted = rs.accel.Accepted
+		st.AccelRejected = rs.accel.Rejected
 		st.Iterations = 0
 		st.Classes = st.Classes[:0]
 		for i := range res.Classes {
@@ -352,6 +403,11 @@ func (m *Model) finishRun(ctx context.Context, res *Result, rs *runScratch) {
 			})
 		}
 	}
+	if rs.accel.Proposed > 0 {
+		regAccelProposed.Add(rs.accel.Proposed)
+		regAccelAccepted.Add(rs.accel.Accepted)
+		regAccelRejected.Add(rs.accel.Rejected)
+	}
 	publishRun(res, st)
 }
 
@@ -369,7 +425,12 @@ var (
 	regGuardRetries     = obs.Default().Counter("tmark_guard_retries_total")
 	regCheckpoints      = obs.Default().Counter("tmark_checkpoints_saved_total")
 	regCheckpointErrors = obs.Default().Counter("tmark_checkpoint_errors_total")
-	regKernels          = func() [obs.NumKernels]*obs.Timer {
+	// Extrapolated-power-method activity: candidates built, vetted in,
+	// and discarded (see WithAcceleration).
+	regAccelProposed = obs.Default().Counter("tmark_accel_proposed_total")
+	regAccelAccepted = obs.Default().Counter("tmark_accel_accepted_total")
+	regAccelRejected = obs.Default().Counter("tmark_accel_rejected_total")
+	regKernels       = func() [obs.NumKernels]*obs.Timer {
 		var ts [obs.NumKernels]*obs.Timer
 		for _, k := range obs.Kernels() {
 			ts[k] = obs.Default().Timer("tmark_kernel_" + k.String())
@@ -452,6 +513,10 @@ type runScratch struct {
 	// faults collects the numerical-health events of the sequential
 	// paths (the batched loops report theirs through runFault instead).
 	faults []Fault
+
+	// accel aggregates the run's extrapolation activity (WithAcceleration);
+	// filled by the lockstep loops, published by finishRun.
+	accel accel.Counters
 }
 
 // newRunScratch builds the pool, kernel scratch and collector for one

@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 
+	"tmark/internal/accel"
 	"tmark/internal/hin"
 	"tmark/internal/markov"
 	"tmark/internal/par"
@@ -128,6 +130,14 @@ type Model struct {
 	w matvec // nil when Gamma == 0
 
 	irreducible bool
+
+	// The fast tier's collapsed linear operator, built lazily on the
+	// first approximate solve (see linearSystem). The sync.Once is the
+	// only mutable state a solve ever touches on the Model, so concurrent
+	// Run/SolveColumns calls stay safe.
+	linOnce sync.Once
+	lin     *accel.System
+	linErr  error
 }
 
 // New builds a model from the graph's adjacency tensor and features.

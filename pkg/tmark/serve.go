@@ -172,12 +172,23 @@ func (c *Client) Classify(ctx context.Context, req *ClassifyRequest) (*ClassifyR
 // full warm solve. dataset "" selects the server's default; top bounds
 // each ranking (0 = all link types).
 func (c *Client) Rank(ctx context.Context, dataset string, top int) (*RankResponse, error) {
+	return c.RankQuality(ctx, dataset, top, "")
+}
+
+// RankQuality is Rank with an explicit solve tier: "exact",
+// "accelerated" (served from the same cached reference solve) or "fast"
+// (the linearized approximate tier). "" keeps the server's default; an
+// unknown spelling is rejected by the server with a 400.
+func (c *Client) RankQuality(ctx context.Context, dataset string, top int, quality string) (*RankResponse, error) {
 	q := url.Values{}
 	if dataset != "" {
 		q.Set("dataset", dataset)
 	}
 	if top > 0 {
 		q.Set("top", strconv.Itoa(top))
+	}
+	if quality != "" {
+		q.Set("quality", quality)
 	}
 	u := c.BaseURL + "/rank"
 	if enc := q.Encode(); enc != "" {

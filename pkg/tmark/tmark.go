@@ -85,6 +85,24 @@ type Explanation = itmark.Explanation
 // RunOption configures a single RunContext / RunWarmContext call.
 type RunOption = itmark.RunOption
 
+// Quality selects a solve tier: exact fixed-point iteration, the
+// extrapolated power method (identical predictions, fewer iterations)
+// or the linearized approximate tier.
+type Quality = itmark.Quality
+
+// The solve tiers. QualityDefault inherits the run's WithAcceleration /
+// WithApproximate options.
+const (
+	QualityDefault     = itmark.QualityDefault
+	QualityExact       = itmark.QualityExact
+	QualityAccelerated = itmark.QualityAccelerated
+	QualityFast        = itmark.QualityFast
+)
+
+// ParseQuality maps the wire spelling ("exact", "accelerated", "fast",
+// or "" for the default) to its tier; anything else is an error.
+func ParseQuality(s string) (Quality, error) { return itmark.ParseQuality(s) }
+
 // RunStats is the telemetry record of one run; pass via WithStats.
 type RunStats = itmark.RunStats
 
@@ -141,6 +159,21 @@ func WithWorkers(n int) RunOption { return itmark.WithWorkers(n) }
 // per-class cancellation semantics it implies (see the internal
 // WithBatchedClasses documentation).
 func WithBatchedClasses(on bool) RunOption { return itmark.WithBatchedClasses(on) }
+
+// WithAcceleration turns the extrapolated power method on for this run:
+// periodically a jump candidate is extrapolated from the iterate history
+// and vetted through one ordinary iteration pass (finite, mass-
+// conserving, residual strictly decreasing); a rejected candidate falls
+// back to plain iteration from the last committed state, so answers
+// keep the exact tier's guarantees while converged in fewer iterations.
+func WithAcceleration(on bool) RunOption { return itmark.WithAcceleration(on) }
+
+// WithApproximate selects the linearized fast tier for this run: the
+// relation distribution is frozen at uniform, collapsing the tensor
+// fixed point into one sparse linear solve per class. Approximate — see
+// the internal documentation for the accuracy bound — and incompatible
+// with checkpoint resume.
+func WithApproximate(on bool) RunOption { return itmark.WithApproximate(on) }
 
 // ReadResultJSON decodes a Result written by Result.WriteJSON.
 func ReadResultJSON(rd io.Reader) (*Result, error) { return itmark.ReadResultJSON(rd) }
