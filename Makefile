@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short-test race serve-race chaos vet bench bench-stats bench-json bench-accel accel-equivalence fuzz experiments figures examples clean
+.PHONY: all build test short-test race serve-race chaos vet bench bench-stats bench-json bench-accel bench-coldstart accel-equivalence artifact-roundtrip fuzz experiments figures examples clean
 
 all: build vet test race
 
@@ -67,6 +67,25 @@ bench-accel:
 	@rm -f /tmp/bench_accel.txt
 	@echo wrote BENCH_6.json
 
+# The model cold-start sweep (BENCH_7.json): raw build (full tensor
+# normalisation + cosine feature matrix) vs TMARKAR1 artifact activation
+# (mmap + crc64 + strict decode + assemble) per dataset. The headline
+# rows are the top-K sparse feature channel, where activation must be
+# ≥10× faster than the rebuild it replaces; the dense rows are the
+# checksum-bound lower bound (~5×).
+bench-coldstart:
+	$(GO) test -run xxx -bench BenchmarkColdStart -benchmem ./internal/artifact/ > /tmp/bench_coldstart.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_coldstart.txt > BENCH_7.json
+	@rm -f /tmp/bench_coldstart.txt
+	@echo wrote BENCH_7.json
+
+# The artifact format's focused suite: round-trip bitwise equivalence,
+# registry resolution, damage rejection, and the decoder fuzz seeds.
+# The CI artifact job runs this.
+artifact-roundtrip:
+	$(GO) test -count=1 ./internal/artifact/
+	$(GO) test -count=1 -run 'TestArtifact|TestV1' ./internal/serve/
+
 # The short accelerated/fast-tier equivalence suite — accelerated solves
 # must reproduce the exact predictions in no more (and on the ring at
 # least 2x fewer) iterations; fast solves must stay inside the
@@ -95,6 +114,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadCOO -fuzztime 30s ./internal/dataset/
 	$(GO) test -fuzz FuzzDecodeClassifyRequest -fuzztime 30s ./internal/serve/
 	$(GO) test -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/tmark/
+	$(GO) test -fuzz FuzzDecodeArtifact -fuzztime 30s ./internal/artifact/
 
 # Regenerate every table and figure at the quick scale.
 experiments:

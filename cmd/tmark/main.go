@@ -77,6 +77,12 @@ type score struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tmark: ")
+	// Subcommands dispatch before the classic flag surface so
+	// `tmark -in …` keeps working unchanged.
+	if len(os.Args) > 1 && os.Args[1] == "build" {
+		runBuild(os.Args[2:])
+		return
+	}
 	var (
 		in          = flag.String("in", "", "input network (required)")
 		csvIn       = flag.Bool("csv", false, "input is a from,to,relation[,weight] CSV edge list")

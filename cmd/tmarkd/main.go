@@ -6,6 +6,7 @@
 // Usage:
 //
 //	tmarkd [-addr :8321] [-dataset name=spec]... [-default name]
+//	       [-model-dir DIR]
 //	       [-alpha 0.8] [-gamma 0.6] [-lambda 0.7] [-epsilon 1e-8]
 //	       [-maxiter 100] [-no-ica] [-topk K] [-workers N] [-seed N]
 //	       [-cache 4] [-max-batch 8] [-queue 64] [-max-concurrent 2]
@@ -16,13 +17,24 @@
 // a file path — .json (hin.Graph JSON codec), .csv (from,to,relation
 // edge list) or .coo (sparse-coordinate tensor text) — or the name of a
 // built-in synthetic generator: example, dblp, movies, nus, acm or ring
-// (seeded by -seed). With no -dataset flag the synthetic DBLP network
-// is served. -default selects the dataset used by requests that name
-// none; it may stay empty when exactly one dataset is loaded.
+// (seeded by -seed). With no -dataset and no -model-dir flag the
+// synthetic DBLP network is served. -default selects the model used by
+// requests that name none; it may stay empty when exactly one model is
+// available. Duplicate -dataset names fail fast at flag parsing.
 //
-// Endpoints: POST /classify (seed labels in, per-node scores and link
-// rankings out), GET /rank?dataset=&class= (full-solve link-type
-// ranking), /healthz (liveness), /readyz (503 while draining), and the
+// -model-dir points at the content-addressed artifact registry written
+// by `tmark build`. A request's model name that the registry knows is
+// served by memory-mapping the compiled artifact — cold start in
+// milliseconds instead of a full tensor normalisation — with the loaded
+// graph of the same name as rebuild fallback if the blob fails its
+// checksum. With -model-dir and no -dataset flags tmarkd serves the
+// registry's models alone.
+//
+// Endpoints: POST /v1/classify (seed labels in, per-node scores and
+// link rankings out), GET /v1/rank?model=&top= (full-solve link-type
+// ranking), GET /v1/models (every resolvable model and its content
+// hash); /classify and /rank remain as frozen legacy aliases. Infra:
+// /healthz (liveness), /readyz (503 while draining), and the
 // observability set /metrics, /vars and /debug/pprof/.
 //
 // On SIGTERM or SIGINT the server stops admitting work (readyz flips to
@@ -44,7 +56,6 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -122,6 +133,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		maxConc  = fs.Int("max-concurrent", serve.DefaultMaxConcurrent, "batch solves running at once across all models")
 		maxBody  = fs.Int64("max-body", serve.DefaultMaxBodyBytes, "maximum /classify request body bytes")
 		drain    = fs.Duration("drain-timeout", 30*time.Second, "shutdown deadline after SIGTERM/SIGINT")
+		modelDir = fs.String("model-dir", "", "artifact registry directory: models compiled by `tmark build` activate by mmap instead of rebuilding")
 		ckDir    = fs.String("checkpoint-dir", "", "checkpoint /rank full solves into this directory and resume them across restarts")
 		ckEvery  = fs.Int("checkpoint-every", serve.DefaultCheckpointEvery, "snapshot cadence in iterations (with -checkpoint-dir)")
 		retryDur = fs.Duration("retry-after", serve.DefaultRetryAfter, "Retry-After backoff hint stamped on 503 responses")
@@ -137,13 +149,13 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	if len(sets) == 0 {
+	if len(sets) == 0 && *modelDir == "" {
 		sets = datasetList{{"dblp", "dblp"}}
 	}
 
 	datasets := make(map[string]*hin.Graph, len(sets))
 	for _, s := range sets {
-		g, err := loadDataset(s.spec, *seed)
+		g, err := dataset.LoadSpec(s.spec, *seed)
 		if err != nil {
 			return fmt.Errorf("dataset %s: %w", s.name, err)
 		}
@@ -162,6 +174,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	srv, err := serve.New(serve.Options{
 		Datasets: datasets,
 		Default:  *def,
+		ModelDir: *modelDir,
 		Config: tmark.Config{
 			Alpha: *alpha, Gamma: *gamma, Lambda: *lambda,
 			Epsilon: *epsilon, MaxIterations: *maxiter,
@@ -188,41 +201,4 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	sort.Strings(names)
 	fmt.Fprintf(stderr, "tmarkd: serving %s on %s\n", strings.Join(names, ", "), *addr)
 	return srv.ListenAndServe(ctx, *addr, *drain)
-}
-
-// loadDataset resolves one -dataset spec: a file path dispatched on
-// extension, or a built-in synthetic generator name.
-func loadDataset(spec string, seed int64) (*hin.Graph, error) {
-	switch ext := strings.ToLower(filepath.Ext(spec)); ext {
-	case ".json":
-		return hin.LoadFile(spec)
-	case ".csv", ".coo":
-		f, err := os.Open(spec)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		if ext == ".csv" {
-			return hin.ReadEdgeCSV(f)
-		}
-		return dataset.ReadCOO(f)
-	case "":
-		switch spec {
-		case "example":
-			return dataset.Example(), nil
-		case "dblp":
-			return dataset.DBLP(dataset.DefaultDBLPConfig(seed)), nil
-		case "movies":
-			return dataset.Movies(dataset.DefaultMoviesConfig(seed)), nil
-		case "nus":
-			return dataset.NUS(dataset.DefaultNUSConfig(seed), dataset.Tagset1()), nil
-		case "acm":
-			return dataset.ACM(dataset.DefaultACMConfig(seed)), nil
-		case "ring":
-			return dataset.Ring(dataset.DefaultRingConfig(seed)), nil
-		}
-		return nil, fmt.Errorf("unknown built-in dataset %q (want example, dblp, movies, nus, acm or ring)", spec)
-	default:
-		return nil, fmt.Errorf("unsupported dataset format %q (want .json, .csv or .coo)", ext)
-	}
 }

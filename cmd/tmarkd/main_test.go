@@ -43,7 +43,7 @@ func TestDatasetListSet(t *testing.T) {
 
 func TestLoadDatasetBuiltins(t *testing.T) {
 	for _, name := range []string{"example", "dblp", "movies", "nus", "acm"} {
-		g, err := loadDataset(name, 1)
+		g, err := dataset.LoadSpec(name, 1)
 		if err != nil {
 			t.Errorf("builtin %s: %v", name, err)
 			continue
@@ -52,13 +52,13 @@ func TestLoadDatasetBuiltins(t *testing.T) {
 			t.Errorf("builtin %s: empty graph", name)
 		}
 	}
-	if _, err := loadDataset("nope", 1); err == nil {
+	if _, err := dataset.LoadSpec("nope", 1); err == nil {
 		t.Error("unknown builtin accepted")
 	}
-	if _, err := loadDataset("net.parquet", 1); err == nil {
+	if _, err := dataset.LoadSpec("net.parquet", 1); err == nil {
 		t.Error("unsupported extension accepted")
 	}
-	if _, err := loadDataset("missing.json", 1); err == nil {
+	if _, err := dataset.LoadSpec("missing.json", 1); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -70,7 +70,7 @@ func TestLoadDatasetFiles(t *testing.T) {
 	if err := dataset.Example().SaveFile(jsonPath); err != nil {
 		t.Fatalf("SaveFile: %v", err)
 	}
-	g, err := loadDataset(jsonPath, 1)
+	g, err := dataset.LoadSpec(jsonPath, 1)
 	if err != nil {
 		t.Fatalf("load .json: %v", err)
 	}
@@ -82,7 +82,7 @@ func TestLoadDatasetFiles(t *testing.T) {
 	if err := os.WriteFile(csvPath, []byte("from,to,relation,weight\na,b,r,1\nb,a,r,2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if g, err = loadDataset(csvPath, 1); err != nil {
+	if g, err = dataset.LoadSpec(csvPath, 1); err != nil {
 		t.Fatalf("load .csv: %v", err)
 	} else if g.N() != 2 {
 		t.Errorf(".csv: %d nodes, want 2", g.N())
@@ -92,7 +92,7 @@ func TestLoadDatasetFiles(t *testing.T) {
 	if err := os.WriteFile(cooPath, []byte("coo 3 1 2\nl 0 0\nl 2 1\ne 0 0 1\ne 0 1 2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if g, err = loadDataset(cooPath, 1); err != nil {
+	if g, err = dataset.LoadSpec(cooPath, 1); err != nil {
 		t.Fatalf("load .coo: %v", err)
 	} else if g.N() != 3 || g.Q() != 2 {
 		t.Errorf(".coo: (%d nodes, %d classes), want (3, 2)", g.N(), g.Q())

@@ -1,0 +1,245 @@
+package artifact
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tmark/internal/dataset"
+	"tmark/internal/hin"
+	"tmark/internal/tmark"
+)
+
+// variants covers the three feature-channel shapes an artifact can
+// store: none (Gamma 0), dense (full cosine matrix) and CSR (top-K
+// sparsified).
+func variants() []struct {
+	name string
+	g    *hin.Graph
+	cfg  tmark.Config
+} {
+	dense := tmark.DefaultConfig()
+	noW := tmark.DefaultConfig()
+	noW.Gamma = 0
+	csr := tmark.DefaultConfig()
+	csr.FeatureTopK = 4
+	return []struct {
+		name string
+		g    *hin.Graph
+		cfg  tmark.Config
+	}{
+		{"example-dense", dataset.Example(), dense},
+		{"example-noW", dataset.Example(), noW},
+		{"dblp-csr", dataset.DBLP(dataset.DefaultDBLPConfig(1)), csr},
+	}
+}
+
+// mustCompile builds and encodes, failing the test on error.
+func mustCompile(t *testing.T, g *hin.Graph, cfg tmark.Config) ([]byte, string) {
+	t.Helper()
+	data, hash, err := Compile(g, cfg)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return data, hash
+}
+
+// sameResults demands bitwise-equal stationary distributions: the
+// activated model must be indistinguishable from the raw-built one.
+func sameResults(t *testing.T, want, got *tmark.Result) {
+	t.Helper()
+	if len(want.Classes) != len(got.Classes) {
+		t.Fatalf("class count %d vs %d", len(want.Classes), len(got.Classes))
+	}
+	for c := range want.Classes {
+		w, g := want.Classes[c], got.Classes[c]
+		if w.Iterations != g.Iterations || w.Converged != g.Converged {
+			t.Fatalf("class %d: iterations %d/%v vs %d/%v", c, w.Iterations, w.Converged, g.Iterations, g.Converged)
+		}
+		for i := range w.X {
+			if w.X[i] != g.X[i] {
+				t.Fatalf("class %d: x[%d] = %v vs %v (not bitwise equal)", c, i, w.X[i], g.X[i])
+			}
+		}
+		for k := range w.Z {
+			if w.Z[k] != g.Z[k] {
+				t.Fatalf("class %d: z[%d] = %v vs %v (not bitwise equal)", c, k, w.Z[k], g.Z[k])
+			}
+		}
+	}
+}
+
+func TestRoundTripBitwise(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.name, func(t *testing.T) {
+			data, _ := mustCompile(t, v.g, v.cfg)
+			a, err := DecodeBytes(data)
+			if err != nil {
+				t.Fatalf("DecodeBytes: %v", err)
+			}
+			if a.N != v.g.N() || a.M != v.g.M() || a.Q != v.g.Q() {
+				t.Fatalf("dims %d/%d/%d, want %d/%d/%d", a.N, a.M, a.Q, v.g.N(), v.g.M(), v.g.Q())
+			}
+			if a.BuiltConfig != stripWorkers(v.cfg) {
+				t.Fatalf("BuiltConfig %+v, want %+v", a.BuiltConfig, v.cfg)
+			}
+			raw, err := tmark.New(v.g, v.cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			activated, err := a.Activate(a.BuiltConfig)
+			if err != nil {
+				t.Fatalf("Activate: %v", err)
+			}
+			sameResults(t, raw.Run(), activated.Run())
+
+			// The decoded graph carries the same label seeds and names.
+			for i := 0; i < v.g.N(); i++ {
+				if a.Graph().Nodes[i].Name != v.g.Nodes[i].Name {
+					t.Fatalf("node %d name %q, want %q", i, a.Graph().Nodes[i].Name, v.g.Nodes[i].Name)
+				}
+				if a.Graph().PrimaryLabel(i) != v.g.PrimaryLabel(i) {
+					t.Fatalf("node %d label %d, want %d", i, a.Graph().PrimaryLabel(i), v.g.PrimaryLabel(i))
+				}
+			}
+
+			// Re-encoding the decoded substrate reproduces the bytes:
+			// the encoding is canonical, so artifact identity survives a
+			// decode/encode cycle.
+			again, err := EncodeModel(a.Graph(), a.BuiltConfig, a.Substrate())
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(data, again) {
+				t.Fatal("decode → encode is not the identity")
+			}
+		})
+	}
+}
+
+// stripWorkers zeroes the deployment-only field New may carry.
+func stripWorkers(c tmark.Config) tmark.Config {
+	c.Workers = 0
+	return c
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	g := dataset.DBLP(dataset.DefaultDBLPConfig(1))
+	cfg := tmark.DefaultConfig()
+	cfg.FeatureTopK = 4
+	_, h1 := mustCompile(t, g, cfg)
+	cfg.Workers = 3 // deployment knob: must not change identity
+	_, h2 := mustCompile(t, g, cfg)
+	if h1 != h2 {
+		t.Fatalf("hash depends on build parallelism: %s vs %s", h1, h2)
+	}
+	cfg.Alpha = 0.9 // arithmetic knob: must change identity
+	_, h3 := mustCompile(t, g, cfg)
+	if h3 == h1 {
+		t.Fatal("hash ignores Alpha")
+	}
+}
+
+func TestOpenMmapServesIdenticalModel(t *testing.T) {
+	g := dataset.Example()
+	cfg := tmark.DefaultConfig()
+	data, hash := mustCompile(t, g, cfg)
+	path := filepath.Join(t.TempDir(), "m.tmar")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer a.Close()
+	if a.ContentHash() != hash {
+		t.Fatalf("content hash %s, want %s", a.ContentHash(), hash)
+	}
+	raw, err := tmark.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	activated, err := a.Activate(a.BuiltConfig)
+	if err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	sameResults(t, raw.Run(), activated.Run())
+}
+
+func TestCompatibleWith(t *testing.T) {
+	g := dataset.Example()
+
+	noW := tmark.DefaultConfig()
+	noW.Gamma = 0
+	data, _ := mustCompile(t, g, noW)
+	a, err := DecodeBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Activate(tmark.DefaultConfig()); err == nil {
+		t.Fatal("artifact without W activated a Gamma>0 config")
+	}
+
+	csr := tmark.DefaultConfig()
+	csr.FeatureTopK = 2
+	data, _ = mustCompile(t, g, csr)
+	if a, err = DecodeBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	other := csr
+	other.FeatureTopK = 3
+	if _, err := a.Activate(other); err == nil {
+		t.Fatal("artifact activated across a FeatureTopK mismatch")
+	}
+	// Hyper-parameter overrides that keep the channel shape reuse the
+	// substrate — and genuinely change the arithmetic.
+	override := csr
+	override.Alpha = 0.9
+	m, err := a.Activate(override)
+	if err != nil {
+		t.Fatalf("override activation: %v", err)
+	}
+	base, err := a.Activate(csr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Run().Classes[0].X[0] == base.Run().Classes[0].X[0] {
+		t.Fatal("alpha override did not change the solution")
+	}
+	// Gamma 0 ignores the stored channel entirely.
+	if _, err := a.Activate(noW); err != nil {
+		t.Fatalf("Gamma 0 activation: %v", err)
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	data, _ := mustCompile(t, dataset.Example(), tmark.DefaultConfig())
+
+	damage := map[string]func([]byte) []byte{
+		"truncated-header":  func(b []byte) []byte { return b[:10] },
+		"truncated-half":    func(b []byte) []byte { return b[:len(b)/2] },
+		"truncated-tail":    func(b []byte) []byte { return b[:len(b)-3] },
+		"flipped-magic":     func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"flipped-payload":   func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b },
+		"flipped-crc":       func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b },
+		"zeroed-table":      func(b []byte) []byte { copy(b[16:40], make([]byte, 24)); return b },
+		"appended-garbage":  func(b []byte) []byte { return append(b, 0xde, 0xad) },
+		"empty":             func([]byte) []byte { return nil },
+		"section-count-max": func(b []byte) []byte { b[8], b[9], b[10], b[11] = 0xff, 0xff, 0xff, 0xff; return b },
+	}
+	for name, f := range damage {
+		t.Run(name, func(t *testing.T) {
+			hurt := f(append([]byte(nil), data...))
+			if _, err := DecodeBytes(hurt); err == nil {
+				t.Fatal("damaged artifact decoded")
+			}
+		})
+	}
+	// And the pristine copy still decodes (the damage helpers didn't
+	// mutate the shared original).
+	if _, err := DecodeBytes(data); err != nil {
+		t.Fatalf("pristine artifact rejected: %v", err)
+	}
+}

@@ -1,0 +1,69 @@
+package artifact
+
+import (
+	"bytes"
+	"testing"
+
+	"tmark/internal/dataset"
+	"tmark/internal/tmark"
+)
+
+// FuzzDecodeArtifact throws arbitrary bytes at the strict decoder. The
+// invariants: never panic, never accept bytes whose crc64 trailer
+// disagrees, and anything accepted must re-encode canonically and
+// assemble into a servable model — an artifact the decoder lets through
+// is an artifact the kernels may trust blindly.
+func FuzzDecodeArtifact(f *testing.F) {
+	seed := func(g func() ([]byte, string, error)) {
+		data, _, err := g()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		// Pre-damaged variants steer the fuzzer at the interesting
+		// branches: table parsing, META bounds, crc.
+		trunc := data[:len(data)*3/4]
+		f.Add(trunc)
+		flip := append([]byte(nil), data...)
+		flip[len(flip)/3] ^= 0x40
+		f.Add(flip)
+	}
+	seed(func() ([]byte, string, error) { return Compile(dataset.Example(), tmark.DefaultConfig()) })
+	seed(func() ([]byte, string, error) {
+		cfg := tmark.DefaultConfig()
+		cfg.Gamma = 0
+		return Compile(dataset.Example(), cfg)
+	})
+	seed(func() ([]byte, string, error) {
+		cfg := tmark.DefaultConfig()
+		cfg.FeatureTopK = 2
+		return Compile(dataset.Ring(dataset.DefaultRingConfig(1)), cfg)
+	})
+	f.Add([]byte("TMARKAR1"))
+	f.Add(make([]byte, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		again, err := EncodeModel(a.Graph(), a.BuiltConfig, a.Substrate())
+		if err != nil {
+			t.Fatalf("accepted artifact does not re-encode: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatal("accepted artifact is not canonical")
+		}
+		m, err := a.Activate(a.BuiltConfig)
+		if err != nil {
+			t.Fatalf("accepted artifact does not activate: %v", err)
+		}
+		// One solve proves the kernels can walk the decoded layouts
+		// without faulting; cap the work so the fuzzer stays fast.
+		cfg := a.BuiltConfig
+		cfg.MaxIterations = 2
+		if m, err = a.Activate(cfg); err == nil {
+			m.Run()
+		}
+	})
+}

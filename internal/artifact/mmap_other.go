@@ -1,0 +1,15 @@
+//go:build !unix
+
+package artifact
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; Open falls back to reading
+// the whole file into memory, which keeps every artifact code path
+// working at the cost of the zero-copy activation.
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	return nil, nil, errors.New("artifact: mmap unsupported on this platform")
+}

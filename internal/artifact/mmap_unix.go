@@ -1,0 +1,20 @@
+//go:build unix
+
+package artifact
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The mapping is private: the
+// blob is content-addressed and immutable, but a private read-only map
+// additionally shields the decoder from any concurrent rewrite of the
+// underlying file. The returned unmap releases the mapping.
+func mmapFile(f *os.File, size int) (data []byte, unmap func() error, err error) {
+	data, err = syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

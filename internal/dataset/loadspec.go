@@ -1,0 +1,51 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tmark/internal/hin"
+)
+
+// LoadSpec resolves one dataset spec — the grammar shared by tmarkd's
+// -dataset flag, `tmark build` and `tmark -data`: a file path dispatched
+// on extension (.json for the hin.Graph JSON codec, .csv for a
+// from,to,relation edge list, .coo for sparse-coordinate tensor text),
+// or the name of a built-in synthetic generator (example, dblp, movies,
+// nus, acm or ring), seeded by seed.
+func LoadSpec(spec string, seed int64) (*hin.Graph, error) {
+	switch ext := strings.ToLower(filepath.Ext(spec)); ext {
+	case ".json":
+		return hin.LoadFile(spec)
+	case ".csv", ".coo":
+		f, err := os.Open(spec)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if ext == ".csv" {
+			return hin.ReadEdgeCSV(f)
+		}
+		return ReadCOO(f)
+	case "":
+		switch spec {
+		case "example":
+			return Example(), nil
+		case "dblp":
+			return DBLP(DefaultDBLPConfig(seed)), nil
+		case "movies":
+			return Movies(DefaultMoviesConfig(seed)), nil
+		case "nus":
+			return NUS(DefaultNUSConfig(seed), Tagset1()), nil
+		case "acm":
+			return ACM(DefaultACMConfig(seed)), nil
+		case "ring":
+			return Ring(DefaultRingConfig(seed)), nil
+		}
+		return nil, fmt.Errorf("unknown built-in dataset %q (want example, dblp, movies, nus, acm or ring)", spec)
+	default:
+		return nil, fmt.Errorf("unsupported dataset format %q (want .json, .csv or .coo)", ext)
+	}
+}

@@ -62,6 +62,19 @@ const (
 	// wrong distribution exercises the in-loop non-monotone-residual
 	// rejection and its fallback to plain iteration.
 	AccelPropose Point = "accel/propose"
+	// ArtifactOpen is checked (Check) before an artifact blob is opened
+	// and mapped; a registered error simulates an unreadable blob and
+	// forces the serve cache onto the rebuild path.
+	ArtifactOpen Point = "artifact/open"
+	// ArtifactDecode fires with the raw artifact bytes (data []byte)
+	// after the blob is read but before DecodeBytes parses it. A hook
+	// that flips bytes simulates on-disk corruption; the crc64 trailer
+	// must then reject the artifact.
+	ArtifactDecode Point = "artifact/decode"
+	// ArtifactActivate is checked (Check) after a blob decodes but
+	// before the model is assembled from it; a registered error
+	// simulates an artifact whose substrate fails activation.
+	ArtifactActivate Point = "artifact/activate"
 )
 
 // registry holds the active hooks. active mirrors the total hook count

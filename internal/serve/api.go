@@ -26,8 +26,14 @@ const MaxSeeds = 1 << 20
 // cache; requests that share dataset and hyperparameters share a model
 // and can coalesce into one lockstep solve.
 type ClassifyRequest struct {
-	// Dataset names the loaded dataset to query; empty selects the
-	// server's default dataset.
+	// Model references the model to query: a name, a pinned
+	// name@sha256:… or a bare sha256:… content hash. Names resolve
+	// artifact-first (a compiled blob in the server's model directory)
+	// with the loaded graph of the same name as fallback. Empty selects
+	// the server's default model.
+	Model string `json:"model,omitempty"`
+	// Dataset is the legacy spelling of Model, kept for pre-/v1 clients;
+	// setting both to different values is an error.
 	Dataset string `json:"dataset,omitempty"`
 	// Seeds are the node indices of the query's restart set.
 	Seeds []int `json:"seeds"`
@@ -78,9 +84,21 @@ func DecodeClassifyRequest(r io.Reader) (*ClassifyRequest, error) {
 	return &req, nil
 }
 
+// ref returns the model reference the request names: Model, or the
+// legacy Dataset spelling.
+func (r *ClassifyRequest) ref() string {
+	if r.Model != "" {
+		return r.Model
+	}
+	return r.Dataset
+}
+
 // Validate checks the request's model-independent invariants; the
 // server checks seed indices against the dataset's node count later.
 func (r *ClassifyRequest) Validate() error {
+	if r.Model != "" && r.Dataset != "" && r.Model != r.Dataset {
+		return errors.New("serve: model and dataset name different models")
+	}
 	if len(r.Seeds) == 0 {
 		return errors.New("serve: request needs at least one seed node")
 	}
@@ -130,8 +148,17 @@ type LinkScore struct {
 // emitted through encoding/json's shortest-round-trip float formatting,
 // so the decoded float64 values are bitwise identical to the solver's.
 type ClassifyResponse struct {
+	// Dataset echoes the legacy model name; Model is the same value
+	// under the /v1 spelling.
 	Dataset string `json:"dataset"`
-	Seeds   int    `json:"seeds"`
+	Model   string `json:"model,omitempty"`
+	// ModelHash is the content identity (sha256:…) of the substrate
+	// that answered: the activated artifact's blob hash, or the
+	// canonical encoding hash of a raw-built model (the two agree for
+	// equal graph + config — compilation is deterministic). Pin it as
+	// model@sha256:… to keep getting bit-identical answers.
+	ModelHash string `json:"model_hash,omitempty"`
+	Seeds     int    `json:"seeds"`
 	// Quality echoes the tier that actually solved the query ("exact",
 	// "accelerated" or "fast"), after server defaults applied.
 	Quality    string  `json:"quality"`
@@ -164,9 +191,13 @@ type ClassRanking struct {
 // quality=accelerated requests — the full solve is cached once per warm
 // model, so there is no iteration count to cut) or "fast".
 type RankResponse struct {
-	Dataset string         `json:"dataset"`
-	Quality string         `json:"quality"`
-	Classes []ClassRanking `json:"classes"`
+	Dataset string `json:"dataset"`
+	Model   string `json:"model,omitempty"`
+	// ModelHash is the substrate's content identity (see
+	// ClassifyResponse.ModelHash).
+	ModelHash string         `json:"model_hash,omitempty"`
+	Quality   string         `json:"quality"`
+	Classes   []ClassRanking `json:"classes"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.

@@ -17,16 +17,40 @@ import (
 	"path/filepath"
 	"sync"
 
+	"tmark/internal/artifact"
 	"tmark/internal/fault"
 	"tmark/internal/tmark"
 )
 
-// modelKey identifies one warm model: the dataset plus the full
-// hyperparameter set. tmark.Config is a flat comparable struct, so the
-// key works directly as a map key.
+// modelKey identifies one warm model: the resolved model source plus
+// the full hyperparameter set. name is the loaded-graph name usable for
+// a (re)build — empty for a model reachable only through the artifact
+// store; hash is the resolved artifact content hash — empty for a model
+// served from a raw graph with no artifact. At least one is set.
+// tmark.Config is a flat comparable struct, so the key works directly
+// as a map key.
 type modelKey struct {
-	dataset string
-	cfg     tmark.Config
+	name string
+	hash string
+	cfg  tmark.Config
+}
+
+// display names the key for humans: eviction logs, checkpoint files.
+func (k modelKey) display() string {
+	if k.name != "" {
+		return k.name
+	}
+	return "sha256-" + k.hash[:16]
+}
+
+// buildResult is what the cache's build function hands back: the
+// servable model, the content hash identifying the substrate it runs on
+// (the blob's hash for an artifact activation, the canonical encoding's
+// hash for a raw build), and — for activations — the backing artifact.
+type buildResult struct {
+	model *tmark.Model
+	hash  string
+	art   *artifact.Artifact
 }
 
 // warmModel is one cache entry. ready is closed once the build finished
@@ -39,6 +63,17 @@ type warmModel struct {
 	coal  *coalescer
 	err   error
 	elem  *list.Element
+
+	// hash is the content identity of the substrate this entry serves —
+	// echoed in every response, so a client can pin exactly what
+	// answered it.
+	hash string
+	// art is the backing artifact of an mmap-activated entry, nil for a
+	// raw build. It is deliberately never Closed while the process
+	// lives: an evicted entry's model may still be mid-solve for a
+	// /rank borrower, and unmapping under it would fault. The cost is
+	// the mapping's address space; its clean pages stay reclaimable.
+	art *artifact.Artifact
 
 	// ck holds the checkpoint/resume options of the /rank full solve
 	// when the server has a checkpoint directory; empty otherwise.
@@ -92,7 +127,7 @@ type modelCache struct {
 	capacity int
 	entries  map[modelKey]*warmModel
 	order    *list.List // front = most recently used
-	build    func(modelKey) (*tmark.Model, error)
+	build    func(modelKey) (buildResult, error)
 	newCoal  func(*tmark.Model) *coalescer
 	met      *metrics
 
@@ -102,7 +137,7 @@ type modelCache struct {
 	ckEvery int
 }
 
-func newModelCache(capacity int, build func(modelKey) (*tmark.Model, error), newCoal func(*tmark.Model) *coalescer, met *metrics) *modelCache {
+func newModelCache(capacity int, build func(modelKey) (buildResult, error), newCoal func(*tmark.Model) *coalescer, met *metrics) *modelCache {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -156,7 +191,7 @@ func (c *modelCache) get(key modelKey) (*warmModel, error) {
 			c.met.cacheEvictions.Inc()
 		}
 		if fault.Enabled() {
-			fault.Fire(fault.ServeCacheEvict, old.key.dataset)
+			fault.Fire(fault.ServeCacheEvict, old.key.display())
 		}
 		// Retire asynchronously: the evicted coalescer finishes its
 		// accepted work before going away, and a slow drain must not
@@ -169,7 +204,7 @@ func (c *modelCache) get(key modelKey) (*warmModel, error) {
 		}(old)
 	}
 
-	model, err := c.buildSafe(key)
+	br, err := c.buildSafe(key)
 	if err != nil {
 		e.err = err
 		e.rankCancel()
@@ -182,11 +217,11 @@ func (c *modelCache) get(key modelKey) (*warmModel, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
-	e.model = model
+	e.model, e.hash, e.art = br.model, br.hash, br.art
 	if c.ckDir != "" {
-		e.ck = c.checkpointOptions(key, model)
+		e.ck = c.checkpointOptions(key, e.model)
 	}
-	e.coal = c.newCoal(model)
+	e.coal = c.newCoal(e.model)
 	e.coal.onPanic = func() { c.quarantine(e) }
 	close(e.ready)
 	return e, nil
@@ -196,10 +231,10 @@ func (c *modelCache) get(key modelKey) (*warmModel, error) {
 // build fails like an erroring one — the placeholder entry is removed
 // so the next request retries the build — instead of tearing down the
 // request goroutine with waiters still parked on the entry.
-func (c *modelCache) buildSafe(key modelKey) (m *tmark.Model, err error) {
+func (c *modelCache) buildSafe(key modelKey) (br buildResult, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			m, err = nil, fmt.Errorf("%w: model build panicked: %v", ErrModelFault, rec)
+			br, err = buildResult{}, fmt.Errorf("%w: model build panicked: %v", ErrModelFault, rec)
 			if c.met != nil {
 				c.met.panics.Inc()
 			}
@@ -207,9 +242,9 @@ func (c *modelCache) buildSafe(key modelKey) (m *tmark.Model, err error) {
 	}()
 	if fault.Enabled() {
 		if err := fault.Check(fault.ServeModelBuild); err != nil {
-			return nil, err
+			return buildResult{}, err
 		}
-		fault.Fire(fault.ServeModelBuild, key.dataset)
+		fault.Fire(fault.ServeModelBuild, key.display())
 	}
 	return c.build(key)
 }
@@ -244,7 +279,7 @@ func (c *modelCache) quarantine(e *warmModel) {
 // matching snapshot is present. A stale or mismatching file is simply
 // ignored — the solve starts cold and overwrites it.
 func (c *modelCache) checkpointOptions(key modelKey, m *tmark.Model) []tmark.RunOption {
-	name := fmt.Sprintf("%s-%016x.ckpt", safeName(key.dataset), m.ConfigHash())
+	name := fmt.Sprintf("%s-%016x.ckpt", safeName(key.display()), m.ConfigHash())
 	opts := []tmark.RunOption{tmark.WithCheckpoint(&tmark.DirSink{Dir: c.ckDir, Name: name}, c.ckEvery)}
 	if cp, err := tmark.LoadCheckpointFile(filepath.Join(c.ckDir, name)); err == nil && m.ValidateCheckpoint(cp) == nil {
 		opts = append(opts, tmark.ResumeFrom(cp))

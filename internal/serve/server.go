@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tmark/internal/artifact"
 	"tmark/internal/hin"
 	"tmark/internal/obs"
 	"tmark/internal/tmark"
@@ -30,15 +31,24 @@ const (
 	DefaultCheckpointEvery = 8
 )
 
-// Options configures a Server. Datasets is the only required field.
+// Options configures a Server. At least one of Datasets and ModelDir
+// must be set.
 type Options struct {
 	// Datasets maps dataset names to loaded graphs. The graphs must be
 	// fully built (a model is constructed from each on first use) and
 	// must not be mutated afterwards.
 	Datasets map[string]*hin.Graph
-	// Default names the dataset used by requests that name none. It may
-	// stay empty when exactly one dataset is loaded.
+	// Default names the model used by requests that name none. It may
+	// stay empty when exactly one model is available (one loaded
+	// dataset, or — with no datasets — one named artifact reference).
 	Default string
+	// ModelDir roots the content-addressed artifact registry (see
+	// `tmark build`). When set, model references resolve artifact-first:
+	// a request's model name that the registry knows activates by
+	// mmapping the compiled blob (O(ms)) instead of rebuilding from the
+	// raw graph; a name the registry does not know, or whose blob fails
+	// verification, falls back to the loaded graph of the same name.
+	ModelDir string
 	// Config is the base hyperparameter set; the zero value means
 	// tmark.DefaultConfig(). Per-request overrides derive new cache keys
 	// from it.
@@ -80,10 +90,11 @@ type Options struct {
 // /healthz, /readyz plus the obs metrics and pprof endpoints, over a
 // warm-model cache with per-model request coalescers.
 type Server struct {
-	opts  Options
-	cache *modelCache
-	met   *metrics
-	mux   *http.ServeMux
+	opts     Options
+	registry *artifact.Registry // nil without ModelDir
+	cache    *modelCache
+	met      *metrics
+	mux      *http.ServeMux
 	// slots is the server-wide solve semaphore shared by every
 	// coalescer (capacity MaxConcurrent); tests pre-fill it to hold
 	// batches at a deterministic point.
@@ -110,6 +121,9 @@ type metrics struct {
 	cacheEvictions *obs.Counter
 	panics         *obs.Counter
 	quarantines    *obs.Counter
+	artifactHits   *obs.Counter
+	artifactMisses *obs.Counter
+	artifactFails  *obs.Counter
 	latency        *obs.Latency
 	batchTime      *obs.Timer
 }
@@ -127,6 +141,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 		cacheEvictions: reg.Counter("tmarkd_cache_evictions_total"),
 		panics:         reg.Counter("tmarkd_panics_recovered_total"),
 		quarantines:    reg.Counter("tmarkd_model_quarantines_total"),
+		artifactHits:   reg.Counter("tmark_artifact_hit_total"),
+		artifactMisses: reg.Counter("tmark_artifact_miss_total"),
+		artifactFails:  reg.Counter("tmark_artifact_verify_fail_total"),
 		latency:        obs.NewLatency(0),
 		batchTime:      reg.Timer("tmarkd_batch_solve"),
 	}
@@ -142,19 +159,54 @@ func (m *metrics) observeBatch(width int, d time.Duration) {
 
 // New builds a Server over the given options.
 func New(opts Options) (*Server, error) {
-	if len(opts.Datasets) == 0 {
-		return nil, errors.New("serve: no datasets loaded")
+	if len(opts.Datasets) == 0 && opts.ModelDir == "" {
+		return nil, errors.New("serve: no datasets loaded and no model directory")
+	}
+	var registry *artifact.Registry
+	if opts.ModelDir != "" {
+		var err error
+		if registry, err = artifact.OpenRegistry(opts.ModelDir); err != nil {
+			return nil, err
+		}
 	}
 	if opts.Default == "" {
-		if len(opts.Datasets) > 1 {
+		switch {
+		case len(opts.Datasets) == 1:
+			for name := range opts.Datasets {
+				opts.Default = name
+			}
+		case len(opts.Datasets) > 1:
 			return nil, errors.New("serve: multiple datasets need an explicit default")
-		}
-		for name := range opts.Datasets {
-			opts.Default = name
+		default: // artifact-only serving
+			infos, err := registry.List()
+			if err != nil {
+				return nil, err
+			}
+			for _, info := range infos {
+				if info.Name == "" {
+					continue
+				}
+				if opts.Default != "" {
+					return nil, errors.New("serve: multiple artifact models need an explicit default")
+				}
+				opts.Default = info.Name
+			}
+			if opts.Default == "" {
+				return nil, errors.New("serve: model directory holds no named models")
+			}
 		}
 	}
 	if _, ok := opts.Datasets[opts.Default]; !ok {
-		return nil, fmt.Errorf("serve: default dataset %q not loaded", opts.Default)
+		ref, err := artifact.ParseRef(opts.Default)
+		if err != nil {
+			return nil, fmt.Errorf("serve: default model %q not loaded", opts.Default)
+		}
+		if registry == nil {
+			return nil, fmt.Errorf("serve: default model %q not loaded", opts.Default)
+		}
+		if _, err := registry.Resolve(ref); err != nil {
+			return nil, fmt.Errorf("serve: default model %q: %w", opts.Default, err)
+		}
 	}
 	if opts.Config == (tmark.Config{}) {
 		opts.Config = tmark.DefaultConfig()
@@ -188,7 +240,7 @@ func New(opts Options) (*Server, error) {
 		reg = obs.Default()
 	}
 
-	s := &Server{opts: opts, met: newMetrics(reg)}
+	s := &Server{opts: opts, registry: registry, met: newMetrics(reg)}
 	secs := int(opts.RetryAfter.Round(time.Second) / time.Second)
 	if secs < 1 {
 		secs = 1
@@ -197,13 +249,7 @@ func New(opts Options) (*Server, error) {
 	slots := make(chan struct{}, opts.MaxConcurrent)
 	s.slots = slots
 	s.cache = newModelCache(opts.CacheSize,
-		func(key modelKey) (*tmark.Model, error) {
-			g, ok := opts.Datasets[key.dataset]
-			if !ok {
-				return nil, fmt.Errorf("serve: unknown dataset %q", key.dataset)
-			}
-			return tmark.New(g, key.cfg)
-		},
+		s.buildModel,
 		func(m *tmark.Model) *coalescer {
 			return newCoalescer(m, opts.MaxBatch, opts.QueueDepth, slots, s.met)
 		},
@@ -223,6 +269,11 @@ func New(opts Options) (*Server, error) {
 	reg.SetGauge("tmarkd_classify_latency_p99_seconds", func() float64 { return s.met.latency.Quantile(0.99) })
 
 	mux := http.NewServeMux()
+	// The versioned surface; /classify and /rank remain as frozen legacy
+	// aliases with identical behaviour.
+	mux.HandleFunc("/v1/classify", s.handleClassify)
+	mux.HandleFunc("/v1/rank", s.handleRank)
+	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/classify", s.handleClassify)
 	mux.HandleFunc("/rank", s.handleRank)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -291,14 +342,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write([]byte("ok\n"))
 }
 
-// resolve maps a request's dataset name + overrides onto a warm model.
+// resolve maps a request's model reference + overrides onto a warm
+// model. The reference resolves artifact-first: a name (or pin) the
+// registry knows activates the compiled blob, a name it does not know
+// builds from the loaded graph of that name, and a name known to both
+// is the designed pairing — the blob serves, the graph stands by as the
+// rebuild fallback should the blob fail verification.
 func (s *Server) resolve(name string, req *ClassifyRequest) (string, *warmModel, int, error) {
 	if name == "" {
 		name = s.opts.Default
-	}
-	g, ok := s.opts.Datasets[name]
-	if !ok {
-		return name, nil, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name)
 	}
 	cfg := s.opts.Config
 	if req != nil {
@@ -320,14 +372,12 @@ func (s *Server) resolve(name string, req *ClassifyRequest) (string, *warmModel,
 		if err := cfg.Validate(); err != nil {
 			return name, nil, http.StatusBadRequest, err
 		}
-		for _, seed := range req.Seeds {
-			if seed >= g.N() {
-				return name, nil, http.StatusBadRequest,
-					fmt.Errorf("seed %d out of range: dataset %q has %d nodes", seed, name, g.N())
-			}
-		}
 	}
-	e, err := s.cache.get(modelKey{dataset: name, cfg: cfg})
+	key, status, err := s.modelKeyFor(name, cfg)
+	if err != nil {
+		return name, nil, status, err
+	}
+	e, err := s.cache.get(key)
 	if err != nil {
 		// A faulted (panicked) build is transient by construction — the
 		// entry was dropped, so a later request rebuilds from scratch —
@@ -337,7 +387,52 @@ func (s *Server) resolve(name string, req *ClassifyRequest) (string, *warmModel,
 		}
 		return name, nil, http.StatusInternalServerError, err
 	}
+	if req != nil {
+		for _, seed := range req.Seeds {
+			if seed >= e.model.Graph().N() {
+				return name, nil, http.StatusBadRequest,
+					fmt.Errorf("seed %d out of range: model %q has %d nodes", seed, name, e.model.Graph().N())
+			}
+		}
+	}
 	return name, e, http.StatusOK, nil
+}
+
+// modelKeyFor resolves a model reference to the cache key it denotes:
+// the graph name available for builds, the artifact hash available for
+// activation, or both.
+func (s *Server) modelKeyFor(name string, cfg tmark.Config) (modelKey, int, error) {
+	key := modelKey{cfg: cfg}
+	ref, perr := artifact.ParseRef(name)
+	if perr != nil {
+		// Not a well-formed reference; a legacy dataset name may still
+		// use characters the reference grammar rejects.
+		if _, ok := s.opts.Datasets[name]; ok {
+			key.name = name
+			return key, http.StatusOK, nil
+		}
+		return key, http.StatusNotFound, fmt.Errorf("unknown model %q", name)
+	}
+	if _, ok := s.opts.Datasets[ref.Name]; ok {
+		key.name = ref.Name
+	}
+	if s.registry != nil {
+		switch h, err := s.registry.Resolve(ref); {
+		case err == nil:
+			key.hash = h
+		case !errors.Is(err, artifact.ErrNotFound):
+			return key, http.StatusInternalServerError, err
+		case ref.Hash != "":
+			// A pin names exact bytes; a rebuild cannot honour it.
+			return key, http.StatusNotFound, fmt.Errorf("unknown model %q", name)
+		}
+	} else if ref.Hash != "" {
+		return key, http.StatusNotFound, fmt.Errorf("model %q is pinned but no model directory is configured", name)
+	}
+	if key.name == "" && key.hash == "" {
+		return key, http.StatusNotFound, fmt.Errorf("unknown model %q", name)
+	}
+	return key, http.StatusOK, nil
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -357,7 +452,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	name, e, status, err := s.resolve(req.Dataset, req)
+	name, e, status, err := s.resolve(req.ref(), req)
 	if err != nil {
 		s.met.errors.Inc()
 		if status == http.StatusServiceUnavailable {
@@ -398,9 +493,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	g := s.opts.Datasets[name]
+	g := e.model.Graph()
 	resp := &ClassifyResponse{
 		Dataset:    name,
+		Model:      name,
+		ModelHash:  e.contentHash(),
 		Seeds:      res.Seeds,
 		Quality:    quality.String(),
 		Iterations: res.Iterations,
@@ -436,7 +533,11 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		s.unavailable(w, "draining")
 		return
 	}
-	name, e, status, err := s.resolve(r.URL.Query().Get("dataset"), nil)
+	ref := r.URL.Query().Get("model")
+	if ref == "" {
+		ref = r.URL.Query().Get("dataset")
+	}
+	name, e, status, err := s.resolve(ref, nil)
 	if err != nil {
 		s.met.errors.Inc()
 		if status == http.StatusServiceUnavailable {
@@ -463,7 +564,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if quality == tmark.QualityDefault {
 		quality = s.opts.DefaultQuality
 	}
-	g := s.opts.Datasets[name]
+	g := e.model.Graph()
 	// The full multi-class solve backing /rank is computed at most once
 	// per warm model and cached, so the accelerated tier has nothing to
 	// win here: it serves the same cached reference solve as exact. Only
@@ -476,7 +577,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	} else {
 		full = e.fullResult()
 	}
-	resp := &RankResponse{Dataset: name, Quality: effective}
+	resp := &RankResponse{Dataset: name, Model: name, ModelHash: e.contentHash(), Quality: effective}
 	for c := 0; c < full.Q(); c++ {
 		cr := full.Classes[c]
 		resp.Classes = append(resp.Classes, ClassRanking{

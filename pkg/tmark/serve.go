@@ -145,6 +145,11 @@ func (c *Client) http() *http.Client {
 }
 
 // Classify runs one seed-set query and returns the scored result.
+//
+// Deprecated: use ClassifyModel, which addresses models by reference
+// (name, name@sha256:… or sha256:…) through the /v1 surface and takes
+// functional options. Classify keeps working against the frozen legacy
+// /classify endpoint.
 func (c *Client) Classify(ctx context.Context, req *ClassifyRequest) (*ClassifyResponse, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -171,6 +176,10 @@ func (c *Client) Classify(ctx context.Context, req *ClassifyRequest) (*ClassifyR
 // Rank fetches the per-class link-type rankings of a dataset from a
 // full warm solve. dataset "" selects the server's default; top bounds
 // each ranking (0 = all link types).
+//
+// Deprecated: use RankModel with WithTop, which addresses models by
+// reference through the /v1 surface. Rank keeps working against the
+// frozen legacy /rank endpoint.
 func (c *Client) Rank(ctx context.Context, dataset string, top int) (*RankResponse, error) {
 	return c.RankQuality(ctx, dataset, top, "")
 }
@@ -179,6 +188,11 @@ func (c *Client) Rank(ctx context.Context, dataset string, top int) (*RankRespon
 // "accelerated" (served from the same cached reference solve) or "fast"
 // (the linearized approximate tier). "" keeps the server's default; an
 // unknown spelling is rejected by the server with a 400.
+//
+// Deprecated: use RankModel with WithTop and WithQuality — each new
+// request knob was a breaking signature change under this style, and
+// RankModel ends that. RankQuality keeps working against the frozen
+// legacy /rank endpoint.
 func (c *Client) RankQuality(ctx context.Context, dataset string, top int, quality string) (*RankResponse, error) {
 	q := url.Values{}
 	if dataset != "" {
