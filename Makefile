@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short-test race serve-race chaos vet bench bench-stats bench-json bench-accel bench-coldstart accel-equivalence artifact-roundtrip fuzz experiments figures examples clean
+.PHONY: all build test short-test race serve-race chaos vet bench bench-stats bench-json bench-accel bench-coldstart accel-equivalence artifact-roundtrip shard-smoke fuzz experiments figures examples clean
 
 all: build vet test race
 
@@ -55,6 +55,10 @@ bench-json:
 	$(GO) run ./cmd/benchjson < /tmp/bench_serving.txt > BENCH_4.json
 	@rm -f /tmp/bench_serving.txt
 	@echo wrote BENCH_4.json
+	$(GO) test -run xxx -bench BenchmarkShardedSolve -benchtime 3x -benchmem ./internal/shard/ > /tmp/bench_shard.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_shard.txt > BENCH_8.json
+	@rm -f /tmp/bench_shard.txt
+	@echo wrote BENCH_8.json
 
 # The quality-tier sweep (BENCH_6.json): exact vs accelerated vs fast on
 # the slow-mixing golden Ring network and the expander-like golden DBLP
@@ -105,7 +109,14 @@ serve-race:
 # demotion retry), serving chaos (build/solve panics, overload shedding,
 # eviction racing a borrowed solve) and the tmarkd SIGTERM drain test.
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos|TestKill|TestEviction|TestServeRank|TestRunSIGTERM|TestGuard|TestCheckpoint|TestResume|TestInterrupted|TestSequentialStep|TestNoASMDemotion|TestKernelFaultPoint' ./internal/tmark/ ./internal/serve/ ./internal/tensor/ ./cmd/tmarkd/
+	$(GO) test -race -count=1 -run 'TestChaos|TestKill|TestEviction|TestServeRank|TestRunSIGTERM|TestGuard|TestCheckpoint|TestResume|TestInterrupted|TestSequentialStep|TestNoASMDemotion|TestKernelFaultPoint|TestWorkerRejects' ./internal/tmark/ ./internal/serve/ ./internal/tensor/ ./internal/shard/ ./cmd/tmarkd/
+
+# The horizontal-scale-out smoke: real worker OS processes (the test
+# re-execs its own binary per shard), a coordinator solving a builtin
+# dataset across them, and a bitwise prediction diff against the
+# single-process reference. The CI shard job runs this.
+shard-smoke:
+	$(GO) test -count=1 -run 'TestShardSmokeMultiProcess|TestShardedSolveBitwiseIdentical' -v ./internal/shard/
 
 # Short fuzzing passes over the untrusted-input parsers.
 fuzz:
@@ -115,6 +126,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodeClassifyRequest -fuzztime 30s ./internal/serve/
 	$(GO) test -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/tmark/
 	$(GO) test -fuzz FuzzDecodeArtifact -fuzztime 30s ./internal/artifact/
+	$(GO) test -fuzz FuzzDecodeShardFrame -fuzztime 30s ./internal/shard/
 
 # Regenerate every table and figure at the quick scale.
 experiments:

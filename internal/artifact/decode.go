@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc64"
 	"math"
 	"unsafe"
 
@@ -120,40 +119,9 @@ type section struct {
 // substrate aliases data wherever alignment allows; data must therefore
 // stay immutable for the artifact's lifetime.
 func DecodeBytes(data []byte) (*Artifact, error) {
-	if len(data) < headerFixed+trailerLen {
-		return nil, corrupt("%d bytes is shorter than the fixed header", len(data))
-	}
-	body, tail := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
-	if got, want := binary.LittleEndian.Uint64(tail), crc64.Checksum(body, crcTable); got != want {
-		return nil, corrupt("checksum mismatch (stored %016x, computed %016x)", got, want)
-	}
-	if [8]byte(data[:8]) != magic {
-		return nil, corrupt("bad magic %q", data[:8])
-	}
-	count := int(binary.LittleEndian.Uint32(data[8:]))
-	headerLen := headerFixed + count*sectionEntry
-	if count < 1 || headerLen > len(body) {
-		return nil, corrupt("section count %d does not fit in %d bytes", count, len(body))
-	}
-	secs := make([]section, count)
-	seen := map[uint32]int{}
-	prevEnd := align8(headerLen)
-	for i := range secs {
-		e := headerFixed + i*sectionEntry
-		s := section{
-			kind: binary.LittleEndian.Uint32(data[e:]),
-			off:  int(int64(binary.LittleEndian.Uint64(data[e+8:]))),
-			len:  int(int64(binary.LittleEndian.Uint64(data[e+16:]))),
-		}
-		if s.off < prevEnd || s.len < 0 || s.off%8 != 0 || s.len > len(body) || s.off > len(body)-s.len {
-			return nil, corrupt("section %d (kind %d) range [%d,%d) invalid", i, s.kind, s.off, s.off+s.len)
-		}
-		if _, dup := seen[s.kind]; dup {
-			return nil, corrupt("duplicate section kind %d", s.kind)
-		}
-		seen[s.kind] = i
-		prevEnd = align8(s.off + s.len)
-		secs[i] = s
+	body, secs, seen, err := parseContainer(data)
+	if err != nil {
+		return nil, err
 	}
 
 	metaIdx, ok := seen[secMeta]
@@ -168,7 +136,6 @@ func DecodeBytes(data []byte) (*Artifact, error) {
 	i32 := func(kind uint32) ([]int32, error) { return i32Section(body, secs, seen, kind) }
 	f64 := func(kind uint32) ([]float64, error) { return f64Section(body, secs, seen, kind) }
 
-	var err error
 	oRaw := tensor.NodeRaw{N: a.N, M: a.M}
 	if oRaw.I, err = i32(secOI); err != nil {
 		return nil, err

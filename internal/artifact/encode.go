@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
-	"hash/crc64"
 	"math"
 
 	"tmark/internal/hin"
@@ -55,11 +54,7 @@ func EncodeModel(g *hin.Graph, cfg tmark.Config, s tmark.Substrate) ([]byte, err
 
 	meta := encodeMeta(g, cfg, s)
 
-	type sec struct {
-		kind uint32
-		data []byte
-	}
-	secs := []sec{
+	secs := []rawSection{
 		{secMeta, meta},
 		{secOI, i32Bytes(oRaw.I)}, {secOJ, i32Bytes(oRaw.J)}, {secOK, i32Bytes(oRaw.K)},
 		{secOP, f64Bytes(oRaw.P)},
@@ -71,36 +66,15 @@ func EncodeModel(g *hin.Graph, cfg tmark.Config, s tmark.Substrate) ([]byte, err
 	}
 	switch {
 	case s.WDense != nil:
-		secs = append(secs, sec{secWDense, f64Bytes(s.WDense.Data)})
+		secs = append(secs, rawSection{secWDense, f64Bytes(s.WDense.Data)})
 	case s.WCSR != nil:
 		w := s.WCSR.Raw()
 		secs = append(secs,
-			sec{secWRowPtr, i32Bytes(w.RowPtr)},
-			sec{secWColIdx, i32Bytes(w.ColIdx)},
-			sec{secWVal, f64Bytes(w.Values)})
+			rawSection{secWRowPtr, i32Bytes(w.RowPtr)},
+			rawSection{secWColIdx, i32Bytes(w.ColIdx)},
+			rawSection{secWVal, f64Bytes(w.Values)})
 	}
-
-	headerLen := headerFixed + len(secs)*sectionEntry
-	off := align8(headerLen)
-	total := off
-	offs := make([]int, len(secs))
-	for i, sc := range secs {
-		offs[i] = total
-		total = align8(total + len(sc.data))
-	}
-	// The crc trailer lands at the aligned end of the last section.
-	buf := make([]byte, total+trailerLen)
-	copy(buf, magic[:])
-	binary.LittleEndian.PutUint32(buf[8:], uint32(len(secs)))
-	for i, sc := range secs {
-		e := headerFixed + i*sectionEntry
-		binary.LittleEndian.PutUint32(buf[e:], sc.kind)
-		binary.LittleEndian.PutUint64(buf[e+8:], uint64(offs[i]))
-		binary.LittleEndian.PutUint64(buf[e+16:], uint64(len(sc.data)))
-		copy(buf[offs[i]:], sc.data)
-	}
-	binary.LittleEndian.PutUint64(buf[total:], crc64.Checksum(buf[:total], crcTable))
-	return buf, nil
+	return assembleContainer(secs)
 }
 
 // encodeMeta serialises the metadata stream: dimensions, config,

@@ -1,0 +1,513 @@
+package artifact
+
+// Shard artifacts: the horizontal scale-out layer (internal/shard)
+// splits a compiled model's tensors by contiguous node ranges, and each
+// piece is stored as its own content-addressed, mmap-able blob in the
+// same TMARKAR1 container (its own section kinds, its own META), so the
+// registry machinery — Put/Tag/Resolve, crc64 verification, zero-copy
+// activation — applies unchanged. A shard blob records its parent
+// model's content hash, so `name@sha256:…#shard=i/M` references bind a
+// shard to exactly one model version; the deterministic ref name
+// sh-<parent-hash>-<i>-<M> lets workers find shard blobs from the
+// parent reference alone.
+//
+// DecodeShardBytes and DecodeBytes are disjoint by construction: a
+// shard blob has no secMeta section and a model blob has no secShMeta,
+// so neither decoder can misread the other's files.
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"os"
+	"regexp"
+
+	"tmark/internal/sparse"
+	"tmark/internal/tensor"
+	"tmark/internal/vec"
+)
+
+// Shard-blob section kinds (disjoint from the model kinds in format.go).
+const (
+	secShMeta uint32 = 40
+
+	secShOI    uint32 = 41 // int32
+	secShOJ    uint32 = 42 // int32
+	secShOK    uint32 = 43 // int32
+	secShOP    uint32 = 44 // float64
+	secShOColJ uint32 = 45 // int32
+	secShOColK uint32 = 46 // int32
+
+	secShRI    uint32 = 50 // int32
+	secShRJ    uint32 = 51 // int32
+	secShRK    uint32 = 52 // int32
+	secShRP    uint32 = 53 // float64
+	secShRTbI  uint32 = 54 // int32
+	secShRTbJ  uint32 = 55 // int32
+
+	secShWRowPtr uint32 = 60 // int32, len rows+1, rebased to the slab
+	secShWColIdx uint32 = 61 // int32
+	secShWVal    uint32 = 62 // float64
+	secShWDense  uint32 = 63 // float64, rows×n row-major
+)
+
+const shardMetaVersion = 1
+
+// ShardArtifact is one decoded shard blob: the node/relation sub-tensors
+// a worker streams, plus its row slab of the feature channel. The hot
+// arrays alias the blob's bytes (mmap when possible), exactly like a
+// model Artifact.
+type ShardArtifact struct {
+	// Parent is the content hash (hex) of the model this shard was cut
+	// from; a worker refuses iterate slabs stamped with any other hash.
+	Parent    string
+	Shard, Of int
+	N, M      int
+
+	Node tensor.NodeShard
+	Rel  tensor.RelationShard
+
+	// WLo/WHi is this shard's feature-matrix row range; exactly one of
+	// WCSR/WDense is non-nil when the parent has a feature channel (the
+	// slab has WHi−WLo rows and n columns).
+	WLo, WHi int
+	WCSR     *sparse.Matrix
+	WDense   *vec.Matrix
+
+	data   []byte
+	munmap func() error
+}
+
+// Size returns the encoded blob length in bytes.
+func (a *ShardArtifact) Size() int { return len(a.data) }
+
+// ContentHash returns the SHA-256 of the blob's full encoding.
+func (a *ShardArtifact) ContentHash() string { return Hash(a.data) }
+
+// Close releases the underlying mapping. The shard's slices must not be
+// used afterwards.
+func (a *ShardArtifact) Close() error {
+	if a.munmap != nil {
+		err := a.munmap()
+		a.munmap = nil
+		return err
+	}
+	return nil
+}
+
+// ShardRefName returns the deterministic registry ref name binding
+// shard i of M of the model with the given content hash:
+// sh-<hash>-<i>-<M>. It fits ValidName (3+64+1+…, well under 128).
+func ShardRefName(parentHash string, shard, of int) string {
+	return fmt.Sprintf("sh-%s-%d-%d", parentHash, shard, of)
+}
+
+var shardRefNameRE = regexp.MustCompile(`^sh-[0-9a-f]{64}-[0-9]+-[0-9]+$`)
+
+// IsShardRefName reports whether name is a shard-binding ref written by
+// PartitionInto. Shard blobs are sub-tensor slices consumed by worker
+// processes, not classifiable models, so anything enumerating servable
+// models must skip refs matching this form.
+func IsShardRefName(name string) bool {
+	return shardRefNameRE.MatchString(name)
+}
+
+// EncodeShard serialises one shard of a compiled model. parentHash is
+// the parent blob's content hash (64 lowercase hex); node and rel are
+// the par.Split slices of the parent's tensors; wCSR/wDense (at most
+// one non-nil) is the [wLo, wHi) row slab of the feature matrix, with
+// CSR row pointers rebased to the slab.
+func EncodeShard(parentHash string, node tensor.NodeShard, rel tensor.RelationShard, wLo, wHi int, csrSlab *sparse.Matrix, denseSlab *vec.Matrix) ([]byte, error) {
+	rawParent, err := hex.DecodeString(parentHash)
+	if err != nil || len(rawParent) != 32 {
+		return nil, fmt.Errorf("artifact: shard parent hash %q is not 64 hex digits", parentHash)
+	}
+	if err := node.Validate(); err != nil {
+		return nil, err
+	}
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	if node.Shard != rel.Shard || node.Of != rel.Of || node.N != rel.N || node.M != rel.M {
+		return nil, fmt.Errorf("artifact: node shard %d/%d (%dx%d) and relation shard %d/%d (%dx%d) disagree",
+			node.Shard, node.Of, node.N, node.M, rel.Shard, rel.Of, rel.N, rel.M)
+	}
+	if csrSlab != nil && denseSlab != nil {
+		return nil, fmt.Errorf("artifact: shard cannot carry both CSR and dense W slabs")
+	}
+	if csrSlab != nil || denseSlab != nil {
+		// The feature slab tiles by the same par.Split row ranges as the
+		// node sums, so the coordinator's reassembled W·X matches the
+		// in-process MulVecBatchParallel split bitwise.
+		if wLo != node.XLo || wHi != node.XHi {
+			return nil, fmt.Errorf("artifact: shard W rows [%d,%d), want the node range [%d,%d)", wLo, wHi, node.XLo, node.XHi)
+		}
+		rows := wHi - wLo
+		if denseSlab != nil && (denseSlab.Rows != rows || denseSlab.Cols != node.N || len(denseSlab.Data) != rows*node.N) {
+			return nil, fmt.Errorf("artifact: dense W slab %dx%d, want %dx%d", denseSlab.Rows, denseSlab.Cols, rows, node.N)
+		}
+		if csrSlab != nil {
+			if r, c := csrSlab.Dims(); r != rows || c != node.N {
+				return nil, fmt.Errorf("artifact: CSR W slab %dx%d, want %dx%d", r, c, rows, node.N)
+			}
+		}
+	} else if wLo != 0 || wHi != 0 {
+		return nil, fmt.Errorf("artifact: no W slab but rows [%d,%d)", wLo, wHi)
+	}
+	var w metaWriter
+	w.u32(shardMetaVersion)
+	w.buf = append(w.buf, rawParent...)
+	w.u32(uint32(node.Shard))
+	w.u32(uint32(node.Of))
+	w.u32(uint32(node.N))
+	w.u32(uint32(node.M))
+	w.u32(uint32(node.XLo))
+	w.u32(uint32(node.XHi))
+	w.u32(uint32(node.ZLo))
+	w.u32(uint32(node.ZHi))
+	w.u32(uint32(rel.XLo))
+	w.u32(uint32(rel.XHi))
+	switch {
+	case denseSlab != nil:
+		w.u8(wDense)
+	case csrSlab != nil:
+		w.u8(wCSR)
+	default:
+		w.u8(wNone)
+	}
+	w.u32(uint32(wLo))
+	w.u32(uint32(wHi))
+
+	secs := []rawSection{
+		{secShMeta, w.buf},
+		{secShOI, i32Bytes(node.I)}, {secShOJ, i32Bytes(node.J)}, {secShOK, i32Bytes(node.K)},
+		{secShOP, f64Bytes(node.P)},
+		{secShOColJ, i32Bytes(node.ColJ)}, {secShOColK, i32Bytes(node.ColK)},
+		{secShRI, i32Bytes(rel.I)}, {secShRJ, i32Bytes(rel.J)}, {secShRK, i32Bytes(rel.K)},
+		{secShRP, f64Bytes(rel.P)},
+		{secShRTbI, i32Bytes(rel.TubeI)}, {secShRTbJ, i32Bytes(rel.TubeJ)},
+	}
+	switch {
+	case denseSlab != nil:
+		secs = append(secs, rawSection{secShWDense, f64Bytes(denseSlab.Data)})
+	case csrSlab != nil:
+		raw := csrSlab.Raw()
+		secs = append(secs,
+			rawSection{secShWRowPtr, i32Bytes(raw.RowPtr)},
+			rawSection{secShWColIdx, i32Bytes(raw.ColIdx)},
+			rawSection{secShWVal, f64Bytes(raw.Values)})
+	}
+	return assembleContainer(secs)
+}
+
+// rawSection is one section to be laid into a container.
+type rawSection struct {
+	kind uint32
+	data []byte
+}
+
+// assembleContainer lays sections into the TMARKAR1 header-table /
+// align8 / crc64 container (the EncodeModel layout, shared with the
+// model writer so the two cannot drift).
+func assembleContainer(secs []rawSection) ([]byte, error) {
+	headerLen := headerFixed + len(secs)*sectionEntry
+	off := align8(headerLen)
+	total := off
+	offs := make([]int, len(secs))
+	for i, sc := range secs {
+		offs[i] = total
+		total = align8(total + len(sc.data))
+	}
+	buf := make([]byte, total+trailerLen)
+	copy(buf, magic[:])
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(secs)))
+	for i, sc := range secs {
+		e := headerFixed + i*sectionEntry
+		binary.LittleEndian.PutUint32(buf[e:], sc.kind)
+		binary.LittleEndian.PutUint64(buf[e+8:], uint64(offs[i]))
+		binary.LittleEndian.PutUint64(buf[e+16:], uint64(len(sc.data)))
+		copy(buf[offs[i]:], sc.data)
+	}
+	binary.LittleEndian.PutUint64(buf[total:], crc64.Checksum(buf[:total], crcTable))
+	return buf, nil
+}
+
+// DecodeShardBytes parses and validates a serialised shard blob with
+// the same strictness discipline as DecodeBytes: checksum first, then
+// the section table, then every structural invariant — never panicking
+// on hostile input, never allocating more than a small multiple of the
+// input (fuzzed via the wire codec's sibling, FuzzDecodeShardFrame, and
+// the artifact fuzzer's shard seeds). The decoded arrays alias data.
+func DecodeShardBytes(data []byte) (*ShardArtifact, error) {
+	body, secs, seen, err := parseContainer(data)
+	if err != nil {
+		return nil, err
+	}
+	metaIdx, ok := seen[secShMeta]
+	if !ok {
+		return nil, corrupt("no shard META section")
+	}
+	a := &ShardArtifact{data: data}
+	wKind, err := a.parseShardMeta(body[secs[metaIdx].off : secs[metaIdx].off+secs[metaIdx].len])
+	if err != nil {
+		return nil, err
+	}
+	i32 := func(kind uint32) ([]int32, error) { return i32Section(body, secs, seen, kind) }
+	f64 := func(kind uint32) ([]float64, error) { return f64Section(body, secs, seen, kind) }
+	if a.Node.I, err = i32(secShOI); err != nil {
+		return nil, err
+	}
+	if a.Node.J, err = i32(secShOJ); err != nil {
+		return nil, err
+	}
+	if a.Node.K, err = i32(secShOK); err != nil {
+		return nil, err
+	}
+	if a.Node.P, err = f64(secShOP); err != nil {
+		return nil, err
+	}
+	if a.Node.ColJ, err = i32(secShOColJ); err != nil {
+		return nil, err
+	}
+	if a.Node.ColK, err = i32(secShOColK); err != nil {
+		return nil, err
+	}
+	if a.Rel.I, err = i32(secShRI); err != nil {
+		return nil, err
+	}
+	if a.Rel.J, err = i32(secShRJ); err != nil {
+		return nil, err
+	}
+	if a.Rel.K, err = i32(secShRK); err != nil {
+		return nil, err
+	}
+	if a.Rel.P, err = f64(secShRP); err != nil {
+		return nil, err
+	}
+	if a.Rel.TubeI, err = i32(secShRTbI); err != nil {
+		return nil, err
+	}
+	if a.Rel.TubeJ, err = i32(secShRTbJ); err != nil {
+		return nil, err
+	}
+	if err := a.Node.Validate(); err != nil {
+		return nil, corrupt("%v", err)
+	}
+	if err := a.Rel.Validate(); err != nil {
+		return nil, corrupt("%v", err)
+	}
+
+	rows := a.WHi - a.WLo
+	switch wKind {
+	case wNone:
+		if a.WLo != 0 || a.WHi != 0 {
+			return nil, corrupt("shard META says no feature slab but rows [%d,%d)", a.WLo, a.WHi)
+		}
+		for _, k := range []uint32{secShWDense, secShWRowPtr, secShWColIdx, secShWVal} {
+			if _, present := seen[k]; present {
+				return nil, corrupt("shard META says no feature slab but section %d is present", k)
+			}
+		}
+	case wDense:
+		dense, err := f64(secShWDense)
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(dense)) != uint64(rows)*uint64(a.N) {
+			return nil, corrupt("dense W slab has %d entries, want %d×%d", len(dense), rows, a.N)
+		}
+		for _, v := range dense {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, corrupt("dense W slab holds a non-finite entry")
+			}
+		}
+		a.WDense = &vec.Matrix{Rows: rows, Cols: a.N, Data: dense}
+	case wCSR:
+		raw := sparse.Raw{Rows: rows, Cols: a.N}
+		if raw.RowPtr, err = i32(secShWRowPtr); err != nil {
+			return nil, err
+		}
+		if raw.ColIdx, err = i32(secShWColIdx); err != nil {
+			return nil, err
+		}
+		if raw.Values, err = f64(secShWVal); err != nil {
+			return nil, err
+		}
+		for _, v := range raw.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, corrupt("CSR W slab holds a non-finite entry")
+			}
+		}
+		if a.WCSR, err = sparse.FromRaw(raw); err != nil {
+			return nil, corrupt("%v", err)
+		}
+	default:
+		return nil, corrupt("unknown shard W kind %d", wKind)
+	}
+	return a, nil
+}
+
+// parseContainer verifies the crc trailer, magic and section table —
+// the container-level half of DecodeBytes, shared with the shard
+// decoder.
+func parseContainer(data []byte) (body []byte, secs []section, seen map[uint32]int, err error) {
+	if len(data) < headerFixed+trailerLen {
+		return nil, nil, nil, corrupt("%d bytes is shorter than the fixed header", len(data))
+	}
+	body, tail := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
+	if got, want := binary.LittleEndian.Uint64(tail), crc64.Checksum(body, crcTable); got != want {
+		return nil, nil, nil, corrupt("checksum mismatch (stored %016x, computed %016x)", got, want)
+	}
+	if [8]byte(data[:8]) != magic {
+		return nil, nil, nil, corrupt("bad magic %q", data[:8])
+	}
+	count := int(binary.LittleEndian.Uint32(data[8:]))
+	headerLen := headerFixed + count*sectionEntry
+	if count < 1 || headerLen > len(body) {
+		return nil, nil, nil, corrupt("section count %d does not fit in %d bytes", count, len(body))
+	}
+	secs = make([]section, count)
+	seen = map[uint32]int{}
+	prevEnd := align8(headerLen)
+	for i := range secs {
+		e := headerFixed + i*sectionEntry
+		s := section{
+			kind: binary.LittleEndian.Uint32(data[e:]),
+			off:  int(int64(binary.LittleEndian.Uint64(data[e+8:]))),
+			len:  int(int64(binary.LittleEndian.Uint64(data[e+16:]))),
+		}
+		if s.off < prevEnd || s.len < 0 || s.off%8 != 0 || s.len > len(body) || s.off > len(body)-s.len {
+			return nil, nil, nil, corrupt("section %d (kind %d) range [%d,%d) invalid", i, s.kind, s.off, s.off+s.len)
+		}
+		if _, dup := seen[s.kind]; dup {
+			return nil, nil, nil, corrupt("duplicate section kind %d", s.kind)
+		}
+		seen[s.kind] = i
+		prevEnd = align8(s.off + s.len)
+		secs[i] = s
+	}
+	return body, secs, seen, nil
+}
+
+// parseShardMeta decodes the shard META stream into a, returning the W
+// kind. Bounds on the dimensions (≥ 0, shard < of) are enforced here;
+// the par.Split consistency of the ranges is re-checked by the tensor
+// shard validators.
+func (a *ShardArtifact) parseShardMeta(data []byte) (uint8, error) {
+	r := &metaReader{data: data}
+	v, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if v != shardMetaVersion {
+		return 0, corrupt("shard META version %d, want %d", v, shardMetaVersion)
+	}
+	raw, err := r.bytes(32)
+	if err != nil {
+		return 0, err
+	}
+	a.Parent = hex.EncodeToString(raw)
+	ints := make([]int, 10)
+	for i := range ints {
+		if ints[i], err = r.u32(); err != nil {
+			return 0, err
+		}
+	}
+	a.Shard, a.Of, a.N, a.M = ints[0], ints[1], ints[2], ints[3]
+	wKind, err := r.u8()
+	if err != nil {
+		return 0, err
+	}
+	wr := make([]int, 2)
+	for i := range wr {
+		if wr[i], err = r.u32(); err != nil {
+			return 0, err
+		}
+	}
+	a.WLo, a.WHi = wr[0], wr[1]
+	if r.remaining() != 0 {
+		return 0, corrupt("shard META has %d trailing bytes", r.remaining())
+	}
+	if a.Of < 1 || a.Shard < 0 || a.Shard >= a.Of || a.N < 0 || a.M < 0 {
+		return 0, corrupt("shard META %d/%d over %dx%d out of range", a.Shard, a.Of, a.N, a.M)
+	}
+	if a.WLo < 0 || a.WHi < a.WLo || a.WHi > a.N {
+		return 0, corrupt("shard META W rows [%d,%d) out of range", a.WLo, a.WHi)
+	}
+	a.Node.N, a.Node.M, a.Node.Shard, a.Node.Of = a.N, a.M, a.Shard, a.Of
+	a.Node.XLo, a.Node.XHi, a.Node.ZLo, a.Node.ZHi = ints[4], ints[5], ints[6], ints[7]
+	a.Rel.N, a.Rel.M, a.Rel.Shard, a.Rel.Of = a.N, a.M, a.Shard, a.Of
+	a.Rel.XLo, a.Rel.XHi = ints[8], ints[9]
+	return wKind, nil
+}
+
+// OpenShard maps the shard blob at path and decodes it; the mmap /
+// read-fallback behaviour matches Open.
+func OpenShard(path string) (*ShardArtifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < headerFixed+trailerLen {
+		return nil, corrupt("%s: %d bytes is shorter than the fixed header", path, st.Size())
+	}
+	if st.Size() > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("artifact: %s: %d bytes exceeds the address space", path, st.Size())
+	}
+	data, unmap, err := mmapFile(f, int(st.Size()))
+	if err != nil {
+		if data, err = os.ReadFile(path); err != nil {
+			return nil, err
+		}
+		unmap = nil
+	}
+	a, err := DecodeShardBytes(data)
+	if err != nil {
+		if unmap != nil {
+			unmap()
+		}
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	a.munmap = unmap
+	return a, nil
+}
+
+// OpenShardRef resolves a `…#shard=i/M` reference: the base reference
+// resolves to the parent model's hash, the deterministic shard ref
+// sh-<parent>-<i>-<M> resolves to the shard blob, and the blob's actual
+// content hash and recorded parent binding are both verified before it
+// is returned.
+func (r *Registry) OpenShardRef(ref Ref) (*ShardArtifact, error) {
+	if ref.Of < 1 {
+		return nil, fmt.Errorf("artifact: reference %q selects no shard", ref)
+	}
+	parent, err := r.Resolve(Ref{Name: ref.Name, Hash: ref.Hash})
+	if err != nil {
+		return nil, err
+	}
+	hash, err := r.Resolve(Ref{Name: ShardRefName(parent, ref.Shard, ref.Of)})
+	if err != nil {
+		return nil, err
+	}
+	a, err := OpenShard(r.BlobPath(hash))
+	if err != nil {
+		return nil, err
+	}
+	if got := a.ContentHash(); got != hash {
+		a.Close()
+		return nil, corrupt("shard blob filed under sha256:%s hashes to sha256:%s", hash, got)
+	}
+	if a.Parent != parent || a.Shard != ref.Shard || a.Of != ref.Of {
+		a.Close()
+		return nil, corrupt("shard blob sha256:%s is %d/%d of sha256:%s, want %d/%d of sha256:%s",
+			hash, a.Shard, a.Of, a.Parent, ref.Shard, ref.Of, parent)
+	}
+	return a, nil
+}

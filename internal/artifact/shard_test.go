@@ -1,0 +1,177 @@
+package artifact
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tmark/internal/dataset"
+	"tmark/internal/tmark"
+	"tmark/internal/vec"
+)
+
+func TestParseRefShardFragment(t *testing.T) {
+	good := map[string]Ref{
+		"dblp#shard=0/2":           {Name: "dblp", Shard: 0, Of: 2},
+		"dblp@sha256:" + strings.Repeat("ab", 32) + "#shard=3/4": {Name: "dblp", Hash: strings.Repeat("ab", 32), Shard: 3, Of: 4},
+		"sha256:" + strings.Repeat("0f", 32) + "#shard=1/16":     {Hash: strings.Repeat("0f", 32), Shard: 1, Of: 16},
+	}
+	for in, want := range good {
+		got, err := ParseRef(in)
+		if err != nil {
+			t.Fatalf("ParseRef(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParseRef(%q) = %+v, want %+v", in, got, want)
+		}
+		if got.String() != in {
+			t.Fatalf("Ref(%q).String() = %q", in, got.String())
+		}
+	}
+	bad := []string{
+		"dblp#shard=2/2",  // index == count
+		"dblp#shard=-1/2", // sign
+		"dblp#shard=0/0",  // zero count
+		"dblp#shard=01/2", // leading zero
+		"dblp#shard=1",    // no count
+		"dblp#frag=1/2",   // unknown fragment
+		"dblp#",           // empty fragment
+	}
+	for _, in := range bad {
+		if _, err := ParseRef(in); err == nil {
+			t.Fatalf("ParseRef(%q) accepted", in)
+		}
+	}
+	// Whole-model references stay exactly as before.
+	r, err := ParseRef("dblp")
+	if err != nil || r.Of != 0 || r.String() != "dblp" {
+		t.Fatalf("plain ref parsed as %+v (%v)", r, err)
+	}
+}
+
+// A shard blob must round-trip bitwise through the codec, bind to its
+// parent hash, and be rejected by the model decoder (and vice versa).
+func TestShardEncodeDecodeRoundTrip(t *testing.T) {
+	g := dataset.Example()
+	cfg := tmark.DefaultConfig() // dense W
+	data, hash := mustCompile(t, g, cfg)
+	a, err := DecodeBytes(data)
+	if err != nil {
+		t.Fatalf("DecodeBytes: %v", err)
+	}
+	sub := a.Substrate()
+	n := a.N
+	const of = 3
+	for s := 0; s < of; s++ {
+		nsh := sub.O.Shard(s, of)
+		rsh := sub.R.Shard(s, of)
+		slab := &vec.Matrix{
+			Rows: nsh.XHi - nsh.XLo, Cols: n,
+			Data: sub.WDense.Data[nsh.XLo*n : nsh.XHi*n],
+		}
+		blob, err := EncodeShard(hash, nsh, rsh, nsh.XLo, nsh.XHi, nil, slab)
+		if err != nil {
+			t.Fatalf("EncodeShard %d: %v", s, err)
+		}
+		dec, err := DecodeShardBytes(blob)
+		if err != nil {
+			t.Fatalf("DecodeShardBytes %d: %v", s, err)
+		}
+		if dec.Parent != hash || dec.Shard != s || dec.Of != of || dec.N != n || dec.M != a.M {
+			t.Fatalf("shard %d meta = %+v", s, dec)
+		}
+		if len(dec.Node.P) != len(nsh.P) || len(dec.Rel.P) != len(rsh.P) {
+			t.Fatalf("shard %d entry counts %d/%d, want %d/%d", s, len(dec.Node.P), len(dec.Rel.P), len(nsh.P), len(rsh.P))
+		}
+		for q := range nsh.P {
+			if dec.Node.P[q] != nsh.P[q] || dec.Node.I[q] != nsh.I[q] {
+				t.Fatalf("shard %d entry %d drifted", s, q)
+			}
+		}
+		if dec.WDense == nil || dec.WLo != nsh.XLo || dec.WHi != nsh.XHi {
+			t.Fatalf("shard %d W slab [%d,%d) kind %v", s, dec.WLo, dec.WHi, dec.WDense)
+		}
+		for i := range slab.Data {
+			if dec.WDense.Data[i] != slab.Data[i] {
+				t.Fatalf("shard %d W cell %d drifted", s, i)
+			}
+		}
+		// Cross-decoder rejection and damage rejection.
+		if _, err := DecodeBytes(blob); err == nil {
+			t.Fatalf("model decoder accepted a shard blob")
+		}
+		damaged := append([]byte(nil), blob...)
+		damaged[len(damaged)/2] ^= 0x40
+		if _, err := DecodeShardBytes(damaged); err == nil {
+			t.Fatalf("shard decoder accepted a damaged blob")
+		}
+	}
+	if _, err := DecodeShardBytes(data); err == nil {
+		t.Fatalf("shard decoder accepted a model blob")
+	}
+}
+
+func TestOpenShardRef(t *testing.T) {
+	g := dataset.Example()
+	cfg := tmark.DefaultConfig()
+	cfg.Gamma = 0 // no W: the simplest slab-free shards
+	data, hash := mustCompile(t, g, cfg)
+	a, err := DecodeBytes(data)
+	if err != nil {
+		t.Fatalf("DecodeBytes: %v", err)
+	}
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenRegistry: %v", err)
+	}
+	if _, err := reg.Put(data); err != nil {
+		t.Fatalf("Put parent: %v", err)
+	}
+	if err := reg.Tag("example", hash); err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	sub := a.Substrate()
+	const of = 2
+	for s := 0; s < of; s++ {
+		blob, err := EncodeShard(hash, sub.O.Shard(s, of), sub.R.Shard(s, of), 0, 0, nil, nil)
+		if err != nil {
+			t.Fatalf("EncodeShard: %v", err)
+		}
+		shHash, err := reg.Put(blob)
+		if err != nil {
+			t.Fatalf("Put shard: %v", err)
+		}
+		if err := reg.Tag(ShardRefName(hash, s, of), shHash); err != nil {
+			t.Fatalf("Tag shard: %v", err)
+		}
+	}
+	for _, refStr := range []string{"example#shard=1/2", "sha256:" + hash + "#shard=0/2"} {
+		ref, err := ParseRef(refStr)
+		if err != nil {
+			t.Fatalf("ParseRef(%q): %v", refStr, err)
+		}
+		sh, err := reg.OpenShardRef(ref)
+		if err != nil {
+			t.Fatalf("OpenShardRef(%q): %v", refStr, err)
+		}
+		if sh.Parent != hash || sh.Of != of {
+			t.Fatalf("OpenShardRef(%q) = %d/%d of %s", refStr, sh.Shard, sh.Of, sh.Parent)
+		}
+		sh.Close()
+	}
+	// A missing shard count errors cleanly.
+	if _, err := reg.OpenShardRef(Ref{Name: "example", Shard: 0, Of: 4}); err == nil {
+		t.Fatalf("OpenShardRef resolved an unpartitioned count")
+	}
+	// A blob swapped under the shard ref is rejected by the content check.
+	ref, _ := ParseRef("example#shard=0/2")
+	other, _ := reg.Resolve(Ref{Name: ShardRefName(hash, 1, of)})
+	if err := os.WriteFile(filepath.Join(reg.Dir(), "refs", ShardRefName(hash, 0, of)), []byte("sha256:"+other+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if sh, err := reg.OpenShardRef(ref); err == nil {
+		sh.Close()
+		t.Fatalf("OpenShardRef accepted shard 1's blob for shard 0")
+	}
+}

@@ -75,6 +75,15 @@ const (
 	// before the model is assembled from it; a registered error
 	// simulates an artifact whose substrate fails activation.
 	ArtifactActivate Point = "artifact/activate"
+	// ShardWorkerApply is checked (Check) by a shard worker before it
+	// runs a local apply pass; a registered error makes the worker
+	// answer 503, simulating a dying or partitioned worker process.
+	ShardWorkerApply Point = "shard/worker-apply"
+	// ShardCoordRPC is checked (Check) by the coordinator before each
+	// per-worker apply RPC; a registered error simulates a network
+	// partition between coordinator and worker without needing a real
+	// broken socket.
+	ShardCoordRPC Point = "shard/coord-rpc"
 )
 
 // registry holds the active hooks. active mirrors the total hook count

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"tmark/internal/fault"
 	"tmark/internal/hin"
 	"tmark/internal/obs"
+	"tmark/internal/shard"
 	"tmark/internal/tmark"
 )
 
@@ -370,5 +372,57 @@ func TestArtifactOnlyServing(t *testing.T) {
 	resp, body := postClassify(t, ts.URL+"/v1", &ClassifyRequest{Seeds: []int{g.N() + 7}})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// A registry that also holds shard artifacts (`tmark build -shards`)
+// must serve exactly like one that doesn't: the sh-<hash>-<i>-<M> refs
+// are worker-consumed sub-tensor slices, so artifact-only default
+// inference must not count them (one parent model + its shards still
+// boots without -default) and /v1/models must not list them.
+func TestShardRefsInvisibleToServing(t *testing.T) {
+	g := testGraph(40)
+	cfg := fastConfig()
+	dir, hash := buildRegistry(t, "test", g, cfg)
+	reg, err := artifact.OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "blobs", hash+".tmar"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := artifact.DecodeBytes(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.PartitionInto(reg, art.Substrate(), hash, 2); err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+
+	s := newTestServer(t, nil, cfg, func(o *Options) {
+		o.Datasets = nil
+		o.ModelDir = dir
+	})
+	if s.opts.Default != "test" {
+		t.Fatalf("inferred default %q, want %q (shard refs must not count as models)", s.opts.Default, "test")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list ModelsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Models) != 1 {
+		t.Fatalf("listed %d models, want only the parent: %+v", len(list.Models), list.Models)
+	}
+	if got := list.Models[0]; got.Name != "test" || got.Hash != "sha256:"+hash {
+		t.Fatalf("listed %+v, want name=test hash=sha256:%s", got, hash)
 	}
 }

@@ -128,7 +128,7 @@ type modelCache struct {
 	entries  map[modelKey]*warmModel
 	order    *list.List // front = most recently used
 	build    func(modelKey) (buildResult, error)
-	newCoal  func(*tmark.Model) *coalescer
+	newCoal  func(*tmark.Model, string) *coalescer
 	met      *metrics
 
 	// ckDir, when set, gives every warm model a per-key checkpoint file
@@ -137,7 +137,7 @@ type modelCache struct {
 	ckEvery int
 }
 
-func newModelCache(capacity int, build func(modelKey) (buildResult, error), newCoal func(*tmark.Model) *coalescer, met *metrics) *modelCache {
+func newModelCache(capacity int, build func(modelKey) (buildResult, error), newCoal func(*tmark.Model, string) *coalescer, met *metrics) *modelCache {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -221,7 +221,7 @@ func (c *modelCache) get(key modelKey) (*warmModel, error) {
 	if c.ckDir != "" {
 		e.ck = c.checkpointOptions(key, e.model)
 	}
-	e.coal = c.newCoal(e.model)
+	e.coal = c.newCoal(e.model, e.hash)
 	e.coal.onPanic = func() { c.quarantine(e) }
 	close(e.ready)
 	return e, nil

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"tmark/internal/fault"
+	"tmark/internal/shard"
 	"tmark/internal/tmark"
 )
 
@@ -81,10 +82,22 @@ type coalescer struct {
 	stopOnce sync.Once
 	done     chan struct{} // closed when the dispatcher has exited
 
+	// dist, when non-nil, is the shard-worker coordinator for exactly
+	// this model (the server matches content hashes before wiring it).
+	// Batches then solve through the worker fleet; a failed fleet puts
+	// distributed solving on a cooldown (distDownUntil, unix nanos) and
+	// batches run locally until it expires.
+	dist          *shard.Coordinator
+	distDownUntil atomic.Int64
+
 	met *metrics
 }
 
-func newCoalescer(model *tmark.Model, maxBatch, queueDepth int, slots chan struct{}, met *metrics) *coalescer {
+// distCooldown is how long a coalescer solves locally after its worker
+// fleet fails a pass, before probing the fleet again.
+const distCooldown = 15 * time.Second
+
+func newCoalescer(model *tmark.Model, maxBatch, queueDepth int, slots chan struct{}, met *metrics, dist *shard.Coordinator) *coalescer {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
@@ -99,6 +112,7 @@ func newCoalescer(model *tmark.Model, maxBatch, queueDepth int, slots chan struc
 		slots:    slots,
 		drainCh:  make(chan struct{}),
 		done:     make(chan struct{}),
+		dist:     dist,
 		met:      met,
 	}
 	c.solveCtx, c.cancel = context.WithCancel(context.Background())
@@ -226,7 +240,23 @@ func (c *coalescer) solve(queries []tmark.ColumnQuery) (out []tmark.ColumnResult
 	if fault.Enabled() {
 		fault.Fire(fault.ServeBatchSolve, len(queries))
 	}
-	return c.model.SolveColumns(c.solveCtx, queries)
+	var opts []tmark.RunOption
+	var ap *shard.Applier
+	if c.dist != nil && time.Now().UnixNano() >= c.distDownUntil.Load() {
+		// Pin the local worker count to the shard count so a mid-solve
+		// degradation continues with identical arithmetic — the answer
+		// stays bitwise independent of when (or whether) the fleet died.
+		ap = c.dist.Applier(c.solveCtx)
+		opts = append(opts, tmark.WithWorkers(c.dist.Workers()), tmark.WithDistributedApply(ap))
+	}
+	out, err = c.model.SolveColumns(c.solveCtx, queries, opts...)
+	if ap != nil && ap.Err() != nil {
+		c.distDownUntil.Store(time.Now().Add(distCooldown).UnixNano())
+		if c.met != nil {
+			c.met.shardDegrades.Inc()
+		}
+	}
+	return out, err
 }
 
 // stop closes intake and waits for the dispatcher to answer everything

@@ -144,6 +144,11 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		for _, ref := range listed {
+			if artifact.IsShardRefName(ref.Name) {
+				// Shard blobs are worker-consumed sub-tensor slices,
+				// not models a /v1/classify can target.
+				continue
+			}
 			if mi, ok := byName[ref.Name]; ok && ref.Name != "" {
 				mi.Hash = "sha256:" + ref.Hash
 				mi.Source = "artifact+graph"

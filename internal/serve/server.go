@@ -16,6 +16,7 @@ import (
 	"tmark/internal/artifact"
 	"tmark/internal/hin"
 	"tmark/internal/obs"
+	"tmark/internal/shard"
 	"tmark/internal/tmark"
 )
 
@@ -81,6 +82,14 @@ type Options struct {
 	// CheckpointEvery is the snapshot cadence in solver iterations
 	// (default 8); only meaningful with CheckpointDir.
 	CheckpointEvery int
+	// ShardWorkers lists the base URLs of a shard-worker fleet (tmarkd
+	// -shard-serve processes, one per shard of one partitioned model).
+	// When set, New performs the coordinator handshake against the
+	// fleet; warm models whose content hash matches the fleet's parent
+	// model then solve their batches across the workers, with automatic
+	// fallback to local solving (plus a cooldown) when the fleet fails
+	// mid-pass. Models with any other hash are untouched.
+	ShardWorkers []string
 	// Registry receives the serving metrics and backs /metrics, /vars
 	// and /debug/pprof; nil means obs.Default().
 	Registry *obs.Registry
@@ -104,6 +113,11 @@ type Server struct {
 	// header (whole seconds, at least 1).
 	retryAfter string
 
+	// coord is the connected shard-worker coordinator (nil without
+	// Options.ShardWorkers); models matching its parent hash solve
+	// through it.
+	coord *shard.Coordinator
+
 	draining  atomic.Bool
 	drainOnce sync.Once
 }
@@ -124,6 +138,7 @@ type metrics struct {
 	artifactHits   *obs.Counter
 	artifactMisses *obs.Counter
 	artifactFails  *obs.Counter
+	shardDegrades  *obs.Counter
 	latency        *obs.Latency
 	batchTime      *obs.Timer
 }
@@ -144,6 +159,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		artifactHits:   reg.Counter("tmark_artifact_hit_total"),
 		artifactMisses: reg.Counter("tmark_artifact_miss_total"),
 		artifactFails:  reg.Counter("tmark_artifact_verify_fail_total"),
+		shardDegrades:  reg.Counter("tmarkd_shard_degraded_total"),
 		latency:        obs.NewLatency(0),
 		batchTime:      reg.Timer("tmarkd_batch_solve"),
 	}
@@ -183,7 +199,7 @@ func New(opts Options) (*Server, error) {
 				return nil, err
 			}
 			for _, info := range infos {
-				if info.Name == "" {
+				if info.Name == "" || artifact.IsShardRefName(info.Name) {
 					continue
 				}
 				if opts.Default != "" {
@@ -241,6 +257,13 @@ func New(opts Options) (*Server, error) {
 	}
 
 	s := &Server{opts: opts, registry: registry, met: newMetrics(reg)}
+	if len(opts.ShardWorkers) > 0 {
+		coord, err := shard.Connect(context.Background(), opts.ShardWorkers, nil)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard worker handshake: %w", err)
+		}
+		s.coord = coord
+	}
 	secs := int(opts.RetryAfter.Round(time.Second) / time.Second)
 	if secs < 1 {
 		secs = 1
@@ -250,8 +273,12 @@ func New(opts Options) (*Server, error) {
 	s.slots = slots
 	s.cache = newModelCache(opts.CacheSize,
 		s.buildModel,
-		func(m *tmark.Model) *coalescer {
-			return newCoalescer(m, opts.MaxBatch, opts.QueueDepth, slots, s.met)
+		func(m *tmark.Model, hash string) *coalescer {
+			coord := s.coord
+			if coord != nil && hash != coord.Parent() {
+				coord = nil
+			}
+			return newCoalescer(m, opts.MaxBatch, opts.QueueDepth, slots, s.met, coord)
 		},
 		s.met)
 	s.cache.ckDir = opts.CheckpointDir

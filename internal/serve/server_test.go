@@ -450,7 +450,7 @@ func TestCoalescerOverload(t *testing.T) {
 	}
 	slots := make(chan struct{}, 1)
 	slots <- struct{}{} // hold every batch at the solve gate
-	c := newCoalescer(model, 1, 1, slots, nil)
+	c := newCoalescer(model, 1, 1, slots, nil, nil)
 	defer c.stop(true)
 
 	res1 := make(chan error, 1)
@@ -496,7 +496,7 @@ func TestCoalescingBatchesConcurrentQueries(t *testing.T) {
 	}
 	slots := make(chan struct{}, 1)
 	slots <- struct{}{} // hold the dispatcher at the solve gate
-	c := newCoalescer(model, 8, 64, slots, nil)
+	c := newCoalescer(model, 8, 64, slots, nil, nil)
 	defer c.stop(true)
 
 	widths := make(chan int, 5)

@@ -1,0 +1,395 @@
+package shard
+
+// The coordinator: the solver-side half of the lockstep protocol. One
+// Coordinator owns a validated set of worker addresses covering every
+// shard of one parent model; Applier() hands the solver a
+// tmark.DistApplier whose NodeBatch/RelationBatch fan one request out
+// to all workers, wait for every partial, and reduce them in ascending
+// shard order with tensor.ReduceNodePartials — reproducing the
+// in-process parallel kernels bit for bit. The solver's extrapolation,
+// guards and convergence checks all run locally on the reduced
+// iterate, so accelerated solves stay exact across processes.
+//
+// Failure semantics: each RPC is retried once with a context-honoring
+// backoff; a worker that stays down makes the pass return an error,
+// which the solver answers by permanently degrading that run to its
+// local kernels (the caller always holds the full model). A dead
+// worker therefore costs one recomputed pass, never the solve.
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tmark/internal/fault"
+	"tmark/internal/obs"
+	"tmark/internal/tensor"
+)
+
+var (
+	regCoordNodeApply = obs.Default().Timer("shard_coord_node_apply")
+	regCoordRelApply  = obs.Default().Timer("shard_coord_rel_apply")
+	regCoordReduce    = obs.Default().Timer("shard_coord_reduce")
+	regCoordRetries   = obs.Default().Counter("shard_coord_retries_total")
+	regCoordRPCErrors = obs.Default().Counter("shard_coord_rpc_errors_total")
+	// regStraggle holds the latest pass's straggle — the spread in
+	// nanoseconds between the slowest and fastest worker's self-reported
+	// kernel time — exported as the shard_straggler_ns gauge.
+	regStraggle = func() *atomic.Int64 {
+		v := new(atomic.Int64)
+		obs.Default().SetGauge("shard_straggler_ns", func() float64 { return float64(v.Load()) })
+		return v
+	}()
+)
+
+// Coordinator drives lockstep iteration across the worker set of one
+// partitioned model. It is cheap and read-only after Connect; each
+// solve builds its own Applier, so one Coordinator serves concurrent
+// solves.
+type Coordinator struct {
+	parent    string
+	parentRaw [32]byte
+	n, m, of  int
+	hasW      bool
+	urls      []string // indexed by shard
+	client    *http.Client
+
+	// Attempts is the per-worker try count per pass (default 2: one
+	// retry); Backoff separates the tries.
+	attempts int
+	backoff  time.Duration
+}
+
+// Connect performs the handshake: it fetches /v1/shard/info from every
+// URL and validates that the answers agree on one parent model and
+// cover every shard exactly once. client may be nil for
+// http.DefaultClient.
+func Connect(ctx context.Context, urls []string, client *http.Client) (*Coordinator, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("shard: no worker URLs")
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	c := &Coordinator{client: client, attempts: 2, backoff: 50 * time.Millisecond}
+	byShard := make([]string, 0)
+	for _, u := range urls {
+		info, err := fetchInfo(ctx, client, u)
+		if err != nil {
+			return nil, fmt.Errorf("shard: handshake with %s: %w", u, err)
+		}
+		if c.parent == "" {
+			raw, err := hex.DecodeString(info.Parent)
+			if err != nil || len(raw) != 32 {
+				return nil, fmt.Errorf("shard: %s serves malformed parent hash %q", u, info.Parent)
+			}
+			c.parent, c.n, c.m, c.of, c.hasW = info.Parent, info.N, info.M, info.Of, info.HasW
+			copy(c.parentRaw[:], raw)
+			byShard = make([]string, c.of)
+		}
+		if info.Parent != c.parent || info.Of != c.of || info.N != c.n || info.M != c.m || info.HasW != c.hasW {
+			return nil, fmt.Errorf("shard: %s serves %s shard %d/%d, expected a shard of %s /%d",
+				u, info.Parent[:12], info.Shard, info.Of, c.parent[:12], c.of)
+		}
+		if info.Shard < 0 || info.Shard >= c.of {
+			return nil, fmt.Errorf("shard: %s serves out-of-range shard %d/%d", u, info.Shard, info.Of)
+		}
+		if byShard[info.Shard] != "" {
+			return nil, fmt.Errorf("shard: shard %d served by both %s and %s", info.Shard, byShard[info.Shard], u)
+		}
+		byShard[info.Shard] = u
+	}
+	for s, u := range byShard {
+		if u == "" {
+			return nil, fmt.Errorf("shard: no worker for shard %d/%d", s, c.of)
+		}
+	}
+	c.urls = byShard
+	return c, nil
+}
+
+func fetchInfo(ctx context.Context, client *http.Client, base string) (*Info, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/shard/info", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("info status %s", resp.Status)
+	}
+	var info Info
+	if err := decodeJSONBody(resp.Body, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// decodeJSONBody parses a bounded JSON handshake document.
+func decodeJSONBody(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, 1<<16))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Parent returns the content hash of the model the worker set serves.
+func (c *Coordinator) Parent() string { return c.parent }
+
+// Workers returns the shard count of the worker set. A solve that
+// wants bitwise identity with this coordinator's output must run with
+// WithWorkers(Workers()).
+func (c *Coordinator) Workers() int { return c.of }
+
+// Applier builds one solve's distributed applier. The context governs
+// every RPC the applier issues; pass the solve's own context so a
+// canceled solve abandons its in-flight fan-out.
+func (c *Coordinator) Applier(ctx context.Context) *Applier {
+	a := &Applier{c: c, ctx: ctx}
+	a.frames = make([]*Frame, c.of)
+	a.bodies = make([][]byte, c.of)
+	a.parts = make([][]float64, c.of)
+	a.sumA = make([][]float64, c.of)
+	a.sumB = make([][]float64, c.of)
+	a.masses = make([][]float64, c.of)
+	return a
+}
+
+// Applier is one solve's view of the worker set; it implements
+// tmark.DistApplier. It is owned by a single solver goroutine (like
+// the runScratch it plugs into) and reuses its request and reduce
+// buffers across iterations.
+type Applier struct {
+	c    *Coordinator
+	ctx  context.Context
+	iter uint64
+
+	reqBuf []byte
+	frames []*Frame
+	bodies [][]byte // response buffers backing the frames
+	parts  [][]float64
+	sumA   [][]float64 // sumX (node) / sumI (relation)
+	sumB   [][]float64 // sumZ (node)
+	masses [][]float64
+	u      []float64 // per-column reduce scratch
+
+	// One-shot W·x stash: the node pass computes the feature matvec
+	// from the same x it contracts, so FeatureBatch answers from here
+	// when the solver asks with that exact slab.
+	wx      []float64
+	wxKey   *float64
+	wxB     int
+	wxValid bool
+
+	// err is the applier's first pass failure, sticky: the solver
+	// degrades on the first error anyway, and callers (the serve
+	// coalescer) read it to start a worker-fleet cooldown.
+	err error
+}
+
+// Err returns the first pass failure, or nil while the applier is
+// healthy.
+func (a *Applier) Err() error { return a.err }
+
+// NodeBatch implements tmark.DistApplier: one distributed node pass.
+func (a *Applier) NodeBatch(x, z, dst []float64, b int) error {
+	if a.err != nil {
+		return a.err
+	}
+	a.wxValid = false
+	start := time.Now()
+	a.iter++
+	a.reqBuf = EncodeNodeRequest(a.reqBuf, a.c.parentRaw, a.iter, a.c.n, a.c.m, b, x, z)
+	if err := a.fanout(KindNodeResponse, b); err != nil {
+		return err
+	}
+	reduceStart := time.Now()
+	for s, f := range a.frames {
+		a.parts[s], a.sumA[s], a.sumB[s], a.masses[s] = f.Part, f.SumX, f.SumZ, f.Mass
+	}
+	a.u = growF(a.u, b)
+	tensor.ReduceNodePartials(dst, a.u, a.c.n, b, a.parts, a.sumA, a.sumB, a.masses)
+	if a.c.hasW {
+		a.wx = growF(a.wx, a.c.n*b)
+		for _, f := range a.frames {
+			copy(a.wx[f.WLo*b:f.WHi*b], f.WX)
+		}
+		a.wxKey, a.wxB, a.wxValid = &x[0], b, true
+	}
+	regCoordReduce.Observe(time.Since(reduceStart))
+	regCoordNodeApply.Observe(time.Since(start))
+	return nil
+}
+
+// RelationBatch implements tmark.DistApplier: one distributed
+// relation pass.
+func (a *Applier) RelationBatch(x, dst []float64, b int) error {
+	if a.err != nil {
+		return a.err
+	}
+	start := time.Now()
+	a.reqBuf = EncodeRelRequest(a.reqBuf, a.c.parentRaw, a.iter, a.c.n, a.c.m, b, x)
+	if err := a.fanout(KindRelResponse, b); err != nil {
+		return err
+	}
+	reduceStart := time.Now()
+	for s, f := range a.frames {
+		a.parts[s], a.sumA[s], a.masses[s] = f.Part, f.SumX, f.Mass
+	}
+	a.u = growF(a.u, b)
+	tensor.ReduceRelationPartials(dst, a.u, a.c.m, b, a.parts, a.sumA, a.masses)
+	regCoordReduce.Observe(time.Since(reduceStart))
+	regCoordRelApply.Observe(time.Since(start))
+	return nil
+}
+
+// FeatureBatch implements tmark.DistApplier: it answers from the node
+// pass's W·x stash when the solver asks with the same x slab, and
+// declines otherwise (the feature matvec is row-independent, so the
+// local fallback is bitwise identical anyway).
+func (a *Applier) FeatureBatch(x, dst []float64, b int) (bool, error) {
+	if !a.wxValid || a.wxKey != &x[0] || a.wxB != b {
+		return false, nil
+	}
+	a.wxValid = false
+	copy(dst[:a.c.n*b], a.wx[:a.c.n*b])
+	return true, nil
+}
+
+// fanout sends the encoded request in reqBuf to every worker
+// concurrently, decodes and validates one response frame per shard
+// into a.frames, and feeds the straggler gauge. Any worker that fails
+// all its attempts fails the pass.
+func (a *Applier) fanout(wantKind uint32, b int) error {
+	c := a.c
+	var wg sync.WaitGroup
+	errs := make([]error, c.of)
+	for s := 0; s < c.of; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			a.bodies[s], errs[s] = c.post(a.ctx, c.urls[s], a.reqBuf, a.bodies[s])
+			if errs[s] != nil {
+				return
+			}
+			f, err := DecodeFrame(a.bodies[s])
+			if err != nil {
+				errs[s] = fmt.Errorf("worker %d: %w", s, err)
+				return
+			}
+			if f.Kind != wantKind || f.Shard != s || f.Of != c.of || f.Parent != c.parentRaw ||
+				f.N != c.n || f.M != c.m || f.B != b {
+				errs[s] = fmt.Errorf("worker %d answered kind %d shard %d/%d b=%d", s, f.Kind, f.Shard, f.Of, f.B)
+				return
+			}
+			a.frames[s] = f
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			regCoordRPCErrors.Inc()
+			a.err = fmt.Errorf("shard: pass failed at worker %d (%s): %w", s, c.urls[s], err)
+			return a.err
+		}
+	}
+	var minNS, maxNS uint64
+	for s, f := range a.frames {
+		if s == 0 || f.Arg < minNS {
+			minNS = f.Arg
+		}
+		if f.Arg > maxNS {
+			maxNS = f.Arg
+		}
+	}
+	regStraggle.Store(int64(maxNS - minNS))
+	return nil
+}
+
+// post sends one apply RPC with retries. The backoff select honors ctx
+// so a canceled solve never sleeps out its backoff.
+func (c *Coordinator) post(ctx context.Context, url string, body []byte, respBuf []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			regCoordRetries.Inc()
+			t := time.NewTimer(c.backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+		if fault.Enabled() {
+			if err := fault.Check(fault.ShardCoordRPC); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/shard/apply", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := c.client.Do(req)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		data, err := readAllInto(respBuf, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("status %s: %s", resp.Status, truncate(data, 120))
+			continue
+		}
+		return data, nil
+	}
+	return nil, lastErr
+}
+
+// readAllInto is io.ReadAll reusing buf's capacity across iterations.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	buf = buf[:0]
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 4096)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(bytes.TrimSpace(b))
+}

@@ -1,0 +1,105 @@
+package shard
+
+// The partitioner: splitting one compiled model into M per-shard
+// sub-tensor artifacts. Shard boundaries are exactly the contiguous
+// ranges par.Split hands the in-process parallel kernels, so a worker
+// computing its shard's partial serially and the coordinator reducing
+// the partials in ascending shard order reproduce ApplyBatchParallel
+// bit for bit — the sharded solve at M workers is float-identical to a
+// single-process solve run with WithWorkers(M).
+
+import (
+	"fmt"
+
+	"tmark/internal/artifact"
+	"tmark/internal/sparse"
+	"tmark/internal/tmark"
+	"tmark/internal/vec"
+)
+
+// Partition splits a model's substrate into of per-shard blobs, each a
+// self-contained TMSHARD1-sectioned artifact binding its parent's
+// content hash. Shard s holds the O and R entry ranges of parallel
+// shard s, plus the feature matrix's row slab for the shard's node
+// rows (the same row split MulVecBatchParallel uses).
+func Partition(sub tmark.Substrate, parentHash string, of int) ([][]byte, error) {
+	if sub.O == nil || sub.R == nil {
+		return nil, fmt.Errorf("shard: partition needs both transition tensors")
+	}
+	if of < 1 {
+		return nil, fmt.Errorf("shard: partition into %d shards", of)
+	}
+	blobs := make([][]byte, of)
+	for s := 0; s < of; s++ {
+		nsh := sub.O.Shard(s, of)
+		rsh := sub.R.Shard(s, of)
+		var (
+			csrSlab   *sparse.Matrix
+			denseSlab *vec.Matrix
+			err       error
+		)
+		lo, hi := nsh.XLo, nsh.XHi
+		switch {
+		case sub.WCSR != nil:
+			csrSlab, err = csrRowSlab(sub.WCSR, lo, hi)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d/%d: %w", s, of, err)
+			}
+		case sub.WDense != nil:
+			n := sub.WDense.Cols
+			denseSlab = &vec.Matrix{Rows: hi - lo, Cols: n, Data: sub.WDense.Data[lo*n : hi*n]}
+		default:
+			lo, hi = 0, 0 // no feature channel: no W row slab
+		}
+		blob, err := artifact.EncodeShard(parentHash, nsh, rsh, lo, hi, csrSlab, denseSlab)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d/%d: %w", s, of, err)
+		}
+		blobs[s] = blob
+	}
+	return blobs, nil
+}
+
+// csrRowSlab carves rows [lo, hi) out of a CSR matrix, rebasing the
+// row pointers to the slab. ColIdx and Values alias the parent.
+func csrRowSlab(w *sparse.Matrix, lo, hi int) (*sparse.Matrix, error) {
+	raw := w.Raw()
+	if lo < 0 || lo > hi || hi > raw.Rows {
+		return nil, fmt.Errorf("shard: W row slab [%d,%d) outside %d rows", lo, hi, raw.Rows)
+	}
+	base := raw.RowPtr[lo]
+	rowPtr := make([]int32, hi-lo+1)
+	for i := range rowPtr {
+		rowPtr[i] = raw.RowPtr[lo+i] - base
+	}
+	return sparse.FromRaw(sparse.Raw{
+		Rows:   hi - lo,
+		Cols:   raw.Cols,
+		RowPtr: rowPtr,
+		ColIdx: raw.ColIdx[base:raw.RowPtr[hi]],
+		Values: raw.Values[base:raw.RowPtr[hi]],
+	})
+}
+
+// PartitionInto partitions the substrate and stores every shard blob in
+// the registry, tagging each under its deterministic shard ref name so
+// `parent#shard=s/of` references resolve. It returns the shard blobs'
+// content hashes in shard order.
+func PartitionInto(reg *artifact.Registry, sub tmark.Substrate, parentHash string, of int) ([]string, error) {
+	blobs, err := Partition(sub, parentHash, of)
+	if err != nil {
+		return nil, err
+	}
+	hashes := make([]string, of)
+	for s, blob := range blobs {
+		h, err := reg.Put(blob)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d/%d: %w", s, of, err)
+		}
+		if err := reg.Tag(artifact.ShardRefName(parentHash, s, of), h); err != nil {
+			return nil, fmt.Errorf("shard %d/%d: %w", s, of, err)
+		}
+		hashes[s] = h
+	}
+	return hashes, nil
+}

@@ -1,0 +1,275 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"tmark/internal/artifact"
+	"tmark/internal/dataset"
+	"tmark/internal/fault"
+	"tmark/internal/hin"
+	"tmark/internal/obs"
+	"tmark/internal/tmark"
+)
+
+// cluster is one in-process worker fleet: of httptest servers each
+// holding one shard of the compiled model, plus the connected
+// coordinator and a full local model for reference solves.
+type cluster struct {
+	coord *Coordinator
+	model *tmark.Model
+	hash  string
+	n     int
+}
+
+func newCluster(t *testing.T, g *hin.Graph, cfg tmark.Config, of int) *cluster {
+	t.Helper()
+	data, hash, err := artifact.Compile(g, cfg)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	art, err := artifact.DecodeBytes(data)
+	if err != nil {
+		t.Fatalf("DecodeBytes: %v", err)
+	}
+	blobs, err := Partition(art.Substrate(), hash, of)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	urls := make([]string, of)
+	for s, blob := range blobs {
+		dec, err := artifact.DecodeShardBytes(blob)
+		if err != nil {
+			t.Fatalf("DecodeShardBytes %d: %v", s, err)
+		}
+		w, err := NewWorker(dec, false)
+		if err != nil {
+			t.Fatalf("NewWorker %d: %v", s, err)
+		}
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		urls[s] = srv.URL
+	}
+	coord, err := Connect(context.Background(), urls, nil)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	model, err := tmark.New(g, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return &cluster{coord: coord, model: model, hash: hash, n: g.N()}
+}
+
+func testQueries(n int) []tmark.ColumnQuery {
+	return []tmark.ColumnQuery{
+		{Seeds: []int{0, 1 % n}},
+		{Seeds: []int{2 % n, 3 % n, 5 % n}},
+		{Seeds: []int{4 % n}, ICA: true},
+		{Seeds: []int{n - 1, n / 2}},
+	}
+}
+
+func assertSameResults(t *testing.T, ref, got []tmark.ColumnResult) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Fatalf("result counts %d vs %d", len(ref), len(got))
+	}
+	for i := range ref {
+		r, g := &ref[i], &got[i]
+		if r.Iterations != g.Iterations || r.Converged != g.Converged {
+			t.Fatalf("column %d: %d/%v iterations vs %d/%v", i, r.Iterations, r.Converged, g.Iterations, g.Converged)
+		}
+		for j := range r.X {
+			if r.X[j] != g.X[j] {
+				t.Fatalf("column %d: x[%d] = %x vs %x", i, j, r.X[j], g.X[j])
+			}
+		}
+		for j := range r.Z {
+			if r.Z[j] != g.Z[j] {
+				t.Fatalf("column %d: z[%d] = %x vs %x", i, j, r.Z[j], g.Z[j])
+			}
+		}
+		for j := range r.Trace {
+			if r.Trace[j] != g.Trace[j] {
+				t.Fatalf("column %d: trace[%d] = %x vs %x", i, j, r.Trace[j], g.Trace[j])
+			}
+		}
+	}
+}
+
+// The tentpole contract: a sharded solve across M worker processes is
+// bitwise identical to a single-process solve with M workers, for
+// every feature-channel shape and for accelerated runs.
+func TestShardedSolveBitwiseIdentical(t *testing.T) {
+	dense := tmark.DefaultConfig()
+	csr := tmark.DefaultConfig()
+	csr.FeatureTopK = 4
+	noW := tmark.DefaultConfig()
+	noW.Gamma = 0
+	cfgs := map[string]tmark.Config{"dense": dense, "csr": csr, "noW": noW}
+	g := dataset.DBLP(dataset.DefaultDBLPConfig(1))
+	for name, cfg := range cfgs {
+		for _, of := range []int{2, 4} {
+			t.Run(name+"/"+string(rune('0'+of)), func(t *testing.T) {
+				cl := newCluster(t, g, cfg, of)
+				ctx := context.Background()
+				queries := testQueries(cl.n)
+				ref, err := cl.model.SolveColumns(ctx, queries, tmark.WithWorkers(of))
+				if err != nil {
+					t.Fatalf("reference solve: %v", err)
+				}
+				dist, err := cl.model.SolveColumns(ctx, queries,
+					tmark.WithWorkers(of), tmark.WithDistributedApply(cl.coord.Applier(ctx)))
+				if err != nil {
+					t.Fatalf("sharded solve: %v", err)
+				}
+				assertSameResults(t, ref, dist)
+
+				// Accelerated solves must stay exact too: the extrapolator
+				// runs on the coordinator's reduced iterate.
+				refAcc, err := cl.model.SolveColumns(ctx, queries,
+					tmark.WithWorkers(of), tmark.WithAcceleration(true))
+				if err != nil {
+					t.Fatalf("reference accelerated solve: %v", err)
+				}
+				distAcc, err := cl.model.SolveColumns(ctx, queries,
+					tmark.WithWorkers(of), tmark.WithAcceleration(true),
+					tmark.WithDistributedApply(cl.coord.Applier(ctx)))
+				if err != nil {
+					t.Fatalf("sharded accelerated solve: %v", err)
+				}
+				assertSameResults(t, refAcc, distAcc)
+			})
+		}
+	}
+}
+
+// TestChaosShardedSolveWorkerLoss kills the worker fleet mid-solve (a
+// simulated network partition at the coordinator's RPC layer) and
+// requires the solve to degrade to the local kernels and still return
+// the exact single-process answer, never an error.
+func TestChaosShardedSolveWorkerLoss(t *testing.T) {
+	g := dataset.DBLP(dataset.DefaultDBLPConfig(2))
+	const of = 2
+	cl := newCluster(t, g, tmark.DefaultConfig(), of)
+	ctx := context.Background()
+	queries := testQueries(cl.n)
+
+	ref, err := cl.model.SolveColumns(ctx, queries, tmark.WithWorkers(of))
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+
+	// Let a few passes through, then fail every RPC (both attempts).
+	var calls atomic.Int64
+	remove := fault.InjectErr(fault.ShardCoordRPC, func() error {
+		if calls.Add(1) > 3*of {
+			return errors.New("injected partition")
+		}
+		return nil
+	})
+	defer remove()
+
+	degraded := obs.Default().Counter("tmark_dist_degraded_total")
+	before := degraded.Load()
+	dist, err := cl.model.SolveColumns(ctx, queries,
+		tmark.WithWorkers(of), tmark.WithDistributedApply(cl.coord.Applier(ctx)))
+	if err != nil {
+		t.Fatalf("degraded solve errored: %v", err)
+	}
+	if degraded.Load() != before+1 {
+		t.Fatalf("degradation counter moved %d -> %d, want +1", before, degraded.Load())
+	}
+	// Degradation mid-solve stays bitwise exact: the distributed passes
+	// already matched the local kernels, and the local fallback runs at
+	// the same worker count.
+	assertSameResults(t, ref, dist)
+}
+
+// A worker must refuse iterate slabs stamped with a different model's
+// content hash rather than contracting garbage.
+func TestWorkerRejectsForeignModel(t *testing.T) {
+	g := dataset.Example()
+	cfg := tmark.DefaultConfig()
+	data, hash, err := artifact.Compile(g, cfg)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	art, err := artifact.DecodeBytes(data)
+	if err != nil {
+		t.Fatalf("DecodeBytes: %v", err)
+	}
+	blobs, err := Partition(art.Substrate(), hash, 1)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	dec, err := artifact.DecodeShardBytes(blobs[0])
+	if err != nil {
+		t.Fatalf("DecodeShardBytes: %v", err)
+	}
+	w, err := NewWorker(dec, false)
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	coord, err := Connect(context.Background(), []string{srv.URL}, nil)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	// Forge a coordinator bound to a different parent hash.
+	forged := *coord
+	forged.parentRaw[0] ^= 0xff
+	a := forged.Applier(context.Background())
+	n, m := art.N, art.M
+	x, z := make([]float64, n), make([]float64, m)
+	if err := a.NodeBatch(x, z, make([]float64, n), 1); err == nil {
+		t.Fatalf("worker accepted a foreign model's slabs")
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	g := dataset.Example()
+	cfg := tmark.DefaultConfig()
+	data, hash, err := artifact.Compile(g, cfg)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	art, err := artifact.DecodeBytes(data)
+	if err != nil {
+		t.Fatalf("DecodeBytes: %v", err)
+	}
+	blobs, err := Partition(art.Substrate(), hash, 2)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	urls := make([]string, 2)
+	for s, blob := range blobs {
+		dec, _ := artifact.DecodeShardBytes(blob)
+		w, _ := NewWorker(dec, false)
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		urls[s] = srv.URL
+	}
+	// A duplicate shard (same worker twice) must be rejected.
+	if _, err := Connect(context.Background(), []string{urls[0], urls[0]}, nil); err == nil {
+		t.Fatalf("Connect accepted a duplicate shard")
+	}
+	// An incomplete cover must be rejected.
+	if _, err := Connect(context.Background(), []string{urls[1]}, nil); err == nil {
+		t.Fatalf("Connect accepted a missing shard")
+	}
+	// The full set connects.
+	c, err := Connect(context.Background(), urls, nil)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if c.Parent() != hash || c.Workers() != 2 {
+		t.Fatalf("coordinator bound to %s /%d", c.Parent(), c.Workers())
+	}
+}

@@ -1,0 +1,191 @@
+package shard
+
+// The multi-process smoke: real worker OS processes, not httptest
+// goroutines. The test re-execs its own binary in worker mode (the
+// standard helper-process pattern), each child decoding one shard blob
+// from disk and serving the apply RPC on a loopback port, and then
+// drives a coordinated solve of a builtin dataset against the child
+// fleet — asserting the predictions (and every float under them) match
+// the single-process reference bitwise. `make shard-smoke` runs this.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tmark/internal/artifact"
+	"tmark/internal/dataset"
+	"tmark/internal/tmark"
+)
+
+const (
+	workerEnv     = "TMARK_SHARD_WORKER"
+	workerFileEnv = "TMARK_SHARD_FILE"
+	addrMarker    = "TMARK_WORKER_ADDR "
+)
+
+// TestShardWorkerProcess is not a test: it is the body of the child
+// processes TestShardSmokeMultiProcess spawns. Invoked without the
+// helper environment it skips immediately.
+func TestShardWorkerProcess(t *testing.T) {
+	if os.Getenv(workerEnv) != "1" {
+		t.Skip("helper process body; spawned by TestShardSmokeMultiProcess")
+	}
+	blob, err := os.ReadFile(os.Getenv(workerFileEnv))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+		os.Exit(1)
+	}
+	art, err := artifact.DecodeShardBytes(blob)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+		os.Exit(1)
+	}
+	w, err := NewWorker(art, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s%s\n", addrMarker, ln.Addr())
+	os.Stdout.Sync()
+	// Serve until the parent kills the process.
+	if err := http.Serve(ln, w.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+	}
+	os.Exit(0)
+}
+
+// spawnWorker launches one helper process serving the shard blob at
+// path and returns its base URL once the child reports its port.
+func spawnWorker(t testing.TB, path string) string {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestShardWorkerProcess$")
+	cmd.Env = append(os.Environ(), workerEnv+"=1", workerFileEnv+"="+path)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn worker: %v", err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, addrMarker) {
+				addrCh <- strings.TrimPrefix(line, addrMarker)
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			t.Fatalf("worker %s exited before reporting its address", path)
+		}
+		return "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("worker %s did not report an address in 30s", path)
+	}
+	panic("unreachable")
+}
+
+func TestShardSmokeMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	const of = 2
+	g := dataset.DBLP(dataset.DefaultDBLPConfig(1))
+	cfg := tmark.DefaultConfig()
+
+	data, hash, err := artifact.Compile(g, cfg)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	art, err := artifact.DecodeBytes(data)
+	if err != nil {
+		t.Fatalf("DecodeBytes: %v", err)
+	}
+	blobs, err := Partition(art.Substrate(), hash, of)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	dir := t.TempDir()
+	urls := make([]string, of)
+	for s, blob := range blobs {
+		path := filepath.Join(dir, fmt.Sprintf("shard-%d.tmsh", s))
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatalf("write shard: %v", err)
+		}
+		urls[s] = spawnWorker(t, path)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	coord, err := Connect(ctx, urls, nil)
+	if err != nil {
+		t.Fatalf("Connect across processes: %v", err)
+	}
+	if coord.Parent() != hash || coord.Workers() != of {
+		t.Fatalf("coordinator bound to %s /%d workers", coord.Parent(), coord.Workers())
+	}
+
+	model, err := tmark.New(g, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	queries := testQueries(g.N())
+	ref, err := model.SolveColumns(ctx, queries, tmark.WithWorkers(of))
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	dist, err := model.SolveColumns(ctx, queries,
+		tmark.WithWorkers(of), tmark.WithDistributedApply(coord.Applier(ctx)))
+	if err != nil {
+		t.Fatalf("multi-process solve: %v", err)
+	}
+	assertSameResults(t, ref, dist)
+
+	// The headline diff: per-node argmax predictions must agree column
+	// by column (implied by the bitwise check above, stated here as the
+	// smoke's contract).
+	for i := range ref {
+		rp, dp := argmaxes(ref[i].X), argmaxes(dist[i].X)
+		for j := range rp {
+			if rp[j] != dp[j] {
+				t.Fatalf("column %d: prediction[%d] = %d (reference) vs %d (sharded)", i, j, rp[j], dp[j])
+			}
+		}
+	}
+}
+
+// argmaxes reduces one score column to its index order — a stand-in
+// for the per-node class decision a caller would make.
+func argmaxes(x []float64) []int {
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return []int{best}
+}

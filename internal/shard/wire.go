@@ -1,0 +1,323 @@
+// Package shard implements horizontal scale-out for the T-Mark solver:
+// partitioning a compiled model into per-shard sub-tensor artifacts,
+// the worker that serves one shard's apply pass over HTTP, and the
+// coordinator that drives lockstep iteration across the workers while
+// the solver's extrapolation, guards and convergence logic keep running
+// locally on the reduced iterate.
+//
+// The per-iteration RPC bodies use a tight binary frame format rather
+// than JSON: one frame is a fixed 80-byte header, 8-byte-aligned
+// float64 payload slabs, and a crc64/ECMA trailer.
+//
+//	magic   "TMSHARD1"          8 bytes  @0
+//	kind    uint32              @8   1 node req, 2 node resp, 3 rel req, 4 rel resp
+//	b       uint32              @12  block width (columns)
+//	n       uint32              @16  node count of the parent model
+//	m       uint32              @20  link count of the parent model
+//	shard   uint32              @24  responder's shard index (0 in requests)
+//	of      uint32              @28  responder's shard count (0 in requests)
+//	arg     uint64              @32  requests: lockstep iteration; responses: worker ns
+//	wLo     uint32              @40  node responses: W row slab start (else 0)
+//	wHi     uint32              @44  node responses: W row slab end   (else 0)
+//	parent  raw sha256          @48  32 bytes, the parent model's content hash
+//	payload float64 slabs       @80  little-endian, layout by kind (below)
+//	crc     uint64              last 8 bytes, crc64/ECMA over everything above
+//
+// Payload layouts (all lengths in float64s):
+//
+//	kind 1 (node request):   x[n·b] z[m·b]
+//	kind 2 (node response):  part[n·b] sumX[b] sumZ[b] mass[b] wx[(wHi−wLo)·b]
+//	kind 3 (rel request):    x[n·b]
+//	kind 4 (rel response):   part[m·b] sumI[b] mass[b]
+//
+// The total frame length must equal the header + payload + trailer
+// exactly. DecodeFrame is strict in the same sense as the checkpoint
+// decoder: checksum first, every dimension bounded before any
+// dimension-derived arithmetic, no panics on hostile input, and no
+// allocation beyond the input size (payloads alias the input buffer
+// when aligned).
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"unsafe"
+)
+
+// Frame kinds: the four per-iteration RPC bodies.
+const (
+	KindNodeRequest  uint32 = 1
+	KindNodeResponse uint32 = 2
+	KindRelRequest   uint32 = 3
+	KindRelResponse  uint32 = 4
+)
+
+const (
+	headerSize = 80
+	trailerLen = 8
+	// maxBlock bounds the block width a frame may claim; the solver
+	// blocks over classes or query columns, never more than a few
+	// hundred, so 1<<20 is generous while keeping n·b overflow-free.
+	maxBlock = 1 << 20
+	// maxDim bounds the node/link counts; int32 COO indices cap real
+	// models well below this already.
+	maxDim = 1 << 31
+)
+
+var frameMagic = [8]byte{'T', 'M', 'S', 'H', 'A', 'R', 'D', '1'}
+
+var frameCRC = crc64.MakeTable(crc64.ECMA)
+
+// Frame is one decoded shard RPC body. The float slices alias the
+// input buffer when the host is little-endian and the buffer is
+// 8-byte aligned — they are read-only in that case and only valid
+// while the buffer is.
+type Frame struct {
+	Kind      uint32
+	B         int // block width
+	N, M      int // parent model dimensions
+	Shard, Of int // responder identity (0/0 in requests)
+	// Arg carries the lockstep iteration number in requests and the
+	// worker's wall time in nanoseconds in responses (the coordinator's
+	// straggler gauge feeds on it).
+	Arg      uint64
+	WLo, WHi int      // node responses: W·x row slab range
+	Parent   [32]byte // parent model content hash, raw
+
+	X, Z []float64 // requests: iterate slabs (Z only in node requests)
+	// Part is the partial contraction slab: n·b floats in node
+	// responses, m·b in relation responses.
+	Part []float64
+	// SumX/SumZ/Mass are the per-column partial reduction sums. In
+	// relation responses SumX holds sumI and SumZ is nil.
+	SumX, SumZ, Mass []float64
+	// WX is the node response's W·x row slab ((wHi−wLo)·b floats;
+	// empty when the model has no feature matrix).
+	WX []float64
+}
+
+// nativeLittleEndian reports whether raw little-endian frame bytes can
+// be reinterpreted as host floats without conversion.
+var nativeLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// appendFloats appends the little-endian encoding of fs. On
+// little-endian hosts it is one bulk copy.
+func appendFloats(buf []byte, fs []float64) []byte {
+	if len(fs) == 0 {
+		return buf
+	}
+	if nativeLittleEndian {
+		return append(buf, unsafe.Slice((*byte)(unsafe.Pointer(&fs[0])), 8*len(fs))...)
+	}
+	for _, f := range fs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	return buf
+}
+
+// frameFloats reinterprets b as []float64 without copying when the
+// host is little-endian and b is 8-byte aligned; otherwise it decodes
+// a copy. Zero-copy views are read-only by contract.
+func frameFloats(b []byte) []float64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if nativeLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// appendHeader writes the fixed 80-byte frame header.
+func appendHeader(buf []byte, kind uint32, b, n, m, shard, of int, arg uint64, wLo, wHi int, parent [32]byte) []byte {
+	buf = append(buf, frameMagic[:]...)
+	for _, v := range []uint32{kind, uint32(b), uint32(n), uint32(m), uint32(shard), uint32(of)} {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, arg)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(wLo))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(wHi))
+	return append(buf, parent[:]...)
+}
+
+// seal appends the crc64 trailer and returns the finished frame.
+func seal(buf []byte) []byte {
+	return binary.LittleEndian.AppendUint64(buf, crc64.Checksum(buf, frameCRC))
+}
+
+// frameSize returns the exact encoded size of a frame with the given
+// payload float count, for pre-sizing reused buffers.
+func frameSize(floats int) int { return headerSize + 8*floats + trailerLen }
+
+// grow returns buf emptied, with capacity for at least size bytes, so
+// a reused encode buffer reaches steady state after one allocation.
+func grow(buf []byte, size int) []byte {
+	if cap(buf) < size {
+		return make([]byte, 0, size)
+	}
+	return buf[:0]
+}
+
+// EncodeNodeRequest encodes one node-pass request: the full (x, z)
+// iterate slabs at block width b. buf is reused via buf[:0]; the
+// encoders trust their caller (the coordinator and the worker tests)
+// and panic on mismatched slab lengths rather than returning errors.
+func EncodeNodeRequest(buf []byte, parent [32]byte, iter uint64, n, m, b int, x, z []float64) []byte {
+	if len(x) != n*b || len(z) != m*b {
+		panic(fmt.Sprintf("shard: node request slabs %d/%d for n=%d m=%d b=%d", len(x), len(z), n, m, b))
+	}
+	out := grow(buf, frameSize(len(x)+len(z)))
+	out = appendHeader(out, KindNodeRequest, b, n, m, 0, 0, iter, 0, 0, parent)
+	out = appendFloats(out, x)
+	out = appendFloats(out, z)
+	return seal(out)
+}
+
+// EncodeNodeResponse encodes one worker's node-pass partials: the n·b
+// partial contraction slab, the per-column sums, and the worker's W·x
+// row slab for rows [wLo, wHi) (nil when the model has no W).
+func EncodeNodeResponse(buf []byte, parent [32]byte, elapsed uint64, shard, of, n, m, b, wLo, wHi int, part, sumX, sumZ, mass, wx []float64) []byte {
+	if len(part) != n*b || len(sumX) != b || len(sumZ) != b || len(mass) != b || len(wx) != (wHi-wLo)*b {
+		panic(fmt.Sprintf("shard: node response slabs %d/%d/%d/%d/%d for n=%d b=%d w=[%d,%d)",
+			len(part), len(sumX), len(sumZ), len(mass), len(wx), n, b, wLo, wHi))
+	}
+	out := grow(buf, frameSize(len(part)+3*b+len(wx)))
+	out = appendHeader(out, KindNodeResponse, b, n, m, shard, of, elapsed, wLo, wHi, parent)
+	out = appendFloats(out, part)
+	out = appendFloats(out, sumX)
+	out = appendFloats(out, sumZ)
+	out = appendFloats(out, mass)
+	out = appendFloats(out, wx)
+	return seal(out)
+}
+
+// EncodeRelRequest encodes one relation-pass request: the normalised
+// node slab x at block width b.
+func EncodeRelRequest(buf []byte, parent [32]byte, iter uint64, n, m, b int, x []float64) []byte {
+	if len(x) != n*b {
+		panic(fmt.Sprintf("shard: rel request slab %d for n=%d b=%d", len(x), n, b))
+	}
+	out := grow(buf, frameSize(len(x)))
+	out = appendHeader(out, KindRelRequest, b, n, m, 0, 0, iter, 0, 0, parent)
+	out = appendFloats(out, x)
+	return seal(out)
+}
+
+// EncodeRelResponse encodes one worker's relation-pass partials: the
+// m·b partial slab plus the per-column sumI and tube-mass sums.
+func EncodeRelResponse(buf []byte, parent [32]byte, elapsed uint64, shard, of, n, m, b int, part, sumI, mass []float64) []byte {
+	if len(part) != m*b || len(sumI) != b || len(mass) != b {
+		panic(fmt.Sprintf("shard: rel response slabs %d/%d/%d for m=%d b=%d", len(part), len(sumI), len(mass), m, b))
+	}
+	out := grow(buf, frameSize(len(part)+2*b))
+	out = appendHeader(out, KindRelResponse, b, n, m, shard, of, elapsed, 0, 0, parent)
+	out = appendFloats(out, part)
+	out = appendFloats(out, sumI)
+	out = appendFloats(out, mass)
+	return seal(out)
+}
+
+// DecodeFrame parses and validates one shard RPC frame. It returns an
+// error — never panics, never returns partially-filled state — on
+// truncation, checksum mismatch, unknown kind, out-of-range
+// dimensions, or a payload whose length does not match the header
+// exactly. Float payloads alias data when aligned, so the frame is
+// only valid while data is.
+func DecodeFrame(data []byte) (*Frame, error) {
+	if len(data) < headerSize+trailerLen {
+		return nil, fmt.Errorf("shard: frame too short (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
+	if got, want := binary.LittleEndian.Uint64(tail), crc64.Checksum(body, frameCRC); got != want {
+		return nil, fmt.Errorf("shard: frame checksum mismatch (stored %016x, computed %016x)", got, want)
+	}
+	if [8]byte(body[:8]) != frameMagic {
+		return nil, fmt.Errorf("shard: not a shard frame (magic %q)", body[:8])
+	}
+	f := &Frame{
+		Kind:  binary.LittleEndian.Uint32(body[8:]),
+		B:     int(binary.LittleEndian.Uint32(body[12:])),
+		N:     int(binary.LittleEndian.Uint32(body[16:])),
+		M:     int(binary.LittleEndian.Uint32(body[20:])),
+		Shard: int(binary.LittleEndian.Uint32(body[24:])),
+		Of:    int(binary.LittleEndian.Uint32(body[28:])),
+		Arg:   binary.LittleEndian.Uint64(body[32:]),
+		WLo:   int(binary.LittleEndian.Uint32(body[40:])),
+		WHi:   int(binary.LittleEndian.Uint32(body[44:])),
+	}
+	copy(f.Parent[:], body[48:80])
+	if f.Kind < KindNodeRequest || f.Kind > KindRelResponse {
+		return nil, fmt.Errorf("shard: frame kind %d unknown", f.Kind)
+	}
+	if f.B < 1 || f.B > maxBlock || f.N < 1 || f.N >= maxDim || f.M < 1 || f.M >= maxDim {
+		return nil, fmt.Errorf("shard: frame dimensions b=%d n=%d m=%d out of range", f.B, f.N, f.M)
+	}
+	isResponse := f.Kind == KindNodeResponse || f.Kind == KindRelResponse
+	if isResponse {
+		if f.Of < 1 || f.Shard < 0 || f.Shard >= f.Of {
+			return nil, fmt.Errorf("shard: frame responder %d/%d invalid", f.Shard, f.Of)
+		}
+	} else if f.Shard != 0 || f.Of != 0 {
+		return nil, fmt.Errorf("shard: request frame carries responder identity %d/%d", f.Shard, f.Of)
+	}
+	if f.Kind == KindNodeResponse {
+		if f.WLo < 0 || f.WLo > f.WHi || f.WHi > f.N {
+			return nil, fmt.Errorf("shard: frame W slab [%d,%d) outside [0,%d)", f.WLo, f.WHi, f.N)
+		}
+	} else if f.WLo != 0 || f.WHi != 0 {
+		return nil, fmt.Errorf("shard: frame kind %d carries a W slab [%d,%d)", f.Kind, f.WLo, f.WHi)
+	}
+
+	// With b ≤ 2^20 and n, m < 2^31 every product below stays well
+	// inside int64, so the exact-length check cannot overflow.
+	b64, n64, m64 := int64(f.B), int64(f.N), int64(f.M)
+	var want int64
+	switch f.Kind {
+	case KindNodeRequest:
+		want = (n64 + m64) * b64
+	case KindNodeResponse:
+		want = n64*b64 + 3*b64 + int64(f.WHi-f.WLo)*b64
+	case KindRelRequest:
+		want = n64 * b64
+	case KindRelResponse:
+		want = m64*b64 + 2*b64
+	}
+	if int64(len(body)-headerSize) != 8*want {
+		return nil, fmt.Errorf("shard: frame payload %d bytes, header implies %d", len(body)-headerSize, 8*want)
+	}
+
+	p := body[headerSize:]
+	take := func(floats int) []float64 {
+		out := frameFloats(p[:8*floats])
+		p = p[8*floats:]
+		return out
+	}
+	switch f.Kind {
+	case KindNodeRequest:
+		f.X = take(f.N * f.B)
+		f.Z = take(f.M * f.B)
+	case KindNodeResponse:
+		f.Part = take(f.N * f.B)
+		f.SumX = take(f.B)
+		f.SumZ = take(f.B)
+		f.Mass = take(f.B)
+		f.WX = take((f.WHi - f.WLo) * f.B)
+	case KindRelRequest:
+		f.X = take(f.N * f.B)
+	case KindRelResponse:
+		f.Part = take(f.M * f.B)
+		f.SumX = take(f.B)
+		f.Mass = take(f.B)
+	}
+	return f, nil
+}

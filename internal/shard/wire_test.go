@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+)
+
+func randFloats(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parent := sha256.Sum256([]byte("parent"))
+	const n, m, b = 13, 5, 4
+
+	x, z := randFloats(rng, n*b), randFloats(rng, m*b)
+	req := EncodeNodeRequest(nil, parent, 42, n, m, b, x, z)
+	f, err := DecodeFrame(req)
+	if err != nil {
+		t.Fatalf("DecodeFrame(node req): %v", err)
+	}
+	if f.Kind != KindNodeRequest || f.B != b || f.N != n || f.M != m || f.Arg != 42 || f.Parent != parent {
+		t.Fatalf("node req header %+v", f)
+	}
+	for i := range x {
+		if f.X[i] != x[i] {
+			t.Fatalf("x[%d] drifted", i)
+		}
+	}
+	for i := range z {
+		if f.Z[i] != z[i] {
+			t.Fatalf("z[%d] drifted", i)
+		}
+	}
+
+	wLo, wHi := 3, 9
+	part := randFloats(rng, n*b)
+	sumX, sumZ, mass := randFloats(rng, b), randFloats(rng, b), randFloats(rng, b)
+	wx := randFloats(rng, (wHi-wLo)*b)
+	resp := EncodeNodeResponse(nil, parent, 999, 1, 3, n, m, b, wLo, wHi, part, sumX, sumZ, mass, wx)
+	f, err = DecodeFrame(resp)
+	if err != nil {
+		t.Fatalf("DecodeFrame(node resp): %v", err)
+	}
+	if f.Kind != KindNodeResponse || f.Shard != 1 || f.Of != 3 || f.Arg != 999 || f.WLo != wLo || f.WHi != wHi {
+		t.Fatalf("node resp header %+v", f)
+	}
+	for i := range part {
+		if f.Part[i] != part[i] {
+			t.Fatalf("part[%d] drifted", i)
+		}
+	}
+	for i := 0; i < b; i++ {
+		if f.SumX[i] != sumX[i] || f.SumZ[i] != sumZ[i] || f.Mass[i] != mass[i] {
+			t.Fatalf("sums[%d] drifted", i)
+		}
+	}
+	for i := range wx {
+		if f.WX[i] != wx[i] {
+			t.Fatalf("wx[%d] drifted", i)
+		}
+	}
+
+	rreq := EncodeRelRequest(nil, parent, 7, n, m, b, x)
+	f, err = DecodeFrame(rreq)
+	if err != nil {
+		t.Fatalf("DecodeFrame(rel req): %v", err)
+	}
+	if f.Kind != KindRelRequest || len(f.X) != n*b || f.Z != nil {
+		t.Fatalf("rel req %+v", f)
+	}
+
+	rpart := randFloats(rng, m*b)
+	rresp := EncodeRelResponse(nil, parent, 11, 0, 2, n, m, b, rpart, sumX, mass)
+	f, err = DecodeFrame(rresp)
+	if err != nil {
+		t.Fatalf("DecodeFrame(rel resp): %v", err)
+	}
+	if f.Kind != KindRelResponse || len(f.Part) != m*b || f.SumZ != nil || len(f.WX) != 0 {
+		t.Fatalf("rel resp %+v", f)
+	}
+	for i := range rpart {
+		if f.Part[i] != rpart[i] {
+			t.Fatalf("rel part[%d] drifted", i)
+		}
+	}
+}
+
+// Encoders must reuse a caller buffer once it has steady-state capacity.
+func TestFrameEncodeReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	parent := sha256.Sum256([]byte("p"))
+	const n, m, b = 40, 9, 8
+	x, z := randFloats(rng, n*b), randFloats(rng, m*b)
+	buf := EncodeNodeRequest(nil, parent, 0, n, m, b, x, z)
+	first := &buf[0]
+	buf2 := EncodeNodeRequest(buf, parent, 1, n, m, b, x, z)
+	if &buf2[0] != first {
+		t.Fatalf("encode reallocated a sufficient buffer")
+	}
+	if !bytes.Equal(buf2[:8], frameMagic[:]) {
+		t.Fatalf("reused buffer lost the magic")
+	}
+}
+
+func TestDecodeFrameRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	parent := sha256.Sum256([]byte("p"))
+	const n, m, b = 6, 4, 2
+	good := EncodeNodeRequest(nil, parent, 0, n, m, b, randFloats(rng, n*b), randFloats(rng, m*b))
+	if _, err := DecodeFrame(good); err != nil {
+		t.Fatalf("good frame rejected: %v", err)
+	}
+	// Truncation at every prefix length must error, not panic.
+	for cut := 0; cut < len(good); cut += 7 {
+		if _, err := DecodeFrame(good[:cut]); err == nil {
+			t.Fatalf("truncation to %d accepted", cut)
+		}
+	}
+	// Any single-byte flip trips the checksum.
+	for _, off := range []int{0, 9, 13, 50, headerSize + 3, len(good) - 9, len(good) - 1} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x20
+		if _, err := DecodeFrame(bad); err == nil {
+			t.Fatalf("flip at %d accepted", off)
+		}
+	}
+	// A header lying about dimensions fails the exact-length check even
+	// with a recomputed checksum.
+	relabel := func(mutate func(body []byte)) []byte {
+		body := append([]byte(nil), good[:len(good)-trailerLen]...)
+		mutate(body)
+		return seal(body)
+	}
+	for name, mutate := range map[string]func([]byte){
+		"kind0":      func(body []byte) { body[8] = 0 },
+		"kind5":      func(body []byte) { body[8] = 5 },
+		"b0":         func(body []byte) { body[12] = 0 },
+		"nGrown":     func(body []byte) { body[16]++ },
+		"mZero":      func(body []byte) { body[20] = 0 },
+		"reqShardID": func(body []byte) { body[28] = 2 },
+		"reqWSlab":   func(body []byte) { body[44] = 1 },
+	} {
+		if _, err := DecodeFrame(relabel(mutate)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	// A response claiming shard >= of is rejected.
+	resp := EncodeRelResponse(nil, parent, 0, 1, 2, n, m, b,
+		randFloats(rng, m*b), randFloats(rng, b), randFloats(rng, b))
+	bad := append([]byte(nil), resp[:len(resp)-trailerLen]...)
+	bad[24] = 2 // shard == of
+	if _, err := DecodeFrame(seal(bad)); err == nil {
+		t.Fatalf("shard==of accepted")
+	}
+}
+
+// FuzzDecodeShardFrame drives the strict frame decoder with hostile
+// input: it must never panic and never accept a frame whose re-encoding
+// disagrees with the parse.
+func FuzzDecodeShardFrame(f *testing.F) {
+	rng := rand.New(rand.NewSource(5))
+	parent := sha256.Sum256([]byte("seed"))
+	const n, m, b = 5, 3, 2
+	x, z := randFloats(rng, n*b), randFloats(rng, m*b)
+	f.Add(EncodeNodeRequest(nil, parent, 3, n, m, b, x, z))
+	f.Add(EncodeNodeResponse(nil, parent, 10, 0, 2, n, m, b, 0, 3,
+		randFloats(rng, n*b), randFloats(rng, b), randFloats(rng, b), randFloats(rng, b), randFloats(rng, 3*b)))
+	f.Add(EncodeRelRequest(nil, parent, 1, n, m, b, x))
+	f.Add(EncodeRelResponse(nil, parent, 2, 1, 2, n, m, b,
+		randFloats(rng, m*b), randFloats(rng, b), randFloats(rng, b)))
+	f.Add([]byte("TMSHARD1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		// A frame that decodes must round-trip bitwise.
+		var re []byte
+		switch fr.Kind {
+		case KindNodeRequest:
+			re = EncodeNodeRequest(nil, fr.Parent, fr.Arg, fr.N, fr.M, fr.B, fr.X, fr.Z)
+		case KindNodeResponse:
+			re = EncodeNodeResponse(nil, fr.Parent, fr.Arg, fr.Shard, fr.Of, fr.N, fr.M, fr.B, fr.WLo, fr.WHi,
+				fr.Part, fr.SumX, fr.SumZ, fr.Mass, fr.WX)
+		case KindRelRequest:
+			re = EncodeRelRequest(nil, fr.Parent, fr.Arg, fr.N, fr.M, fr.B, fr.X)
+		case KindRelResponse:
+			re = EncodeRelResponse(nil, fr.Parent, fr.Arg, fr.Shard, fr.Of, fr.N, fr.M, fr.B,
+				fr.Part, fr.SumX, fr.Mass)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted frame does not round-trip (%d vs %d bytes)", len(re), len(data))
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package shard
+
+// The shard worker: one process holding one shard's sub-tensors and
+// answering per-iteration apply RPCs. A worker is a stateless pure
+// function from (shard, iterate slabs) to partial contraction sums —
+// it keeps no solve state between requests, so the coordinator can
+// retry, reassign or drop workers without any resynchronisation
+// protocol beyond resending the current slabs.
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"tmark/internal/artifact"
+	"tmark/internal/fault"
+	"tmark/internal/obs"
+)
+
+// Info is the worker handshake document served at /v1/shard/info: the
+// coordinator validates that its worker set covers every shard of one
+// parent model exactly once before the first iteration.
+type Info struct {
+	Parent string `json:"parent"` // parent model content hash (hex)
+	Shard  int    `json:"shard"`
+	Of     int    `json:"of"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	HasW   bool   `json:"hasW"`
+}
+
+// Worker serves one shard artifact's apply pass. Applies are
+// serialised by a mutex: the lockstep protocol sends one request per
+// worker per pass, so concurrency would only add scratch copies.
+type Worker struct {
+	art       *artifact.ShardArtifact
+	parentRaw [32]byte
+	noASM     bool
+
+	mu      sync.Mutex
+	part    []float64 // node partial, n·b
+	sumX    []float64
+	sumZ    []float64
+	mass    []float64
+	wx      []float64 // W·x row slab, (wHi−wLo)·b
+	rpart   []float64 // relation partial, m·b
+	respBuf []byte
+}
+
+var (
+	regWorkerApply    = obs.Default().Timer("shard_worker_apply")
+	regWorkerRequests = obs.Default().Counter("shard_worker_requests_total")
+	regWorkerRejected = obs.Default().Counter("shard_worker_rejected_total")
+)
+
+// NewWorker wraps a decoded shard artifact as a servable worker.
+// noASM selects the portable kernels, matching the coordinator-side
+// solver option so the bitwise contract holds under -tags noasm runs.
+func NewWorker(art *artifact.ShardArtifact, noASM bool) (*Worker, error) {
+	if art == nil {
+		return nil, fmt.Errorf("shard: worker needs an artifact")
+	}
+	raw, err := hex.DecodeString(art.Parent)
+	if err != nil || len(raw) != 32 {
+		return nil, fmt.Errorf("shard: artifact parent hash %q malformed", art.Parent)
+	}
+	w := &Worker{art: art, noASM: noASM}
+	copy(w.parentRaw[:], raw)
+	return w, nil
+}
+
+// Info returns the worker's handshake document.
+func (w *Worker) Info() Info {
+	return Info{
+		Parent: w.art.Parent,
+		Shard:  w.art.Shard,
+		Of:     w.art.Of,
+		N:      w.art.N,
+		M:      w.art.M,
+		HasW:   w.art.WCSR != nil || w.art.WDense != nil,
+	}
+}
+
+// Handler returns the worker's HTTP surface: the apply RPC, the
+// handshake document, and a liveness probe.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/shard/apply", w.handleApply)
+	mux.HandleFunc("/v1/shard/info", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(w.Info())
+	})
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+		io.WriteString(rw, "ok\n")
+	})
+	return mux
+}
+
+// maxApplyBlock bounds the block width one apply request may carry;
+// the solver blocks over classes or query columns, far below this.
+const maxApplyBlock = 1 << 12
+
+func (w *Worker) handleApply(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	regWorkerRequests.Inc()
+	if fault.Enabled() {
+		if err := fault.Check(fault.ShardWorkerApply); err != nil {
+			regWorkerRejected.Inc()
+			http.Error(rw, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	limit := int64(frameSize((w.art.N + w.art.M) * maxApplyBlock))
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, limit))
+	if err != nil {
+		regWorkerRejected.Inc()
+		http.Error(rw, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	f, err := DecodeFrame(body)
+	if err != nil {
+		regWorkerRejected.Inc()
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if f.Parent != w.parentRaw || f.N != w.art.N || f.M != w.art.M {
+		regWorkerRejected.Inc()
+		http.Error(rw, fmt.Sprintf("shard: request for model %x (%dx%d), worker holds %s (%dx%d)",
+			f.Parent[:6], f.N, f.M, w.art.Parent[:12], w.art.N, w.art.M), http.StatusConflict)
+		return
+	}
+	if f.B > maxApplyBlock {
+		regWorkerRejected.Inc()
+		http.Error(rw, fmt.Sprintf("shard: block width %d over the %d cap", f.B, maxApplyBlock), http.StatusBadRequest)
+		return
+	}
+
+	start := time.Now()
+	w.mu.Lock()
+	var resp []byte
+	switch f.Kind {
+	case KindNodeRequest:
+		resp = w.applyNode(f, start)
+	case KindRelRequest:
+		resp = w.applyRelation(f, start)
+	default:
+		w.mu.Unlock()
+		regWorkerRejected.Inc()
+		http.Error(rw, fmt.Sprintf("shard: frame kind %d is not a request", f.Kind), http.StatusBadRequest)
+		return
+	}
+	// Copy the frame out under the lock: respBuf is reused by the next
+	// apply, while rw.Write may block on a slow coordinator.
+	out := append([]byte(nil), resp...)
+	w.mu.Unlock()
+	regWorkerApply.Observe(time.Since(start))
+
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set("Content-Length", fmt.Sprint(len(out)))
+	rw.Write(out)
+}
+
+// applyNode runs the node-pass kernel over the worker's shard and the
+// feature matvec over its W row slab, returning the encoded response.
+// Caller holds w.mu.
+func (w *Worker) applyNode(f *Frame, start time.Time) []byte {
+	n, b := w.art.N, f.B
+	w.part = growF(w.part, n*b)
+	w.sumX = growF(w.sumX, b)
+	w.sumZ = growF(w.sumZ, b)
+	w.mass = growF(w.mass, b)
+	w.art.Node.ApplyPartial(f.X, f.Z, w.part[:n*b], b, w.sumX[:b], w.sumZ[:b], w.mass[:b], w.noASM)
+
+	wLo, wHi := 0, 0
+	var wx []float64
+	switch {
+	case w.art.WCSR != nil:
+		wLo, wHi = w.art.WLo, w.art.WHi
+		w.wx = growF(w.wx, (wHi-wLo)*b)
+		wx = w.wx[:(wHi-wLo)*b]
+		w.art.WCSR.MulVecBatch(f.X, wx, b)
+	case w.art.WDense != nil:
+		wLo, wHi = w.art.WLo, w.art.WHi
+		w.wx = growF(w.wx, (wHi-wLo)*b)
+		wx = w.wx[:(wHi-wLo)*b]
+		w.art.WDense.MulVecBatch(f.X, wx, b)
+	}
+	w.respBuf = EncodeNodeResponse(w.respBuf, w.parentRaw, uint64(time.Since(start)),
+		w.art.Shard, w.art.Of, n, w.art.M, b, wLo, wHi,
+		w.part[:n*b], w.sumX[:b], w.sumZ[:b], w.mass[:b], wx)
+	return w.respBuf
+}
+
+// applyRelation runs the relation-pass kernel over the worker's shard.
+// Caller holds w.mu.
+func (w *Worker) applyRelation(f *Frame, start time.Time) []byte {
+	m, b := w.art.M, f.B
+	w.rpart = growF(w.rpart, m*b)
+	w.sumX = growF(w.sumX, b)
+	w.mass = growF(w.mass, b)
+	w.art.Rel.ApplyPartial(f.X, w.rpart[:m*b], b, w.sumX[:b], w.mass[:b], w.noASM)
+	w.respBuf = EncodeRelResponse(w.respBuf, w.parentRaw, uint64(time.Since(start)),
+		w.art.Shard, w.art.Of, w.art.N, m, b,
+		w.rpart[:m*b], w.sumX[:b], w.mass[:b])
+	return w.respBuf
+}
+
+// growF returns buf with length ≥ n, reallocating only on growth.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}

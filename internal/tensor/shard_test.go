@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmark/internal/par"
+)
+
+// The cross-process sharding contract: slicing a tensor into M shards,
+// running each shard's ApplyPartial serially and folding the partials
+// with the Reduce helpers must be bitwise identical to
+// ApplyBatchParallel on an M-worker pool — for M = 1 (where the pool
+// path falls back to the serial ApplyBatch) through M = 4, on both
+// kernel implementations, including compacted column counts.
+func TestShardApplyReduceMatchesParallel(t *testing.T) {
+	runBothKernelPaths(t, testShardApplyReduceMatchesParallel)
+}
+
+func testShardApplyReduceMatchesParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	cases := []*Tensor{
+		randomTensor(rng, 80, 5, 1200),
+		randomTensor(rng, 11, 1, 40),
+		func() *Tensor { a := New(12, 3); a.Finalize(); return a }(), // all dangling
+	}
+	const maxCols = 8
+	for ci, a := range cases {
+		o := NewNodeTransition(a)
+		r := NewRelationTransition(a)
+		n, m := o.N(), o.M()
+		for _, of := range []int{1, 2, 3, 4} {
+			// Reference: the in-process parallel path at `of` workers.
+			p := par.New(of)
+			so := NewNodeBatchScratch(o, of, maxCols)
+			sr := NewRelationBatchScratch(r, of, maxCols)
+			for _, b := range []int{maxCols, 4, 3, 1} {
+				x := randomBlock(rng, n, b)
+				z := randomBlock(rng, m, b)
+				want := make([]float64, n*b)
+				wantZ := make([]float64, m*b)
+				o.ApplyBatchParallel(p, so, x, z, want, b)
+				r.ApplyBatchParallel(p, sr, x, wantZ, b)
+
+				parts := make([][]float64, of)
+				sumX := make([][]float64, of)
+				sumZ := make([][]float64, of)
+				mass := make([][]float64, of)
+				rParts := make([][]float64, of)
+				rSumI := make([][]float64, of)
+				rMass := make([][]float64, of)
+				for s := 0; s < of; s++ {
+					nsh := o.Shard(s, of)
+					if err := nsh.Validate(); err != nil {
+						t.Fatalf("case %d of=%d shard %d: node validate: %v", ci, of, s, err)
+					}
+					parts[s] = make([]float64, n*b)
+					sumX[s] = make([]float64, b)
+					sumZ[s] = make([]float64, b)
+					mass[s] = make([]float64, b)
+					nsh.ApplyPartial(x, z, parts[s], b, sumX[s], sumZ[s], mass[s], !useBatchASM)
+					rsh := r.Shard(s, of)
+					if err := rsh.Validate(); err != nil {
+						t.Fatalf("case %d of=%d shard %d: relation validate: %v", ci, of, s, err)
+					}
+					rParts[s] = make([]float64, m*b)
+					rSumI[s] = make([]float64, b)
+					rMass[s] = make([]float64, b)
+					rsh.ApplyPartial(x, rParts[s], b, rSumI[s], rMass[s], !useBatchASM)
+				}
+				got := make([]float64, n*b)
+				gotZ := make([]float64, m*b)
+				u := make([]float64, b)
+				ReduceNodePartials(got, u, n, b, parts, sumX, sumZ, mass)
+				ReduceRelationPartials(gotZ, u, m, b, rParts, rSumI, rMass)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("case %d of=%d b=%d: node cell %d = %v, want %v", ci, of, b, i, got[i], want[i])
+					}
+				}
+				for i := range wantZ {
+					if gotZ[i] != wantZ[i] {
+						t.Fatalf("case %d of=%d b=%d: relation cell %d = %v, want %v", ci, of, b, i, gotZ[i], wantZ[i])
+					}
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// Shard slices must cover the full entry stream and pair lists exactly
+// once, in order — the partition is a reslicing, never a copy or a gap.
+func TestShardCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	a := randomTensor(rng, 40, 3, 500)
+	o := NewNodeTransition(a)
+	r := NewRelationTransition(a)
+	for _, of := range []int{1, 2, 5} {
+		var entries, cols, rEntries, tubes int
+		for s := 0; s < of; s++ {
+			nsh := o.Shard(s, of)
+			entries += len(nsh.P)
+			cols += len(nsh.ColJ)
+			rsh := r.Shard(s, of)
+			rEntries += len(rsh.P)
+			tubes += len(rsh.TubeI)
+			if s > 0 {
+				prev := o.Shard(s-1, of)
+				if prev.XHi != nsh.XLo || prev.ZHi != nsh.ZLo {
+					t.Fatalf("of=%d shard %d: node ranges not contiguous", of, s)
+				}
+			}
+		}
+		if entries != o.NNZ() || rEntries != r.NNZ() {
+			t.Fatalf("of=%d: shards cover %d/%d entries, want %d/%d", of, entries, rEntries, o.NNZ(), r.NNZ())
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package tmark
+
+// Replica routing. A warm tmarkd fleet serves one immutable model from
+// every replica, so any replica can answer any query — but cache
+// affinity still matters: each replica warms models on demand, and a
+// client that sprays references across the fleet forces every replica
+// to warm every model. A ReplicaSet routes by consistent hash over the
+// model reference (pin models by content hash — name@sha256:… — and
+// the same replica keeps answering the same model until the fleet
+// changes), with health-aware failover: a replica that fails a call
+// transiently sits out a cooldown while the call proceeds around the
+// ring to the next distinct replica.
+//
+// The ring is the classic sorted-points construction: every replica
+// contributes ringVNodes virtual points (SHA-256 of "url#i"), a key
+// hashes onto the circle, and the owner is the first point clockwise.
+// Adding or removing one replica of R therefore remaps only ~1/R of
+// the key space — a rolling restart does not flush every replica's
+// warm cache, it shifts one replica's share.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// ErrNoReplicas reports a ReplicaSet call with every replica either
+// failed this call or sitting in its failure cooldown.
+var ErrNoReplicas = errors.New("tmark: no replica available")
+
+// ringVNodes is the virtual-point count per replica: enough that the
+// keyspace split stays within a few percent of even for small fleets,
+// small enough that ring construction stays microseconds.
+const ringVNodes = 64
+
+// DefaultReplicaCooldown is how long a replica sits out of primary
+// routing after a transiently failed call before it is probed again.
+const DefaultReplicaCooldown = 10 * time.Second
+
+// replica is one fleet member: its client plus its health word.
+type replica struct {
+	url    string
+	client *Client
+	// downUntil is the unix-nano deadline of the replica's failure
+	// cooldown; 0 (or any past instant) means healthy.
+	downUntil atomic.Int64
+}
+
+// ringPoint is one virtual node: a position on the hash circle owned
+// by a replica.
+type ringPoint struct {
+	hash uint64
+	idx  int // index into ReplicaSet.replicas
+}
+
+// ReplicaSet routes model-addressed calls across a fleet of tmarkd
+// replicas serving the same model store. Construct one with
+// NewReplicaSet; the zero value is not usable. All methods are safe
+// for concurrent use.
+type ReplicaSet struct {
+	// Cooldown is how long a replica that failed a call transiently is
+	// skipped before being retried. NewReplicaSet sets
+	// DefaultReplicaCooldown; 0 disables health tracking (every call
+	// considers every replica).
+	Cooldown time.Duration
+
+	replicas []*replica
+	points   []ringPoint
+	now      func() time.Time // test seam; time.Now outside tests
+}
+
+// NewReplicaSet builds a consistent-hash ring over the replica base
+// URLs. base, when non-nil, is the prototype client: each replica
+// inherits its HTTPClient and Retry (BaseURL is replaced per replica).
+// A nil base gives every replica NewClient defaults. Duplicate or
+// empty URLs are rejected — each replica must be a distinct failover
+// target.
+func NewReplicaSet(urls []string, base *Client) (*ReplicaSet, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("tmark: replica set needs at least one URL")
+	}
+	rs := &ReplicaSet{
+		Cooldown: DefaultReplicaCooldown,
+		replicas: make([]*replica, 0, len(urls)),
+		points:   make([]ringPoint, 0, len(urls)*ringVNodes),
+		now:      time.Now,
+	}
+	seen := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		if u == "" {
+			return nil, fmt.Errorf("tmark: empty replica URL")
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("tmark: duplicate replica URL %q", u)
+		}
+		seen[u] = true
+		c := &Client{BaseURL: u, Retry: DefaultRetry()}
+		if base != nil {
+			c.HTTPClient, c.Retry = base.HTTPClient, base.Retry
+		}
+		idx := len(rs.replicas)
+		rs.replicas = append(rs.replicas, &replica{url: u, client: c})
+		for v := 0; v < ringVNodes; v++ {
+			rs.points = append(rs.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", u, v)), idx: idx})
+		}
+	}
+	sort.Slice(rs.points, func(i, j int) bool { return rs.points[i].hash < rs.points[j].hash })
+	return rs, nil
+}
+
+// ringHash maps a string onto the hash circle. SHA-256 (truncated to
+// 64 bits) rather than a fast non-cryptographic hash: ring placement
+// must agree across processes and releases, and the crypto hash's
+// definition never drifts.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Replicas reports the fleet size.
+func (rs *ReplicaSet) Replicas() int { return len(rs.replicas) }
+
+// sequence returns the fleet in the key's failover order: the ring
+// walked clockwise from the key's position, each distinct replica
+// once. The first entry is the key's primary; the rest are the
+// fallbacks every client computes identically.
+func (rs *ReplicaSet) sequence(key string) []*replica {
+	h := ringHash(key)
+	start := sort.Search(len(rs.points), func(i int) bool { return rs.points[i].hash >= h })
+	seq := make([]*replica, 0, len(rs.replicas))
+	taken := make([]bool, len(rs.replicas))
+	for i := 0; i < len(rs.points) && len(seq) < len(rs.replicas); i++ {
+		p := rs.points[(start+i)%len(rs.points)]
+		if !taken[p.idx] {
+			taken[p.idx] = true
+			seq = append(seq, rs.replicas[p.idx])
+		}
+	}
+	return seq
+}
+
+// Pick returns the client of the key's current route: the first
+// replica in the key's failover order not sitting in a failure
+// cooldown, or the primary when the whole fleet is cooling down.
+// Callers that need automatic failover should prefer Do (or the
+// ClassifyModel/RankModel wrappers), which advance past a replica
+// that fails mid-call; Pick is the escape hatch for wiring a replica
+// client into code that manages its own calls.
+func (rs *ReplicaSet) Pick(model string) *Client {
+	seq := rs.sequence(model)
+	for _, r := range seq {
+		if rs.healthy(r) {
+			return r.client
+		}
+	}
+	return seq[0].client
+}
+
+// healthy reports whether a replica is outside its failure cooldown.
+func (rs *ReplicaSet) healthy(r *replica) bool {
+	if rs.Cooldown <= 0 {
+		return true
+	}
+	return rs.now().UnixNano() >= r.downUntil.Load()
+}
+
+// markDown starts a replica's failure cooldown.
+func (rs *ReplicaSet) markDown(r *replica) {
+	if rs.Cooldown > 0 {
+		r.downUntil.Store(rs.now().Add(rs.Cooldown).UnixNano())
+	}
+}
+
+// Do routes one call: walk the key's failover sequence, healthy
+// replicas first, invoking call on each until one succeeds. A
+// transient failure (the same test the per-client retry uses: 5xx
+// overload or a transport error) marks the replica down for Cooldown
+// and moves on; a non-transient failure — a 4xx, a cancelled context —
+// returns immediately, because every replica would answer it the same
+// way. When every replica is cooling down the sequence is tried anyway
+// (a fleet-wide cooldown must not turn into a client-side outage); a
+// success clears the replica's cooldown early.
+func (rs *ReplicaSet) Do(ctx context.Context, model string, call func(*Client) error) error {
+	seq := rs.sequence(model)
+	tried := make([]bool, len(seq))
+	var lastErr error
+	for pass := 0; pass < 2; pass++ {
+		for i, r := range seq {
+			// First pass: healthy replicas only. Second pass: whoever was
+			// already cooling down at the start, in the same ring order, as
+			// a last resort — never a replica this call just failed.
+			if tried[i] || (pass == 0 && !rs.healthy(r)) {
+				continue
+			}
+			tried[i] = true
+			if err := ctx.Err(); err != nil {
+				if lastErr != nil {
+					return lastErr
+				}
+				return err
+			}
+			err := call(r.client)
+			if err == nil {
+				r.downUntil.Store(0)
+				return nil
+			}
+			if !transient(err) {
+				return err
+			}
+			rs.markDown(r)
+			lastErr = err
+		}
+	}
+	if lastErr != nil {
+		return lastErr
+	}
+	return ErrNoReplicas
+}
+
+// ClassifyModel is Client.ClassifyModel routed through the ring: the
+// model reference picks the replica, and transient failures fail over
+// around the ring. Pin models by content hash (name@sha256:… or bare
+// sha256:…) for stable routing — a mutable name routes by its
+// spelling, not by what it currently resolves to.
+func (rs *ReplicaSet) ClassifyModel(ctx context.Context, model string, seeds []int, opts ...Option) (*ClassifyResponse, error) {
+	var out *ClassifyResponse
+	err := rs.Do(ctx, model, func(c *Client) error {
+		resp, err := c.ClassifyModel(ctx, model, seeds, opts...)
+		if err == nil {
+			out = resp
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RankModel is Client.RankModel routed through the ring, with the same
+// failover behaviour as ClassifyModel.
+func (rs *ReplicaSet) RankModel(ctx context.Context, model string, opts ...Option) (*RankResponse, error) {
+	var out *RankResponse
+	err := rs.Do(ctx, model, func(c *Client) error {
+		resp, err := c.RankModel(ctx, model, opts...)
+		if err == nil {
+			out = resp
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

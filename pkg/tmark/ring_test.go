@@ -1,0 +1,247 @@
+package tmark
+
+// White-box tests of the consistent-hash replica ring: keyspace
+// balance, remap locality when the fleet changes, and health-aware
+// failover with the clock under test control.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewReplicaSetValidation(t *testing.T) {
+	if _, err := NewReplicaSet(nil, nil); err == nil {
+		t.Fatalf("empty fleet accepted")
+	}
+	if _, err := NewReplicaSet([]string{"http://a", ""}, nil); err == nil {
+		t.Fatalf("empty URL accepted")
+	}
+	if _, err := NewReplicaSet([]string{"http://a", "http://a"}, nil); err == nil {
+		t.Fatalf("duplicate URL accepted")
+	}
+}
+
+// Every replica must own a sane share of the keyspace: with 64 virtual
+// points each, no replica of four should stray far from 25%.
+func TestRingDistribution(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	rs, err := NewReplicaSet(urls, nil)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		seq := rs.sequence(fmt.Sprintf("model@sha256:%08d", i))
+		counts[seq[0].url]++
+	}
+	for _, u := range urls {
+		share := float64(counts[u]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("replica %s owns %.1f%% of the keyspace, want a sane share of 25%%", u, 100*share)
+		}
+	}
+}
+
+// Routing must be a pure function of (fleet, key): two independently
+// built rings over the same URLs agree on every route, and the
+// failover order is deterministic too — that is what lets every client
+// in a fleet compute the same placement with no coordination.
+func TestRingDeterminism(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1", "http://c:1"}
+	rs1, _ := NewReplicaSet(urls, nil)
+	rs2, _ := NewReplicaSet([]string{urls[2], urls[0], urls[1]}, nil) // order must not matter
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("sha256:%04x", i)
+		s1, s2 := rs1.sequence(key), rs2.sequence(key)
+		for j := range s1 {
+			if s1[j].url != s2[j].url {
+				t.Fatalf("key %q: ring order disagrees at position %d: %s vs %s", key, j, s1[j].url, s2[j].url)
+			}
+		}
+	}
+}
+
+// Removing one replica of four must remap only the removed replica's
+// keys: every key that routed elsewhere keeps its route. This is the
+// consistent-hash property that makes rolling restarts cheap.
+func TestRingRemapLocality(t *testing.T) {
+	all := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	rsAll, _ := NewReplicaSet(all, nil)
+	rsLess, _ := NewReplicaSet(all[:3], nil)
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("model-%d@sha256:%08x", i%7, i)
+		before := rsAll.sequence(key)[0].url
+		after := rsLess.sequence(key)[0].url
+		if before == all[3] {
+			continue // its owner left; any new route is correct
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d/%d keys not owned by the removed replica changed routes, want 0", moved, keys)
+	}
+}
+
+// fakeReplica is one httptest-backed fleet member whose failure mode
+// the test flips at runtime.
+type fakeReplica struct {
+	srv  *httptest.Server
+	fail atomic.Bool
+	hits atomic.Int64
+}
+
+func newFakeReplica(t *testing.T) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{}
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		if f.fail.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"converged":true}`)
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// ringFixture builds a two-replica fleet with no per-client retry (the
+// ring's failover is the subject under test) and a fake clock.
+func ringFixture(t *testing.T) (*ReplicaSet, map[string]*fakeReplica, *time.Time) {
+	t.Helper()
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	byURL := map[string]*fakeReplica{a.srv.URL: a, b.srv.URL: b}
+	rs, err := NewReplicaSet([]string{a.srv.URL, b.srv.URL}, &Client{})
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	now := time.Unix(1700000000, 0)
+	rs.now = func() time.Time { return now }
+	return rs, byURL, &now
+}
+
+func TestReplicaFailover(t *testing.T) {
+	rs, byURL, now := ringFixture(t)
+	const model = "dblp@sha256:0011223344556677"
+	seq := rs.sequence(model)
+	primary, backup := byURL[seq[0].url], byURL[seq[1].url]
+
+	// Healthy fleet: the primary answers, the backup is never touched.
+	if _, err := rs.ClassifyModel(context.Background(), model, []int{0}); err != nil {
+		t.Fatalf("ClassifyModel: %v", err)
+	}
+	if primary.hits.Load() != 1 || backup.hits.Load() != 0 {
+		t.Fatalf("healthy routing hit primary %d / backup %d times, want 1/0", primary.hits.Load(), backup.hits.Load())
+	}
+
+	// Primary down: the call fails over to the backup and still succeeds.
+	primary.fail.Store(true)
+	resp, err := rs.ClassifyModel(context.Background(), model, []int{0})
+	if err != nil {
+		t.Fatalf("ClassifyModel with primary down: %v", err)
+	}
+	if !resp.Converged {
+		t.Fatalf("failover response not decoded")
+	}
+	if primary.hits.Load() != 2 || backup.hits.Load() != 1 {
+		t.Fatalf("failover hit primary %d / backup %d times, want 2/1", primary.hits.Load(), backup.hits.Load())
+	}
+
+	// The failed primary is cooling down: the next call skips it.
+	if _, err := rs.ClassifyModel(context.Background(), model, []int{0}); err != nil {
+		t.Fatalf("ClassifyModel during cooldown: %v", err)
+	}
+	if primary.hits.Load() != 2 || backup.hits.Load() != 2 {
+		t.Fatalf("cooldown routing hit primary %d / backup %d times, want 2/2", primary.hits.Load(), backup.hits.Load())
+	}
+	if rs.Pick(model).BaseURL != seq[1].url {
+		t.Fatalf("Pick during cooldown returned the downed primary")
+	}
+
+	// After the cooldown the recovered primary is probed and, on
+	// success, owns the key again.
+	primary.fail.Store(false)
+	*now = now.Add(rs.Cooldown + time.Second)
+	if _, err := rs.ClassifyModel(context.Background(), model, []int{0}); err != nil {
+		t.Fatalf("ClassifyModel after cooldown: %v", err)
+	}
+	if primary.hits.Load() != 3 || backup.hits.Load() != 2 {
+		t.Fatalf("recovery routing hit primary %d / backup %d times, want 3/2", primary.hits.Load(), backup.hits.Load())
+	}
+}
+
+// A fleet-wide outage surfaces the last transient error — and the
+// second-chance pass means a fully cooled-down fleet is still tried
+// rather than failed client-side.
+func TestReplicaFleetDown(t *testing.T) {
+	rs, byURL, _ := ringFixture(t)
+	for _, f := range byURL {
+		f.fail.Store(true)
+	}
+	_, err := rs.ClassifyModel(context.Background(), "sha256:aa", []int{0})
+	var se *ServiceError
+	if !errors.As(err, &se) || !se.Overloaded() {
+		t.Fatalf("fleet-down error = %v, want the replicas' 503", err)
+	}
+	for url, f := range byURL {
+		if f.hits.Load() != 1 {
+			t.Fatalf("replica %s saw %d calls, want 1", url, f.hits.Load())
+		}
+	}
+	// Every replica is now cooling down; the second-chance pass still
+	// reaches one once it recovers.
+	for _, f := range byURL {
+		f.fail.Store(false)
+	}
+	if _, err := rs.ClassifyModel(context.Background(), "sha256:aa", []int{0}); err != nil {
+		t.Fatalf("cooled-down fleet not retried: %v", err)
+	}
+}
+
+// Non-transient failures must not fail over: every replica would
+// answer a 404 identically, so the first answer stands.
+func TestReplicaNonTransientNoFailover(t *testing.T) {
+	notFound := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"no such model"}`, http.StatusNotFound)
+	}))
+	t.Cleanup(notFound.Close)
+	other := newFakeReplica(t)
+	rs, err := NewReplicaSet([]string{notFound.URL, other.srv.URL}, &Client{})
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	// Force the 404 server primary for this key by walking keys until
+	// it owns one.
+	key := ""
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("sha256:%04d", i)
+		if rs.sequence(k)[0].url == notFound.URL {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatalf("no key routed to the 404 replica")
+	}
+	_, err = rs.ClassifyModel(context.Background(), key, []int{0})
+	var se *ServiceError
+	if !errors.As(err, &se) || se.StatusCode != http.StatusNotFound {
+		t.Fatalf("err = %v, want the primary's 404", err)
+	}
+	if other.hits.Load() != 0 {
+		t.Fatalf("404 failed over to the backup (%d hits)", other.hits.Load())
+	}
+}
