@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short-test race serve-race chaos vet bench bench-stats bench-json bench-accel bench-coldstart accel-equivalence artifact-roundtrip shard-smoke fuzz experiments figures examples clean
+.PHONY: all build test short-test race serve-race chaos vet bench bench-stats bench-json bench-accel bench-coldstart bench-stream accel-equivalence artifact-roundtrip stream-equivalence shard-smoke fuzz experiments figures examples clean
 
 all: build vet test race
 
@@ -83,6 +83,16 @@ bench-coldstart:
 	@rm -f /tmp/bench_coldstart.txt
 	@echo wrote BENCH_7.json
 
+# The streaming-ingest sweep (BENCH_9.json): one op is a whole delta
+# batch — compose, touched-region renormalisation, re-encode + hash,
+# warm re-solve — per batch size. warm_iters/op vs cold_iters is the
+# warm-restart saving the equivalence suite asserts.
+bench-stream:
+	$(GO) test -run xxx -bench BenchmarkStreamIngest -benchmem ./internal/stream/ > /tmp/bench_stream.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_stream.txt > BENCH_9.json
+	@rm -f /tmp/bench_stream.txt
+	@echo wrote BENCH_9.json
+
 # The artifact format's focused suite: round-trip bitwise equivalence,
 # registry resolution, damage rejection, and the decoder fuzz seeds.
 # The CI artifact job runs this.
@@ -98,6 +108,21 @@ accel-equivalence:
 	$(GO) test -count=1 -run 'TestAccelGolden|TestFastGolden' -v ./internal/experiments/
 	$(GO) test -count=1 -run 'TestAcceleration|TestSolveColumnQualityTiers|TestSolveColumnsMixedQuality|TestRunApproximate|TestQualityPrecedence' ./internal/tmark/
 
+# The streaming-ingest equivalence suite: incremental tensor updates
+# bitwise identical to a from-scratch rebuild (engine property tests +
+# touched-column/tube renormalisation), warm re-solves landing on the
+# cold solve's exact predictions on the golden networks in ≥3× fewer
+# iterations, the serve-layer ingest/diff endpoints, the version-pinning
+# guarantee for readers racing an ingest, and the `tmark diff` golden.
+# The focused CI job runs this.
+stream-equivalence:
+	$(GO) test -count=1 ./internal/stream/
+	$(GO) test -count=1 -run 'TestIncremental|TestMerge|TestRenormalize' ./internal/tensor/
+	$(GO) test -count=1 -run 'TestRunWarm|TestColumnWarmStart' ./internal/tmark/
+	$(GO) test -count=1 -run 'TestIngest|TestDiff' ./internal/serve/
+	$(GO) test -count=1 -run 'TestDiffGolden|TestLoadDeltas' ./cmd/tmark/
+	$(GO) test -count=1 -run 'TestClientIngest' ./pkg/tmark/
+
 # The serving integration suite (coalescer, cache, drain) under the race
 # detector — the separate CI job; make race covers it too, this target
 # is the focused loop.
@@ -109,7 +134,7 @@ serve-race:
 # demotion retry), serving chaos (build/solve panics, overload shedding,
 # eviction racing a borrowed solve) and the tmarkd SIGTERM drain test.
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos|TestKill|TestEviction|TestServeRank|TestRunSIGTERM|TestGuard|TestCheckpoint|TestResume|TestInterrupted|TestSequentialStep|TestNoASMDemotion|TestKernelFaultPoint|TestWorkerRejects' ./internal/tmark/ ./internal/serve/ ./internal/tensor/ ./internal/shard/ ./cmd/tmarkd/
+	$(GO) test -race -count=1 -run 'TestChaos|TestKill|TestEviction|TestServeRank|TestRunSIGTERM|TestGuard|TestCheckpoint|TestResume|TestInterrupted|TestSequentialStep|TestNoASMDemotion|TestKernelFaultPoint|TestWorkerRejects|TestIngestQuarantine|TestIngestPins' ./internal/tmark/ ./internal/serve/ ./internal/tensor/ ./internal/shard/ ./internal/stream/ ./cmd/tmarkd/
 
 # The horizontal-scale-out smoke: real worker OS processes (the test
 # re-execs its own binary per shard), a coordinator solving a builtin
@@ -124,6 +149,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadEdgeCSV -fuzztime 30s ./internal/hin/
 	$(GO) test -fuzz FuzzReadCOO -fuzztime 30s ./internal/dataset/
 	$(GO) test -fuzz FuzzDecodeClassifyRequest -fuzztime 30s ./internal/serve/
+	$(GO) test -fuzz FuzzDecodeIngestRequest -fuzztime 30s ./internal/serve/
 	$(GO) test -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/tmark/
 	$(GO) test -fuzz FuzzDecodeArtifact -fuzztime 30s ./internal/artifact/
 	$(GO) test -fuzz FuzzDecodeShardFrame -fuzztime 30s ./internal/shard/

@@ -79,9 +79,18 @@ func main() {
 	log.SetPrefix("tmark: ")
 	// Subcommands dispatch before the classic flag surface so
 	// `tmark -in …` keeps working unchanged.
-	if len(os.Args) > 1 && os.Args[1] == "build" {
-		runBuild(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "build":
+			runBuild(os.Args[2:])
+			return
+		case "ingest":
+			runIngest(os.Args[2:])
+			return
+		case "diff":
+			runDiff(os.Args[2:])
+			return
+		}
 	}
 	var (
 		in          = flag.String("in", "", "input network (required)")

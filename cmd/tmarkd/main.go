@@ -46,7 +46,11 @@
 // Endpoints: POST /v1/classify (seed labels in, per-node scores and
 // link rankings out), GET /v1/rank?model=&top= (full-solve link-type
 // ranking), GET /v1/models (every resolvable model and its content
-// hash); /classify and /rank remain as frozen legacy aliases. Infra:
+// hash), POST /v1/ingest (batched edge deltas applied incrementally;
+// each batch warm re-solves and seals a new model version, with the
+// old versions still servable by pinned hash), GET /v1/diff?a=&b=
+// (classification flips and link-type rank shifts between two sealed
+// versions); /classify and /rank remain as frozen legacy aliases. Infra:
 // /healthz (liveness), /readyz (503 while draining), and the
 // observability set /metrics, /vars and /debug/pprof/.
 //

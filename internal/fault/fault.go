@@ -84,6 +84,24 @@ const (
 	// partition between coordinator and worker without needing a real
 	// broken socket.
 	ShardCoordRPC Point = "shard/coord-rpc"
+	// StreamApply is checked (Check) before a delta batch is composed
+	// and fires (Fire) after the new substrate is assembled but before
+	// anything is sealed or published; args are (seq int, changes int).
+	// A registered error rejects the batch; a panicking hook simulates
+	// an ingest crashing mid-apply — the engine must quarantine without
+	// publishing any partial state.
+	StreamApply Point = "stream/apply"
+	// StreamSeal fires between the registry Put of a new version's blob
+	// and the Tag that moves the floating name to it; args are
+	// (hash string). A panicking hook simulates a crash in the seal
+	// window: the blob may exist untagged, but the name must still
+	// resolve to the previous version.
+	StreamSeal Point = "stream/seal"
+	// StreamWarm is checked (Check) before a warm re-solve seeded from
+	// the previous stationary distributions; a registered error forces
+	// the cold path, and a panicking hook simulates a crashing warm
+	// restart after the version was sealed.
+	StreamWarm Point = "stream/warm"
 )
 
 // registry holds the active hooks. active mirrors the total hook count

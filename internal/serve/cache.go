@@ -273,6 +273,37 @@ func (c *modelCache) quarantine(e *warmModel) {
 	}()
 }
 
+// invalidateName drops every entry that would rebuild name from its
+// mutable source (key.hash == ""): after an ingest moves the live
+// version, such entries serve pre-ingest state under a post-ingest
+// name. Hash-keyed entries stay — they are pinned immutable versions,
+// exactly what a mid-ingest reader is entitled to keep. Dropped
+// coalescers retire asynchronously after answering their queues, like
+// an eviction.
+func (c *modelCache) invalidateName(name string) {
+	c.mu.Lock()
+	var dropped []*warmModel
+	for k, e := range c.entries {
+		if k.name == name && k.hash == "" {
+			delete(c.entries, k)
+			c.order.Remove(e.elem)
+			dropped = append(dropped, e)
+		}
+	}
+	c.mu.Unlock()
+	for _, e := range dropped {
+		if c.met != nil {
+			c.met.cacheEvictions.Inc()
+		}
+		go func(e *warmModel) {
+			<-e.ready
+			if e.coal != nil {
+				e.coal.stop(false)
+			}
+		}(e)
+	}
+}
+
 // checkpointOptions wires one warm model's /rank solve to its
 // per-key checkpoint file: periodic snapshots while it runs (the drain
 // path flushes a final one), resumed on the next process start when a

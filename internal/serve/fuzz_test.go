@@ -1,14 +1,17 @@
 package serve
 
-// Fuzzing for the /classify request decoder: whatever the body bytes,
-// DecodeClassifyRequest must either return a validated request or an
-// error — never panic, and never accept a request that fails its own
-// Validate. Additional seed inputs live in
-// testdata/fuzz/FuzzDecodeClassifyRequest.
+// Fuzzing for the untrusted request decoders: whatever the body bytes,
+// DecodeClassifyRequest and DecodeIngestRequest must either return a
+// validated request or an error — never panic, and never accept a
+// request that fails its own Validate. Additional seed inputs live in
+// testdata/fuzz/FuzzDecodeClassifyRequest and
+// testdata/fuzz/FuzzDecodeIngestRequest.
 
 import (
 	"bytes"
 	"testing"
+
+	"tmark/internal/stream"
 )
 
 func FuzzDecodeClassifyRequest(f *testing.F) {
@@ -61,6 +64,57 @@ func FuzzDecodeClassifyRequest(f *testing.F) {
 		for _, s := range req.Seeds {
 			if s < 0 {
 				t.Fatalf("decoded request kept negative seed %d", s)
+			}
+		}
+	})
+}
+
+func FuzzDecodeIngestRequest(f *testing.F) {
+	seeds := []string{
+		`{"model":"dblp","deltas":[{"op":"add","from":0,"to":1,"relation":0,"weight":1}]}`,
+		`{"deltas":[{"op":"update","from":3,"to":4,"relation":1,"weight":0.5}]}`,
+		`{"deltas":[{"op":"remove","from":3,"to":4,"relation":1}]}`,
+		`{"deltas":[{"op":"remove","from":3,"to":4,"relation":1,"weight":1}]}`,
+		`{"deltas":[{"op":"add","from":0,"to":1,"relation":0,"weight":-1}]}`,
+		`{"deltas":[{"op":"add","from":0,"to":1,"relation":0,"weight":1e999}]}`,
+		`{"deltas":[{"op":"set","from":0,"to":1,"relation":0,"weight":1}]}`,
+		`{"deltas":[{"op":"add","from":-9007199254740993,"to":1,"relation":0,"weight":1}]}`,
+		`{"deltas":[]}`,
+		`{"deltas":null}`,
+		`{"model":42,"deltas":[{"op":"add","from":0,"to":1,"relation":0,"weight":1}]}`,
+		`{"deltas":[{"op":"add","from":0,"to":1,"relation":0,"weight":1}],"unknown":true}`,
+		`{"deltas":[{"op":"add","from":0,"to":1,"relation":0,"weight":1}]} extra`,
+		`{"deltas":[{"op":"add","from":0,"to":1,"relation":0,"weight":1},{"op":"add"}]}`,
+		`{`,
+		``,
+		`null`,
+		`[{"op":"add"}]`,
+		"{\"model\":\"\\u0000\xff\",\"deltas\":[{\"op\":\"add\",\"from\":0,\"to\":1,\"relation\":0,\"weight\":1}]}",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeIngestRequest(bytes.NewReader(data))
+		if err != nil {
+			if req != nil {
+				t.Fatalf("error %v returned alongside a request", err)
+			}
+			return
+		}
+		if req == nil {
+			t.Fatalf("nil request without error")
+		}
+		// Anything the decoder accepts must satisfy its own invariants.
+		if err := req.Validate(); err != nil {
+			t.Fatalf("decoded request fails validation: %v", err)
+		}
+		if len(req.Deltas) == 0 || len(req.Deltas) > stream.MaxDeltas {
+			t.Fatalf("decoded request kept %d deltas", len(req.Deltas))
+		}
+		for _, d := range req.Deltas {
+			if err := d.Validate(); err != nil {
+				t.Fatalf("decoded request kept invalid delta: %v", err)
 			}
 		}
 	})

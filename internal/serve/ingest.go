@@ -1,0 +1,282 @@
+package serve
+
+// Streaming ingest. POST /v1/ingest applies one batched edge-delta
+// mutation to a live model through its stream.Engine: the touched O
+// columns / R tubes renormalise incrementally, the new version seals
+// into the artifact registry under a fresh content hash (the floating
+// name re-tags atomically, so the next /classify resolves the new
+// version while in-flight requests keep their pinned pre-ingest model),
+// and the stationary solve warm-restarts from the previous (x̄, z̄).
+// GET /v1/diff compares the full solves of two sealed versions: per-node
+// classification flips and per-class link-type ranking shifts.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"tmark/internal/artifact"
+	"tmark/internal/stream"
+	"tmark/internal/tmark"
+)
+
+// IngestRequest is the wire form of one /v1/ingest batch: a model name
+// (empty selects the server's default) plus the delta list. The model
+// must be dataset-backed — an artifact-only name has no source graph to
+// mutate.
+type IngestRequest struct {
+	Model  string         `json:"model,omitempty"`
+	Deltas []stream.Delta `json:"deltas"`
+}
+
+// DecodeIngestRequest parses and validates one /v1/ingest body. It is
+// strict — unknown fields, trailing data and statically invalid deltas
+// all error — and it never panics, whatever the input: it is fuzzed.
+func DecodeIngestRequest(r io.Reader) (*IngestRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req IngestRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("serve: decode ingest request: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, errors.New("serve: trailing data after ingest request object")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate checks the request's graph-independent invariants; index
+// ranges and edge existence are checked against the live adjacency at
+// apply time.
+func (r *IngestRequest) Validate() error {
+	return stream.ValidateDeltas(r.Deltas)
+}
+
+// IngestResponse is the wire form of one /v1/ingest answer — the sealed
+// version the batch minted. Hashes carry the sha256: prefix like every
+// other model identity on the wire; pin new_hash in later /classify or
+// /v1/diff calls to address exactly this version.
+type IngestResponse struct {
+	Model   string `json:"model"`
+	Seq     int    `json:"seq"`
+	OldHash string `json:"old_hash"`
+	NewHash string `json:"new_hash"`
+	Deltas  int    `json:"deltas"`
+	Changes int    `json:"changes"`
+	// TouchedColumns/TouchedTubes count the O columns and R tubes the
+	// batch renormalised; everything else kept its previous bytes.
+	TouchedColumns int `json:"touched_columns"`
+	TouchedTubes   int `json:"touched_tubes"`
+	// Sealed reports whether the version was written to the registry
+	// (false when the server runs without -model-dir).
+	Sealed bool `json:"sealed"`
+	// Warm reports whether the re-solve was seeded from the previous
+	// stationary state.
+	Warm       bool `json:"warm"`
+	Iterations int  `json:"iterations"`
+	Converged  bool `json:"converged"`
+}
+
+// DiffResponse is the wire form of a /v1/diff answer: the diff plus the
+// exact content identities that were compared.
+type DiffResponse struct {
+	AHash string `json:"a_hash,omitempty"`
+	BHash string `json:"b_hash,omitempty"`
+	*stream.Diff
+}
+
+// engine returns the live ingest engine for name, nil when no ingest
+// has targeted it yet.
+func (s *Server) engine(name string) *stream.Engine {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	return s.streams[name]
+}
+
+// engineFor returns name's ingest engine, creating it on first use. An
+// engine needs the loaded source graph (artifact blobs are immutable
+// snapshots), so only dataset-backed names can ingest.
+func (s *Server) engineFor(name string) (*stream.Engine, error) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if e, ok := s.streams[name]; ok {
+		return e, nil
+	}
+	g, ok := s.opts.Datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: model %q has no loaded graph to ingest into", name)
+	}
+	eng, err := stream.NewEngine(name, g, s.opts.Config, s.registry)
+	if err != nil {
+		return nil, err
+	}
+	if s.streams == nil {
+		s.streams = map[string]*stream.Engine{}
+	}
+	s.streams[name] = eng
+	return eng, nil
+}
+
+// buildFromEngine serves a cache build for a name with a live ingest
+// engine from the engine's current sealed version instead of the loaded
+// graph: the graph is frozen at startup, so once deltas have applied, a
+// rebuild from it would silently serve pre-ingest data under a
+// post-ingest name. Per-request hyperparameter overrides assemble a new
+// model over the same immutable substrate (O, R and W depend only on
+// the adjacency and features, not the runtime knobs).
+func (s *Server) buildFromEngine(eng *stream.Engine, key modelKey) (buildResult, error) {
+	v := eng.Current()
+	if key.cfg == eng.Config() {
+		return buildResult{model: v.Model, hash: v.Hash}, nil
+	}
+	g, sub := v.Model.Graph(), v.Model.Substrate()
+	m, err := tmark.Assemble(g, key.cfg, sub)
+	if err != nil {
+		return buildResult{}, err
+	}
+	data, err := artifact.EncodeModel(g, key.cfg, sub)
+	if err != nil {
+		return buildResult{}, err
+	}
+	return buildResult{model: m, hash: artifact.Hash(data)}, nil
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.met.requests.Inc()
+	if s.draining.Load() {
+		s.met.rejected.Inc()
+		s.unavailable(w, "draining")
+		return
+	}
+	req, err := DecodeIngestRequest(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		s.met.errors.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	name := req.Model
+	if name == "" {
+		name = s.opts.Default
+	}
+	if _, ok := s.opts.Datasets[name]; !ok {
+		s.met.errors.Inc()
+		writeError(w, http.StatusNotFound, fmt.Sprintf("model %q has no loaded graph to ingest into", name))
+		return
+	}
+	eng, err := s.engineFor(name)
+	if err != nil {
+		s.met.errors.Inc()
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	res, err := eng.Apply(r.Context(), req.Deltas)
+	switch {
+	case errors.Is(err, stream.ErrQuarantined):
+		// A mid-ingest fault poisoned the engine: the last sealed version
+		// keeps serving reads, but mutations are refused until the process
+		// restarts and replays from the sealed history. Shed as a 503 so
+		// well-behaved clients back off on the Retry-After hint.
+		s.met.quarantines.Inc()
+		s.met.rejected.Inc()
+		s.unavailable(w, err.Error())
+		return
+	case err != nil:
+		s.met.errors.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Cached warm models built from the pre-ingest engine state are now
+	// stale; drop them so the next resolve rebuilds against the new
+	// version. Entries keyed by content hash stay — they ARE pinned
+	// versions, exactly what mid-ingest readers hold.
+	s.cache.invalidateName(name)
+	writeJSON(w, http.StatusOK, &IngestResponse{
+		Model:          res.Name,
+		Seq:            res.Seq,
+		OldHash:        "sha256:" + res.OldHash,
+		NewHash:        "sha256:" + res.NewHash,
+		Deltas:         res.Deltas,
+		Changes:        res.Changes,
+		TouchedColumns: res.TouchedColumns,
+		TouchedTubes:   res.TouchedTubes,
+		Sealed:         res.Sealed,
+		Warm:           res.Warm,
+		Iterations:     res.Iterations,
+		Converged:      res.Converged,
+	})
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.met.requests.Inc()
+	if s.draining.Load() {
+		s.met.rejected.Inc()
+		s.unavailable(w, "draining")
+		return
+	}
+	q := r.URL.Query()
+	refA, refB := q.Get("a"), q.Get("b")
+	if refA == "" || refB == "" {
+		s.met.errors.Inc()
+		writeError(w, http.StatusBadRequest, "a and b model references required")
+		return
+	}
+	top := 0
+	if v := q.Get("top"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &top); err != nil || top < 0 {
+			s.met.errors.Inc()
+			writeError(w, http.StatusBadRequest, "top must be a non-negative integer")
+			return
+		}
+	}
+	_, ea, status, err := s.resolve(refA, nil)
+	if err == nil {
+		var eb *warmModel
+		if _, eb, status, err = s.resolve(refB, nil); err == nil {
+			s.serveDiff(w, refA, refB, top, ea, eb)
+			return
+		}
+	}
+	s.met.errors.Inc()
+	if status == http.StatusServiceUnavailable {
+		s.unavailable(w, err.Error())
+		return
+	}
+	writeError(w, status, err.Error())
+}
+
+// serveDiff runs (or reuses) the two versions' cached full solves and
+// writes the diff.
+func (s *Server) serveDiff(w http.ResponseWriter, refA, refB string, top int, ea, eb *warmModel) {
+	d, err := stream.DiffResults(refA, refB, ea.model.Graph(), ea.fullResult(), eb.fullResult())
+	if err != nil {
+		s.met.errors.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if top > 0 {
+		if len(d.Flips) > top {
+			d.Flips = d.Flips[:top]
+		}
+		if len(d.Shifts) > top {
+			d.Shifts = d.Shifts[:top]
+		}
+	}
+	writeJSON(w, http.StatusOK, &DiffResponse{
+		AHash: ea.contentHash(),
+		BHash: eb.contentHash(),
+		Diff:  d,
+	})
+}

@@ -53,6 +53,17 @@ func (s *Server) buildModel(key modelKey) (buildResult, error) {
 	if key.hash == "" {
 		s.met.artifactMisses.Inc()
 	}
+	if eng := s.engine(key.name); eng != nil {
+		// The loaded graph froze at startup; once a live ingest engine
+		// exists for the name, deltas may have moved the model past it,
+		// and a raw rebuild would silently serve pre-ingest data. The
+		// engine's current sealed version is the truth.
+		br, err := s.buildFromEngine(eng, key)
+		if err == nil || actErr == nil {
+			return br, err
+		}
+		return br, fmt.Errorf("%w (after artifact fallback: %v)", err, actErr)
+	}
 	m, err := tmark.New(g, key.cfg)
 	if err != nil {
 		if actErr != nil {

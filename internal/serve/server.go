@@ -17,6 +17,7 @@ import (
 	"tmark/internal/hin"
 	"tmark/internal/obs"
 	"tmark/internal/shard"
+	"tmark/internal/stream"
 	"tmark/internal/tmark"
 )
 
@@ -117,6 +118,13 @@ type Server struct {
 	// Options.ShardWorkers); models matching its parent hash solve
 	// through it.
 	coord *shard.Coordinator
+
+	// streams holds the live ingest engines, one per dataset-backed name
+	// that has received a /v1/ingest batch. Created lazily; a quarantined
+	// engine stays in the map (sticky — only a restart replays the sealed
+	// history) so later ingests keep reporting the fault.
+	streamMu sync.Mutex
+	streams  map[string]*stream.Engine
 
 	draining  atomic.Bool
 	drainOnce sync.Once
@@ -301,6 +309,8 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("/v1/classify", s.handleClassify)
 	mux.HandleFunc("/v1/rank", s.handleRank)
 	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/diff", s.handleDiff)
 	mux.HandleFunc("/classify", s.handleClassify)
 	mux.HandleFunc("/rank", s.handleRank)
 	mux.HandleFunc("/healthz", s.handleHealthz)

@@ -1,0 +1,137 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tmark/internal/hin"
+	"tmark/internal/tmark"
+)
+
+// Flip is one node whose predicted class differs between two model
+// versions.
+type Flip struct {
+	Node     int    `json:"node"`
+	Name     string `json:"name,omitempty"`
+	From     int    `json:"from"`
+	To       int    `json:"to"`
+	FromName string `json:"from_class"`
+	ToName   string `json:"to_class"`
+	// Labeled marks seed nodes; a labelled node flipping is usually a
+	// sign the mutation cut it off from its class's mass.
+	Labeled bool `json:"labeled,omitempty"`
+}
+
+// RankShift is one relation whose position in a class's link-type
+// ranking (the stationary z̄, eq. 8) moved between two versions.
+type RankShift struct {
+	Class        int     `json:"class"`
+	ClassName    string  `json:"class_name"`
+	Relation     int     `json:"relation"`
+	RelationName string  `json:"relation_name"`
+	FromRank     int     `json:"from_rank"`
+	ToRank       int     `json:"to_rank"`
+	FromScore    float64 `json:"from_score"`
+	ToScore      float64 `json:"to_score"`
+}
+
+// Diff reports the classification and ranking consequences of moving
+// from model version A to version B.
+type Diff struct {
+	A      string      `json:"a"`
+	B      string      `json:"b"`
+	Nodes  int         `json:"nodes"`
+	Flips  []Flip      `json:"flips,omitempty"`
+	Shifts []RankShift `json:"rank_shifts,omitempty"`
+}
+
+// DiffResults compares two solved results over the same node/class/
+// relation universe. The graph supplies names and label flags only; it
+// may be either version's graph, since deltas never change metadata.
+func DiffResults(aID, bID string, g *hin.Graph, ra, rb *tmark.Result) (*Diff, error) {
+	pa, pb := ra.Predict(), rb.Predict()
+	if len(pa) != len(pb) || len(pa) != g.N() {
+		return nil, fmt.Errorf("stream: diff dimension mismatch: %d vs %d nodes (graph %d)", len(pa), len(pb), g.N())
+	}
+	d := &Diff{A: aID, B: bID, Nodes: len(pa)}
+	for i := range pa {
+		if pa[i] == pb[i] {
+			continue
+		}
+		d.Flips = append(d.Flips, Flip{
+			Node:     i,
+			Name:     g.Nodes[i].Name,
+			From:     pa[i],
+			To:       pb[i],
+			FromName: g.Classes[pa[i]],
+			ToName:   g.Classes[pb[i]],
+			Labeled:  len(g.Nodes[i].Labels) > 0,
+		})
+	}
+	for c := range g.Classes {
+		la, lb := ra.LinkRanking(c), rb.LinkRanking(c)
+		if len(la) != len(lb) {
+			return nil, fmt.Errorf("stream: diff relation mismatch in class %d: %d vs %d", c, len(la), len(lb))
+		}
+		posA := make(map[int]int, len(la))
+		scoreA := make(map[int]float64, len(la))
+		for rank, rs := range la {
+			posA[rs.Relation] = rank
+			scoreA[rs.Relation] = rs.Score
+		}
+		for rank, rs := range lb {
+			if posA[rs.Relation] == rank {
+				continue
+			}
+			d.Shifts = append(d.Shifts, RankShift{
+				Class:        c,
+				ClassName:    g.Classes[c],
+				Relation:     rs.Relation,
+				RelationName: g.Relations[rs.Relation].Name,
+				FromRank:     posA[rs.Relation],
+				ToRank:       rank,
+				FromScore:    scoreA[rs.Relation],
+				ToScore:      rs.Score,
+			})
+		}
+	}
+	sort.Slice(d.Shifts, func(a, b int) bool {
+		if d.Shifts[a].Class != d.Shifts[b].Class {
+			return d.Shifts[a].Class < d.Shifts[b].Class
+		}
+		return d.Shifts[a].Relation < d.Shifts[b].Relation
+	})
+	return d, nil
+}
+
+// Render writes the diff in its stable human-readable form (the `tmark
+// diff` output, golden-tested).
+func (d *Diff) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "diff %s %s\n", d.A, d.B); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "nodes: %d  flips: %d  rank shifts: %d\n", d.Nodes, len(d.Flips), len(d.Shifts)); err != nil {
+		return err
+	}
+	for _, f := range d.Flips {
+		label := ""
+		if f.Labeled {
+			label = " [labeled]"
+		}
+		name := f.Name
+		if name == "" {
+			name = fmt.Sprintf("node-%d", f.Node)
+		}
+		if _, err := fmt.Fprintf(w, "flip node %d (%s)%s: %s -> %s\n", f.Node, name, label, f.FromName, f.ToName); err != nil {
+			return err
+		}
+	}
+	for _, s := range d.Shifts {
+		if _, err := fmt.Fprintf(w, "rank class %d (%s): relation %d (%s) %d -> %d (%.6f -> %.6f)\n",
+			s.Class, s.ClassName, s.Relation, s.RelationName, s.FromRank+1, s.ToRank+1, s.FromScore, s.ToScore); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"tmark/internal/artifact"
+	"tmark/internal/fault"
+	"tmark/internal/hin"
+	"tmark/internal/tensor"
+	"tmark/internal/tmark"
+)
+
+// ErrQuarantined marks an engine poisoned by a mid-ingest fault. The
+// last published version keeps serving (it was never touched); further
+// ingests are refused until the process restarts and replays from the
+// source graph plus the registry's sealed history.
+var ErrQuarantined = errors.New("stream: ingest engine quarantined")
+
+// Version is one sealed model state: the substrate after some prefix of
+// the applied batches, its content hash, and (once solved) the
+// stationary result that seeds the next warm restart.
+type Version struct {
+	// Seq counts applied batches; 0 is the unmutated source graph.
+	Seq int
+	// Hash is the canonical content hash of the version's artifact
+	// encoding — identical to what artifact.Compile of an equivalently
+	// mutated graph would produce.
+	Hash string
+	// Model is the assembled servable model for this version.
+	Model *tmark.Model
+
+	res *tmark.Result
+}
+
+// Result returns the version's stationary solve, if one has run.
+func (v *Version) Result() *tmark.Result { return v.res }
+
+// Engine owns the mutable state of one live model: the raw adjacency in
+// both kernel sort orders, the current Version, and the registry the
+// versions seal into. All methods are safe for concurrent use; Apply
+// calls serialise.
+type Engine struct {
+	mu   sync.Mutex
+	name string
+	g    *hin.Graph
+	cfg  tmark.Config
+	reg  *artifact.Registry
+
+	ao, ar   tensor.COO // raw adjacency, (k,j,i) and (j,i,k) orders
+	cur      *Version
+	poisoned error
+}
+
+// NewEngine builds the live-model engine for a dataset-backed graph.
+// The base version (Seq 0) is compiled and, when a registry is given,
+// its blob written (but not tagged — the floating name only moves when
+// a batch actually applies). The graph is aliased and must not be
+// mutated by the caller afterwards; deltas are the only mutation path.
+func NewEngine(name string, g *hin.Graph, cfg tmark.Config, reg *artifact.Registry) (*Engine, error) {
+	m, err := tmark.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := artifact.EncodeModel(g, cfg, m.Substrate())
+	if err != nil {
+		return nil, err
+	}
+	hash := artifact.Hash(data)
+	if reg != nil {
+		if _, err := reg.Put(data); err != nil {
+			return nil, fmt.Errorf("stream: sealing base version: %w", err)
+		}
+	}
+	a := g.AdjacencyTensor()
+	ao := a.COOView()
+	return &Engine{
+		name: name,
+		g:    g,
+		cfg:  cfg,
+		reg:  reg,
+		ao:   ao,
+		ar:   ao.SortedJIK(),
+		cur:  &Version{Seq: 0, Hash: hash, Model: m},
+	}, nil
+}
+
+// Name returns the engine's model name.
+func (e *Engine) Name() string { return e.name }
+
+// Config returns the engine's hyper-parameter set.
+func (e *Engine) Config() tmark.Config { return e.cfg }
+
+// Current returns the engine's live version.
+func (e *Engine) Current() *Version {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cur
+}
+
+// Quarantined reports the poisoning fault, if any.
+func (e *Engine) Quarantined() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.poisoned
+}
+
+// Solve runs (and caches) the current version's stationary solve. The
+// first call after engine creation is cold; versions minted by Apply
+// carry the warm re-solve Apply already ran.
+func (e *Engine) Solve(ctx context.Context) (*tmark.Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.poisoned != nil {
+		return nil, fmt.Errorf("%w: %v", ErrQuarantined, e.poisoned)
+	}
+	if e.cur.res == nil {
+		e.cur.res = e.cur.Model.RunContext(ctx)
+	}
+	return e.cur.res, nil
+}
+
+// ApplyResult summarises one applied batch.
+type ApplyResult struct {
+	// Name is the engine's model name.
+	Name string `json:"name"`
+	// Seq is the new version's sequence number.
+	Seq int `json:"seq"`
+	// OldHash/NewHash are the content hashes before and after.
+	OldHash string `json:"old_hash"`
+	NewHash string `json:"new_hash"`
+	// Deltas is the batch size; Changes the distinct adjacency
+	// coordinates it resolved to.
+	Deltas  int `json:"deltas"`
+	Changes int `json:"changes"`
+	// TouchedColumns/TouchedTubes count the O columns and R tubes that
+	// were renormalised; everything else kept its previous bytes.
+	TouchedColumns int `json:"touched_columns"`
+	TouchedTubes   int `json:"touched_tubes"`
+	// Sealed reports whether the version was written to a registry.
+	Sealed bool `json:"sealed"`
+	// Warm reports whether the re-solve was seeded from the previous
+	// stationary state; Iterations is its max per-class iteration
+	// count and Converged its convergence flag.
+	Warm       bool `json:"warm"`
+	Iterations int  `json:"iterations"`
+	Converged  bool `json:"converged"`
+}
+
+// Apply validates and applies one delta batch: merge the raw adjacency,
+// renormalise only the touched O columns / R tubes (bitwise identical
+// to a from-scratch rebuild of the mutated graph), assemble the new
+// model sharing the previous W channel, seal the version in the
+// registry, warm re-solve from the previous stationary (x̄, z̄), and
+// only then publish. A failure before the final assignment leaves the
+// engine on the previous version; a panic additionally quarantines the
+// engine (ErrQuarantined), because a fault mid-ingest means the process
+// can no longer prove its in-memory adjacency matches the sealed
+// history.
+func (e *Engine) Apply(ctx context.Context, deltas []Delta) (ar *ApplyResult, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.poisoned != nil {
+		return nil, fmt.Errorf("%w: %v", ErrQuarantined, e.poisoned)
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			e.poisoned = fmt.Errorf("ingest panic at seq %d: %v", e.cur.Seq+1, rec)
+			ar, err = nil, fmt.Errorf("%w: %v", ErrQuarantined, e.poisoned)
+		}
+	}()
+	if fault.Enabled() {
+		if err := fault.Check(fault.StreamApply); err != nil {
+			return nil, err
+		}
+	}
+
+	eff, err := compose(e.g, e.ao, deltas)
+	if err != nil {
+		return nil, err
+	}
+	newAO, err := tensor.MergeKJI(e.ao, eff.kji)
+	if err != nil {
+		return nil, err
+	}
+	newAR, err := tensor.MergeJIK(e.ar, eff.jik)
+	if err != nil {
+		return nil, err
+	}
+
+	prevSub := e.cur.Model.Substrate()
+	oRaw := tensor.RenormalizeNode(newAO, prevSub.O.Raw(), func(j, k int32) bool {
+		return eff.touchedCols[[2]int32{j, k}]
+	})
+	rRaw := tensor.RenormalizeRelation(newAR, prevSub.R.Raw(), func(i, j int32) bool {
+		return eff.touchedTubes[[2]int32{i, j}]
+	})
+	o, err := tensor.NodeTransitionFromRaw(oRaw)
+	if err != nil {
+		return nil, fmt.Errorf("stream: incremental O failed validation: %w", err)
+	}
+	r, err := tensor.RelationTransitionFromRaw(rRaw)
+	if err != nil {
+		return nil, fmt.Errorf("stream: incremental R failed validation: %w", err)
+	}
+	sub := tmark.Substrate{
+		O:           o,
+		R:           r,
+		WDense:      prevSub.WDense, // features never move with edges:
+		WCSR:        prevSub.WCSR,   // the W channel is shared across versions
+		Irreducible: newAO.Irreducible(),
+	}
+	model, err := tmark.Assemble(e.g, e.cfg, sub)
+	if err != nil {
+		return nil, err
+	}
+	if fault.Enabled() {
+		fault.Fire(fault.StreamApply, e.cur.Seq+1, len(eff.kji))
+	}
+
+	data, err := artifact.EncodeModel(e.g, e.cfg, sub)
+	if err != nil {
+		return nil, err
+	}
+	hash := artifact.Hash(data)
+	sealed := false
+	if e.reg != nil {
+		if _, err := e.reg.Put(data); err != nil {
+			return nil, fmt.Errorf("stream: sealing version %d: %w", e.cur.Seq+1, err)
+		}
+		if fault.Enabled() {
+			fault.Fire(fault.StreamSeal, hash)
+		}
+		if err := e.reg.Tag(e.name, hash); err != nil {
+			return nil, fmt.Errorf("stream: tagging version %d: %w", e.cur.Seq+1, err)
+		}
+		sealed = true
+	}
+
+	prevRes := e.cur.res
+	warm := prevRes != nil
+	if warm && fault.Enabled() {
+		if ferr := fault.Check(fault.StreamWarm); ferr != nil {
+			warm = false
+		} else {
+			fault.Fire(fault.StreamWarm, e.cur.Seq+1)
+		}
+	}
+	var res *tmark.Result
+	if warm {
+		// Deltas mutate edges only — labels cannot change — so the
+		// previous equilibrium restart is still valid and the warm solve
+		// may skip the ICA schedule replay.
+		res = model.RunWarmContext(ctx, prevRes, tmark.WithEquilibriumRestart(true))
+	} else {
+		res = model.RunContext(ctx)
+	}
+
+	next := &Version{Seq: e.cur.Seq + 1, Hash: hash, Model: model, res: res}
+	out := &ApplyResult{
+		Name:           e.name,
+		Seq:            next.Seq,
+		OldHash:        e.cur.Hash,
+		NewHash:        hash,
+		Deltas:         len(deltas),
+		Changes:        len(eff.kji),
+		TouchedColumns: len(eff.touchedCols),
+		TouchedTubes:   len(eff.touchedTubes),
+		Sealed:         sealed,
+		Warm:           warm,
+		Iterations:     res.MaxIterations(),
+		Converged:      res.Converged(),
+	}
+	// The transaction commits here: every fallible step is behind us.
+	e.ao, e.ar, e.cur = newAO, newAR, next
+	return out, nil
+}

@@ -1,0 +1,321 @@
+package tensor
+
+// Incremental maintenance of the normalised transition layouts. A batch
+// of edge deltas touches a handful of adjacency coordinates; everything
+// outside the affected (j,k) columns of O and (i,j) tubes of R keeps the
+// exact probability bytes it had. The merge below rebuilds the raw COO
+// arrays around the changed coordinates (O(nnz+b) integer work, fresh
+// arrays so served models are never mutated in place), and the
+// renormalisers recompute only the touched runs — accumulating the run
+// sum in the same ascending entry order NewNodeTransition /
+// NewRelationTransition use, so a touched run is bitwise identical to a
+// from-scratch rebuild of the mutated graph, and an untouched run is a
+// straight copy of the previous probabilities.
+
+import "fmt"
+
+// COO is a raw coordinate-form slice set: the adjacency values behind a
+// finalized Tensor, or a reordering of them. The arrays are owned by
+// whoever built them and are immutable by contract once published.
+type COO struct {
+	N, M    int
+	I, J, K []int32
+	V       []float64
+}
+
+// COOView exposes the finalized tensor's entries in their native
+// (k, j, i) order. The slices alias the tensor's storage.
+func (t *Tensor) COOView() COO {
+	t.mustBeFinalized("COOView")
+	return COO{N: t.n, M: t.m, I: t.i, J: t.j, K: t.k, V: t.v}
+}
+
+// NNZ returns the number of stored entries.
+func (c COO) NNZ() int { return len(c.V) }
+
+// SortedJIK returns a fresh copy of the entries re-sorted into
+// (j, i, k) order — the RelationTransition layout.
+func (c COO) SortedJIK() COO {
+	buf := newCooBuf(len(c.V))
+	copy(buf.i, c.I)
+	copy(buf.j, c.J)
+	copy(buf.k, c.K)
+	copy(buf.v, c.V)
+	if len(c.V) > 0 {
+		buf = sortJIK(buf, c.N, c.M)
+	}
+	return COO{N: c.N, M: c.M, I: buf.i, J: buf.j, K: buf.k, V: buf.v}
+}
+
+// AtKJI looks up the raw value at (i, j, k) in a (k, j, i)-ordered COO.
+func (c COO) AtKJI(i, j, k int32) (float64, bool) {
+	lo, hi := 0, len(c.V)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.K[mid] < k || (c.K[mid] == k && (c.J[mid] < j || (c.J[mid] == j && c.I[mid] < i))) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.V) && c.I[lo] == i && c.J[lo] == j && c.K[lo] == k {
+		return c.V[lo], true
+	}
+	return 0, false
+}
+
+// Irreducible reports whether the aggregated directed graph of the
+// entries is strongly connected, matching Tensor.Irreducible.
+func (c COO) Irreducible() bool {
+	if c.N == 0 {
+		return false
+	}
+	fwd := make([][]int32, c.N)
+	rev := make([][]int32, c.N)
+	for q := range c.V {
+		fwd[c.J[q]] = append(fwd[c.J[q]], c.I[q])
+		rev[c.I[q]] = append(rev[c.I[q]], c.J[q])
+	}
+	return reachesAll(fwd, 0) && reachesAll(rev, 0)
+}
+
+// Change is the final effect of a delta batch on one adjacency
+// coordinate: V > 0 sets the raw value (inserting the entry if absent),
+// V == 0 removes an existing entry.
+type Change struct {
+	I, J, K int32
+	V       float64
+}
+
+// MergeKJI merges strictly (k, j, i)-sorted changes into a
+// (k, j, i)-ordered base, returning freshly allocated arrays. Removing
+// an absent coordinate or presenting misordered, duplicate, out-of-range
+// or non-finite changes is an error and leaves nothing published.
+func MergeKJI(a COO, changes []Change) (COO, error) {
+	return mergeSorted(a, changes, keyKJI)
+}
+
+// MergeJIK is MergeKJI for the (j, i, k)-ordered relation layout; the
+// changes must be strictly (j, i, k)-sorted.
+func MergeJIK(a COO, changes []Change) (COO, error) {
+	return mergeSorted(a, changes, keyJIK)
+}
+
+// keyKJI and keyJIK compare a base entry against a change coordinate in
+// the respective lexicographic sort order: negative when (i1,j1,k1)
+// precedes, zero when equal, positive when it follows.
+func keyKJI(i1, j1, k1, i2, j2, k2 int32) int {
+	if k1 != k2 {
+		return int(k1 - k2)
+	}
+	if j1 != j2 {
+		return int(j1 - j2)
+	}
+	return int(i1 - i2)
+}
+
+func keyJIK(i1, j1, k1, i2, j2, k2 int32) int {
+	if j1 != j2 {
+		return int(j1 - j2)
+	}
+	if i1 != i2 {
+		return int(i1 - i2)
+	}
+	return int(k1 - k2)
+}
+
+func mergeSorted(a COO, changes []Change, cmp func(i1, j1, k1, i2, j2, k2 int32) int) (COO, error) {
+	for c := range changes {
+		ch := changes[c]
+		if ch.I < 0 || int(ch.I) >= a.N || ch.J < 0 || int(ch.J) >= a.N || ch.K < 0 || int(ch.K) >= a.M {
+			return COO{}, fmt.Errorf("tensor: change %d coordinate (%d,%d,%d) out of %dx%dx%d",
+				c, ch.I, ch.J, ch.K, a.N, a.N, a.M)
+		}
+		if !(ch.V >= 0) || ch.V > maxFinite {
+			return COO{}, fmt.Errorf("tensor: change %d value %v not a finite nonnegative weight", c, ch.V)
+		}
+		if c > 0 && cmp(changes[c-1].I, changes[c-1].J, changes[c-1].K, ch.I, ch.J, ch.K) >= 0 {
+			return COO{}, fmt.Errorf("tensor: changes not strictly sorted at %d", c)
+		}
+	}
+	out := COO{
+		N: a.N, M: a.M,
+		I: make([]int32, 0, len(a.V)+len(changes)),
+		J: make([]int32, 0, len(a.V)+len(changes)),
+		K: make([]int32, 0, len(a.V)+len(changes)),
+		V: make([]float64, 0, len(a.V)+len(changes)),
+	}
+	emit := func(i, j, k int32, v float64) {
+		out.I = append(out.I, i)
+		out.J = append(out.J, j)
+		out.K = append(out.K, k)
+		out.V = append(out.V, v)
+	}
+	p, c := 0, 0
+	for p < len(a.V) || c < len(changes) {
+		switch {
+		case c == len(changes):
+			emit(a.I[p], a.J[p], a.K[p], a.V[p])
+			p++
+		case p == len(a.V):
+			if changes[c].V == 0 {
+				return COO{}, fmt.Errorf("tensor: change removes absent entry (%d,%d,%d)",
+					changes[c].I, changes[c].J, changes[c].K)
+			}
+			emit(changes[c].I, changes[c].J, changes[c].K, changes[c].V)
+			c++
+		default:
+			d := cmp(a.I[p], a.J[p], a.K[p], changes[c].I, changes[c].J, changes[c].K)
+			switch {
+			case d < 0:
+				emit(a.I[p], a.J[p], a.K[p], a.V[p])
+				p++
+			case d > 0:
+				if changes[c].V == 0 {
+					return COO{}, fmt.Errorf("tensor: change removes absent entry (%d,%d,%d)",
+						changes[c].I, changes[c].J, changes[c].K)
+				}
+				emit(changes[c].I, changes[c].J, changes[c].K, changes[c].V)
+				c++
+			default:
+				if changes[c].V != 0 {
+					emit(changes[c].I, changes[c].J, changes[c].K, changes[c].V)
+				}
+				p++
+				c++
+			}
+		}
+	}
+	return out, nil
+}
+
+// maxFinite rejects +Inf (and, via the >= 0 test, NaN) while accepting
+// every finite weight the ingest validators let through.
+const maxFinite = 1.7976931348623157e308
+
+// RenormalizeNode builds the NodeRaw of the merged (k, j, i)-ordered
+// base a: a column (j, k) for which touched returns true has its
+// probabilities recomputed from a's raw values exactly as
+// NewNodeTransition would; every other column's probability run is
+// copied bitwise from prev. The index arrays alias a's. prev must be
+// the raw view of the transition built from a before the merge —
+// untouched runs are cross-checked entry for entry and a disagreement
+// panics, because it means the caller's touched set was wrong.
+func RenormalizeNode(a COO, prev NodeRaw, touched func(j, k int32) bool) NodeRaw {
+	out := NodeRaw{
+		N: a.N, M: a.M,
+		I: a.I, J: a.J, K: a.K,
+		P: make([]float64, len(a.V)),
+	}
+	prevRun := 0 // entry offset of the current run in prev
+	for start := 0; start < len(a.V); {
+		end := start + 1
+		for end < len(a.V) && a.J[end] == a.J[start] && a.K[end] == a.K[start] {
+			end++
+		}
+		j, k := a.J[start], a.K[start]
+		if touched(j, k) {
+			var sum float64
+			for q := start; q < end; q++ {
+				sum += a.V[q]
+			}
+			for q := start; q < end; q++ {
+				out.P[q] = a.V[q] / sum
+			}
+		} else {
+			// Skip prev runs the merge removed; they must all be touched.
+			for prevRun < len(prev.P) && lessKJ(prev.K[prevRun], prev.J[prevRun], k, j) {
+				pj, pk := prev.J[prevRun], prev.K[prevRun]
+				if !touched(pj, pk) {
+					panic(fmt.Sprintf("tensor: untouched O column (%d,%d) vanished in merge", pj, pk))
+				}
+				for prevRun < len(prev.P) && prev.J[prevRun] == pj && prev.K[prevRun] == pk {
+					prevRun++
+				}
+			}
+			if prevRun >= len(prev.P) || prev.J[prevRun] != j || prev.K[prevRun] != k {
+				panic(fmt.Sprintf("tensor: untouched O column (%d,%d) missing from previous layout", j, k))
+			}
+			for q := start; q < end; q++ {
+				if prevRun >= len(prev.P) || prev.I[prevRun] != a.I[q] || prev.J[prevRun] != j || prev.K[prevRun] != k {
+					panic(fmt.Sprintf("tensor: untouched O column (%d,%d) entries changed", j, k))
+				}
+				out.P[q] = prev.P[prevRun]
+				prevRun++
+			}
+			if prevRun < len(prev.P) && prev.J[prevRun] == j && prev.K[prevRun] == k {
+				panic(fmt.Sprintf("tensor: untouched O column (%d,%d) lost entries", j, k))
+			}
+		}
+		out.ColJ = append(out.ColJ, j)
+		out.ColK = append(out.ColK, k)
+		start = end
+	}
+	return out
+}
+
+func lessKJ(k1, j1, k2, j2 int32) bool {
+	return k1 < k2 || (k1 == k2 && j1 < j2)
+}
+
+// RenormalizeRelation is RenormalizeNode for the (j, i, k)-ordered
+// relation layout ar: touched (i, j) tubes are recomputed from ar's raw
+// values exactly as NewRelationTransition would, untouched tubes copy
+// prev's probability bytes, and the tube list/offsets are rebuilt.
+func RenormalizeRelation(ar COO, prev RelationRaw, touched func(i, j int32) bool) RelationRaw {
+	out := RelationRaw{
+		N: ar.N, M: ar.M,
+		I: ar.I, J: ar.J, K: ar.K,
+		P: make([]float64, len(ar.V)),
+	}
+	prevRun := 0
+	for start := 0; start < len(ar.V); {
+		end := start + 1
+		for end < len(ar.V) && ar.I[end] == ar.I[start] && ar.J[end] == ar.J[start] {
+			end++
+		}
+		i, j := ar.I[start], ar.J[start]
+		if touched(i, j) {
+			var sum float64
+			for q := start; q < end; q++ {
+				sum += ar.V[q]
+			}
+			for q := start; q < end; q++ {
+				out.P[q] = ar.V[q] / sum
+			}
+		} else {
+			for prevRun < len(prev.P) && lessJI(prev.J[prevRun], prev.I[prevRun], j, i) {
+				pi, pj := prev.I[prevRun], prev.J[prevRun]
+				if !touched(pi, pj) {
+					panic(fmt.Sprintf("tensor: untouched R tube (%d,%d) vanished in merge", pi, pj))
+				}
+				for prevRun < len(prev.P) && prev.I[prevRun] == pi && prev.J[prevRun] == pj {
+					prevRun++
+				}
+			}
+			if prevRun >= len(prev.P) || prev.I[prevRun] != i || prev.J[prevRun] != j {
+				panic(fmt.Sprintf("tensor: untouched R tube (%d,%d) missing from previous layout", i, j))
+			}
+			for q := start; q < end; q++ {
+				if prevRun >= len(prev.P) || prev.I[prevRun] != i || prev.J[prevRun] != j || prev.K[prevRun] != ar.K[q] {
+					panic(fmt.Sprintf("tensor: untouched R tube (%d,%d) entries changed", i, j))
+				}
+				out.P[q] = prev.P[prevRun]
+				prevRun++
+			}
+			if prevRun < len(prev.P) && prev.I[prevRun] == i && prev.J[prevRun] == j {
+				panic(fmt.Sprintf("tensor: untouched R tube (%d,%d) lost entries", i, j))
+			}
+		}
+		out.TubeI = append(out.TubeI, i)
+		out.TubeJ = append(out.TubeJ, j)
+		out.TubeStart = append(out.TubeStart, int32(start))
+		start = end
+	}
+	out.TubeStart = append(out.TubeStart, int32(len(ar.V)))
+	return out
+}
+
+func lessJI(j1, i1, j2, i2 int32) bool {
+	return j1 < j2 || (j1 == j2 && i1 < i2)
+}

@@ -1,0 +1,291 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomBase builds a finalized tensor from random entries (with
+// deliberate duplicate coordinates so the coalescing path is exercised)
+// and returns it plus the distinct coordinate set.
+func randomBase(rng *rand.Rand, n, m int) (*Tensor, map[[3]int32]bool) {
+	t := New(n, m)
+	coords := map[[3]int32]bool{}
+	entries := rng.Intn(4 * n * m)
+	for e := 0; e < entries; e++ {
+		i, j, k := rng.Intn(n), rng.Intn(n), rng.Intn(m)
+		t.Add(i, j, k, 0.1+rng.Float64())
+		coords[[3]int32{int32(i), int32(j), int32(k)}] = true
+	}
+	t.Finalize()
+	return t, coords
+}
+
+// randomChanges mutates a random subset of existing coordinates
+// (update or remove) and inserts some fresh ones, returning the final
+// per-coordinate values (0 = removed).
+func randomChanges(rng *rand.Rand, n, m int, coords map[[3]int32]bool) map[[3]int32]float64 {
+	ch := map[[3]int32]float64{}
+	for c := range coords {
+		switch rng.Intn(4) {
+		case 0: // update
+			ch[c] = 0.1 + rng.Float64()
+		case 1: // remove
+			ch[c] = 0
+		}
+	}
+	for e := rng.Intn(2 * n); e > 0; e-- {
+		c := [3]int32{int32(rng.Intn(n)), int32(rng.Intn(n)), int32(rng.Intn(m))}
+		if !coords[c] {
+			ch[c] = 0.1 + rng.Float64()
+		}
+	}
+	return ch
+}
+
+func sortedChanges(ch map[[3]int32]float64, cmp func(a, b [3]int32) bool) []Change {
+	keys := make([][3]int32, 0, len(ch))
+	for c := range ch {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(a, b int) bool { return cmp(keys[a], keys[b]) })
+	out := make([]Change, len(keys))
+	for q, c := range keys {
+		out[q] = Change{I: c[0], J: c[1], K: c[2], V: ch[c]}
+	}
+	return out
+}
+
+func kjiLess(a, b [3]int32) bool {
+	if a[2] != b[2] {
+		return a[2] < b[2]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[0] < b[0]
+}
+
+func jikLess(a, b [3]int32) bool {
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[2] < b[2]
+}
+
+// rebuildTensor constructs the post-change tensor from scratch: base
+// values for untouched coordinates, change values otherwise.
+func rebuildTensor(base COO, ch map[[3]int32]float64) *Tensor {
+	t := New(base.N, base.M)
+	for q := range base.V {
+		c := [3]int32{base.I[q], base.J[q], base.K[q]}
+		if _, touched := ch[c]; !touched {
+			t.Add(int(c[0]), int(c[1]), int(c[2]), base.V[q])
+		}
+	}
+	for c, v := range ch {
+		if v != 0 {
+			t.Add(int(c[0]), int(c[1]), int(c[2]), v)
+		}
+	}
+	t.Finalize()
+	return t
+}
+
+// TestIncrementalBitwiseEquivalence is the core property: after any
+// random add/update/remove batch, the merged COO plus touched-run
+// renormalisation reproduces NewNodeTransition/NewRelationTransition of
+// a from-scratch rebuild bit for bit, and the results pass the strict
+// FromRaw validators and stochasticity checks.
+func TestIncrementalBitwiseEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n, m := 1+rng.Intn(8), 1+rng.Intn(3)
+		base, coords := randomBase(rng, n, m)
+		a := base.COOView()
+		ar := a.SortedJIK()
+		prevO := NewNodeTransition(base).Raw()
+		prevR := NewRelationTransition(base).Raw()
+
+		ch := randomChanges(rng, n, m, coords)
+		touchedCols := map[[2]int32]bool{}
+		touchedTubes := map[[2]int32]bool{}
+		for c := range ch {
+			touchedCols[[2]int32{c[1], c[2]}] = true
+			touchedTubes[[2]int32{c[0], c[1]}] = true
+		}
+
+		merged, err := MergeKJI(a, sortedChanges(ch, kjiLess))
+		if err != nil {
+			t.Fatalf("trial %d: MergeKJI: %v", trial, err)
+		}
+		mergedR, err := MergeJIK(ar, sortedChanges(ch, jikLess))
+		if err != nil {
+			t.Fatalf("trial %d: MergeJIK: %v", trial, err)
+		}
+
+		oRaw := RenormalizeNode(merged, prevO, func(j, k int32) bool { return touchedCols[[2]int32{j, k}] })
+		rRaw := RenormalizeRelation(mergedR, prevR, func(i, j int32) bool { return touchedTubes[[2]int32{i, j}] })
+		o, err := NodeTransitionFromRaw(oRaw)
+		if err != nil {
+			t.Fatalf("trial %d: NodeTransitionFromRaw: %v", trial, err)
+		}
+		r, err := RelationTransitionFromRaw(rRaw)
+		if err != nil {
+			t.Fatalf("trial %d: RelationTransitionFromRaw: %v", trial, err)
+		}
+		if !o.ColumnsStochastic(1e-12) {
+			t.Fatalf("trial %d: touched O columns not stochastic", trial)
+		}
+		if !r.TubesStochastic(1e-12) {
+			t.Fatalf("trial %d: touched R tubes not stochastic", trial)
+		}
+
+		rebuilt := rebuildTensor(a, ch)
+		wantO := NewNodeTransition(rebuilt).Raw()
+		wantR := NewRelationTransition(rebuilt).Raw()
+		compareNodeRaw(t, trial, oRaw, wantO)
+		compareRelationRaw(t, trial, rRaw, wantR)
+
+		if got, want := merged.Irreducible(), rebuilt.Irreducible(); got != want {
+			t.Fatalf("trial %d: COO.Irreducible=%v, rebuilt tensor says %v", trial, got, want)
+		}
+	}
+}
+
+func compareNodeRaw(t *testing.T, trial int, got, want NodeRaw) {
+	t.Helper()
+	if len(got.P) != len(want.P) || len(got.ColJ) != len(want.ColJ) {
+		t.Fatalf("trial %d: O shape mismatch nnz %d/%d cols %d/%d",
+			trial, len(got.P), len(want.P), len(got.ColJ), len(want.ColJ))
+	}
+	for q := range want.P {
+		if got.I[q] != want.I[q] || got.J[q] != want.J[q] || got.K[q] != want.K[q] {
+			t.Fatalf("trial %d: O entry %d index (%d,%d,%d) want (%d,%d,%d)",
+				trial, q, got.I[q], got.J[q], got.K[q], want.I[q], want.J[q], want.K[q])
+		}
+		if math.Float64bits(got.P[q]) != math.Float64bits(want.P[q]) {
+			t.Fatalf("trial %d: O entry %d probability %v not bitwise equal to rebuild %v",
+				trial, q, got.P[q], want.P[q])
+		}
+	}
+	for q := range want.ColJ {
+		if got.ColJ[q] != want.ColJ[q] || got.ColK[q] != want.ColK[q] {
+			t.Fatalf("trial %d: O column %d (%d,%d) want (%d,%d)",
+				trial, q, got.ColJ[q], got.ColK[q], want.ColJ[q], want.ColK[q])
+		}
+	}
+}
+
+func compareRelationRaw(t *testing.T, trial int, got, want RelationRaw) {
+	t.Helper()
+	if len(got.P) != len(want.P) || len(got.TubeI) != len(want.TubeI) {
+		t.Fatalf("trial %d: R shape mismatch nnz %d/%d tubes %d/%d",
+			trial, len(got.P), len(want.P), len(got.TubeI), len(want.TubeI))
+	}
+	for q := range want.P {
+		if got.I[q] != want.I[q] || got.J[q] != want.J[q] || got.K[q] != want.K[q] {
+			t.Fatalf("trial %d: R entry %d index (%d,%d,%d) want (%d,%d,%d)",
+				trial, q, got.I[q], got.J[q], got.K[q], want.I[q], want.J[q], want.K[q])
+		}
+		if math.Float64bits(got.P[q]) != math.Float64bits(want.P[q]) {
+			t.Fatalf("trial %d: R entry %d probability %v not bitwise equal to rebuild %v",
+				trial, q, got.P[q], want.P[q])
+		}
+	}
+	for q := range want.TubeI {
+		if got.TubeI[q] != want.TubeI[q] || got.TubeJ[q] != want.TubeJ[q] || got.TubeStart[q] != want.TubeStart[q] {
+			t.Fatalf("trial %d: R tube %d mismatch", trial, q)
+		}
+	}
+	if got.TubeStart[len(got.TubeI)] != want.TubeStart[len(want.TubeI)] {
+		t.Fatalf("trial %d: R final tube offset mismatch", trial)
+	}
+}
+
+func TestMergeRejectsBadChanges(t *testing.T) {
+	base := New(3, 2)
+	base.Add(1, 0, 0, 1)
+	base.Add(2, 1, 1, 1)
+	base.Finalize()
+	a := base.COOView()
+	cases := []struct {
+		name string
+		ch   []Change
+	}{
+		{"unsorted", []Change{{I: 2, J: 2, K: 1, V: 1}, {I: 0, J: 0, K: 0, V: 1}}},
+		{"duplicate", []Change{{I: 1, J: 0, K: 0, V: 1}, {I: 1, J: 0, K: 0, V: 2}}},
+		{"remove-absent", []Change{{I: 0, J: 0, K: 0, V: 0}}},
+		{"out-of-range", []Change{{I: 3, J: 0, K: 0, V: 1}}},
+		{"negative", []Change{{I: 0, J: 0, K: 0, V: -1}}},
+		{"nan", []Change{{I: 0, J: 0, K: 0, V: math.NaN()}}},
+		{"inf", []Change{{I: 0, J: 0, K: 0, V: math.Inf(1)}}},
+	}
+	for _, tc := range cases {
+		if _, err := MergeKJI(a, tc.ch); err == nil {
+			t.Errorf("MergeKJI(%s): want error", tc.name)
+		}
+	}
+}
+
+func TestMergeEmptyChangesIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base, _ := randomBase(rng, 5, 2)
+	a := base.COOView()
+	merged, err := MergeKJI(a, nil)
+	if err != nil {
+		t.Fatalf("MergeKJI: %v", err)
+	}
+	if merged.NNZ() != a.NNZ() {
+		t.Fatalf("identity merge changed nnz %d -> %d", a.NNZ(), merged.NNZ())
+	}
+	for q := range a.V {
+		if merged.I[q] != a.I[q] || merged.J[q] != a.J[q] || merged.K[q] != a.K[q] ||
+			math.Float64bits(merged.V[q]) != math.Float64bits(a.V[q]) {
+			t.Fatalf("identity merge altered entry %d", q)
+		}
+	}
+}
+
+func TestAtKJI(t *testing.T) {
+	base := New(4, 2)
+	base.Add(1, 0, 0, 2.5)
+	base.Add(3, 2, 1, 1.5)
+	base.Finalize()
+	a := base.COOView()
+	if v, ok := a.AtKJI(1, 0, 0); !ok || v != 2.5 {
+		t.Fatalf("AtKJI(1,0,0) = %v,%v", v, ok)
+	}
+	if v, ok := a.AtKJI(3, 2, 1); !ok || v != 1.5 {
+		t.Fatalf("AtKJI(3,2,1) = %v,%v", v, ok)
+	}
+	if _, ok := a.AtKJI(0, 0, 0); ok {
+		t.Fatal("AtKJI found absent entry")
+	}
+}
+
+func TestRenormalizePanicsOnWrongTouchedSet(t *testing.T) {
+	base := New(3, 1)
+	base.Add(1, 0, 0, 1)
+	base.Add(2, 1, 0, 1)
+	base.Finalize()
+	a := base.COOView()
+	prev := NewNodeTransition(base).Raw()
+	merged, err := MergeKJI(a, []Change{{I: 0, J: 0, K: 0, V: 3}})
+	if err != nil {
+		t.Fatalf("MergeKJI: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RenormalizeNode accepted an understated touched set")
+		}
+	}()
+	// Column (0,0) gained an entry but is reported untouched: the
+	// cross-check must panic rather than silently serve stale bytes.
+	RenormalizeNode(merged, prev, func(j, k int32) bool { return false })
+}

@@ -93,8 +93,11 @@ func (m *Model) runBatched(ctx context.Context, res *Result, warm warmFn, rs *ru
 		st.best[c] = math.Inf(1)
 		x, z := l, uniformZ
 		if warm != nil {
-			if wx, wz, ok := warm(c); ok {
+			if wx, wz, wl, ok := warm(c); ok {
 				x, z = wx, wz
+				if wl != nil {
+					st.l[c] = wl
+				}
 			}
 		}
 		vec.ScatterCol(x, st.x, c, q)

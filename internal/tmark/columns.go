@@ -66,6 +66,25 @@ type ColumnQuery struct {
 	// collapsed linear system while the rest advance through the lockstep
 	// block.
 	Quality Quality
+	// Warm seeds the iteration from a previous stationary state: X
+	// replaces the cold x₀ = l start and Z the uniform z₀. Under a small
+	// perturbation of the model the power method re-converges from the
+	// previous (x̄, z̄) in a handful of iterations, and the fixed point —
+	// hence every guard and golden tripwire — is the cold solve's.
+	// Ignored by the linearized fast tier (a one-shot solve has no
+	// iteration to seed) and by checkpoint resume (the checkpoint holds
+	// the iterate).
+	Warm *WarmStart
+}
+
+// WarmStart is a previous stationary state used to seed a ColumnQuery.
+// Both vectors are required, copied, and validated (finite,
+// non-negative, positive total mass); they are used as-is, without
+// renormalisation, so a converged (x̄, z̄) re-enters the iteration with
+// the exact bytes it converged to.
+type WarmStart struct {
+	X vec.Vector // length n
+	Z vec.Vector // length m
 }
 
 // ColumnResult is the stationary solution of one query column. X scores
@@ -97,6 +116,9 @@ type columnState struct {
 	ctx     context.Context
 	seeds   int
 	quality Quality // resolved: never QualityDefault after SolveColumns
+
+	// warmX/warmZ replace the cold start when non-nil (both or neither).
+	warmX, warmZ vec.Vector
 }
 
 // buildColumnState validates one query against the model's dimensions
@@ -149,6 +171,31 @@ func (m *Model) buildColumnState(q ColumnQuery) (columnState, error) {
 				cs.isSeed[i] = true
 			}
 		}
+	}
+	if q.Warm != nil {
+		mm := m.graph.M()
+		if len(q.Warm.X) != n || len(q.Warm.Z) != mm {
+			return cs, fmt.Errorf("tmark: query warm start %dx%d, want %dx%d",
+				len(q.Warm.X), len(q.Warm.Z), n, mm)
+		}
+		wx, wz := vec.Clone(q.Warm.X), vec.Clone(q.Warm.Z)
+		var massX, massZ float64
+		for i, v := range wx {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return cs, fmt.Errorf("tmark: query warm x[%d] = %v must be finite and non-negative", i, v)
+			}
+			massX += v
+		}
+		for k, v := range wz {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return cs, fmt.Errorf("tmark: query warm z[%d] = %v must be finite and non-negative", k, v)
+			}
+			massZ += v
+		}
+		if massX <= 0 || massZ <= 0 {
+			return cs, fmt.Errorf("tmark: query warm start has no mass")
+		}
+		cs.warmX, cs.warmZ = wx, wz
 	}
 	return cs, nil
 }
@@ -241,8 +288,12 @@ func (m *Model) SolveColumn(ctx context.Context, q ColumnQuery, opts ...RunOptio
 // kernels, mirroring solveClassSeeded step for step (ctx check, reseed
 // from t = 3, step, trace, convergence test).
 func (m *Model) solveColumnSeq(ctx context.Context, idx int, cs columnState, rs *runScratch) ColumnResult {
+	x0, z0 := cs.l, vec.Uniform(m.graph.M())
+	if cs.warmX != nil {
+		x0, z0 = cs.warmX, cs.warmZ
+	}
 	s := classState{
-		x: vec.Clone(cs.l), z: vec.Uniform(m.graph.M()), l: cs.l,
+		x: vec.Clone(x0), z: vec.Clone(z0), l: cs.l,
 		xNext: vec.New(m.graph.N()), zNext: vec.New(m.graph.M()), tmp: vec.New(m.graph.N()),
 		seeds: cs.seeds,
 	}
@@ -463,8 +514,13 @@ func (m *Model) iterateColumns(ctx context.Context, states []columnState, out []
 	for col, i := range iterQ {
 		st.colOf[col] = i
 		st.best[i] = math.Inf(1)
-		vec.ScatterCol(states[i].l, st.x, col, nb)
-		vec.ScatterCol(uniformZ, st.z, col, nb)
+		if states[i].warmX != nil {
+			vec.ScatterCol(states[i].warmX, st.x, col, nb)
+			vec.ScatterCol(states[i].warmZ, st.z, col, nb)
+		} else {
+			vec.ScatterCol(states[i].l, st.x, col, nb)
+			vec.ScatterCol(uniformZ, st.z, col, nb)
+		}
 		out[i] = ColumnResult{Seeds: states[i].seeds, Restart: states[i].l}
 		if states[i].quality == QualityAccelerated {
 			if ex == nil {

@@ -109,6 +109,10 @@ type runOptions struct {
 	// distributed applier (the shard coordinator); see
 	// WithDistributedApply.
 	dist DistApplier
+	// eqRestart has RunWarmContext seed each class's restart vector from
+	// the previous equilibrium restart, not just x̄/z̄; see
+	// WithEquilibriumRestart.
+	eqRestart bool
 }
 
 // DistApplier computes the blocked kernel passes of the batched
@@ -240,6 +244,21 @@ func WithAcceleration(on bool) RunOption {
 	return func(o *runOptions) { o.accelerate = on }
 }
 
+// WithEquilibriumRestart(true) has RunWarmContext seed each class's
+// restart vector from the previous result's equilibrium restart (its
+// labels plus accepted pseudo-seeds) instead of replaying the ICA
+// schedule from the bare seed vector. This is what makes a warm restart
+// actually cheap — the iterations before the reseed window opens no
+// longer drag x̄ off its stationary point — but it is only sound when
+// the previous equilibrium is still meaningful: the caller must
+// guarantee the labels did not change between the runs (edge-only
+// mutations, the streaming-ingest setting). After a label change the
+// pseudo-seed set must be re-earned from scratch; leave this off and
+// pay the schedule replay. Ignored by cold runs and without ICAUpdate.
+func WithEquilibriumRestart(on bool) RunOption {
+	return func(o *runOptions) { o.eqRestart = on }
+}
+
 // WithApproximate(true) selects the linearized fast tier: instead of
 // iterating the coupled (x, z) fixed point, the solver freezes z at the
 // uniform distribution, collapses the tensor into one sparse matrix,
@@ -294,8 +313,12 @@ func (m *Model) RunContext(ctx context.Context, opts ...RunOption) *Result {
 	return m.runClasses(orBackground(ctx), nil, resolveOptions(opts))
 }
 
-// warmFn supplies per-class warm starting vectors; nil starts cold.
-type warmFn func(c int) (x, z vec.Vector, ok bool)
+// warmFn supplies per-class warm starting vectors; nil starts cold. The
+// restart vector l is optional: nil keeps the class's own seed vector,
+// non-nil carries a previous run's equilibrium restart (labels plus
+// accepted pseudo-seeds) so the iterations before the ICA reseed window
+// opens (t > 2) do not drag a warm x̄ away from its stationary point.
+type warmFn func(c int) (x, z, l vec.Vector, ok bool)
 
 // runClasses runs the class solve once and, when a batched attempt hits
 // a retryable corruption fault, retries exactly once from the fault's
@@ -353,8 +376,8 @@ func (m *Model) runClassesOnce(ctx context.Context, warm warmFn, ro runOptions) 
 	} else {
 		for c := 0; c < q; c++ {
 			if warm != nil {
-				if x, z, ok := warm(c); ok {
-					res.Classes[c] = m.solveClassFrom(ctx, c, x, z, rs)
+				if x, z, wl, ok := warm(c); ok {
+					res.Classes[c] = m.solveClassFrom(ctx, c, x, z, wl, rs)
 					continue
 				}
 			}

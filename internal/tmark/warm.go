@@ -32,25 +32,63 @@ func (m *Model) RunWarmContext(ctx context.Context, prev *Result, opts ...RunOpt
 			prev.n, prev.m, m.graph.N(), m.graph.M()))
 	}
 	n, mm := m.graph.N(), m.graph.M()
-	warm := func(c int) (x, z vec.Vector, ok bool) {
+	ro := resolveOptions(opts)
+	warm := func(c int) (x, z, l vec.Vector, ok bool) {
 		if c >= len(prev.Classes) {
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
 		pc := &prev.Classes[c]
 		if len(pc.X) != n || len(pc.Z) != mm {
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
-		return vec.Clone(pc.X), vec.Clone(pc.Z), true
+		if ro.eqRestart && m.cfg.ICAUpdate && len(pc.Restart) == n {
+			l = m.reconcileRestart(c, pc.Restart)
+		}
+		return vec.Clone(pc.X), vec.Clone(pc.Z), l, true
 	}
-	return m.runClasses(orBackground(ctx), warm, resolveOptions(opts))
+	return m.runClasses(orBackground(ctx), warm, ro)
 }
 
-// solveClassFrom iterates one class from explicit starting vectors. The
-// context is checked before every iteration, so a cancelled run returns
-// the state reached so far (at worst the starting vectors themselves)
-// with zero or more iterations recorded.
-func (m *Model) solveClassFrom(ctx context.Context, c int, x, z vec.Vector, rs *runScratch) ClassResult {
+// reconcileRestart rebuilds a previous equilibrium restart vector
+// against the current labels: every current seed of class c is in, a
+// previous pseudo-seed survives only while its node is still
+// unlabelled. With unchanged labels this reproduces the previous
+// equilibrium exactly; after a label change it degrades gracefully to
+// the consistent subset. Only meaningful under ICAUpdate — without the
+// reseed, l is the problem definition and must stay the seed vector —
+// so callers gate on the config. Returns nil (cold restart) when the
+// reconciled set is empty.
+func (m *Model) reconcileRestart(c int, prev vec.Vector) vec.Vector {
+	l := vec.New(len(prev))
+	count := 0
+	for i := range prev {
+		accept := m.graph.HasLabel(i, c)
+		if !accept && prev[i] > 0 && !m.graph.Labeled(i) {
+			accept = true
+		}
+		if accept {
+			l[i] = 1
+			count++
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	vec.Scale(1/float64(count), l)
+	return l
+}
+
+// solveClassFrom iterates one class from explicit starting vectors. A
+// non-nil wl replaces the seed restart vector (warm equilibrium
+// restart); the seed count still reports the labelled set. The context
+// is checked before every iteration, so a cancelled run returns the
+// state reached so far (at worst the starting vectors themselves) with
+// zero or more iterations recorded.
+func (m *Model) solveClassFrom(ctx context.Context, c int, x, z, wl vec.Vector, rs *runScratch) ClassResult {
 	l, seeds := m.seedVector(c)
+	if wl != nil {
+		l = wl
+	}
 	return m.solveClassSeeded(ctx, c, x, z, l, seeds, rs)
 }
 
@@ -104,13 +142,16 @@ func (m *Model) runLockstepFrom(ctx context.Context, res *Result, warm warmFn, r
 	states := make([]classState, q)
 	for c := 0; c < q; c++ {
 		l, seeds := m.seedVector(c)
-		var x, z vec.Vector
+		var x, z, wl vec.Vector
 		ok := false
 		if warm != nil {
-			x, z, ok = warm(c)
+			x, z, wl, ok = warm(c)
 		}
 		if !ok {
 			x, z = vec.Clone(l), vec.Uniform(mm)
+		}
+		if ok && wl != nil {
+			l = wl
 		}
 		states[c] = classState{
 			x: x, z: z, l: l,

@@ -1,0 +1,111 @@
+package tmark
+
+// The streaming client surface. Ingest pushes one batched edge
+// mutation into a live model via POST /v1/ingest; the server applies
+// it incrementally, re-solves warm from the previous equilibrium and
+// seals a new content-addressed version. Diff compares two sealed
+// versions via GET /v1/diff: which nodes changed class, which link
+// types moved in a class's ranking.
+//
+// Unlike every other call on Client, Ingest is NOT idempotent: an add
+// delta accumulates weight, so replaying a batch whose first attempt
+// actually committed double-applies it. Ingest therefore performs
+// exactly one attempt regardless of the Retry policy; a caller that
+// sees a transport error must reconcile against /v1/models (did a new
+// version seal?) before resending. Diff is a pure read and retries
+// normally.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"tmark/internal/serve"
+	"tmark/internal/stream"
+)
+
+// Op is the kind of one edge delta.
+type Op = stream.Op
+
+const (
+	// OpAdd accumulates weight onto an edge, creating it if absent.
+	OpAdd = stream.OpAdd
+	// OpUpdate replaces the weight of an existing edge.
+	OpUpdate = stream.OpUpdate
+	// OpRemove deletes an existing edge; it takes no weight.
+	OpRemove = stream.OpRemove
+)
+
+// Delta is one edge mutation of an ingest batch.
+type Delta = stream.Delta
+
+// IngestRequest is one /v1/ingest batch.
+type IngestRequest = serve.IngestRequest
+
+// IngestResponse reports what one ingest batch did: the sealed
+// version's sequence number and hashes, the touched tensor regions and
+// the re-solve cost.
+type IngestResponse = serve.IngestResponse
+
+// DiffResponse is one /v1/diff answer.
+type DiffResponse = serve.DiffResponse
+
+// Flip is one node whose predicted class differs between two versions.
+type Flip = stream.Flip
+
+// RankShift is one relation that moved in a class's link-type ranking
+// between two versions.
+type RankShift = stream.RankShift
+
+// Ingest applies one batched edge mutation to the named model (""
+// selects the server's default) and returns the sealed version. The
+// call never retries — see the package comment above — so transient
+// failures (503 while draining or quarantined, transport errors)
+// surface directly.
+func (c *Client) Ingest(ctx context.Context, model string, deltas []Delta) (*IngestResponse, error) {
+	req := &IngestRequest{Model: model, Deltas: deltas}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/ingest", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	var out IngestResponse
+	if err := c.once(hreq, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Diff compares two sealed model versions a and b (each a name,
+// name@sha256:… or sha256:… reference) and returns the classification
+// flips and link-type rank shifts of moving from a to b. WithTop
+// bounds both lists; other options are ignored. A pure read: retried
+// under the client's Retry policy.
+func (c *Client) Diff(ctx context.Context, a, b string, opts ...Option) (*DiffResponse, error) {
+	o := applyOptions(opts)
+	q := url.Values{}
+	q.Set("a", a)
+	q.Set("b", b)
+	if o.top > 0 {
+		q.Set("top", strconv.Itoa(o.top))
+	}
+	u := c.BaseURL + "/v1/diff?" + q.Encode()
+	var out DiffResponse
+	err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
