@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short-test race serve-race chaos vet bench bench-stats bench-json bench-accel bench-coldstart bench-stream accel-equivalence artifact-roundtrip stream-equivalence shard-smoke fuzz experiments figures examples clean
+.PHONY: all build test short-test race serve-race chaos recovery-chaos vet bench bench-stats bench-json bench-accel bench-coldstart bench-stream accel-equivalence artifact-roundtrip stream-equivalence shard-smoke fuzz experiments figures examples clean
 
 all: build vet test race
 
@@ -136,6 +136,21 @@ serve-race:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestKill|TestEviction|TestServeRank|TestRunSIGTERM|TestGuard|TestCheckpoint|TestResume|TestInterrupted|TestSequentialStep|TestNoASMDemotion|TestKernelFaultPoint|TestWorkerRejects|TestIngestQuarantine|TestIngestPins' ./internal/tmark/ ./internal/serve/ ./internal/tensor/ ./internal/shard/ ./internal/stream/ ./cmd/tmarkd/
 
+# The durability suite under the race detector: WAL codec and log
+# lifecycle (torn-tail truncation, rotation, checkpoint pruning), the
+# crash-equivalence chaos tests (faults at apply/seal/append heal in
+# process or via restart replay to the uninterrupted timeline's exact
+# hash and predictions), idempotency-key dedup across recovery and
+# restart, registry scrub repairs racing hash-pinned readers, and the
+# tmarkd-level kill/restart drill. The recovery-chaos CI job runs this.
+recovery-chaos:
+	$(GO) test -race -count=1 ./internal/wal/
+	$(GO) test -race -count=1 -run 'TestRecovery|TestRestart|TestApplyKeyed|TestNoWAL|TestWALAppend' ./internal/stream/
+	$(GO) test -race -count=1 -run 'TestIngestIdempotencyKey|TestUnavailableReasons|TestServerWALRestart|TestScrub|TestServerScrub' ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestScrub' ./internal/artifact/
+	$(GO) test -race -count=1 -run 'TestRunWALRestartReplays' ./cmd/tmarkd/
+	$(GO) test -race -count=1 -run 'TestClientIngestRetriesWithStableKey' ./pkg/tmark/
+
 # The horizontal-scale-out smoke: real worker OS processes (the test
 # re-execs its own binary per shard), a coordinator solving a builtin
 # dataset across them, and a bitwise prediction diff against the
@@ -153,6 +168,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/tmark/
 	$(GO) test -fuzz FuzzDecodeArtifact -fuzztime 30s ./internal/artifact/
 	$(GO) test -fuzz FuzzDecodeShardFrame -fuzztime 30s ./internal/shard/
+	$(GO) test -fuzz FuzzDecodeWALRecord -fuzztime 30s ./internal/wal/
 
 # Regenerate every table and figure at the quick scale.
 experiments:

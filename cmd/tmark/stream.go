@@ -49,6 +49,7 @@ import (
 	"tmark/internal/hin"
 	"tmark/internal/stream"
 	itmark "tmark/internal/tmark"
+	"tmark/internal/wal"
 )
 
 func runIngest(args []string) {
@@ -67,6 +68,7 @@ func runIngest(args []string) {
 		noICA    = fs.Bool("no-ica", false, "disable the ICA label update (TensorRrCc mode)")
 		topK     = fs.Int("topk", 0, "sparsify the feature channel to top-K neighbours (0 = dense)")
 		workers  = fs.Int("workers", 0, "compute workers (0 = GOMAXPROCS)")
+		walDir   = fs.String("wal-dir", "", "write-ahead log directory: the batch is fsync'd before applying, and any log left by a crashed run replays first")
 	)
 	_ = fs.Parse(args)
 	if *data == "" || *deltas == "" || *modelDir == "" {
@@ -101,7 +103,15 @@ func runIngest(args []string) {
 	if !artifact.ValidName(tag) {
 		log.Fatalf("ingest: %q is not a valid model name (use -name; want [A-Za-z0-9._-], not starting with . or -)", tag)
 	}
-	eng, err := stream.NewEngine(tag, g, cfg, reg)
+	var engOpts []stream.EngineOption
+	if *walDir != "" {
+		l, err := wal.Open(*walDir, wal.Options{})
+		if err != nil {
+			log.Fatalf("ingest: %v", err)
+		}
+		engOpts = append(engOpts, stream.WithWAL(l))
+	}
+	eng, err := stream.NewEngine(tag, g, cfg, reg, engOpts...)
 	if err != nil {
 		log.Fatalf("ingest: %v", err)
 	}

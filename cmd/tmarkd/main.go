@@ -157,6 +157,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		drain    = fs.Duration("drain-timeout", 30*time.Second, "shutdown deadline after SIGTERM/SIGINT")
 		modelDir = fs.String("model-dir", "", "artifact registry directory: models compiled by `tmark build` activate by mmap instead of rebuilding")
 		ckDir    = fs.String("checkpoint-dir", "", "checkpoint /rank full solves into this directory and resume them across restarts")
+		walDir   = fs.String("wal-dir", "", "write-ahead log directory for /v1/ingest: batches are fsync'd before applying and replayed after a crash")
+		noScrub  = fs.Bool("no-scrub", false, "skip the startup registry scrub (with -model-dir)")
 		ckEvery  = fs.Int("checkpoint-every", serve.DefaultCheckpointEvery, "snapshot cadence in iterations (with -checkpoint-dir)")
 		retryDur = fs.Duration("retry-after", serve.DefaultRetryAfter, "Retry-After backoff hint stamped on 503 responses")
 		quality  = fs.String("default-quality", "", "solve tier of requests that name none: exact, accelerated or fast (default exact)")
@@ -199,6 +201,13 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 			return fmt.Errorf("checkpoint dir: %w", err)
 		}
 	}
+	if *walDir != "" {
+		// Same reasoning, with higher stakes: an unusable WAL directory
+		// would reject every ingest.
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			return fmt.Errorf("wal dir: %w", err)
+		}
+	}
 	srv, err := serve.New(serve.Options{
 		Datasets: datasets,
 		Default:  *def,
@@ -218,10 +227,15 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		RetryAfter:      *retryDur,
 		CheckpointDir:   *ckDir,
 		CheckpointEvery: *ckEvery,
+		WALDir:          *walDir,
+		ScrubRegistry:   !*noScrub,
 		ShardWorkers:    splitList(*shardWorkers),
 	})
 	if err != nil {
 		return err
+	}
+	if rep := srv.ScrubReport(); rep != nil && rep.Dirty() {
+		fmt.Fprintf(stderr, "tmarkd: registry %s\n", rep)
 	}
 	names := make([]string, 0, len(datasets))
 	for name := range datasets {

@@ -299,3 +299,118 @@ func TestRunSIGTERMFlushesFinalCheckpoint(t *testing.T) {
 		t.Fatalf("final checkpoint at iteration %d, want mid-flight", cp.Iter)
 	}
 }
+
+// TestRunWALRestartReplays is the end-to-end kill -9 drill: a daemon
+// started with -wal-dir takes ingest batches, dies without any
+// shutdown handshake, and a second daemon over the same directories
+// replays the log — serving the sealed post-ingest version and
+// answering a resent Idempotency-Key from the rebuilt dedup window.
+func TestRunWALRestartReplays(t *testing.T) {
+	cooPath := filepath.Join(t.TempDir(), "net.coo")
+	coo := "coo 6 2 2\nl 0 0\nl 1 1\ne 0 0 2\ne 0 2 4\ne 0 1 3\ne 0 3 5\ne 1 4 5\ne 1 5 0\n"
+	if err := os.WriteFile(cooPath, []byte(coo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	modelDir, walDir := t.TempDir(), t.TempDir()
+
+	// startDaemon boots run() on a fresh port and waits for /healthz.
+	startDaemon := func(t *testing.T) (base string, stop func()) {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		var logs bytes.Buffer
+		go func() {
+			done <- run(ctx, []string{
+				"-addr", addr,
+				"-dataset", "tiny=" + cooPath,
+				"-model-dir", modelDir,
+				"-wal-dir", walDir,
+				"-workers", "1",
+				"-drain-timeout", "5s",
+			}, &logs)
+		}()
+		base = "http://" + addr
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			resp, herr := http.Get(base + "/healthz")
+			if herr == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon never became healthy; logs:\n%s", logs.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return base, func() {
+			cancel()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("run did not return after cancellation")
+			}
+		}
+	}
+
+	ingest := func(t *testing.T, base, key string) *serve.IngestResponse {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/ingest",
+			strings.NewReader(`{"model":"tiny","deltas":[{"op":"add","from":0,"to":4,"relation":0,"weight":0.5}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+		var out serve.IngestResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode ingest: %v", err)
+		}
+		return &out
+	}
+
+	base1, stop1 := startDaemon(t)
+	first := ingest(t, base1, "job-9")
+	if first.Seq != 1 || !first.Sealed {
+		t.Fatalf("first ingest: %+v", first)
+	}
+	// The "crash": tear the process down with no flush of its own. The
+	// WAL was fsync'd at append time; nothing else is needed.
+	stop1()
+
+	base2, stop2 := startDaemon(t)
+	defer stop2()
+	resp, err := http.Post(base2+"/classify", "application/json", strings.NewReader(`{"model":"tiny","seeds":[0]}`))
+	if err != nil {
+		t.Fatalf("classify after restart: %v", err)
+	}
+	var cls serve.ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cls); err != nil {
+		t.Fatalf("decode classify: %v", err)
+	}
+	resp.Body.Close()
+	if cls.ModelHash != first.NewHash {
+		t.Fatalf("restarted daemon serves %s, want the replayed %s", cls.ModelHash, first.NewHash)
+	}
+	dup := ingest(t, base2, "job-9")
+	if !dup.Duplicate || dup.NewHash != first.NewHash || dup.Seq != first.Seq {
+		t.Fatalf("restarted daemon re-applied a committed key: %+v", dup)
+	}
+}

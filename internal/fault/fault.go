@@ -102,6 +102,18 @@ const (
 	// the cold path, and a panicking hook simulates a crashing warm
 	// restart after the version was sealed.
 	StreamWarm Point = "stream/warm"
+	// WALAppend is checked (Check) before a delta batch is appended to
+	// the write-ahead log — a registered error simulates a failing log
+	// disk (the batch is rejected cleanly) — and fires (Fire) right
+	// after the fsync'd append with args (seq uint64): a panicking hook
+	// simulates a crash in the logged-but-unapplied window, the exact
+	// state replay must heal.
+	WALAppend Point = "wal/append"
+	// StreamRecover is checked (Check) when a quarantined engine
+	// attempts its in-process WAL recovery — a registered error keeps
+	// the quarantine sticky — and fires (Fire) after a successful
+	// recovery with args (seq int, replayed int).
+	StreamRecover Point = "stream/recover"
 )
 
 // registry holds the active hooks. active mirrors the total hook count

@@ -200,7 +200,26 @@ type RankResponse struct {
 	Classes   []ClassRanking `json:"classes"`
 }
 
-// ErrorResponse is the JSON body of every non-2xx answer.
+// ErrorResponse is the JSON body of every non-2xx answer. 503s
+// additionally carry a machine-readable Reason so clients can
+// distinguish "the model is quarantined" from ordinary load shedding
+// without parsing prose.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Reason is one of the Reason* constants on 503 answers, empty on
+	// every other status.
+	Reason string `json:"reason,omitempty"`
 }
+
+// The machine-readable 503 reasons.
+const (
+	// ReasonQuarantined: the target model's ingest engine is poisoned;
+	// reads keep serving the last sealed version, mutations are refused
+	// until recovery (automatic with a WAL) or restart.
+	ReasonQuarantined = "quarantined"
+	// ReasonDraining: the server is shutting down gracefully.
+	ReasonDraining = "draining"
+	// ReasonOverloaded: transient load shedding (full queue, build
+	// fault); retry after the Retry-After hint.
+	ReasonOverloaded = "overloaded"
+)

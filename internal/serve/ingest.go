@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 
 	"tmark/internal/artifact"
 	"tmark/internal/stream"
 	"tmark/internal/tmark"
+	"tmark/internal/wal"
 )
 
 // IngestRequest is the wire form of one /v1/ingest batch: a model name
@@ -80,6 +82,10 @@ type IngestResponse struct {
 	Warm       bool `json:"warm"`
 	Iterations int  `json:"iterations"`
 	Converged  bool `json:"converged"`
+	// Duplicate reports that the request's Idempotency-Key matched an
+	// already-applied batch: nothing was re-applied, and the fields above
+	// describe the version the original request sealed.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // DiffResponse is the wire form of a /v1/diff answer: the diff plus the
@@ -98,9 +104,18 @@ func (s *Server) engine(name string) *stream.Engine {
 	return s.streams[name]
 }
 
+// walDirFor is the per-model write-ahead-log directory under
+// Options.WALDir; names are sanitised the same way the checkpoint dir
+// sanitises them.
+func (s *Server) walDirFor(name string) string {
+	return filepath.Join(s.opts.WALDir, safeName(name))
+}
+
 // engineFor returns name's ingest engine, creating it on first use. An
 // engine needs the loaded source graph (artifact blobs are immutable
-// snapshots), so only dataset-backed names can ingest.
+// snapshots), so only dataset-backed names can ingest. With
+// Options.WALDir set the engine opens its write-ahead log first and
+// replays whatever a previous process left in it.
 func (s *Server) engineFor(name string) (*stream.Engine, error) {
 	s.streamMu.Lock()
 	defer s.streamMu.Unlock()
@@ -111,7 +126,15 @@ func (s *Server) engineFor(name string) (*stream.Engine, error) {
 	if !ok {
 		return nil, fmt.Errorf("serve: model %q has no loaded graph to ingest into", name)
 	}
-	eng, err := stream.NewEngine(name, g, s.opts.Config, s.registry)
+	opts := []stream.EngineOption{stream.WithMetrics(s.obsReg)}
+	if s.opts.WALDir != "" {
+		log, err := wal.Open(s.walDirFor(name), wal.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("serve: wal for model %q: %w", name, err)
+		}
+		opts = append(opts, stream.WithWAL(log))
+	}
+	eng, err := stream.NewEngine(name, g, s.opts.Config, s.registry, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +177,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
 	if s.draining.Load() {
 		s.met.rejected.Inc()
-		s.unavailable(w, "draining")
+		s.unavailable(w, "draining", ReasonDraining)
 		return
 	}
 	req, err := DecodeIngestRequest(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
@@ -172,22 +195,30 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("model %q has no loaded graph to ingest into", name))
 		return
 	}
+	key := r.Header.Get("Idempotency-Key")
+	if len(key) > wal.MaxKeyLen {
+		s.met.errors.Inc()
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("Idempotency-Key of %d bytes exceeds the %d-byte cap", len(key), wal.MaxKeyLen))
+		return
+	}
 	eng, err := s.engineFor(name)
 	if err != nil {
 		s.met.errors.Inc()
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	res, err := eng.Apply(r.Context(), req.Deltas)
+	res, err := eng.ApplyKeyed(r.Context(), key, req.Deltas)
 	switch {
 	case errors.Is(err, stream.ErrQuarantined):
 		// A mid-ingest fault poisoned the engine: the last sealed version
-		// keeps serving reads, but mutations are refused until the process
-		// restarts and replays from the sealed history. Shed as a 503 so
-		// well-behaved clients back off on the Retry-After hint.
+		// keeps serving reads, but mutations are refused. With a WAL the
+		// engine already tried (and failed) to heal itself; without one
+		// the quarantine holds until restart. Either way, shed as a 503
+		// so well-behaved clients back off on the Retry-After hint.
 		s.met.quarantines.Inc()
 		s.met.rejected.Inc()
-		s.unavailable(w, err.Error())
+		s.unavailable(w, err.Error(), reasonFor(err))
 		return
 	case err != nil:
 		s.met.errors.Inc()
@@ -197,8 +228,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// Cached warm models built from the pre-ingest engine state are now
 	// stale; drop them so the next resolve rebuilds against the new
 	// version. Entries keyed by content hash stay — they ARE pinned
-	// versions, exactly what mid-ingest readers hold.
-	s.cache.invalidateName(name)
+	// versions, exactly what mid-ingest readers hold. A duplicate moved
+	// nothing, so there is nothing to invalidate.
+	if !res.Duplicate {
+		s.cache.invalidateName(name)
+	}
 	writeJSON(w, http.StatusOK, &IngestResponse{
 		Model:          res.Name,
 		Seq:            res.Seq,
@@ -212,6 +246,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Warm:           res.Warm,
 		Iterations:     res.Iterations,
 		Converged:      res.Converged,
+		Duplicate:      res.Duplicate,
 	})
 }
 
@@ -223,7 +258,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
 	if s.draining.Load() {
 		s.met.rejected.Inc()
-		s.unavailable(w, "draining")
+		s.unavailable(w, "draining", ReasonDraining)
 		return
 	}
 	q := r.URL.Query()
@@ -251,7 +286,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.errors.Inc()
 	if status == http.StatusServiceUnavailable {
-		s.unavailable(w, err.Error())
+		s.unavailable(w, err.Error(), reasonFor(err))
 		return
 	}
 	writeError(w, status, err.Error())

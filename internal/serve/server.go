@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -83,6 +84,21 @@ type Options struct {
 	// CheckpointEvery is the snapshot cadence in solver iterations
 	// (default 8); only meaningful with CheckpointDir.
 	CheckpointEvery int
+	// ScrubRegistry runs a registry scrub at startup: blob checksums
+	// verify, corrupt blobs quarantine into <ModelDir>/corrupt/, and
+	// refs left pointing at missing blobs roll back to the newest intact
+	// version. tmarkd turns this on; embedded servers opt in because a
+	// scrub mutates the registry directory. Without it, damaged blobs
+	// are still caught (and routed to the rebuild fallback) at
+	// activation time by the per-open content-hash check.
+	ScrubRegistry bool
+	// WALDir, when set, gives every ingest engine a write-ahead log
+	// under this directory (one subdirectory per model name): each
+	// accepted /v1/ingest batch is fsync'd to the log before it applies,
+	// a restarted server replays the log so a kill -9 mid-ingest loses
+	// nothing, and a quarantined engine heals itself in process instead
+	// of staying poisoned until restart.
+	WALDir string
 	// ShardWorkers lists the base URLs of a shard-worker fleet (tmarkd
 	// -shard-serve processes, one per shard of one partitioned model).
 	// When set, New performs the coordinator handshake against the
@@ -102,6 +118,8 @@ type Options struct {
 type Server struct {
 	opts     Options
 	registry *artifact.Registry // nil without ModelDir
+	obsReg   *obs.Registry
+	scrub    *artifact.ScrubReport // startup registry scrub outcome; nil without ModelDir
 	cache    *modelCache
 	met      *metrics
 	mux      *http.ServeMux
@@ -120,9 +138,11 @@ type Server struct {
 	coord *shard.Coordinator
 
 	// streams holds the live ingest engines, one per dataset-backed name
-	// that has received a /v1/ingest batch. Created lazily; a quarantined
-	// engine stays in the map (sticky — only a restart replays the sealed
-	// history) so later ingests keep reporting the fault.
+	// that has received a /v1/ingest batch (or, with Options.WALDir, per
+	// name whose log survived a previous process). A quarantined engine
+	// stays in the map: with a WAL it heals itself on the next ingest,
+	// without one it stays sticky so later ingests keep reporting the
+	// fault.
 	streamMu sync.Mutex
 	streams  map[string]*stream.Engine
 
@@ -187,10 +207,18 @@ func New(opts Options) (*Server, error) {
 		return nil, errors.New("serve: no datasets loaded and no model directory")
 	}
 	var registry *artifact.Registry
+	var scrub *artifact.ScrubReport
 	if opts.ModelDir != "" {
 		var err error
 		if registry, err = artifact.OpenRegistry(opts.ModelDir); err != nil {
 			return nil, err
+		}
+		// Heal the registry before anything resolves through it: corrupt
+		// blobs move aside, dangling refs roll back to intact versions.
+		if opts.ScrubRegistry {
+			if scrub, err = registry.Scrub(); err != nil {
+				return nil, fmt.Errorf("serve: registry scrub: %w", err)
+			}
 		}
 	}
 	if opts.Default == "" {
@@ -264,7 +292,7 @@ func New(opts Options) (*Server, error) {
 		reg = obs.Default()
 	}
 
-	s := &Server{opts: opts, registry: registry, met: newMetrics(reg)}
+	s := &Server{opts: opts, registry: registry, obsReg: reg, scrub: scrub, met: newMetrics(reg)}
 	if len(opts.ShardWorkers) > 0 {
 		coord, err := shard.Connect(context.Background(), opts.ShardWorkers, nil)
 		if err != nil {
@@ -302,6 +330,15 @@ func New(opts Options) (*Server, error) {
 	})
 	reg.SetGauge("tmarkd_classify_latency_p50_seconds", func() float64 { return s.met.latency.Quantile(0.50) })
 	reg.SetGauge("tmarkd_classify_latency_p99_seconds", func() float64 { return s.met.latency.Quantile(0.99) })
+	reg.SetGauge("tmarkd_wal_segment_bytes", func() float64 {
+		s.streamMu.Lock()
+		defer s.streamMu.Unlock()
+		var total int64
+		for _, e := range s.streams {
+			total += e.WALSize()
+		}
+		return float64(total)
+	})
 
 	mux := http.NewServeMux()
 	// The versioned surface; /classify and /rank remain as frozen legacy
@@ -323,8 +360,25 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.mux = mux
+	// A surviving write-ahead log means a previous process died with
+	// logged batches; build those engines now so the replayed state
+	// serves from the first request (and a replay failure surfaces at
+	// startup, not mid-traffic).
+	if opts.WALDir != "" {
+		for name := range opts.Datasets {
+			if entries, err := os.ReadDir(s.walDirFor(name)); err == nil && len(entries) > 0 {
+				if _, err := s.engineFor(name); err != nil {
+					return nil, fmt.Errorf("serve: wal replay for model %q: %w", name, err)
+				}
+			}
+		}
+	}
 	return s, nil
 }
+
+// ScrubReport returns the startup registry scrub's outcome, nil when
+// the server runs without a model directory.
+func (s *Server) ScrubReport() *artifact.ScrubReport { return s.scrub }
 
 // Handler returns the server's mux.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -356,12 +410,26 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: msg})
 }
 
-// unavailable sheds one request: a 503 with the server's Retry-After
-// hint, so well-behaved clients (pkg/tmark honours the header) back off
-// instead of hammering an overloaded, draining or recovering server.
-func (s *Server) unavailable(w http.ResponseWriter, msg string) {
+// unavailable sheds one request: a 503 carrying the server's
+// Retry-After hint plus a machine-readable reason in the JSON body, so
+// well-behaved clients (pkg/tmark honours the header) back off instead
+// of hammering an overloaded, draining or recovering server — and can
+// tell those three apart without parsing prose.
+func (s *Server) unavailable(w http.ResponseWriter, msg, reason string) {
 	w.Header().Set("Retry-After", s.retryAfter)
-	writeError(w, http.StatusServiceUnavailable, msg)
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: msg, Reason: reason})
+}
+
+// reasonFor classifies a shed error for the 503 body's reason field.
+func reasonFor(err error) string {
+	switch {
+	case errors.Is(err, stream.ErrQuarantined):
+		return ReasonQuarantined
+	case errors.Is(err, ErrDraining):
+		return ReasonDraining
+	default:
+		return ReasonOverloaded
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -371,8 +439,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", s.retryAfter)
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		s.unavailable(w, "draining", ReasonDraining)
 		return
 	}
 	w.WriteHeader(http.StatusOK)
@@ -480,7 +547,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
 	if s.draining.Load() {
 		s.met.rejected.Inc()
-		s.unavailable(w, "draining")
+		s.unavailable(w, "draining", ReasonDraining)
 		return
 	}
 	req, err := DecodeClassifyRequest(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
@@ -493,7 +560,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.met.errors.Inc()
 		if status == http.StatusServiceUnavailable {
-			s.unavailable(w, err.Error())
+			s.unavailable(w, err.Error(), reasonFor(err))
 			return
 		}
 		writeError(w, status, err.Error())
@@ -517,7 +584,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining), errors.Is(err, ErrModelFault):
 		s.met.rejected.Inc()
-		s.unavailable(w, err.Error())
+		s.unavailable(w, err.Error(), reasonFor(err))
 		return
 	case err != nil:
 		s.met.errors.Inc()
@@ -567,7 +634,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
 	if s.draining.Load() {
 		s.met.rejected.Inc()
-		s.unavailable(w, "draining")
+		s.unavailable(w, "draining", ReasonDraining)
 		return
 	}
 	ref := r.URL.Query().Get("model")
@@ -578,7 +645,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.met.errors.Inc()
 		if status == http.StatusServiceUnavailable {
-			s.unavailable(w, err.Error())
+			s.unavailable(w, err.Error(), reasonFor(err))
 			return
 		}
 		writeError(w, status, err.Error())

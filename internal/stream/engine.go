@@ -9,15 +9,30 @@ import (
 	"tmark/internal/artifact"
 	"tmark/internal/fault"
 	"tmark/internal/hin"
+	"tmark/internal/obs"
 	"tmark/internal/tensor"
 	"tmark/internal/tmark"
+	"tmark/internal/wal"
 )
 
 // ErrQuarantined marks an engine poisoned by a mid-ingest fault. The
-// last published version keeps serving (it was never touched); further
-// ingests are refused until the process restarts and replays from the
-// source graph plus the registry's sealed history.
+// last published version keeps serving (it was never touched). With a
+// write-ahead log attached the quarantine is self-healing: the next
+// Apply or Solve discards the poisoned substrate, rebuilds from the
+// log's snapshot, proves the rebuild against the sealed history by
+// content-hash equality and replays the logged suffix. Without a log
+// the quarantine is sticky until the process restarts.
 var ErrQuarantined = errors.New("stream: ingest engine quarantined")
+
+// DefaultDedupWindow bounds the idempotency-key window: how many
+// recently committed batch keys Apply remembers for duplicate
+// detection.
+const DefaultDedupWindow = 1024
+
+// DefaultWALCheckpointEvery is the log-checkpoint cadence in committed
+// batches: how often the engine snapshots the raw adjacency so the log
+// can prune its sealed prefix.
+const DefaultWALCheckpointEvery = 64
 
 // Version is one sealed model state: the substrate after some prefix of
 // the applied batches, its content hash, and (once solved) the
@@ -38,6 +53,63 @@ type Version struct {
 // Result returns the version's stationary solve, if one has run.
 func (v *Version) Result() *tmark.Result { return v.res }
 
+// EngineOption configures NewEngine beyond its required arguments.
+type EngineOption func(*Engine)
+
+// WithWAL attaches a write-ahead log: every accepted batch is logged
+// (fsync'd) before any state moves, construction replays the log's
+// live suffix on top of its snapshot, and quarantines become
+// self-healing. The engine owns the log's append position; nothing
+// else may append to it.
+func WithWAL(l *wal.Log) EngineOption { return func(e *Engine) { e.log = l } }
+
+// WithMetrics wires the engine's durability counters
+// (tmarkd_wal_appends_total, tmarkd_wal_replayed_total,
+// tmarkd_ingest_duplicates_total, tmarkd_quarantine_recoveries_total)
+// into reg. Counters are shared per name, so engines on one registry
+// aggregate.
+func WithMetrics(reg *obs.Registry) EngineOption {
+	return func(e *Engine) {
+		e.met = engineMetrics{
+			appends:    reg.Counter("tmarkd_wal_appends_total"),
+			replayed:   reg.Counter("tmarkd_wal_replayed_total"),
+			duplicates: reg.Counter("tmarkd_ingest_duplicates_total"),
+			recoveries: reg.Counter("tmarkd_quarantine_recoveries_total"),
+		}
+	}
+}
+
+// WithDedupWindow overrides the idempotency-key window size (default
+// DefaultDedupWindow).
+func WithDedupWindow(n int) EngineOption {
+	return func(e *Engine) {
+		if n > 0 {
+			e.dedupCap = n
+		}
+	}
+}
+
+// WithWALCheckpointEvery overrides the log-checkpoint cadence in
+// committed batches (default DefaultWALCheckpointEvery). Lower values
+// prune the log more aggressively at the cost of a raw-adjacency
+// snapshot per checkpoint.
+func WithWALCheckpointEvery(n int) EngineOption {
+	return func(e *Engine) {
+		if n > 0 {
+			e.walEvery = n
+		}
+	}
+}
+
+// engineMetrics is the durability instrument set; the zero value (no
+// WithMetrics) is inert because obs counters are nil-safe.
+type engineMetrics struct {
+	appends    *obs.Counter
+	replayed   *obs.Counter
+	duplicates *obs.Counter
+	recoveries *obs.Counter
+}
+
 // Engine owns the mutable state of one live model: the raw adjacency in
 // both kernel sort orders, the current Version, and the registry the
 // versions seal into. All methods are safe for concurrent use; Apply
@@ -52,6 +124,18 @@ type Engine struct {
 	ao, ar   tensor.COO // raw adjacency, (k,j,i) and (j,i,k) orders
 	cur      *Version
 	poisoned error
+
+	// Durability state. srcAO and baseSub pin the pristine source
+	// adjacency and the base substrate (the W channel never moves with
+	// edges), so recovery can always rewind to sequence 0.
+	log      *wal.Log
+	met      engineMetrics
+	srcAO    tensor.COO
+	baseSub  tmark.Substrate
+	dedup    map[string]*ApplyResult
+	dedupQ   []string
+	dedupCap int
+	walEvery int
 }
 
 // NewEngine builds the live-model engine for a dataset-backed graph.
@@ -59,7 +143,10 @@ type Engine struct {
 // its blob written (but not tagged — the floating name only moves when
 // a batch actually applies). The graph is aliased and must not be
 // mutated by the caller afterwards; deltas are the only mutation path.
-func NewEngine(name string, g *hin.Graph, cfg tmark.Config, reg *artifact.Registry) (*Engine, error) {
+// With WithWAL, construction then restores from the log's snapshot and
+// replays its live records, so a restarted process resumes exactly
+// where the crashed one's last durable append left off.
+func NewEngine(name string, g *hin.Graph, cfg tmark.Config, reg *artifact.Registry, opts ...EngineOption) (*Engine, error) {
 	m, err := tmark.New(g, cfg)
 	if err != nil {
 		return nil, err
@@ -76,15 +163,29 @@ func NewEngine(name string, g *hin.Graph, cfg tmark.Config, reg *artifact.Regist
 	}
 	a := g.AdjacencyTensor()
 	ao := a.COOView()
-	return &Engine{
-		name: name,
-		g:    g,
-		cfg:  cfg,
-		reg:  reg,
-		ao:   ao,
-		ar:   ao.SortedJIK(),
-		cur:  &Version{Seq: 0, Hash: hash, Model: m},
-	}, nil
+	e := &Engine{
+		name:     name,
+		g:        g,
+		cfg:      cfg,
+		reg:      reg,
+		ao:       ao,
+		ar:       ao.SortedJIK(),
+		cur:      &Version{Seq: 0, Hash: hash, Model: m},
+		srcAO:    ao,
+		baseSub:  m.Substrate(),
+		dedup:    map[string]*ApplyResult{},
+		dedupCap: DefaultDedupWindow,
+		walEvery: DefaultWALCheckpointEvery,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.log != nil {
+		if err := e.replayLog(context.Background()); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
 }
 
 // Name returns the engine's model name.
@@ -107,14 +208,26 @@ func (e *Engine) Quarantined() error {
 	return e.poisoned
 }
 
+// WALSize reports the attached log's live segment bytes, 0 without a
+// log — the per-engine term of the tmarkd_wal_segment_bytes gauge.
+func (e *Engine) WALSize() int64 {
+	if e.log == nil {
+		return 0
+	}
+	return e.log.Size()
+}
+
 // Solve runs (and caches) the current version's stationary solve. The
 // first call after engine creation is cold; versions minted by Apply
-// carry the warm re-solve Apply already ran.
+// carry the warm re-solve Apply already ran. A quarantined engine
+// attempts its in-process recovery first.
 func (e *Engine) Solve(ctx context.Context) (*tmark.Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.poisoned != nil {
-		return nil, fmt.Errorf("%w: %v", ErrQuarantined, e.poisoned)
+		if err := e.recoverLocked(ctx); err != nil {
+			return nil, err
+		}
 	}
 	if e.cur.res == nil {
 		e.cur.res = e.cur.Model.RunContext(ctx)
@@ -147,23 +260,57 @@ type ApplyResult struct {
 	Warm       bool `json:"warm"`
 	Iterations int  `json:"iterations"`
 	Converged  bool `json:"converged"`
+	// Duplicate reports that the batch's idempotency key matched an
+	// already-committed batch: nothing was re-applied and the original
+	// sealed version's summary is returned.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
-// Apply validates and applies one delta batch: merge the raw adjacency,
-// renormalise only the touched O columns / R tubes (bitwise identical
-// to a from-scratch rebuild of the mutated graph), assemble the new
-// model sharing the previous W channel, seal the version in the
-// registry, warm re-solve from the previous stationary (x̄, z̄), and
-// only then publish. A failure before the final assignment leaves the
-// engine on the previous version; a panic additionally quarantines the
-// engine (ErrQuarantined), because a fault mid-ingest means the process
-// can no longer prove its in-memory adjacency matches the sealed
-// history.
-func (e *Engine) Apply(ctx context.Context, deltas []Delta) (ar *ApplyResult, err error) {
+// Apply validates and applies one delta batch without an idempotency
+// key; see ApplyKeyed.
+func (e *Engine) Apply(ctx context.Context, deltas []Delta) (*ApplyResult, error) {
+	return e.ApplyKeyed(ctx, "", deltas)
+}
+
+// ApplyKeyed validates and applies one delta batch: merge the raw
+// adjacency, renormalise only the touched O columns / R tubes (bitwise
+// identical to a from-scratch rebuild of the mutated graph), assemble
+// the new model sharing the previous W channel, seal the version in
+// the registry, warm re-solve from the previous stationary (x̄, z̄),
+// and only then publish. A failure before the final assignment leaves
+// the engine on the previous version; a panic additionally quarantines
+// the engine (ErrQuarantined), because a fault mid-ingest means the
+// process can no longer prove its in-memory adjacency matches the
+// sealed history — with a WAL attached, the next call re-proves it and
+// heals.
+//
+// A non-empty key makes the batch idempotent: after the batch commits,
+// a later ApplyKeyed carrying the same key returns the original sealed
+// version's summary (Duplicate set) instead of re-applying — the
+// contract that makes client retries safe. With a WAL attached the
+// batch is logged durably before anything mutates, so an acknowledged
+// batch survives a crash at any later point.
+func (e *Engine) ApplyKeyed(ctx context.Context, key string, deltas []Delta) (*ApplyResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.poisoned != nil {
-		return nil, fmt.Errorf("%w: %v", ErrQuarantined, e.poisoned)
+		if err := e.recoverLocked(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return e.applyLocked(ctx, key, deltas, true)
+}
+
+// applyLocked is the transaction body shared by live applies (logIt)
+// and WAL replay (the record is already durable). Callers hold e.mu.
+func (e *Engine) applyLocked(ctx context.Context, key string, deltas []Delta, logIt bool) (ar *ApplyResult, err error) {
+	if key != "" {
+		if prev, ok := e.dedup[key]; ok {
+			dup := *prev
+			dup.Duplicate = true
+			e.met.duplicates.Inc()
+			return &dup, nil
+		}
 	}
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -180,6 +327,25 @@ func (e *Engine) Apply(ctx context.Context, deltas []Delta) (ar *ApplyResult, er
 	eff, err := compose(e.g, e.ao, deltas)
 	if err != nil {
 		return nil, err
+	}
+	if logIt && e.log != nil {
+		// The write-ahead point: the batch has passed validation and is
+		// logged durably before any derived state is built. An append
+		// failure is a clean rejection — nothing has moved. A crash
+		// anywhere after this line is recoverable by replay.
+		if fault.Enabled() {
+			if ferr := fault.Check(fault.WALAppend); ferr != nil {
+				return nil, fmt.Errorf("stream: wal append: %w", ferr)
+			}
+		}
+		rec := wal.Record{Seq: uint64(e.cur.Seq + 1), Key: key, Deltas: toWALDeltas(deltas)}
+		if aerr := e.log.Append(rec); aerr != nil {
+			return nil, fmt.Errorf("stream: wal append: %w", aerr)
+		}
+		e.met.appends.Inc()
+		if fault.Enabled() {
+			fault.Fire(fault.WALAppend, rec.Seq)
+		}
 	}
 	newAO, err := tensor.MergeKJI(e.ao, eff.kji)
 	if err != nil {
@@ -275,5 +441,43 @@ func (e *Engine) Apply(ctx context.Context, deltas []Delta) (ar *ApplyResult, er
 	}
 	// The transaction commits here: every fallible step is behind us.
 	e.ao, e.ar, e.cur = newAO, newAR, next
+	if key != "" {
+		e.rememberLocked(key, out)
+	}
+	e.maybeCheckpointLocked(sealed)
 	return out, nil
+}
+
+// rememberLocked records a committed batch's key in the bounded dedup
+// window.
+func (e *Engine) rememberLocked(key string, res *ApplyResult) {
+	if _, ok := e.dedup[key]; ok {
+		return
+	}
+	e.dedup[key] = res
+	e.dedupQ = append(e.dedupQ, key)
+	for len(e.dedupQ) > e.dedupCap {
+		delete(e.dedup, e.dedupQ[0])
+		e.dedupQ = e.dedupQ[1:]
+	}
+}
+
+// maybeCheckpointLocked snapshots the raw adjacency into the log once
+// enough batches have committed since the last snapshot, letting the
+// log prune its covered segments. Only sealed versions checkpoint —
+// pruning is safe exactly when the state at the snapshot point is
+// durable beyond the log itself. A checkpoint failure is deliberately
+// not an apply failure: the batch committed and its record is durable;
+// the log just stays longer.
+func (e *Engine) maybeCheckpointLocked(sealed bool) {
+	if e.log == nil || !sealed {
+		return
+	}
+	if uint64(e.cur.Seq) < e.log.SnapshotSeq()+uint64(e.walEvery) {
+		return
+	}
+	_ = e.log.Checkpoint(wal.Snapshot{
+		Seq: uint64(e.cur.Seq), Hash: e.cur.Hash,
+		N: e.ao.N, M: e.ao.M, I: e.ao.I, J: e.ao.J, K: e.ao.K, V: e.ao.V,
+	})
 }

@@ -1,0 +1,351 @@
+// Package wal is the durable ingest log: an append-only, fsync'd,
+// crc64-checksummed write-ahead log of delta batches (TMARKWL1 record
+// format) plus a checkpoint snapshot of the raw adjacency (TMARKWS1).
+// The streaming engine appends every accepted batch before mutating
+// anything, so a crash — process kill mid-apply, panic mid-seal — loses
+// nothing: a restart (or an in-process quarantine recovery) restores
+// the adjacency from the snapshot, verifies it by content-hash
+// equality against the sealed history, and replays the logged suffix
+// to exactly the state an uninterrupted run would hold.
+//
+// On disk a log is one directory:
+//
+//	<dir>/seg-<index>.tmwl    append-only record segments
+//	<dir>/checkpoint.tmws     the latest snapshot (atomic replace)
+//
+// Each segment starts with the 8-byte magic "TMARKWL1" followed by
+// framed records (see record.go). Appends fsync before returning — an
+// acknowledged batch is durable. When the active segment passes the
+// configured size the log rotates to a fresh one, and Checkpoint
+// prunes every segment fully covered by the new snapshot, so the log's
+// footprint is bounded by the snapshot cadence, not the ingest
+// history.
+//
+// Open heals a torn tail: a crash mid-append leaves a partial frame at
+// the end of the final segment, which is truncated away (the batch was
+// never acknowledged). Corruption anywhere else — a flipped byte in an
+// interior record, a bad segment header before the tail — is damage,
+// not a torn write, and fails Open loudly.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+var segMagic = [8]byte{'T', 'M', 'A', 'R', 'K', 'W', 'L', '1'}
+
+// DefaultSegmentBytes is the rotation threshold of Options' zero value.
+const DefaultSegmentBytes = 4 << 20
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it grows past this
+	// size (default DefaultSegmentBytes). A single record larger than
+	// the threshold still lands whole — segments never split a frame.
+	SegmentBytes int64
+}
+
+// segment is one on-disk record file.
+type segment struct {
+	path string
+	idx  uint64 // rotation index (encoded in the name, append order)
+	size int64
+	max  uint64 // largest record seq it holds; 0 when empty
+}
+
+// Log is one model's write-ahead log. All methods are safe for
+// concurrent use; the engine serialises appends under its own lock
+// anyway, so the log's mutex is contention-free in practice.
+type Log struct {
+	mu       sync.Mutex
+	dir      string
+	segBytes int64
+	segs     []segment
+	nextIdx  uint64
+	active   *os.File // nil until the first append after open/rotate/checkpoint
+	records  []Record // live (unpruned) records in append order
+	snap     *Snapshot
+}
+
+// Open opens (creating if needed) the log rooted at dir, loading the
+// snapshot and every live record, and truncating a torn tail left by a
+// crash mid-append.
+func Open(dir string, opts Options) (*Log, error) {
+	if dir == "" {
+		return nil, errors.New("wal: log needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, segBytes: opts.SegmentBytes, nextIdx: 1}
+	if l.segBytes <= 0 {
+		l.segBytes = DefaultSegmentBytes
+	}
+	if data, err := os.ReadFile(snapshotPath(dir)); err == nil {
+		snap, derr := DecodeSnapshot(data)
+		if derr != nil {
+			return nil, fmt.Errorf("wal: %s: %w", snapshotPath(dir), derr)
+		}
+		l.snap = snap
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, err
+	}
+	idxs, err := segmentIndexes(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, idx := range idxs {
+		if err := l.loadSegment(idx, i == len(idxs)-1); err != nil {
+			return nil, err
+		}
+		l.nextIdx = idx + 1
+	}
+	return l, nil
+}
+
+func segmentPath(dir string, idx uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%012d.tmwl", idx))
+}
+
+// segmentIndexes lists the segment files of dir in rotation order.
+func segmentIndexes(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".tmwl") {
+			continue
+		}
+		idx, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".tmwl"), 10, 64)
+		if perr != nil {
+			continue
+		}
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	return idxs, nil
+}
+
+// loadSegment reads one segment's records into the log. Only the final
+// segment may carry a torn tail (or a torn header from a crash during
+// rotation); it is truncated (or removed) silently — those bytes were
+// never acknowledged. The same damage earlier in the log is an error.
+func (l *Log) loadSegment(idx uint64, last bool) error {
+	path := segmentPath(l.dir, idx)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < len(segMagic) || [8]byte(data[:8]) != segMagic {
+		if last && len(data) < len(segMagic) {
+			return os.Remove(path)
+		}
+		return fmt.Errorf("wal: %s is not a TMARKWL1 segment", path)
+	}
+	seg := segment{path: path, idx: idx}
+	off := len(segMagic)
+	for off < len(data) {
+		rec, n, derr := DecodeRecord(data[off:])
+		if derr != nil {
+			if last && errors.Is(derr, ErrTruncated) {
+				if terr := os.Truncate(path, int64(off)); terr != nil {
+					return terr
+				}
+				break
+			}
+			return fmt.Errorf("wal: %s at offset %d: %w", path, off, derr)
+		}
+		seg.max = rec.Seq
+		l.records = append(l.records, *rec)
+		off += n
+	}
+	seg.size = int64(off)
+	l.segs = append(l.segs, seg)
+	return nil
+}
+
+// Snapshot returns the latest checkpoint, nil when none was taken.
+func (l *Log) Snapshot() *Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snap
+}
+
+// SnapshotSeq returns the latest checkpoint's sequence number, 0 when
+// no checkpoint exists.
+func (l *Log) SnapshotSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.snap == nil {
+		return 0
+	}
+	return l.snap.Seq
+}
+
+// Records returns the live (unpruned) records in append order. The
+// slice is a copy; the records alias the log's storage and must be
+// treated as read-only.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Record(nil), l.records...)
+}
+
+// Size returns the total bytes of the live segments — the value behind
+// the tmarkd_wal_segment_bytes gauge.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for _, s := range l.segs {
+		total += s.size
+	}
+	return total
+}
+
+// Append logs one record durably: frame, write, fsync. On return the
+// batch survives a kill -9. An append that fails leaves the engine
+// free to reject the batch cleanly — nothing downstream has happened
+// yet.
+func (l *Log) Append(rec Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	frame := rec.Encode()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active != nil && l.activeSeg().size+int64(len(frame)) > l.segBytes && l.activeSeg().size > int64(len(segMagic)) {
+		if err := l.closeActive(); err != nil {
+			return err
+		}
+	}
+	if l.active == nil {
+		if err := l.openSegment(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.active.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: append sync: %w", err)
+	}
+	seg := l.activeSeg()
+	seg.size += int64(len(frame))
+	seg.max = rec.Seq
+	l.records = append(l.records, rec)
+	return nil
+}
+
+func (l *Log) activeSeg() *segment { return &l.segs[len(l.segs)-1] }
+
+// openSegment starts a fresh active segment under the next rotation
+// index.
+func (l *Log) openSegment() error {
+	path := segmentPath(l.dir, l.nextIdx)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	if _, err := f.Write(segMagic[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment header sync: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.active = f
+	l.segs = append(l.segs, segment{path: path, idx: l.nextIdx, size: int64(len(segMagic))})
+	l.nextIdx++
+	return nil
+}
+
+func (l *Log) closeActive() error {
+	if l.active == nil {
+		return nil
+	}
+	err := l.active.Close()
+	l.active = nil
+	return err
+}
+
+// Checkpoint makes snap the log's new recovery base and prunes every
+// segment it fully covers: once the caller's sealed state at snap.Seq
+// is durable (artifact in the registry, snapshot on disk), records at
+// or below snap.Seq can never be needed again. The active segment is
+// rotated out first, so a checkpoint taken at the current head empties
+// the log entirely.
+func (l *Log) Checkpoint(snap Snapshot) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.snap != nil && snap.Seq < l.snap.Seq {
+		return fmt.Errorf("wal: checkpoint at seq %d behind existing snapshot seq %d", snap.Seq, l.snap.Seq)
+	}
+	if err := saveSnapshot(l.dir, &snap); err != nil {
+		return err
+	}
+	l.snap = &snap
+	if err := l.closeActive(); err != nil {
+		return err
+	}
+	kept := l.segs[:0]
+	for _, seg := range l.segs {
+		if seg.max <= snap.Seq {
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("wal: prune: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segs = kept
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	live := l.records[:0]
+	for _, rec := range l.records {
+		if rec.Seq > snap.Seq {
+			live = append(live, rec)
+		}
+	}
+	l.records = live
+	return nil
+}
+
+// Close releases the active segment handle. The log stays reopenable.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closeActive()
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are
+// durable before the caller acknowledges anything that depends on them.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: dir sync: %w", serr)
+	}
+	return cerr
+}

@@ -1,0 +1,324 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecord(seq uint64, key string, n int) Record {
+	rec := Record{Seq: seq, Key: key}
+	for q := 0; q < n; q++ {
+		rec.Deltas = append(rec.Deltas, Delta{
+			Op: OpAdd, From: int32(q), To: int32(q + 1), Relation: int32(q % 3),
+			Weight: 0.5 + float64(q),
+		})
+	}
+	return rec
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		testRecord(1, "", 1),
+		testRecord(2, "client-key-α", 3),
+		{Seq: 7, Key: "k", Deltas: []Delta{
+			{Op: OpUpdate, From: 5, To: 5, Relation: 0, Weight: 2.25},
+			{Op: OpRemove, From: 1, To: 2, Relation: 1},
+		}},
+	}
+	for _, want := range recs {
+		frame := want.Encode()
+		got, n, err := DecodeRecord(frame)
+		if err != nil {
+			t.Fatalf("DecodeRecord: %v", err)
+		}
+		if n != len(frame) {
+			t.Fatalf("consumed %d of %d frame bytes", n, len(frame))
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Fatalf("round trip: got %+v want %+v", *got, want)
+		}
+		// A decode from the front of a longer buffer consumes exactly one
+		// frame.
+		double := append(append([]byte(nil), frame...), frame...)
+		if _, n2, err := DecodeRecord(double); err != nil || n2 != len(frame) {
+			t.Fatalf("framed decode: n=%d err=%v", n2, err)
+		}
+	}
+}
+
+func TestRecordDecodeRejectsDamage(t *testing.T) {
+	rec := testRecord(3, "key", 2)
+	frame := rec.Encode()
+	// Truncations anywhere must report ErrTruncated (the torn-tail
+	// shape) — that is what lets Open cut the tail instead of failing.
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := DecodeRecord(frame[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+	// A flipped payload byte must fail the checksum.
+	for _, off := range []int{4, 12, len(frame) - 9} {
+		bad := append([]byte(nil), frame...)
+		bad[off] ^= 0x40
+		if _, _, err := DecodeRecord(bad); err == nil || errors.Is(err, ErrTruncated) {
+			t.Fatalf("flip at %d: err = %v, want hard corruption", off, err)
+		}
+	}
+	// An absurd length prefix is rejected before any allocation.
+	huge := append([]byte(nil), frame...)
+	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0x7f
+	if _, _, err := DecodeRecord(huge); err == nil || errors.Is(err, ErrTruncated) {
+		t.Fatalf("oversized prefix: err = %v, want hard error", err)
+	}
+	// Validate gates what Encode will even produce.
+	if err := (&Record{Seq: 1, Deltas: nil}).Validate(); err == nil {
+		t.Fatal("empty batch validated")
+	}
+	if err := (&Record{Seq: 1, Key: string(make([]byte, MaxKeyLen+1)), Deltas: []Delta{{Op: OpAdd}}}).Validate(); err == nil {
+		t.Fatal("oversized key validated")
+	}
+	if err := (&Record{Seq: 1, Deltas: []Delta{{Op: 9}}}).Validate(); err == nil {
+		t.Fatal("unknown op validated")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := &Snapshot{
+		Seq: 12, Hash: "abc123", N: 6, M: 3,
+		I: []int32{0, 1, 2}, J: []int32{1, 2, 3}, K: []int32{0, 0, 1},
+		V: []float64{1, 0.5, 2},
+	}
+	got, err := DecodeSnapshot(want.Encode())
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+	enc := want.Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeSnapshot(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[10] ^= 1
+	if _, err := DecodeSnapshot(bad); err == nil {
+		t.Fatal("flipped byte decoded")
+	}
+}
+
+func TestLogAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var want []Record
+	for q := 1; q <= 5; q++ {
+		rec := testRecord(uint64(q), "", q)
+		if err := l.Append(rec); err != nil {
+			t.Fatalf("Append %d: %v", q, err)
+		}
+		want = append(want, rec)
+	}
+	if got := l.Records(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("live records: got %d want %d", len(got), len(want))
+	}
+	if l.Size() <= 0 {
+		t.Fatal("Size() not positive after appends")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := re.Records(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopened records differ: got %+v", got)
+	}
+}
+
+func TestLogTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	r1, r2 := testRecord(1, "a", 2), testRecord(2, "b", 2)
+	if err := l.Append(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(r2); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Tear the tail mid-frame, as a crash mid-append would.
+	seg := segmentPath(dir, 1)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	if got := re.Records(); len(got) != 1 || !reflect.DeepEqual(got[0], r1) {
+		t.Fatalf("torn tail kept %d records", len(got))
+	}
+	// The tear healed durably: appending works and a further reopen sees
+	// a clean log.
+	r2b := testRecord(2, "b2", 1)
+	if err := re.Append(r2b); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	re.Close()
+	re2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	if got := re2.Records(); len(got) != 2 || !reflect.DeepEqual(got[1], r2b) {
+		t.Fatalf("healed log holds %d records", len(got))
+	}
+
+	// Interior corruption is damage, not a torn write: it must fail Open.
+	re2.Close()
+	data, err = os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(segMagic)+6] ^= 0x10
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("interior corruption opened silently")
+	}
+}
+
+func TestLogRotationAndCheckpointPruning(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny segment threshold forces a rotation on nearly every append.
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for q := 1; q <= 6; q++ {
+		if err := l.Append(testRecord(uint64(q), "", 2)); err != nil {
+			t.Fatalf("Append %d: %v", q, err)
+		}
+	}
+	segs, err := segmentIndexes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("no rotation happened: %d segments", len(segs))
+	}
+
+	snap := Snapshot{Seq: 4, Hash: "h4", N: 8, M: 3,
+		I: []int32{0}, J: []int32{1}, K: []int32{0}, V: []float64{1}}
+	if err := l.Checkpoint(snap); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	for _, rec := range l.Records() {
+		if rec.Seq <= 4 {
+			t.Fatalf("record %d survived the checkpoint", rec.Seq)
+		}
+	}
+	if got := l.SnapshotSeq(); got != 4 {
+		t.Fatalf("SnapshotSeq = %d", got)
+	}
+	// A checkpoint behind the existing snapshot is a caller bug.
+	if err := l.Checkpoint(Snapshot{Seq: 2, Hash: "h2"}); err == nil {
+		t.Fatal("regressing checkpoint accepted")
+	}
+	l.Close()
+
+	// Reopen: the snapshot and only the live suffix come back.
+	re, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if re.Snapshot() == nil || re.Snapshot().Seq != 4 || re.Snapshot().Hash != "h4" {
+		t.Fatalf("snapshot lost on reopen: %+v", re.Snapshot())
+	}
+	recs := re.Records()
+	if len(recs) != 2 || recs[0].Seq != 5 || recs[1].Seq != 6 {
+		t.Fatalf("reopened live records: %+v", recs)
+	}
+	// Appends continue after the pruned prefix.
+	if err := re.Append(testRecord(7, "", 1)); err != nil {
+		t.Fatalf("append after checkpoint: %v", err)
+	}
+	// Checkpoint at the head empties the log entirely.
+	if err := re.Checkpoint(Snapshot{Seq: 7, Hash: "h7", N: 8, M: 3}); err != nil {
+		t.Fatalf("head checkpoint: %v", err)
+	}
+	if got := re.Records(); len(got) != 0 {
+		t.Fatalf("head checkpoint left %d records", len(got))
+	}
+	segs, err = segmentIndexes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Fatalf("head checkpoint left %d segments", len(segs))
+	}
+}
+
+func TestLogCorruptSnapshotFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(Snapshot{Seq: 1, Hash: "h", N: 2, M: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, err := os.ReadFile(snapshotPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(snapshotPath(dir), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("corrupt snapshot opened silently")
+	}
+}
+
+func TestSegmentMagicGuards(t *testing.T) {
+	dir := t.TempDir()
+	// A non-final segment with a wrong header must fail open; a torn
+	// final header (crash during rotation) is removed.
+	if err := os.WriteFile(filepath.Join(dir, "seg-000000000001.tmwl"), bytes.Repeat([]byte{0x7f}, 32), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("bogus segment header opened")
+	}
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "seg-000000000001.tmwl"), []byte("TMA"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir2, Options{})
+	if err != nil {
+		t.Fatalf("torn rotation header: %v", err)
+	}
+	if err := l.Append(testRecord(1, "", 1)); err != nil {
+		t.Fatalf("append after torn-header cleanup: %v", err)
+	}
+	l.Close()
+}

@@ -30,6 +30,8 @@ type callOptions struct {
 
 	alpha, gamma, lambda, epsilon *float64
 	maxIterations                 *int
+
+	idempotencyKey string
 }
 
 // Option configures one ClassifyModel or RankModel call.
@@ -56,6 +58,18 @@ func WithQuality(quality string) Option {
 // ClassifyModel. 0 keeps the server default.
 func WithTop(n int) Option {
 	return func(o *callOptions) { o.top = n }
+}
+
+// WithIdempotencyKey pins the Idempotency-Key an Ingest call sends (at
+// most 256 bytes). The server remembers the keys of applied batches, so
+// a resend under the same key — a client retry, a replayed job — returns
+// the originally sealed version instead of applying the batch twice.
+// Absent this option, Ingest mints a random key per call, which makes
+// its own automatic retries safe; supply an explicit key when retries
+// span processes (a work queue redelivering the batch, for instance).
+// Ignored by every call except Ingest.
+func WithIdempotencyKey(key string) Option {
+	return func(o *callOptions) { o.idempotencyKey = key }
 }
 
 // WithScores asks ClassifyModel for the full per-node score vector,

@@ -44,8 +44,12 @@ type RankResponse = serve.RankResponse
 
 // ServiceError is the decoded form of a non-2xx tmarkd answer.
 type ServiceError struct {
-	StatusCode int           // HTTP status
-	Message    string        // the server's error string
+	StatusCode int    // HTTP status
+	Message    string // the server's error string
+	// Reason is the machine-readable cause on 503s — "quarantined",
+	// "draining" or "overloaded" — and empty on other statuses (or
+	// against pre-reason servers).
+	Reason     string
 	RetryAfter time.Duration // the server's Retry-After hint, 0 when absent
 }
 
@@ -298,6 +302,7 @@ func (c *Client) once(req *http.Request, out any) error {
 		return &ServiceError{
 			StatusCode: resp.StatusCode,
 			Message:    msg,
+			Reason:     envelope.Reason,
 			RetryAfter: retryAfterHint(resp.Header.Get("Retry-After")),
 		}
 	}

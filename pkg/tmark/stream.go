@@ -7,17 +7,21 @@ package tmark
 // versions via GET /v1/diff: which nodes changed class, which link
 // types moved in a class's ranking.
 //
-// Unlike every other call on Client, Ingest is NOT idempotent: an add
-// delta accumulates weight, so replaying a batch whose first attempt
-// actually committed double-applies it. Ingest therefore performs
-// exactly one attempt regardless of the Retry policy; a caller that
-// sees a transport error must reconcile against /v1/models (did a new
-// version seal?) before resending. Diff is a pure read and retries
-// normally.
+// An ingest is not naturally idempotent — an add delta accumulates
+// weight, so blindly replaying a batch whose first attempt actually
+// committed would double-apply it. The Idempotency-Key header closes
+// that hole: the server remembers applied keys and answers a resend
+// with the originally sealed version. Ingest therefore sends a key on
+// every attempt (a caller-pinned one via WithIdempotencyKey, or a
+// random per-call key otherwise) and retries transient failures under
+// the client's Retry policy exactly like the read calls, honouring the
+// server's Retry-After hint.
 
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"net/http"
 	"net/url"
@@ -47,7 +51,8 @@ type IngestRequest = serve.IngestRequest
 
 // IngestResponse reports what one ingest batch did: the sealed
 // version's sequence number and hashes, the touched tensor regions and
-// the re-solve cost.
+// the re-solve cost. Duplicate marks an answer served from the server's
+// idempotency window rather than a fresh apply.
 type IngestResponse = serve.IngestResponse
 
 // DiffResponse is one /v1/diff answer.
@@ -61,11 +66,14 @@ type Flip = stream.Flip
 type RankShift = stream.RankShift
 
 // Ingest applies one batched edge mutation to the named model (""
-// selects the server's default) and returns the sealed version. The
-// call never retries — see the package comment above — so transient
-// failures (503 while draining or quarantined, transport errors)
-// surface directly.
-func (c *Client) Ingest(ctx context.Context, model string, deltas []Delta) (*IngestResponse, error) {
+// selects the server's default) and returns the sealed version.
+// Transient failures (503 while draining, overloaded or recovering;
+// transport errors) retry under the client's Retry policy; every
+// attempt carries the same Idempotency-Key, so an attempt that
+// committed server-side before the connection died is answered — not
+// re-applied — by the retry (Duplicate set on the response). Only
+// WithIdempotencyKey among the options is consulted.
+func (c *Client) Ingest(ctx context.Context, model string, deltas []Delta, opts ...Option) (*IngestResponse, error) {
 	req := &IngestRequest{Model: model, Deltas: deltas}
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -74,13 +82,28 @@ func (c *Client) Ingest(ctx context.Context, model string, deltas []Delta) (*Ing
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/ingest", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
+	key := applyOptions(opts).idempotencyKey
+	if key == "" {
+		// A fresh random key scopes idempotency to this call: the retry
+		// loop below cannot double-apply, while two separate Ingest calls
+		// with identical deltas stay two batches, as they should.
+		var raw [16]byte
+		if _, err := rand.Read(raw[:]); err != nil {
+			return nil, err
+		}
+		key = "tmark-" + hex.EncodeToString(raw[:])
 	}
-	hreq.Header.Set("Content-Type", "application/json")
 	var out IngestResponse
-	if err := c.once(hreq, &out); err != nil {
+	err = c.do(ctx, func() (*http.Request, error) {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/ingest", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("Idempotency-Key", key)
+		return hreq, nil
+	}, &out)
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -92,15 +93,21 @@ func TestClientIngestErrors(t *testing.T) {
 	}
 }
 
-// TestClientIngestNeverRetries pins the idempotency contract: a 503
-// makes Classify retry under the policy, but Ingest must stop after
-// one attempt — its batch may have committed before the failure.
-func TestClientIngestNeverRetries(t *testing.T) {
+// TestClientIngestRetriesWithStableKey pins the idempotency contract:
+// Ingest retries transient 503s under the policy, and every attempt of
+// one logical call carries the same Idempotency-Key — the server-side
+// dedup that makes the retry safe even if an earlier attempt committed.
+func TestClientIngestRetriesWithStableKey(t *testing.T) {
 	var hits atomic.Int64
+	var mu sync.Mutex
+	var keys []string
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		hits.Add(1)
+		mu.Lock()
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		mu.Unlock()
 		w.Header().Set("Retry-After", "0")
-		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		http.Error(w, `{"error":"draining","reason":"draining"}`, http.StatusServiceUnavailable)
 	}))
 	defer ts.Close()
 	c := tmark.NewClient(ts.URL)
@@ -111,15 +118,45 @@ func TestClientIngestNeverRetries(t *testing.T) {
 	if !errors.As(err, &se) || !se.Overloaded() {
 		t.Fatalf("Ingest error: %v", err)
 	}
-	if got := hits.Load(); got != 1 {
-		t.Fatalf("Ingest hit the server %d times, want exactly 1", got)
-	}
-
-	hits.Store(0)
-	if _, err := c.Diff(context.Background(), "a", "b"); err == nil {
-		t.Fatalf("Diff against a 503 server succeeded")
+	if se.Reason != "draining" {
+		t.Fatalf("503 reason = %q, want draining", se.Reason)
 	}
 	if got := hits.Load(); got != 3 {
-		t.Fatalf("Diff hit the server %d times, want the policy's 3", got)
+		t.Fatalf("Ingest hit the server %d times, want the policy's 3", got)
+	}
+	if keys[0] == "" {
+		t.Fatal("Ingest sent no Idempotency-Key")
+	}
+	for i, k := range keys {
+		if k != keys[0] {
+			t.Fatalf("attempt %d changed the Idempotency-Key: %q vs %q", i+1, k, keys[0])
+		}
+	}
+
+	// A second logical call must NOT reuse the first call's auto key —
+	// identical batches sent twice on purpose are two batches.
+	mu.Lock()
+	first := keys[0]
+	keys = nil
+	mu.Unlock()
+	_, _ = c.Ingest(context.Background(), "", []tmark.Delta{{Op: tmark.OpAdd, From: 0, To: 1, Relation: 0, Weight: 1}})
+	mu.Lock()
+	second := keys[0]
+	mu.Unlock()
+	if second == first {
+		t.Fatalf("two Ingest calls shared the auto-generated key %q", first)
+	}
+
+	// A pinned key is sent verbatim.
+	mu.Lock()
+	keys = nil
+	mu.Unlock()
+	_, _ = c.Ingest(context.Background(), "", []tmark.Delta{{Op: tmark.OpAdd, From: 0, To: 1, Relation: 0, Weight: 1}},
+		tmark.WithIdempotencyKey("job-42"))
+	mu.Lock()
+	pinned := keys[0]
+	mu.Unlock()
+	if pinned != "job-42" {
+		t.Fatalf("pinned Idempotency-Key sent as %q", pinned)
 	}
 }
